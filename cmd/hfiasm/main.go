@@ -1,0 +1,112 @@
+// Command hfiasm assembles guest programs from textual assembly (the
+// syntax documented on isa.Assemble), disassembles them back, and can run
+// them directly — the quickest way to experiment with HFI's instructions,
+// including hmov and the enter/exit pair, without writing Go.
+//
+//	hfiasm prog.s                  # assemble + disassemble (syntax check)
+//	hfiasm -run prog.s             # assemble and execute (emulation engine)
+//	hfiasm -run -engine sim prog.s # on the cycle-level core
+//	echo 'movi r0, 42
+//	halt' | hfiasm -run -
+//
+// Programs are loaded at 0x1000 with 64 KiB of scratch memory mapped RW at
+// 0x100000 and a stack at 0x200000; execution starts at the first
+// instruction (or at the label `main` if defined) and ends at halt. R0-R7
+// are printed on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+const (
+	codeBase    = 0x1000
+	scratchBase = 0x100000
+	scratchSize = 0x10000
+	stackTop    = 0x201000
+)
+
+func main() {
+	runIt := flag.Bool("run", false, "execute the program after assembling")
+	engine := flag.String("engine", "emu", "engine for -run: emu or sim")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hfiasm [-run] [-engine emu|sim] <file.s | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prog, err := isa.Assemble(codeBase, string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*runIt {
+		fmt.Print(isa.Disassemble(prog))
+		return
+	}
+
+	m := cpu.NewMachine()
+	if err := m.AS.MapFixed(scratchBase, scratchSize, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		fatal(err)
+	}
+	if err := m.AS.MapFixed(stackTop-0x1000, 0x1000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		fatal(err)
+	}
+	m.Regs[isa.SP] = stackTop
+	m.PC = prog.Base
+	if _, ok := prog.Symbols["main"]; ok {
+		m.PC = prog.Entry("main")
+	}
+
+	var eng cpu.Engine
+	switch *engine {
+	case "emu":
+		eng = cpu.NewInterp(m)
+	case "sim":
+		eng = cpu.NewCore(m)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	res := eng.Run(100_000_000)
+	fmt.Printf("stopped: %v", res.Reason)
+	if res.Fault != nil {
+		fmt.Printf(" (%v)", res.Fault)
+	}
+	fmt.Println()
+	for r := isa.R0; r <= isa.R7; r++ {
+		fmt.Printf("  %-3s = %#x (%d)\n", r, m.Regs[r], m.Regs[r])
+	}
+	fmt.Printf("  instructions: %d, simulated time: %dns\n", m.Instret, m.Kern.Clock.Now())
+	if c, ok := eng.(*cpu.Core); ok {
+		fmt.Printf("  cycles: %d\n", c.Cycles())
+	}
+	if len(m.Kern.ConsoleOut) > 0 {
+		fmt.Printf("  console: %q\n", m.Kern.ConsoleOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hfiasm:", err)
+	os.Exit(1)
+}

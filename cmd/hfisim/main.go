@@ -1,0 +1,117 @@
+// Command hfisim runs one of the built-in guest workloads under a chosen
+// isolation scheme on a chosen engine, reporting simulated time and
+// machine statistics — the interactive front door to the simulator.
+//
+// Usage:
+//
+//	hfisim -list                                 # list workloads
+//	hfisim -w sieve                              # defaults: hfi, emulation
+//	hfisim -w 429.mcf -scheme guardpages
+//	hfisim -w xchacha20 -engine sim -scheme boundscheck
+//	hfisim -w fib2 -scheme hfi -serialized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hfi/internal/cpu"
+	"hfi/internal/kernel"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+func main() {
+	var (
+		name       = flag.String("w", "", "workload name (see -list)")
+		schemeName = flag.String("scheme", "hfi", "isolation scheme: none, guardpages, boundscheck, masking, hfi")
+		engine     = flag.String("engine", "emu", "engine: emu (fast emulation) or sim (cycle-level timing)")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		serialized = flag.Bool("serialized", false, "serialize hfi_enter/hfi_exit (Spectre protection)")
+		swiv       = flag.Bool("swivel", false, "apply Swivel-like Spectre hardening")
+		list       = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+
+	catalog := append(workloads.Sightglass(), workloads.SpecInt()...)
+	if *list {
+		fmt.Println("Sightglass microbenchmarks:")
+		for _, w := range workloads.Sightglass() {
+			fmt.Printf("  %-16s %s\n", w.Name, w.Class)
+		}
+		fmt.Println("SPEC-like macro kernels:")
+		for _, w := range workloads.SpecInt() {
+			fmt.Printf("  %-16s %s\n", w.Name, w.Class)
+		}
+		return
+	}
+	var chosen *workloads.Workload
+	for i := range catalog {
+		if catalog[i].Name == *name {
+			chosen = &catalog[i]
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "hfisim: unknown workload %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	scheme, err := sfi.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfisim:", err)
+		os.Exit(2)
+	}
+
+	rt := sandbox.NewRuntime()
+	rt.Serialized = *serialized
+	inst, err := rt.Instantiate(chosen.Build(*scale), scheme, wasm.Options{Swivel: *swiv})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfisim:", err)
+		os.Exit(1)
+	}
+	var eng cpu.Engine
+	switch *engine {
+	case "emu":
+		eng = cpu.NewInterp(rt.M)
+	case "sim":
+		eng = cpu.NewCore(rt.M)
+	default:
+		fmt.Fprintf(os.Stderr, "hfisim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	res, out := inst.Invoke(eng, 0)
+	if res.Reason != cpu.StopHalt {
+		fmt.Fprintf(os.Stderr, "hfisim: stopped with %v (fault=%v)\n", res.Reason, res.Fault)
+		os.Exit(1)
+	}
+
+	m := rt.M
+	fmt.Printf("workload:        %s (%s)\n", chosen.Name, chosen.Class)
+	fmt.Printf("scheme:          %v   engine: %s\n", scheme, *engine)
+	fmt.Printf("result:          %#x\n", out)
+	fmt.Printf("instructions:    %d\n", m.Instret)
+	fmt.Printf("simulated time:  %.3f ms (%.2f GHz core)\n", float64(m.Kern.Clock.Now())/1e6, kernel.CoreGHz)
+	if *engine == "sim" {
+		c := eng.(*cpu.Core)
+		fmt.Printf("cycles:          %d (IPC %.2f)\n", c.Cycles(), float64(m.Instret)/float64(c.Cycles()))
+		fmt.Printf("squashed uops:   %d (wrong-path loads: %d)\n", c.Squashed, c.SpecLoads)
+		lookups, mispredicts := c.Pred.Stats()
+		fmt.Printf("branch lookups:  %d (%.2f%% mispredicted)\n", lookups, 100*float64(mispredicts)/float64(max64(lookups, 1)))
+	}
+	if scheme == sfi.HFI {
+		fmt.Printf("hfi checks:      data=%d code=%d explicit=%d\n", m.HFI.ChecksData, m.HFI.ChecksCode, m.HFI.ChecksExpl)
+		fmt.Printf("hfi transitions: enters=%d exits=%d region-updates=%d\n", m.HFI.Enters, m.HFI.Exits, m.HFI.RegionUpdates)
+	}
+	hits, misses := m.Hier.L1D.Stats()
+	fmt.Printf("l1d:             %d hits, %d misses\n", hits, misses)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

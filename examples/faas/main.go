@@ -1,0 +1,74 @@
+// FaaS example: a multi-tenant function-as-a-service platform (§6.3,
+// Table 1) serving the four paper workloads, comparing unprotected Lucet,
+// HFI-protected, and Swivel-hardened configurations, then demonstrating
+// HFI's lifecycle advantages: batched teardown and guard-free scaling.
+//
+//	go run ./examples/faas
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hfi/internal/faas"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/workloads"
+)
+
+func main() {
+	fmt.Println("== Multi-tenant FaaS: Spectre protection vs tail latency ==")
+	configs := []faas.Config{faas.StockLucet(), faas.LucetHFI(), faas.LucetSwivel()}
+	for _, tenant := range workloads.FaaSTenants() {
+		n := 20
+		if tenant.Name == "image-classification" {
+			n = 6
+		}
+		fmt.Printf("\ntenant %s:\n", tenant.Name)
+		var base float64
+		for _, cfg := range configs {
+			r, err := faas.ServeTenant(tenant, cfg, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = r.TailLatNs
+			}
+			fmt.Printf("  %-14s avg %-10s p99 %-10s %8.1f req/s  bin %-8s tail %+5.1f%%\n",
+				cfg.Name, stats.Ns(r.AvgLatNs), stats.Ns(r.TailLatNs),
+				r.Throughput, stats.Bytes(float64(r.BinBytes)),
+				(r.TailLatNs/base-1)*100)
+		}
+	}
+
+	fmt.Println("\n== Sandbox lifecycle: teardown batching (§6.3.1) ==")
+	for _, v := range []struct {
+		name  string
+		style faas.TeardownStyle
+		batch int
+	}{
+		{"stock: one madvise per sandbox", faas.TeardownStock, 1},
+		{"HFI: batched, guards elided", faas.TeardownBatchedHFI, 50},
+		{"batched across guard pages", faas.TeardownBatched, 50},
+	} {
+		r, err := faas.MeasureTeardown(v.style, 400, v.batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-32s %s per sandbox\n", v.name, stats.Ns(r.PerSandboxNs))
+	}
+
+	fmt.Println("\n== Scalability: 1 GiB sandboxes per process (§6.3.2) ==")
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.HFI} {
+		r, err := faas.MeasureScaling(scheme, 1, 2048)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra := ""
+		if r.Extrapolated {
+			extra = " (extrapolated from reserved-VA accounting)"
+		}
+		fmt.Printf("  %-12v %s reserved each -> %d sandboxes%s\n",
+			scheme, stats.Bytes(float64(r.ReservedPerSbox)), r.CapacityCount, extra)
+	}
+}

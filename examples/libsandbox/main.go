@@ -1,0 +1,83 @@
+// Library-sandboxing example (§6.2): a Firefox-style renderer that calls
+// an untrusted image decoder once per scanline and an untrusted font
+// shaper per reflow, comparing Wasm's software schemes against HFI. This
+// is the fine-grained, transition-heavy use case where HFI's cheap
+// serialized enters/exits and zero-instrumentation accesses pay off.
+//
+//	go run ./examples/libsandbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+func decodeImage(scheme sfi.Scheme, width, rows, quality uint64) (float64, uint64, error) {
+	rt := sandbox.NewRuntime()
+	rt.Serialized = true
+	inst, err := rt.Instantiate(workloads.JPEGDecoder(), scheme, wasm.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := cpu.NewInterp(rt.M)
+	clock := rt.M.Kern.Clock
+	t0 := clock.Now()
+	var checksum uint64
+	for row := uint64(0); row < rows; row++ {
+		res, sum := inst.Invoke(eng, 0, row, width, quality)
+		if res.Reason != cpu.StopHalt {
+			return 0, 0, fmt.Errorf("row %d: stop %v", row, res.Reason)
+		}
+		checksum ^= sum
+	}
+	return float64(clock.Now() - t0), checksum, nil
+}
+
+func main() {
+	fmt.Println("== Sandboxed libjpeg: 854x480 image, default compression ==")
+	fmt.Println("   (one sandbox invocation per scanline, serialized enter/exit)")
+	var baseline float64
+	var want uint64
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		ns, sum, err := decodeImage(scheme, 854, 480, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline, want = ns, sum
+		}
+		if sum != want {
+			log.Fatalf("%v: decoded pixels diverge", scheme)
+		}
+		fmt.Printf("  %-12v %-10s (%.1f%% of guard pages)\n", scheme, stats.Ns(ns), ns/baseline*100)
+	}
+
+	fmt.Println("\n== Sandboxed libgraphite: text reflow at 10 font sizes ==")
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		rt := sandbox.NewRuntime()
+		rt.Serialized = true
+		inst, err := rt.Instantiate(workloads.FontShaper(), scheme, wasm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng := cpu.NewInterp(rt.M)
+		clock := rt.M.Kern.Clock
+		t0 := clock.Now()
+		var advance uint64
+		for size := uint64(8); size < 18; size++ {
+			res, adv := inst.Invoke(eng, 0, 4096, size)
+			if res.Reason != cpu.StopHalt {
+				log.Fatalf("reflow: stop %v", res.Reason)
+			}
+			advance += adv
+		}
+		fmt.Printf("  %-12v %-10s (total advance %d)\n", scheme, stats.Ns(float64(clock.Now()-t0)), advance)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a tiny Wasm-like module, instantiate it inside an HFI
+// sandbox, run it, and watch HFI's explicit-region bound trap an
+// out-of-bounds access.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+func main() {
+	// 1. A module: run(x) stores x at heap[64], reads it back, doubles it.
+	mod := wasm.NewModule("quickstart", 1, 4) // 64 KiB heap, growable to 256 KiB
+	f := mod.Func("run", 1)
+	x := f.Param(0)
+	idx := f.NewReg()
+	f.MovImm(idx, 64)
+	f.Store(8, idx, 0, x)
+	f.Load(8, x, idx, 0)
+	f.Add(x, x, x)
+	f.Ret(x)
+
+	// 2. A trusted runtime instantiates it under HFI: the compiler emits
+	// hmov accesses against explicit region 0, and the runtime programs
+	// the region registers and the entry springboard.
+	rt := sandbox.NewRuntime()
+	rt.Serialized = true // Spectre-protected transitions (§3.4)
+	inst, err := rt.Instantiate(mod, sfi.HFI, wasm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run it on the fast emulation engine.
+	eng := cpu.NewInterp(rt.M)
+	res, out := inst.Invoke(eng, 0, 21)
+	fmt.Printf("run(21) -> %d (stop: %v)\n", out, res.Reason)
+	fmt.Printf("HFI transitions: %d enters, %d exits; %d explicit-region checks\n",
+		rt.M.HFI.Enters, rt.M.HFI.Exits, rt.M.HFI.ChecksExpl)
+
+	// 4. Out-of-bounds: a guest that stores through an arbitrary index.
+	// The explicit region's bound check traps precisely — no guard pages,
+	// no 8 GiB address-space reservation.
+	oob := wasm.NewModule("oob", 1, 1)
+	g := oob.Func("run", 1)
+	w := g.NewReg()
+	g.MovImm(w, 0xbad)
+	g.Store(8, g.Param(0), 0, w)
+	g.Ret(w)
+	inst2, err := rt.Instantiate(oob, sfi.HFI, wasm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ = inst2.Invoke(eng, 0, uint64(2*wasm.PageSize)) // past the 64 KiB heap
+	fmt.Printf("oob store: stop=%v fault=%v\n", res.Reason, res.Fault)
+	reason, _ := rt.M.HFI.ReadMSR()
+	fmt.Printf("MSR records: %v\n", reason)
+}

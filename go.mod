@@ -1,0 +1,3 @@
+module hfi
+
+go 1.24

@@ -1,0 +1,474 @@
+package cpu
+
+import (
+	"testing"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// mapRW maps a scratch data region for tests.
+func mapRW(t *testing.T, m *Machine, base, size uint64) {
+	t.Helper()
+	if err := m.AS.MapFixed(base, size, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoreMispredictRecovery runs a data-dependent branch pattern the PHT
+// cannot learn and checks architectural results stay exact.
+func TestCoreMispredictRecovery(t *testing.T) {
+	m := NewMachine()
+	mapRW(t, m, 0x100000, 0x10000)
+	b := isa.NewBuilder(0x1000)
+	// xorshift-driven unpredictable branches; count taken in R3.
+	b.MovImm(isa.R1, 88172645463325252)
+	b.MovImm(isa.R2, 0)
+	b.MovImm(isa.R3, 0)
+	b.Label("loop")
+	b.ShlImm(isa.R4, isa.R1, 13)
+	b.Xor(isa.R1, isa.R1, isa.R4)
+	b.ShrImm(isa.R4, isa.R1, 7)
+	b.Xor(isa.R1, isa.R1, isa.R4)
+	b.AndImm(isa.R4, isa.R1, 1)
+	b.BrImm(isa.CondEQ, isa.R4, 0, "skip")
+	b.AddImm(isa.R3, isa.R3, 1)
+	b.Label("skip")
+	b.AddImm(isa.R2, isa.R2, 1)
+	b.BrImm(isa.CondLT, isa.R2, 2000, "loop")
+	b.Halt()
+	p := b.Build()
+
+	m.MustLoadProgram(p)
+	m.PC = 0x1000
+	c := NewCore(m)
+	if res := c.Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	taken := m.Regs[isa.R3]
+
+	// Reference on the interpreter.
+	m2 := NewMachine()
+	mapRW(t, m2, 0x100000, 0x10000)
+	m2.MustLoadProgram(p)
+	m2.PC = 0x1000
+	NewInterp(m2).Run(0)
+	if taken != m2.Regs[isa.R3] {
+		t.Fatalf("core %d taken vs interp %d", taken, m2.Regs[isa.R3])
+	}
+	if c.Squashed == 0 {
+		t.Fatal("unpredictable branches squashed nothing")
+	}
+}
+
+// TestCoreStoreForwarding checks exact-match store-to-load forwarding and
+// the conservative stall on partial overlap.
+func TestCoreStoreForwarding(t *testing.T) {
+	m := NewMachine()
+	mapRW(t, m, 0x100000, 0x1000)
+	b := isa.NewBuilder(0x1000)
+	b.MovImm(isa.R1, 0x100000)
+	b.MovImm(isa.R2, 0x1122334455667788)
+	b.Store(8, isa.R1, isa.RegNone, 1, 0, isa.R2) // full store
+	b.Load(8, isa.R3, isa.R1, isa.RegNone, 1, 0)  // exact match: forward
+	b.Load(4, isa.R4, isa.R1, isa.RegNone, 1, 0)  // partial: wait for commit
+	b.Load(2, isa.R5, isa.R1, isa.RegNone, 1, 4)  // offset partial
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	m.PC = 0x1000
+	if res := NewCore(m).Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if m.Regs[isa.R3] != 0x1122334455667788 {
+		t.Fatalf("forwarded load = %#x", m.Regs[isa.R3])
+	}
+	if m.Regs[isa.R4] != 0x55667788 {
+		t.Fatalf("partial load = %#x", m.Regs[isa.R4])
+	}
+	if m.Regs[isa.R5] != 0x3344 {
+		t.Fatalf("offset partial load = %#x", m.Regs[isa.R5])
+	}
+}
+
+// TestCoreWrongPathLoadsTouchCache is the microarchitectural property the
+// Spectre PoCs depend on: a load on a mispredicted path fills the cache
+// even though it never commits.
+func TestCoreWrongPathLoadsTouchCache(t *testing.T) {
+	m := NewMachine()
+	mapRW(t, m, 0x100000, 0x10000)
+	const probe = 0x108000
+	b := isa.NewBuilder(0x1000)
+	b.MovImm(isa.R1, 0x100000)
+	b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // slow operand (cold)
+	b.BrImm(isa.CondEQ, isa.R2, 0, "out")        // resolves late; trained not-taken? cold PHT says not-taken
+	b.MovImm(isa.R3, probe)
+	b.Load(8, isa.R4, isa.R3, isa.RegNone, 1, 0) // wrong-path probe touch
+	b.Label("out")
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+
+	// Memory at 0x100000 is zero, so the branch IS taken; the PHT
+	// initializes weakly-not-taken, so the wrong path (fall-through)
+	// executes while the zero load is in flight.
+	m.PC = 0x1000
+	c := NewCore(m)
+	if res := c.Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if !m.Hier.Probe(probe) {
+		t.Fatal("wrong-path load left no cache trace")
+	}
+	if c.SpecLoads == 0 {
+		t.Fatal("no squashed loads recorded")
+	}
+}
+
+// TestCoreSerializedEnterClosesWindow: with is-serialized set, a
+// speculative load after hfi_enter cannot issue before the enter commits
+// — there must be no wrong-path cache fill from inside the sandbox setup.
+func TestCoreSerializedEnterBlocksSpeculation(t *testing.T) {
+	run := func(serialized bool) bool {
+		m := NewMachine()
+		mapRW(t, m, 0x100000, 0x10000)
+		const probe = 0x109040
+		// Region table: code over the program, data over the scratch
+		// block (including the probe), so the speculative sandbox can
+		// execute and touch the probe if the pipeline lets it.
+		table := uint64(0x100300)
+		entries := []struct {
+			num  int
+			body [hfi.RegionTSize]byte
+		}{
+			{hfi.RegionCodeBase, hfi.EncodeImplicitRegion(hfi.ImplicitRegion{
+				BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true})},
+			{hfi.RegionDataBase, hfi.EncodeImplicitRegion(hfi.ImplicitRegion{
+				BasePrefix: 0x100000, LSBMask: 0xffff, Read: true, Write: true})},
+		}
+		for i, e := range entries {
+			off := table + uint64(i)*hfi.RegionEntrySize
+			m.Mem().Write(off, 8, uint64(e.num))
+			m.Mem().WriteBytes(off+8, e.body[:])
+		}
+		cfg := hfi.Config{Hybrid: true, Serialized: serialized, RegionsPtr: table, RegionCount: 2}
+		sb := hfi.EncodeSandboxT(cfg)
+		m.Mem().WriteBytes(0x100200, sb[:])
+
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 0x100000)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // slow zero
+		b.BrImm(isa.CondEQ, isa.R2, 0, "out")        // actually taken, predicted fall-through
+		b.MovImm(isa.R6, 0x100200)
+		b.HfiEnter(isa.R6) // wrong-path enter
+		b.MovImm(isa.R3, probe)
+		b.Load(8, isa.R4, isa.R3, isa.RegNone, 1, 0) // wrong-path probe
+		b.Label("out")
+		b.Halt()
+		m.MustLoadProgram(b.Build())
+		m.PC = 0x1000
+		c := NewCore(m)
+		if res := c.Run(0); res.Reason != StopHalt {
+			t.Fatalf("stop = %v", res.Reason)
+		}
+		if m.HFI.Enabled {
+			t.Fatal("wrong-path enter survived architecturally")
+		}
+		return m.Hier.Probe(probe)
+	}
+	if !run(false) {
+		t.Fatal("unserialized enter should leave the speculation window open")
+	}
+	if run(true) {
+		t.Fatal("serialized enter let a younger load issue speculatively")
+	}
+}
+
+// TestEnginesW32Semantics checks i32 wraparound on both engines.
+func TestEnginesW32Semantics(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 0xffffffff)
+		b.ALU32Imm(isa.OpAdd, isa.R2, isa.R1, 1)   // wraps to 0
+		b.ALU32(isa.OpMul, isa.R3, isa.R1, isa.R1) // (2^32-1)^2 mod 2^32 = 1
+		b.AddImm(isa.R4, isa.R1, 1)                // 64-bit: 0x100000000
+		b.Halt()
+		return b.Build()
+	}
+	for _, engName := range []string{"interp", "core"} {
+		m := NewMachine()
+		m.MustLoadProgram(build())
+		m.PC = 0x1000
+		var eng Engine
+		if engName == "interp" {
+			eng = NewInterp(m)
+		} else {
+			eng = NewCore(m)
+		}
+		if res := eng.Run(0); res.Reason != StopHalt {
+			t.Fatalf("%s: stop = %v", engName, res.Reason)
+		}
+		if m.Regs[isa.R2] != 0 || m.Regs[isa.R3] != 1 || m.Regs[isa.R4] != 0x100000000 {
+			t.Fatalf("%s: W32 results %#x %#x %#x", engName, m.Regs[isa.R2], m.Regs[isa.R3], m.Regs[isa.R4])
+		}
+	}
+}
+
+// TestGuestXsaveRestore exercises the guest-visible xsave/xrstor
+// instructions: save HFI state, clobber it, restore, and verify.
+func TestGuestXsaveRestore(t *testing.T) {
+	m := NewMachine()
+	mapRW(t, m, 0x100000, 0x10000)
+	if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{BasePrefix: 0x100000, LSBMask: 0xffff, Read: true, Write: true}); f != nil {
+		t.Fatal(f)
+	}
+
+	b := isa.NewBuilder(0x1000)
+	b.MovImm(isa.R1, 0x102000)
+	b.Xsave(isa.R1)
+	b.HfiClearAll()
+	b.Xrstor(isa.R1)
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	m.PC = 0x1000
+	if res := NewInterp(m).Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if !m.HFI.Bank.Data[0].Valid || m.HFI.Bank.Data[0].BasePrefix != 0x100000 {
+		t.Fatal("xrstor did not restore the region")
+	}
+}
+
+// TestNativeXrstorTraps: a native sandbox restoring HFI state would break
+// isolation; HFI traps it (§3.3.3).
+func TestNativeXrstorTraps(t *testing.T) {
+	for _, engName := range []string{"interp", "core"} {
+		m := NewMachine()
+		mapRW(t, m, 0x100000, 0x10000)
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 0x102000)
+		b.Xrstor(isa.R1)
+		b.Halt()
+		p := b.Build()
+		m.MustLoadProgram(p)
+		if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true}); f != nil {
+			t.Fatal(f)
+		}
+		if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{BasePrefix: 0x100000, LSBMask: 0xffff, Read: true, Write: true}); f != nil {
+			t.Fatal(f)
+		}
+		if _, f := m.HFI.Enter(hfi.Config{Hybrid: false}); f != nil {
+			t.Fatal(f)
+		}
+		m.PC = 0x1000
+		var eng Engine
+		if engName == "interp" {
+			eng = NewInterp(m)
+		} else {
+			eng = NewCore(m)
+		}
+		res := eng.Run(0)
+		if res.Reason != StopFault || res.Fault == nil || res.Fault.Reason != hfi.FaultPrivileged {
+			t.Fatalf("%s: res=%+v, want privileged fault", engName, res)
+		}
+	}
+}
+
+// TestGuestReenter: hfi_exit followed by hfi_reenter restores the sandbox.
+func TestGuestReenter(t *testing.T) {
+	m := NewMachine()
+	mapRW(t, m, 0x100000, 0x10000)
+	b := isa.NewBuilder(0x1000)
+	b.HfiExit()
+	b.HfiReenter()
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true}); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := m.HFI.Enter(hfi.Config{Hybrid: true}); f != nil {
+		t.Fatal(f)
+	}
+	m.PC = 0x1000
+	if res := NewInterp(m).Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if !m.HFI.Enabled {
+		t.Fatal("reenter did not re-enable HFI")
+	}
+	if m.HFI.Enters != 2 || m.HFI.Exits != 1 {
+		t.Fatalf("enters/exits = %d/%d", m.HFI.Enters, m.HFI.Exits)
+	}
+}
+
+// TestDivZeroFaults on both engines.
+func TestDivZeroFaults(t *testing.T) {
+	for _, engName := range []string{"interp", "core"} {
+		m := NewMachine()
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 7)
+		b.MovImm(isa.R2, 0)
+		b.Div(isa.R3, isa.R1, isa.R2)
+		b.Halt()
+		m.MustLoadProgram(b.Build())
+		m.PC = 0x1000
+		var eng Engine
+		if engName == "interp" {
+			eng = NewInterp(m)
+		} else {
+			eng = NewCore(m)
+		}
+		if res := eng.Run(0); res.Reason != StopFault {
+			t.Fatalf("%s: stop = %v, want fault", engName, res.Reason)
+		}
+	}
+}
+
+// TestIndirectCallViaBTB checks indirect control flow on the core,
+// including BTB training over repeated calls. The program is built twice
+// with identical shape: the first pass discovers the function addresses,
+// the second bakes them into the movi immediates.
+func TestIndirectCallViaBTB(t *testing.T) {
+	build := func(fnA, fnB int64) *isa.Program {
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.SP, 0x201000)
+		b.MovImm(isa.R1, 0)
+		b.MovImm(isa.R2, 0)
+		b.Label("loop")
+		b.AndImm(isa.R4, isa.R1, 1)
+		b.BrImm(isa.CondEQ, isa.R4, 0, "even")
+		b.MovImm(isa.R6, fnA)
+		b.Jmp("docall")
+		b.Label("even")
+		b.MovImm(isa.R6, fnB)
+		b.Label("docall")
+		b.CallInd(isa.R6)
+		b.AddImm(isa.R1, isa.R1, 1)
+		b.BrImm(isa.CondLT, isa.R1, 100, "loop")
+		b.Halt()
+		b.Label("fnA")
+		b.AddImm(isa.R2, isa.R2, 3)
+		b.Ret()
+		b.Label("fnB")
+		b.AddImm(isa.R2, isa.R2, 5)
+		b.Ret()
+		return b.Build()
+	}
+	pass1 := build(0, 0)
+	prog := build(int64(pass1.Entry("fnA")), int64(pass1.Entry("fnB")))
+
+	m := NewMachine()
+	mapRW(t, m, 0x200000, 0x1000) // stack
+	m.MustLoadProgram(prog)
+	m.PC = 0x1000
+	c := NewCore(m)
+	if res := c.Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if want := uint64(50*3 + 50*5); m.Regs[isa.R2] != want {
+		t.Fatalf("R2 = %d, want %d", m.Regs[isa.R2], want)
+	}
+}
+
+// TestRdtscMonotonic on the core.
+func TestRdtscMonotonic(t *testing.T) {
+	m := NewMachine()
+	b := isa.NewBuilder(0x1000)
+	b.Rdtsc(isa.R1)
+	for i := 0; i < 20; i++ {
+		b.Nop()
+	}
+	b.Rdtsc(isa.R2)
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	m.PC = 0x1000
+	if res := NewCore(m).Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if m.Regs[isa.R2] <= m.Regs[isa.R1] {
+		t.Fatalf("rdtsc not monotonic: %d then %d", m.Regs[isa.R1], m.Regs[isa.R2])
+	}
+}
+
+// TestSignalResume: a fault handler returning a resume PC continues
+// execution there on both engines.
+func TestSignalResume(t *testing.T) {
+	for _, engName := range []string{"interp", "core"} {
+		m := NewMachine()
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 0xdead0000)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // page fault
+		b.Halt()
+		b.Label("recover")
+		b.MovImm(isa.R3, 99)
+		b.Halt()
+		p := b.Build()
+		m.MustLoadProgram(p)
+		m.Kern.Sigsegv = func(info kernel.SigInfo) uint64 {
+			return p.Entry("recover")
+		}
+		m.PC = 0x1000
+		var eng Engine
+		if engName == "interp" {
+			eng = NewInterp(m)
+		} else {
+			eng = NewCore(m)
+		}
+		if res := eng.Run(0); res.Reason != StopHalt {
+			t.Fatalf("%s: stop = %v", engName, res.Reason)
+		}
+		if m.Regs[isa.R3] != 99 {
+			t.Fatalf("%s: handler resume did not run", engName)
+		}
+	}
+}
+
+// TestCoreSpeculativeExitAttack is the §3.4 attack that the is-serialized
+// flag on hfi_exit exists to stop: sandboxed code speculatively executes
+// hfi_exit on a mispredicted path, disabling HFI, and then speculatively
+// loads host memory outside every region. Unserialized, the load fills the
+// cache (a leak); serialized, the exit cannot execute before the branch
+// resolves, so the wrong path never runs with HFI off.
+func TestCoreSpeculativeExitAttack(t *testing.T) {
+	run := func(serialized bool) bool {
+		m := NewMachine()
+		mapRW(t, m, 0x100000, 0x10000) // sandbox data
+		mapRW(t, m, 0x300000, 0x1000)  // host memory holding the secret
+		const secret = 0x300040
+
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R1, 0x100000)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // slow zero (cold line)
+		b.BrImm(isa.CondEQ, isa.R2, 0, "out")        // taken; predicted fall-through
+		b.HfiExit()                                  // wrong path: speculatively leave the sandbox
+		b.MovImm(isa.R3, secret)
+		b.Load(8, isa.R4, isa.R3, isa.RegNone, 1, 0) // unchecked host read
+		b.Label("out")
+		b.Halt()
+		m.MustLoadProgram(b.Build())
+
+		if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true}); f != nil {
+			t.Fatal(f)
+		}
+		if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{BasePrefix: 0x100000, LSBMask: 0xffff, Read: true, Write: true}); f != nil {
+			t.Fatal(f)
+		}
+		if _, f := m.HFI.Enter(hfi.Config{Hybrid: true, Serialized: serialized}); f != nil {
+			t.Fatal(f)
+		}
+		m.PC = 0x1000
+		c := NewCore(m)
+		if res := c.Run(0); res.Reason != StopHalt {
+			t.Fatalf("stop = %v", res.Reason)
+		}
+		if !m.HFI.Enabled {
+			t.Fatal("speculative exit became architectural")
+		}
+		return m.Hier.Probe(secret)
+	}
+	if !run(false) {
+		t.Fatal("unserialized hfi_exit should be speculatively exploitable (the §3.4 premise)")
+	}
+	if run(true) {
+		t.Fatal("serialized hfi_exit leaked host memory")
+	}
+}

@@ -1,0 +1,395 @@
+package cpu
+
+import (
+	"testing"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// buildSumLoop builds a program that sums 0..n-1 into R1 and halts.
+func buildSumLoop(base uint64, n int64) *isa.Program {
+	b := isa.NewBuilder(base)
+	b.MovImm(isa.R0, 0) // i
+	b.MovImm(isa.R1, 0) // sum
+	b.Label("loop")
+	b.Add(isa.R1, isa.R1, isa.R0)
+	b.AddImm(isa.R0, isa.R0, 1)
+	b.BrImm(isa.CondLT, isa.R0, n, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+func TestInterpSumLoop(t *testing.T) {
+	m := NewMachine()
+	m.MustLoadProgram(buildSumLoop(0x1000, 100))
+	m.PC = 0x1000
+	res := NewInterp(m).Run(0)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop reason = %v, want halt", res.Reason)
+	}
+	if got, want := m.Regs[isa.R1], uint64(4950); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestCoreSumLoop(t *testing.T) {
+	m := NewMachine()
+	m.MustLoadProgram(buildSumLoop(0x1000, 100))
+	m.PC = 0x1000
+	c := NewCore(m)
+	res := c.Run(1_000_000)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop reason = %v, want halt", res.Reason)
+	}
+	if got, want := m.Regs[isa.R1], uint64(4950); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if c.Cycles() == 0 || c.Cycles() > 100_000 {
+		t.Fatalf("implausible cycle count %d", c.Cycles())
+	}
+}
+
+// buildMemKernel stores values to an array then sums them back, exercising
+// loads, stores, forwarding and addressing.
+func buildMemKernel(base, buf uint64, n int64) *isa.Program {
+	b := isa.NewBuilder(base)
+	b.MovImm(isa.R0, 0)
+	b.MovImm(isa.R2, int64(buf))
+	b.Label("fill")
+	b.MulImm(isa.R3, isa.R0, 7)
+	b.Store(8, isa.R2, isa.R0, 8, 0, isa.R3)
+	b.AddImm(isa.R0, isa.R0, 1)
+	b.BrImm(isa.CondLT, isa.R0, n, "fill")
+	b.MovImm(isa.R0, 0)
+	b.MovImm(isa.R1, 0)
+	b.Label("sum")
+	b.Load(8, isa.R3, isa.R2, isa.R0, 8, 0)
+	b.Add(isa.R1, isa.R1, isa.R3)
+	b.AddImm(isa.R0, isa.R0, 1)
+	b.BrImm(isa.CondLT, isa.R0, n, "sum")
+	b.Halt()
+	return b.Build()
+}
+
+func setupMemKernel(t *testing.T) (*Machine, uint64) {
+	t.Helper()
+	m := NewMachine()
+	const buf = 0x100000
+	if err := m.AS.MapFixed(buf, 0x10000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	m.MustLoadProgram(buildMemKernel(0x1000, buf, 64))
+	m.PC = 0x1000
+	// sum of 7*i for i in 0..63 = 7 * 2016
+	return m, 7 * 2016
+}
+
+func TestInterpMemKernel(t *testing.T) {
+	m, want := setupMemKernel(t)
+	res := NewInterp(m).Run(0)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop reason = %v (pc=%#x)", res.Reason, m.PC)
+	}
+	if m.Regs[isa.R1] != want {
+		t.Fatalf("sum = %d, want %d", m.Regs[isa.R1], want)
+	}
+}
+
+func TestCoreMemKernel(t *testing.T) {
+	m, want := setupMemKernel(t)
+	res := NewCore(m).Run(1_000_000)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop reason = %v (pc=%#x)", res.Reason, m.PC)
+	}
+	if m.Regs[isa.R1] != want {
+		t.Fatalf("sum = %d, want %d", m.Regs[isa.R1], want)
+	}
+}
+
+// buildCallKernel exercises call/ret and the stack.
+func buildCallKernel(base, stack uint64) *isa.Program {
+	b := isa.NewBuilder(base)
+	b.MovImm(isa.SP, int64(stack))
+	b.MovImm(isa.R1, 5)
+	b.Call("double")
+	b.Call("double")
+	b.Halt()
+	b.Label("double")
+	b.Add(isa.R1, isa.R1, isa.R1)
+	b.Ret()
+	return b.Build()
+}
+
+func TestEnginesCallRet(t *testing.T) {
+	for _, eng := range []string{"interp", "core"} {
+		t.Run(eng, func(t *testing.T) {
+			m := NewMachine()
+			const stackTop = 0x200000
+			if err := m.AS.MapFixed(stackTop-0x1000, 0x1000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+				t.Fatal(err)
+			}
+			m.MustLoadProgram(buildCallKernel(0x1000, stackTop))
+			m.PC = 0x1000
+			var res RunResult
+			if eng == "interp" {
+				res = NewInterp(m).Run(0)
+			} else {
+				res = NewCore(m).Run(1_000_000)
+			}
+			if res.Reason != StopHalt {
+				t.Fatalf("stop reason = %v", res.Reason)
+			}
+			if m.Regs[isa.R1] != 20 {
+				t.Fatalf("R1 = %d, want 20", m.Regs[isa.R1])
+			}
+		})
+	}
+}
+
+// TestEnginesAgree runs a mixed kernel on both engines and checks identical
+// architectural results.
+func TestEnginesAgree(t *testing.T) {
+	build := func() (*Machine, *isa.Program) {
+		m := NewMachine()
+		const buf = 0x300000
+		if err := m.AS.MapFixed(buf, 0x10000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+		b := isa.NewBuilder(0x1000)
+		b.MovImm(isa.R0, 0)
+		b.MovImm(isa.R1, 1)
+		b.MovImm(isa.R4, int64(buf))
+		b.Label("loop")
+		b.MulImm(isa.R1, isa.R1, 13)
+		b.AddImm(isa.R1, isa.R1, 7)
+		b.AndImm(isa.R2, isa.R1, 0xfff)
+		b.Store(4, isa.R4, isa.R2, 1, 0, isa.R1)
+		b.Load(4, isa.R3, isa.R4, isa.R2, 1, 0)
+		b.Xor(isa.R5, isa.R5, isa.R3)
+		b.AddImm(isa.R0, isa.R0, 1)
+		b.BrImm(isa.CondLT, isa.R0, 500, "loop")
+		b.Halt()
+		p := b.Build()
+		m.MustLoadProgram(p)
+		m.PC = 0x1000
+		return m, p
+	}
+
+	m1, _ := build()
+	NewInterp(m1).Run(0)
+	m2, _ := build()
+	NewCore(m2).Run(10_000_000)
+
+	if m1.Regs != m2.Regs {
+		t.Fatalf("architectural registers diverge:\ninterp: %v\ncore:   %v", m1.Regs, m2.Regs)
+	}
+}
+
+// TestHFIImplicitDataRegion checks that ordinary loads trap outside the
+// configured data region and pass inside it, on both engines.
+func TestHFIImplicitDataRegion(t *testing.T) {
+	for _, eng := range []string{"interp", "core"} {
+		t.Run(eng, func(t *testing.T) {
+			m := NewMachine()
+			const heap = 0x400000 // 4 MiB aligned region of 64 KiB
+			if err := m.AS.MapFixed(heap, 0x20000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+				t.Fatal(err)
+			}
+
+			b := isa.NewBuilder(0x1000)
+			b.Load(8, isa.R1, isa.R2, isa.RegNone, 1, 0) // R2 holds address
+			b.Halt()
+			p := b.Build()
+			m.MustLoadProgram(p)
+
+			// Configure HFI: code region over the program, data region over
+			// [heap, heap+64K).
+			if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+				BasePrefix: 0x1000 &^ 0xfff, LSBMask: 0xfff, Exec: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{
+				BasePrefix: heap, LSBMask: 0xffff, Read: true, Write: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			if _, f := m.HFI.Enter(hfi.Config{Hybrid: true}); f != nil {
+				t.Fatal(f)
+			}
+
+			run := func() RunResult {
+				if eng == "interp" {
+					return NewInterp(m).Run(0)
+				}
+				return NewCore(m).Run(100_000)
+			}
+
+			// In-bounds access succeeds.
+			m.PC = 0x1000
+			m.Regs[isa.R2] = heap + 0x100
+			if res := run(); res.Reason != StopHalt {
+				t.Fatalf("in-bounds: stop = %v, want halt", res.Reason)
+			}
+
+			// Out-of-bounds access faults with the data-bounds reason.
+			// (HFI is still enabled: halting does not exit the sandbox.)
+			m.PC = 0x1000
+			m.Regs[isa.R2] = heap + 0x10000 // just past the region
+			res := run()
+			if res.Reason != StopFault || res.Fault == nil {
+				t.Fatalf("out-of-bounds: stop = %v fault=%v, want HFI fault", res.Reason, res.Fault)
+			}
+			if res.Fault.Reason != hfi.FaultDataBounds {
+				t.Fatalf("fault reason = %v, want data-bounds", res.Fault.Reason)
+			}
+			if reason, _ := m.HFI.ReadMSR(); reason != hfi.FaultDataBounds {
+				t.Fatalf("MSR = %v, want data-bounds", reason)
+			}
+			if m.HFI.Enabled {
+				t.Fatal("HFI still enabled after fault")
+			}
+		})
+	}
+}
+
+// TestHFIExplicitRegion checks hmov semantics on both engines.
+func TestHFIExplicitRegion(t *testing.T) {
+	for _, eng := range []string{"interp", "core"} {
+		t.Run(eng, func(t *testing.T) {
+			m := NewMachine()
+			const heap = 0x10000 // 64 KiB aligned
+			if err := m.AS.MapFixed(heap, 0x20000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+				t.Fatal(err)
+			}
+			m.Mem().Write(heap+0x80, 8, 0xdeadbeef)
+
+			b := isa.NewBuilder(0x1000)
+			b.HLoad(0, 8, isa.R1, isa.R2, 1, 0) // hmov0: R1 <- region0[R2]
+			b.Halt()
+			m.MustLoadProgram(b.Build())
+
+			if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+				BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			if f := m.HFI.SetExplicitRegion(0, hfi.ExplicitRegion{
+				Base: heap, Bound: 0x10000, Read: true, Write: true, Large: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			if _, f := m.HFI.Enter(hfi.Config{Hybrid: true}); f != nil {
+				t.Fatal(f)
+			}
+
+			run := func() RunResult {
+				if eng == "interp" {
+					return NewInterp(m).Run(0)
+				}
+				return NewCore(m).Run(100_000)
+			}
+
+			m.PC = 0x1000
+			m.Regs[isa.R2] = 0x80
+			if res := run(); res.Reason != StopHalt {
+				t.Fatalf("stop = %v, want halt", res.Reason)
+			}
+			if m.Regs[isa.R1] != 0xdeadbeef {
+				t.Fatalf("hmov load = %#x, want 0xdeadbeef", m.Regs[isa.R1])
+			}
+
+			// Out of bounds offset traps. (Still in the sandbox.)
+			m.PC = 0x1000
+			m.Regs[isa.R2] = 0x10000
+			res := run()
+			if res.Reason != StopFault || res.Fault == nil || res.Fault.Reason != hfi.FaultExplicitBounds {
+				t.Fatalf("oob hmov: res=%+v", res)
+			}
+
+			// Negative index traps.
+			if _, f := m.HFI.Reenter(); f != nil {
+				t.Fatal(f)
+			}
+			m.PC = 0x1000
+			m.Regs[isa.R2] = ^uint64(0) // -1
+			res = run()
+			if res.Reason != StopFault || res.Fault == nil || res.Fault.Reason != hfi.FaultExplicitNegative {
+				t.Fatalf("negative hmov: res=%+v", res)
+			}
+		})
+	}
+}
+
+// TestGuardPageFault checks that an access to a PROT_NONE guard region
+// raises a page fault (the MMU path Wasm guard pages rely on).
+func TestGuardPageFault(t *testing.T) {
+	m := NewMachine()
+	const heap = 0x500000
+	if err := m.AS.MapFixed(heap, 0x1000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AS.MapFixed(heap+0x1000, 0x1000, kernel.ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	b := isa.NewBuilder(0x1000)
+	b.Load(8, isa.R1, isa.R2, isa.RegNone, 1, 0)
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	m.PC = 0x1000
+	m.Regs[isa.R2] = heap + 0x1000
+	res := NewInterp(m).Run(0)
+	if res.Reason != StopFault || !res.PageFault {
+		t.Fatalf("res=%+v, want page fault", res)
+	}
+}
+
+// TestSyscallInterposition checks native-sandbox syscall redirection to the
+// exit handler with the MSR recording the syscall number.
+func TestSyscallInterposition(t *testing.T) {
+	for _, eng := range []string{"interp", "core"} {
+		t.Run(eng, func(t *testing.T) {
+			m := NewMachine()
+			b := isa.NewBuilder(0x1000)
+			b.MovImm(isa.R0, kernel.SysGetTime)
+			b.Syscall()
+			b.Halt() // skipped: syscall redirects to the handler
+			b.Label("handler")
+			b.MovImm(isa.R7, 42)
+			b.Halt()
+			p := b.Build()
+			m.MustLoadProgram(p)
+
+			if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+				BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			if _, f := m.HFI.Enter(hfi.Config{ExitHandler: p.Entry("handler")}); f != nil {
+				t.Fatal(f)
+			}
+			m.PC = 0x1000
+			var res RunResult
+			if eng == "interp" {
+				res = NewInterp(m).Run(0)
+			} else {
+				res = NewCore(m).Run(100_000)
+			}
+			if res.Reason != StopHalt {
+				t.Fatalf("stop = %v, want halt", res.Reason)
+			}
+			if m.Regs[isa.R7] != 42 {
+				t.Fatal("exit handler did not run")
+			}
+			reason, info := m.HFI.ReadMSR()
+			if reason != hfi.ExitSyscall || info != kernel.SysGetTime {
+				t.Fatalf("MSR = %v/%d, want syscall/%d", reason, info, kernel.SysGetTime)
+			}
+			if m.HFI.Enabled {
+				t.Fatal("HFI should be disabled after syscall exit")
+			}
+		})
+	}
+}

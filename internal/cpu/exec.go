@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// Architectural semantics shared by both engines. Everything here is
+// timing-free; the engines layer costs on top.
+
+// aluOp evaluates a two-operand ALU operation. ok is false for division by
+// zero, which raises a hardware fault.
+func aluOp(op isa.Op, a, b uint64) (v uint64, ok bool) {
+	switch op {
+	case isa.OpAdd:
+		return a + b, true
+	case isa.OpSub:
+		return a - b, true
+	case isa.OpAnd:
+		return a & b, true
+	case isa.OpOr:
+		return a | b, true
+	case isa.OpXor:
+		return a ^ b, true
+	case isa.OpShl:
+		return a << (b & 63), true
+	case isa.OpShr:
+		return a >> (b & 63), true
+	case isa.OpSar:
+		return uint64(int64(a) >> (b & 63)), true
+	case isa.OpMul:
+		return a * b, true
+	case isa.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case isa.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case isa.OpNot:
+		return ^a, true
+	case isa.OpNeg:
+		return -a, true
+	}
+	panic("cpu: not an ALU op: " + op.String())
+}
+
+// regVal reads a register operand, treating RegNone as zero.
+func (m *Machine) regVal(r isa.Reg) uint64 {
+	if r == isa.RegNone {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// plainEA computes the effective address of a non-hmov memory operation.
+func (m *Machine) plainEA(in *isa.Instr) uint64 {
+	return m.regVal(in.Rs1) + m.regVal(in.Rs2)*uint64(in.Scale) + uint64(in.Disp)
+}
+
+// signExtend sign-extends the low size bytes of v.
+func signExtend(v uint64, size uint8) uint64 {
+	shift := 64 - 8*uint(size)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// loadValue reads memory architecturally, applying sign extension.
+func (m *Machine) loadValue(addr uint64, in *isa.Instr) uint64 {
+	v := m.Mem().Read(addr, in.Size)
+	if in.SignExt {
+		v = signExtend(v, in.Size)
+	}
+	return v
+}
+
+// checkMMU verifies page permissions. HFI regions and page tables are
+// orthogonal mechanisms (§1: HFI "does not rely on the MMU"); both are
+// enforced. Returns false on a page fault.
+func (m *Machine) checkMMU(addr uint64, size uint8, write bool) bool {
+	want := kernel.ProtRead
+	if write {
+		want = kernel.ProtWrite
+	}
+	return m.AS.CheckAccess(addr, size, want)
+}
+
+// hfiMicro executes the microcoded HFI configuration instructions
+// (hfi_set_region and friends). It returns the number of 8-byte memory
+// moves performed (for cost accounting) and a fault, if any. The caller
+// has already verified PrivilegedAllowed where required.
+func (m *Machine) hfiMicro(in *isa.Instr) (memMoves int, fault *hfi.Fault) {
+	switch in.Op {
+	case isa.OpHfiSetRegion:
+		ptr := m.regVal(in.Rs2)
+		var buf [hfi.RegionTSize]byte
+		m.Mem().ReadBytes(ptr, buf[:])
+		return hfi.RegionTSize / 8, m.HFI.SetRegionByNumber(int(in.Imm), buf[:])
+	case isa.OpHfiGetRegion:
+		buf, ok := m.HFI.GetRegionByNumber(int(in.Imm))
+		if !ok {
+			return 0, m.HFI.PrivFault(0)
+		}
+		ptr := m.regVal(in.Rs2)
+		m.Mem().WriteBytes(ptr, buf[:])
+		return hfi.RegionTSize / 8, nil
+	case isa.OpHfiClearRegion:
+		return 0, m.HFI.ClearRegion(int(in.Imm))
+	case isa.OpHfiClearAll:
+		return 0, m.HFI.ClearAllRegions()
+	}
+	panic("cpu: not an HFI microcode op: " + in.Op.String())
+}
+
+// hfiEnter reads the sandbox_t at ptr, loads the referenced region table,
+// and enters the sandbox. It returns the enter result for cost accounting.
+func (m *Machine) hfiEnter(ptr uint64) (hfi.EnterResult, *hfi.Fault) {
+	var sb [hfi.SandboxTSize]byte
+	m.Mem().ReadBytes(ptr, sb[:])
+	cfg := hfi.DecodeSandboxT(sb[:])
+	// Microcode loads the region descriptor table before flipping the
+	// enable bit, so the loads themselves are not subject to the new
+	// regions. Region-register locking still applies (native sandboxes
+	// cannot re-enter), which State.Enter checks first.
+	if m.HFI.Enabled && !m.HFI.Bank.Cfg.Hybrid {
+		return hfi.EnterResult{}, m.HFI.PrivFault(ptr)
+	}
+	if cfg.RegionsPtr != 0 {
+		entry := make([]byte, hfi.RegionEntrySize)
+		for i := uint64(0); i < cfg.RegionCount; i++ {
+			m.Mem().ReadBytes(cfg.RegionsPtr+i*hfi.RegionEntrySize, entry)
+			if f := m.HFI.ApplyRegionEntry(entry); f != nil {
+				return hfi.EnterResult{}, f
+			}
+		}
+	}
+	return m.HFI.Enter(cfg)
+}
+
+// doSyscall applies HFI's syscall interposition and, if the call is
+// allowed through, dispatches to the kernel. It returns the next PC
+// (normally pc+4; the exit handler for redirected calls), whether the
+// syscall was redirected, and a fault when a native sandbox makes a
+// syscall with no exit handler installed.
+func (m *Machine) doSyscall(pc uint64) (next uint64, redirected bool, fault *hfi.Fault) {
+	if !m.HFI.SyscallAllowed() {
+		// Native sandbox: decode-stage redirect to the exit handler
+		// (§4.4). One extra cycle is charged by the engines.
+		res := m.HFI.SyscallExit(m.Regs[isa.R0])
+		if res.Handler != 0 {
+			m.LastExitPC = pc + isa.InstrBytes
+			return res.Handler, true, nil
+		}
+		// No handler installed: the sandbox has nowhere to go.
+		return 0, true, m.HFI.PrivFault(pc)
+	}
+	m.Kern.Syscall(m.AS, &m.Regs)
+	return pc + isa.InstrBytes, false, nil
+}

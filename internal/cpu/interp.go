@@ -1,0 +1,401 @@
+package cpu
+
+import (
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// CostModel is the per-instruction cycle cost model used by the functional
+// interpreter — the analogue of the paper's compiler-based emulation, which
+// approximates HFI costs with available instructions (appendix A.2). Costs
+// are in millicycles (1/1000 cycle) so that superscalar throughputs below
+// one cycle per instruction are expressible. The defaults are calibrated
+// against the timing core on the Sightglass suite (Fig 2 reproduces the
+// calibration experiment).
+type CostModel struct {
+	ALU    uint64 // simple integer op
+	Mul    uint64
+	Div    uint64
+	Branch uint64 // average cost including prediction
+	Load   uint64 // base load cost (L1-hit throughput)
+	Store  uint64
+	// MissScale is the percentage of additional memory latency (beyond
+	// the L1 hit) charged to the run: the out-of-order core overlaps
+	// most of a miss, the interpreter approximates that overlap.
+	MissScale uint64
+
+	Serialize uint64 // full pipeline drain (fence, serialized enter/exit)
+	HfiBase   uint64 // non-memory part of an HFI config instruction
+	HfiMove   uint64 // per 8-byte metadata move memory<->HFI registers
+	Syscall   uint64 // core-side cost of a syscall instruction
+	Redirect  uint64 // decode-stage syscall redirect (1 cycle, §4.4)
+}
+
+// DefaultCostModel returns the calibrated emulation cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ALU:       400,
+		Mul:       1_100,
+		Div:       12_000,
+		Branch:    900,
+		Load:      1_100,
+		Store:     800,
+		MissScale: 35,
+		Serialize: uint64(hfi.SerializeCycles) * 1000,
+		HfiBase:   2_000,
+		HfiMove:   1_500,
+		Syscall:   60_000,
+		Redirect:  1_000,
+	}
+}
+
+// Interp is the functional execution engine. It shares the Machine's
+// architectural state and accumulates cost in millicycles.
+type Interp struct {
+	M    *Machine
+	Cost CostModel
+
+	// UseCaches enables the cache hierarchy for load/store cost; when
+	// false loads cost their base (pure-compute calibration runs).
+	UseCaches bool
+
+	milliCycles uint64
+}
+
+// NewInterp returns an interpreter over m with the default cost model and
+// caches enabled.
+func NewInterp(m *Machine) *Interp {
+	return &Interp{M: m, Cost: DefaultCostModel(), UseCaches: true}
+}
+
+func (ip *Interp) charge(mc uint64) { ip.milliCycles += mc }
+
+// chargeMem charges a memory access: base cost plus the scaled miss
+// penalty from the hierarchy.
+func (ip *Interp) chargeMem(addr uint64, store bool) {
+	base := ip.Cost.Load
+	if store {
+		base = ip.Cost.Store
+	}
+	if !ip.UseCaches {
+		ip.charge(base)
+		return
+	}
+	var lat int
+	if store {
+		lat = ip.M.Hier.StoreLatency(addr)
+	} else {
+		lat = ip.M.Hier.LoadLatency(addr)
+	}
+	extra := 0
+	if l1 := ip.M.Hier.Lat.L1; lat > l1 {
+		extra = (lat - l1) * int(ip.Cost.MissScale) * 10 // % of a cycle -> millicycles
+	}
+	ip.charge(base + uint64(extra))
+}
+
+// Cycles returns whole cycles consumed since construction or the last
+// ResetCost.
+func (ip *Interp) Cycles() uint64 { return ip.milliCycles / 1000 }
+
+// ResetCost zeroes the accumulated cost.
+func (ip *Interp) ResetCost() { ip.milliCycles = 0 }
+
+// syncClock folds accumulated cycle time into the kernel clock, so kernel
+// cost (ns) and core cost (cycles) share one timeline.
+func (ip *Interp) syncClock() {
+	c := ip.Cycles()
+	ip.milliCycles -= c * 1000
+	ip.M.Cycles += c
+	ip.M.Kern.Clock.AdvanceCycles(c, kernel.CoreGHz)
+}
+
+// Run executes from the machine's current PC until a stop condition or
+// until maxInstrs instructions retire (0 = no limit).
+func (ip *Interp) Run(maxInstrs uint64) RunResult {
+	m := ip.M
+	for n := uint64(0); maxInstrs == 0 || n < maxInstrs; n++ {
+		if m.PC == HostReturn {
+			ip.syncClock()
+			return RunResult{Reason: StopHostReturn}
+		}
+		if f := m.HFI.CheckExec(m.PC); f != nil {
+			if res, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+				return res
+			}
+			continue
+		}
+		in := m.FetchInstr(m.PC)
+		if in == nil {
+			if res, ok := ip.fault(m.PC, m.PC, nil, true); !ok {
+				return res
+			}
+			continue
+		}
+		m.Instret++
+		next := m.PC + isa.InstrBytes
+
+		switch in.Op {
+		case isa.OpNop:
+			ip.charge(ip.Cost.ALU)
+		case isa.OpHalt:
+			ip.syncClock()
+			return RunResult{Reason: StopHalt}
+
+		case isa.OpMovImm:
+			m.Regs[in.Rd] = uint64(in.Imm)
+			ip.charge(ip.Cost.ALU)
+		case isa.OpMov:
+			m.Regs[in.Rd] = m.Regs[in.Rs1]
+			ip.charge(ip.Cost.ALU)
+
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+			isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv,
+			isa.OpRem, isa.OpNot, isa.OpNeg:
+			b := m.regVal(in.Rs2)
+			if in.UseImm {
+				b = uint64(in.Imm)
+			}
+			v, ok := aluOp(in.Op, m.Regs[in.Rs1], b)
+			if in.W32 {
+				v = uint64(uint32(v))
+			}
+			if !ok {
+				if res, okc := ip.fault(m.PC, 0, nil, false); !okc {
+					return res
+				}
+				continue
+			}
+			m.Regs[in.Rd] = v
+			switch in.Op {
+			case isa.OpMul:
+				ip.charge(ip.Cost.Mul)
+			case isa.OpDiv, isa.OpRem:
+				ip.charge(ip.Cost.Div)
+			default:
+				ip.charge(ip.Cost.ALU)
+			}
+
+		case isa.OpLoad, isa.OpStore:
+			addr := m.plainEA(in)
+			write := in.Op == isa.OpStore
+			if f := m.HFI.CheckData(addr, in.Size, write); f != nil {
+				if res, ok := ip.fault(m.PC, addr, f, false); !ok {
+					return res
+				}
+				continue
+			}
+			if !m.checkMMU(addr, in.Size, write) {
+				if res, ok := ip.fault(m.PC, addr, nil, true); !ok {
+					return res
+				}
+				continue
+			}
+			if write {
+				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
+			} else {
+				m.Regs[in.Rd] = m.loadValue(addr, in)
+			}
+			ip.chargeMem(addr, write)
+
+		case isa.OpHLoad, isa.OpHStore:
+			write := in.Op == isa.OpHStore
+			addr, f := m.HFI.ExplicitEA(int(in.HReg), m.regVal(in.Rs2), in.Scale, in.Disp, in.Size, write)
+			if f != nil {
+				if res, ok := ip.fault(m.PC, addr, f, false); !ok {
+					return res
+				}
+				continue
+			}
+			if !m.checkMMU(addr, in.Size, write) {
+				if res, ok := ip.fault(m.PC, addr, nil, true); !ok {
+					return res
+				}
+				continue
+			}
+			if write {
+				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
+			} else {
+				m.Regs[in.Rd] = m.loadValue(addr, in)
+			}
+			ip.chargeMem(addr, write)
+
+		case isa.OpBr:
+			b := m.regVal(in.Rs2)
+			if in.UseImm {
+				b = uint64(in.Imm)
+			}
+			if in.Cond.Eval(m.Regs[in.Rs1], b) {
+				next = in.Target
+			}
+			ip.charge(ip.Cost.Branch)
+		case isa.OpJmp:
+			next = in.Target
+			ip.charge(ip.Cost.Branch)
+		case isa.OpJmpInd:
+			next = m.Regs[in.Rs1]
+			ip.charge(ip.Cost.Branch)
+		case isa.OpCall, isa.OpCallInd:
+			sp := m.Regs[isa.SP] - 8
+			if !m.checkMMU(sp, 8, true) {
+				if res, ok := ip.fault(m.PC, sp, nil, true); !ok {
+					return res
+				}
+				continue
+			}
+			m.Mem().Write(sp, 8, next)
+			m.Regs[isa.SP] = sp
+			if in.Op == isa.OpCall {
+				next = in.Target
+			} else {
+				next = m.Regs[in.Rs1]
+			}
+			ip.charge(ip.Cost.Branch + ip.Cost.Store)
+		case isa.OpRet:
+			sp := m.Regs[isa.SP]
+			if !m.checkMMU(sp, 8, false) {
+				if res, ok := ip.fault(m.PC, sp, nil, true); !ok {
+					return res
+				}
+				continue
+			}
+			next = m.Mem().Read(sp, 8)
+			m.Regs[isa.SP] = sp + 8
+			ip.charge(ip.Cost.Branch + ip.Cost.Load)
+
+		case isa.OpSyscall:
+			ip.charge(ip.Cost.Syscall)
+			ip.syncClock()
+			serialized := m.HFI.Enabled && m.HFI.Bank.Cfg.Serialized && !m.HFI.SyscallAllowed()
+			nxt, redirected, f := m.doSyscall(m.PC)
+			if f != nil {
+				if res, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+					return res
+				}
+				continue
+			}
+			if redirected {
+				// The decode-stage redirect (§4.4) plus, for serialized
+				// sandboxes, the exit drain.
+				ip.charge(ip.Cost.Redirect)
+				if serialized {
+					ip.charge(ip.Cost.Serialize)
+				}
+			}
+			next = nxt
+			if m.Kern.Exited {
+				m.PC = next
+				ip.syncClock()
+				return RunResult{Reason: StopExit}
+			}
+
+		case isa.OpFence:
+			ip.charge(ip.Cost.Serialize)
+		case isa.OpClflush:
+			m.Hier.Flush(m.regVal(in.Rs1) + uint64(in.Disp))
+			ip.charge(ip.Cost.ALU)
+		case isa.OpRdtsc:
+			ip.syncClock()
+			m.Regs[in.Rd] = m.Cycles
+			ip.charge(ip.Cost.ALU)
+
+		case isa.OpHfiEnter:
+			res, f := m.hfiEnter(m.Regs[in.Rs1])
+			if f != nil {
+				if r, ok := ip.fault(m.PC, m.Regs[in.Rs1], f, false); !ok {
+					return r
+				}
+				continue
+			}
+			ip.charge(ip.Cost.HfiBase + uint64(res.RegionLoads)*uint64(hfi.RegionEntrySize/8)*ip.Cost.HfiMove)
+			if res.Serialize {
+				ip.charge(ip.Cost.Serialize)
+			}
+		case isa.OpHfiExit:
+			res := m.HFI.Exit()
+			ip.charge(ip.Cost.HfiBase)
+			if res.Serialize {
+				ip.charge(ip.Cost.Serialize)
+			}
+			if res.Handler != 0 {
+				m.LastExitPC = m.PC + isa.InstrBytes
+				next = res.Handler
+			}
+		case isa.OpHfiReenter:
+			res, f := m.HFI.Reenter()
+			if f != nil {
+				if r, ok := ip.fault(m.PC, 0, f, false); !ok {
+					return r
+				}
+				continue
+			}
+			ip.charge(ip.Cost.HfiBase)
+			if res.Serialize {
+				ip.charge(ip.Cost.Serialize)
+			}
+
+		case isa.OpHfiSetRegion, isa.OpHfiGetRegion, isa.OpHfiClearRegion, isa.OpHfiClearAll:
+			serialize := m.HFI.RegionUpdateSerializes()
+			moves, f := m.hfiMicro(in)
+			if f != nil {
+				if r, ok := ip.fault(m.PC, 0, f, false); !ok {
+					return r
+				}
+				continue
+			}
+			ip.charge(ip.Cost.HfiBase + uint64(moves)*ip.Cost.HfiMove)
+			if serialize {
+				ip.charge(ip.Cost.Serialize)
+			}
+
+		case isa.OpXsave:
+			if !m.HFI.PrivilegedAllowed() {
+				f := m.HFI.PrivFault(m.PC)
+				if r, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+					return r
+				}
+				continue
+			}
+			img := m.HFI.Xsave()
+			m.Mem().WriteBytes(m.Regs[in.Rs1], img[:])
+			ip.charge(ip.Cost.Serialize)
+		case isa.OpXrstor:
+			if !m.HFI.PrivilegedAllowed() {
+				// A native sandbox restoring HFI registers would break
+				// sandboxing; HFI traps (§3.3.3).
+				f := m.HFI.PrivFault(m.PC)
+				if r, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+					return r
+				}
+				continue
+			}
+			buf := make([]byte, hfi.XsaveSize)
+			m.Mem().ReadBytes(m.Regs[in.Rs1], buf)
+			m.HFI.Xrstor(buf)
+			ip.charge(ip.Cost.Serialize)
+
+		default:
+			if res, ok := ip.fault(m.PC, m.PC, nil, false); !ok {
+				return res
+			}
+			continue
+		}
+		m.PC = next
+	}
+	ip.syncClock()
+	return RunResult{Reason: StopLimit}
+}
+
+// fault routes a fault through the signal path. If the handler supplies a
+// resume PC, execution continues there and fault returns ok=true;
+// otherwise it returns the final RunResult with ok=false.
+func (ip *Interp) fault(pc, addr uint64, f *hfi.Fault, pageFault bool) (RunResult, bool) {
+	ip.syncClock()
+	resume := ip.M.raiseFault(pc, addr, f)
+	if resume == 0 {
+		return RunResult{Reason: StopFault, Fault: f, PageFault: pageFault, FaultAddr: addr, FaultPC: pc}, false
+	}
+	ip.M.PC = resume
+	return RunResult{}, true
+}

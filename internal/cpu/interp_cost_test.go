@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"testing"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// runCycles executes a program fragment on the interpreter and returns the
+// simulated nanoseconds consumed.
+func runNs(t *testing.T, setup func(m *Machine), build func(b *isa.Builder)) uint64 {
+	t.Helper()
+	m := NewMachine()
+	if err := m.AS.MapFixed(0x100000, 0x10000, kernel.ProtRead|kernel.ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(m)
+	}
+	b := isa.NewBuilder(0x1000)
+	build(b)
+	b.Halt()
+	m.MustLoadProgram(b.Build())
+	m.PC = 0x1000
+	clock := m.Kern.Clock
+	t0 := clock.Now()
+	if res := NewInterp(m).Run(0); res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	return clock.Now() - t0
+}
+
+// TestInterpSerializationCost: a serialized enter/exit pair costs the
+// modeled pipeline drains over an unserialized pair.
+func TestInterpSerializationCost(t *testing.T) {
+	cost := func(serialized bool) uint64 {
+		return runNs(t, func(m *Machine) {
+			if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+				BasePrefix: 0x1000, LSBMask: 0xfff, Exec: true,
+			}); f != nil {
+				t.Fatal(f)
+			}
+			cfg := hfi.Config{Hybrid: true, Serialized: serialized}
+			sb := hfi.EncodeSandboxT(cfg)
+			m.Mem().WriteBytes(0x100100, sb[:])
+		}, func(b *isa.Builder) {
+			b.MovImm(isa.R6, 0x100100)
+			b.HfiEnter(isa.R6)
+			b.HfiExit()
+		})
+	}
+	plain := cost(false)
+	ser := cost(true)
+	// Two drains at hfi.SerializeCycles each, at kernel.CoreGHz.
+	wantExtra := kernel.CyclesToNs(2 * hfi.SerializeCycles)
+	if extra := ser - plain; extra < wantExtra*8/10 || extra > wantExtra*12/10 {
+		t.Fatalf("serialization cost %dns, want ~%dns", extra, wantExtra)
+	}
+}
+
+// TestInterpClflushEffect: flushing a line makes the next load pay a miss.
+func TestInterpClflushEffect(t *testing.T) {
+	warm := runNs(t, nil, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x100040)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // cold fill
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // warm
+	})
+	flushed := runNs(t, nil, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x100040)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0)
+		b.Clflush(isa.R1, 0)
+		b.Load(8, isa.R2, isa.R1, isa.RegNone, 1, 0) // must miss again
+	})
+	if flushed <= warm {
+		t.Fatalf("clflush had no cost effect: warm=%dns flushed=%dns", warm, flushed)
+	}
+}
+
+// TestInterpFenceCost: fence charges the serialization penalty.
+func TestInterpFenceCost(t *testing.T) {
+	without := runNs(t, nil, func(b *isa.Builder) { b.Nop() })
+	with := runNs(t, nil, func(b *isa.Builder) { b.Fence() })
+	wantExtra := kernel.CyclesToNs(hfi.SerializeCycles)
+	if extra := with - without; extra < wantExtra*8/10 {
+		t.Fatalf("fence cost %dns, want >= ~%dns", extra, wantExtra)
+	}
+}

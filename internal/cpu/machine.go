@@ -1,0 +1,181 @@
+// Package cpu provides the two execution engines of §5.2:
+//
+//   - Interp, a fast functional interpreter with a per-instruction cycle
+//     cost model — the analogue of the paper's compiler-based emulation,
+//     used for long-running macro benchmarks; and
+//   - Core, a cycle-level out-of-order timing simulator with branch
+//     prediction and speculative execution — the analogue of the paper's
+//     gem5 model, used for microbenchmarks and the Spectre experiments.
+//
+// Both engines share a Machine (architectural state + memory system + OS +
+// HFI) and the architectural semantics in exec.go, so a program produces
+// identical results on either engine; only timing differs. Fig 2
+// cross-validates the two.
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/mem"
+)
+
+// HostReturn is a distinguished guest address: control transferring to it
+// returns to the host (the trusted runtime implemented in Go). It plays the
+// role of the return address a host-side caller would push before invoking
+// guest code, and doubles as an exit-handler target for runtimes that
+// handle sandbox exits in host code.
+const HostReturn uint64 = 0x7fff_ffff_f000
+
+// StopReason says why an engine's Run loop returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt       StopReason = iota // guest executed halt
+	StopHostReturn                   // control reached HostReturn
+	StopExit                         // guest called SysExit
+	StopFault                        // unhandled fault
+	StopLimit                        // cycle/instruction budget exhausted
+)
+
+var stopNames = [...]string{"halt", "host-return", "exit", "fault", "limit"}
+
+func (r StopReason) String() string {
+	if int(r) < len(stopNames) {
+		return stopNames[r]
+	}
+	return fmt.Sprintf("stop(%d)", uint8(r))
+}
+
+// RunResult reports the outcome of a Run call.
+type RunResult struct {
+	Reason StopReason
+	Fault  *hfi.Fault // set when Reason == StopFault and the fault was HFI's
+	// PageFault is set for MMU (guard-page) faults.
+	PageFault bool
+	FaultAddr uint64
+	FaultPC   uint64
+}
+
+// Engine abstracts the two execution engines: both run the machine from
+// its current PC until a stop condition or a budget limit (instructions
+// for Interp, cycles for Core; 0 = unlimited).
+type Engine interface {
+	Run(limit uint64) RunResult
+}
+
+// Machine is the architectural state shared by both engines: registers,
+// memory, loaded code, the HFI state, the OS, and the cache hierarchy.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+
+	AS   *kernel.AddressSpace
+	Kern *kernel.Kernel
+	HFI  *hfi.State
+	Hier *mem.Hierarchy
+
+	// progs holds loaded code images sorted by base address.
+	progs []*isa.Program
+
+	// Cycles is the cumulative cycle count across runs (the engines add
+	// to it). Rdtsc reads it.
+	Cycles uint64
+
+	// Instret counts retired instructions.
+	Instret uint64
+
+	// LastExitPC is the instruction after the most recent redirected
+	// syscall or handled hfi_exit — the address a trusted runtime resumes
+	// the sandbox at after servicing the exit.
+	LastExitPC uint64
+}
+
+// NewMachine wires up a machine with a fresh address space, kernel, HFI
+// state and cache hierarchy sharing one clock.
+func NewMachine() *Machine {
+	clock := kernel.NewClock()
+	as := kernel.NewAddressSpace()
+	k := kernel.New(clock)
+	hier := mem.NewHierarchy()
+	k.TLB = hier.DTB
+	return &Machine{AS: as, Kern: k, HFI: hfi.NewState(), Hier: hier}
+}
+
+// LoadProgram registers a code image and maps its address range
+// read+execute. Programs must not overlap.
+func (m *Machine) LoadProgram(p *isa.Program) error {
+	for _, q := range m.progs {
+		if p.Base < q.End() && q.Base < p.End() {
+			return fmt.Errorf("cpu: program at [%#x,%#x) overlaps [%#x,%#x)", p.Base, p.End(), q.Base, q.End())
+		}
+	}
+	if err := m.AS.MapFixed(p.Base&^uint64(kernel.OSPageSize-1),
+		p.Size()+p.Base%kernel.OSPageSize, kernel.ProtRead|kernel.ProtExec); err != nil {
+		return err
+	}
+	m.progs = append(m.progs, p)
+	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	return nil
+}
+
+// LoadPrelinked registers a code image whose address range the caller has
+// already mapped executable (e.g. inside an aligned code block shared with
+// a springboard).
+func (m *Machine) LoadPrelinked(p *isa.Program) error {
+	for _, q := range m.progs {
+		if p.Base < q.End() && q.Base < p.End() {
+			return fmt.Errorf("cpu: program at [%#x,%#x) overlaps [%#x,%#x)", p.Base, p.End(), q.Base, q.End())
+		}
+	}
+	m.progs = append(m.progs, p)
+	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	return nil
+}
+
+// MustLoadProgram is LoadProgram for setup code where failure is a bug.
+func (m *Machine) MustLoadProgram(p *isa.Program) {
+	if err := m.LoadProgram(p); err != nil {
+		panic(err)
+	}
+}
+
+// FetchInstr returns the instruction at pc, or nil if pc is not inside any
+// loaded program.
+func (m *Machine) FetchInstr(pc uint64) *isa.Instr {
+	// Binary search over sorted programs.
+	i := sort.Search(len(m.progs), func(i int) bool { return m.progs[i].End() > pc })
+	if i == len(m.progs) || pc < m.progs[i].Base {
+		return nil
+	}
+	return m.progs[i].At(pc)
+}
+
+// Mem returns the backing memory (convenience).
+func (m *Machine) Mem() *mem.Memory { return m.AS.Mem }
+
+// Reset clears registers and counters but keeps loaded programs, memory
+// contents, and kernel state.
+func (m *Machine) Reset() {
+	m.Regs = [isa.NumRegs]uint64{}
+	m.PC = 0
+	m.Cycles = 0
+	m.Instret = 0
+}
+
+// raiseFault routes a fault through the OS signal path: HFI has already
+// disabled the sandbox and recorded the MSR (for HFI faults); the kernel
+// delivers a SIGSEGV-like signal to the runtime's registered handler,
+// which may return a resume PC.
+func (m *Machine) raiseFault(pc uint64, addr uint64, f *hfi.Fault) (resume uint64) {
+	info := kernel.SigInfo{Addr: addr, PC: pc}
+	if f != nil {
+		info.HFIReason = f.Reason
+		info.HFIInfo = addr
+	}
+	return m.Kern.DeliverSignal(info)
+}

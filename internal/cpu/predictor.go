@@ -1,0 +1,138 @@
+package cpu
+
+import "hfi/internal/isa"
+
+// Branch prediction units for the timing core: a gshare pattern history
+// table (PHT) of 2-bit counters, a branch target buffer (BTB), and a
+// return stack buffer (RSB). These are the structures whose speculative
+// predictions HFI must check before execution (§4.1: "any code executed as
+// the result of PHT, BTB, and RSB predictions are checked prior to
+// execution") — and, for the attacks, the structures an adversary trains.
+type predictor struct {
+	pht     []uint8 // 2-bit saturating counters
+	phtMask uint64
+	history uint64
+
+	btbTags    []uint64
+	btbTargets []uint64
+	btbMask    uint64
+
+	rsb    []uint64
+	rsbTop int
+
+	lookups     uint64
+	mispredicts uint64
+}
+
+func newPredictor() *predictor {
+	const phtSize = 4096
+	const btbSize = 512
+	p := &predictor{
+		pht:        make([]uint8, phtSize),
+		phtMask:    phtSize - 1,
+		btbTags:    make([]uint64, btbSize),
+		btbTargets: make([]uint64, btbSize),
+		btbMask:    btbSize - 1,
+		rsb:        make([]uint64, 16),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *predictor) phtIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ p.history) & p.phtMask
+}
+
+func (p *predictor) btbIndex(pc uint64) uint64 { return (pc >> 2) & p.btbMask }
+
+// predict returns the predicted next PC for the instruction at pc. For
+// conditional branches it consults the PHT; for indirect jumps/calls the
+// BTB; for returns the RSB. Direct jumps and calls are always correctly
+// predicted (decode provides the target).
+func (p *predictor) predict(pc uint64, in *isa.Instr) (next uint64, taken bool) {
+	fall := pc + isa.InstrBytes
+	p.lookups++
+	switch in.Op {
+	case isa.OpBr:
+		if p.pht[p.phtIndex(pc)] >= 2 {
+			return in.Target, true
+		}
+		return fall, false
+	case isa.OpJmp:
+		return in.Target, true
+	case isa.OpCall:
+		p.rsbPush(fall)
+		return in.Target, true
+	case isa.OpJmpInd:
+		if t := p.btbLookup(pc); t != 0 {
+			return t, true
+		}
+		return fall, false
+	case isa.OpCallInd:
+		p.rsbPush(fall)
+		if t := p.btbLookup(pc); t != 0 {
+			return t, true
+		}
+		return fall, false
+	case isa.OpRet:
+		return p.rsbPop(), true
+	}
+	return fall, false
+}
+
+func (p *predictor) btbLookup(pc uint64) uint64 {
+	i := p.btbIndex(pc)
+	if p.btbTags[i] == pc {
+		return p.btbTargets[i]
+	}
+	return 0
+}
+
+func (p *predictor) rsbPush(addr uint64) {
+	p.rsbTop = (p.rsbTop + 1) % len(p.rsb)
+	p.rsb[p.rsbTop] = addr
+}
+
+func (p *predictor) rsbPop() uint64 {
+	v := p.rsb[p.rsbTop]
+	p.rsbTop = (p.rsbTop - 1 + len(p.rsb)) % len(p.rsb)
+	return v
+}
+
+// update trains the predictor with the resolved outcome of the branch at
+// pc and records whether the earlier prediction was wrong.
+func (p *predictor) update(pc uint64, in *isa.Instr, taken bool, target uint64, mispredicted bool) {
+	if mispredicted {
+		p.mispredicts++
+	}
+	switch in.Op {
+	case isa.OpBr:
+		i := p.phtIndex(pc)
+		if taken {
+			if p.pht[i] < 3 {
+				p.pht[i]++
+			}
+		} else if p.pht[i] > 0 {
+			p.pht[i]--
+		}
+		p.history = (p.history << 1) | b2u(taken)
+	case isa.OpJmpInd, isa.OpCallInd:
+		i := p.btbIndex(pc)
+		p.btbTags[i] = pc
+		p.btbTargets[i] = target
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats returns lookup and misprediction counts.
+func (p *predictor) Stats() (lookups, mispredicts uint64) {
+	return p.lookups, p.mispredicts
+}

@@ -1,0 +1,69 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§6 plus the Fig 2 methodology validation of §5.2).
+// Each harness builds the workload, runs it under the configurations the
+// paper compares, and renders a stats.Table reporting our measurement next
+// to the paper's number. EXPERIMENTS.md records the shape comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind uint8
+
+// The two engines of §5.2.
+const (
+	EngInterp EngineKind = iota // compiler-emulation analogue
+	EngCore                     // gem5 analogue
+)
+
+func (e EngineKind) String() string {
+	if e == EngCore {
+		return "timing-sim"
+	}
+	return "emulation"
+}
+
+// Measurement is one timed run.
+type Measurement struct {
+	Ns       float64 // simulated wall time
+	Cycles   uint64
+	Instret  uint64
+	BinBytes uint64
+	Result   uint64 // guest return value (correctness cross-check)
+}
+
+// MeasureModule instantiates mod under scheme and runs it once on the
+// chosen engine, measuring simulated time.
+func MeasureModule(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Options, kind EngineKind, args ...uint64) (Measurement, error) {
+	rt := sandbox.NewRuntime()
+	inst, err := rt.Instantiate(mod, scheme, opts)
+	if err != nil {
+		return Measurement{}, err
+	}
+	var eng cpu.Engine
+	if kind == EngCore {
+		eng = cpu.NewCore(rt.M)
+	} else {
+		eng = cpu.NewInterp(rt.M)
+	}
+	clock := rt.M.Kern.Clock
+	t0 := clock.Now()
+	res, out := inst.Invoke(eng, 0, args...)
+	if res.Reason != cpu.StopHalt {
+		return Measurement{}, fmt.Errorf("experiments: %s/%v stopped with %v", mod.Name, scheme, res.Reason)
+	}
+	return Measurement{
+		Ns:       float64(clock.Now() - t0),
+		Cycles:   rt.M.Cycles,
+		Instret:  rt.M.Instret,
+		BinBytes: inst.C.BinaryBytes,
+		Result:   out,
+	}, nil
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig3Direction checks the core Fig 3 ordering: bounds checks slower
+// than guard pages, HFI at or below guard pages, on every kernel.
+func TestFig3Direction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rows, tb, err := RunFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	for _, r := range rows {
+		if r.Bounds < 1.05 {
+			t.Errorf("%s: bounds checking only %.1f%% of guard pages (expected clearly slower)", r.Kernel, r.Bounds*100)
+		}
+		if r.HFI > 1.10 {
+			t.Errorf("%s: HFI at %.1f%% of guard pages (expected comparable or faster)", r.Kernel, r.HFI*100)
+		}
+	}
+}
+
+// TestFig2Accuracy checks the emulation engine tracks the timing core
+// within a loose band (the Fig 2 property; the paper reports 98-108%).
+func TestFig2Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-core experiment")
+	}
+	rows, tb, err := RunFig2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	for _, r := range rows {
+		if r.Accuracy < 0.85 || r.Accuracy > 1.18 {
+			t.Errorf("%s: emulation accuracy %.1f%% outside band", r.Kernel, r.Accuracy*100)
+		}
+	}
+}
+
+// TestHeapGrowthRatio checks HFI's grow path is an order of magnitude
+// faster than mprotect (the ~30x §6.1 result) on a reduced step count.
+func TestHeapGrowthRatio(t *testing.T) {
+	tb, err := RunHeapGrowth(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("missing speedup column")
+	}
+}
+
+// TestTeardownOrdering checks stock > HFI-batched and non-HFI batched >
+// HFI-batched (the §6.3.1 ordering).
+func TestTeardownOrdering(t *testing.T) {
+	tb, err := RunTeardown(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestSyscallInterposition checks seccomp costs more than HFI redirects.
+func TestSyscallInterposition(t *testing.T) {
+	tb, err := RunSyscallInterposition(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestScaling checks HFI fits strictly more sandboxes.
+func TestScaling(t *testing.T) {
+	tb, err := RunScaling(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestFig4Direction checks Fig 4's ordering on every cell: bounds checks
+// slower than guard pages, HFI faster.
+func TestFig4Direction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	cells, tb, err := RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	for _, c := range cells {
+		if c.Bounds <= 1.0 {
+			t.Errorf("%s/%s: bounds %.1f%%, want > 100%%", c.Quality, c.Resolution, c.Bounds*100)
+		}
+		if c.HFI >= 1.0 {
+			t.Errorf("%s/%s: HFI %.1f%%, want < 100%%", c.Quality, c.Resolution, c.HFI*100)
+		}
+	}
+}
+
+// TestFontOrdering checks the §6.2 font experiment's ordering.
+func TestFontOrdering(t *testing.T) {
+	tb, err := RunFont()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+}
+
+// TestTable1Shape checks Table 1's claims: HFI raises tail latency only
+// marginally with no binary bloat; Swivel raises it substantially with
+// larger binaries.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	results, tb, err := RunTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	base := map[string]float64{}
+	bins := map[string]uint64{}
+	for _, r := range results {
+		switch r.Config {
+		case "Lucet(Unsafe)":
+			base[r.Tenant] = r.TailLatNs
+			bins[r.Tenant] = r.BinBytes
+		case "Lucet+HFI":
+			if over := r.TailLatNs/base[r.Tenant] - 1; over > 0.05 {
+				t.Errorf("%s: HFI tail overhead %.1f%%, want small", r.Tenant, over*100)
+			}
+			if r.BinBytes != bins[r.Tenant] {
+				t.Errorf("%s: HFI changed the binary size", r.Tenant)
+			}
+		case "Lucet+Swivel":
+			if over := r.TailLatNs/base[r.Tenant] - 1; over < 0.03 {
+				t.Errorf("%s: Swivel tail overhead only %.1f%%", r.Tenant, over*100)
+			}
+			if r.BinBytes <= bins[r.Tenant] {
+				t.Errorf("%s: Swivel did not bloat the binary", r.Tenant)
+			}
+		}
+	}
+}
+
+// TestFig5Shape checks Fig 5: both protections cost throughput, HFI
+// slightly more than MPK, and overhead shrinks as file size grows.
+func TestFig5Shape(t *testing.T) {
+	points, tb, err := RunFig5(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	norm := map[[2]uint64]float64{} // [prot, size] -> normalized
+	for _, p := range points {
+		norm[[2]uint64{uint64(p.Prot), p.FileBytes}] = p.Normalized
+	}
+	for _, size := range Fig5Sizes {
+		h := norm[[2]uint64{2, size}]
+		m := norm[[2]uint64{1, size}]
+		if h >= 1.0 || m >= 1.0 {
+			t.Errorf("size %d: protection came for free (hfi=%.3f mpk=%.3f)", size, h, m)
+		}
+		if h > m {
+			t.Errorf("size %d: HFI (%.3f) cheaper than MPK (%.3f), paper says slightly dearer", size, h, m)
+		}
+	}
+	if norm[[2]uint64{2, 0}] > norm[[2]uint64{2, 128 << 10}] {
+		t.Error("HFI overhead should shrink as transitions amortize over larger files")
+	}
+}
+
+// TestFig7Security checks the §5.3 headline: full leak without HFI, no
+// leak with it.
+func TestFig7Security(t *testing.T) {
+	series, tb, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	for _, s := range series {
+		protected := s.Name == "pht-on" || s.Name == "btb-on"
+		if protected && s.Signal {
+			t.Errorf("%s: cache signal despite HFI", s.Name)
+		}
+		if !protected && !s.Signal {
+			t.Errorf("%s: attack produced no signal", s.Name)
+		}
+	}
+}
+
+// TestAblations checks the design-choice benches run and order correctly.
+func TestAblations(t *testing.T) {
+	tb, err := RunAblationSwitchOnExit(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	tb2, err := RunAblationSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb2)
+}
+
+// TestRegPressure checks the §6.1 reserved-register experiment runs and
+// reserving more registers never helps.
+func TestRegPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tb, err := RunRegPressure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+}

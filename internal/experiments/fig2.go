@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// Fig2Row is one Sightglass kernel's emulation-accuracy result.
+type Fig2Row struct {
+	Kernel string
+	// SimRatio is HFI/guard-pages runtime on the timing simulator;
+	// EmuRatio the same on the emulation engine. Accuracy is
+	// EmuRatio/SimRatio — the paper reports 98%-108% with geomean
+	// difference 1.62%.
+	SimRatio float64
+	EmuRatio float64
+	Accuracy float64
+}
+
+// RunFig2 reproduces Fig 2: the cross-validation of the fast emulation
+// engine against the cycle-level simulator on the Sightglass suite. scale
+// shrinks kernels for quick runs (1 = full size used in reports).
+func RunFig2(scale int) ([]Fig2Row, *stats.Table, error) {
+	var rows []Fig2Row
+	accs := make([]float64, 0, 16)
+	tb := &stats.Table{
+		Title:   "Fig 2: accuracy of emulated HFI (Sightglass suite)",
+		Columns: []string{"kernel", "sim HFI/guard", "emu HFI/guard", "emu/sim accuracy"},
+	}
+	for _, w := range workloads.Sightglass() {
+		mod := func() *wasm.Module { return w.Build(scale) }
+
+		simG, err := MeasureModule(mod(), sfi.GuardPages, wasm.Options{}, EngCore)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig2 %s: %w", w.Name, err)
+		}
+		simH, err := MeasureModule(mod(), sfi.HFI, wasm.Options{}, EngCore)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig2 %s: %w", w.Name, err)
+		}
+		emuG, err := MeasureModule(mod(), sfi.GuardPages, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig2 %s: %w", w.Name, err)
+		}
+		emuH, err := MeasureModule(mod(), sfi.HFI, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig2 %s: %w", w.Name, err)
+		}
+		if simH.Result != simG.Result || emuH.Result != simG.Result || emuG.Result != simG.Result {
+			return nil, nil, fmt.Errorf("fig2 %s: results diverge across engines/schemes", w.Name)
+		}
+		r := Fig2Row{
+			Kernel:   w.Name,
+			SimRatio: simH.Ns / simG.Ns,
+			EmuRatio: emuH.Ns / emuG.Ns,
+		}
+		r.Accuracy = r.EmuRatio / r.SimRatio
+		rows = append(rows, r)
+		accs = append(accs, r.Accuracy)
+		tb.AddRow(w.Name,
+			fmt.Sprintf("%.3f", r.SimRatio),
+			fmt.Sprintf("%.3f", r.EmuRatio),
+			fmt.Sprintf("%.1f%%", r.Accuracy*100))
+	}
+	geo := stats.GeoMean(accs)
+	dev := geo - 1
+	if dev < 0 {
+		dev = -dev
+	}
+	tb.AddNote("accuracy range %.1f%%-%.1f%%, geomean difference %.2f%% (paper: 98%%-108%%, 1.62%%)",
+		stats.Min(accs)*100, stats.Max(accs)*100, dev*100)
+	return rows, tb, nil
+}

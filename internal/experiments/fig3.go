@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// Fig3Row is one SPEC-like kernel's normalized runtime.
+type Fig3Row struct {
+	Kernel string
+	// Normalized runtime against guard pages (1.0 = guard pages).
+	Bounds float64
+	HFI    float64
+}
+
+// RunFig3 reproduces Fig 3: SPEC INT 2006 under bounds-checking and HFI,
+// normalized against guard pages, on the emulation engine (these are the
+// long-running applications of §6.1). The paper finds bounds checking
+// +18.7%..+48.3% (geomean +34.7%) and HFI 92.5%..107.5% of guard pages
+// (geomean -3.25%).
+func RunFig3(scale int) ([]Fig3Row, *stats.Table, error) {
+	var rows []Fig3Row
+	var bs, hs []float64
+	tb := &stats.Table{
+		Title:   "Fig 3: SPEC INT 2006 normalized runtime (guard pages = 100%)",
+		Columns: []string{"benchmark", "guard pages", "bounds checks", "HFI"},
+	}
+	for _, w := range workloads.SpecInt() {
+		g, err := MeasureModule(w.Build(scale), sfi.GuardPages, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig3 %s: %w", w.Name, err)
+		}
+		b, err := MeasureModule(w.Build(scale), sfi.BoundsCheck, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig3 %s: %w", w.Name, err)
+		}
+		h, err := MeasureModule(w.Build(scale), sfi.HFI, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig3 %s: %w", w.Name, err)
+		}
+		if b.Result != g.Result || h.Result != g.Result {
+			return nil, nil, fmt.Errorf("fig3 %s: results diverge across schemes", w.Name)
+		}
+		r := Fig3Row{Kernel: w.Name, Bounds: b.Ns / g.Ns, HFI: h.Ns / g.Ns}
+		rows = append(rows, r)
+		bs = append(bs, r.Bounds)
+		hs = append(hs, r.HFI)
+		tb.AddRow(w.Name, "100.0%",
+			fmt.Sprintf("%.1f%%", r.Bounds*100),
+			fmt.Sprintf("%.1f%%", r.HFI*100))
+	}
+	tb.AddRow("geomean", "100.0%",
+		fmt.Sprintf("%.1f%%", stats.GeoMean(bs)*100),
+		fmt.Sprintf("%.1f%%", stats.GeoMean(hs)*100))
+	tb.AddNote("paper: bounds geomean 134.7%% (118.7-148.3%%); HFI geomean 96.85%% (92.5-107.5%%), median 95.9%%")
+	tb.AddNote("our medians: bounds %.1f%%, HFI %.1f%%", stats.Median(bs)*100, stats.Median(hs)*100)
+	return rows, tb, nil
+}
+
+// RunRegPressure reproduces the §6.1 register-pressure estimate: the same
+// kernels compiled with 1 and 2 artificially reserved registers, measured
+// against the unreserved build. The paper measures +2.25% (one register)
+// and +2.40% (two) on Wasmtime's Spidermonkey benchmark.
+func RunRegPressure(scale int) (*stats.Table, error) {
+	tb := &stats.Table{
+		Title:   "§6.1 register pressure: overhead of reserving registers",
+		Columns: []string{"kernel", "+1 reserved", "+2 reserved"},
+	}
+	kernels := []string{"400.perlbench", "456.hmmer", "464.h264ref"}
+	var o1, o2 []float64
+	for _, w := range workloads.SpecInt() {
+		keep := false
+		for _, k := range kernels {
+			if w.Name == k {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		base, err := MeasureModule(w.Build(scale), sfi.HFI, wasm.Options{}, EngInterp)
+		if err != nil {
+			return nil, err
+		}
+		r1, err := MeasureModule(w.Build(scale), sfi.HFI, wasm.Options{ExtraReservedRegs: 1}, EngInterp)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := MeasureModule(w.Build(scale), sfi.HFI, wasm.Options{ExtraReservedRegs: 2}, EngInterp)
+		if err != nil {
+			return nil, err
+		}
+		v1, v2 := r1.Ns/base.Ns, r2.Ns/base.Ns
+		o1 = append(o1, v1)
+		o2 = append(o2, v2)
+		tb.AddRow(w.Name, stats.Pct(v1), stats.Pct(v2))
+	}
+	tb.AddRow("geomean", stats.Pct(stats.GeoMean(o1)), stats.Pct(stats.GeoMean(o2)))
+	tb.AddNote("paper: +2.25%% for one reserved register, +2.40%% for two")
+	return tb, nil
+}

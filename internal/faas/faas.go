@@ -1,0 +1,224 @@
+// Package faas simulates the Wasm function-as-a-service platform of §6.3
+// and Table 1: a single-core server dispatching requests to per-tenant
+// sandboxes, measuring request latency (average and tail), throughput, and
+// the sandbox lifecycle costs (setup, teardown, batching).
+package faas
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// Config selects the platform's isolation configuration — one Table 1 row.
+type Config struct {
+	Name   string
+	Scheme sfi.Scheme
+	// Swivel applies the software Spectre-hardening pass.
+	Swivel bool
+	// HFINative wraps instances in a serialized HFI native sandbox.
+	HFINative bool
+}
+
+// StockLucet is the unprotected baseline (Table 1's Lucet(Unsafe)).
+func StockLucet() Config { return Config{Name: "Lucet(Unsafe)", Scheme: sfi.GuardPages} }
+
+// LucetHFI is guard-page Wasm wrapped in a serialized HFI native sandbox.
+func LucetHFI() Config {
+	return Config{Name: "Lucet+HFI", Scheme: sfi.GuardPages, HFINative: true}
+}
+
+// LucetSwivel is guard-page Wasm hardened with the Swivel-like pass.
+func LucetSwivel() Config {
+	return Config{Name: "Lucet+Swivel", Scheme: sfi.GuardPages, Swivel: true}
+}
+
+// Result summarizes one tenant's run under one configuration.
+type Result struct {
+	Tenant     string
+	Config     string
+	Requests   int
+	AvgLatNs   float64
+	TailLatNs  float64 // p99
+	Throughput float64 // requests per simulated second
+	BinBytes   uint64
+}
+
+// DispatchOverheadNs models the per-request platform work outside the
+// sandbox (network receive, routing, response send).
+const DispatchOverheadNs = 20_000
+
+// ServeTenant runs n requests of one tenant under cfg, reusing a single
+// warm instance per request as production FaaS platforms do, and returns
+// latency statistics from the simulated clock.
+func ServeTenant(tenant workloads.Tenant, cfg Config, n int) (Result, error) {
+	rt := sandbox.NewRuntime()
+	rt.Serialized = cfg.HFINative
+	rt.WrapNative = cfg.HFINative
+	inst, err := rt.Instantiate(tenant.Mod, cfg.Scheme, wasm.Options{Swivel: cfg.Swivel})
+	if err != nil {
+		return Result{}, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)
+	}
+	eng := cpu.NewInterp(rt.M)
+	clock := rt.M.Kern.Clock
+
+	lats := make([]float64, 0, n)
+	start := clock.Now()
+	for i := 0; i < n; i++ {
+		t0 := clock.Now()
+		clock.Advance(DispatchOverheadNs)
+		req := tenant.MakeRequest(i)
+		inst.WriteHeap(workloads.InputOffset, req)
+		res, outLen := inst.Invoke(eng, 0, uint64(len(req)))
+		if res.Reason != cpu.StopHalt {
+			return Result{}, fmt.Errorf("faas: %s/%s request %d: stop %v", tenant.Name, cfg.Name, i, res.Reason)
+		}
+		_ = inst.ReadHeap(workloads.OutputOffset, int(outLen))
+		lats = append(lats, float64(clock.Now()-t0))
+	}
+	elapsed := float64(clock.Now() - start)
+
+	return Result{
+		Tenant:     tenant.Name,
+		Config:     cfg.Name,
+		Requests:   n,
+		AvgLatNs:   stats.Mean(lats),
+		TailLatNs:  stats.Percentile(lats, 99),
+		Throughput: float64(n) / (elapsed / 1e9),
+		BinBytes:   inst.C.BinaryBytes,
+	}, nil
+}
+
+// TeardownStyle selects the §6.3.1 teardown strategy.
+type TeardownStyle uint8
+
+// Teardown strategies under comparison.
+const (
+	TeardownStock      TeardownStyle = iota // one madvise per sandbox
+	TeardownBatchedHFI                      // one madvise across adjacent heaps (guards elided)
+	TeardownBatched                         // batched, but guard regions still interleave
+)
+
+// TeardownResult reports the per-sandbox teardown cost.
+type TeardownResult struct {
+	Style        TeardownStyle
+	Sandboxes    int
+	PerSandboxNs float64
+}
+
+// MeasureTeardown reproduces the §6.3.1 experiment: create n sandboxes,
+// run a trivial workload in each (a constant store), then tear all of them
+// down in the selected style, measuring the teardown phase only.
+func MeasureTeardown(style TeardownStyle, n int, batch int) (TeardownResult, error) {
+	scheme := sfi.GuardPages
+	if style == TeardownBatchedHFI {
+		scheme = sfi.HFI
+	}
+	rt := sandbox.NewRuntime()
+	clock := rt.M.Kern.Clock
+	rt.M.Kern.Multicore = true // FaaS servers run concurrent workers; TLB shootdowns are real
+
+	mod := trivialModule()
+	instances := make([]*sandbox.Instance, 0, n)
+	eng := cpu.NewInterp(rt.M)
+	for i := 0; i < n; i++ {
+		inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+		if err != nil {
+			return TeardownResult{}, err
+		}
+		if res, _ := inst.Invoke(eng, 0); res.Reason != cpu.StopHalt {
+			return TeardownResult{}, fmt.Errorf("faas: trivial workload stop %v", res.Reason)
+		}
+		instances = append(instances, inst)
+	}
+
+	t0 := clock.Now()
+	switch style {
+	case TeardownStock:
+		for _, inst := range instances {
+			inst.Teardown()
+		}
+	default:
+		for i := 0; i < len(instances); i += batch {
+			j := i + batch
+			if j > len(instances) {
+				j = len(instances)
+			}
+			if err := rt.TeardownBatch(instances[i:j]); err != nil {
+				return TeardownResult{}, err
+			}
+		}
+	}
+	per := float64(clock.Now()-t0) / float64(n)
+	return TeardownResult{Style: style, Sandboxes: n, PerSandboxNs: per}, nil
+}
+
+// trivialModule writes a constant into memory — the §6.3.1 short-lived
+// workload.
+func trivialModule() *wasm.Module {
+	m := wasm.NewModule("trivial", 16, 16) // 1 MiB so teardown has pages to discard
+	f := m.Func("run", 0)
+	i, v := f.NewReg(), f.NewReg()
+	f.MovImm(v, 0x42)
+	f.MovImm(i, 0)
+	f.Label("w")
+	f.Store(8, i, 0, v)
+	f.AddImm(i, i, 4096)
+	f.BrImm(isa.CondLT, i, 1<<20, "w")
+	f.Ret(v)
+	return m
+}
+
+// ScalingResult reports how many sandboxes fit in the address space.
+type ScalingResult struct {
+	Scheme          sfi.Scheme
+	SandboxGiB      uint64
+	MeasuredCount   int  // real reservations performed
+	CapacityCount   int  // total capacity (measured + arithmetic remainder)
+	Extrapolated    bool // capacity beyond MeasuredCount was computed, not allocated
+	ReservedPerSbox uint64
+}
+
+// MeasureScaling reproduces §6.3.2: how many sandboxes of the given heap
+// size can coexist in one 47-bit address space. Guard-page sandboxes
+// reserve 8 GiB regardless of heap size; HFI sandboxes reserve only the
+// heap. Beyond measureLimit real reservations the remainder is computed
+// arithmetically (the VMA list otherwise dominates host memory).
+func MeasureScaling(scheme sfi.Scheme, heapGiB uint64, measureLimit int) (ScalingResult, error) {
+	rt := sandbox.NewRuntime()
+	as := rt.M.AS
+
+	perSandbox := heapGiB << 30
+	if scheme.NeedsGuardReservation() {
+		perSandbox = sandbox.GuardReservation
+	}
+	res := ScalingResult{Scheme: scheme, SandboxGiB: heapGiB, ReservedPerSbox: perSandbox}
+	count := 0
+	for count < measureLimit {
+		var err error
+		if scheme.NeedsGuardReservation() {
+			_, err = as.MapAligned(sandbox.GuardReservation, sandbox.GuardReservation, kernel.ProtNone)
+		} else {
+			_, err = as.MapAligned(heapGiB<<30, 1<<16, kernel.ProtRead|kernel.ProtWrite)
+		}
+		if err != nil {
+			res.MeasuredCount = count
+			res.CapacityCount = count
+			return res, nil
+		}
+		count++
+	}
+	res.MeasuredCount = count
+	// Arithmetic remainder: how many more reservations fit.
+	remaining := (uint64(1) << 47) - as.ReservedBytes()
+	res.CapacityCount = count + int(remaining/perSandbox)
+	res.Extrapolated = true
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package faas
+
+import (
+	"testing"
+
+	"hfi/internal/sfi"
+	"hfi/internal/workloads"
+)
+
+func TestServeTenantConfigs(t *testing.T) {
+	tenant := workloads.FaaSTenants()[3] // templated-html, the lightest
+	var unsafe, hfiRes Result
+	for _, cfg := range []Config{StockLucet(), LucetHFI(), LucetSwivel()} {
+		r, err := ServeTenant(tenant, cfg, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if r.AvgLatNs <= 0 || r.Throughput <= 0 {
+			t.Fatalf("%s: degenerate result %+v", cfg.Name, r)
+		}
+		switch cfg.Name {
+		case "Lucet(Unsafe)":
+			unsafe = r
+		case "Lucet+HFI":
+			hfiRes = r
+		}
+	}
+	// HFI must cost something (transitions) but only marginally.
+	if hfiRes.AvgLatNs < unsafe.AvgLatNs {
+		t.Fatalf("HFI faster than unsafe: %v vs %v", hfiRes.AvgLatNs, unsafe.AvgLatNs)
+	}
+	if hfiRes.AvgLatNs > unsafe.AvgLatNs*1.05 {
+		t.Fatalf("HFI overhead too large: %v vs %v", hfiRes.AvgLatNs, unsafe.AvgLatNs)
+	}
+}
+
+func TestTeardownStyles(t *testing.T) {
+	stock, err := MeasureTeardown(TeardownStock, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := MeasureTeardown(TeardownBatchedHFI, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	across, err := MeasureTeardown(TeardownBatched, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(batched.PerSandboxNs < stock.PerSandboxNs && stock.PerSandboxNs < across.PerSandboxNs) {
+		t.Fatalf("ordering: hfi=%v stock=%v across=%v", batched.PerSandboxNs, stock.PerSandboxNs, across.PerSandboxNs)
+	}
+}
+
+func TestScalingCapacity(t *testing.T) {
+	guard, err := MeasureScaling(sfi.GuardPages, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := MeasureScaling(sfi.HFI, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CapacityCount <= guard.CapacityCount {
+		t.Fatalf("HFI capacity %d <= guard %d", h.CapacityCount, guard.CapacityCount)
+	}
+	if guard.ReservedPerSbox != 8<<30 || h.ReservedPerSbox != 1<<30 {
+		t.Fatalf("reservations: %d / %d", guard.ReservedPerSbox, h.ReservedPerSbox)
+	}
+}

@@ -1,0 +1,153 @@
+package hfi
+
+// EnterResult tells the execution engine what hfi_enter did and how much it
+// cost (serialization is charged by the engine, not here, so the functional
+// interpreter and the timing core can account for it differently).
+type EnterResult struct {
+	// Serialize is true when the pipeline must fully drain
+	// (is_serialized sandboxes).
+	Serialize bool
+	// RegionLoads is the number of region descriptors the microcode moved
+	// from memory into HFI registers (each costs a memory read).
+	RegionLoads int
+}
+
+// Enter executes hfi_enter with the given configuration. Region descriptors
+// referenced by cfg.RegionsPtr must already have been applied by the engine
+// (which owns memory access) via the Set*Region calls; RegionLoads in the
+// result is derived from cfg.RegionCount for cost accounting.
+//
+// Semantics (§3.3.1, §4.4, §4.5):
+//   - hfi_enter while a NATIVE sandbox is running is a privileged fault:
+//     untrusted code must not reconfigure HFI.
+//   - hfi_enter inside a HYBRID sandbox is permitted (the Wasm runtime in
+//     the sandbox manages its own regions); with switch_on_exit set it
+//     saves the current bank so hfi_exit atomically switches back.
+//   - Entering with no valid code region would make the very next fetch
+//     fault; we allow it (the fetch check will catch it) as the paper
+//     describes ("HFI will immediately trap after hfi_enter is called").
+func (s *State) Enter(cfg Config) (EnterResult, *Fault) {
+	if s.Enabled && !s.Bank.Cfg.Hybrid {
+		return EnterResult{}, s.fault(FaultPrivileged, 0, false)
+	}
+	res := EnterResult{
+		Serialize:   cfg.Serialized,
+		RegionLoads: int(cfg.RegionCount),
+	}
+	if cfg.SwitchOnExit {
+		// Preserve the (trusted runtime's) current bank in the shadow
+		// register set; hfi_exit will restore it instead of disabling HFI.
+		s.saved = s.Bank
+		s.savedValid = true
+	} else {
+		s.savedValid = false
+	}
+	s.Bank.Cfg = cfg
+	s.Enabled = true
+	s.Enters++
+	return res, nil
+}
+
+// ExitResult tells the execution engine where control goes after hfi_exit.
+type ExitResult struct {
+	// Handler, if nonzero, is the exit-handler address control must jump
+	// to. Zero means fall through to the next instruction (hybrid
+	// sandboxes typically inline their handler after hfi_exit, §3.3.2).
+	Handler uint64
+	// Serialize is true when the exit must drain the pipeline.
+	Serialize bool
+	// SwitchedBack is true when switch-on-exit restored the trusted
+	// runtime's bank instead of disabling HFI.
+	SwitchedBack bool
+}
+
+// Exit executes hfi_exit (§3.3.2, §4.5): records the reason in the MSR and
+// either disables HFI mode or, under switch-on-exit, atomically restores
+// the saved trusted-runtime bank.
+func (s *State) Exit() ExitResult {
+	return s.exit(ExitInstruction, 0)
+}
+
+// SyscallExit implements the decode-stage redirection of syscall
+// instructions inside a native sandbox (§4.4): it behaves like hfi_exit
+// with reason ExitSyscall, recording the syscall number in the MSR info
+// register. The engine must only call this when Enabled && !Hybrid.
+func (s *State) SyscallExit(sysno uint64) ExitResult {
+	return s.exit(ExitSyscall, sysno)
+}
+
+func (s *State) exit(reason ExitReason, info uint64) ExitResult {
+	res := ExitResult{
+		Handler:   s.Bank.Cfg.ExitHandler,
+		Serialize: s.Bank.Cfg.Serialized,
+	}
+	s.MSR = reason
+	s.MSRInfo = info
+	s.Exits++
+	s.last = s.Bank
+	s.lastValid = true
+	if s.Bank.Cfg.SwitchOnExit && s.savedValid {
+		// Sandboxes started with switch-on-exit cannot disable HFI:
+		// restore the trusted sandbox's registers and stay enabled.
+		s.Bank = s.saved
+		s.savedValid = false
+		res.SwitchedBack = true
+		// Serialization is governed by the runtime's own (restored)
+		// config: the whole point of switch-on-exit is that transitions
+		// within the trusted collection need no serialization.
+		res.Serialize = false
+		return res
+	}
+	s.Enabled = false
+	s.savedValid = false
+	return res
+}
+
+// Reenter executes hfi_reenter: re-enters the sandbox that was most
+// recently exited, with its registers as they were at exit (appendix A.1).
+// Faults if there is no previously exited sandbox or if called while a
+// native sandbox is active.
+func (s *State) Reenter() (EnterResult, *Fault) {
+	if s.Enabled && !s.Bank.Cfg.Hybrid {
+		return EnterResult{}, s.fault(FaultPrivileged, 0, false)
+	}
+	if !s.lastValid {
+		return EnterResult{}, s.fault(FaultBadConfig, 0, false)
+	}
+	s.Bank = s.last
+	s.Enabled = true
+	s.Enters++
+	return EnterResult{Serialize: s.Bank.Cfg.Serialized}, nil
+}
+
+// SyscallAllowed reports whether a syscall instruction may proceed to the
+// kernel: always when HFI is off, and in hybrid sandboxes (trusted code has
+// direct OS access, §3.3.1). In native sandboxes syscalls are redirected
+// via SyscallExit.
+func (s *State) SyscallAllowed() bool {
+	return !s.Enabled || s.Bank.Cfg.Hybrid
+}
+
+// PrivilegedAllowed reports whether privileged register updates
+// (hfi_set_region and friends, xrstor with HFI state) may execute: outside
+// HFI mode or in a hybrid sandbox.
+func (s *State) PrivilegedAllowed() bool {
+	return !s.Enabled || s.Bank.Cfg.Hybrid
+}
+
+// RegionUpdateSerializes reports whether a region update at this point
+// serializes the pipeline: updates serialize only when executed inside a
+// hybrid sandbox, since outside HFI mode they are always followed by an
+// hfi_enter that can serialize (§4.3).
+func (s *State) RegionUpdateSerializes() bool {
+	return s.Enabled && s.Bank.Cfg.Hybrid
+}
+
+// PrivFault records a privileged-operation fault (e.g. a native sandbox
+// executing xrstor with the save-hfi-regs flag, §3.3.3).
+func (s *State) PrivFault(addr uint64) *Fault {
+	return s.fault(FaultPrivileged, addr, false)
+}
+
+// ReadMSR returns the exit-reason MSR and its info companion.
+func (s *State) ReadMSR() (ExitReason, uint64) { return s.MSR, s.MSRInfo }

@@ -1,0 +1,202 @@
+package hfi
+
+import "encoding/binary"
+
+// Guest-memory layouts for the parameter structures read by the HFI
+// instructions' microcode. hfi_set_region reads a region_t; hfi_enter reads
+// a sandbox_t; hfi_get_region writes a region_t. The trusted runtime
+// (host-side Go code in internal/sandbox) uses the same encoders to place
+// these structures in guest memory.
+//
+// region_t (32 bytes):
+//
+//	+0  base_prefix / base_address  u64
+//	+8  lsb_mask / bound            u64
+//	+16 flags                       u64  (bit0 read, bit1 write, bit2 exec, bit3 large)
+//	+24 reserved                    u64
+//
+// sandbox_t (40 bytes):
+//
+//	+0  flags        u64 (bit0 is_hybrid, bit1 is_serialized, bit2 switch_on_exit)
+//	+8  exit_handler u64
+//	+16 regions_ptr  u64
+//	+24 region_count u64
+//	+32 reserved     u64
+//
+// The region descriptor table referenced by regions_ptr is an array of
+// 40-byte entries: a u64 region number followed by a region_t.
+
+// Structure sizes in guest memory.
+const (
+	RegionTSize     = 32
+	SandboxTSize    = 40
+	RegionEntrySize = 8 + RegionTSize
+)
+
+// region_t flag bits.
+const (
+	regionFlagRead  = 1 << 0
+	regionFlagWrite = 1 << 1
+	regionFlagExec  = 1 << 2
+	regionFlagLarge = 1 << 3
+)
+
+// sandbox_t flag bits.
+const (
+	sandboxFlagHybrid       = 1 << 0
+	sandboxFlagSerialized   = 1 << 1
+	sandboxFlagSwitchOnExit = 1 << 2
+)
+
+// EncodeImplicitRegion serializes an implicit region into region_t form.
+func EncodeImplicitRegion(r ImplicitRegion) [RegionTSize]byte {
+	var buf [RegionTSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], r.BasePrefix)
+	binary.LittleEndian.PutUint64(buf[8:], r.LSBMask)
+	var flags uint64
+	if r.Read {
+		flags |= regionFlagRead
+	}
+	if r.Write {
+		flags |= regionFlagWrite
+	}
+	if r.Exec {
+		flags |= regionFlagExec
+	}
+	binary.LittleEndian.PutUint64(buf[16:], flags)
+	return buf
+}
+
+// DecodeImplicitRegion parses a region_t as an implicit region.
+func DecodeImplicitRegion(buf []byte) ImplicitRegion {
+	flags := binary.LittleEndian.Uint64(buf[16:])
+	return ImplicitRegion{
+		BasePrefix: binary.LittleEndian.Uint64(buf[0:]),
+		LSBMask:    binary.LittleEndian.Uint64(buf[8:]),
+		Read:       flags&regionFlagRead != 0,
+		Write:      flags&regionFlagWrite != 0,
+		Exec:       flags&regionFlagExec != 0,
+	}
+}
+
+// EncodeExplicitRegion serializes an explicit region into region_t form.
+func EncodeExplicitRegion(r ExplicitRegion) [RegionTSize]byte {
+	var buf [RegionTSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], r.Base)
+	binary.LittleEndian.PutUint64(buf[8:], r.Bound)
+	var flags uint64
+	if r.Read {
+		flags |= regionFlagRead
+	}
+	if r.Write {
+		flags |= regionFlagWrite
+	}
+	if r.Large {
+		flags |= regionFlagLarge
+	}
+	binary.LittleEndian.PutUint64(buf[16:], flags)
+	return buf
+}
+
+// DecodeExplicitRegion parses a region_t as an explicit region.
+func DecodeExplicitRegion(buf []byte) ExplicitRegion {
+	flags := binary.LittleEndian.Uint64(buf[16:])
+	return ExplicitRegion{
+		Base:  binary.LittleEndian.Uint64(buf[0:]),
+		Bound: binary.LittleEndian.Uint64(buf[8:]),
+		Read:  flags&regionFlagRead != 0,
+		Write: flags&regionFlagWrite != 0,
+		Large: flags&regionFlagLarge != 0,
+	}
+}
+
+// EncodeSandboxT serializes a Config into sandbox_t form.
+func EncodeSandboxT(cfg Config) [SandboxTSize]byte {
+	var buf [SandboxTSize]byte
+	var flags uint64
+	if cfg.Hybrid {
+		flags |= sandboxFlagHybrid
+	}
+	if cfg.Serialized {
+		flags |= sandboxFlagSerialized
+	}
+	if cfg.SwitchOnExit {
+		flags |= sandboxFlagSwitchOnExit
+	}
+	binary.LittleEndian.PutUint64(buf[0:], flags)
+	binary.LittleEndian.PutUint64(buf[8:], cfg.ExitHandler)
+	binary.LittleEndian.PutUint64(buf[16:], cfg.RegionsPtr)
+	binary.LittleEndian.PutUint64(buf[24:], cfg.RegionCount)
+	return buf
+}
+
+// DecodeSandboxT parses a sandbox_t.
+func DecodeSandboxT(buf []byte) Config {
+	flags := binary.LittleEndian.Uint64(buf[0:])
+	return Config{
+		Hybrid:       flags&sandboxFlagHybrid != 0,
+		Serialized:   flags&sandboxFlagSerialized != 0,
+		SwitchOnExit: flags&sandboxFlagSwitchOnExit != 0,
+		ExitHandler:  binary.LittleEndian.Uint64(buf[8:]),
+		RegionsPtr:   binary.LittleEndian.Uint64(buf[16:]),
+		RegionCount:  binary.LittleEndian.Uint64(buf[24:]),
+	}
+}
+
+// ApplyRegionEntry decodes one region-table entry (region number + region_t)
+// and programs the corresponding register. It is the microcode step run by
+// hfi_enter for each descriptor at regions_ptr.
+func (s *State) ApplyRegionEntry(entry []byte) *Fault {
+	n := int(binary.LittleEndian.Uint64(entry[0:]))
+	kind, idx, err := regionKind(n)
+	if err != nil {
+		return s.fault(FaultBadConfig, 0, false)
+	}
+	body := entry[8:]
+	switch kind {
+	case "code":
+		r := DecodeImplicitRegion(body)
+		return s.SetCodeRegion(idx, r)
+	case "data":
+		r := DecodeImplicitRegion(body)
+		return s.SetDataRegion(idx, r)
+	default:
+		r := DecodeExplicitRegion(body)
+		return s.SetExplicitRegion(idx, r)
+	}
+}
+
+// SetRegionByNumber programs region n (flat numbering) from a raw region_t
+// buffer; used by the hfi_set_region instruction.
+func (s *State) SetRegionByNumber(n int, body []byte) *Fault {
+	kind, idx, err := regionKind(n)
+	if err != nil {
+		return s.fault(FaultBadConfig, 0, false)
+	}
+	switch kind {
+	case "code":
+		return s.SetCodeRegion(idx, DecodeImplicitRegion(body))
+	case "data":
+		return s.SetDataRegion(idx, DecodeImplicitRegion(body))
+	default:
+		return s.SetExplicitRegion(idx, DecodeExplicitRegion(body))
+	}
+}
+
+// GetRegionByNumber serializes region n into region_t form; used by the
+// hfi_get_region instruction. The second return is false for an
+// out-of-range region number.
+func (s *State) GetRegionByNumber(n int) ([RegionTSize]byte, bool) {
+	kind, idx, err := regionKind(n)
+	if err != nil {
+		return [RegionTSize]byte{}, false
+	}
+	switch kind {
+	case "code":
+		return EncodeImplicitRegion(s.Bank.Code[idx]), true
+	case "data":
+		return EncodeImplicitRegion(s.Bank.Data[idx]), true
+	default:
+		return EncodeExplicitRegion(s.Bank.Expl[idx]), true
+	}
+}

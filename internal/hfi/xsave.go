@@ -1,0 +1,100 @@
+package hfi
+
+import "encoding/binary"
+
+// XsaveSize is the size in bytes of the HFI component of an xsave area:
+// both register banks (active + shadow), the MSR pair, and the mode/valid
+// flags. The paper's save-hfi-regs xsave flag (§3.3.3) makes the OS save
+// and restore exactly this state across process context switches.
+const XsaveSize = 2*bankEncodedSize + 8 /* msr */ + 8 /* flags */
+
+const bankEncodedSize = (NumCodeRegions+NumDataRegions+NumExplicitRegions)*RegionTSize + SandboxTSize
+
+func encodeBank(b *Bank, buf []byte) int {
+	off := 0
+	for i := range b.Code {
+		r := EncodeImplicitRegion(b.Code[i])
+		if b.Code[i].Valid {
+			r[24] = 1 // reserved word doubles as valid flag in the save image
+		}
+		copy(buf[off:], r[:])
+		off += RegionTSize
+	}
+	for i := range b.Data {
+		r := EncodeImplicitRegion(b.Data[i])
+		if b.Data[i].Valid {
+			r[24] = 1
+		}
+		copy(buf[off:], r[:])
+		off += RegionTSize
+	}
+	for i := range b.Expl {
+		r := EncodeExplicitRegion(b.Expl[i])
+		if b.Expl[i].Valid {
+			r[24] = 1
+		}
+		copy(buf[off:], r[:])
+		off += RegionTSize
+	}
+	sb := EncodeSandboxT(b.Cfg)
+	copy(buf[off:], sb[:])
+	off += SandboxTSize
+	return off
+}
+
+func decodeBank(b *Bank, buf []byte) int {
+	off := 0
+	for i := range b.Code {
+		b.Code[i] = DecodeImplicitRegion(buf[off:])
+		b.Code[i].Valid = buf[off+24] == 1
+		off += RegionTSize
+	}
+	for i := range b.Data {
+		b.Data[i] = DecodeImplicitRegion(buf[off:])
+		b.Data[i].Valid = buf[off+24] == 1
+		off += RegionTSize
+	}
+	for i := range b.Expl {
+		b.Expl[i] = DecodeExplicitRegion(buf[off:])
+		b.Expl[i].Valid = buf[off+24] == 1
+		off += RegionTSize
+	}
+	b.Cfg = DecodeSandboxT(buf[off:])
+	off += SandboxTSize
+	return off
+}
+
+// Xsave serializes the complete HFI state into an xsave area image. It is
+// used by the simulated OS on context switch and by the guest xsave
+// instruction (which traps in native sandboxes before reaching here).
+func (s *State) Xsave() [XsaveSize]byte {
+	var buf [XsaveSize]byte
+	off := encodeBank(&s.Bank, buf[:])
+	off += encodeBank(&s.saved, buf[off:])
+	binary.LittleEndian.PutUint32(buf[off:], uint32(s.MSR))
+	binary.LittleEndian.PutUint32(buf[off+4:], 0)
+	off += 8
+	var flags uint64
+	if s.Enabled {
+		flags |= 1
+	}
+	if s.savedValid {
+		flags |= 2
+	}
+	binary.LittleEndian.PutUint64(buf[off:], flags)
+	return buf
+}
+
+// Xrstor restores HFI state from an xsave image produced by Xsave.
+// Restoring while a native sandbox is running breaks isolation, so the
+// execution engines trap that case (via PrivilegedAllowed) before calling
+// here.
+func (s *State) Xrstor(buf []byte) {
+	off := decodeBank(&s.Bank, buf)
+	off += decodeBank(&s.saved, buf[off:])
+	s.MSR = ExitReason(binary.LittleEndian.Uint32(buf[off:]))
+	off += 8
+	flags := binary.LittleEndian.Uint64(buf[off:])
+	s.Enabled = flags&1 != 0
+	s.savedValid = flags&2 != 0
+}

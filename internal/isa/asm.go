@@ -1,0 +1,541 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses textual assembly into a Program based at base. The
+// syntax follows the disassembly produced by Instr.String, plus labels:
+//
+//	start:
+//	    movi r1, 100
+//	    movi r2, 0
+//	loop:
+//	    add r2, r2, r1          ; registers or immediates
+//	    sub r1, r1, 1
+//	    br.ne r1, 0, loop       ; conditions: eq ne lt ge gt le ltu geu gtu leu
+//	    ld32 r3, [r2 + r1*4 + 8]
+//	    st8 [r2 + 16], r3       ; index term optional
+//	    hld64 0, r4, [r1*1 + 0] ; explicit-region access via hmov<n>
+//	    hst32 2, [r1 + 4], r5
+//	    call fn                 ; label or absolute 0x-address
+//	    jmpi r6
+//	    hfi_enter r6
+//	    hfi_set_region 6, r4
+//	    syscall
+//	    halt
+//
+// Comments start with ';' or '#'. Loads sign-extend with the 's' suffix
+// (ld32s). Numbers are decimal or 0x-hex, optionally negative.
+func Assemble(base uint64, src string) (*Program, error) {
+	b := NewBuilder(base)
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if !isIdent(label) {
+				return nil, asmErr(lineno, "bad label %q", label)
+			}
+			b.Label(label)
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, asmErr(lineno, "%v", err)
+		}
+	}
+	var p *Program
+	err := catchPanic(func() { p = b.Build() })
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func asmErr(lineno int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", lineno+1, fmt.Sprintf(format, args...))
+}
+
+func catchPanic(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// asmLine assembles one instruction.
+func asmLine(b *Builder, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	rest = strings.TrimSpace(rest)
+	ops := splitOperands(rest)
+
+	switch {
+	case mnemonic == "nop":
+		b.Nop()
+	case mnemonic == "halt":
+		b.Halt()
+	case mnemonic == "ret":
+		b.Ret()
+	case mnemonic == "syscall":
+		b.Syscall()
+	case mnemonic == "fence":
+		b.Fence()
+	case mnemonic == "hfi_exit":
+		b.HfiExit()
+	case mnemonic == "hfi_reenter":
+		b.HfiReenter()
+	case mnemonic == "hfi_clear_all_regions":
+		b.HfiClearAll()
+
+	case mnemonic == "movi":
+		rd, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		b.MovImm(rd, imm)
+	case mnemonic == "mov":
+		rd, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+	case mnemonic == "rdtsc":
+		rd, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.Rdtsc(rd)
+	case mnemonic == "jmpi":
+		rs, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.JmpInd(rs)
+	case mnemonic == "calli":
+		rs, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.CallInd(rs)
+	case mnemonic == "jmp" || mnemonic == "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("%s needs a target", mnemonic)
+		}
+		if addr, err := parseImm(ops[0]); err == nil {
+			if mnemonic == "jmp" {
+				b.JmpAddr(uint64(addr))
+			} else {
+				b.CallAddr(uint64(addr))
+			}
+		} else if isIdent(ops[0]) {
+			if mnemonic == "jmp" {
+				b.Jmp(ops[0])
+			} else {
+				b.Call(ops[0])
+			}
+		} else {
+			return fmt.Errorf("bad target %q", ops[0])
+		}
+	case strings.HasPrefix(mnemonic, "br."):
+		cond, err := parseCond(strings.TrimPrefix(mnemonic, "br."))
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		target := op(ops, 2)
+		if !isIdent(target) {
+			return fmt.Errorf("branch target must be a label, got %q", target)
+		}
+		if imm, err := parseImm(op(ops, 1)); err == nil {
+			b.BrImm(cond, rs1, imm, target)
+		} else if rs2, err := parseReg(op(ops, 1)); err == nil {
+			b.Br(cond, rs1, rs2, target)
+		} else {
+			return fmt.Errorf("bad branch operand %q", op(ops, 1))
+		}
+
+	case strings.HasPrefix(mnemonic, "ld"):
+		size, signExt, err := parseSizeSuffix(strings.TrimPrefix(mnemonic, "ld"))
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		base, index, scale, disp, err := parseMem(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		if signExt {
+			b.LoadS(size, rd, base, index, scale, disp)
+		} else {
+			b.Load(size, rd, base, index, scale, disp)
+		}
+	case strings.HasPrefix(mnemonic, "st"):
+		size, _, err := parseSizeSuffix(strings.TrimPrefix(mnemonic, "st"))
+		if err != nil {
+			return err
+		}
+		base, index, scale, disp, err := parseMem(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		b.Store(size, base, index, scale, disp, src)
+
+	case strings.HasPrefix(mnemonic, "hld"):
+		size, signExt, err := parseSizeSuffix(strings.TrimPrefix(mnemonic, "hld"))
+		if err != nil {
+			return err
+		}
+		hreg, err := parseImm(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		_, index, scale, disp, err := parseMem(op(ops, 2))
+		if err != nil {
+			return err
+		}
+		if signExt {
+			b.Raw(Instr{Op: OpHLoad, Rd: rd, Rs1: RegNone, Rs2: index, Rs3: RegNone,
+				HReg: uint8(hreg), Size: size, Scale: scale, Disp: disp, SignExt: true})
+		} else {
+			b.HLoad(uint8(hreg), size, rd, index, scale, disp)
+		}
+	case strings.HasPrefix(mnemonic, "hst"):
+		size, _, err := parseSizeSuffix(strings.TrimPrefix(mnemonic, "hst"))
+		if err != nil {
+			return err
+		}
+		hreg, err := parseImm(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		_, index, scale, disp, err := parseMem(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(op(ops, 2))
+		if err != nil {
+			return err
+		}
+		b.HStore(uint8(hreg), size, index, scale, disp, src)
+
+	case mnemonic == "hfi_enter":
+		rs, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.HfiEnter(rs)
+	case mnemonic == "hfi_set_region" || mnemonic == "hfi_get_region":
+		n, err := parseImm(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		if mnemonic == "hfi_set_region" {
+			b.HfiSetRegion(uint8(n), rs)
+		} else {
+			b.HfiGetRegion(uint8(n), rs)
+		}
+	case mnemonic == "hfi_clear_region":
+		n, err := parseImm(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.HfiClearRegion(uint8(n))
+	case mnemonic == "xsave" || mnemonic == "xrstor":
+		rs, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		if mnemonic == "xsave" {
+			b.Xsave(rs)
+		} else {
+			b.Xrstor(rs)
+		}
+	case mnemonic == "clflush":
+		base, _, _, disp, err := parseMem(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		b.Clflush(base, disp)
+
+	default:
+		// Three-operand ALU, with optional .32 suffix for i32 semantics.
+		name := mnemonic
+		w32 := false
+		if strings.HasSuffix(name, ".32") {
+			w32 = true
+			name = strings.TrimSuffix(name, ".32")
+		}
+		aop, ok := aluByName[name]
+		if !ok {
+			return fmt.Errorf("unknown mnemonic %q", mnemonic)
+		}
+		rd, err := parseReg(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		if aop == OpNot || aop == OpNeg {
+			b.Raw(Instr{Op: aop, Rd: rd, Rs1: rs1, Rs2: RegNone, Rs3: RegNone, W32: w32})
+			return nil
+		}
+		if rs2, err := parseReg(op(ops, 2)); err == nil {
+			b.Raw(Instr{Op: aop, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: RegNone, W32: w32})
+		} else if imm, err := parseImm(op(ops, 2)); err == nil {
+			b.Raw(Instr{Op: aop, Rd: rd, Rs1: rs1, Rs2: RegNone, Rs3: RegNone, UseImm: true, Imm: imm, W32: w32})
+		} else {
+			return fmt.Errorf("bad ALU operand %q", op(ops, 2))
+		}
+	}
+	return nil
+}
+
+var aluByName = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "shr": OpShr, "sar": OpSar, "mul": OpMul, "div": OpDiv,
+	"rem": OpRem, "not": OpNot, "neg": OpNeg,
+}
+
+func op(ops []string, i int) string {
+	if i < len(ops) {
+		return ops[i]
+	}
+	return ""
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "sp":
+		return SP, nil
+	case "-":
+		return RegNone, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+func parseSizeSuffix(s string) (size uint8, signExt bool, err error) {
+	if strings.HasSuffix(s, "s") {
+		signExt = true
+		s = strings.TrimSuffix(s, "s")
+	}
+	switch s {
+	case "8":
+		return 1, signExt, nil
+	case "16":
+		return 2, signExt, nil
+	case "32":
+		return 4, signExt, nil
+	case "64":
+		return 8, signExt, nil
+	}
+	return 0, false, fmt.Errorf("bad access width %q (want 8/16/32/64)", s)
+}
+
+// parseMem parses "[base + index*scale + disp]" where every term is
+// optional (but at least one must be present); base and index are
+// registers, scale is 1/2/4/8, disp is an immediate.
+func parseMem(s string) (base, index Reg, scale uint8, disp int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	base, index, scale = RegNone, RegNone, 1
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Normalize "a - b" into "a + -b" for splitting.
+	inner = strings.ReplaceAll(inner, "+ -", "+-")
+	for _, term := range strings.Split(inner, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" || term == "-" {
+			continue
+		}
+		switch {
+		case strings.Contains(term, "*"):
+			rpart, spart, _ := strings.Cut(term, "*")
+			idx, rerr := parseReg(rpart)
+			if rerr != nil {
+				return 0, 0, 0, 0, rerr
+			}
+			sc, serr := parseImm(spart)
+			if serr != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return 0, 0, 0, 0, fmt.Errorf("bad scale in %q", term)
+			}
+			if idx != RegNone {
+				index, scale = idx, uint8(sc)
+			}
+		default:
+			if r, rerr := parseReg(term); rerr == nil {
+				if base == RegNone {
+					base = r
+				} else if index == RegNone {
+					index = r
+				} else {
+					return 0, 0, 0, 0, fmt.Errorf("too many registers in %q", s)
+				}
+				continue
+			}
+			d, derr := parseImm(term)
+			if derr != nil {
+				return 0, 0, 0, 0, fmt.Errorf("bad term %q", term)
+			}
+			disp = d
+		}
+	}
+	return base, index, scale, disp, nil
+}
+
+// Disassemble renders a program as assembly text with synthesized labels
+// at branch targets, suitable for reading (and, for the supported subset,
+// for re-assembly).
+func Disassemble(p *Program) string {
+	// Collect branch targets.
+	targets := map[uint64]string{}
+	for name, addr := range p.Symbols {
+		targets[addr] = name
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if (in.Op == OpBr || in.Op == OpJmp || in.Op == OpCall) && targets[in.Target] == "" {
+			targets[in.Target] = fmt.Sprintf("L%x", in.Target)
+		}
+	}
+	var sb strings.Builder
+	for i := range p.Instrs {
+		addr := p.Base + uint64(i)*InstrBytes
+		if name := targets[addr]; name != "" {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		}
+		in := p.Instrs[i]
+		text := in.String()
+		if name, ok := targets[in.Target]; ok && (in.Op == OpBr || in.Op == OpJmp || in.Op == OpCall) {
+			text = strings.Replace(text, fmt.Sprintf("0x%x", in.Target), name, 1)
+		}
+		fmt.Fprintf(&sb, "    %-40s ; %#x\n", text, addr)
+	}
+	return sb.String()
+}
+
+func parseCond(s string) (Cond, error) {
+	for i, name := range condNames {
+		if name == s {
+			return Cond(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown condition %q", s)
+}

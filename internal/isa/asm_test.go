@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmSample = `
+; sum the first n integers, then poke memory
+start:
+    movi r1, 10        # n
+    movi r2, 0         # sum
+loop:
+    add r2, r2, r1
+    sub r1, r1, 1
+    br.ne r1, 0, loop
+    movi r3, 0x100000
+    st64 [r3 + 16], r2
+    ld64 r4, [r3 + r1*8 + 16]
+    add.32 r4, r4, 0xffffffff
+    hld32 1, r5, [r4*1 + 4]
+    hst8 2, [r1 + 0], r5
+    hfi_enter r3
+    hfi_set_region 6, r3
+    call fn
+    jmp done
+fn:
+    neg r6, r2
+    ret
+done:
+    syscall
+    halt
+`
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(0x1000, asmSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry("start") != 0x1000 {
+		t.Fatalf("start at %#x", p.Entry("start"))
+	}
+	// Spot-check a few encodings.
+	in := p.At(p.Entry("loop"))
+	if in.Op != OpAdd || in.Rd != R2 || in.Rs1 != R2 || in.Rs2 != R1 {
+		t.Fatalf("loop[0] = %+v", in)
+	}
+	br := p.At(p.Entry("loop") + 2*InstrBytes)
+	if br.Op != OpBr || br.Cond != CondNE || !br.UseImm || br.Target != p.Entry("loop") {
+		t.Fatalf("branch = %+v", br)
+	}
+	st := p.At(p.Entry("loop") + 4*InstrBytes)
+	if st.Op != OpStore || st.Size != 8 || st.Rs1 != R3 || st.Disp != 16 || st.Rs3 != R2 {
+		t.Fatalf("store = %+v", st)
+	}
+	ld := p.At(p.Entry("loop") + 5*InstrBytes)
+	if ld.Op != OpLoad || ld.Rs2 != R1 || ld.Scale != 8 {
+		t.Fatalf("load = %+v", ld)
+	}
+	alu32 := p.At(p.Entry("loop") + 6*InstrBytes)
+	if alu32.Op != OpAdd || !alu32.W32 || !alu32.UseImm || alu32.Imm != 0xffffffff {
+		t.Fatalf("add.32 = %+v", alu32)
+	}
+	hld := p.At(p.Entry("loop") + 7*InstrBytes)
+	if hld.Op != OpHLoad || hld.HReg != 1 || hld.Size != 4 || hld.Rs2 != R4 {
+		t.Fatalf("hld = %+v", hld)
+	}
+	hst := p.At(p.Entry("loop") + 8*InstrBytes)
+	if hst.Op != OpHStore || hst.HReg != 2 || hst.Size != 1 || hst.Rs3 != R5 {
+		t.Fatalf("hst = %+v", hst)
+	}
+	setr := p.At(p.Entry("loop") + 10*InstrBytes)
+	if setr.Op != OpHfiSetRegion || setr.Imm != 6 || setr.Rs2 != R3 {
+		t.Fatalf("hfi_set_region = %+v", setr)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"movi r99, 1",
+		"br.xx r1, r2, somewhere",
+		"ld13 r1, [r2]",
+		"jmp nowhere", // undefined label
+		"add r1",      // missing operands
+		"ld32 r1, r2", // not a memory operand
+	}
+	for _, src := range cases {
+		if _, err := Assemble(0, src); err == nil {
+			t.Errorf("assembled invalid input %q", src)
+		}
+	}
+}
+
+func TestDisassembleHasLabels(t *testing.T) {
+	p, err := Assemble(0x1000, asmSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p)
+	for _, want := range []string{"start:", "loop:", "fn:", "done:", "br.ne r1", "call fn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAssembleDisassembleRoundtrip: disassembling and re-assembling a
+// program yields identical instructions for the supported subset.
+func TestAssembleDisassembleRoundtrip(t *testing.T) {
+	p1, err := Assemble(0x2000, asmSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble(0x2000, text)
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, text)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instr %d differs:\n  %+v\n  %+v", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+}

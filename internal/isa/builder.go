@@ -1,0 +1,319 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program instruction by instruction. Branch and call
+// targets may reference labels that are defined later; Build resolves them.
+//
+// The builder panics on malformed input (undefined labels, bad sizes):
+// assembly errors are programming bugs in the workload definitions, not
+// runtime conditions a caller could handle.
+type Builder struct {
+	base    uint64
+	instrs  []Instr
+	labels  map[string]uint64
+	fixups  []fixup
+	pending []string // labels waiting for the next instruction
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+// NewBuilder returns a Builder assembling code at the given base address.
+// The base must be InstrBytes-aligned.
+func NewBuilder(base uint64) *Builder {
+	if base%InstrBytes != 0 {
+		panic(fmt.Sprintf("isa: builder base 0x%x not %d-byte aligned", base, InstrBytes))
+	}
+	return &Builder{base: base, labels: make(map[string]uint64)}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() uint64 { return b.base + uint64(len(b.instrs))*InstrBytes }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q", name))
+	}
+	b.labels[name] = b.PC()
+}
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.instrs = append(b.instrs, i)
+	return b
+}
+
+func (b *Builder) emitTarget(i Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{idx: len(b.instrs), label: label})
+	return b.emit(i)
+}
+
+func checkSize(size uint8) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("isa: invalid memory access size %d", size))
+	}
+}
+
+func checkScale(scale uint8) {
+	switch scale {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("isa: invalid index scale %d", scale))
+	}
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Halt emits a halt, which stops the machine.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// MovImm emits rd <- imm.
+func (b *Builder) MovImm(rd Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMovImm, Rd: rd, Imm: imm, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Mov emits rd <- rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpMov, Rd: rd, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+func (b *Builder) alu(op Op, rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: RegNone})
+}
+
+func (b *Builder) alui(op Op, rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: RegNone, Rs3: RegNone, UseImm: true, Imm: imm})
+}
+
+// Three-operand ALU forms.
+
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder { return b.alu(OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder { return b.alu(OpSub, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder { return b.alu(OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder  { return b.alu(OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder { return b.alu(OpXor, rd, rs1, rs2) }
+func (b *Builder) Shl(rd, rs1, rs2 Reg) *Builder { return b.alu(OpShl, rd, rs1, rs2) }
+func (b *Builder) Shr(rd, rs1, rs2 Reg) *Builder { return b.alu(OpShr, rd, rs1, rs2) }
+func (b *Builder) Sar(rd, rs1, rs2 Reg) *Builder { return b.alu(OpSar, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder { return b.alu(OpMul, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder { return b.alu(OpDiv, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 Reg) *Builder { return b.alu(OpRem, rd, rs1, rs2) }
+func (b *Builder) Not(rd, rs Reg) *Builder       { return b.alu(OpNot, rd, rs, RegNone) }
+func (b *Builder) Neg(rd, rs Reg) *Builder       { return b.alu(OpNeg, rd, rs, RegNone) }
+
+// ALU32 emits a three-operand ALU op with 32-bit (Wasm i32) semantics:
+// the result is truncated to 32 bits.
+func (b *Builder) ALU32(op Op, rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: RegNone, W32: true})
+}
+
+// ALU32Imm is ALU32 with an immediate second operand.
+func (b *Builder) ALU32Imm(op Op, rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: op, Rd: rd, Rs1: rs, Rs2: RegNone, Rs3: RegNone, UseImm: true, Imm: imm, W32: true})
+}
+
+// Immediate ALU forms.
+
+func (b *Builder) AddImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpAdd, rd, rs, imm) }
+func (b *Builder) SubImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpSub, rd, rs, imm) }
+func (b *Builder) AndImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpAnd, rd, rs, imm) }
+func (b *Builder) OrImm(rd, rs Reg, imm int64) *Builder  { return b.alui(OpOr, rd, rs, imm) }
+func (b *Builder) XorImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpXor, rd, rs, imm) }
+func (b *Builder) ShlImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpShl, rd, rs, imm) }
+func (b *Builder) ShrImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpShr, rd, rs, imm) }
+func (b *Builder) SarImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpSar, rd, rs, imm) }
+func (b *Builder) MulImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpMul, rd, rs, imm) }
+func (b *Builder) DivImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpDiv, rd, rs, imm) }
+func (b *Builder) RemImm(rd, rs Reg, imm int64) *Builder { return b.alui(OpRem, rd, rs, imm) }
+
+// Load emits rd <- mem[base + index*scale + disp] of the given size,
+// zero-extending. Pass RegNone for unused base/index operands.
+func (b *Builder) Load(size uint8, rd, base, index Reg, scale uint8, disp int64) *Builder {
+	checkSize(size)
+	checkScale(scale)
+	return b.emit(Instr{Op: OpLoad, Rd: rd, Rs1: base, Rs2: index, Rs3: RegNone,
+		Size: size, Scale: scale, Disp: disp})
+}
+
+// LoadS is Load with sign extension.
+func (b *Builder) LoadS(size uint8, rd, base, index Reg, scale uint8, disp int64) *Builder {
+	checkSize(size)
+	checkScale(scale)
+	return b.emit(Instr{Op: OpLoad, Rd: rd, Rs1: base, Rs2: index, Rs3: RegNone,
+		Size: size, Scale: scale, Disp: disp, SignExt: true})
+}
+
+// Store emits mem[base + index*scale + disp] <- src of the given size.
+func (b *Builder) Store(size uint8, base, index Reg, scale uint8, disp int64, src Reg) *Builder {
+	checkSize(size)
+	checkScale(scale)
+	return b.emit(Instr{Op: OpStore, Rd: RegNone, Rs1: base, Rs2: index, Rs3: src,
+		Size: size, Scale: scale, Disp: disp})
+}
+
+// HLoad emits an explicit-region load through hmov<hreg>: the base operand
+// is architecturally replaced with the region's base address.
+func (b *Builder) HLoad(hreg uint8, size uint8, rd, index Reg, scale uint8, disp int64) *Builder {
+	checkSize(size)
+	checkScale(scale)
+	if hreg > 3 {
+		panic(fmt.Sprintf("isa: explicit region %d out of range", hreg))
+	}
+	return b.emit(Instr{Op: OpHLoad, Rd: rd, Rs1: RegNone, Rs2: index, Rs3: RegNone,
+		HReg: hreg, Size: size, Scale: scale, Disp: disp})
+}
+
+// HStore emits an explicit-region store through hmov<hreg>.
+func (b *Builder) HStore(hreg uint8, size uint8, index Reg, scale uint8, disp int64, src Reg) *Builder {
+	checkSize(size)
+	checkScale(scale)
+	if hreg > 3 {
+		panic(fmt.Sprintf("isa: explicit region %d out of range", hreg))
+	}
+	return b.emit(Instr{Op: OpHStore, Rd: RegNone, Rs1: RegNone, Rs2: index, Rs3: src,
+		HReg: hreg, Size: size, Scale: scale, Disp: disp})
+}
+
+// Br emits a conditional branch to a label.
+func (b *Builder) Br(cond Cond, rs1, rs2 Reg, label string) *Builder {
+	return b.emitTarget(Instr{Op: OpBr, Cond: cond, Rd: RegNone, Rs1: rs1, Rs2: rs2, Rs3: RegNone}, label)
+}
+
+// BrImm emits a conditional branch comparing rs1 against an immediate.
+func (b *Builder) BrImm(cond Cond, rs1 Reg, imm int64, label string) *Builder {
+	return b.emitTarget(Instr{Op: OpBr, Cond: cond, Rd: RegNone, Rs1: rs1, Rs2: RegNone, Rs3: RegNone,
+		UseImm: true, Imm: imm}, label)
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitTarget(Instr{Op: OpJmp, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone}, label)
+}
+
+// JmpAddr emits an unconditional jump to an absolute address (used by
+// runtime-generated springboards that target separately compiled code).
+func (b *Builder) JmpAddr(target uint64) *Builder {
+	return b.emit(Instr{Op: OpJmp, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone, Target: target})
+}
+
+// CallAddr emits a direct call to an absolute address.
+func (b *Builder) CallAddr(target uint64) *Builder {
+	return b.emit(Instr{Op: OpCall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone, Target: target})
+}
+
+// JmpInd emits an indirect jump through rs.
+func (b *Builder) JmpInd(rs Reg) *Builder {
+	return b.emit(Instr{Op: OpJmpInd, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Call emits a direct call to a label: the return address is pushed on the
+// stack (SP -= 8) and control transfers to the label.
+func (b *Builder) Call(label string) *Builder {
+	return b.emitTarget(Instr{Op: OpCall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone}, label)
+}
+
+// CallInd emits an indirect call through rs.
+func (b *Builder) CallInd(rs Reg) *Builder {
+	return b.emit(Instr{Op: OpCallInd, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Ret emits a return: pops the return address and jumps to it.
+func (b *Builder) Ret() *Builder {
+	return b.emit(Instr{Op: OpRet, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Syscall emits a system call.
+func (b *Builder) Syscall() *Builder {
+	return b.emit(Instr{Op: OpSyscall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Fence emits a full serializing fence.
+func (b *Builder) Fence() *Builder {
+	return b.emit(Instr{Op: OpFence, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Clflush emits a cache-line flush of the address rs + disp.
+func (b *Builder) Clflush(rs Reg, disp int64) *Builder {
+	return b.emit(Instr{Op: OpClflush, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone, Disp: disp})
+}
+
+// Rdtsc emits rd <- cycle counter.
+func (b *Builder) Rdtsc(rd Reg) *Builder {
+	return b.emit(Instr{Op: OpRdtsc, Rd: rd, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// HFI instructions.
+
+// HfiEnter emits hfi_enter with rs pointing at a sandbox_t structure.
+func (b *Builder) HfiEnter(rs Reg) *Builder {
+	return b.emit(Instr{Op: OpHfiEnter, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+// HfiExit emits hfi_exit.
+func (b *Builder) HfiExit() *Builder {
+	return b.emit(Instr{Op: OpHfiExit, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// HfiReenter emits hfi_reenter.
+func (b *Builder) HfiReenter() *Builder {
+	return b.emit(Instr{Op: OpHfiReenter, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// HfiSetRegion emits hfi_set_region(region, *rs).
+func (b *Builder) HfiSetRegion(region uint8, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpHfiSetRegion, Rd: RegNone, Rs1: RegNone, Rs2: rs, Rs3: RegNone, Imm: int64(region)})
+}
+
+// HfiGetRegion emits hfi_get_region(region, *rs).
+func (b *Builder) HfiGetRegion(region uint8, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpHfiGetRegion, Rd: RegNone, Rs1: RegNone, Rs2: rs, Rs3: RegNone, Imm: int64(region)})
+}
+
+// HfiClearRegion emits hfi_clear_region(region).
+func (b *Builder) HfiClearRegion(region uint8) *Builder {
+	return b.emit(Instr{Op: OpHfiClearRegion, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone, Imm: int64(region)})
+}
+
+// HfiClearAll emits hfi_clear_all_regions.
+func (b *Builder) HfiClearAll() *Builder {
+	return b.emit(Instr{Op: OpHfiClearAll, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Xsave emits a context save (including HFI registers) to the area at rs.
+func (b *Builder) Xsave(rs Reg) *Builder {
+	return b.emit(Instr{Op: OpXsave, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Xrstor emits a context restore (including HFI registers) from the area at rs.
+func (b *Builder) Xrstor(rs Reg) *Builder {
+	return b.emit(Instr{Op: OpXrstor, Rd: RegNone, Rs1: rs, Rs2: RegNone, Rs3: RegNone})
+}
+
+// Raw emits a pre-built instruction unchanged. Used by instrumentation
+// passes that rewrite programs.
+func (b *Builder) Raw(i Instr) *Builder { return b.emit(i) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Build resolves all label references and returns the assembled Program.
+func (b *Builder) Build() *Program {
+	for _, f := range b.fixups {
+		addr, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined label %q", f.label))
+		}
+		b.instrs[f.idx].Target = addr
+	}
+	syms := make(map[string]uint64, len(b.labels))
+	for name, addr := range b.labels {
+		syms[name] = addr
+	}
+	return &Program{Base: b.base, Instrs: b.instrs, Symbols: syms}
+}

@@ -1,0 +1,385 @@
+// Package isa defines the guest instruction set executed by the simulators
+// in internal/cpu.
+//
+// The ISA is a synthetic 64-bit load/store architecture with x86-style
+// complex addressing (base + index*scale + displacement) on memory
+// operations, which is what the paper's hmov instructions are defined
+// against. Each instruction occupies a fixed 4-byte slot in the guest
+// address space so that code regions, branch targets, and HFI's implicit
+// code-region checks all operate on real addresses.
+//
+// Sixteen general-purpose registers are available. By convention R0 carries
+// syscall numbers and return values, R1-R5 carry syscall arguments, and SP
+// (R15) is the stack pointer used by CALL/RET.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register.
+type Reg uint8
+
+// General-purpose registers. SP aliases R15 and is used implicitly by
+// CALL and RET.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	SP = R15
+
+	// NumRegs is the size of the architectural register file.
+	NumRegs = 16
+)
+
+// RegNone marks an unused register operand slot.
+const RegNone Reg = 0xff
+
+func (r Reg) String() string {
+	if r == RegNone {
+		return "-"
+	}
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// InstrBytes is the architectural size of one instruction slot. Branch
+// targets and the program counter advance in units of InstrBytes.
+const InstrBytes = 4
+
+// Op identifies an instruction's operation.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// Data movement and ALU. When Instr.UseImm is set the second source
+	// operand is Instr.Imm instead of Rs2.
+	OpMovImm // Rd <- Imm
+	OpMov    // Rd <- Rs1
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical
+	OpSar // arithmetic
+	OpMul
+	OpDiv // unsigned; divide by zero traps
+	OpRem
+	OpNot // Rd <- ^Rs1
+	OpNeg // Rd <- -Rs1
+
+	// Memory. Effective address = Rs1 + Rs2*Scale + Disp (register slots
+	// may be RegNone, contributing zero). Size is 1, 2, 4 or 8 bytes.
+	// Loads zero-extend unless SignExt is set.
+	OpLoad  // Rd <- mem[EA]
+	OpStore // mem[EA] <- Rs3
+
+	// HFI explicit-region accesses (the paper's hmov0..hmov3). The base
+	// operand slot is architecturally ignored and replaced with the base
+	// address of explicit region HReg; index and displacement must be
+	// non-negative and the effective-address computation must not
+	// overflow, otherwise the instruction traps.
+	OpHLoad  // Rd <- region[HReg].base + Rs2*Scale + Disp
+	OpHStore // region write, source Rs3
+
+	// Control flow. Targets are absolute instruction addresses.
+	OpBr     // conditional: if Cond(Rs1, Rs2|Imm) jump to Target
+	OpJmp    // unconditional direct
+	OpJmpInd // unconditional indirect via Rs1
+	OpCall   // push return address on stack, jump to Target
+	OpCallInd
+	OpRet // pop return address, jump
+
+	// System and microarchitectural.
+	OpSyscall // syscall number in R0, args R1-R5, result in R0
+	OpFence   // full pipeline serialization
+	OpClflush // evict the cache line containing EA (Rs1 + Disp)
+	OpRdtsc   // Rd <- current cycle count
+
+	// HFI configuration instructions (appendix A.1 of the paper).
+	OpHfiEnter       // Rs1 = pointer to a sandbox_t structure in memory
+	OpHfiExit        //
+	OpHfiReenter     // re-enter the sandbox that was just exited
+	OpHfiSetRegion   // Imm = region number, Rs2 = pointer to region_t
+	OpHfiGetRegion   // Imm = region number, Rs2 = pointer to region_t (out)
+	OpHfiClearRegion // Imm = region number
+	OpHfiClearAll    //
+
+	// OS support: save/restore process register context including the HFI
+	// register state (the paper's save-hfi-regs xsave flag). Rs1 points to
+	// the save area. A native sandbox executing xrstor traps.
+	OpXsave
+	OpXrstor
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpMovImm: "movi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpNot: "not", OpNeg: "neg",
+	OpLoad: "ld", OpStore: "st", OpHLoad: "hld", OpHStore: "hst",
+	OpBr: "br", OpJmp: "jmp", OpJmpInd: "jmpi", OpCall: "call",
+	OpCallInd: "calli", OpRet: "ret",
+	OpSyscall: "syscall", OpFence: "fence", OpClflush: "clflush",
+	OpRdtsc:    "rdtsc",
+	OpHfiEnter: "hfi_enter", OpHfiExit: "hfi_exit", OpHfiReenter: "hfi_reenter",
+	OpHfiSetRegion: "hfi_set_region", OpHfiGetRegion: "hfi_get_region",
+	OpHfiClearRegion: "hfi_clear_region", OpHfiClearAll: "hfi_clear_all_regions",
+	OpXsave: "xsave", OpXrstor: "xrstor",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is a branch condition evaluated over two source operands.
+type Cond uint8
+
+// Branch conditions. The U suffix marks unsigned comparisons.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondGE
+	CondGT
+	CondLE
+	CondLTU
+	CondGEU
+	CondGTU
+	CondLEU
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "ge", "gt", "le", "ltu", "geu", "gtu", "leu"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval reports whether the condition holds for operands a and b.
+func (c Cond) Eval(a, b uint64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return int64(a) < int64(b)
+	case CondGE:
+		return int64(a) >= int64(b)
+	case CondGT:
+		return int64(a) > int64(b)
+	case CondLE:
+		return int64(a) <= int64(b)
+	case CondLTU:
+		return a < b
+	case CondGEU:
+		return a >= b
+	case CondGTU:
+		return a > b
+	case CondLEU:
+		return a <= b
+	}
+	return false
+}
+
+// Instr is one decoded instruction. Programs are sequences of Instr values
+// laid out at consecutive InstrBytes-aligned addresses.
+type Instr struct {
+	Op      Op
+	Cond    Cond
+	Rd      Reg
+	Rs1     Reg // base register for memory ops
+	Rs2     Reg // index register for memory ops / second ALU source
+	Rs3     Reg // store source
+	HReg    uint8
+	Size    uint8 // memory access size in bytes: 1, 2, 4, 8
+	Scale   uint8 // index scale: 1, 2, 4, 8
+	SignExt bool
+	UseImm  bool
+	// W32 truncates the ALU result to 32 bits (Wasm i32 semantics on a
+	// 64-bit machine; free on real hardware, where 32-bit ops zero-extend).
+	W32    bool
+	Disp   int64
+	Imm    int64
+	Target uint64
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i *Instr) IsMem() bool {
+	switch i.Op {
+	case OpLoad, OpStore, OpHLoad, OpHStore:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i *Instr) IsLoad() bool { return i.Op == OpLoad || i.Op == OpHLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (i *Instr) IsStore() bool { return i.Op == OpStore || i.Op == OpHStore }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (i *Instr) IsBranch() bool {
+	switch i.Op {
+	case OpBr, OpJmp, OpJmpInd, OpCall, OpCallInd, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsSerializing reports whether the instruction drains the pipeline before
+// and after executing. hfi_enter/hfi_exit serialize conditionally (based on
+// the sandbox is_serialized flag); that decision is made by the execution
+// engines, not here.
+func (i *Instr) IsSerializing() bool {
+	switch i.Op {
+	case OpFence, OpXsave, OpXrstor:
+		return true
+	}
+	return false
+}
+
+// IsHFI reports whether the instruction is part of the HFI extension.
+func (i *Instr) IsHFI() bool {
+	switch i.Op {
+	case OpHLoad, OpHStore, OpHfiEnter, OpHfiExit, OpHfiReenter,
+		OpHfiSetRegion, OpHfiGetRegion, OpHfiClearRegion, OpHfiClearAll:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in the assembly syntax accepted by
+// Assemble, so Disassemble output re-assembles to identical instructions.
+func (i *Instr) String() string {
+	sizeSuffix := func() string {
+		s := fmt.Sprintf("%d", int(i.Size)*8)
+		if i.SignExt {
+			s += "s"
+		}
+		return s
+	}
+	mem := func() string {
+		return fmt.Sprintf("[%s + %s*%d + %d]", i.Rs1, i.Rs2, i.Scale, i.Disp)
+	}
+	switch i.Op {
+	case OpNop, OpHalt, OpRet, OpSyscall, OpFence, OpHfiExit, OpHfiReenter, OpHfiClearAll:
+		return i.Op.String()
+	case OpRdtsc:
+		return fmt.Sprintf("rdtsc %s", i.Rd)
+	case OpMovImm:
+		return fmt.Sprintf("movi %s, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs1)
+	case OpNot, OpNeg:
+		return fmt.Sprintf("%s%s %s, %s", i.Op, w32Suffix(i.W32), i.Rd, i.Rs1)
+	case OpLoad:
+		return fmt.Sprintf("ld%s %s, %s", sizeSuffix(), i.Rd, mem())
+	case OpHLoad:
+		return fmt.Sprintf("hld%s %d, %s, %s", sizeSuffix(), i.HReg, i.Rd, mem())
+	case OpStore:
+		return fmt.Sprintf("st%s %s, %s", sizeSuffix(), mem(), i.Rs3)
+	case OpHStore:
+		return fmt.Sprintf("hst%s %d, %s, %s", sizeSuffix(), i.HReg, mem(), i.Rs3)
+	case OpBr:
+		if i.UseImm {
+			return fmt.Sprintf("br.%s %s, %d, 0x%x", i.Cond, i.Rs1, i.Imm, i.Target)
+		}
+		return fmt.Sprintf("br.%s %s, %s, 0x%x", i.Cond, i.Rs1, i.Rs2, i.Target)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s 0x%x", i.Op, i.Target)
+	case OpJmpInd, OpCallInd:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case OpClflush:
+		return fmt.Sprintf("clflush [%s + %d]", i.Rs1, i.Disp)
+	case OpHfiEnter:
+		return fmt.Sprintf("hfi_enter %s", i.Rs1)
+	case OpHfiSetRegion, OpHfiGetRegion:
+		return fmt.Sprintf("%s %d, %s", i.Op, i.Imm, i.Rs2)
+	case OpHfiClearRegion:
+		return fmt.Sprintf("hfi_clear_region %d", i.Imm)
+	case OpXsave, OpXrstor:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	default:
+		if i.UseImm {
+			return fmt.Sprintf("%s%s %s, %s, %d", i.Op, w32Suffix(i.W32), i.Rd, i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("%s%s %s, %s, %s", i.Op, w32Suffix(i.W32), i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+func w32Suffix(w bool) string {
+	if w {
+		return ".32"
+	}
+	return ""
+}
+
+// Program is a fully assembled code image: a sequence of instructions laid
+// out at Base, Base+InstrBytes, Base+2*InstrBytes, ...
+type Program struct {
+	Base   uint64
+	Instrs []Instr
+	// Symbols maps label names to instruction addresses, for diagnostics
+	// and for callers that need entry points.
+	Symbols map[string]uint64
+}
+
+// At returns the instruction at address addr, or nil if addr falls outside
+// the program or is misaligned.
+func (p *Program) At(addr uint64) *Instr {
+	if addr < p.Base || (addr-p.Base)%InstrBytes != 0 {
+		return nil
+	}
+	idx := (addr - p.Base) / InstrBytes
+	if idx >= uint64(len(p.Instrs)) {
+		return nil
+	}
+	return &p.Instrs[idx]
+}
+
+// End returns the first address past the program.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Instrs))*InstrBytes }
+
+// Size returns the code image size in bytes.
+func (p *Program) Size() uint64 { return uint64(len(p.Instrs)) * InstrBytes }
+
+// Entry returns the address of a named label. It panics if the label is
+// unknown, since a missing entry point is a programming error in the
+// workload, not a runtime condition.
+func (p *Program) Entry(label string) uint64 {
+	a, ok := p.Symbols[label]
+	if !ok {
+		panic(fmt.Sprintf("isa: unknown entry label %q", label))
+	}
+	return a
+}

@@ -1,0 +1,120 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderLabelResolution(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Jmp("fwd") // forward reference
+	b.Nop()
+	b.Label("fwd")
+	b.Br(CondEQ, R0, R1, "fwd") // backward reference
+	b.Halt()
+	p := b.Build()
+	if p.Instrs[0].Target != 0x1008 {
+		t.Fatalf("forward target = %#x", p.Instrs[0].Target)
+	}
+	if p.Instrs[2].Target != 0x1008 {
+		t.Fatalf("backward target = %#x", p.Instrs[2].Target)
+	}
+	if p.Entry("fwd") != 0x1008 {
+		t.Fatalf("Entry = %#x", p.Entry("fwd"))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("duplicate label", func() {
+		b := NewBuilder(0)
+		b.Label("x")
+		b.Label("x")
+	})
+	expectPanic("undefined label", func() {
+		b := NewBuilder(0)
+		b.Jmp("nowhere")
+		b.Build()
+	})
+	expectPanic("misaligned base", func() { NewBuilder(2) })
+	expectPanic("bad size", func() { NewBuilder(0).Load(3, R0, R1, RegNone, 1, 0) })
+	expectPanic("bad scale", func() { NewBuilder(0).Load(4, R0, R1, R2, 3, 0) })
+	expectPanic("bad hreg", func() { NewBuilder(0).HLoad(4, 8, R0, R1, 1, 0) })
+}
+
+func TestProgramAt(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.Nop()
+	b.Halt()
+	p := b.Build()
+	if p.At(0x2000) == nil || p.At(0x2004) == nil {
+		t.Fatal("in-range lookup failed")
+	}
+	if p.At(0x2008) != nil {
+		t.Fatal("past-end lookup succeeded")
+	}
+	if p.At(0x2002) != nil {
+		t.Fatal("misaligned lookup succeeded")
+	}
+	if p.At(0x1ffc) != nil {
+		t.Fatal("before-start lookup succeeded")
+	}
+	if p.Size() != 8 || p.End() != 0x2008 {
+		t.Fatalf("size=%d end=%#x", p.Size(), p.End())
+	}
+}
+
+// TestCondEvalProperty checks every condition against its reference
+// semantics.
+func TestCondEvalProperty(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		sa, sb := int64(a), int64(b)
+		checks := []struct {
+			c    Cond
+			want bool
+		}{
+			{CondEQ, a == b}, {CondNE, a != b},
+			{CondLT, sa < sb}, {CondGE, sa >= sb},
+			{CondGT, sa > sb}, {CondLE, sa <= sb},
+			{CondLTU, a < b}, {CondGEU, a >= b},
+			{CondGTU, a > b}, {CondLEU, a <= b},
+		}
+		for _, ch := range checks {
+			if ch.c.Eval(a, b) != ch.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrClassPredicates(t *testing.T) {
+	ld := Instr{Op: OpLoad}
+	st := Instr{Op: OpHStore}
+	br := Instr{Op: OpBr}
+	if !ld.IsMem() || !ld.IsLoad() || ld.IsStore() {
+		t.Fatal("load classification")
+	}
+	if !st.IsMem() || !st.IsStore() || st.IsLoad() || !st.IsHFI() {
+		t.Fatal("hstore classification")
+	}
+	if !br.IsBranch() || br.IsMem() {
+		t.Fatal("branch classification")
+	}
+	for _, op := range []Op{OpHfiEnter, OpHfiExit, OpHfiSetRegion, OpHLoad} {
+		if !(&Instr{Op: op}).IsHFI() {
+			t.Fatalf("%v not classified as HFI", op)
+		}
+	}
+}

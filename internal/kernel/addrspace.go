@@ -1,0 +1,352 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"hfi/internal/mem"
+)
+
+// Prot is a page-protection bit set.
+type Prot uint8
+
+// Protection bits. ProtNone (zero) reserves address space without granting
+// any access — the foundation of Wasm's guard regions.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtExec  Prot = 1 << 2
+)
+
+func (p Prot) String() string {
+	s := [3]byte{'-', '-', '-'}
+	if p&ProtRead != 0 {
+		s[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		s[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		s[2] = 'x'
+	}
+	return string(s[:])
+}
+
+// OS page geometry (4 KiB pages) and the user virtual address space limit
+// (47 bits = 128 TiB, the typical x86-64 configuration the paper's scaling
+// argument in §2 is built on).
+const (
+	OSPageBits = 12
+	OSPageSize = 1 << OSPageBits
+	VALimit    = uint64(1) << 47
+)
+
+// vma is one contiguous mapping with uniform protection.
+type vma struct {
+	start  uint64
+	length uint64
+	prot   Prot
+}
+
+func (v vma) end() uint64 { return v.start + v.length }
+
+// AddressSpace is a simulated process address space: a sorted list of VMAs
+// over a sparse backing Memory, with reserve/commit accounting. It provides
+// the MMU permission checks the execution engines apply to every access
+// (unless a TLB entry caches the result) and the mmap-family operations the
+// sandbox runtimes use.
+type AddressSpace struct {
+	Mem  *mem.Memory
+	vmas []vma // sorted by start, non-overlapping
+
+	// mmapTop is the next address for top-down allocation.
+	mmapTop uint64
+
+	// reservedBytes tracks total reserved address space for the
+	// virtual-memory-consumption experiments (§6.3.2).
+	reservedBytes uint64
+
+	// lastHit caches the index of the most recently matched VMA: guest
+	// memory accesses are heavily local, and this keeps the per-access
+	// check cheap.
+	lastHit int
+}
+
+// NewAddressSpace returns an empty address space over fresh memory. The
+// top page of the user address space is left unallocated: the execution
+// engines use it as the host-return sentinel.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{Mem: mem.NewMemory(), mmapTop: VALimit - OSPageSize}
+}
+
+// pageAlign rounds length up to a whole number of pages.
+func pageAlign(length uint64) uint64 {
+	return (length + OSPageSize - 1) &^ uint64(OSPageSize-1)
+}
+
+// find returns the index of the VMA containing addr, or -1.
+func (as *AddressSpace) find(addr uint64) int {
+	if as.lastHit < len(as.vmas) {
+		v := as.vmas[as.lastHit]
+		if addr >= v.start && addr < v.end() {
+			return as.lastHit
+		}
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > addr })
+	if i < len(as.vmas) && as.vmas[i].start <= addr {
+		as.lastHit = i
+		return i
+	}
+	return -1
+}
+
+// Prot returns the protection at addr and whether addr is mapped.
+func (as *AddressSpace) Prot(addr uint64) (Prot, bool) {
+	i := as.find(addr)
+	if i < 0 {
+		return ProtNone, false
+	}
+	return as.vmas[i].prot, true
+}
+
+// CheckAccess reports whether an access of size bytes at addr is permitted
+// by page protections. An access spanning a protection change fails if any
+// byte lacks permission.
+func (as *AddressSpace) CheckAccess(addr uint64, size uint8, want Prot) bool {
+	i := as.find(addr)
+	if i < 0 {
+		return false
+	}
+	v := as.vmas[i]
+	if v.prot&want != want {
+		return false
+	}
+	if addr+uint64(size) <= v.end() {
+		return true
+	}
+	// Straddles into the next VMA (or unmapped space).
+	return as.CheckAccess(v.end(), uint8(addr+uint64(size)-v.end()), want)
+}
+
+// insert adds a VMA, keeping the list sorted. Caller guarantees no overlap.
+func (as *AddressSpace) insert(v vma) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].start > v.start })
+	as.vmas = append(as.vmas, vma{})
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+	as.lastHit = 0
+}
+
+// overlaps reports whether [start, start+length) intersects any VMA.
+func (as *AddressSpace) overlaps(start, length uint64) bool {
+	end := start + length
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > start })
+	return i < len(as.vmas) && as.vmas[i].start < end
+}
+
+// Map reserves length bytes (page aligned up) at a kernel-chosen address
+// with the given protection. It fails when the virtual address space is
+// exhausted — the condition the scaling experiment (§6.3.2) measures.
+func (as *AddressSpace) Map(length uint64, prot Prot) (uint64, error) {
+	length = pageAlign(length)
+	if length == 0 {
+		return 0, fmt.Errorf("kernel: zero-length mmap")
+	}
+	// Top-down first-fit below mmapTop, skipping existing mappings.
+	addr := as.mmapTop
+	for {
+		if addr < length || addr-length < OSPageSize {
+			return 0, fmt.Errorf("kernel: out of virtual address space (reserved %d GiB)", as.reservedBytes>>30)
+		}
+		cand := addr - length
+		if !as.overlaps(cand, length) {
+			as.insert(vma{start: cand, length: length, prot: prot})
+			as.reservedBytes += length
+			as.mmapTop = cand
+			return cand, nil
+		}
+		// Jump below the overlapping VMA.
+		i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > cand })
+		addr = as.vmas[i].start
+	}
+}
+
+// MapAligned is Map with an alignment requirement on the returned base
+// (e.g. 64 KiB heaps, power-of-two code blocks for HFI implicit regions).
+func (as *AddressSpace) MapAligned(length, align uint64, prot Prot) (uint64, error) {
+	length = pageAlign(length)
+	if align == 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("kernel: alignment %#x not a power of two", align)
+	}
+	if align < OSPageSize {
+		align = OSPageSize
+	}
+	addr := as.mmapTop
+	for {
+		if addr < length {
+			return 0, fmt.Errorf("kernel: out of virtual address space (reserved %d GiB)", as.reservedBytes>>30)
+		}
+		cand := (addr - length) &^ (align - 1)
+		if cand < OSPageSize {
+			return 0, fmt.Errorf("kernel: out of virtual address space (reserved %d GiB)", as.reservedBytes>>30)
+		}
+		if !as.overlaps(cand, length) {
+			as.insert(vma{start: cand, length: length, prot: prot})
+			as.reservedBytes += length
+			if cand < as.mmapTop {
+				as.mmapTop = cand
+			}
+			return cand, nil
+		}
+		i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > cand })
+		addr = as.vmas[i].start
+	}
+}
+
+// MapFixed reserves [addr, addr+length) exactly; it fails if any part is
+// already mapped or out of range.
+func (as *AddressSpace) MapFixed(addr, length uint64, prot Prot) error {
+	length = pageAlign(length)
+	if addr%OSPageSize != 0 {
+		return fmt.Errorf("kernel: unaligned MapFixed addr %#x", addr)
+	}
+	if length == 0 || addr+length > VALimit {
+		return fmt.Errorf("kernel: MapFixed [%#x,+%#x) out of range", addr, length)
+	}
+	if as.overlaps(addr, length) {
+		return fmt.Errorf("kernel: MapFixed [%#x,+%#x) overlaps existing mapping", addr, length)
+	}
+	as.insert(vma{start: addr, length: length, prot: prot})
+	as.reservedBytes += length
+	return nil
+}
+
+// carve splits VMAs so that [start, end) is covered by VMAs that begin and
+// end exactly at start/end, returning the index range [i, j) of the covered
+// VMAs. It fails if any byte of the range is unmapped.
+func (as *AddressSpace) carve(start, end uint64) (int, int, error) {
+	if start%OSPageSize != 0 {
+		return 0, 0, fmt.Errorf("kernel: unaligned range start %#x", start)
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > start })
+	if i == len(as.vmas) || as.vmas[i].start > start {
+		return 0, 0, fmt.Errorf("kernel: range [%#x,%#x) not fully mapped", start, end)
+	}
+	// Split head.
+	if as.vmas[i].start < start {
+		head := as.vmas[i]
+		as.vmas[i].length = start - head.start
+		as.insert(vma{start: start, length: head.end() - start, prot: head.prot})
+		i++
+	}
+	j := i
+	for j < len(as.vmas) && as.vmas[j].start < end {
+		if j > i && as.vmas[j].start != as.vmas[j-1].end() {
+			return 0, 0, fmt.Errorf("kernel: hole in range [%#x,%#x)", start, end)
+		}
+		j++
+	}
+	if j == i || as.vmas[j-1].end() < end {
+		return 0, 0, fmt.Errorf("kernel: range [%#x,%#x) not fully mapped", start, end)
+	}
+	// Split tail.
+	if as.vmas[j-1].end() > end {
+		tail := as.vmas[j-1]
+		as.vmas[j-1].length = end - tail.start
+		as.insert(vma{start: end, length: tail.end() - end, prot: tail.prot})
+	}
+	as.lastHit = 0
+	return i, j, nil
+}
+
+// Protect changes the protection of [addr, addr+length). Returns the
+// number of pages affected (the cost driver) or an error if the range is
+// not fully mapped.
+func (as *AddressSpace) Protect(addr, length uint64, prot Prot) (pages uint64, err error) {
+	length = pageAlign(length)
+	i, j, err := as.carve(addr, addr+length)
+	if err != nil {
+		return 0, err
+	}
+	for k := i; k < j; k++ {
+		as.vmas[k].prot = prot
+	}
+	as.coalesce()
+	return length / OSPageSize, nil
+}
+
+// Unmap removes [addr, addr+length) from the address space and releases
+// backing storage.
+func (as *AddressSpace) Unmap(addr, length uint64) (pages uint64, err error) {
+	length = pageAlign(length)
+	i, j, err := as.carve(addr, addr+length)
+	if err != nil {
+		return 0, err
+	}
+	as.vmas = append(as.vmas[:i], as.vmas[j:]...)
+	as.reservedBytes -= length
+	as.Mem.Zero(addr, length)
+	as.lastHit = 0
+	return length / OSPageSize, nil
+}
+
+// Discard implements madvise(MADV_DONTNEED): backing pages in the range are
+// released and replaced with demand-zero pages; the mapping and protections
+// stay. Returns the number of resident pages actually discarded.
+func (as *AddressSpace) Discard(addr, length uint64) (residentPages uint64) {
+	length = pageAlign(length)
+	resident := as.ResidentIn(addr, length)
+	as.Mem.Zero(addr, length)
+	return resident / OSPageSize
+}
+
+// ResidentIn returns the number of bytes of backing storage currently
+// allocated in [addr, addr+length).
+func (as *AddressSpace) ResidentIn(addr, length uint64) uint64 {
+	return as.Mem.ResidentIn(addr&^uint64(mem.PageSize-1), length+addr%mem.PageSize)
+}
+
+// coalesce merges adjacent VMAs with identical protection.
+func (as *AddressSpace) coalesce() {
+	out := as.vmas[:0]
+	for _, v := range as.vmas {
+		if n := len(out); n > 0 && out[n-1].end() == v.start && out[n-1].prot == v.prot {
+			out[n-1].length += v.length
+			continue
+		}
+		out = append(out, v)
+	}
+	as.vmas = out
+	as.lastHit = 0
+}
+
+// ProtNoneBytesIn returns how many bytes of [addr, addr+length) are
+// covered by PROT_NONE reservations (guard regions), walking only the
+// VMAs that intersect the range.
+func (as *AddressSpace) ProtNoneBytesIn(addr, length uint64) uint64 {
+	end := addr + length
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end() > addr })
+	var n uint64
+	for ; i < len(as.vmas) && as.vmas[i].start < end; i++ {
+		v := as.vmas[i]
+		if v.prot != ProtNone {
+			continue
+		}
+		lo, hi := v.start, v.end()
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		n += hi - lo
+	}
+	return n
+}
+
+// ReservedBytes returns the total reserved virtual address space.
+func (as *AddressSpace) ReservedBytes() uint64 { return as.reservedBytes }
+
+// VMACount returns the number of distinct mappings (kernel VMA pressure).
+func (as *AddressSpace) VMACount() int { return len(as.vmas) }

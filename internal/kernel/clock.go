@@ -1,0 +1,43 @@
+// Package kernel simulates the operating-system substrate the paper's
+// evaluation depends on: virtual address spaces with reserve/commit
+// semantics (mmap without permissions for Wasm guard regions), page
+// protection changes, madvise(DONTNEED) discards with TLB shootdowns, a
+// syscall interface with an interposition hook (for the seccomp-bpf
+// baseline), signal delivery (HFI faults arrive as SIGSEGV), and process
+// context switches that save HFI state via the extended xsave.
+//
+// All costs are simulated time on a Clock, with constants calibrated
+// against the measurements the paper reports (see CostModel). The
+// simulation measures how those costs change across isolation designs —
+// the paper's claims are about ratios and shapes, not absolute nanoseconds.
+package kernel
+
+// Clock is the simulated time source shared by the kernel and the
+// execution engines. Time is in nanoseconds.
+type Clock struct {
+	now uint64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time in nanoseconds.
+func (c *Clock) Now() uint64 { return c.now }
+
+// Advance moves simulated time forward by ns nanoseconds.
+func (c *Clock) Advance(ns uint64) { c.now += ns }
+
+// AdvanceCycles moves time forward by cycles at the given core frequency
+// in GHz (cycles/ns).
+func (c *Clock) AdvanceCycles(cycles uint64, ghz float64) {
+	c.now += uint64(float64(cycles) / ghz)
+}
+
+// CoreGHz is the simulated core frequency, following the paper's Table 2
+// baseline (3.3 GHz).
+const CoreGHz = 3.3
+
+// CyclesToNs converts a cycle count at CoreGHz to nanoseconds.
+func CyclesToNs(cycles uint64) uint64 {
+	return uint64(float64(cycles) / CoreGHz)
+}

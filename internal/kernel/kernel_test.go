@@ -1,0 +1,255 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+)
+
+func TestAddressSpaceMapProtectUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Map(0x10000, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.CheckAccess(base, 8, ProtWrite) {
+		t.Fatal("mapped range not writable")
+	}
+	if as.CheckAccess(base-0x1000, 1, ProtRead) {
+		t.Fatal("unmapped range readable")
+	}
+
+	// Protect a middle window read-only; the carve must split the VMA.
+	if _, err := as.Protect(base+0x4000, 0x2000, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if as.CheckAccess(base+0x4000, 8, ProtWrite) {
+		t.Fatal("protected window still writable")
+	}
+	if !as.CheckAccess(base+0x4000, 8, ProtRead) {
+		t.Fatal("protected window lost read")
+	}
+	if !as.CheckAccess(base, 8, ProtWrite) || !as.CheckAccess(base+0x6000, 8, ProtWrite) {
+		t.Fatal("flanks lost write")
+	}
+	// An access straddling the protection change needs both permissions.
+	if as.CheckAccess(base+0x4000-4, 8, ProtWrite) {
+		t.Fatal("straddling access ignored the stricter half")
+	}
+
+	// Restore and coalesce, then unmap everything.
+	if _, err := as.Protect(base+0x4000, 0x2000, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if as.VMACount() != 1 {
+		t.Fatalf("VMAs not coalesced: %d", as.VMACount())
+	}
+	if _, err := as.Unmap(base, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.Prot(base); ok {
+		t.Fatal("unmapped range still mapped")
+	}
+	if as.ReservedBytes() != 0 {
+		t.Fatalf("reservation accounting leaked: %d", as.ReservedBytes())
+	}
+}
+
+func TestMapAlignedAlignment(t *testing.T) {
+	as := NewAddressSpace()
+	prop := func(sizeBits, alignBits uint8) bool {
+		size := uint64(1) << (12 + sizeBits%8)
+		align := uint64(1) << (12 + alignBits%10)
+		base, err := as.MapAligned(size, align, ProtRead)
+		return err == nil && base%align == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFixedOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x10000, 0x4000, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapFixed(0x12000, 0x1000, ProtRead); err == nil {
+		t.Fatal("overlapping MapFixed accepted")
+	}
+	if err := as.MapFixed(0x14000, 0x1000, ProtRead); err != nil {
+		t.Fatalf("adjacent MapFixed rejected: %v", err)
+	}
+}
+
+func TestVAExhaustion(t *testing.T) {
+	as := NewAddressSpace()
+	// Reserve half the VA twice; the third must fail.
+	if _, err := as.Map(1<<46, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(1<<46-1<<30, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(1<<30, ProtNone); err == nil {
+		t.Fatal("address-space exhaustion not detected")
+	}
+}
+
+func TestProtNoneBytesIn(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x100000, 0x10000, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapFixed(0x110000, 0x20000, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapFixed(0x130000, 0x10000, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ProtNoneBytesIn(0x100000, 0x40000); got != 0x20000 {
+		t.Fatalf("guard bytes = %#x, want 0x20000", got)
+	}
+	// Partial overlap with the guard region.
+	if got := as.ProtNoneBytesIn(0x118000, 0x10000); got != 0x10000 {
+		t.Fatalf("partial guard bytes = %#x", got)
+	}
+}
+
+func TestMadviseCostsAndDiscard(t *testing.T) {
+	clock := NewClock()
+	k := New(clock)
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x100000, 0x100000, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	as.Mem.Write(0x100000, 8, 0x1234)
+	as.Mem.Write(0x180000, 8, 0x5678)
+
+	t0 := clock.Now()
+	k.Madvise(as, 0x100000, 0x100000)
+	if clock.Now() == t0 {
+		t.Fatal("madvise charged nothing")
+	}
+	if as.Mem.Read(0x100000, 8) != 0 || as.Mem.Read(0x180000, 8) != 0 {
+		t.Fatal("madvise did not discard")
+	}
+	if p, ok := as.Prot(0x100000); !ok || p != ProtRead|ProtWrite {
+		t.Fatal("madvise changed the mapping")
+	}
+}
+
+func TestSyscallFileRoundtrip(t *testing.T) {
+	clock := NewClock()
+	k := New(clock)
+	as := NewAddressSpace()
+	if err := as.MapFixed(0x1000, 0x10000, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	k.FS["data.txt"] = []byte("the quick brown fox")
+	as.Mem.WriteBytes(0x1000, []byte("data.txt"))
+
+	var regs [isa.NumRegs]uint64
+	// open
+	regs[isa.R0] = SysOpen
+	regs[isa.R1] = 0x1000
+	regs[isa.R2] = 8
+	k.Syscall(as, &regs)
+	fd := regs[isa.R0]
+	if int64(fd) < 3 {
+		t.Fatalf("open returned %d", int64(fd))
+	}
+	// read into 0x2000
+	regs[isa.R0] = SysRead
+	regs[isa.R1] = fd
+	regs[isa.R2] = 0x2000
+	regs[isa.R3] = 9
+	k.Syscall(as, &regs)
+	if regs[isa.R0] != 9 {
+		t.Fatalf("read returned %d", int64(regs[isa.R0]))
+	}
+	buf := make([]byte, 9)
+	as.Mem.ReadBytes(0x2000, buf)
+	if string(buf) != "the quick" {
+		t.Fatalf("read %q", buf)
+	}
+	// close; then read must fail with EBADF
+	regs[isa.R0] = SysClose
+	regs[isa.R1] = fd
+	k.Syscall(as, &regs)
+	regs[isa.R0] = SysRead
+	regs[isa.R1] = fd
+	regs[isa.R2] = 0x2000
+	regs[isa.R3] = 1
+	k.Syscall(as, &regs)
+	if regs[isa.R0] != negErrno(EBADF) {
+		t.Fatalf("read on closed fd returned %d", int64(regs[isa.R0]))
+	}
+	// write to stdout
+	regs[isa.R0] = SysWrite
+	regs[isa.R1] = 1
+	regs[isa.R2] = 0x2000
+	regs[isa.R3] = 3
+	k.Syscall(as, &regs)
+	if string(k.ConsoleOut) != "the" {
+		t.Fatalf("console = %q", k.ConsoleOut)
+	}
+}
+
+type denyAll struct{ cost uint64 }
+
+func (d denyAll) Check(sysno uint64, args [5]uint64) (bool, uint64) { return false, d.cost }
+
+func TestSyscallFilterDeniesAndCharges(t *testing.T) {
+	clock := NewClock()
+	k := New(clock)
+	k.Filter = denyAll{cost: 123}
+	as := NewAddressSpace()
+	var regs [isa.NumRegs]uint64
+	regs[isa.R0] = SysGetTime
+	t0 := clock.Now()
+	k.Syscall(as, &regs)
+	if regs[isa.R0] != negErrno(EACCES) {
+		t.Fatalf("filtered syscall returned %d", int64(regs[isa.R0]))
+	}
+	if clock.Now()-t0 != 123 {
+		t.Fatalf("filter cost %d, want 123", clock.Now()-t0)
+	}
+}
+
+func TestContextSwitchSavesHFI(t *testing.T) {
+	clock := NewClock()
+	k := New(clock)
+	h := hfi.NewState()
+	if f := h.SetDataRegion(0, hfi.ImplicitRegion{BasePrefix: 0x10000, LSBMask: 0xffff, Read: true}); f != nil {
+		t.Fatal(f)
+	}
+	h.Enter(hfi.Config{Hybrid: true})
+
+	var regs [isa.NumRegs]uint64
+	regs[isa.R3] = 77
+	pc := uint64(0x1000)
+
+	procA := &Process{Name: "a"}
+	procB := &Process{Name: "b"} // fresh process: HFI disabled
+	// Switch away from A (saving its HFI state) and into B.
+	k.ContextSwitch(procA, procB, &regs, &pc, h)
+	if h.Enabled {
+		t.Fatal("process B inherited A's HFI mode")
+	}
+	if regs[isa.R3] != 0 {
+		t.Fatal("register file not switched")
+	}
+	// Switch back: A's sandbox state must be restored exactly.
+	k.ContextSwitch(procB, procA, &regs, &pc, h)
+	if !h.Enabled || !h.Bank.Cfg.Hybrid {
+		t.Fatal("A's HFI mode not restored")
+	}
+	if !h.Bank.Data[0].Valid || h.Bank.Data[0].BasePrefix != 0x10000 {
+		t.Fatal("A's regions not restored")
+	}
+	if regs[isa.R3] != 77 {
+		t.Fatal("A's registers not restored")
+	}
+}

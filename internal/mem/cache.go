@@ -1,0 +1,170 @@
+package mem
+
+import "fmt"
+
+// Cache models a set-associative cache with true-LRU replacement. Only tag
+// state is tracked (presence, not data): the simulators read data from the
+// backing Memory and use the cache purely for latency and for the
+// flush+reload side channel that the Spectre experiments depend on.
+type Cache struct {
+	name     string
+	lineBits uint
+	sets     uint64
+	ways     int
+	// lines[set] is an LRU-ordered list of tags, most recent first.
+	lines [][]uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache of the given total size with the given
+// associativity and line size. Size must divide evenly into sets.
+func NewCache(name string, size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 || size%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("mem: invalid cache geometry size=%d ways=%d line=%d", size, ways, lineSize))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineSize {
+		lineBits++
+	}
+	if 1<<lineBits != lineSize {
+		panic(fmt.Sprintf("mem: line size %d not a power of two", lineSize))
+	}
+	sets := uint64(size / (ways * lineSize))
+	c := &Cache{name: name, lineBits: lineBits, sets: sets, ways: ways}
+	c.lines = make([][]uint64, sets)
+	return c
+}
+
+func (c *Cache) set(addr uint64) uint64 { return (addr >> c.lineBits) % c.sets }
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Lookup reports whether addr hits without updating replacement state or
+// counters. Used by probes that must not perturb the cache.
+func (c *Cache) Lookup(addr uint64) bool {
+	tag := c.tag(addr)
+	for _, t := range c.lines[c.set(addr)] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a cache access for addr: on a hit the line moves to MRU
+// position; on a miss the line is filled, evicting LRU if the set is full.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	s := c.set(addr)
+	tag := c.tag(addr)
+	set := c.lines[s]
+	for i, t := range set {
+		if t == tag {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.lines[s] = set
+	return false
+}
+
+// Flush evicts the line containing addr if present (clflush).
+func (c *Cache) Flush(addr uint64) {
+	s := c.set(addr)
+	tag := c.tag(addr)
+	set := c.lines[s]
+	for i, t := range set {
+		if t == tag {
+			c.lines[s] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+// FlushAll empties the cache.
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		c.lines[i] = c.lines[i][:0]
+	}
+}
+
+// Stats returns hit and miss counts since construction.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineBits }
+
+// TLB models a fully-associative translation lookaside buffer over fixed
+// size pages, with LRU replacement. Entries are page numbers; the simulated
+// OS (internal/kernel) invalidates entries on unmap/protection changes.
+type TLB struct {
+	pageBits uint
+	entries  int
+	order    []uint64 // LRU order, most recent first
+
+	hits      uint64
+	misses    uint64
+	shootdown uint64
+}
+
+// NewTLB builds a TLB with the given number of entries over pages of
+// 1<<pageBits bytes.
+func NewTLB(entries int, pageBits uint) *TLB {
+	if entries <= 0 {
+		panic("mem: TLB needs at least one entry")
+	}
+	return &TLB{pageBits: pageBits, entries: entries}
+}
+
+// Access looks up the translation for addr, filling on miss. It reports
+// whether the lookup hit.
+func (t *TLB) Access(addr uint64) bool {
+	vpn := addr >> t.pageBits
+	for i, e := range t.order {
+		if e == vpn {
+			copy(t.order[1:i+1], t.order[:i])
+			t.order[0] = vpn
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	if len(t.order) < t.entries {
+		t.order = append(t.order, 0)
+	}
+	copy(t.order[1:], t.order)
+	t.order[0] = vpn
+	return false
+}
+
+// Invalidate drops the translation for the page containing addr.
+func (t *TLB) Invalidate(addr uint64) {
+	vpn := addr >> t.pageBits
+	for i, e := range t.order {
+		if e == vpn {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// InvalidateAll flushes the whole TLB (a full shootdown).
+func (t *TLB) InvalidateAll() {
+	t.order = t.order[:0]
+	t.shootdown++
+}
+
+// Stats returns hit, miss and full-shootdown counts.
+func (t *TLB) Stats() (hits, misses, shootdowns uint64) {
+	return t.hits, t.misses, t.shootdown
+}

@@ -1,0 +1,88 @@
+package mem
+
+// Latencies configures the cycle cost of each level of the memory system.
+// Defaults follow the paper's Table 2 baseline (Skylake-like core).
+type Latencies struct {
+	L1     int // L1 hit
+	L2     int // L2 hit (after L1 miss)
+	Mem    int // DRAM (after L2 miss)
+	TLBHit int // translation cost folded into the pipeline (0: parallel)
+	Walk   int // page-walk cost on a TLB miss
+}
+
+// DefaultLatencies returns the Skylake-like latency model used throughout
+// the evaluation.
+func DefaultLatencies() Latencies {
+	return Latencies{L1: 4, L2: 12, Mem: 200, TLBHit: 0, Walk: 25}
+}
+
+// Hierarchy bundles the L1 data cache, L1 instruction cache, unified L2,
+// the data TLB (the paper's "dtb"), and the latency model. It exposes the
+// composite access operations the execution engines use.
+type Hierarchy struct {
+	L1D *Cache
+	L1I *Cache
+	L2  *Cache
+	DTB *TLB
+	Lat Latencies
+}
+
+// NewHierarchy builds the default Skylake-like hierarchy: 32 KiB 8-way L1s,
+// 1 MiB 16-way L2, 64-entry dTLB over 4 KiB pages.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1D: NewCache("l1d", 32<<10, 8, 64),
+		L1I: NewCache("l1i", 32<<10, 8, 64),
+		L2:  NewCache("l2", 1<<20, 16, 64),
+		DTB: NewTLB(64, PageBits),
+		Lat: DefaultLatencies(),
+	}
+}
+
+// LoadLatency performs a data-side access for addr and returns its latency
+// in cycles. It updates cache and TLB state — including speculatively: the
+// timing simulator calls this for loads that may later be squashed, which
+// is exactly the behaviour the Spectre experiments rely on.
+func (h *Hierarchy) LoadLatency(addr uint64) int {
+	lat := 0
+	if !h.DTB.Access(addr) {
+		lat += h.Lat.Walk
+	} else {
+		lat += h.Lat.TLBHit
+	}
+	if h.L1D.Access(addr) {
+		return lat + h.Lat.L1
+	}
+	if h.L2.Access(addr) {
+		return lat + h.Lat.L2
+	}
+	return lat + h.Lat.Mem
+}
+
+// StoreLatency performs a store-side access. Stores commit through a store
+// buffer, so the returned latency models the address translation and fill.
+func (h *Hierarchy) StoreLatency(addr uint64) int {
+	return h.LoadLatency(addr)
+}
+
+// FetchLatency performs an instruction-side access for addr.
+func (h *Hierarchy) FetchLatency(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return h.Lat.L1
+	}
+	if h.L2.Access(addr) {
+		return h.Lat.L2
+	}
+	return h.Lat.Mem
+}
+
+// Probe reports whether addr is in the L1 data cache without disturbing
+// any state. Spectre receivers use this to distinguish hit/miss timings.
+func (h *Hierarchy) Probe(addr uint64) bool { return h.L1D.Lookup(addr) }
+
+// Flush evicts addr from all cache levels (clflush semantics).
+func (h *Hierarchy) Flush(addr uint64) {
+	h.L1D.Flush(addr)
+	h.L1I.Flush(addr)
+	h.L2.Flush(addr)
+}

@@ -1,0 +1,196 @@
+// Package mem provides the simulated memory system: a sparse byte-addressable
+// memory, set-associative caches, and a TLB, with the latency model the
+// timing simulator charges for accesses.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBits is log2 of the backing-store page size. The sparse memory
+// allocates storage in chunks of this size; it is independent of the OS page
+// size modeled by internal/kernel.
+const PageBits = 12
+
+// PageSize is the backing-store page size in bytes.
+const PageSize = 1 << PageBits
+
+// Memory is a sparse, byte-addressable 64-bit memory. Reads of never-written
+// locations return zero, mirroring demand-zero pages. Memory is not
+// concurrency safe; each simulated core owns its accesses.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	idx := addr >> PageBits
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(PageSize-1)]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&(PageSize-1)] = b
+}
+
+// Read returns size bytes starting at addr as a little-endian unsigned
+// integer. size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	}
+	panic(fmt.Sprintf("mem: invalid read size %d", size))
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size uint8, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	switch size {
+	case 1, 2, 4, 8:
+		m.WriteBytes(addr, buf[:size])
+	default:
+		panic(fmt.Sprintf("mem: invalid write size %d", size))
+	}
+}
+
+// ReadBytes fills dst with the bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes stores src starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// Zero clears length bytes starting at addr, releasing backing pages where
+// whole pages are covered (used by madvise(DONTNEED)). For ranges much
+// larger than the resident set it walks the page table instead of the
+// range, so discarding huge sparse reservations is O(resident).
+func (m *Memory) Zero(addr, length uint64) {
+	end := addr + length
+	if length/PageSize > uint64(len(m.pages))+2 {
+		lo, hi := addr>>PageBits, (end-1)>>PageBits
+		for idx := range m.pages {
+			if idx < lo || idx > hi {
+				continue
+			}
+			base := idx << PageBits
+			if base >= addr && base+PageSize <= end {
+				delete(m.pages, idx)
+				continue
+			}
+			// Partial page at a range edge.
+			p := m.pages[idx]
+			for a := base; a < base+PageSize; a++ {
+				if a >= addr && a < end {
+					p[a&(PageSize-1)] = 0
+				}
+			}
+		}
+		return
+	}
+	for addr < end {
+		off := addr & (PageSize - 1)
+		if off == 0 && end-addr >= PageSize {
+			delete(m.pages, addr>>PageBits)
+			addr += PageSize
+			continue
+		}
+		n := PageSize - off
+		if n > end-addr {
+			n = end - addr
+		}
+		if p := m.page(addr, false); p != nil {
+			for i := uint64(0); i < n; i++ {
+				p[off+i] = 0
+			}
+		}
+		addr += n
+	}
+}
+
+// ResidentIn counts the resident bytes inside [addr, addr+length),
+// walking the page table (O(resident), not O(range)).
+func (m *Memory) ResidentIn(addr, length uint64) uint64 {
+	lo, hi := addr>>PageBits, (addr+length-1)>>PageBits
+	var n uint64
+	if uint64(len(m.pages)) < hi-lo {
+		for idx := range m.pages {
+			if idx >= lo && idx <= hi {
+				n += PageSize
+			}
+		}
+		return n
+	}
+	for idx := lo; idx <= hi; idx++ {
+		if m.pages[idx] != nil {
+			n += PageSize
+		}
+	}
+	return n
+}
+
+// PageResident reports whether the backing page containing addr is
+// allocated (i.e. has ever been written and not discarded).
+func (m *Memory) PageResident(addr uint64) bool {
+	return m.pages[addr>>PageBits] != nil
+}
+
+// ResidentBytes reports how much backing storage is currently allocated.
+func (m *Memory) ResidentBytes() uint64 {
+	return uint64(len(m.pages)) * PageSize
+}

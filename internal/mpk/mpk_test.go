@@ -1,0 +1,61 @@
+package mpk
+
+import (
+	"testing"
+
+	"hfi/internal/kernel"
+)
+
+// TestKeyExhaustion is the §7 scaling criticism: MPK runs out at 15
+// domains, where HFI has no limit.
+func TestKeyExhaustion(t *testing.T) {
+	p := New(kernel.NewClock())
+	for i := 0; i < NumKeys-1; i++ {
+		if _, err := p.PkeyAlloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := p.PkeyAlloc(); err == nil {
+		t.Fatal("16th allocation succeeded")
+	}
+	// Freeing returns capacity.
+	p.PkeyFree(3)
+	if _, err := p.PkeyAlloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestDomainSwitchAndAccess(t *testing.T) {
+	clock := kernel.NewClock()
+	p := New(clock)
+	k, err := p.PkeyAlloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PkeyMprotect(kernel.DefaultCosts(), 0x10000, 0x4000, k)
+
+	p.ExitDomain(k)
+	if p.CheckAccess(0x11000) {
+		t.Fatal("tagged page accessible with key disabled")
+	}
+	if p.CheckAccess(0x90000) {
+		// untagged pages stay accessible
+	} else {
+		t.Fatal("untagged page blocked")
+	}
+	p.EnterDomain(k)
+	if !p.CheckAccess(0x11000) {
+		t.Fatal("tagged page blocked inside the domain")
+	}
+
+	// Switches cost wrpkru time.
+	t0 := clock.Now()
+	p.EnterDomain(k)
+	p.ExitDomain(k)
+	if clock.Now() == t0 {
+		t.Fatal("switches charged nothing")
+	}
+	if p.Switches < 4 {
+		t.Fatalf("switch count %d", p.Switches)
+	}
+}

@@ -1,0 +1,287 @@
+// Package nginxsim reproduces the §6.4.2 experiment: an NGINX-like web
+// server whose OpenSSL-like crypto (and session keys) run inside an
+// in-process protection domain. Per the ERIM methodology the paper
+// follows, the server crosses into the crypto domain for every OpenSSL
+// call — a handful of session-key operations per request plus bulk
+// encryption per TLS record — so small responses are dominated by
+// transition cost and large responses amortize it: the shape of Fig 5.
+//
+// Three protections are compared: none (unprotected session keys), an
+// MPK/ERIM-style domain (two wrpkru per crossing), and HFI's native
+// sandbox (serialized hfi_enter/hfi_exit plus the region-metadata moves,
+// which is why HFI's overhead sits slightly above MPK's in Fig 5).
+package nginxsim
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/mpk"
+	"hfi/internal/sandbox"
+)
+
+// Protection selects the isolation applied to the crypto domain.
+type Protection uint8
+
+// The Fig 5 configurations.
+const (
+	ProtNone Protection = iota
+	ProtMPK
+	ProtHFI
+)
+
+var protNames = [...]string{"none", "mpk", "hfi"}
+
+func (p Protection) String() string { return protNames[p] }
+
+// RecordSize is the TLS record granularity.
+const RecordSize = 16 << 10
+
+// RequestOverheadNs is the per-request server work outside crypto
+// (accept, parse, headers, response syscalls).
+const RequestOverheadNs = 9_000
+
+// SendPerByteNs is the per-byte socket-path cost of the response.
+const SendPerByteNs = 0.05
+
+// KeyOpsPerRequest is the number of session-key touches per request
+// outside bulk encryption (handshake resumption, MAC key derivation, IV
+// setup — the small OpenSSL calls ERIM-style systems interpose on). Each
+// one is a domain-crossing pair.
+const KeyOpsPerRequest = 16
+
+// Guest argument block offsets (relative to the crypto domain's data
+// base): the caller writes the operation selector and record length.
+const (
+	argOp  = 0 // 0 = key operation, 1 = bulk encrypt
+	argLen = 8
+	bufOff = 4096
+)
+
+// Server is the simulated NGINX worker.
+type Server struct {
+	RT   *sandbox.Runtime
+	prot Protection
+	ns   *sandbox.NativeSandbox
+	prog *isa.Program
+	pku  *mpk.PKU
+	key  mpk.Key
+	data uint64 // crypto-domain data block (args + key + record buffer)
+
+	// Crossings counts domain-crossing pairs performed.
+	Crossings uint64
+}
+
+// New builds a server with the given protection for its crypto domain.
+func New(prot Protection) (*Server, error) {
+	rt := sandbox.NewRuntime()
+	s := &Server{RT: rt, prot: prot}
+
+	gen := func(codeBase, dataBase uint64) *isa.Program {
+		s.data = dataBase
+		return buildCrypto(codeBase, dataBase)
+	}
+
+	if prot == ProtHFI {
+		ns, err := rt.NewNative(2048, 1<<20, true /* serialized */, gen)
+		if err != nil {
+			return nil, err
+		}
+		s.ns = ns
+		s.prog = ns.Prog
+		return s, nil
+	}
+
+	// Unprotected / MPK: the same unmodified binary, loaded directly.
+	m := rt.M
+	codeBase, err := m.AS.MapAligned(4096, 4096, kernel.ProtRead|kernel.ProtExec)
+	if err != nil {
+		return nil, err
+	}
+	dataBase, err := m.AS.MapAligned(1<<20, 1<<20, kernel.ProtRead|kernel.ProtWrite)
+	if err != nil {
+		return nil, err
+	}
+	s.prog = gen(codeBase, dataBase)
+	if err := m.LoadPrelinked(s.prog); err != nil {
+		return nil, err
+	}
+
+	if prot == ProtMPK {
+		s.pku = mpk.New(m.Kern.Clock)
+		key, err := s.pku.PkeyAlloc()
+		if err != nil {
+			return nil, err
+		}
+		s.key = key
+		s.pku.PkeyMprotect(m.Kern.Costs, dataBase, 1<<20, key)
+		s.pku.ExitDomain(key)
+	}
+	return s, nil
+}
+
+// buildCrypto assembles the OpenSSL stand-in, an unmodified native binary
+// (plain loads/stores, no instrumentation, arguments via memory since a
+// native springboard clears registers, §3.3.1). It dispatches on the op
+// selector: a short session-key operation, or a ChaCha-like bulk
+// encryption of the record buffer.
+func buildCrypto(codeBase, dataBase uint64) *isa.Program {
+	b := isa.NewBuilder(codeBase)
+	b.Label("entry")
+	b.MovImm(isa.R10, int64(dataBase))
+	b.Load(8, isa.R0, isa.R10, isa.RegNone, 1, argOp)
+	b.BrImm(isa.CondEQ, isa.R0, 1, "encrypt")
+
+	// Key operation: mix the session key with a nonce (HKDF flavour).
+	b.Load(8, isa.R2, isa.R10, isa.RegNone, 1, 64) // session key
+	b.Load(8, isa.R3, isa.R10, isa.RegNone, 1, 72) // nonce counter
+	for i := 0; i < 6; i++ {
+		b.ALU32(isa.OpAdd, isa.R2, isa.R2, isa.R3)
+		b.ALU32Imm(isa.OpShl, isa.R4, isa.R2, 13)
+		b.ALU32(isa.OpXor, isa.R2, isa.R2, isa.R4)
+		b.ALU32Imm(isa.OpShr, isa.R4, isa.R2, 7)
+		b.ALU32(isa.OpXor, isa.R2, isa.R2, isa.R4)
+	}
+	b.AddImm(isa.R3, isa.R3, 1)
+	b.Store(8, isa.R10, isa.RegNone, 1, 72, isa.R3)
+	b.Store(8, isa.R10, isa.RegNone, 1, 80, isa.R2) // derived key
+	b.Halt()
+
+	// Bulk encryption: ChaCha-like ARX over the record buffer.
+	b.Label("encrypt")
+	b.Load(8, isa.R1, isa.R10, isa.RegNone, 1, argLen)
+	b.MovImm(isa.R0, int64(dataBase+bufOff))
+	b.MovImm(isa.R2, 0x61707865)
+	b.MovImm(isa.R3, 0x3320646e)
+	b.MovImm(isa.R4, 0x79622d32)
+	b.MovImm(isa.R5, 0x6b206574)
+	b.MovImm(isa.R7, 0)
+	b.Label("block")
+	b.Br(isa.CondGEU, isa.R7, isa.R1, "done")
+	for i := 0; i < 2; i++ {
+		b.ALU32(isa.OpAdd, isa.R2, isa.R2, isa.R3)
+		b.ALU32(isa.OpXor, isa.R5, isa.R5, isa.R2)
+		b.ALU32Imm(isa.OpShl, isa.R8, isa.R5, 16)
+		b.ALU32Imm(isa.OpShr, isa.R5, isa.R5, 16)
+		b.ALU32(isa.OpOr, isa.R5, isa.R5, isa.R8)
+		b.ALU32(isa.OpAdd, isa.R4, isa.R4, isa.R5)
+		b.ALU32(isa.OpXor, isa.R3, isa.R3, isa.R4)
+		b.ALU32Imm(isa.OpShl, isa.R8, isa.R3, 12)
+		b.ALU32Imm(isa.OpShr, isa.R3, isa.R3, 20)
+		b.ALU32(isa.OpOr, isa.R3, isa.R3, isa.R8)
+	}
+	b.ShlImm(isa.R9, isa.R2, 32)
+	b.Or(isa.R9, isa.R9, isa.R3)
+	b.Load(8, isa.R8, isa.R0, isa.R7, 1, 0)
+	b.Xor(isa.R8, isa.R8, isa.R9)
+	b.Store(8, isa.R0, isa.R7, 1, 0, isa.R8)
+	b.ShlImm(isa.R9, isa.R4, 32)
+	b.Or(isa.R9, isa.R9, isa.R5)
+	b.Load(8, isa.R8, isa.R0, isa.R7, 1, 8)
+	b.Xor(isa.R8, isa.R8, isa.R9)
+	b.Store(8, isa.R0, isa.R7, 1, 8, isa.R8)
+	b.AddImm(isa.R7, isa.R7, 16)
+	b.Jmp("block")
+	b.Label("done")
+	b.Halt()
+	return b.Build()
+}
+
+// cross performs one crypto-domain call: enter the domain under the
+// configured protection, run the guest routine, leave. op selects the
+// guest routine; n is the record length for bulk encryption.
+func (s *Server) cross(eng cpu.Engine, op, n uint64) error {
+	m := s.RT.M
+	s.Crossings++
+	m.Mem().Write(s.data+argOp, 8, op)
+	m.Mem().Write(s.data+argLen, 8, n)
+
+	if s.prot == ProtMPK {
+		s.pku.EnterDomain(s.key)
+		defer s.pku.ExitDomain(s.key)
+	}
+
+	var res cpu.RunResult
+	if s.prot == ProtHFI {
+		res = s.ns.Run(eng, 0)
+		// The library call completed with HFI still enabled (it is a
+		// call, not a process exit); the trusted runtime leaves the
+		// sandbox, paying the serialized exit.
+		if m.HFI.Enabled {
+			exit := m.HFI.Exit()
+			if exit.Serialize {
+				m.Kern.Clock.AdvanceCycles(hfi.SerializeCycles, kernel.CoreGHz)
+			}
+		}
+	} else {
+		m.PC = s.prog.Entry("entry")
+		res = eng.Run(0)
+	}
+	if res.Reason != cpu.StopHalt && res.Reason != cpu.StopExit {
+		return fmt.Errorf("nginxsim: crypto stop %v", res.Reason)
+	}
+	return nil
+}
+
+// ServeResult reports throughput for one file size.
+type ServeResult struct {
+	Prot       Protection
+	FileBytes  uint64
+	Requests   int
+	Throughput float64 // requests per simulated second
+}
+
+// Serve runs n requests of fileBytes each and returns throughput from the
+// simulated clock. Each request performs fixed server work, the
+// session-key operations, and per-record MAC + bulk-encryption crossings.
+func (s *Server) Serve(fileBytes uint64, n int) (ServeResult, error) {
+	m := s.RT.M
+	eng := cpu.NewInterp(m)
+	clock := m.Kern.Clock
+	start := clock.Now()
+	for i := 0; i < n; i++ {
+		clock.Advance(RequestOverheadNs + uint64(float64(fileBytes)*SendPerByteNs))
+		for k := 0; k < KeyOpsPerRequest; k++ {
+			if err := s.cross(eng, 0, 0); err != nil {
+				return ServeResult{}, err
+			}
+		}
+		records := int((fileBytes + RecordSize - 1) / RecordSize)
+		if records == 0 {
+			records = 1 // headers are encrypted even for empty bodies
+		}
+		for r := 0; r < records; r++ {
+			chunk := fileBytes - uint64(r)*RecordSize
+			if chunk > RecordSize {
+				chunk = RecordSize
+			}
+			if chunk == 0 {
+				chunk = 256 // header-only record
+			}
+			// MAC derivation + bulk encryption: two crossings per record.
+			if err := s.cross(eng, 0, 0); err != nil {
+				return ServeResult{}, err
+			}
+			if err := s.cross(eng, 1, chunk); err != nil {
+				return ServeResult{}, err
+			}
+		}
+	}
+	elapsed := float64(clock.Now() - start)
+	return ServeResult{
+		Prot: s.prot, FileBytes: fileBytes, Requests: n,
+		Throughput: float64(n) / (elapsed / 1e9),
+	}, nil
+}
+
+// Interposed reports how many syscalls HFI interposed on (zero for the
+// other protections).
+func (s *Server) Interposed() uint64 {
+	if s.ns == nil {
+		return 0
+	}
+	return s.ns.Interposed
+}

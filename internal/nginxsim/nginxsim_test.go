@@ -1,0 +1,54 @@
+package nginxsim
+
+import "testing"
+
+func TestServeAllProtections(t *testing.T) {
+	var tput [3]float64
+	for _, prot := range []Protection{ProtNone, ProtMPK, ProtHFI} {
+		srv, err := New(prot)
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		res, err := srv.Serve(16<<10, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("%v: zero throughput", prot)
+		}
+		tput[prot] = res.Throughput
+		if srv.Crossings == 0 {
+			t.Fatalf("%v: no domain crossings", prot)
+		}
+	}
+	if !(tput[ProtHFI] < tput[ProtMPK] && tput[ProtMPK] < tput[ProtNone]) {
+		t.Fatalf("throughput ordering: none=%.0f mpk=%.0f hfi=%.0f", tput[ProtNone], tput[ProtMPK], tput[ProtHFI])
+	}
+}
+
+func TestCryptoDeterministic(t *testing.T) {
+	// The same record encrypts identically under every protection — the
+	// schemes change costs, not results.
+	var digests [3]uint64
+	for _, prot := range []Protection{ProtNone, ProtMPK, ProtHFI} {
+		srv, err := New(prot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := srv.RT.M
+		for i := uint64(0); i < 64; i++ {
+			m.Mem().StoreByte(srv.data+bufOff+i, byte(i*7))
+		}
+		if _, err := srv.Serve(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		var d uint64
+		for i := uint64(0); i < 64; i += 8 {
+			d ^= m.Mem().Read(srv.data+bufOff+i, 8)
+		}
+		digests[prot] = d
+	}
+	if digests[0] != digests[1] || digests[1] != digests[2] {
+		t.Fatalf("ciphertexts diverge: %#x %#x %#x", digests[0], digests[1], digests[2])
+	}
+}

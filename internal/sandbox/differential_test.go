@@ -1,0 +1,134 @@
+package sandbox
+
+import (
+	"math/rand"
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// randomModule generates a random but well-formed guest program: a loop
+// over ALU operations and masked linear-memory accesses, deterministic for
+// a given seed. It is the generator for the differential test below.
+func randomModule(seed int64) *wasm.Module {
+	rng := rand.New(rand.NewSource(seed))
+	m := wasm.NewModule("fuzz", 1, 1)
+	f := m.Func("run", 0)
+
+	const nv = 6
+	regs := make([]wasm.VReg, nv)
+	for i := range regs {
+		regs[i] = f.NewReg()
+		f.MovImm(regs[i], int64(rng.Uint32()))
+	}
+	i := f.NewReg()
+	f.MovImm(i, 0)
+	f.Label("loop")
+
+	pick := func() wasm.VReg { return regs[rng.Intn(nv)] }
+	for op := 0; op < 12; op++ {
+		a, b, d := pick(), pick(), pick()
+		switch rng.Intn(9) {
+		case 0:
+			f.Add32(d, a, b)
+		case 1:
+			f.Sub32(d, a, b)
+		case 2:
+			f.Mul32(d, a, b)
+		case 3:
+			f.Xor32(d, a, b)
+		case 4:
+			f.And32(d, a, b)
+		case 5:
+			f.Shl32Imm(d, a, int64(rng.Intn(31)+1))
+		case 6:
+			f.Shr32Imm(d, a, int64(rng.Intn(31)+1))
+		case 7:
+			// Masked store then load: indexes stay inside the 64 KiB
+			// memory regardless of the random values.
+			f.And32Imm(d, a, 0xffc)
+			f.Store(4, d, 0, b)
+			f.Load(4, d, d, 0)
+		case 8:
+			f.Or32(d, a, b)
+		}
+	}
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 50, "loop")
+
+	acc := regs[0]
+	for _, r := range regs[1:] {
+		f.Xor32(acc, acc, r)
+	}
+	f.Ret(acc)
+	return m
+}
+
+// TestDifferentialRandomPrograms is a differential test over the whole
+// stack: for each random program, every (scheme, engine) combination must
+// produce the same result. It has caught compiler, allocator, and pipeline
+// bugs during development; keep the seed count meaningful.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		mod := randomModule(int64(seed)*7919 + 17)
+		var want uint64
+		first := true
+		for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+			for _, engName := range []string{"interp", "core"} {
+				rt := NewRuntime()
+				inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+				if err != nil {
+					t.Fatalf("seed %d %v: %v", seed, scheme, err)
+				}
+				var eng cpu.Engine
+				if engName == "interp" {
+					eng = cpu.NewInterp(rt.M)
+				} else {
+					eng = cpu.NewCore(rt.M)
+				}
+				res, got := inst.Invoke(eng, 50_000_000)
+				if res.Reason != cpu.StopHalt {
+					t.Fatalf("seed %d %v/%s: stop = %v", seed, scheme, engName, res.Reason)
+				}
+				if first {
+					want = got
+					first = false
+				} else if got != want {
+					t.Fatalf("seed %d %v/%s: result %#x, want %#x", seed, scheme, engName, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSwivelPreservesSemantics: the hardening pass must never
+// change program results, only timing and size.
+func TestDifferentialSwivelPreservesSemantics(t *testing.T) {
+	for seed := 0; seed < 8; seed++ {
+		mod := randomModule(int64(seed)*104729 + 3)
+		var want uint64
+		for _, swiv := range []bool{false, true} {
+			rt := NewRuntime()
+			inst, err := rt.Instantiate(mod, sfi.GuardPages, wasm.Options{Swivel: swiv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, got := inst.Invoke(cpu.NewInterp(rt.M), 50_000_000)
+			if res.Reason != cpu.StopHalt {
+				t.Fatalf("seed %d swivel=%v: stop = %v", seed, swiv, res.Reason)
+			}
+			if !swiv {
+				want = got
+			} else if got != want {
+				t.Fatalf("seed %d: Swivel changed the result: %#x vs %#x", seed, got, want)
+			}
+		}
+	}
+}

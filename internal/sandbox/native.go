@@ -1,0 +1,187 @@
+package sandbox
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// NativeSandbox wraps an unmodified native program (no recompilation, no
+// instrumentation — §3.3's native sandbox type). Isolation comes entirely
+// from HFI implicit regions: a code region over the program and a data
+// region over its heap+stack block. System calls are redirected to the
+// exit handler at the decode stage (§4.4); the trusted runtime services
+// them against its policy and re-enters the sandbox.
+type NativeSandbox struct {
+	RT   *Runtime
+	Prog *isa.Program
+
+	CodeBase uint64
+	CodeSize uint64
+	DataBase uint64
+	DataSize uint64
+
+	EntryPC  uint64
+	sandboxT uint64
+
+	// Policy decides whether a redirected syscall may proceed. nil
+	// allows everything.
+	Policy func(sysno uint64, args [5]uint64) bool
+
+	// Serialized sets the is-serialized flag: every enter and exit pays
+	// the pipeline-drain cost but closes the §3.4 speculation windows.
+	Serialized bool
+
+	// Interposed counts syscalls serviced through the exit handler.
+	Interposed uint64
+	// Denied counts syscalls rejected by the policy.
+	Denied uint64
+}
+
+// NewNative maps a code block and a data block and builds the native
+// sandbox. gen receives the chosen code and data base addresses and
+// returns the program (an "unmodified binary" in the paper's sense: plain
+// loads/stores, direct syscalls). dataSize is rounded up to a power of two
+// for the implicit region.
+func (rt *Runtime) NewNative(codeSizeHint, dataSize uint64, serialized bool,
+	gen func(codeBase, dataBase uint64) *isa.Program) (*NativeSandbox, error) {
+	m := rt.M
+
+	const springSlots = 32
+	codeBlock := nextPow2(codeSizeHint + springSlots*isa.InstrBytes)
+	if codeBlock < kernel.OSPageSize {
+		codeBlock = kernel.OSPageSize
+	}
+	codeBase, err := m.AS.MapAligned(codeBlock, codeBlock, kernel.ProtRead|kernel.ProtExec)
+	if err != nil {
+		return nil, err
+	}
+	m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
+
+	dataBlock := nextPow2(dataSize)
+	if dataBlock < kernel.OSPageSize {
+		dataBlock = kernel.OSPageSize
+	}
+	dataBase, err := m.AS.MapAligned(dataBlock, dataBlock, kernel.ProtRead|kernel.ProtWrite)
+	if err != nil {
+		return nil, err
+	}
+	m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
+
+	prog := gen(codeBase+springSlots*isa.InstrBytes, dataBase)
+	if prog.Base != codeBase+springSlots*isa.InstrBytes {
+		return nil, fmt.Errorf("sandbox: native program base %#x, want %#x", prog.Base, codeBase+springSlots*isa.InstrBytes)
+	}
+	if prog.End() > codeBase+codeBlock {
+		return nil, fmt.Errorf("sandbox: native program overflows its code block")
+	}
+	if err := m.LoadPrelinked(prog); err != nil {
+		return nil, err
+	}
+
+	ns := &NativeSandbox{
+		RT: rt, Prog: prog,
+		CodeBase: codeBase, CodeSize: codeBlock,
+		DataBase: dataBase, DataSize: dataBlock,
+		Serialized: serialized,
+	}
+
+	// sandbox_t and region table live in the runtime's own memory — the
+	// last page of the data block is runtime-owned metadata. (The
+	// sandbox can technically read it; it contains no secrets.)
+	meta := dataBase + dataBlock - uint64(kernel.OSPageSize)
+	table := meta + 256
+	entries := []struct {
+		num  int
+		body [hfi.RegionTSize]byte
+	}{
+		{hfi.RegionCodeBase, hfi.EncodeImplicitRegion(hfi.ImplicitRegion{
+			BasePrefix: codeBase, LSBMask: codeBlock - 1, Exec: true,
+		})},
+		{hfi.RegionDataBase, hfi.EncodeImplicitRegion(hfi.ImplicitRegion{
+			BasePrefix: dataBase, LSBMask: dataBlock - 1, Read: true, Write: true,
+		})},
+	}
+	for i, e := range entries {
+		off := table + uint64(i)*hfi.RegionEntrySize
+		m.Mem().Write(off, 8, uint64(e.num))
+		m.Mem().WriteBytes(off+8, e.body[:])
+	}
+	ns.sandboxT = meta
+	cfg := hfi.Config{
+		Hybrid:      false, // native: untrusted code
+		Serialized:  serialized,
+		ExitHandler: cpu.HostReturn,
+		RegionsPtr:  table,
+		RegionCount: uint64(len(entries)),
+	}
+	sb := hfi.EncodeSandboxT(cfg)
+	m.Mem().WriteBytes(ns.sandboxT, sb[:])
+
+	// Springboard: clear scratch registers (no host data leaks into the
+	// sandbox), point SP at the sandbox stack, enter, jump to the binary.
+	b := isa.NewBuilder(codeBase)
+	for r := isa.R0; r <= isa.R11; r++ {
+		b.MovImm(r, 0)
+	}
+	b.MovImm(isa.SP, int64(meta)) // stack grows down below the metadata page
+	b.MovImm(isa.R6, int64(ns.sandboxT))
+	b.HfiEnter(isa.R6)
+	b.MovImm(isa.R6, 0)
+	b.JmpAddr(prog.Base)
+	spring := b.Build()
+	if err := m.LoadPrelinked(spring); err != nil {
+		return nil, err
+	}
+	ns.EntryPC = codeBase
+	return ns, nil
+}
+
+// Run executes the sandboxed binary to completion, interposing on every
+// exit. Completion is a SysExit syscall or an explicit halt. The returned
+// result reflects the final stop.
+func (ns *NativeSandbox) Run(eng cpu.Engine, limit uint64) cpu.RunResult {
+	m := ns.RT.M
+	m.PC = ns.EntryPC
+	for {
+		res := eng.Run(limit)
+		if res.Reason != cpu.StopHostReturn {
+			return res
+		}
+		reason, info := m.HFI.ReadMSR()
+		switch reason {
+		case hfi.ExitSyscall:
+			ns.Interposed++
+			args := [5]uint64{m.Regs[isa.R1], m.Regs[isa.R2], m.Regs[isa.R3], m.Regs[isa.R4], m.Regs[isa.R5]}
+			if info == kernel.SysExit {
+				// The binary is done.
+				m.Kern.Exited = true
+				m.Kern.ExitStatus = args[0]
+				return cpu.RunResult{Reason: cpu.StopExit}
+			}
+			if ns.Policy != nil && !ns.Policy(info, args) {
+				ns.Denied++
+				m.Regs[isa.R0] = ^uint64(kernel.EACCES) + 1
+			} else {
+				m.Regs[isa.R0] = info // restore the syscall number clobbered semantics
+				m.Kern.Syscall(m.AS, &m.Regs)
+			}
+			// Re-enter the sandbox and resume after the syscall. The
+			// trusted runtime uses hfi_reenter semantics; a few cycles of
+			// runtime work are charged.
+			m.Kern.Clock.Advance(4)
+			if _, f := m.HFI.Reenter(); f != nil {
+				return cpu.RunResult{Reason: cpu.StopFault, Fault: f}
+			}
+			m.PC = m.LastExitPC
+		case hfi.ExitInstruction:
+			// Voluntary hfi_exit: the sandbox returned to the runtime.
+			return res
+		default:
+			return res
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package sandbox
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// buildNativeGuest assembles a binary that stores a marker, reads the
+// clock via syscall, and exits.
+func buildNativeGuest(codeBase, dataBase uint64) *isa.Program {
+	b := isa.NewBuilder(codeBase)
+	b.Label("main")
+	// Record incoming register state (the springboard must have cleared it).
+	b.Store(8, isa.RegNone, isa.RegNone, 1, int64(dataBase), isa.R9)
+	// gettime syscall — interposed.
+	b.MovImm(isa.R0, kernel.SysGetTime)
+	b.Syscall()
+	b.Store(8, isa.RegNone, isa.RegNone, 1, int64(dataBase+8), isa.R0)
+	// exit(7)
+	b.MovImm(isa.R0, kernel.SysExit)
+	b.MovImm(isa.R1, 7)
+	b.Syscall()
+	b.Halt()
+	return b.Build()
+}
+
+func TestNativeSandboxLifecycle(t *testing.T) {
+	rt := NewRuntime()
+	m := rt.M
+	var dataBase uint64
+	ns, err := rt.NewNative(2048, 64<<10, true, func(code, data uint64) *isa.Program {
+		dataBase = data
+		return buildNativeGuest(code, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison a register the springboard must clear.
+	m.Regs[isa.R9] = 0xdeadbeef
+
+	res := ns.Run(cpu.NewInterp(m), 0)
+	if res.Reason != cpu.StopExit {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if m.Kern.ExitStatus != 7 {
+		t.Fatalf("exit status = %d", m.Kern.ExitStatus)
+	}
+	if got := m.Mem().Read(dataBase, 8); got != 0 {
+		t.Fatalf("springboard leaked host register state: %#x", got)
+	}
+	if m.Mem().Read(dataBase+8, 8) == 0 {
+		t.Fatal("interposed gettime returned zero")
+	}
+	// Two interposed syscalls: gettime and exit.
+	if ns.Interposed != 2 {
+		t.Fatalf("interposed = %d", ns.Interposed)
+	}
+}
+
+func TestNativeSandboxPolicyDenial(t *testing.T) {
+	rt := NewRuntime()
+	m := rt.M
+	var dataBase uint64
+	ns, err := rt.NewNative(2048, 64<<10, false, func(code, data uint64) *isa.Program {
+		dataBase = data
+		return buildNativeGuest(code, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.Policy = func(sysno uint64, args [5]uint64) bool { return sysno == kernel.SysExit }
+
+	res := ns.Run(cpu.NewInterp(m), 0)
+	if res.Reason != cpu.StopExit {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if ns.Denied != 1 {
+		t.Fatalf("denied = %d", ns.Denied)
+	}
+	got := int64(m.Mem().Read(dataBase+8, 8))
+	if got != -int64(kernel.EACCES) {
+		t.Fatalf("denied syscall returned %d, want %d", got, -kernel.EACCES)
+	}
+}
+
+func TestNativeSandboxFaultDelivery(t *testing.T) {
+	rt := NewRuntime()
+	m := rt.M
+	ns, err := rt.NewNative(2048, 64<<10, true, func(code, data uint64) *isa.Program {
+		b := isa.NewBuilder(code)
+		b.Label("main")
+		b.MovImm(isa.R1, 0x7000_0000) // far outside both regions
+		b.MovImm(isa.R2, 1)
+		b.Store(8, isa.R1, isa.RegNone, 1, 0, isa.R2)
+		b.Halt()
+		return b.Build()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered kernel.SigInfo
+	m.Kern.Sigsegv = func(info kernel.SigInfo) uint64 {
+		delivered = info
+		return 0
+	}
+	res := ns.Run(cpu.NewInterp(m), 0)
+	if res.Reason != cpu.StopFault {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if delivered.HFIReason != hfi.FaultDataBounds {
+		t.Fatalf("signal carried reason %v", delivered.HFIReason)
+	}
+	if m.HFI.Enabled {
+		t.Fatal("fault left HFI enabled")
+	}
+	if reason, _ := m.HFI.ReadMSR(); reason != hfi.FaultDataBounds {
+		t.Fatalf("MSR = %v", reason)
+	}
+}
+
+// TestNativeSandboxCodeRegion: jumping outside the code region is caught
+// at fetch (faulting NOP path) and reported as a code-bounds fault.
+func TestNativeSandboxCodeEscape(t *testing.T) {
+	rt := NewRuntime()
+	m := rt.M
+	ns, err := rt.NewNative(2048, 64<<10, false, func(code, data uint64) *isa.Program {
+		b := isa.NewBuilder(code)
+		b.Label("main")
+		b.MovImm(isa.R1, 0x7fff0000) // outside the code region
+		b.JmpInd(isa.R1)
+		b.Halt()
+		return b.Build()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ns.Run(cpu.NewInterp(m), 0)
+	if res.Reason != cpu.StopFault || res.Fault == nil || res.Fault.Reason != hfi.FaultCodeBounds {
+		t.Fatalf("res = %+v, want code-bounds fault", res)
+	}
+}

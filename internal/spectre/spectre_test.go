@@ -1,0 +1,79 @@
+package spectre
+
+import "testing"
+
+// TestPHTLeaksWithoutHFI is the core §5.3 positive result: without HFI the
+// simulator is vulnerable to Spectre-PHT and the attack recovers the secret.
+func TestPHTLeaksWithoutHFI(t *testing.T) {
+	h, err := NewPHT(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, results := h.LeakString(len(Secret))
+	if got != Secret {
+		t.Fatalf("leaked %q, want %q (per-byte hits: %v)", got, Secret, hits(results))
+	}
+}
+
+// TestPHTBlockedWithHFI is the §5.3 negative result: with the secret
+// outside every HFI region, no probe line ever drops below the hit
+// threshold for an untrained value (Fig 7's "no access latency below the
+// measured threshold").
+func TestPHTBlockedWithHFI(t *testing.T) {
+	h, err := NewPHT(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, results := h.LeakString(len(Secret))
+	for i, r := range results {
+		if r.Hit {
+			t.Errorf("byte %d: leak signal (latency %d for value %q) despite HFI", i, r.Latency[r.Leaked], r.Leaked)
+		}
+	}
+	for _, c := range got {
+		if c != '?' {
+			t.Fatalf("recovered %q despite HFI", got)
+		}
+	}
+}
+
+func hits(results []Result) []bool {
+	out := make([]bool, len(results))
+	for i, r := range results {
+		out[i] = r.Hit
+	}
+	return out
+}
+
+// TestBTBLeaksWithoutHFI: the BTB-trained indirect jump speculatively
+// executes the leak gadget and recovers the secret when HFI is off.
+func TestBTBLeaksWithoutHFI(t *testing.T) {
+	h, err := NewBTB(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, results := h.LeakString(len(Secret))
+	if got != Secret {
+		t.Fatalf("leaked %q, want %q (per-byte hits: %v)", got, Secret, hits(results))
+	}
+}
+
+// TestBTBBlockedWithHFI: with HFI regions excluding the secret, the
+// speculatively executed gadget's load is blocked before the cache fill.
+func TestBTBBlockedWithHFI(t *testing.T) {
+	h, err := NewBTB(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, results := h.LeakString(len(Secret))
+	for i, r := range results {
+		if r.Hit {
+			t.Errorf("byte %d: leak signal despite HFI", i)
+		}
+	}
+	for _, c := range got {
+		if c != '?' {
+			t.Fatalf("recovered %q despite HFI", got)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Mean(xs); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 75); got != 4 {
+		t.Fatalf("p75 = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geomean of non-positive did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+// TestPercentileProperty: percentiles are monotone and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	prop := func(raw []uint16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		a, b := float64(pa%101), float64(pb%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := Percentile(xs, a), Percentile(xs, b)
+		return va <= vb && va >= Min(xs) && vb <= Max(xs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow("xxx", "y")
+	tb.AddNote("n=%d", 7)
+	out := tb.String()
+	for _, want := range []string{"== T ==", "a", "bb", "xxx", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Ns(5):          "5ns",
+		Ns(1500):       "1.50us",
+		Ns(2.5e6):      "2.50ms",
+		Ns(3e9):        "3.00s",
+		Bytes(512):     "512B",
+		Bytes(2048):    "2.0KiB",
+		Bytes(3 << 20): "3.0MiB",
+		Bytes(5 << 30): "5.0GiB",
+		Pct(1.032):     "+3.2%",
+		Pct(0.9):       "-10.0%",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("formatted %q, want %q", got, want)
+		}
+	}
+}

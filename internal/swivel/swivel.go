@@ -1,0 +1,34 @@
+// Package swivel wraps the Swivel-SFI-like compiler hardening used as the
+// software Spectre-mitigation baseline in §6.5 / Table 1.
+//
+// Swivel (Narayan et al., USENIX Security 2021) hardens Wasm against
+// Spectre by compiling code into linear blocks with block-label interlocks
+// so the processor cannot speculatively wander between blocks, plus a
+// fence on sandbox entry. The observable costs the paper compares are:
+// extra instructions at every linear-block boundary (tens of percent on
+// branchy code), binary bloat (Table 1's bin-size column grows ~15-20%),
+// and entry serialization. The instrumentation itself lives in
+// internal/wasm's compiler (Options.Swivel); this package provides the
+// named entry point and the reporting helpers.
+package swivel
+
+import (
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// Compile compiles a module with Swivel-style hardening over the guard-page
+// scheme (Swivel hardens stock Wasm, whose memory isolation is guard
+// pages).
+func Compile(m *wasm.Module, lay wasm.Layout) (*wasm.Compiled, error) {
+	return wasm.Compile(m, sfi.GuardPages, lay, wasm.Options{Swivel: true})
+}
+
+// Bloat returns the binary-size inflation of a Swivel build relative to a
+// stock build of the same module, as a ratio (e.g. 1.17 = 17% larger).
+func Bloat(stock, hardened *wasm.Compiled) float64 {
+	if stock.BinaryBytes == 0 {
+		return 1
+	}
+	return float64(hardened.BinaryBytes) / float64(stock.BinaryBytes)
+}

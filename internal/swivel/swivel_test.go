@@ -1,0 +1,32 @@
+package swivel
+
+import (
+	"testing"
+
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+func TestSwivelBloat(t *testing.T) {
+	m := wasm.NewModule("b", 1, 1)
+	f := m.Func("run", 0)
+	v := f.NewReg()
+	f.MovImm(v, 0)
+	f.Label("l")
+	f.AddImm(v, v, 1)
+	f.BrImm(2 /* CondLT */, v, 100, "l")
+	f.Ret(v)
+	lay := wasm.Layout{CodeBase: 0x10000, HeapBase: 0x200000, StackBase: 0x100000,
+		StackSize: 0x10000, GlobalBase: 0x120000}
+	stock, err := wasm.Compile(m, sfi.GuardPages, lay, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Compile(m, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bloat := Bloat(stock, hard); bloat <= 1.0 {
+		t.Fatalf("bloat = %.2f, want > 1", bloat)
+	}
+}

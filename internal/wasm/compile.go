@@ -1,0 +1,693 @@
+package wasm
+
+import (
+	"fmt"
+	"sort"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/sfi"
+)
+
+// Layout fixes the guest addresses a compiled instance uses. The sandbox
+// runtime (internal/sandbox) chooses layouts; the compiler bakes them in
+// the way a Wasm AOT compiler bakes its heap-base register initialization
+// into the entry stub.
+type Layout struct {
+	CodeBase   uint64 // program text
+	HeapBase   uint64 // linear memory 0
+	StackBase  uint64 // machine stack (grows down from StackBase+StackSize)
+	StackSize  uint64
+	GlobalBase uint64 // runtime globals: current pages, grow staging, memory contexts
+	// ExtraMemBases holds the bases of linear memories 1..N. Only the
+	// HFI scheme reads them at compile time (they become explicit-region
+	// programming data for the runtime); software schemes fetch them from
+	// the instance context at GlobalBase on every access.
+	ExtraMemBases []uint64
+}
+
+// Global-area offsets (relative to Layout.GlobalBase).
+const (
+	gCurPages = 0  // u64: current linear-memory pages
+	gHeapBase = 8  // u64: linear-memory base (written by the runtime)
+	gStaging  = 48 // 32-byte region_t staging buffer for HFI memory.grow
+	// gMemCtx is the start of the per-memory context records for linear
+	// memories 1..N: {base u64, bound-or-mask u64} each. This is the
+	// VMContext-style indirection real Wasm runtimes use for secondary
+	// memories — and the per-access cost HFI's explicit regions avoid.
+	gMemCtx = 192
+	// GlobalAreaSize is the size the runtime must map at GlobalBase.
+	GlobalAreaSize = 512
+)
+
+// MemCtxOffset returns the global-area offset of linear memory k's context
+// record (k >= 1).
+func MemCtxOffset(k int) uint64 { return gMemCtx + uint64(k-1)*16 }
+
+// Options tunes a compilation.
+type Options struct {
+	// ExtraReservedRegs removes N additional registers from the
+	// allocatable pool (the §6.1 register-pressure experiment).
+	ExtraReservedRegs int
+	// Swivel applies a Swivel-SFI-like Spectre hardening pass: extra
+	// interlock instructions at every linear-block entry and conditional
+	// branch, and a serializing entry fence. It models the §6.5 baseline.
+	Swivel bool
+}
+
+// Compiled is the output of Compile: the program image plus the metadata a
+// runtime needs to instantiate it.
+type Compiled struct {
+	Prog   *isa.Program
+	Module *Module
+	Scheme sfi.Scheme
+	Layout Layout
+	Opts   Options
+	// BinaryBytes is the code-image size (Table 1's "Bin size" column).
+	BinaryBytes uint64
+}
+
+// HeapBytes returns the initial linear-memory size in bytes.
+func (c *Compiled) HeapBytes() uint64 { return uint64(c.Module.MemPages) * PageSize }
+
+// MaxHeapBytes returns the maximum linear-memory size in bytes.
+func (c *Compiled) MaxHeapBytes() uint64 { return uint64(c.Module.MaxPages) * PageSize }
+
+// fnCtx is the per-function compilation context.
+type fnCtx struct {
+	f        *Fn
+	phys     map[VReg]isa.Reg // direct-mapped virtual registers
+	spilled  map[VReg]bool
+	s1, s2   isa.Reg // spill staging scratches (valid in spill mode)
+	scratch  isa.Reg // scheme scratch (BoundsCheck/Masking)
+	memBase  isa.Reg // secondary-memory base scratch (multi-memory, non-HFI)
+	hasFrame bool
+}
+
+type compiler struct {
+	m      *Module
+	scheme sfi.Scheme
+	lay    Layout
+	opts   Options
+	b      *isa.Builder
+	pool   []isa.Reg // allocatable registers after ABI + scheme reservations
+}
+
+// Compile lowers a module to a guest program under the given scheme.
+func Compile(m *Module, scheme sfi.Scheme, lay Layout, opts Options) (*Compiled, error) {
+	if m.Lookup("run") == nil {
+		return nil, fmt.Errorf("wasm: module %q has no run function", m.Name)
+	}
+	if scheme == sfi.Masking {
+		size := uint64(m.MemPages) * PageSize
+		if size&(size-1) != 0 {
+			return nil, fmt.Errorf("wasm: masking scheme needs power-of-two memory, have %d pages", m.MemPages)
+		}
+		for _, pages := range m.ExtraMemories {
+			ms := uint64(pages) * PageSize
+			if ms&(ms-1) != 0 {
+				return nil, fmt.Errorf("wasm: masking scheme needs power-of-two memories, have %d pages", pages)
+			}
+		}
+	}
+	if scheme == sfi.HFI && m.NumMemories() > hfi.NumExplicitRegions {
+		// §3.3.1's register multiplexing for >4 memories is future work;
+		// the runtime would swap explicit regions with hfi_set_region.
+		return nil, fmt.Errorf("wasm: HFI supports up to %d memories without region multiplexing", hfi.NumExplicitRegions)
+	}
+	c := &compiler{m: m, scheme: scheme, lay: lay, opts: opts, b: isa.NewBuilder(lay.CodeBase)}
+
+	// Build the allocatable pool: R0..R13 minus scheme reservations minus
+	// the artificial reservations of the register-pressure experiment.
+	reserved := make(map[isa.Reg]bool)
+	for _, r := range scheme.ReservedRegs() {
+		reserved[r] = true
+	}
+	for r := isa.R0; r < isa.R14; r++ {
+		if !reserved[r] {
+			c.pool = append(c.pool, r)
+		}
+	}
+	if n := opts.ExtraReservedRegs; n > 0 {
+		if n >= len(c.pool)-6 {
+			return nil, fmt.Errorf("wasm: cannot reserve %d extra registers", n)
+		}
+		c.pool = c.pool[:len(c.pool)-n]
+	}
+
+	c.emitStart()
+	for _, f := range m.Funcs {
+		if err := c.emitFn(f); err != nil {
+			return nil, err
+		}
+	}
+	c.emitTrap()
+
+	prog := c.b.Build()
+	return &Compiled{
+		Prog: prog, Module: m, Scheme: scheme, Layout: lay, Opts: opts,
+		BinaryBytes: prog.Size(),
+	}, nil
+}
+
+// emitStart builds the entry stub: stack and scheme-register setup, the
+// call into run, and the final halt that returns control to the runtime.
+func (c *compiler) emitStart() {
+	b := c.b
+	b.Label("__start")
+	if c.opts.Swivel {
+		// Swivel hardens sandbox entry with a serializing fence.
+		b.Fence()
+	}
+	b.MovImm(isa.SP, int64(c.lay.StackBase+c.lay.StackSize))
+	switch c.scheme {
+	case sfi.None, sfi.GuardPages:
+		b.MovImm(sfi.HeapBaseReg, int64(c.lay.HeapBase))
+	case sfi.BoundsCheck:
+		b.MovImm(sfi.HeapBaseReg, int64(c.lay.HeapBase))
+		b.MovImm(sfi.HeapBoundReg, int64(c.m.MemPages)*PageSize)
+	case sfi.Masking:
+		b.MovImm(sfi.HeapBaseReg, int64(c.lay.HeapBase))
+		b.MovImm(sfi.MaskReg, int64(c.m.MemPages)*PageSize-1)
+	case sfi.HFI:
+		// The heap region register was programmed by the runtime before
+		// entry; no in-band setup is needed. This is the zero-reserved-
+		// register property the §6.1 analysis credits HFI's speedup to.
+	}
+	b.Call("run")
+	if c.scheme == sfi.HFI {
+		// Wasm2c's sandbox transition ends with hfi_exit (§5.1). In a
+		// hybrid sandbox without an exit handler, control falls through
+		// to the trusted code placed directly after — here, the halt
+		// that returns to the host runtime.
+		b.HfiExit()
+	}
+	b.Halt()
+}
+
+// emitTrap builds the shared bounds-trap target: a null dereference that
+// raises a precise fault through the page-protection path.
+func (c *compiler) emitTrap() {
+	b := c.b
+	b.Label("__trap")
+	b.MovImm(isa.R0, 0)
+	b.Load(8, isa.R0, isa.R0, isa.RegNone, 1, 0)
+	b.Halt()
+}
+
+// allocate performs register allocation for one function.
+func (c *compiler) allocate(f *Fn) (*fnCtx, error) {
+	ctx := &fnCtx{f: f, phys: make(map[VReg]isa.Reg), spilled: make(map[VReg]bool),
+		s1: isa.RegNone, s2: isa.RegNone, scratch: isa.RegNone, memBase: isa.RegNone}
+	pool := append([]isa.Reg(nil), c.pool...)
+	if c.scheme.NeedsScratch() || (len(c.m.ExtraMemories) > 0 && c.scheme != sfi.HFI) {
+		ctx.scratch = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+	}
+	if len(c.m.ExtraMemories) > 0 && c.scheme != sfi.HFI {
+		// Secondary-memory accesses stage the memory base through a
+		// dedicated scratch (the instance-context indirection).
+		ctx.memBase = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+	}
+	n := f.NumVRegs()
+	if n <= len(pool) {
+		for v := 0; v < n; v++ {
+			ctx.phys[VReg(v)] = pool[v]
+		}
+		ctx.hasFrame = f.HasCalls || c.needsFlush(f)
+		return ctx, nil
+	}
+	// Spill mode: reserve two staging scratches (distinct from the scheme
+	// scratch), keep the most-used virtual registers in the rest.
+	if len(pool) < 4 {
+		return nil, fmt.Errorf("wasm: %s needs %d registers but only %d are allocatable", f.Name, n, len(pool))
+	}
+	ctx.s1 = pool[len(pool)-1]
+	ctx.s2 = pool[len(pool)-2]
+	pool = pool[:len(pool)-2]
+
+	use := spillWeights(f)
+	order := make([]VReg, 0, n)
+	for v := 0; v < n; v++ {
+		order = append(order, VReg(v))
+	}
+	sort.SliceStable(order, func(i, j int) bool { return use[order[i]] > use[order[j]] })
+	for i, v := range order {
+		if i < len(pool) {
+			ctx.phys[v] = pool[i]
+		} else {
+			ctx.spilled[v] = true
+		}
+	}
+	ctx.hasFrame = true
+	return ctx, nil
+}
+
+// needsFlush reports whether the function contains operations that clobber
+// the allocatable registers wholesale (grow sequences use R0-R5).
+func (c *compiler) needsFlush(f *Fn) bool {
+	for i := range f.code {
+		if f.code[i].vop == vGrow {
+			return true
+		}
+	}
+	return false
+}
+
+// spillWeights estimates dynamic use frequency per virtual register:
+// static uses weighted exponentially by loop-nesting depth, where a loop
+// is a (label, backward-branch) interval. Registers hot in inner loops
+// stay allocated; initialization-only values spill first.
+func spillWeights(f *Fn) map[VReg]int {
+	// Label definition positions.
+	labelAt := make(map[string]int)
+	for i := range f.code {
+		in := &f.code[i]
+		if in.vop == vISA && in.Op == isa.OpNop && len(in.Label) > 0 && in.Label[0] == '@' {
+			labelAt[in.Label[1:]] = i
+		}
+	}
+	type interval struct{ lo, hi int }
+	var loops []interval
+	for i := range f.code {
+		in := &f.code[i]
+		if in.vop != vISA || (in.Op != isa.OpBr && in.Op != isa.OpJmp) {
+			continue
+		}
+		if at, ok := labelAt[in.Label]; ok && at < i {
+			loops = append(loops, interval{at, i})
+		}
+	}
+	depth := make([]int, len(f.code))
+	for _, lp := range loops {
+		for i := lp.lo; i <= lp.hi; i++ {
+			depth[i]++
+		}
+	}
+	// Conditionally executed regions (between a forward conditional branch
+	// and its target) run less often than their enclosing loop; discount
+	// them the way profile-estimating compilers do.
+	guard := make([]int, len(f.code))
+	for i := range f.code {
+		in := &f.code[i]
+		if in.vop != vISA || in.Op != isa.OpBr {
+			continue
+		}
+		if at, ok := labelAt[in.Label]; ok && at > i {
+			for j := i + 1; j < at; j++ {
+				guard[j]++
+			}
+		}
+	}
+	use := make(map[VReg]int)
+	for i := range f.code {
+		in := &f.code[i]
+		w := 1
+		for d := 0; d < depth[i] && d < 6; d++ {
+			w *= 8
+		}
+		for g := 0; g < guard[i] && g < 3; g++ {
+			w = (w + 2) / 3
+		}
+		for _, v := range []VReg{in.Rd, in.Rs1, in.Rs2, in.Rs3} {
+			if v != VNone {
+				use[v] += w
+			}
+		}
+		for _, v := range in.Args {
+			use[v] += w
+		}
+	}
+	return use
+}
+
+func slotDisp(v VReg) int64 { return -8 * (int64(v) + 1) }
+
+// src materializes a virtual register source into a physical register,
+// staging spilled values through the given scratch.
+func (ctx *fnCtx) src(b *isa.Builder, v VReg, scratch isa.Reg) isa.Reg {
+	if v == VNone {
+		return isa.RegNone
+	}
+	if r, ok := ctx.phys[v]; ok {
+		return r
+	}
+	b.Load(8, scratch, sfi.FP, isa.RegNone, 1, slotDisp(v))
+	return scratch
+}
+
+// dst returns the physical register to compute a result into and a
+// function to run after the computation (the spill store).
+func (ctx *fnCtx) dst(b *isa.Builder, v VReg) (isa.Reg, func()) {
+	if r, ok := ctx.phys[v]; ok {
+		return r, func() {}
+	}
+	return ctx.s1, func() { b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(v), ctx.s1) }
+}
+
+// flushRegs stores every register-allocated virtual register to its home
+// slot (before calls and grow sequences); reloadRegs restores them.
+func (ctx *fnCtx) flushRegs(b *isa.Builder) {
+	for v := 0; v < ctx.f.NumVRegs(); v++ {
+		if r, ok := ctx.phys[VReg(v)]; ok {
+			b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(VReg(v)), r)
+		}
+	}
+}
+
+func (ctx *fnCtx) reloadRegs(b *isa.Builder) {
+	for v := 0; v < ctx.f.NumVRegs(); v++ {
+		if r, ok := ctx.phys[VReg(v)]; ok {
+			b.Load(8, r, sfi.FP, isa.RegNone, 1, slotDisp(VReg(v)))
+		}
+	}
+}
+
+func (c *compiler) label(f *Fn, l string) string { return f.Name + "." + l }
+
+// emitFn compiles one function.
+func (c *compiler) emitFn(f *Fn) error {
+	ctx, err := c.allocate(f)
+	if err != nil {
+		return err
+	}
+	b := c.b
+	b.Label(f.Name)
+	if c.opts.Swivel {
+		c.emitSwivelBlockEntry()
+	}
+
+	// Prologue: save caller's FP, establish frame, spill incoming params.
+	frameSize := int64(8 * f.NumVRegs())
+	b.SubImm(isa.SP, isa.SP, 8)
+	b.Store(8, isa.SP, isa.RegNone, 1, 0, sfi.FP)
+	b.Mov(sfi.FP, isa.SP)
+	b.SubImm(isa.SP, isa.SP, frameSize)
+	for i := 0; i < f.NParams; i++ {
+		pr := isa.Reg(i) // params arrive in R0..R5
+		if r, ok := ctx.phys[VReg(i)]; ok {
+			b.Mov(r, pr)
+		} else {
+			b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(VReg(i)), pr)
+		}
+		// Params also need home-slot copies when calls will flush.
+		if ctx.hasFrame {
+			if r, ok := ctx.phys[VReg(i)]; ok {
+				b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(VReg(i)), r)
+			}
+		}
+	}
+
+	sawRet := false
+	for i := range f.code {
+		in := &f.code[i]
+		if in.vop == vRet {
+			sawRet = true
+		}
+		if err := c.emitInstr(ctx, in); err != nil {
+			return fmt.Errorf("%s: %v", f.Name, err)
+		}
+	}
+	if !sawRet {
+		c.emitEpilogue(ctx, VNone)
+	}
+	return nil
+}
+
+// emitEpilogue tears down the frame and returns, placing the optional
+// result in R0.
+func (c *compiler) emitEpilogue(ctx *fnCtx, result VReg) {
+	b := c.b
+	if result != VNone {
+		r := ctx.src(b, result, ctx.s1)
+		if r != isa.R0 {
+			b.Mov(isa.R0, r)
+		}
+	}
+	b.Mov(isa.SP, sfi.FP)
+	b.Load(8, sfi.FP, isa.SP, isa.RegNone, 1, 0)
+	b.AddImm(isa.SP, isa.SP, 8)
+	b.Ret()
+}
+
+// emitSwivelBlockEntry emits the Swivel-style linear-block interlock: two
+// dependent ALU operations that model the block-label check sequence.
+func (c *compiler) emitSwivelBlockEntry() {
+	b := c.b
+	b.AddImm(sfi.FP, sfi.FP, 0)
+	b.AddImm(sfi.FP, sfi.FP, 0)
+}
+
+func (c *compiler) emitInstr(ctx *fnCtx, in *VInstr) error {
+	b := c.b
+	f := ctx.f
+	switch in.vop {
+	case vISA:
+		switch in.Op {
+		case isa.OpNop:
+			if len(in.Label) > 0 && in.Label[0] == '@' {
+				b.Label(c.label(f, in.Label[1:]))
+				if c.opts.Swivel {
+					c.emitSwivelBlockEntry()
+				}
+				return nil
+			}
+			b.Nop()
+		case isa.OpMovImm:
+			r, fin := ctx.dst(b, in.Rd)
+			b.MovImm(r, in.Imm)
+			fin()
+		case isa.OpMov:
+			s := ctx.src(b, in.Rs1, ctx.s1)
+			r, fin := ctx.dst(b, in.Rd)
+			b.Mov(r, s)
+			fin()
+		case isa.OpBr:
+			a := ctx.src(b, in.Rs1, ctx.s1)
+			if in.UseImm {
+				b.BrImm(in.Cond, a, in.Imm, c.label(f, in.Label))
+			} else {
+				bb := ctx.src(b, in.Rs2, ctx.s2)
+				b.Br(in.Cond, a, bb, c.label(f, in.Label))
+			}
+			if c.opts.Swivel {
+				// Swivel hardens the fall-through edge too.
+				b.AddImm(sfi.FP, sfi.FP, 0)
+			}
+		case isa.OpJmp:
+			b.Jmp(c.label(f, in.Label))
+		default:
+			// ALU operation.
+			a := ctx.src(b, in.Rs1, ctx.s1)
+			bb := isa.RegNone
+			if !in.UseImm && in.Rs2 != VNone {
+				bb = ctx.src(b, in.Rs2, ctx.s2)
+			}
+			r, fin := ctx.dst(b, in.Rd)
+			b.Raw(isa.Instr{Op: in.Op, Rd: r, Rs1: a, Rs2: bb, Rs3: isa.RegNone,
+				UseImm: in.UseImm, Imm: in.Imm, W32: in.W32})
+			fin()
+		}
+
+	case vLoad:
+		idx := ctx.src(b, in.Rs1, ctx.s2)
+		r, fin := ctx.dst(b, in.Rd)
+		if in.MemIdx > 0 {
+			if err := c.emitMultiMemAccess(ctx, in, r, idx, isa.RegNone); err != nil {
+				return err
+			}
+		} else {
+			sfi.EmitLoad(b, c.scheme, in.Size, r, idx, in.Disp, in.SignExt, ctx.scratch, "__trap")
+		}
+		fin()
+
+	case vStore:
+		idx := ctx.src(b, in.Rs1, ctx.s2)
+		src := ctx.src(b, in.Rs3, ctx.s1)
+		if in.MemIdx > 0 {
+			if err := c.emitMultiMemAccess(ctx, in, isa.RegNone, idx, src); err != nil {
+				return err
+			}
+		} else {
+			sfi.EmitStore(b, c.scheme, in.Size, idx, in.Disp, src, ctx.scratch, "__trap")
+		}
+
+	case vSize:
+		r, fin := ctx.dst(b, in.Rd)
+		b.MovImm(r, int64(c.lay.GlobalBase+gCurPages))
+		b.Load(8, r, r, isa.RegNone, 1, 0)
+		fin()
+
+	case vGrow:
+		c.emitGrow(ctx, in)
+
+	case vCall:
+		callee := c.m.Lookup(in.Label)
+		if callee == nil {
+			return fmt.Errorf("call to unknown function %q", in.Label)
+		}
+		if len(in.Args) != callee.NParams {
+			return fmt.Errorf("call to %s: %d args, want %d", in.Label, len(in.Args), callee.NParams)
+		}
+		if len(in.Args) > 6 {
+			return fmt.Errorf("call to %s: more than 6 arguments unsupported", in.Label)
+		}
+		ctx.flushRegs(b)
+		for i := range in.Args {
+			b.Load(8, isa.Reg(i), sfi.FP, isa.RegNone, 1, slotDisp(in.Args[i]))
+		}
+		b.Call(in.Label)
+		if in.Rd != VNone {
+			b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(in.Rd), isa.R0)
+		}
+		ctx.reloadRegs(b)
+
+	case vRet:
+		c.emitEpilogue(ctx, in.Rs1)
+
+	case vTrap:
+		b.Jmp("__trap")
+
+	default:
+		return fmt.Errorf("unknown IR op %d", in.vop)
+	}
+	return nil
+}
+
+// emitMultiMemAccess lowers an access to a secondary linear memory. Under
+// HFI the access is a single hmov against the memory's explicit region.
+// Software schemes pay the instance-context indirection: load the base
+// (and, for bounds/masking, the bound or mask) from the globals area, then
+// perform the checked access — the multi-memory overhead §2 describes.
+func (c *compiler) emitMultiMemAccess(ctx *fnCtx, in *VInstr, dst, idx, src isa.Reg) error {
+	b := c.b
+	k := int(in.MemIdx)
+	if k >= c.m.NumMemories() {
+		return fmt.Errorf("access to undeclared memory %d", k)
+	}
+	isStore := in.vop == vStore
+	if c.scheme == sfi.HFI {
+		if isStore {
+			b.HStore(uint8(k), in.Size, idx, 1, in.Disp, src)
+		} else if in.SignExt {
+			b.Raw(isa.Instr{Op: isa.OpHLoad, Rd: dst, Rs1: isa.RegNone, Rs2: idx, Rs3: isa.RegNone,
+				HReg: uint8(k), Size: in.Size, Scale: 1, Disp: in.Disp, SignExt: true})
+		} else {
+			b.HLoad(uint8(k), in.Size, dst, idx, 1, in.Disp)
+		}
+		return nil
+	}
+	ctxAddr := int64(c.lay.GlobalBase + MemCtxOffset(k))
+	switch c.scheme {
+	case sfi.BoundsCheck:
+		// Check against the bound fetched from the context before
+		// loading the base (the base scratch doubles as the sum
+		// temporary): two context loads plus compare-and-branch per
+		// access — the real cost of bounds-checked multi-memories.
+		b.MovImm(ctx.memBase, ctxAddr)
+		b.Load(8, ctx.scratch, ctx.memBase, isa.RegNone, 1, 8) // bound
+		b.AddImm(ctx.memBase, idx, in.Disp+int64(in.Size))     // sum
+		b.Br(isa.CondGTU, ctx.memBase, ctx.scratch, "__trap")
+		b.MovImm(ctx.memBase, ctxAddr)
+		b.Load(8, ctx.memBase, ctx.memBase, isa.RegNone, 1, 0) // base
+		if isStore {
+			b.Store(in.Size, ctx.memBase, idx, 1, in.Disp, src)
+		} else if in.SignExt {
+			b.LoadS(in.Size, dst, ctx.memBase, idx, 1, in.Disp)
+		} else {
+			b.Load(in.Size, dst, ctx.memBase, idx, 1, in.Disp)
+		}
+		return nil
+	case sfi.Masking:
+		b.MovImm(ctx.memBase, ctxAddr)
+		b.Load(8, ctx.scratch, ctx.memBase, isa.RegNone, 1, 8) // mask
+		b.Load(8, ctx.memBase, ctx.memBase, isa.RegNone, 1, 0) // base
+		b.And(ctx.scratch, idx, ctx.scratch)
+		if isStore {
+			b.Store(in.Size, ctx.memBase, ctx.scratch, 1, in.Disp, src)
+		} else if in.SignExt {
+			b.LoadS(in.Size, dst, ctx.memBase, ctx.scratch, 1, in.Disp)
+		} else {
+			b.Load(in.Size, dst, ctx.memBase, ctx.scratch, 1, in.Disp)
+		}
+		return nil
+	default: // None, GuardPages: base indirection only, guards catch OOB
+		b.MovImm(ctx.memBase, ctxAddr)
+		b.Load(8, ctx.memBase, ctx.memBase, isa.RegNone, 1, 0)
+		if isStore {
+			b.Store(in.Size, ctx.memBase, idx, 1, in.Disp, src)
+		} else if in.SignExt {
+			b.LoadS(in.Size, dst, ctx.memBase, idx, 1, in.Disp)
+		} else {
+			b.Load(in.Size, dst, ctx.memBase, idx, 1, in.Disp)
+		}
+		return nil
+	}
+}
+
+// emitGrow lowers memory.grow for the active scheme. This is the §6.1
+// heap-growth experiment's code path: guard pages must mprotect the newly
+// exposed pages (a syscall); bounds checking just bumps the bound
+// register; HFI updates the explicit region register with
+// hfi_get_region/hfi_set_region — no kernel involvement.
+func (c *compiler) emitGrow(ctx *fnCtx, in *VInstr) {
+	b := c.b
+	g := int64(c.lay.GlobalBase)
+	ctx.flushRegs(b)
+	// R1 = delta, R2 = old pages, R3 = new pages.
+	b.Load(8, isa.R1, sfi.FP, isa.RegNone, 1, slotDisp(in.Rs1))
+	b.MovImm(isa.R4, g+gCurPages)
+	b.Load(8, isa.R2, isa.R4, isa.RegNone, 1, 0)
+	b.Add(isa.R3, isa.R2, isa.R1)
+	failLabel := fmt.Sprintf("%s.__growfail%d", ctx.f.Name, b.Len())
+	doneLabel := fmt.Sprintf("%s.__growdone%d", ctx.f.Name, b.Len())
+	b.BrImm(isa.CondGTU, isa.R3, int64(c.m.MaxPages), failLabel)
+	b.Store(8, isa.R4, isa.RegNone, 1, 0, isa.R3)
+
+	switch c.scheme {
+	case sfi.GuardPages:
+		// mprotect(heapBase + old*64K, delta*64K, RW): the guard pages
+		// covering the new range become accessible.
+		b.ShlImm(isa.R5, isa.R2, 16)
+		b.Add(isa.R5, isa.R5, sfi.HeapBaseReg)
+		b.ShlImm(isa.R1, isa.R1, 16)
+		b.Mov(isa.R2, isa.R1) // length
+		b.Mov(isa.R1, isa.R5) // addr
+		b.MovImm(isa.R3, int64(kernel.ProtRead|kernel.ProtWrite))
+		b.MovImm(isa.R0, kernel.SysMprotect)
+		b.Syscall()
+	case sfi.BoundsCheck:
+		// New bound = newPages * 64K. A register update; no syscall.
+		b.ShlImm(sfi.HeapBoundReg, isa.R3, 16)
+	case sfi.Masking, sfi.None:
+		// Masking memories are fixed-size (the mask is baked in); None
+		// has no enforcement. Only the page counter changes.
+	case sfi.HFI:
+		// Update the explicit heap region's bound: read the region_t,
+		// rewrite the bound field, write it back (§3.2 footnote: "regions
+		// can be resized with just a register update").
+		b.MovImm(isa.R4, g+gStaging)
+		b.HfiGetRegion(hfi.RegionExplicitBase+sfi.HeapRegion, isa.R4)
+		b.ShlImm(isa.R5, isa.R3, 16)
+		b.Store(8, isa.R4, isa.RegNone, 1, 8, isa.R5)
+		b.HfiSetRegion(hfi.RegionExplicitBase+sfi.HeapRegion, isa.R4)
+	}
+	// Success: result = old pages.
+	b.MovImm(isa.R4, g+gCurPages) // reload pointer (clobbered above)
+	b.Load(8, isa.R0, isa.R4, isa.RegNone, 1, 0)
+	b.Load(8, isa.R1, sfi.FP, isa.RegNone, 1, slotDisp(in.Rs1))
+	b.Sub(isa.R0, isa.R0, isa.R1) // old = new - delta
+	b.Jmp(doneLabel)
+	b.Label(failLabel)
+	b.MovImm(isa.R0, -1)
+	b.Label(doneLabel)
+	if in.Rd != VNone {
+		b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(in.Rd), isa.R0)
+	}
+	ctx.reloadRegs(b)
+}
+
+// SpillWeightsForTest exposes the allocator's frequency estimate to tests.
+func SpillWeightsForTest(f *Fn) map[VReg]int { return spillWeights(f) }

@@ -1,0 +1,198 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+func testLayout() Layout {
+	return Layout{CodeBase: 0x10000, HeapBase: 0x200000, StackBase: 0x100000,
+		StackSize: 0x10000, GlobalBase: 0x120000}
+}
+
+func TestCompileRequiresRun(t *testing.T) {
+	m := NewModule("norun", 1, 1)
+	f := m.Func("other", 0)
+	f.Ret(VNone)
+	if _, err := Compile(m, sfi.HFI, testLayout(), Options{}); err == nil {
+		t.Fatal("module without run compiled")
+	}
+}
+
+func TestMaskingRequiresPow2(t *testing.T) {
+	m := NewModule("np2", 3, 3)
+	f := m.Func("run", 0)
+	f.Ret(VNone)
+	if _, err := Compile(m, sfi.Masking, testLayout(), Options{}); err == nil {
+		t.Fatal("masking accepted a non-power-of-two memory")
+	}
+	m2 := NewModule("p2", 4, 4)
+	f2 := m2.Func("run", 0)
+	f2.Ret(VNone)
+	if _, err := Compile(m2, sfi.Masking, testLayout(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwivelAddsCodeAndFence(t *testing.T) {
+	build := func(opts Options) *Compiled {
+		m := NewModule("sw", 1, 1)
+		f := m.Func("run", 0)
+		v := f.NewReg()
+		f.MovImm(v, 0)
+		f.Label("l")
+		f.AddImm(v, v, 1)
+		f.BrImm(isa.CondLT, v, 10, "l")
+		f.Ret(v)
+		c, err := Compile(m, sfi.GuardPages, testLayout(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	stock := build(Options{})
+	hard := build(Options{Swivel: true})
+	if hard.BinaryBytes <= stock.BinaryBytes {
+		t.Fatalf("Swivel build not larger: %d vs %d", hard.BinaryBytes, stock.BinaryBytes)
+	}
+	foundFence := false
+	for i := range hard.Prog.Instrs {
+		if hard.Prog.Instrs[i].Op == isa.OpFence {
+			foundFence = true
+		}
+	}
+	if !foundFence {
+		t.Fatal("Swivel build has no entry fence")
+	}
+}
+
+func TestSchemeInstructionFootprint(t *testing.T) {
+	build := func(scheme sfi.Scheme) *Compiled {
+		m := NewModule("fp", 1, 1)
+		f := m.Func("run", 0)
+		v := f.NewReg()
+		f.MovImm(v, 0)
+		f.Load(4, v, v, 0)
+		f.Store(4, v, 8, v)
+		f.Ret(v)
+		c, err := Compile(m, scheme, testLayout(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	guard := build(sfi.GuardPages)
+	bounds := build(sfi.BoundsCheck)
+	mask := build(sfi.Masking)
+	hfiC := build(sfi.HFI)
+
+	// Two accesses: bounds adds 2 instrs each plus the bound-register
+	// init in the entry stub; masking adds 1 per access plus the mask
+	// init. HFI adds none and drops the heap-base setup entirely.
+	if got, want := bounds.Prog.Size()-guard.Prog.Size(), uint64((2*2+1)*isa.InstrBytes); got != want {
+		t.Fatalf("bounds footprint +%d bytes, want +%d", got, want)
+	}
+	if got, want := mask.Prog.Size()-guard.Prog.Size(), uint64((2*1+1)*isa.InstrBytes); got != want {
+		t.Fatalf("mask footprint +%d bytes, want +%d", got, want)
+	}
+	// HFI drops the heap-base stub setup but adds the hfi_exit on the
+	// transition out, so it is never larger than guard pages.
+	if hfiC.Prog.Size() > guard.Prog.Size() {
+		t.Fatalf("HFI build larger than guard pages: %d vs %d", hfiC.Prog.Size(), guard.Prog.Size())
+	}
+
+	// HFI code accesses the heap exclusively through hmov.
+	var hloads, hstores int
+	for i := range hfiC.Prog.Instrs {
+		switch hfiC.Prog.Instrs[i].Op {
+		case isa.OpHLoad:
+			hloads++
+		case isa.OpHStore:
+			hstores++
+		}
+	}
+	if hloads != 1 || hstores != 1 {
+		t.Fatalf("hmov counts: %d loads, %d stores; want 1 and 1", hloads, hstores)
+	}
+}
+
+func TestSpillWeightsPreferInnerLoops(t *testing.T) {
+	m := NewModule("w", 1, 1)
+	f := m.Func("run", 0)
+	outer := f.NewReg()
+	inner := f.NewReg()
+	coldReg := f.NewReg()
+	f.MovImm(coldReg, 1)
+	f.MovImm(outer, 0)
+	f.Label("o")
+	f.MovImm(inner, 0)
+	f.Label("i")
+	f.AddImm(inner, inner, 1)
+	f.BrImm(isa.CondLT, inner, 10, "i")
+	f.AddImm(outer, outer, 1)
+	f.BrImm(isa.CondLT, outer, 10, "o")
+	f.Ret(coldReg)
+
+	w := spillWeights(f)
+	if !(w[inner] > w[outer] && w[outer] > w[coldReg]) {
+		t.Fatalf("weights inner=%d outer=%d cold=%d; want inner > outer > cold",
+			w[inner], w[outer], w[coldReg])
+	}
+}
+
+func TestCallArgCountMismatch(t *testing.T) {
+	m := NewModule("args", 1, 1)
+	callee := m.Func("f", 2)
+	callee.Ret(callee.Param(0))
+	run := m.Func("run", 0)
+	v := run.NewReg()
+	run.MovImm(v, 1)
+	run.Call("f", v, v) // one arg, callee wants two
+	run.Ret(v)
+	if _, err := Compile(m, sfi.HFI, testLayout(), Options{}); err == nil {
+		t.Fatal("arg-count mismatch accepted")
+	}
+	if _, err := Compile(m, sfi.HFI, testLayout(), Options{}); err != nil &&
+		!strings.Contains(err.Error(), "args") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCallUnknownFunction(t *testing.T) {
+	m := NewModule("unk", 1, 1)
+	run := m.Func("run", 0)
+	run.Call("missing", VNone)
+	run.Ret(VNone)
+	if _, err := Compile(m, sfi.HFI, testLayout(), Options{}); err == nil {
+		t.Fatal("call to unknown function accepted")
+	}
+}
+
+func TestLayoutIndependentCodeSize(t *testing.T) {
+	// The sandbox runtime compiles twice (probe + final); the sizes must
+	// match or the code block would be mis-sized.
+	build := func(lay Layout) uint64 {
+		m := NewModule("sz", 1, 4)
+		f := m.Func("run", 0)
+		v := f.NewReg()
+		g := f.NewReg()
+		f.MovImm(v, 1)
+		f.Grow(g, v)
+		f.Store(4, v, 0, g)
+		f.Ret(g)
+		c, err := Compile(m, sfi.GuardPages, lay, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Prog.Size()
+	}
+	a := build(testLayout())
+	b := build(Layout{CodeBase: 0xabcd000, HeapBase: 0x50000000, StackBase: 0x60000000,
+		StackSize: 0x4000, GlobalBase: 0x70000000})
+	if a != b {
+		t.Fatalf("code size depends on layout: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,328 @@
+// Package wasm implements a miniature WebAssembly-like toolchain: modules
+// of functions over a 32-bit linear memory with 64 KiB-page growth, and a
+// compiler that lowers them to the guest ISA under any of the isolation
+// schemes in internal/sfi. It is the reproduction's analogue of
+// Wasm2c/Wasmtime: the workload source is identical across schemes and
+// only the emitted isolation sequences differ (§5.1).
+package wasm
+
+import (
+	"fmt"
+
+	"hfi/internal/isa"
+)
+
+// VReg is a virtual register. Functions may use arbitrarily many; the
+// compiler allocates them to physical registers and spills the remainder
+// to frame slots, which is how the schemes' register-pressure differences
+// become measurable (§6.1).
+type VReg int
+
+// VNone marks an unused virtual-register operand.
+const VNone VReg = -1
+
+// PageSize is the Wasm linear-memory page size (64 KiB), the granularity
+// of memory.grow and of HFI's large explicit regions.
+const PageSize = 1 << 16
+
+// vop is the internal operation of one IR instruction. Most ALU and
+// control ops reuse the ISA opcode directly.
+type vop uint8
+
+const (
+	vISA   vop = iota // Op field holds the isa opcode
+	vLoad             // linear-memory load
+	vStore            // linear-memory store
+	vGrow             // memory.grow: Rd = old pages or -1, Rs1 = delta
+	vSize             // memory.size: Rd = current pages
+	vCall             // direct call with args/result
+	vRet              // return (optional value in Rs1)
+	vTrap             // unconditional trap
+)
+
+// VInstr is one IR instruction.
+type VInstr struct {
+	vop     vop
+	Op      isa.Op
+	Cond    isa.Cond
+	Rd      VReg
+	Rs1     VReg
+	Rs2     VReg
+	Rs3     VReg
+	Size    uint8
+	MemIdx  uint8 // linear memory index (multi-memory proposal)
+	SignExt bool
+	UseImm  bool
+	W32     bool
+	Imm     int64
+	Disp    int64
+	Label   string
+	Args    []VReg // vCall arguments
+}
+
+// Fn is one function under construction.
+type Fn struct {
+	Name    string
+	NParams int
+	code    []VInstr
+	labels  map[string]bool
+	nvregs  int
+	// HasCalls is set when the function contains calls (forces a frame).
+	HasCalls bool
+}
+
+// Module is a Wasm-like module: named functions plus linear-memory
+// configuration and initial data segments.
+//
+// Modules may declare additional linear memories (the Wasm multi-memory
+// proposal §2 discusses): ExtraMemories lists their sizes in pages.
+// Memory 0 is the growable primary memory; extra memories are fixed-size.
+// Under HFI each extra memory binds to its own explicit region (free
+// accesses); software schemes must load the memory's base (and bound)
+// from the instance context on every access — the cost the paper's
+// multi-memory discussion predicts.
+type Module struct {
+	Name     string
+	Funcs    []*Fn
+	byName   map[string]*Fn
+	MemPages int // initial linear memory size, in 64 KiB pages
+	MaxPages int // memory.grow limit
+	// ExtraMemories holds the page counts of linear memories 1..N.
+	ExtraMemories []int
+	Data          []DataSeg
+}
+
+// DataSeg is an initial linear-memory data segment.
+type DataSeg struct {
+	Offset uint32
+	Bytes  []byte
+}
+
+// NewModule creates a module with the given initial and maximum memory
+// pages.
+func NewModule(name string, memPages, maxPages int) *Module {
+	if memPages < 0 || maxPages < memPages {
+		panic(fmt.Sprintf("wasm: bad memory limits %d/%d", memPages, maxPages))
+	}
+	return &Module{Name: name, byName: make(map[string]*Fn), MemPages: memPages, MaxPages: maxPages}
+}
+
+// AddData registers an initial data segment (in memory 0).
+func (m *Module) AddData(offset uint32, data []byte) {
+	m.Data = append(m.Data, DataSeg{Offset: offset, Bytes: data})
+}
+
+// AddMemory declares an additional fixed-size linear memory and returns
+// its index.
+func (m *Module) AddMemory(pages int) uint8 {
+	m.ExtraMemories = append(m.ExtraMemories, pages)
+	return uint8(len(m.ExtraMemories))
+}
+
+// NumMemories returns the total linear-memory count.
+func (m *Module) NumMemories() int { return 1 + len(m.ExtraMemories) }
+
+// Func creates (or returns) the function named name with nparams
+// parameters. Parameters occupy virtual registers 0..nparams-1.
+func (m *Module) Func(name string, nparams int) *Fn {
+	if f, ok := m.byName[name]; ok {
+		return f
+	}
+	f := &Fn{Name: name, NParams: nparams, labels: make(map[string]bool), nvregs: nparams}
+	m.Funcs = append(m.Funcs, f)
+	m.byName[name] = f
+	return f
+}
+
+// Lookup returns the named function, or nil.
+func (m *Module) Lookup(name string) *Fn { return m.byName[name] }
+
+// NewReg allocates a fresh virtual register.
+func (f *Fn) NewReg() VReg {
+	v := VReg(f.nvregs)
+	f.nvregs++
+	return v
+}
+
+// Param returns the virtual register of parameter i.
+func (f *Fn) Param(i int) VReg {
+	if i >= f.NParams {
+		panic(fmt.Sprintf("wasm: function %s has %d params, requested %d", f.Name, f.NParams, i))
+	}
+	return VReg(i)
+}
+
+func (f *Fn) track(rs ...VReg) {
+	for _, r := range rs {
+		if int(r) >= f.nvregs {
+			f.nvregs = int(r) + 1
+		}
+	}
+}
+
+func (f *Fn) emit(in VInstr) *Fn {
+	f.track(in.Rd, in.Rs1, in.Rs2, in.Rs3)
+	f.track(in.Args...)
+	f.code = append(f.code, in)
+	return f
+}
+
+// Label defines a function-local label.
+func (f *Fn) Label(name string) *Fn {
+	if f.labels[name] {
+		panic(fmt.Sprintf("wasm: duplicate label %q in %s", name, f.Name))
+	}
+	f.labels[name] = true
+	return f.emit(VInstr{vop: vISA, Op: isa.OpNop, Rd: VNone, Rs1: VNone, Rs2: VNone, Rs3: VNone, Label: "@" + name})
+}
+
+// MovImm sets rd to a constant.
+func (f *Fn) MovImm(rd VReg, imm int64) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: isa.OpMovImm, Rd: rd, Rs1: VNone, Rs2: VNone, Rs3: VNone, Imm: imm})
+}
+
+// Mov copies rs to rd.
+func (f *Fn) Mov(rd, rs VReg) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: isa.OpMov, Rd: rd, Rs1: rs, Rs2: VNone, Rs3: VNone})
+}
+
+func (f *Fn) alu(op isa.Op, rd, a, b VReg, w32 bool) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: op, Rd: rd, Rs1: a, Rs2: b, Rs3: VNone, W32: w32})
+}
+
+func (f *Fn) alui(op isa.Op, rd, a VReg, imm int64, w32 bool) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: op, Rd: rd, Rs1: a, Rs2: VNone, Rs3: VNone, UseImm: true, Imm: imm, W32: w32})
+}
+
+// 64-bit ALU operations.
+
+func (f *Fn) Add(rd, a, b VReg) *Fn { return f.alu(isa.OpAdd, rd, a, b, false) }
+func (f *Fn) Sub(rd, a, b VReg) *Fn { return f.alu(isa.OpSub, rd, a, b, false) }
+func (f *Fn) And(rd, a, b VReg) *Fn { return f.alu(isa.OpAnd, rd, a, b, false) }
+func (f *Fn) Or(rd, a, b VReg) *Fn  { return f.alu(isa.OpOr, rd, a, b, false) }
+func (f *Fn) Xor(rd, a, b VReg) *Fn { return f.alu(isa.OpXor, rd, a, b, false) }
+func (f *Fn) Shl(rd, a, b VReg) *Fn { return f.alu(isa.OpShl, rd, a, b, false) }
+func (f *Fn) Shr(rd, a, b VReg) *Fn { return f.alu(isa.OpShr, rd, a, b, false) }
+func (f *Fn) Mul(rd, a, b VReg) *Fn { return f.alu(isa.OpMul, rd, a, b, false) }
+func (f *Fn) Div(rd, a, b VReg) *Fn { return f.alu(isa.OpDiv, rd, a, b, false) }
+func (f *Fn) Rem(rd, a, b VReg) *Fn { return f.alu(isa.OpRem, rd, a, b, false) }
+
+// Immediate 64-bit forms.
+
+func (f *Fn) AddImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpAdd, rd, a, imm, false) }
+func (f *Fn) SubImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpSub, rd, a, imm, false) }
+func (f *Fn) AndImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpAnd, rd, a, imm, false) }
+func (f *Fn) OrImm(rd, a VReg, imm int64) *Fn  { return f.alui(isa.OpOr, rd, a, imm, false) }
+func (f *Fn) XorImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpXor, rd, a, imm, false) }
+func (f *Fn) ShlImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpShl, rd, a, imm, false) }
+func (f *Fn) ShrImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpShr, rd, a, imm, false) }
+func (f *Fn) SarImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpSar, rd, a, imm, false) }
+func (f *Fn) MulImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpMul, rd, a, imm, false) }
+func (f *Fn) DivImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpDiv, rd, a, imm, false) }
+func (f *Fn) RemImm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpRem, rd, a, imm, false) }
+
+// i32 (W32) ALU operations: results wrap at 32 bits, keeping values legal
+// as linear-memory indexes.
+
+func (f *Fn) Add32(rd, a, b VReg) *Fn { return f.alu(isa.OpAdd, rd, a, b, true) }
+func (f *Fn) Sub32(rd, a, b VReg) *Fn { return f.alu(isa.OpSub, rd, a, b, true) }
+func (f *Fn) Mul32(rd, a, b VReg) *Fn { return f.alu(isa.OpMul, rd, a, b, true) }
+func (f *Fn) And32(rd, a, b VReg) *Fn { return f.alu(isa.OpAnd, rd, a, b, true) }
+func (f *Fn) Or32(rd, a, b VReg) *Fn  { return f.alu(isa.OpOr, rd, a, b, true) }
+func (f *Fn) Xor32(rd, a, b VReg) *Fn { return f.alu(isa.OpXor, rd, a, b, true) }
+func (f *Fn) Shl32(rd, a, b VReg) *Fn { return f.alu(isa.OpShl, rd, a, b, true) }
+func (f *Fn) Shr32(rd, a, b VReg) *Fn { return f.alu(isa.OpShr, rd, a, b, true) }
+
+// Immediate i32 forms.
+
+func (f *Fn) Add32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpAdd, rd, a, imm, true) }
+func (f *Fn) Sub32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpSub, rd, a, imm, true) }
+func (f *Fn) Mul32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpMul, rd, a, imm, true) }
+func (f *Fn) And32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpAnd, rd, a, imm, true) }
+func (f *Fn) Shl32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpShl, rd, a, imm, true) }
+func (f *Fn) Shr32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpShr, rd, a, imm, true) }
+func (f *Fn) Xor32Imm(rd, a VReg, imm int64) *Fn { return f.alui(isa.OpXor, rd, a, imm, true) }
+func (f *Fn) Or32Imm(rd, a VReg, imm int64) *Fn  { return f.alui(isa.OpOr, rd, a, imm, true) }
+
+// Load emits a linear-memory load: rd <- mem[idx + disp], zero-extended.
+func (f *Fn) Load(size uint8, rd, idx VReg, disp int64) *Fn {
+	return f.emit(VInstr{vop: vLoad, Rd: rd, Rs1: idx, Rs2: VNone, Rs3: VNone, Size: size, Disp: disp})
+}
+
+// LoadS is Load with sign extension.
+func (f *Fn) LoadS(size uint8, rd, idx VReg, disp int64) *Fn {
+	return f.emit(VInstr{vop: vLoad, Rd: rd, Rs1: idx, Rs2: VNone, Rs3: VNone, Size: size, Disp: disp, SignExt: true})
+}
+
+// Store emits a linear-memory store: mem[idx + disp] <- src.
+func (f *Fn) Store(size uint8, idx VReg, disp int64, src VReg) *Fn {
+	return f.emit(VInstr{vop: vStore, Rd: VNone, Rs1: idx, Rs2: VNone, Rs3: src, Size: size, Disp: disp})
+}
+
+// LoadMem is Load against linear memory mem (multi-memory).
+func (f *Fn) LoadMem(mem uint8, size uint8, rd, idx VReg, disp int64) *Fn {
+	return f.emit(VInstr{vop: vLoad, Rd: rd, Rs1: idx, Rs2: VNone, Rs3: VNone, Size: size, Disp: disp, MemIdx: mem})
+}
+
+// StoreMem is Store against linear memory mem (multi-memory).
+func (f *Fn) StoreMem(mem uint8, size uint8, idx VReg, disp int64, src VReg) *Fn {
+	return f.emit(VInstr{vop: vStore, Rd: VNone, Rs1: idx, Rs2: VNone, Rs3: src, Size: size, Disp: disp, MemIdx: mem})
+}
+
+// Br emits a conditional branch to a function-local label.
+func (f *Fn) Br(cond isa.Cond, a, b VReg, label string) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: isa.OpBr, Cond: cond, Rd: VNone, Rs1: a, Rs2: b, Rs3: VNone, Label: label})
+}
+
+// BrImm emits a conditional branch comparing a to an immediate.
+func (f *Fn) BrImm(cond isa.Cond, a VReg, imm int64, label string) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: isa.OpBr, Cond: cond, Rd: VNone, Rs1: a, Rs2: VNone, Rs3: VNone, UseImm: true, Imm: imm, Label: label})
+}
+
+// Jmp emits an unconditional jump to a function-local label.
+func (f *Fn) Jmp(label string) *Fn {
+	return f.emit(VInstr{vop: vISA, Op: isa.OpJmp, Rd: VNone, Rs1: VNone, Rs2: VNone, Rs3: VNone, Label: label})
+}
+
+// Call emits a direct call. Argument values are passed to the callee's
+// parameter registers; the result (the callee's Ret operand) lands in rd
+// (pass VNone to discard).
+func (f *Fn) Call(name string, rd VReg, args ...VReg) *Fn {
+	f.HasCalls = true
+	return f.emit(VInstr{vop: vCall, Rd: rd, Rs1: VNone, Rs2: VNone, Rs3: VNone, Label: name, Args: args})
+}
+
+// Ret returns from the function with an optional result (VNone for none).
+func (f *Fn) Ret(v VReg) *Fn {
+	return f.emit(VInstr{vop: vRet, Rd: VNone, Rs1: v, Rs2: VNone, Rs3: VNone})
+}
+
+// Grow emits memory.grow: rd receives the old size in pages, or all-ones
+// on failure; delta is the number of pages to add.
+func (f *Fn) Grow(rd, delta VReg) *Fn {
+	return f.emit(VInstr{vop: vGrow, Rd: rd, Rs1: delta, Rs2: VNone, Rs3: VNone})
+}
+
+// MemSize emits memory.size: rd receives the current size in pages.
+func (f *Fn) MemSize(rd VReg) *Fn {
+	return f.emit(VInstr{vop: vSize, Rd: rd, Rs1: VNone, Rs2: VNone, Rs3: VNone})
+}
+
+// Trap emits an unconditional trap.
+func (f *Fn) Trap() *Fn {
+	return f.emit(VInstr{vop: vTrap, Rd: VNone, Rs1: VNone, Rs2: VNone, Rs3: VNone})
+}
+
+// NumVRegs returns the number of virtual registers the function uses.
+func (f *Fn) NumVRegs() int { return f.nvregs }
+
+// InstrCount returns the number of IR instructions (excluding labels).
+func (f *Fn) InstrCount() int {
+	n := 0
+	for i := range f.code {
+		if f.code[i].Label == "" || f.code[i].Label[0] != '@' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,320 @@
+package workloads
+
+import (
+	"fmt"
+
+	"hfi/internal/isa"
+	"hfi/internal/wasm"
+)
+
+// FaaS tenant workloads of Table 1. Each module's run(inputLen) reads its
+// request body from linear memory at InputOffset, writes a response at
+// OutputOffset, and returns the response length. The FaaS platform
+// (internal/faas) writes inputs and reads outputs around each invocation.
+const (
+	InputOffset  = 4096
+	OutputOffset = 1 << 20
+)
+
+// Tenant bundles a tenant module with a request generator.
+type Tenant struct {
+	Name string
+	Mod  *wasm.Module
+	// MakeRequest produces the request body for the i'th request.
+	MakeRequest func(i int) []byte
+}
+
+// FaaSTenants returns the four Table 1 workloads.
+func FaaSTenants() []Tenant {
+	return []Tenant{
+		{"xml-to-json", XMLToJSON(), xmlRequest},
+		{"image-classification", ImageClassification(), imageRequest},
+		{"check-sha256", CheckSHA256(), shaRequest},
+		{"templated-html", TemplatedHTML(), htmlRequest},
+	}
+}
+
+func xmlRequest(i int) []byte {
+	var b []byte
+	for k := 0; k < 40; k++ {
+		b = append(b, fmt.Sprintf("<item id=\"%d\"><name>n%d</name><qty>%d</qty></item>", i*40+k, k, (i+k)%97)...)
+	}
+	return b
+}
+
+// XMLToJSON scans an XML-ish request and emits a JSON-ish response:
+// element names become keys, text content becomes values.
+func XMLToJSON() *wasm.Module {
+	m := wasm.NewModule("xml-to-json", 32, 32)
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	i, o, c, depth, rep := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	t := f.NewReg()
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.MovImm(o, 0)
+	f.MovImm(depth, 0)
+	f.Label("scan")
+	f.Load(1, c, i, InputOffset)
+	f.BrImm(isa.CondNE, c, '<', "text")
+	// Tag: check for closing slash.
+	f.Load(1, t, i, InputOffset+1)
+	f.BrImm(isa.CondEQ, t, '/', "closetag")
+	f.Add32Imm(depth, depth, 1)
+	f.MovImm(t, '{')
+	f.Store(1, o, OutputOffset, t)
+	f.Add32Imm(o, o, 1)
+	f.Jmp("skiptag")
+	f.Label("closetag")
+	f.Sub32Imm(depth, depth, 1)
+	f.MovImm(t, '}')
+	f.Store(1, o, OutputOffset, t)
+	f.Add32Imm(o, o, 1)
+	f.Label("skiptag")
+	// Advance to '>'.
+	f.Label("totag")
+	f.Load(1, c, i, InputOffset)
+	f.BrImm(isa.CondEQ, c, '>', "tagdone")
+	// Copy attribute bytes as key material.
+	f.BrImm(isa.CondLT, c, 'a', "noattr")
+	f.Store(1, o, OutputOffset, c)
+	f.Add32Imm(o, o, 1)
+	f.Label("noattr")
+	f.Add32Imm(i, i, 1)
+	f.Br(isa.CondLT, i, n, "totag")
+	f.Jmp("done")
+	f.Label("tagdone")
+	f.Add32Imm(i, i, 1)
+	f.Jmp("cont")
+	f.Label("text")
+	// Text content copies through with escaping of quotes.
+	f.BrImm(isa.CondEQ, c, '"', "esc")
+	f.Store(1, o, OutputOffset, c)
+	f.Add32Imm(o, o, 1)
+	f.Jmp("textnext")
+	f.Label("esc")
+	f.MovImm(t, '\\')
+	f.Store(1, o, OutputOffset, t)
+	f.Store(1, o, OutputOffset+1, c)
+	f.Add32Imm(o, o, 2)
+	f.Label("textnext")
+	f.Add32Imm(i, i, 1)
+	f.Label("cont")
+	f.Br(isa.CondLT, i, n, "scan")
+	f.Label("done")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, 40, "again")
+	f.Ret(o)
+	return m
+}
+
+func imageRequest(i int) []byte {
+	img := make([]byte, 32*32)
+	for p := range img {
+		img[p] = byte((p*31 + i*7) % 256)
+	}
+	return img
+}
+
+// ImageClassification runs a small convolution + pooling + classify
+// pipeline over a 32x32 request image. It is deliberately the heaviest
+// tenant, as in Table 1 (12.2 s average latency vs ~0.5 s for the others).
+func ImageClassification() *wasm.Module {
+	m := wasm.NewModule("image-classification", 32, 32)
+	// 8 filters of 3x3 weights at 0.
+	weights := make([]byte, 8*9)
+	for i := range weights {
+		weights[i] = byte(1 + (i*5)%7)
+	}
+	m.AddData(0, weights)
+	f := m.Func("run", 1)
+	fil, y, x, ky, kx := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	sum, w, px, idx, best := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	scores, rep := f.NewReg(), f.NewReg()
+	f.MovImm(best, 0)
+	f.MovImm(rep, 0)
+	f.Label("epoch")
+	f.MovImm(fil, 0)
+	f.Label("filter")
+	f.MovImm(scores, 0)
+	f.MovImm(y, 0)
+	f.Label("rows")
+	f.MovImm(x, 0)
+	f.Label("cols")
+	f.MovImm(sum, 0)
+	f.MovImm(ky, 0)
+	f.Label("ky")
+	f.MovImm(kx, 0)
+	f.Label("kx")
+	// weight = weights[fil*9 + ky*3 + kx]
+	f.Mul32Imm(idx, fil, 9)
+	f.Mul32Imm(w, ky, 3)
+	f.Add32(idx, idx, w)
+	f.Add32(idx, idx, kx)
+	f.Load(1, w, idx, 0)
+	// pixel = input[(y+ky)*32 + x+kx]
+	f.Add32(idx, y, ky)
+	f.Shl32Imm(idx, idx, 5)
+	f.Add32(idx, idx, x)
+	f.Add32(idx, idx, kx)
+	f.Load(1, px, idx, InputOffset)
+	f.Mul32(px, px, w)
+	f.Add32(sum, sum, px)
+	f.Add32Imm(kx, kx, 1)
+	f.BrImm(isa.CondLT, kx, 3, "kx")
+	f.Add32Imm(ky, ky, 1)
+	f.BrImm(isa.CondLT, ky, 3, "ky")
+	// ReLU + pool into the score.
+	f.BrImm(isa.CondGT, sum, 900, "keep")
+	f.MovImm(sum, 0)
+	f.Label("keep")
+	f.Add32(scores, scores, sum)
+	f.Add32Imm(x, x, 1)
+	f.BrImm(isa.CondLT, x, 30, "cols")
+	f.Add32Imm(y, y, 1)
+	f.BrImm(isa.CondLT, y, 30, "rows")
+	f.Br(isa.CondLEU, scores, best, "nobest")
+	f.Mov(best, scores)
+	f.Label("nobest")
+	f.Add32Imm(fil, fil, 1)
+	f.BrImm(isa.CondLT, fil, 8, "filter")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, 6, "epoch")
+	// Response: the winning score.
+	f.Store(4, rep, OutputOffset, best)
+	f.MovImm(rep, 4)
+	f.Ret(rep)
+	return m
+}
+
+func shaRequest(i int) []byte {
+	b := make([]byte, 4096)
+	for p := range b {
+		b[p] = byte(p*13 + i)
+	}
+	return b
+}
+
+// CheckSHA256 hashes the request body with a SHA-256-shaped compression
+// loop (message schedule + 64 rounds of Σ/maj/ch mixing) and writes the
+// digest.
+func CheckSHA256() *wasm.Module {
+	m := wasm.NewModule("check-sha256", 32, 32)
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	// Hash state in 8 registers.
+	h := make([]wasm.VReg, 8)
+	iv := []int64{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19}
+	for i := range h {
+		h[i] = f.NewReg()
+		f.MovImm(h[i], iv[i])
+	}
+	blk, r, w, t1, t2, tmp, rep := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.MovImm(blk, 0)
+	f.Label("block")
+	f.MovImm(r, 0)
+	f.Label("round")
+	// w = schedule word: load and mix.
+	f.And32Imm(w, r, 63)
+	f.Add32(w, w, blk)
+	f.Load(4, w, w, InputOffset)
+	rotl32(f, tmp, w, t1, 7)
+	f.Xor32(w, w, tmp)
+	// t1 = h + Σ1(e) + ch(e,f,g) + w
+	rotl32(f, t1, h[4], tmp, 26)
+	f.Xor32(t1, t1, h[4])
+	f.And32(t2, h[4], h[5])
+	f.Xor32(t2, t2, h[6])
+	f.Add32(t1, t1, t2)
+	f.Add32(t1, t1, h[7])
+	f.Add32(t1, t1, w)
+	// t2 = Σ0(a) + maj(a,b,c)
+	rotl32(f, t2, h[0], tmp, 30)
+	f.Xor32(t2, t2, h[0])
+	f.And32(tmp, h[1], h[2])
+	f.Xor32(t2, t2, tmp)
+	// Rotate the state.
+	f.Mov(h[7], h[6])
+	f.Mov(h[6], h[5])
+	f.Mov(h[5], h[4])
+	f.Add32(h[4], h[3], t1)
+	f.Mov(h[3], h[2])
+	f.Mov(h[2], h[1])
+	f.Mov(h[1], h[0])
+	f.Add32(h[0], t1, t2)
+	f.Add32Imm(r, r, 1)
+	f.BrImm(isa.CondLT, r, 64, "round")
+	f.Add32Imm(blk, blk, 64)
+	f.Br(isa.CondLT, blk, n, "block")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, 10, "again")
+	// Digest out.
+	for i := range h {
+		f.MovImm(tmp, int64(i*4))
+		f.Store(4, tmp, OutputOffset, h[i])
+	}
+	f.MovImm(tmp, 32)
+	f.Ret(tmp)
+	return m
+}
+
+func htmlRequest(i int) []byte {
+	return []byte(fmt.Sprintf("user%d|Dashboard %d|item-a,item-b,item-c,item-%d", i, i, i%10))
+}
+
+// TemplatedHTML renders a page template, substituting '@' placeholders
+// with fields of the request (split on '|').
+func TemplatedHTML() *wasm.Module {
+	m := wasm.NewModule("templated-html", 32, 32)
+	tmpl := []byte("<html><head><title>@</title></head><body><h1>Hello @</h1><ul>")
+	for i := 0; i < 20; i++ {
+		tmpl = append(tmpl, []byte("<li class=\"row\">@ :: entry</li>")...)
+	}
+	tmpl = append(tmpl, []byte("</ul><footer>@</footer></body></html>")...)
+	m.AddData(0, tmpl)
+	tl := int64(len(tmpl))
+
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	i, o, c, fs, fc, rep := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	t := f.NewReg()
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.MovImm(o, 0)
+	f.MovImm(fs, 0) // current field start in the request
+	f.Label("copy")
+	f.Load(1, c, i, 0)
+	f.BrImm(isa.CondEQ, c, '@', "subst")
+	f.Store(1, o, OutputOffset, c)
+	f.Add32Imm(o, o, 1)
+	f.Jmp("next")
+	f.Label("subst")
+	// Copy the current request field until '|' or end.
+	f.Mov(fc, fs)
+	f.Label("field")
+	f.Br(isa.CondGEU, fc, n, "fielddone")
+	f.Load(1, t, fc, InputOffset)
+	f.BrImm(isa.CondEQ, t, '|', "fielddone")
+	f.Store(1, o, OutputOffset, t)
+	f.Add32Imm(o, o, 1)
+	f.Add32Imm(fc, fc, 1)
+	f.Jmp("field")
+	f.Label("fielddone")
+	// Advance to the next field (wrap to the start at the end).
+	f.Add32Imm(fc, fc, 1)
+	f.Br(isa.CondLTU, fc, n, "setfs")
+	f.MovImm(fc, 0)
+	f.Label("setfs")
+	f.Mov(fs, fc)
+	f.Label("next")
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, tl, "copy")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, 10, "again")
+	f.Ret(o)
+	return m
+}

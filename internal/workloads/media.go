@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"hfi/internal/isa"
+	"hfi/internal/wasm"
+)
+
+// JPEGDecoder builds the libjpeg-like scanline decoder of the Firefox
+// experiment (§6.2, Fig 4). Each invocation of run(row, width, quality)
+// entropy-decodes and inverse-transforms one scanline: the Firefox
+// integration calls it once per row, which is what makes transition cost
+// visible (≈ rows × 2 enters/exits per image).
+//
+// The quality parameter scales the per-pixel entropy-decoding work: more
+// compressed images spend more cycles per output pixel, matching the
+// paper's observation that compute-dense images benefit more from HFI's
+// reduced register pressure.
+func JPEGDecoder() *wasm.Module {
+	m := wasm.NewModule("libjpeg", 64, 64) // 4 MiB linear memory
+	f := m.Func("run", 3)
+	row, width, quality := f.Param(0), f.Param(1), f.Param(2)
+	x, k, bits, state := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	c0, c1 := f.NewReg(), f.NewReg()
+	out, acc := f.NewReg(), f.NewReg()
+	// The entropy decoder carries extra live state (bit buffer, Huffman
+	// table cursors) the way libjpeg's does; under a scheme that reserves
+	// registers the coldest of it spills, which is why compute-dense
+	// (heavily compressed) images benefit most from HFI (§6.2).
+	pp := addPads(f, 3)
+	// Output plane at 1 MiB; coefficient input at 0.
+	f.MovImm(acc, 0)
+	f.Mul32(out, row, width)
+	f.MovImm(x, 0)
+	f.Label("pixel")
+	// Entropy-decode: quality rounds of bit-twiddling per pixel.
+	f.Add32(state, x, row)
+	f.Mul32Imm(state, state, 2654435761)
+	f.MovImm(k, 0)
+	f.Label("entropy")
+	f.Shl32Imm(bits, state, 7)
+	f.Xor32(state, state, bits)
+	f.Shr32Imm(bits, state, 9)
+	f.Xor32(state, state, bits)
+	pp.touchGated(f, state, 0x7)
+	f.Add32Imm(k, k, 1)
+	f.Br(isa.CondLT, k, quality, "entropy")
+	// Butterfly (IDCT flavour) over neighbouring coefficients; bits is
+	// dead after the entropy loop and serves as the address temporary.
+	f.And32Imm(bits, x, 0xffff)
+	f.Shl32Imm(bits, bits, 2)
+	f.Load(4, c0, bits, 0)
+	f.Load(4, c1, bits, 4)
+	f.Add32(c0, c0, state)
+	f.Xor32(c0, c0, c1)
+	// Clamp to a byte and store the pixel.
+	f.And32Imm(c0, c0, 0xff)
+	f.Add32(bits, out, x)
+	f.And32Imm(bits, bits, 0xfffff) // stay in the 1 MiB output plane
+	f.Store(1, bits, 1<<20, c0)
+	f.Add32(acc, acc, c0)
+	f.Add32Imm(x, x, 1)
+	f.Br(isa.CondLT, x, width, "pixel")
+	pp.fold(f, acc)
+	f.Ret(acc)
+	return m
+}
+
+// FontShaper builds the libgraphite-like text shaper of §6.2: run(len,
+// fontSize) lays out len glyphs with kerning-table lookups and ligature
+// checks, returning the advance width. The Firefox font benchmark reflows
+// the same text at ten font sizes.
+func FontShaper() *wasm.Module {
+	m := wasm.NewModule("libgraphite", 16, 16)
+	// Kerning table: 64x64 i8 pairs at 0; glyph widths at 4096.
+	kern := make([]byte, 64*64)
+	for i := range kern {
+		kern[i] = byte((i*7 + 3) % 16)
+	}
+	m.AddData(0, kern)
+	widths := make([]byte, 256)
+	for i := range widths {
+		widths[i] = byte(4 + i%12)
+	}
+	m.AddData(4096, widths)
+	// Text at 8192.
+	text := make([]byte, 4096)
+	for i := range text {
+		text[i] = byte((i*31 + 11) % 64)
+	}
+	m.AddData(8192, text)
+
+	f := m.Func("run", 2)
+	length, size := f.Param(0), f.Param(1)
+	i, g, prev, adv, k, w, pos := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	// Shaping state a real engine keeps live: cluster and feature
+	// cursors (see pressure.go for why this matters per scheme).
+	pp := addPads(f, 5)
+	f.MovImm(adv, 0)
+	f.MovImm(prev, 0)
+	f.MovImm(i, 0)
+	f.Label("glyph")
+	f.And32Imm(pos, i, 0xfff)
+	f.Load(1, g, pos, 8192)
+	// Width scaled by font size.
+	f.Load(1, w, g, 4096)
+	f.Mul32(w, w, size)
+	// Kerning between prev and g.
+	f.Shl32Imm(k, prev, 6)
+	f.Add32(k, k, g)
+	f.Load(1, k, k, 0)
+	f.Add32(adv, adv, w)
+	f.Sub32(adv, adv, k)
+	// Ligature check: combining pairs take a branchy slow path.
+	f.Xor32(k, prev, g)
+	f.And32Imm(k, k, 7)
+	f.BrImm(isa.CondNE, k, 3, "nolig")
+	f.Mul32Imm(w, w, 3)
+	f.Shr32Imm(w, w, 2)
+	f.Add32(adv, adv, w)
+	f.Label("nolig")
+	pp.touchGated(f, i, 0xf)
+	f.Mov(prev, g)
+	f.Add32Imm(i, i, 1)
+	f.Br(isa.CondLT, i, length, "glyph")
+	pp.fold(f, adv)
+	f.Ret(adv)
+	return m
+}

@@ -1,0 +1,467 @@
+package workloads
+
+import (
+	"hfi/internal/isa"
+	"hfi/internal/wasm"
+)
+
+// SpecInt returns the SPEC INT 2006-like macro kernel suite of Fig 3. Each
+// kernel is a synthetic analogue matched to the original's dominant
+// behaviour (the property the scheme comparison is sensitive to): memory
+// access density, branchiness, working-set size, and register pressure.
+func SpecInt() []Workload {
+	return []Workload{
+		{"400.perlbench", Perlbench, "hash tables + string scanning"},
+		{"401.bzip2", Bzip2, "block transform + RLE"},
+		{"403.gcc", GCC, "table-driven state machine"},
+		{"429.mcf", MCF, "pointer chasing, memory bound"},
+		{"445.gobmk", Gobmk, "board evaluation, icache pressure"},
+		{"456.hmmer", Hmmer, "dynamic-programming inner loop"},
+		{"458.sjeng", Sjeng, "minimax search, branchy"},
+		{"462.libquantum", Libquantum, "streaming bit manipulation"},
+		{"464.h264ref", H264ref, "nested-loop block matching"},
+	}
+}
+
+// Perlbench: hash insert/lookup over interned strings plus a scanner.
+func Perlbench(scale int) *wasm.Module {
+	m := wasm.NewModule("perlbench", 8, 8)
+	f := m.Func("run", 0)
+	// Hash table of 4096 u32 buckets at 0; key stream derived from a PRNG.
+	s, h, idx, v, i, probes := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 8)
+	f.MovImm(s, 0x1e3779b97f4a7c15)
+	f.MovImm(probes, 0)
+	f.MovImm(i, 0)
+	f.Label("loop")
+	f.ShlImm(h, s, 13)
+	f.Xor(s, s, h)
+	f.ShrImm(h, s, 7)
+	f.Xor(s, s, h)
+	// FNV-style mix of the key.
+	f.Mul32Imm(h, s, 16777619)
+	f.Xor32(h, h, s)
+	f.And32Imm(idx, h, 4095)
+	f.Shl32Imm(idx, idx, 2)
+	// Linear probe: up to 4 buckets.
+	for p := 0; p < 4; p++ {
+		f.Load(4, v, idx, int64(p*4))
+		f.BrImm(isa.CondEQ, v, 0, "insert")
+		f.Br(isa.CondEQ, v, h, "found")
+		f.Add32Imm(probes, probes, 1)
+	}
+	f.Jmp("next")
+	f.Label("insert")
+	f.Store(4, idx, 0, h)
+	f.Jmp("next")
+	f.Label("found")
+	f.Add32Imm(probes, probes, 2)
+	f.Label("next")
+	pp.touchGated(f, i, 0xf)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(250_000*scale), "loop")
+	pp.fold(f, probes)
+	f.Ret(probes)
+	return m
+}
+
+// Bzip2: move-to-front transform plus run-length counting over a block.
+func Bzip2(scale int) *wasm.Module {
+	m := wasm.NewModule("bzip2", 4, 4)
+	f := m.Func("run", 0)
+	// Block at 4096 (64 KiB), MTF table (256 bytes) at 0.
+	rep, i, c, j, t, prev, runs := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	s := f.NewReg()
+	pp := addPads(f, 6)
+	f.MovImm(s, 0x243F6A8885A308D3)
+	f.MovImm(i, 0)
+	f.Label("fill")
+	f.ShlImm(t, s, 13)
+	f.Xor(s, s, t)
+	f.ShrImm(t, s, 7)
+	f.Xor(s, s, t)
+	f.AndImm(c, s, 63) // small alphabet so MTF hits near the front
+	f.Store(1, i, 4096, c)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 65536, "fill")
+	f.MovImm(rep, 0)
+	f.MovImm(runs, 0)
+	f.Label("again")
+	// Reset MTF table.
+	f.MovImm(i, 0)
+	f.Label("mtfinit")
+	f.Store(1, i, 0, i)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 256, "mtfinit")
+	f.MovImm(prev, -1)
+	f.MovImm(i, 0)
+	f.Label("scan")
+	f.Load(1, c, i, 4096)
+	// Find c's position in the MTF table (bounded scan).
+	f.MovImm(j, 0)
+	f.Label("find")
+	f.Load(1, t, j, 0)
+	f.Br(isa.CondEQ, t, c, "movefront")
+	f.Add32Imm(j, j, 1)
+	f.BrImm(isa.CondLT, j, 64, "find")
+	f.Jmp("emit")
+	f.Label("movefront")
+	// Swap the hit to the front (transpose heuristic; hmov forbids
+	// negative displacements so the index is adjusted explicitly).
+	f.BrImm(isa.CondEQ, j, 0, "emit")
+	f.Sub32Imm(j, j, 1)
+	f.Load(1, t, j, 0)
+	f.Store(1, j, 1, t)
+	f.Store(1, j, 0, c)
+	f.Label("emit")
+	f.Br(isa.CondNE, c, prev, "newrun")
+	f.Add32Imm(runs, runs, 1)
+	f.Label("newrun")
+	pp.touchGated(f, i, 0xff)
+	f.Mov(prev, c)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 65536, "scan")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(4*scale), "again")
+	pp.fold(f, runs)
+	f.Ret(runs)
+	return m
+}
+
+// GCC: a table-driven token state machine over a synthetic source buffer.
+func GCC(scale int) *wasm.Module {
+	m := wasm.NewModule("gcc", 4, 4)
+	// Transition table: 16 states x 256 inputs, one byte each, at 0.
+	table := make([]byte, 16*256)
+	for st := 0; st < 16; st++ {
+		for c := 0; c < 256; c++ {
+			table[st*256+c] = byte((st*31 + c*17 + 7) % 16)
+		}
+	}
+	m.AddData(0, table)
+	src := make([]byte, 32768)
+	for i := range src {
+		src[i] = byte((i*i*31 + i*7) % 256)
+	}
+	m.AddData(8192, src)
+	f := m.Func("run", 0)
+	rep, st, i, c, idx, acc := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 8)
+	f.MovImm(rep, 0)
+	f.MovImm(acc, 0)
+	f.Label("again")
+	f.MovImm(st, 0)
+	f.MovImm(i, 0)
+	f.Label("step")
+	f.Load(1, c, i, 8192)
+	f.Shl32Imm(idx, st, 8)
+	f.Add32(idx, idx, c)
+	f.Load(1, st, idx, 0)
+	f.BrImm(isa.CondNE, st, 7, "noacc")
+	f.Add32Imm(acc, acc, 1)
+	f.Label("noacc")
+	pp.touchGated(f, i, 0xff)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 32768, "step")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(25*scale), "again")
+	pp.fold(f, acc)
+	f.Ret(acc)
+	return m
+}
+
+// MCF: pointer chasing through a shuffled linked list — memory bound.
+func MCF(scale int) *wasm.Module {
+	m := wasm.NewModule("mcf", 32, 32)
+	f := m.Func("run", 0)
+	// Build a pseudo-random cyclic permutation of 2^17 nodes (8 bytes
+	// each): node i points to (i*a+c) mod n with a odd, a permutation.
+	const n = 1 << 17
+	cur, next, i, hops := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 10)
+	f.MovImm(i, 0)
+	f.Label("build")
+	f.Mul32Imm(next, i, 1664525)
+	f.Add32Imm(next, next, 1013904223)
+	f.And32Imm(next, next, n-1)
+	f.Shl32Imm(cur, i, 3)
+	f.Shl32Imm(next, next, 3)
+	f.Store(4, cur, 0, next)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, n, "build")
+	// Chase.
+	f.MovImm(cur, 0)
+	f.MovImm(hops, 0)
+	f.MovImm(i, 0)
+	f.Label("chase")
+	f.Load(4, cur, cur, 0)
+	f.Add32(hops, hops, cur)
+	pp.touchGated(f, i, 0x3f)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(600_000*scale), "chase")
+	pp.fold(f, hops)
+	f.Ret(hops)
+	return m
+}
+
+// Gobmk: board-scan evaluation with a large straight-line body (icache
+// pressure was the 445.gobmk effect the paper calls out in §6.1).
+func Gobmk(scale int) *wasm.Module {
+	m := wasm.NewModule("gobmk", 4, 4)
+	f := m.Func("run", 0)
+	rep, p, v, acc, t := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	s := f.NewReg()
+	pp := addPads(f, 8)
+	// Board: 19x19 bytes at 0.
+	f.MovImm(s, 0x1234567)
+	f.MovImm(p, 0)
+	f.Label("init")
+	f.ShlImm(t, s, 13)
+	f.Xor(s, s, t)
+	f.ShrImm(t, s, 7)
+	f.Xor(s, s, t)
+	f.AndImm(v, s, 2)
+	f.Store(1, p, 0, v)
+	f.Add32Imm(p, p, 1)
+	f.BrImm(isa.CondLT, p, 361, "init")
+	f.MovImm(rep, 0)
+	f.MovImm(acc, 0)
+	f.Label("again")
+	f.MovImm(p, 20)
+	f.Label("scan")
+	// A long straight-line evaluation of the 8-neighbourhood, unrolled —
+	// lots of code bytes per iteration.
+	for _, d := range []int64{-20, -19, -18, -1, 1, 18, 19, 20} {
+		f.Load(1, v, p, 340+d) // offset keeps indices positive
+		f.Mul32Imm(v, v, 3)
+		f.Add32(acc, acc, v)
+		f.Load(1, t, p, 340-d)
+		f.Xor32(t, t, v)
+		f.And32Imm(t, t, 7)
+		f.Add32(acc, acc, t)
+	}
+	pp.touchGated(f, p, 0xf)
+	f.Add32Imm(p, p, 1)
+	f.BrImm(isa.CondLT, p, 340, "scan")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(1500*scale), "again")
+	pp.fold(f, acc)
+	f.Ret(acc)
+	return m
+}
+
+// Hmmer: Viterbi-like dynamic programming over dense score arrays.
+func Hmmer(scale int) *wasm.Module {
+	m := wasm.NewModule("hmmer", 8, 8)
+	f := m.Func("run", 0)
+	// Rows at 0 and 65536; scores at 131072... keep within 8 pages:
+	// rows of 4096 u32 at 0 / 16384; scores at 32768.
+	rep, j, mv, iv, dv, sc, best := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	t := f.NewReg()
+	pp := addPads(f, 6)
+	f.MovImm(rep, 0)
+	f.MovImm(best, 0)
+	f.Label("row")
+	f.MovImm(j, 0)
+	f.Label("cell")
+	f.Load(4, mv, j, 0)
+	f.Load(4, iv, j, 16384)
+	f.Load(4, dv, j, 4)
+	// max3 + score
+	f.Br(isa.CondGEU, mv, iv, "m1")
+	f.Mov(mv, iv)
+	f.Label("m1")
+	f.Br(isa.CondGEU, mv, dv, "m2")
+	f.Mov(mv, dv)
+	f.Label("m2")
+	f.Mul32Imm(sc, j, 2654435761)
+	f.Shr32Imm(sc, sc, 24)
+	f.Add32(mv, mv, sc)
+	f.Store(4, j, 16384+4, mv)
+	f.Br(isa.CondLEU, mv, best, "nb")
+	f.Mov(best, mv)
+	f.Label("nb")
+	// Copy back for the next row.
+	f.Load(4, t, j, 16384+4)
+	f.Store(4, j, 4, t)
+	pp.touchGated(f, j, 0xfc)
+	f.Add32Imm(j, j, 4)
+	f.BrImm(isa.CondLT, j, 16380, "cell")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(120*scale), "row")
+	pp.fold(f, best)
+	f.Ret(best)
+	return m
+}
+
+// Sjeng: alpha-beta-like recursive search with branchy evaluation.
+func Sjeng(scale int) *wasm.Module {
+	m := wasm.NewModule("sjeng", 4, 4)
+	search := m.Func("search", 2) // (depth, seed) -> score
+	{
+		depth, seed := search.Param(0), search.Param(1)
+		best, mv, t, sc := search.NewReg(), search.NewReg(), search.NewReg(), search.NewReg()
+		search.BrImm(isa.CondGT, depth, 0, "deeper")
+		// Leaf: evaluate with piece-square and mobility table lookups —
+		// the memory traffic a real evaluator does at every leaf.
+		search.Mul32Imm(sc, seed, 2654435761)
+		search.Shr32Imm(t, sc, 20)
+		search.And32Imm(t, t, 0xffc)
+		search.Load(4, t, t, 16384) // piece-square table
+		search.Shr32Imm(sc, sc, 24)
+		search.And32Imm(sc, sc, 0xfc)
+		search.Load(4, sc, sc, 20480) // mobility table
+		search.Add32(sc, sc, t)
+		search.Shr32Imm(t, seed, 9)
+		search.And32Imm(t, t, 0x7fc)
+		search.Load(4, t, t, 24576) // pawn-structure hash
+		search.Add32(sc, sc, t)
+		search.And32Imm(sc, sc, 0xfff)
+		search.Ret(sc)
+		search.Label("deeper")
+		// Transposition-table probe: the branchy memory traffic real
+		// searchers do at every node.
+		search.Mul32Imm(t, seed, 2654435761)
+		search.Shr32Imm(t, t, 18)
+		search.And32Imm(t, t, 0x3ffc)
+		search.Load(4, sc, t, 0)
+		search.Br(isa.CondNE, sc, seed, "miss")
+		search.Shr32Imm(sc, seed, 21)
+		search.Ret(sc)
+		search.Label("miss")
+		search.Store(4, t, 0, seed)
+		search.MovImm(best, 0)
+		search.MovImm(mv, 0)
+		search.Label("moves")
+		// Child seed.
+		search.Shl32Imm(t, seed, 5)
+		search.Xor32(t, t, seed)
+		search.Add32(t, t, mv)
+		search.SubImm(sc, depth, 1)
+		search.Call("search", sc, sc, t)
+		// Branchy max with pruning flavour.
+		search.Br(isa.CondLEU, sc, best, "noimp")
+		search.Mov(best, sc)
+		search.BrImm(isa.CondGTU, sc, 3500, "cut")
+		search.Label("noimp")
+		search.Add32Imm(mv, mv, 1)
+		search.BrImm(isa.CondLT, mv, 5, "moves")
+		search.Label("cut")
+		search.Ret(best)
+	}
+	run := m.Func("run", 0)
+	{
+		acc, d, s, i := run.NewReg(), run.NewReg(), run.NewReg(), run.NewReg()
+		run.MovImm(acc, 0)
+		run.MovImm(i, 0)
+		run.Label("loop")
+		run.MovImm(d, 7)
+		run.Add32Imm(s, i, 12345)
+		run.Call("search", d, d, s)
+		run.Add32(acc, acc, d)
+		run.AddImm(i, i, 1)
+		run.BrImm(isa.CondLT, i, int64(25*scale), "loop")
+		run.Ret(acc)
+	}
+	return m
+}
+
+// Libquantum: streaming toffoli-like gate application over a large state
+// array (sequential memory bandwidth).
+func Libquantum(scale int) *wasm.Module {
+	m := wasm.NewModule("libquantum", 32, 32)
+	f := m.Func("run", 0)
+	const n = 1 << 18 // u64 entries, 2 MiB
+	rep, i, v, acc := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 10)
+	f.MovImm(i, 0)
+	f.Label("init")
+	f.MulImm(v, i, 0x1E3779B97F4A7C15)
+	f.Store(8, i, 0, v)
+	f.Add32Imm(i, i, 8)
+	f.BrImm(isa.CondLT, i, n*8, "init")
+	f.MovImm(rep, 0)
+	f.Label("gate")
+	f.MovImm(i, 0)
+	f.Label("apply")
+	f.Load(8, v, i, 0)
+	f.XorImm(v, v, 1<<20) // flip the target bit
+	f.ShlImm(acc, v, 1)
+	f.Xor(v, v, acc)
+	f.Store(8, i, 0, v)
+	pp.touchGated(f, i, 0x1ff)
+	f.Add32Imm(i, i, 8)
+	f.BrImm(isa.CondLT, i, n*8, "apply")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(3*scale), "gate")
+	f.Load(8, acc, rep, 0)
+	pp.fold(f, acc)
+	f.Ret(acc)
+	return m
+}
+
+// H264ref: sum-of-absolute-differences block matching in nested loops.
+func H264ref(scale int) *wasm.Module {
+	m := wasm.NewModule("h264ref", 8, 8)
+	f := m.Func("run", 0)
+	// Reference frame 256x256 at 0; current block 16x16 at 65536+.
+	x, y, i, j := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	a, b, sad, bestSAD, t := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 5)
+	// The PRNG state reuses sad: it is dead once the search starts, and a
+	// live-range-splitting compiler would share the register the same way.
+	f.MovImm(sad, 0xDEADBEEF)
+	f.MovImm(i, 0)
+	f.Label("init")
+	f.ShlImm(t, sad, 13)
+	f.Xor(sad, sad, t)
+	f.ShrImm(t, sad, 7)
+	f.Xor(sad, sad, t)
+	f.AndImm(a, sad, 0xff)
+	f.Store(1, i, 0, a)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 65536+256, "init")
+	f.MovImm(bestSAD, 1<<30)
+	// Search a 24x24 window.
+	f.MovImm(y, 0)
+	f.Label("wy")
+	f.MovImm(x, 0)
+	f.Label("wx")
+	f.MovImm(sad, 0)
+	f.MovImm(j, 0)
+	f.Label("by")
+	f.MovImm(i, 0)
+	f.Label("bx")
+	// ref[(y+j)*256 + x+i]
+	f.Add32(a, y, j)
+	f.Shl32Imm(a, a, 8)
+	f.Add32(a, a, x)
+	f.Add32(a, a, i)
+	f.Load(1, a, a, 0)
+	// cur[j*16+i]
+	f.Shl32Imm(b, j, 4)
+	f.Add32(b, b, i)
+	f.Load(1, b, b, 65536)
+	// abs diff
+	f.Sub32(t, a, b)
+	f.Br(isa.CondGEU, a, b, "pos")
+	f.Sub32(t, b, a)
+	f.Label("pos")
+	f.Add32(sad, sad, t)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 16, "bx")
+	f.Add32Imm(j, j, 1)
+	f.BrImm(isa.CondLT, j, 16, "by")
+	f.Br(isa.CondGEU, sad, bestSAD, "nx")
+	f.Mov(bestSAD, sad)
+	f.Label("nx")
+	pp.touch(f)
+	pp.touch(f)
+	f.Add32Imm(x, x, 1)
+	f.BrImm(isa.CondLT, x, int64(8*scale), "wx")
+	f.Add32Imm(y, y, 1)
+	f.BrImm(isa.CondLT, y, 24, "wy")
+	pp.fold(f, bestSAD)
+	f.Ret(bestSAD)
+	return m
+}

@@ -1,0 +1,680 @@
+// Package workloads defines every guest program the evaluation runs:
+// the Sightglass-like microbenchmark suite (Fig 2), the SPEC-like macro
+// kernels (Fig 3), the Firefox library-sandboxing workloads (Fig 4, §6.2),
+// the FaaS tenant functions (Table 1), and the OpenSSL-like crypto kernel
+// of the NGINX experiment (Fig 5).
+//
+// Workloads are written once against the wasm IR and compiled under each
+// isolation scheme, mirroring §5.1's methodology: identical source,
+// different enforcement. Each kernel returns a checksum so correctness is
+// verified across schemes and engines.
+package workloads
+
+import (
+	"fmt"
+
+	"hfi/internal/isa"
+	"hfi/internal/wasm"
+)
+
+// Workload names a module generator with metadata.
+type Workload struct {
+	Name string
+	// Build constructs the module. scale stretches the iteration count;
+	// 1 is the default size used in the benchmarks.
+	Build func(scale int) *wasm.Module
+	// Class describes the dominant behaviour, used in reports.
+	Class string
+}
+
+// rotl32 emits dst = rotate-left-32(src, n) using the i32 ops, clobbering
+// tmp. It is the workhorse of the crypto kernels.
+func rotl32(f *wasm.Fn, dst, src, tmp wasm.VReg, n int64) {
+	f.Shl32Imm(tmp, src, n)
+	f.Shr32Imm(dst, src, 32-n)
+	f.Or32(dst, dst, tmp)
+}
+
+// Sightglass returns the 16-kernel microbenchmark suite used for the
+// Fig 2 emulation-accuracy experiment, modeled on the Sightglass suite
+// (crypto, math, string manipulation, control flow).
+func Sightglass() []Workload {
+	return []Workload{
+		{"blake3-scalar", Blake3Scalar, "crypto mixing"},
+		{"ackermann", Ackermann, "recursion"},
+		{"base64", Base64, "table lookup + bytes"},
+		{"ctype", Ctype, "byte classification"},
+		{"fib2", Fib2, "recursion"},
+		{"gimli", Gimli, "permutation"},
+		{"keccak", Keccak, "wide permutation"},
+		{"memmove", Memmove, "bulk copy"},
+		{"minicsv", MiniCSV, "branchy parsing"},
+		{"nestedloop", NestedLoop, "control flow"},
+		{"random", Random, "PRNG arithmetic"},
+		{"ratelimit", RateLimit, "branchy accounting"},
+		{"sieve", Sieve, "bit array"},
+		{"switch", Switch, "dense branching"},
+		{"xblabla20", XBlabla20, "ARX rounds"},
+		{"xchacha20", XChacha20, "ARX rounds"},
+	}
+}
+
+// Blake3Scalar runs BLAKE3-style G-function mixing over a 16-word state.
+func Blake3Scalar(scale int) *wasm.Module {
+	m := wasm.NewModule("blake3-scalar", 1, 4)
+	f := m.Func("run", 0)
+	// State in registers: 8 words (compressed model of the 16-word state).
+	s := make([]wasm.VReg, 8)
+	for i := range s {
+		s[i] = f.NewReg()
+		f.MovImm(s[i], int64(0x6a09e667>>uint(i)|1))
+	}
+	tmp := f.NewReg()
+	i := f.NewReg()
+	pp := addPads(f, 4)
+	f.MovImm(i, 0)
+	f.Label("round")
+	// Two G-function halves: a += b; d ^= a; d = rotl(d, 16); ...
+	g := func(a, b, c, d wasm.VReg, r1, r2 int64) {
+		f.Add32(a, a, b)
+		f.Xor32(d, d, a)
+		rotl32(f, d, d, tmp, r1)
+		f.Add32(c, c, d)
+		f.Xor32(b, b, c)
+		rotl32(f, b, b, tmp, r2)
+	}
+	g(s[0], s[4], s[1], s[5], 16, 12)
+	g(s[2], s[6], s[3], s[7], 8, 7)
+	g(s[0], s[5], s[2], s[7], 16, 12)
+	g(s[1], s[4], s[3], s[6], 8, 7)
+	pp.touchGated(f, i, 0x7)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(6000*scale), "round")
+	acc := s[0]
+	for _, r := range s[1:] {
+		f.Xor32(acc, acc, r)
+	}
+	pp.fold(f, acc)
+	f.Ret(acc)
+	return m
+}
+
+// Ackermann computes ackermann(2, n) recursively.
+func Ackermann(scale int) *wasm.Module {
+	m := wasm.NewModule("ackermann", 1, 1)
+	ack := m.Func("ack", 2)
+	{
+		mm, n := ack.Param(0), ack.Param(1)
+		t := ack.NewReg()
+		ack.BrImm(isa.CondNE, mm, 0, "m_nonzero")
+		ack.AddImm(t, n, 1)
+		ack.Ret(t)
+		ack.Label("m_nonzero")
+		ack.BrImm(isa.CondNE, n, 0, "n_nonzero")
+		ack.SubImm(t, mm, 1)
+		ack.MovImm(n, 1)
+		ack.Call("ack", t, t, n)
+		ack.Ret(t)
+		ack.Label("n_nonzero")
+		ack.SubImm(t, n, 1)
+		ack.Call("ack", t, mm, t)
+		ack.SubImm(mm, mm, 1)
+		ack.Call("ack", t, mm, t)
+		ack.Ret(t)
+	}
+	run := m.Func("run", 0)
+	{
+		a, b := run.NewReg(), run.NewReg()
+		acc := run.NewReg()
+		i := run.NewReg()
+		run.MovImm(acc, 0)
+		run.MovImm(i, 0)
+		run.Label("loop")
+		run.MovImm(a, 2)
+		run.MovImm(b, 6)
+		run.Call("ack", a, a, b)
+		run.Add(acc, acc, a)
+		run.AddImm(i, i, 1)
+		run.BrImm(isa.CondLT, i, int64(40*scale), "loop")
+		run.Ret(acc)
+	}
+	return m
+}
+
+// Base64 encodes a buffer with the standard alphabet via table lookups.
+func Base64(scale int) *wasm.Module {
+	m := wasm.NewModule("base64", 1, 4)
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+	m.AddData(0, []byte(alphabet))
+	// Input at 1024, output at 16384.
+	input := make([]byte, 3000)
+	for i := range input {
+		input[i] = byte(i*7 + 13)
+	}
+	m.AddData(1024, input)
+	f := m.Func("run", 0)
+	rep := f.NewReg()
+	f.MovImm(rep, 0)
+	f.Label("again")
+	src := f.NewReg()
+	dst := f.NewReg()
+	b0, b1, b2 := f.NewReg(), f.NewReg(), f.NewReg()
+	idx, ch := f.NewReg(), f.NewReg()
+	f.MovImm(src, 1024)
+	f.MovImm(dst, 16384)
+	f.Label("enc")
+	f.Load(1, b0, src, 0)
+	f.Load(1, b1, src, 1)
+	f.Load(1, b2, src, 2)
+	// 4 output symbols.
+	f.Shr32Imm(idx, b0, 2)
+	f.Load(1, ch, idx, 0)
+	f.Store(1, dst, 0, ch)
+	f.And32Imm(idx, b0, 3)
+	f.Shl32Imm(idx, idx, 4)
+	f.Shr32Imm(ch, b1, 4)
+	f.Or32(idx, idx, ch)
+	f.Load(1, ch, idx, 0)
+	f.Store(1, dst, 1, ch)
+	f.And32Imm(idx, b1, 15)
+	f.Shl32Imm(idx, idx, 2)
+	f.Shr32Imm(ch, b2, 6)
+	f.Or32(idx, idx, ch)
+	f.Load(1, ch, idx, 0)
+	f.Store(1, dst, 2, ch)
+	f.And32Imm(idx, b2, 63)
+	f.Load(1, ch, idx, 0)
+	f.Store(1, dst, 3, ch)
+	f.Add32Imm(src, src, 3)
+	f.Add32Imm(dst, dst, 4)
+	f.BrImm(isa.CondLT, src, 1024+3000, "enc")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(10*scale), "again")
+	// Checksum the output.
+	acc := b0
+	f.MovImm(acc, 0)
+	f.MovImm(src, 16384)
+	f.Label("ck")
+	f.Load(4, ch, src, 0)
+	f.Add32(acc, acc, ch)
+	f.Add32Imm(src, src, 4)
+	f.BrImm(isa.CondLT, src, 16384+4000, "ck")
+	f.Ret(acc)
+	return m
+}
+
+// Ctype classifies a byte stream (alpha/digit/space) with compare chains.
+func Ctype(scale int) *wasm.Module {
+	m := wasm.NewModule("ctype", 1, 4)
+	text := make([]byte, 4096)
+	for i := range text {
+		text[i] = byte(32 + (i*31)%95)
+	}
+	m.AddData(0, text)
+	f := m.Func("run", 0)
+	rep, i, c := f.NewReg(), f.NewReg(), f.NewReg()
+	alpha, digit, space := f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(rep, 0)
+	f.MovImm(alpha, 0)
+	f.MovImm(digit, 0)
+	f.MovImm(space, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.Label("scan")
+	f.Load(1, c, i, 0)
+	f.BrImm(isa.CondLT, c, 'a', "notlower")
+	f.BrImm(isa.CondGT, c, 'z', "notlower")
+	f.Add32Imm(alpha, alpha, 1)
+	f.Jmp("next")
+	f.Label("notlower")
+	f.BrImm(isa.CondLT, c, 'A', "notupper")
+	f.BrImm(isa.CondGT, c, 'Z', "notupper")
+	f.Add32Imm(alpha, alpha, 1)
+	f.Jmp("next")
+	f.Label("notupper")
+	f.BrImm(isa.CondLT, c, '0', "notdigit")
+	f.BrImm(isa.CondGT, c, '9', "notdigit")
+	f.Add32Imm(digit, digit, 1)
+	f.Jmp("next")
+	f.Label("notdigit")
+	f.BrImm(isa.CondNE, c, ' ', "next")
+	f.Add32Imm(space, space, 1)
+	f.Label("next")
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, 4096, "scan")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(25*scale), "again")
+	f.Shl32Imm(digit, digit, 8)
+	f.Shl32Imm(space, space, 16)
+	f.Add32(alpha, alpha, digit)
+	f.Add32(alpha, alpha, space)
+	f.Ret(alpha)
+	return m
+}
+
+// Fib2 computes fib(24) by naive recursion, repeatedly.
+func Fib2(scale int) *wasm.Module {
+	m := wasm.NewModule("fib2", 1, 1)
+	fib := m.Func("fib", 1)
+	{
+		n := fib.Param(0)
+		a, b := fib.NewReg(), fib.NewReg()
+		fib.BrImm(isa.CondGE, n, 2, "rec")
+		fib.Ret(n)
+		fib.Label("rec")
+		fib.SubImm(a, n, 1)
+		fib.Call("fib", a, a)
+		fib.SubImm(b, n, 2)
+		fib.Call("fib", b, b)
+		fib.Add(a, a, b)
+		fib.Ret(a)
+	}
+	run := m.Func("run", 0)
+	{
+		acc, n, i := run.NewReg(), run.NewReg(), run.NewReg()
+		run.MovImm(acc, 0)
+		run.MovImm(i, 0)
+		run.Label("loop")
+		run.MovImm(n, 17)
+		run.Call("fib", n, n)
+		run.Add(acc, acc, n)
+		run.AddImm(i, i, 1)
+		run.BrImm(isa.CondLT, i, int64(12*scale), "loop")
+		run.Ret(acc)
+	}
+	return m
+}
+
+// Gimli applies the Gimli-like SP-box permutation to a 12-word state in
+// memory.
+func Gimli(scale int) *wasm.Module {
+	m := wasm.NewModule("gimli", 1, 4)
+	f := m.Func("run", 0)
+	rep, col := f.NewReg(), f.NewReg()
+	x, y, z, t := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	tmp := f.NewReg()
+	pp := addPads(f, 6)
+	// Initialize the state.
+	i := f.NewReg()
+	f.MovImm(i, 0)
+	f.Label("init")
+	f.Mul32Imm(x, i, 0x9e3779b9)
+	f.Store(4, i, 0, x)
+	f.Add32Imm(i, i, 4)
+	f.BrImm(isa.CondLT, i, 48, "init")
+	f.MovImm(rep, 0)
+	f.Label("round")
+	f.MovImm(col, 0)
+	f.Label("cols")
+	f.Load(4, x, col, 0)
+	f.Load(4, y, col, 16)
+	f.Load(4, z, col, 32)
+	rotl32(f, x, x, tmp, 24)
+	rotl32(f, y, y, tmp, 9)
+	// z' = x ^ (z << 1) ^ ((y & z) << 2)
+	f.Shl32Imm(t, z, 1)
+	f.Xor32(t, t, x)
+	f.And32(tmp, y, z)
+	f.Shl32Imm(tmp, tmp, 2)
+	f.Xor32(t, t, tmp)
+	f.Store(4, col, 32, t)
+	// y' = y ^ x ^ ((x | z) << 1)
+	f.Or32(tmp, x, z)
+	f.Shl32Imm(tmp, tmp, 1)
+	f.Xor32(t, y, x)
+	f.Xor32(t, t, tmp)
+	f.Store(4, col, 16, t)
+	// x' = z ^ y ^ ((x & y) << 3)
+	f.And32(tmp, x, y)
+	f.Shl32Imm(tmp, tmp, 3)
+	f.Xor32(t, z, y)
+	f.Xor32(t, t, tmp)
+	f.Store(4, col, 0, t)
+	f.Add32Imm(col, col, 4)
+	f.BrImm(isa.CondLT, col, 16, "cols")
+	pp.touchGated(f, rep, 0x3)
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(8000*scale), "round")
+	f.Load(4, x, col, 0)
+	pp.fold(f, x)
+	f.Ret(x)
+	return m
+}
+
+// Keccak runs theta/rho-like steps over a 25-word (u64) state in memory.
+func Keccak(scale int) *wasm.Module {
+	m := wasm.NewModule("keccak", 1, 4)
+	f := m.Func("run", 0)
+	i, rep := f.NewReg(), f.NewReg()
+	a, b, c := f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(i, 0)
+	f.Label("init")
+	f.MulImm(a, i, 0x123456789abcdef)
+	f.AddImm(a, a, 0x5555)
+	f.Store(8, i, 0, a)
+	f.AddImm(i, i, 8)
+	f.BrImm(isa.CondLT, i, 200, "init")
+	f.MovImm(rep, 0)
+	f.Label("round")
+	// Theta-like: column parity fold.
+	f.MovImm(i, 0)
+	f.Label("theta")
+	f.Load(8, a, i, 0)
+	f.Load(8, b, i, 40)
+	f.Xor(a, a, b)
+	f.Load(8, b, i, 80)
+	f.Xor(a, a, b)
+	f.Load(8, b, i, 120)
+	f.Xor(a, a, b)
+	f.Load(8, b, i, 160)
+	f.Xor(a, a, b)
+	// rho-like rotation by 1 (64-bit via shifts).
+	f.ShlImm(c, a, 1)
+	f.ShrImm(b, a, 63)
+	f.Or(c, c, b)
+	f.Store(8, i, 0, c)
+	f.AddImm(i, i, 8)
+	f.BrImm(isa.CondLT, i, 40, "theta")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(10000*scale), "round")
+	f.Load(8, a, i, 0)
+	f.Ret(a)
+	return m
+}
+
+// Memmove copies overlapping buffers back and forth.
+func Memmove(scale int) *wasm.Module {
+	m := wasm.NewModule("memmove", 2, 4)
+	f := m.Func("run", 0)
+	rep, i, v := f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(i, 0)
+	f.Label("init")
+	f.Mul32Imm(v, i, 0x01010101)
+	f.Store(8, i, 0, v)
+	f.Add32Imm(i, i, 8)
+	f.BrImm(isa.CondLT, i, 32768, "init")
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.Label("fwd")
+	f.Load(8, v, i, 0)
+	f.Store(8, i, 32768, v)
+	f.Add32Imm(i, i, 8)
+	f.BrImm(isa.CondLT, i, 32768, "fwd")
+	f.MovImm(i, 0)
+	f.Label("bwd")
+	f.Load(8, v, i, 32768+8)
+	f.Store(8, i, 0, v)
+	f.Add32Imm(i, i, 8)
+	f.BrImm(isa.CondLT, i, 32768, "bwd")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(30*scale), "again")
+	f.Load(8, v, i, 0)
+	f.Ret(v)
+	return m
+}
+
+// MiniCSV parses a comma/newline-delimited byte buffer, counting fields
+// and summing numeric cells.
+func MiniCSV(scale int) *wasm.Module {
+	m := wasm.NewModule("minicsv", 1, 4)
+	var csv []byte
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 8; c++ {
+			csv = append(csv, []byte(fmt.Sprintf("%d", (r*13+c*7)%1000))...)
+			if c < 7 {
+				csv = append(csv, ',')
+			}
+		}
+		csv = append(csv, '\n')
+	}
+	m.AddData(0, csv)
+	size := int64(len(csv))
+	f := m.Func("run", 0)
+	rep, i, c := f.NewReg(), f.NewReg(), f.NewReg()
+	fields, sum, cur := f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 8)
+	f.MovImm(rep, 0)
+	f.MovImm(fields, 0)
+	f.MovImm(sum, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.MovImm(cur, 0)
+	f.Label("scan")
+	f.Load(1, c, i, 0)
+	f.BrImm(isa.CondEQ, c, ',', "delim")
+	f.BrImm(isa.CondEQ, c, '\n', "delim")
+	// cur = cur*10 + digit
+	f.Mul32Imm(cur, cur, 10)
+	f.Sub32Imm(c, c, '0')
+	f.Add32(cur, cur, c)
+	f.Jmp("next")
+	f.Label("delim")
+	f.Add32Imm(fields, fields, 1)
+	f.Add32(sum, sum, cur)
+	f.MovImm(cur, 0)
+	f.Label("next")
+	pp.touchGated(f, i, 0x1f)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, size, "scan")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(80*scale), "again")
+	f.Shl32Imm(fields, fields, 16)
+	f.Add32(sum, sum, fields)
+	pp.fold(f, sum)
+	f.Ret(sum)
+	return m
+}
+
+// NestedLoop burns cycles in a triply nested counted loop.
+func NestedLoop(scale int) *wasm.Module {
+	m := wasm.NewModule("nestedloop", 1, 1)
+	f := m.Func("run", 0)
+	i, j, k, n := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(n, 0)
+	f.MovImm(i, 0)
+	f.Label("i")
+	f.MovImm(j, 0)
+	f.Label("j")
+	f.MovImm(k, 0)
+	f.Label("k")
+	f.Add32Imm(n, n, 1)
+	f.Add32Imm(k, k, 1)
+	f.BrImm(isa.CondLT, k, 100, "k")
+	f.Add32Imm(j, j, 1)
+	f.BrImm(isa.CondLT, j, 60, "j")
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(25*scale), "i")
+	f.Ret(n)
+	return m
+}
+
+// Random runs a xorshift64 generator and histograms the low byte.
+func Random(scale int) *wasm.Module {
+	m := wasm.NewModule("random", 1, 4)
+	f := m.Func("run", 0)
+	s, t, i, idx, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := addPads(f, 9)
+	f.MovImm(s, 0x2545F4914F6CDD1D)
+	f.MovImm(i, 0)
+	f.Label("loop")
+	f.ShlImm(t, s, 13)
+	f.Xor(s, s, t)
+	f.ShrImm(t, s, 7)
+	f.Xor(s, s, t)
+	f.ShlImm(t, s, 17)
+	f.Xor(s, s, t)
+	f.AndImm(idx, s, 0xff)
+	f.Shl32Imm(idx, idx, 2)
+	f.Load(4, v, idx, 0)
+	f.Add32Imm(v, v, 1)
+	f.Store(4, idx, 0, v)
+	pp.touchGated(f, i, 0x3f)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(120_000*scale), "loop")
+	pp.fold(f, s)
+	f.Ret(s)
+	return m
+}
+
+// RateLimit simulates a token-bucket limiter over a synthetic request
+// stream (branchy accounting, Sightglass's ratelimit).
+func RateLimit(scale int) *wasm.Module {
+	m := wasm.NewModule("ratelimit", 1, 4)
+	f := m.Func("run", 0)
+	tokens, now, next, i := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	allowed, denied, seed, t := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(tokens, 100)
+	f.MovImm(now, 0)
+	f.MovImm(next, 0)
+	f.MovImm(allowed, 0)
+	f.MovImm(denied, 0)
+	f.MovImm(seed, 88172645463325252)
+	f.MovImm(i, 0)
+	f.Label("loop")
+	// Advance time pseudo-randomly.
+	f.ShlImm(t, seed, 13)
+	f.Xor(seed, seed, t)
+	f.ShrImm(t, seed, 7)
+	f.Xor(seed, seed, t)
+	f.AndImm(t, seed, 7)
+	f.Add32(now, now, t)
+	// Refill when a period boundary passes.
+	f.Br(isa.CondLT, now, next, "norefill")
+	f.AddImm(next, now, 16)
+	f.MovImm(tokens, 100)
+	f.Label("norefill")
+	f.BrImm(isa.CondEQ, tokens, 0, "deny")
+	f.Sub32Imm(tokens, tokens, 1)
+	f.Add32Imm(allowed, allowed, 1)
+	f.Jmp("cont")
+	f.Label("deny")
+	f.Add32Imm(denied, denied, 1)
+	f.Label("cont")
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(150_000*scale), "loop")
+	f.Shl32Imm(denied, denied, 16)
+	f.Add32(allowed, allowed, denied)
+	f.Ret(allowed)
+	return m
+}
+
+// Sieve runs the Sieve of Eratosthenes over a byte array.
+func Sieve(scale int) *wasm.Module {
+	m := wasm.NewModule("sieve", 1, 4)
+	f := m.Func("run", 0)
+	const limit = 40000
+	rep, i, j, count, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.MovImm(i, 0)
+	f.Label("clear")
+	f.MovImm(v, 1)
+	f.Store(1, i, 0, v)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, limit, "clear")
+	f.MovImm(i, 2)
+	f.Label("outer")
+	f.Load(1, v, i, 0)
+	f.BrImm(isa.CondEQ, v, 0, "skip")
+	f.Add32(j, i, i)
+	f.Label("mark")
+	f.BrImm(isa.CondGEU, j, limit, "skip")
+	f.MovImm(v, 0)
+	f.Store(1, j, 0, v)
+	f.Add32(j, j, i)
+	f.Jmp("mark")
+	f.Label("skip")
+	f.Add32Imm(i, i, 1)
+	f.Mul32(v, i, i)
+	f.BrImm(isa.CondLT, v, limit, "outer")
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(10*scale), "again")
+	// Count primes.
+	f.MovImm(count, 0)
+	f.MovImm(i, 2)
+	f.Label("count")
+	f.Load(1, v, i, 0)
+	f.Add32(count, count, v)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, limit, "count")
+	f.Ret(count)
+	return m
+}
+
+// Switch dispatches through a dense compare chain (the IR has no computed
+// goto, matching Wasm's br_table lowered to branches).
+func Switch(scale int) *wasm.Module {
+	m := wasm.NewModule("switch", 1, 1)
+	f := m.Func("run", 0)
+	s, t, i, acc, c := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(s, 123456789)
+	f.MovImm(acc, 0)
+	f.MovImm(i, 0)
+	f.Label("loop")
+	f.ShlImm(t, s, 13)
+	f.Xor(s, s, t)
+	f.ShrImm(t, s, 7)
+	f.Xor(s, s, t)
+	f.AndImm(c, s, 7)
+	for k := 0; k < 8; k++ {
+		f.BrImm(isa.CondEQ, c, int64(k), fmt.Sprintf("case%d", k))
+	}
+	f.Jmp("after")
+	for k := 0; k < 8; k++ {
+		f.Label(fmt.Sprintf("case%d", k))
+		f.Add32Imm(acc, acc, int64(k*k+1))
+		f.Jmp("after_" + fmt.Sprintf("%d", k))
+		f.Label("after_" + fmt.Sprintf("%d", k))
+		f.Jmp("after")
+	}
+	f.Label("after")
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, int64(60_000*scale), "loop")
+	f.Ret(acc)
+	return m
+}
+
+// XBlabla20 is a BLAKE-flavoured ARX round loop (Sightglass's xblabla20).
+func XBlabla20(scale int) *wasm.Module {
+	return arxKernel("xblabla20", []int64{32, 24, 16, 63}, 8000, scale)
+}
+
+// XChacha20 is a ChaCha20-flavoured ARX quarter-round loop.
+func XChacha20(scale int) *wasm.Module {
+	return arxKernel("xchacha20", []int64{16, 12, 8, 7}, 9000, scale)
+}
+
+// arxKernel builds an add-rotate-xor quarter-round loop with the given
+// rotation constants.
+func arxKernel(name string, rots []int64, iters int64, scale int) *wasm.Module {
+	m := wasm.NewModule(name, 1, 4)
+	f := m.Func("run", 0)
+	a, b, c, d := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	tmp, i := f.NewReg(), f.NewReg()
+	f.MovImm(a, 0x61707865)
+	f.MovImm(b, 0x3320646e)
+	f.MovImm(c, 0x79622d32)
+	f.MovImm(d, 0x6b206574)
+	f.MovImm(i, 0)
+	f.Label("round")
+	f.Add32(a, a, b)
+	f.Xor32(d, d, a)
+	rotl32(f, d, d, tmp, rots[0]%32)
+	f.Add32(c, c, d)
+	f.Xor32(b, b, c)
+	rotl32(f, b, b, tmp, rots[1]%32)
+	f.Add32(a, a, b)
+	f.Xor32(d, d, a)
+	rotl32(f, d, d, tmp, rots[2]%32)
+	f.Add32(c, c, d)
+	f.Xor32(b, b, c)
+	rotl32(f, b, b, tmp, rots[3]%32)
+	f.Add32Imm(i, i, 1)
+	f.BrImm(isa.CondLT, i, iters*int64(scale), "round")
+	f.Xor32(a, a, b)
+	f.Xor32(a, a, c)
+	f.Xor32(a, a, d)
+	f.Ret(a)
+	return m
+}

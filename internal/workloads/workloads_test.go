@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// runOnce instantiates and runs a module, returning the result.
+func runOnce(t *testing.T, mod *wasm.Module, scheme sfi.Scheme, timing bool) uint64 {
+	t.Helper()
+	rt := sandbox.NewRuntime()
+	inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+	if err != nil {
+		t.Fatalf("%s/%v: %v", mod.Name, scheme, err)
+	}
+	var eng cpu.Engine
+	if timing {
+		eng = cpu.NewCore(rt.M)
+	} else {
+		eng = cpu.NewInterp(rt.M)
+	}
+	res, out := inst.Invoke(eng, 2_000_000_000)
+	if res.Reason != cpu.StopHalt {
+		t.Fatalf("%s/%v: stop = %v (pc=%#x)", mod.Name, scheme, res.Reason, rt.M.PC)
+	}
+	return out
+}
+
+// TestSightglassAcrossSchemes runs every Sightglass kernel under every
+// scheme (except masking, whose wraparound semantics legitimately differ
+// on OOB-free kernels they still match) and demands identical results.
+func TestSightglassAcrossSchemes(t *testing.T) {
+	for _, w := range Sightglass() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			mod := w.Build(1)
+			want := runOnce(t, mod, sfi.GuardPages, false)
+			if want == 0 {
+				t.Fatalf("degenerate checksum for %s", w.Name)
+			}
+			for _, scheme := range []sfi.Scheme{sfi.None, sfi.BoundsCheck, sfi.Masking, sfi.HFI} {
+				if got := runOnce(t, w.Build(1), scheme, false); got != want {
+					t.Errorf("%s under %v: %#x, want %#x", w.Name, scheme, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSightglassTimingEngine runs a few kernels on the cycle-level core to
+// ensure they execute there too (full sweep is the Fig 2 harness).
+func TestSightglassTimingEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing engine sweep is slow")
+	}
+	for _, name := range []string{"fib2", "sieve", "xchacha20"} {
+		for _, w := range Sightglass() {
+			if w.Name != name {
+				continue
+			}
+			want := runOnce(t, w.Build(1), sfi.HFI, false)
+			got := runOnce(t, w.Build(1), sfi.HFI, true)
+			if got != want {
+				t.Errorf("%s: timing core %#x, interp %#x", name, got, want)
+			}
+		}
+	}
+}
+
+// TestSpecAcrossSchemes runs a reduced-scale version of each SPEC-like
+// kernel under guard pages, bounds checks and HFI and demands identical
+// results.
+func TestSpecAcrossSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro kernels are slow")
+	}
+	for _, w := range SpecInt() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want := runOnce(t, w.Build(1), sfi.GuardPages, false)
+			for _, scheme := range []sfi.Scheme{sfi.BoundsCheck, sfi.HFI} {
+				if got := runOnce(t, w.Build(1), scheme, false); got != want {
+					t.Errorf("%s under %v: %#x, want %#x", w.Name, scheme, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMediaWorkloads exercises the JPEG decoder and font shaper under
+// guard pages and HFI.
+func TestMediaWorkloads(t *testing.T) {
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.HFI} {
+		rt := sandbox.NewRuntime()
+		inst, err := rt.Instantiate(JPEGDecoder(), scheme, wasm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := cpu.NewInterp(rt.M)
+		res, sum := inst.Invoke(eng, 100_000_000, 3, 480, 8)
+		if res.Reason != cpu.StopHalt || sum == 0 {
+			t.Fatalf("jpeg/%v: stop=%v sum=%d", scheme, res.Reason, sum)
+		}
+
+		rt2 := sandbox.NewRuntime()
+		inst2, err := rt2.Instantiate(FontShaper(), scheme, wasm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, adv := inst2.Invoke(cpu.NewInterp(rt2.M), 100_000_000, 1000, 12)
+		if res2.Reason != cpu.StopHalt || adv == 0 {
+			t.Fatalf("font/%v: stop=%v adv=%d", scheme, res2.Reason, adv)
+		}
+	}
+}
+
+// TestFaaSTenants runs each tenant end to end: request in, response out,
+// identical responses across schemes.
+func TestFaaSTenants(t *testing.T) {
+	for _, tn := range FaaSTenants() {
+		tn := tn
+		t.Run(tn.Name, func(t *testing.T) {
+			req := tn.MakeRequest(1)
+			var want []byte
+			for _, scheme := range []sfi.Scheme{sfi.None, sfi.GuardPages, sfi.HFI} {
+				rt := sandbox.NewRuntime()
+				inst, err := rt.Instantiate(tn.Mod, scheme, wasm.Options{})
+				if err != nil {
+					t.Fatalf("%v: %v", scheme, err)
+				}
+				inst.WriteHeap(InputOffset, req)
+				res, n := inst.Invoke(cpu.NewInterp(rt.M), 10_000_000_000, uint64(len(req)))
+				if res.Reason != cpu.StopHalt {
+					t.Fatalf("%v: stop = %v", scheme, res.Reason)
+				}
+				if n == 0 {
+					t.Fatalf("%v: empty response", scheme)
+				}
+				out := inst.ReadHeap(OutputOffset, int(n))
+				if want == nil {
+					want = out
+				} else if string(out) != string(want) {
+					t.Fatalf("%v: response diverges", scheme)
+				}
+			}
+		})
+	}
+}
