@@ -1,0 +1,26 @@
+# Convenience targets; scripts/verify.sh is the canonical gate.
+
+.PHONY: build test race vet verify bench serve
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./...
+
+# Full verification gate: build + vet + race-detected test suite.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem
+
+# Throughput-vs-workers scaling demo with checksum verification.
+serve:
+	go run ./cmd/hfiserve -requests 200 -verify

@@ -10,11 +10,15 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"hfi/internal/experiments"
 	"hfi/internal/faas"
 	"hfi/internal/hfi"
+	"hfi/internal/host"
 	"hfi/internal/nginxsim"
 	"hfi/internal/sfi"
 	"hfi/internal/spectre"
@@ -274,6 +278,35 @@ func BenchmarkAblationImplicitCheck(b *testing.B) {
 			b.Fatal("check failed")
 		}
 	})
+}
+
+// BenchmarkServeThroughput drives the concurrent serving layer
+// (internal/host) closed-loop over the standard mixed-tenant traffic at
+// several worker-pool sizes. Since the load is wall-clock (workers overlap
+// real per-request dispatch waits), the interesting metrics are the custom
+// ones: requests per second, p99 latency, and shed rate per pool size.
+func BenchmarkServeThroughput(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	const total = 64
+	mix := host.DefaultMix()
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := host.New(host.Config{Workers: w, DispatchWall: 2 * time.Millisecond})
+				res := host.RunClosedLoop(s, mix, 2*w, total, 1)
+				s.Close()
+				if res.Summary.OK != total {
+					b.Fatalf("OK = %d, want %d", res.Summary.OK, total)
+				}
+				b.ReportMetric(res.Summary.ThroughputRPS, "req/s")
+				b.ReportMetric(res.Summary.P99Ns/1e6, "p99-ms")
+				b.ReportMetric(res.Summary.ShedRate*100, "shed-%")
+			}
+		})
+	}
 }
 
 // BenchmarkSpectreAttack measures the attack harness itself (per leaked

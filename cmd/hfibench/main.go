@@ -10,9 +10,11 @@
 //	                           # teardown, scaling, syscalls, font,
 //	                           # ablate-switch, ablate-schemes
 //	hfibench -quick            # reduced scales for a fast smoke pass
+//	hfibench -all -json        # machine-readable: JSON array of tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +25,12 @@ import (
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "run every experiment")
-		fig   = flag.Int("fig", 0, "figure number to reproduce (2,3,4,5,7)")
-		table = flag.Int("table", 0, "table number to reproduce (1)")
-		exp   = flag.String("exp", "", "named experiment (heapgrowth, regpressure, teardown, scaling, syscalls, font, multimem, ablate-switch, ablate-schemes)")
-		quick = flag.Bool("quick", false, "reduced scales")
+		all     = flag.Bool("all", false, "run every experiment")
+		fig     = flag.Int("fig", 0, "figure number to reproduce (2,3,4,5,7)")
+		table   = flag.Int("table", 0, "table number to reproduce (1)")
+		exp     = flag.String("exp", "", "named experiment (heapgrowth, regpressure, teardown, scaling, syscalls, font, multimem, ablate-switch, ablate-schemes)")
+		quick   = flag.Bool("quick", false, "reduced scales")
+		jsonOut = flag.Bool("json", false, "emit results as a JSON array of tables instead of text")
 	)
 	flag.Parse()
 
@@ -38,6 +41,7 @@ func main() {
 	}
 
 	ran := false
+	var tables []*stats.Table
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hfibench:", err)
 		os.Exit(1)
@@ -47,6 +51,10 @@ func main() {
 			fail(err)
 		}
 		ran = true
+		if *jsonOut {
+			tables = append(tables, tb)
+			return
+		}
 		fmt.Println(tb)
 	}
 
@@ -115,5 +123,12 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -1,0 +1,148 @@
+// Command hfiserve drives the concurrent multi-tenant serving layer
+// (internal/host) with synthetic load and prints a throughput-vs-workers
+// scaling table: requests per second, latency percentiles, shed rate, and
+// speedup over a single worker.
+//
+// Usage:
+//
+//	hfiserve                           # closed-loop sweep over 1,2,4,... workers
+//	hfiserve -mode open -rate 2000     # Poisson-ish open loop at 2000 req/s
+//	hfiserve -policy shed -queue 8     # shed instead of blocking when full
+//	hfiserve -fuel 200000              # per-request instruction budget
+//	hfiserve -verify                   # also check checksums vs single-threaded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hfi/internal/host"
+	"hfi/internal/stats"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 400, "requests per worker-count run")
+		workers  = flag.String("workers", "1,2,4", "comma-separated worker counts (GOMAXPROCS is always included)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+		policy   = flag.String("policy", "block", "backpressure policy: block | shed")
+		fuel     = flag.Uint64("fuel", 0, "per-request instruction budget (0 = unlimited)")
+		mode     = flag.String("mode", "closed", "load generator: closed | open")
+		clients  = flag.Int("clients", 0, "closed-loop clients (0 = 2x workers)")
+		rate     = flag.Float64("rate", 800, "open-loop arrival rate, req/s")
+		dispatch = flag.Duration("dispatch", 2*time.Millisecond, "wall-clock per-request dispatch overhead")
+		seed     = flag.Int64("seed", 1, "load schedule seed")
+		verify   = flag.Bool("verify", false, "verify checksums against a single-threaded reference run")
+	)
+	flag.Parse()
+
+	var pol host.Policy
+	switch *policy {
+	case "block":
+		pol = host.PolicyBlock
+	case "shed":
+		pol = host.PolicyShed
+	default:
+		fmt.Fprintf(os.Stderr, "hfiserve: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	counts, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfiserve:", err)
+		os.Exit(2)
+	}
+
+	mix := host.DefaultMix()
+	// Checksum comparison needs every request to execute exactly once:
+	// shedding drops requests and fuel starvation turns them into timeouts,
+	// so verification only makes sense under PolicyBlock with unlimited fuel.
+	verifiable := *verify && pol == host.PolicyBlock && *fuel == 0
+	if *verify && !verifiable {
+		fmt.Fprintln(os.Stderr, "hfiserve: -verify requires -policy block and -fuel 0 (requests must not shed or time out)")
+		os.Exit(2)
+	}
+	var ref uint64
+	if verifiable {
+		if ref, err = host.ReferenceChecksum(mix, *requests, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	tb := &stats.Table{
+		Title:   fmt.Sprintf("throughput vs workers (%s loop, %d requests, policy %s)", *mode, *requests, pol),
+		Columns: []string{"workers", "req/s", "p50", "p99", "p99.9", "shed%", "timeouts", "speedup"},
+	}
+	var base float64
+	for _, w := range counts {
+		s := host.New(host.Config{
+			Workers: w, QueueDepth: *queue, Policy: pol,
+			Fuel: *fuel, DispatchWall: *dispatch,
+		})
+		var res host.LoadResult
+		if *mode == "open" {
+			res = host.RunOpenLoop(s, mix, *rate, *requests, *seed)
+		} else {
+			nc := *clients
+			if nc <= 0 {
+				nc = 2 * w
+			}
+			res = host.RunClosedLoop(s, mix, nc, *requests, *seed)
+		}
+		s.Close()
+
+		sum := res.Summary
+		if base == 0 {
+			base = sum.ThroughputRPS
+		}
+		tb.AddRow(
+			strconv.Itoa(w),
+			fmt.Sprintf("%.0f", sum.ThroughputRPS),
+			stats.Ns(sum.P50Ns), stats.Ns(sum.P99Ns), stats.Ns(sum.P999Ns),
+			fmt.Sprintf("%.1f", sum.ShedRate*100),
+			strconv.FormatUint(sum.Timeouts, 10),
+			fmt.Sprintf("%.2fx", sum.ThroughputRPS/base),
+		)
+		if verifiable {
+			if res.Checksum != ref {
+				fmt.Fprintf(os.Stderr, "hfiserve: %d workers: checksum %#x != single-threaded reference %#x\n", w, res.Checksum, ref)
+				os.Exit(1)
+			}
+		}
+	}
+	tb.AddNote("GOMAXPROCS=%d; dispatch overhead %v wall per request", runtime.GOMAXPROCS(0), *dispatch)
+	if verifiable {
+		tb.AddNote("checksums verified against single-threaded reference (%#x)", ref)
+	}
+	fmt.Println(tb)
+}
+
+// parseWorkers parses the -workers list, appends GOMAXPROCS, and
+// deduplicates in ascending order.
+func parseWorkers(list string) ([]int, error) {
+	seen := map[int]bool{runtime.GOMAXPROCS(0): true}
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		seen[n] = true
+	}
+	counts := make([]int, 0, len(seen))
+	for n := range seen {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts, nil
+}

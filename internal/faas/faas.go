@@ -49,38 +49,104 @@ type Result struct {
 	TailLatNs  float64 // p99
 	Throughput float64 // requests per simulated second
 	BinBytes   uint64
+	// Checksum is the order-independent digest of every response body
+	// (see HashResponse); identical request sets must produce identical
+	// checksums on any engine, scheme, or host, concurrent or not.
+	Checksum uint64
 }
 
 // DispatchOverheadNs models the per-request platform work outside the
 // sandbox (network receive, routing, response send).
 const DispatchOverheadNs = 20_000
 
-// ServeTenant runs n requests of one tenant under cfg, reusing a single
-// warm instance per request as production FaaS platforms do, and returns
-// latency statistics from the simulated clock.
-func ServeTenant(tenant workloads.Tenant, cfg Config, n int) (Result, error) {
+// TenantInstance is one provisioned warm instance: a private machine and
+// runtime, the tenant's instantiated module, and an execution engine. It is
+// the unit of pooling for the concurrent host (internal/host) and the unit
+// ServeTenant drives single-threaded, so both paths share one construction
+// and one per-request code path. A TenantInstance is not safe for
+// concurrent use; confine it to one goroutine at a time.
+type TenantInstance struct {
+	Tenant workloads.Tenant
+	Cfg    Config
+	RT     *sandbox.Runtime
+	Inst   *sandbox.Instance
+	Eng    cpu.Engine
+}
+
+// Provision instantiates tenant under cfg on a fresh machine and returns
+// the warm instance ready to serve requests.
+func Provision(tenant workloads.Tenant, cfg Config) (*TenantInstance, error) {
 	rt := sandbox.NewRuntime()
 	rt.Serialized = cfg.HFINative
 	rt.WrapNative = cfg.HFINative
 	inst, err := rt.Instantiate(tenant.Mod, cfg.Scheme, wasm.Options{Swivel: cfg.Swivel})
 	if err != nil {
-		return Result{}, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)
+		return nil, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)
 	}
-	eng := cpu.NewInterp(rt.M)
-	clock := rt.M.Kern.Clock
+	return &TenantInstance{
+		Tenant: tenant, Cfg: cfg,
+		RT: rt, Inst: inst, Eng: cpu.NewInterp(rt.M),
+	}, nil
+}
+
+// ServeRequest runs the seq'th request of the tenant's stream on the warm
+// instance with the given instruction budget (0 = unlimited). On a normal
+// halt it returns the response body; otherwise the body is nil and the
+// caller decides between surfacing a timeout (StopLimit) and a fault. The
+// simulated clock advances by the dispatch overhead plus guest time.
+func (ti *TenantInstance) ServeRequest(seq int, fuel uint64) ([]byte, cpu.RunResult) {
+	ti.RT.M.Kern.Clock.Advance(DispatchOverheadNs)
+	req := ti.Tenant.MakeRequest(seq)
+	ti.Inst.WriteHeap(workloads.InputOffset, req)
+	res, outLen := ti.Inst.Invoke(ti.Eng, fuel, uint64(len(req)))
+	if res.Reason != cpu.StopHalt {
+		return nil, res
+	}
+	return ti.Inst.ReadHeap(workloads.OutputOffset, int(outLen)), res
+}
+
+// HashResponse digests one response for the engine-equivalence invariant:
+// FNV-1a over the request sequence number and the response body. Combine
+// per-request hashes with XOR so the aggregate is independent of completion
+// order — a concurrent host finishing requests out of order must still match
+// a single-threaded run over the same request set.
+func HashResponse(seq int, body []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for sh := 0; sh < 64; sh += 8 {
+		h ^= (uint64(seq) >> sh) & 0xff
+		h *= prime64
+	}
+	for _, b := range body {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// ServeTenant runs n requests of one tenant under cfg, reusing a single
+// warm instance per request as production FaaS platforms do, and returns
+// latency statistics from the simulated clock.
+func ServeTenant(tenant workloads.Tenant, cfg Config, n int) (Result, error) {
+	ti, err := Provision(tenant, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	clock := ti.RT.M.Kern.Clock
 
 	lats := make([]float64, 0, n)
+	var sum uint64
 	start := clock.Now()
 	for i := 0; i < n; i++ {
 		t0 := clock.Now()
-		clock.Advance(DispatchOverheadNs)
-		req := tenant.MakeRequest(i)
-		inst.WriteHeap(workloads.InputOffset, req)
-		res, outLen := inst.Invoke(eng, 0, uint64(len(req)))
+		body, res := ti.ServeRequest(i, 0)
 		if res.Reason != cpu.StopHalt {
 			return Result{}, fmt.Errorf("faas: %s/%s request %d: stop %v", tenant.Name, cfg.Name, i, res.Reason)
 		}
-		_ = inst.ReadHeap(workloads.OutputOffset, int(outLen))
+		sum ^= HashResponse(i, body)
 		lats = append(lats, float64(clock.Now()-t0))
 	}
 	elapsed := float64(clock.Now() - start)
@@ -92,7 +158,8 @@ func ServeTenant(tenant workloads.Tenant, cfg Config, n int) (Result, error) {
 		AvgLatNs:   stats.Mean(lats),
 		TailLatNs:  stats.Percentile(lats, 99),
 		Throughput: float64(n) / (elapsed / 1e9),
-		BinBytes:   inst.C.BinaryBytes,
+		BinBytes:   ti.Inst.C.BinaryBytes,
+		Checksum:   sum,
 	}, nil
 }
 

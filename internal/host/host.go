@@ -1,0 +1,271 @@
+// Package host is the concurrent multi-tenant sandbox serving layer: a
+// wall-clock worker pool in front of the simulated FaaS platform. Where
+// faas.ServeTenant drives one warm instance on one goroutine, a host.Server
+// schedules mixed-tenant request streams across N worker goroutines behind
+// a bounded admission queue with a configurable backpressure policy (block
+// the submitter, or shed with a 429-style rejection counter).
+//
+// Each worker owns a private pool of warm faas.TenantInstance sets keyed by
+// (tenant, isolation config), so the large per-instance allocations — a
+// cpu.Machine, a simulated kernel and address space, compiled code — are
+// built once per (worker, tenant, config) and warm-reused across requests,
+// mirroring the warm-instance model the paper's FaaS evaluation (§6.3)
+// assumes. Machines are never shared across goroutines: all simulator state
+// (kernel, memory, HFI, caches) is confined to the owning worker, which is
+// what makes the layer race-free by construction.
+//
+// Per-request deadlines ride on the engines' existing instruction budget
+// ("fuel"): a request that exhausts its budget stops with cpu.StopLimit and
+// is surfaced as StatusTimeout, and the instance is reset (sandbox.Reset)
+// before reuse. Latencies and outcomes feed a stats.Recorder
+// (p50/p99/p999, throughput, shed rate).
+package host
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfi/internal/cpu"
+	"hfi/internal/faas"
+	"hfi/internal/stats"
+	"hfi/internal/workloads"
+)
+
+// Policy selects what a full admission queue does to new requests.
+type Policy uint8
+
+// Backpressure policies.
+const (
+	// PolicyBlock applies backpressure to the submitter: Submit blocks
+	// until the queue drains (a closed-loop client slows down).
+	PolicyBlock Policy = iota
+	// PolicyShed rejects immediately with StatusShed when the queue is
+	// full — the HTTP-429 path — and counts the rejection.
+	PolicyShed
+)
+
+func (p Policy) String() string {
+	if p == PolicyShed {
+		return "shed"
+	}
+	return "block"
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the number of worker goroutines; each owns its own warm
+	// instance pool. Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue. Defaults to 2*Workers.
+	QueueDepth int
+	// Policy is the backpressure policy when the queue is full.
+	Policy Policy
+	// Fuel is the default per-request instruction budget (0 = unlimited).
+	// A request exceeding it stops with cpu.StopLimit → StatusTimeout.
+	Fuel uint64
+	// DispatchWall models the per-request platform work outside the
+	// sandbox (network receive, routing, response send) as real wall time,
+	// the wall-clock twin of faas.DispatchOverheadNs on the simulated
+	// clock. Workers overlap these waits, so throughput scales with the
+	// pool even when guest execution itself is bottlenecked on CPU.
+	DispatchWall time.Duration
+}
+
+// Status classifies a response.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK      Status = iota // guest halted normally; Body is valid
+	StatusTimeout               // fuel budget exhausted (cpu.StopLimit)
+	StatusShed                  // rejected at admission (PolicyShed, queue full)
+	StatusFault                 // guest fault or provisioning error
+)
+
+var statusNames = [...]string{"ok", "timeout", "shed", "fault"}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Request is one guest invocation: the seq'th request of tenant's stream,
+// served under the given isolation configuration.
+type Request struct {
+	Tenant workloads.Tenant
+	Iso    faas.Config
+	Seq    int
+	// Fuel overrides the server's default budget when nonzero.
+	Fuel uint64
+}
+
+// Response reports one request's outcome.
+type Response struct {
+	Status  Status
+	Body    []byte         // response bytes (StatusOK only)
+	Stop    cpu.StopReason // engine stop reason for executed requests
+	Err     error          // provisioning error (StatusFault only)
+	Worker  int            // worker that served the request
+	Latency time.Duration  // wall time from admission to completion
+}
+
+type call struct {
+	req  Request
+	t0   time.Time
+	done chan Response
+}
+
+// poolKey identifies a warm-instance pool slot: one tenant under one
+// isolation configuration.
+type poolKey struct {
+	tenant string
+	iso    faas.Config
+}
+
+// Server is the concurrent serving layer. Create with New, feed with
+// Submit/Do, then Close. Submitting after Close panics.
+type Server struct {
+	cfg        Config
+	queue      chan call
+	rec        *stats.Recorder
+	wg         sync.WaitGroup
+	started    time.Time
+	coldStarts atomic.Uint64
+	rejected   atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts a server with cfg.Workers goroutines waiting on the queue.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan call, cfg.QueueDepth),
+		rec:     stats.NewRecorder(),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Workers reports the configured pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Submit admits one request and returns a channel that receives exactly one
+// Response. Under PolicyBlock a full queue blocks the caller; under
+// PolicyShed a full queue resolves immediately with StatusShed.
+func (s *Server) Submit(req Request) <-chan Response {
+	done := make(chan Response, 1)
+	c := call{req: req, t0: time.Now(), done: done}
+	if s.cfg.Policy == PolicyShed {
+		select {
+		case s.queue <- c:
+		default:
+			s.rejected.Add(1)
+			s.rec.Record(stats.OutcomeShed, 0)
+			done <- Response{Status: StatusShed}
+		}
+		return done
+	}
+	s.queue <- c
+	return done
+}
+
+// Do submits and waits for the response.
+func (s *Server) Do(req Request) Response { return <-s.Submit(req) }
+
+// Close drains the queue, stops the workers, and waits for them to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Snapshot summarizes latencies and outcomes so far, with throughput
+// computed over the given wall window (pass time.Since(start) of the load
+// run, or 0 to skip throughput).
+func (s *Server) Snapshot(elapsed time.Duration) stats.ServeSummary {
+	return s.rec.Snapshot(float64(elapsed.Nanoseconds()))
+}
+
+// ColdStarts counts instance provisionings (pool misses) so far.
+func (s *Server) ColdStarts() uint64 { return s.coldStarts.Load() }
+
+// Rejected counts admissions refused under PolicyShed — the 429 counter.
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+
+// worker owns a private pool of warm instances and serves queue entries
+// until the queue closes. Nothing in the pool ever crosses goroutines.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	pool := make(map[poolKey]*faas.TenantInstance)
+	for c := range s.queue {
+		resp := s.serveOne(id, pool, c.req)
+		resp.Latency = time.Since(c.t0)
+		lat := float64(resp.Latency.Nanoseconds())
+		switch resp.Status {
+		case StatusOK:
+			s.rec.Record(stats.OutcomeOK, lat)
+		case StatusTimeout:
+			s.rec.Record(stats.OutcomeTimeout, lat)
+		default:
+			s.rec.Record(stats.OutcomeFault, lat)
+		}
+		c.done <- resp
+	}
+}
+
+// serveOne runs one request on the worker's warm instance for its
+// (tenant, config), provisioning on first use.
+func (s *Server) serveOne(id int, pool map[poolKey]*faas.TenantInstance, req Request) Response {
+	if d := s.cfg.DispatchWall; d > 0 {
+		time.Sleep(d)
+	}
+	key := poolKey{req.Tenant.Name, req.Iso}
+	ti := pool[key]
+	if ti == nil {
+		var err error
+		ti, err = faas.Provision(req.Tenant, req.Iso)
+		if err != nil {
+			return Response{Status: StatusFault, Err: err, Worker: id}
+		}
+		pool[key] = ti
+		s.coldStarts.Add(1)
+	}
+	fuel := req.Fuel
+	if fuel == 0 {
+		fuel = s.cfg.Fuel
+	}
+	body, res := ti.ServeRequest(req.Seq, fuel)
+	switch res.Reason {
+	case cpu.StopHalt:
+		return Response{Status: StatusOK, Body: body, Stop: res.Reason, Worker: id}
+	case cpu.StopLimit:
+		// Deadline exceeded mid-run: the instance memory is mid-request
+		// garbage; restore it before the pool reuses it.
+		ti.Inst.Reset()
+		return Response{Status: StatusTimeout, Stop: res.Reason, Worker: id}
+	default:
+		ti.Inst.Reset()
+		return Response{Status: StatusFault, Stop: res.Reason, Worker: id}
+	}
+}

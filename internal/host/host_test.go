@@ -1,0 +1,238 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"hfi/internal/cpu"
+	"hfi/internal/faas"
+	"hfi/internal/sfi"
+	"hfi/internal/workloads"
+)
+
+// equivalenceConfigs is every isolation configuration the equivalence
+// invariant must hold under: the three Table 1 platform configs plus the
+// raw HFI, bounds-check, and masking schemes.
+func equivalenceConfigs() []faas.Config {
+	return []faas.Config{
+		faas.StockLucet(),
+		faas.LucetHFI(),
+		faas.LucetSwivel(),
+		{Name: "HFI", Scheme: sfi.HFI},
+		{Name: "Bounds", Scheme: sfi.BoundsCheck},
+		{Name: "Masking", Scheme: sfi.Masking},
+	}
+}
+
+// TestServeEquivalence: for every tenant × isolation config, the aggregate
+// response checksum under the concurrent host must equal the
+// single-threaded faas.ServeTenant run over the same request set — the
+// engine-equivalence invariant extended to the parallel hot path.
+func TestServeEquivalence(t *testing.T) {
+	const n = 5
+	for _, tenant := range workloads.FaaSTenantsLight() {
+		for _, cfg := range equivalenceConfigs() {
+			want, err := faas.ServeTenant(tenant, cfg, n)
+			if err != nil {
+				t.Fatalf("%s/%s reference: %v", tenant.Name, cfg.Name, err)
+			}
+
+			s := New(Config{Workers: 4})
+			chans := make([]<-chan Response, n)
+			for i := 0; i < n; i++ {
+				chans[i] = s.Submit(Request{Tenant: tenant, Iso: cfg, Seq: i})
+			}
+			var got uint64
+			for i, ch := range chans {
+				r := <-ch
+				if r.Status != StatusOK {
+					t.Fatalf("%s/%s seq %d: status %v (stop %v, err %v)", tenant.Name, cfg.Name, i, r.Status, r.Stop, r.Err)
+				}
+				got ^= faas.HashResponse(i, r.Body)
+			}
+			s.Close()
+
+			if got != want.Checksum {
+				t.Fatalf("%s/%s: concurrent checksum %#x != single-threaded %#x", tenant.Name, cfg.Name, got, want.Checksum)
+			}
+		}
+	}
+}
+
+// TestServeStressMixed floods ≥4 workers with ≥1000 mixed-tenant requests
+// under the race detector and checks both full completion and
+// checksum-identity against a single-threaded reference over the same
+// deterministic schedule.
+func TestServeStressMixed(t *testing.T) {
+	const (
+		total = 1000
+		seed  = 42
+	)
+	mix := DefaultMix()
+
+	s := New(Config{Workers: 4, QueueDepth: 16})
+	res := RunClosedLoop(s, mix, 8, total, seed)
+	s.Close()
+
+	if res.Summary.OK != total {
+		t.Fatalf("OK = %d, want %d (timeouts %d, faults %d, shed %d)",
+			res.Summary.OK, total, res.Summary.Timeouts, res.Summary.Faults, res.Summary.Shed)
+	}
+	want, err := ReferenceChecksum(mix, total, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != want {
+		t.Fatalf("stress checksum %#x != reference %#x", res.Checksum, want)
+	}
+	if res.Summary.P50Ns <= 0 || res.Summary.P99Ns < res.Summary.P50Ns {
+		t.Fatalf("implausible latency summary: %+v", res.Summary)
+	}
+}
+
+// TestFuelDeadline: a starved instruction budget surfaces as
+// StatusTimeout/StopLimit, and the instance recovers (via Reset) to serve
+// the same request correctly afterwards on the same worker.
+func TestFuelDeadline(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3] // templated-html
+	cfg := faas.StockLucet()
+	want, err := faas.ServeTenant(tenant, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	r := s.Do(Request{Tenant: tenant, Iso: cfg, Seq: 0, Fuel: 100})
+	if r.Status != StatusTimeout || r.Stop != cpu.StopLimit {
+		t.Fatalf("starved request: status %v stop %v, want timeout/limit", r.Status, r.Stop)
+	}
+	r = s.Do(Request{Tenant: tenant, Iso: cfg, Seq: 0})
+	if r.Status != StatusOK {
+		t.Fatalf("post-timeout request: status %v stop %v", r.Status, r.Stop)
+	}
+	if got := faas.HashResponse(0, r.Body); got != want.Checksum {
+		t.Fatalf("post-timeout response checksum %#x != reference %#x (instance reset failed)", got, want.Checksum)
+	}
+
+	sum := s.Snapshot(0)
+	if sum.Timeouts != 1 || sum.OK != 1 {
+		t.Fatalf("summary = %+v, want 1 timeout + 1 ok", sum)
+	}
+}
+
+// TestBackpressureShed: with PolicyShed and a saturated single worker, some
+// admissions are rejected with StatusShed, the 429 counter matches, and
+// every submission still resolves exactly once.
+func TestBackpressureShed(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	cfg := faas.StockLucet()
+	s := New(Config{Workers: 1, QueueDepth: 1, Policy: PolicyShed, DispatchWall: 2 * time.Millisecond})
+
+	const total = 32
+	chans := make([]<-chan Response, total)
+	for i := 0; i < total; i++ {
+		chans[i] = s.Submit(Request{Tenant: tenant, Iso: cfg, Seq: i})
+	}
+	var ok, shed uint64
+	for _, ch := range chans {
+		switch r := <-ch; r.Status {
+		case StatusOK:
+			ok++
+		case StatusShed:
+			shed++
+		default:
+			t.Fatalf("unexpected status %v", r.Status)
+		}
+	}
+	s.Close()
+
+	if shed == 0 {
+		t.Fatal("no sheds despite saturated worker and depth-1 queue")
+	}
+	if got := s.Rejected(); got != shed {
+		t.Fatalf("Rejected() = %d, observed %d shed responses", got, shed)
+	}
+	sum := s.Snapshot(0)
+	if sum.Shed != shed || sum.OK != ok || ok+shed != total {
+		t.Fatalf("summary %+v inconsistent with ok=%d shed=%d", sum, ok, shed)
+	}
+	if sum.ShedRate <= 0 || sum.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v, want in (0,1)", sum.ShedRate)
+	}
+}
+
+// TestBackpressureBlock: under PolicyBlock nothing is ever rejected — the
+// queue being full just slows submitters down.
+func TestBackpressureBlock(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	cfg := faas.StockLucet()
+	s := New(Config{Workers: 2, QueueDepth: 2, Policy: PolicyBlock, DispatchWall: time.Millisecond})
+
+	const total = 24
+	done := make(chan Response, total)
+	for c := 0; c < 4; c++ {
+		go func(c int) {
+			for i := c; i < total; i += 4 {
+				done <- s.Do(Request{Tenant: tenant, Iso: cfg, Seq: i})
+			}
+		}(c)
+	}
+	for i := 0; i < total; i++ {
+		if r := <-done; r.Status != StatusOK {
+			t.Fatalf("status %v", r.Status)
+		}
+	}
+	s.Close()
+	if s.Rejected() != 0 {
+		t.Fatalf("PolicyBlock rejected %d requests", s.Rejected())
+	}
+}
+
+// TestOpenLoopOverload: an open-loop generator offering far more than one
+// worker's capacity under PolicyShed must shed, and every request must be
+// accounted for exactly once.
+func TestOpenLoopOverload(t *testing.T) {
+	const total = 100
+	s := New(Config{Workers: 1, QueueDepth: 2, Policy: PolicyShed, DispatchWall: time.Millisecond})
+	res := RunOpenLoop(s, DefaultMix(), 1e6, total, 7)
+	s.Close()
+
+	sum := res.Summary
+	if got := sum.Executed() + sum.Shed; got != total {
+		t.Fatalf("accounted %d of %d requests: %+v", got, total, sum)
+	}
+	if sum.Shed == 0 {
+		t.Fatal("overloaded open loop shed nothing")
+	}
+}
+
+// TestWarmReuse: a single worker serving one tenant repeatedly provisions
+// exactly once — the pool actually pools.
+func TestWarmReuse(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	cfg := faas.StockLucet()
+	s := New(Config{Workers: 1})
+	for i := 0; i < 10; i++ {
+		if r := s.Do(Request{Tenant: tenant, Iso: cfg, Seq: i}); r.Status != StatusOK {
+			t.Fatalf("seq %d: %v", i, r.Status)
+		}
+	}
+	s.Close()
+	if got := s.ColdStarts(); got != 1 {
+		t.Fatalf("cold starts = %d, want 1", got)
+	}
+}
+
+// TestScheduleDeterminism: the load schedule is a pure function of
+// (mix, total, seed).
+func TestScheduleDeterminism(t *testing.T) {
+	a := BuildSchedule(DefaultMix(), 200, 99)
+	b := BuildSchedule(DefaultMix(), 200, 99)
+	for i := range a {
+		if a[i].Tenant.Name != b[i].Tenant.Name || a[i].Seq != b[i].Seq || a[i].Iso != b[i].Iso {
+			t.Fatalf("schedule diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package host
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfi/internal/faas"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/workloads"
+)
+
+// Class is one traffic class of a synthetic mix: a tenant under an
+// isolation configuration, drawn with probability Weight / sum(Weights).
+type Class struct {
+	Weight int
+	Tenant workloads.Tenant
+	Iso    faas.Config
+}
+
+// DefaultMix is the standard mixed-tenant traffic: the four scaled-down
+// Table 1 tenants spread across isolation configurations (so pool keying by
+// (tenant, config) is actually exercised), weighted so the deliberately
+// heavy image-classification tenant stays rare, as tail-heavy tenants are
+// in production mixes.
+func DefaultMix() []Class {
+	light := workloads.FaaSTenantsLight()
+	return []Class{
+		{Weight: 8, Tenant: light[3], Iso: faas.StockLucet()},                                    // templated-html
+		{Weight: 4, Tenant: light[0], Iso: faas.LucetHFI()},                                      // xml-to-json
+		{Weight: 3, Tenant: light[2], Iso: faas.Config{Name: "HFI", Scheme: sfi.HFI}},            // check-sha256
+		{Weight: 1, Tenant: light[1], Iso: faas.Config{Name: "Bounds", Scheme: sfi.BoundsCheck}}, // image-classification
+	}
+}
+
+// BuildSchedule deterministically expands a mix into `total` requests:
+// classes are drawn weight-proportionally from a seeded PRNG and each class
+// keeps its own request sequence numbers. The same (mix, total, seed)
+// always yields the same request set, which is what makes concurrent-run
+// checksums comparable against single-threaded reference runs.
+func BuildSchedule(mix []Class, total int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	wsum := 0
+	for _, c := range mix {
+		wsum += c.Weight
+	}
+	seqs := make([]int, len(mix))
+	reqs := make([]Request, total)
+	for i := range reqs {
+		w := rng.Intn(wsum)
+		k := 0
+		for w >= mix[k].Weight {
+			w -= mix[k].Weight
+			k++
+		}
+		reqs[i] = Request{Tenant: mix[k].Tenant, Iso: mix[k].Iso, Seq: seqs[k]}
+		seqs[k]++
+	}
+	return reqs
+}
+
+// ReferenceChecksum serves the exact request set of BuildSchedule(mix,
+// total, seed) single-threaded through the faas warm-instance path and
+// returns the aggregate response checksum — the ground truth the concurrent
+// host must match (engine-equivalence invariant).
+func ReferenceChecksum(mix []Class, total int, seed int64) (uint64, error) {
+	reqs := BuildSchedule(mix, total, seed)
+	instances := make(map[poolKey]*faas.TenantInstance)
+	var sum uint64
+	for _, r := range reqs {
+		key := poolKey{r.Tenant.Name, r.Iso}
+		ti := instances[key]
+		if ti == nil {
+			var err error
+			ti, err = faas.Provision(r.Tenant, r.Iso)
+			if err != nil {
+				return 0, err
+			}
+			instances[key] = ti
+		}
+		body, _ := ti.ServeRequest(r.Seq, 0)
+		sum ^= faas.HashResponse(r.Seq, body)
+	}
+	return sum, nil
+}
+
+// LoadResult aggregates one load-generator run.
+type LoadResult struct {
+	Summary stats.ServeSummary
+	// Checksum is the XOR of faas.HashResponse over all StatusOK
+	// responses — completion-order independent.
+	Checksum uint64
+	Elapsed  time.Duration
+}
+
+// RunClosedLoop drives the server with `clients` concurrent closed-loop
+// clients: each client issues its next request as soon as the previous one
+// completes, pulling from a shared deterministic schedule of `total`
+// requests. This is the throughput-oriented generator (offered load tracks
+// capacity; nothing sheds under PolicyBlock).
+func RunClosedLoop(s *Server, mix []Class, clients, total int, seed int64) LoadResult {
+	reqs := BuildSchedule(mix, total, seed)
+	var next atomic.Int64
+	sums := make(chan uint64, clients)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local uint64
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total {
+					break
+				}
+				r := s.Do(reqs[i])
+				if r.Status == StatusOK {
+					local ^= faas.HashResponse(reqs[i].Seq, r.Body)
+				}
+			}
+			sums <- local
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(sums)
+	var sum uint64
+	for v := range sums {
+		sum ^= v
+	}
+	return LoadResult{Summary: s.Snapshot(elapsed), Checksum: sum, Elapsed: elapsed}
+}
+
+// RunOpenLoop drives the server with a Poisson-ish open-loop arrival
+// process at `rate` requests per second: inter-arrival gaps are
+// exponentially distributed from a seeded PRNG, so the offered load is
+// independent of service capacity — the generator that actually exercises
+// queueing and shedding. The arrival schedule (classes, sequence numbers,
+// gaps) is deterministic for a given seed; which requests shed under
+// overload is not, by nature.
+func RunOpenLoop(s *Server, mix []Class, rate float64, total int, seed int64) LoadResult {
+	reqs := BuildSchedule(mix, total, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	due := make([]time.Duration, total)
+	var t float64
+	for i := range due {
+		t += rng.ExpFloat64() / rate * 1e9
+		due[i] = time.Duration(t)
+	}
+
+	var (
+		mu  sync.Mutex
+		sum uint64
+		wg  sync.WaitGroup
+	)
+	t0 := time.Now()
+	for i := 0; i < total; i++ {
+		if d := time.Until(t0.Add(due[i])); d > 0 {
+			time.Sleep(d)
+		}
+		ch := s.Submit(reqs[i])
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			if r := <-ch; r.Status == StatusOK {
+				mu.Lock()
+				sum ^= faas.HashResponse(seq, r.Body)
+				mu.Unlock()
+			}
+		}(reqs[i].Seq)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	return LoadResult{Summary: s.Snapshot(elapsed), Checksum: sum, Elapsed: elapsed}
+}

@@ -1,0 +1,108 @@
+package sandbox
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// statefulModule carries a data segment and mutates it: run() loads the
+// counter at offset 0, increments it in place, grows memory by one page and
+// pokes the new page, then returns the loaded value. Back-to-back invokes
+// therefore return 10, 11, 12, ... — unless the instance is Reset between
+// them.
+func statefulModule() *wasm.Module {
+	m := wasm.NewModule("stateful", 1, 16)
+	m.AddData(0, []byte{10})
+	f := m.Func("run", 0)
+	zero, v, tmp, idx := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(zero, 0)
+	f.Load(1, v, zero, 0)
+	f.Add32Imm(tmp, v, 1)
+	f.Store(1, zero, 0, tmp) // clobbers the data segment AND dirties the heap
+	f.MovImm(tmp, 1)
+	f.Grow(idx, tmp)
+	f.MulImm(idx, idx, wasm.PageSize)
+	f.Store(1, idx, 0, v) // dirty the freshly grown page
+	f.Ret(v)
+	return m
+}
+
+// TestResetRestoresInstance: after Reset, a warm instance must be
+// indistinguishable from a freshly instantiated one — data segments
+// replayed, dirtied heap discarded, page count restored.
+func TestResetRestoresInstance(t *testing.T) {
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		mod := statefulModule()
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		eng := cpu.NewInterp(rt.M)
+
+		invoke := func() uint64 {
+			res, got := inst.Invoke(eng, 10_000_000)
+			if res.Reason != cpu.StopHalt {
+				t.Fatalf("%v: stop = %v", scheme, res.Reason)
+			}
+			return got
+		}
+
+		if got := invoke(); got != 10 {
+			t.Fatalf("%v: first run = %d, want 10", scheme, got)
+		}
+		if got := invoke(); got != 11 {
+			t.Fatalf("%v: second run = %d, want 11 (module is supposed to be stateful)", scheme, got)
+		}
+		inst.SyncPages()
+		if inst.CurPages == mod.MemPages {
+			t.Fatalf("%v: memory did not grow", scheme)
+		}
+
+		inst.Reset()
+		if inst.CurPages != mod.MemPages {
+			t.Fatalf("%v: pages after Reset = %d, want %d", scheme, inst.CurPages, mod.MemPages)
+		}
+		if got := inst.ReadHeap(0, 1); got[0] != 10 {
+			t.Fatalf("%v: data segment not replayed (byte 0 = %d)", scheme, got[0])
+		}
+		if got := invoke(); got != 10 {
+			t.Fatalf("%v: run after Reset = %d, want 10 (fresh-instance behaviour)", scheme, got)
+		}
+		// The previously grown page must read back as zero after another
+		// Reset — Madvise discarded the dirtied image.
+		inst.Reset()
+		if got := inst.ReadHeap(uint32(mod.MemPages)*wasm.PageSize, 1); got[0] != 0 {
+			t.Fatalf("%v: grown page survived Reset (byte = %#x)", scheme, got[0])
+		}
+	}
+}
+
+// TestResetAfterFuelExhaustion: the serving layer's timeout path — a run
+// stopped mid-flight by the instruction budget (possibly inside an HFI
+// context) must be fully recoverable via Reset on the same instance.
+func TestResetAfterFuelExhaustion(t *testing.T) {
+	mod := statefulModule()
+	rt := NewRuntime()
+	inst, err := rt.Instantiate(mod, sfi.HFI, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cpu.NewInterp(rt.M)
+
+	res, _ := inst.Invoke(eng, 5) // starve it mid-springboard/guest
+	if res.Reason != cpu.StopLimit {
+		t.Fatalf("stop = %v, want limit", res.Reason)
+	}
+	inst.Reset()
+	if rt.M.HFI.Enabled {
+		t.Fatal("HFI context still active after Reset")
+	}
+	res, got := inst.Invoke(eng, 10_000_000)
+	if res.Reason != cpu.StopHalt || got != 10 {
+		t.Fatalf("post-Reset run = %d (stop=%v), want 10/halt", got, res.Reason)
+	}
+}

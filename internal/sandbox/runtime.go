@@ -498,6 +498,37 @@ func (inst *Instance) ShareBuffer(mem int, addr, size uint64, writable bool) err
 	return fmt.Errorf("sandbox: no region-table entry for memory %d", mem)
 }
 
+// Reset returns a warm instance to its post-Instantiate state so a pool can
+// safely hand it to the next request stream after an aborted run (fuel
+// exhaustion, fault): any dangling HFI context is exited, the heap image is
+// discarded and the module's data segments replayed, and the page-count
+// global and host mirror are restored. Code, the aux block (globals page,
+// region table, sandbox_t) and the HFI region programming are untouched —
+// the springboard's hfi_enter reloads the region table on the next Invoke,
+// which also undoes any in-sandbox hfi_set_region growth. After Reset the
+// next Invoke behaves exactly like the first.
+func (inst *Instance) Reset() {
+	m := inst.RT.M
+	if m.HFI.Enabled {
+		// An aborted run can stop mid-sandbox; leave it before reuse so the
+		// next springboard entry starts from a clean context.
+		m.HFI.Exit()
+	}
+	m.Kern.Madvise(m.AS, inst.HeapBase, inst.HeapReserved)
+	mod := inst.C.Module
+	lay := inst.C.Layout
+	m.Mem().Write(lay.GlobalBase+0, 8, uint64(mod.MemPages)) // gCurPages
+	for _, seg := range mod.Data {
+		m.Mem().WriteBytes(inst.HeapBase+uint64(seg.Offset), seg.Bytes)
+	}
+	for i, base := range inst.ExtraMemBases {
+		if inst.ExtraMemReserved[i] > 0 {
+			m.Kern.Madvise(m.AS, base, inst.ExtraMemReserved[i])
+		}
+	}
+	inst.CurPages = mod.MemPages
+}
+
 // Teardown discards the instance's memory image with one madvise call over
 // its committed heap, the way stock Wasmtime recycles instance slots
 // (§5.1). Guard reservations are not touched — the per-sandbox strategy

@@ -1,0 +1,105 @@
+package stats
+
+import "sync"
+
+// Outcome classifies one request's fate for the serving recorder.
+type Outcome uint8
+
+// Request outcomes.
+const (
+	OutcomeOK      Outcome = iota // served, guest halted normally
+	OutcomeTimeout                // fuel budget exhausted (StopLimit)
+	OutcomeFault                  // guest faulted or stopped abnormally
+	OutcomeShed                   // rejected at admission (backpressure)
+)
+
+var outcomeNames = [...]string{"ok", "timeout", "fault", "shed"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "outcome(?)"
+}
+
+// Recorder accumulates per-request latencies and outcome counters from many
+// goroutines — the measurement sink of the concurrent serving layer
+// (internal/host). All methods are safe for concurrent use; Snapshot may be
+// called while recording continues.
+type Recorder struct {
+	mu       sync.Mutex
+	lats     []float64 // wall latencies (ns) of executed requests (ok+timeout+fault)
+	ok       uint64
+	timeouts uint64
+	faults   uint64
+	shed     uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one request outcome. latNs is the wall-clock latency in
+// nanoseconds; it is ignored for shed requests, which never executed.
+func (r *Recorder) Record(o Outcome, latNs float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch o {
+	case OutcomeOK:
+		r.ok++
+	case OutcomeTimeout:
+		r.timeouts++
+	case OutcomeFault:
+		r.faults++
+	case OutcomeShed:
+		r.shed++
+		return
+	}
+	r.lats = append(r.lats, latNs)
+}
+
+// ServeSummary is a point-in-time view of a Recorder.
+type ServeSummary struct {
+	OK       uint64
+	Timeouts uint64
+	Faults   uint64
+	Shed     uint64
+
+	MeanNs float64
+	P50Ns  float64
+	P99Ns  float64
+	P999Ns float64
+	MaxNs  float64
+
+	// ThroughputRPS is executed requests per wall second over the elapsed
+	// window handed to Snapshot (0 if elapsedNs <= 0).
+	ThroughputRPS float64
+	// ShedRate is shed / (executed + shed) — the 429 rate.
+	ShedRate float64
+}
+
+// Executed counts requests that reached a sandbox (everything but sheds).
+func (s ServeSummary) Executed() uint64 { return s.OK + s.Timeouts + s.Faults }
+
+// Snapshot summarizes everything recorded so far. elapsedNs is the
+// wall-clock window the throughput is computed over.
+func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
+	r.mu.Lock()
+	lats := append([]float64(nil), r.lats...)
+	s := ServeSummary{OK: r.ok, Timeouts: r.timeouts, Faults: r.faults, Shed: r.shed}
+	r.mu.Unlock()
+
+	if len(lats) > 0 {
+		s.MeanNs = Mean(lats)
+		s.P50Ns = Percentile(lats, 50)
+		s.P99Ns = Percentile(lats, 99)
+		s.P999Ns = Percentile(lats, 99.9)
+		s.MaxNs = Max(lats)
+	}
+	if elapsedNs > 0 {
+		s.ThroughputRPS = float64(s.Executed()) / (elapsedNs / 1e9)
+	}
+	if total := s.Executed() + s.Shed; total > 0 {
+		s.ShedRate = float64(s.Shed) / float64(total)
+	}
+	return s
+}

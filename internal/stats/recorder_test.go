@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrent hammers one recorder from many goroutines and
+// checks that no records are lost and the percentiles are coherent. Run
+// under -race this is also the recorder's data-race test.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		each    = 1000
+	)
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				switch i % 4 {
+				case 0, 1:
+					r.Record(OutcomeOK, float64(w*each+i))
+				case 2:
+					r.Record(OutcomeTimeout, float64(i))
+				case 3:
+					if i%8 == 3 {
+						r.Record(OutcomeShed, 0)
+					} else {
+						r.Record(OutcomeFault, float64(i))
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent snapshots must not disturb recording.
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot(1e9)
+	}
+	wg.Wait()
+
+	s := r.Snapshot(2e9)
+	if s.OK != writers*each/2 {
+		t.Fatalf("OK = %d, want %d", s.OK, writers*each/2)
+	}
+	if s.Timeouts != writers*each/4 {
+		t.Fatalf("timeouts = %d, want %d", s.Timeouts, writers*each/4)
+	}
+	if s.Shed+s.Faults != writers*each/4 {
+		t.Fatalf("shed+faults = %d, want %d", s.Shed+s.Faults, writers*each/4)
+	}
+	if s.Executed() != s.OK+s.Timeouts+s.Faults {
+		t.Fatalf("Executed() = %d inconsistent", s.Executed())
+	}
+	if s.P50Ns > s.P99Ns || s.P99Ns > s.P999Ns || s.P999Ns > s.MaxNs {
+		t.Fatalf("percentiles out of order: %+v", s)
+	}
+	wantTput := float64(s.Executed()) / 2.0
+	if s.ThroughputRPS != wantTput {
+		t.Fatalf("throughput = %v, want %v", s.ThroughputRPS, wantTput)
+	}
+	wantShed := float64(s.Shed) / float64(s.Executed()+s.Shed)
+	if s.ShedRate != wantShed {
+		t.Fatalf("shed rate = %v, want %v", s.ShedRate, wantShed)
+	}
+}
+
+// TestRecorderEmpty: a fresh recorder snapshots to zeros without panicking.
+func TestRecorderEmpty(t *testing.T) {
+	s := NewRecorder().Snapshot(0)
+	if s.Executed() != 0 || s.P99Ns != 0 || s.ThroughputRPS != 0 || s.ShedRate != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestRecorderShedOnly: sheds never contribute latency samples.
+func TestRecorderShedOnly(t *testing.T) {
+	r := NewRecorder()
+	r.Record(OutcomeShed, 12345) // latency argument must be ignored
+	s := r.Snapshot(1e9)
+	if s.Shed != 1 || s.MaxNs != 0 || s.ThroughputRPS != 0 {
+		t.Fatalf("shed-only snapshot = %+v", s)
+	}
+	if s.ShedRate != 1 {
+		t.Fatalf("shed rate = %v, want 1", s.ShedRate)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{OutcomeOK: "ok", OutcomeTimeout: "timeout", OutcomeFault: "fault", OutcomeShed: "shed"} {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", o, got, want)
+		}
+	}
+}

@@ -41,6 +41,49 @@ func TestGeoMean(t *testing.T) {
 	GeoMean([]float64{1, 0})
 }
 
+// TestPercentileEdges pins the boundary behaviour hosts depend on: empty
+// input, a single sample, out-of-range p, unsorted input (Percentile sorts a
+// copy and must not mutate the caller's slice), and the p99.9 tail used by
+// the serving layer.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("p50(empty) = %v, want 0", got)
+	}
+	for _, p := range []float64{-10, 0, 50, 100, 200} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("p%v(single) = %v, want 7", p, got)
+		}
+	}
+	xs := []float64{9, 3, 7, 1, 5}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Fatalf("p-5 = %v, want min", got)
+	}
+	if got := Percentile(xs, 250); got != 9 {
+		t.Fatalf("p250 = %v, want max", got)
+	}
+	if got := Percentile(xs, 25); got != 3 {
+		t.Fatalf("p25(unsorted) = %v, want 3", got)
+	}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("p50(unsorted) = %v, want 5", got)
+	}
+	if xs[0] != 9 || xs[4] != 5 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+	// p99.9 over 1..1000: pos = 0.999*999 = 998.001, interpolating
+	// between 999 and 1000.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(1000 - i) // descending: also exercises sorting
+	}
+	if got := Percentile(big, 99.9); math.Abs(got-999.001) > 1e-9 {
+		t.Fatalf("p99.9 = %v, want 999.001", got)
+	}
+	if got := Percentile([]float64{2, 4}, 50); got != 3 {
+		t.Fatalf("p50 interpolation = %v, want 3", got)
+	}
+}
+
 // TestPercentileProperty: percentiles are monotone and bounded by min/max.
 func TestPercentileProperty(t *testing.T) {
 	prop := func(raw []uint16, pa, pb uint8) bool {

@@ -34,17 +34,39 @@ func FaaSTenants() []Tenant {
 	}
 }
 
-func xmlRequest(i int) []byte {
-	var b []byte
-	for k := 0; k < 40; k++ {
-		b = append(b, fmt.Sprintf("<item id=\"%d\"><name>n%d</name><qty>%d</qty></item>", i*40+k, k, (i+k)%97)...)
+// FaaSTenantsLight returns the same four tenant kernels scaled down —
+// fewer internal repetitions and smaller request bodies — so serving-layer
+// tests and benchmarks can push thousands of requests through the platform
+// in seconds. The per-request input→output mapping has the same shape as
+// the Table 1 tenants; only the work per request shrinks.
+func FaaSTenantsLight() []Tenant {
+	return []Tenant{
+		{"xml-to-json", XMLToJSONReps(2), xmlRequestN(8)},
+		{"image-classification", ImageClassificationScaled(1, 2), imageRequest},
+		{"check-sha256", CheckSHA256Reps(1), shaRequestN(512)},
+		{"templated-html", TemplatedHTMLReps(2), htmlRequest},
 	}
-	return b
+}
+
+func xmlRequest(i int) []byte { return xmlRequestN(40)(i) }
+
+// xmlRequestN builds XML requests with `items` elements each.
+func xmlRequestN(items int) func(i int) []byte {
+	return func(i int) []byte {
+		var b []byte
+		for k := 0; k < items; k++ {
+			b = append(b, fmt.Sprintf("<item id=\"%d\"><name>n%d</name><qty>%d</qty></item>", i*items+k, k, (i+k)%97)...)
+		}
+		return b
+	}
 }
 
 // XMLToJSON scans an XML-ish request and emits a JSON-ish response:
 // element names become keys, text content becomes values.
-func XMLToJSON() *wasm.Module {
+func XMLToJSON() *wasm.Module { return XMLToJSONReps(40) }
+
+// XMLToJSONReps is XMLToJSON with a configurable repetition count.
+func XMLToJSONReps(reps int) *wasm.Module {
 	m := wasm.NewModule("xml-to-json", 32, 32)
 	f := m.Func("run", 1)
 	n := f.Param(0)
@@ -104,7 +126,7 @@ func XMLToJSON() *wasm.Module {
 	f.Br(isa.CondLT, i, n, "scan")
 	f.Label("done")
 	f.Add32Imm(rep, rep, 1)
-	f.BrImm(isa.CondLT, rep, 40, "again")
+	f.BrImm(isa.CondLT, rep, int64(reps), "again")
 	f.Ret(o)
 	return m
 }
@@ -120,7 +142,11 @@ func imageRequest(i int) []byte {
 // ImageClassification runs a small convolution + pooling + classify
 // pipeline over a 32x32 request image. It is deliberately the heaviest
 // tenant, as in Table 1 (12.2 s average latency vs ~0.5 s for the others).
-func ImageClassification() *wasm.Module {
+func ImageClassification() *wasm.Module { return ImageClassificationScaled(6, 8) }
+
+// ImageClassificationScaled is ImageClassification with configurable epoch
+// and filter counts (filters ≤ 8; the weight table stays 8 filters wide).
+func ImageClassificationScaled(epochs, filters int) *wasm.Module {
 	m := wasm.NewModule("image-classification", 32, 32)
 	// 8 filters of 3x3 weights at 0.
 	weights := make([]byte, 8*9)
@@ -178,9 +204,9 @@ func ImageClassification() *wasm.Module {
 	f.Mov(best, scores)
 	f.Label("nobest")
 	f.Add32Imm(fil, fil, 1)
-	f.BrImm(isa.CondLT, fil, 8, "filter")
+	f.BrImm(isa.CondLT, fil, int64(filters), "filter")
 	f.Add32Imm(rep, rep, 1)
-	f.BrImm(isa.CondLT, rep, 6, "epoch")
+	f.BrImm(isa.CondLT, rep, int64(epochs), "epoch")
 	// Response: the winning score.
 	f.Store(4, rep, OutputOffset, best)
 	f.MovImm(rep, 4)
@@ -188,18 +214,26 @@ func ImageClassification() *wasm.Module {
 	return m
 }
 
-func shaRequest(i int) []byte {
-	b := make([]byte, 4096)
-	for p := range b {
-		b[p] = byte(p*13 + i)
+func shaRequest(i int) []byte { return shaRequestN(4096)(i) }
+
+// shaRequestN builds hash requests of n bytes.
+func shaRequestN(n int) func(i int) []byte {
+	return func(i int) []byte {
+		b := make([]byte, n)
+		for p := range b {
+			b[p] = byte(p*13 + i)
+		}
+		return b
 	}
-	return b
 }
 
 // CheckSHA256 hashes the request body with a SHA-256-shaped compression
 // loop (message schedule + 64 rounds of Σ/maj/ch mixing) and writes the
 // digest.
-func CheckSHA256() *wasm.Module {
+func CheckSHA256() *wasm.Module { return CheckSHA256Reps(10) }
+
+// CheckSHA256Reps is CheckSHA256 with a configurable repetition count.
+func CheckSHA256Reps(reps int) *wasm.Module {
 	m := wasm.NewModule("check-sha256", 32, 32)
 	f := m.Func("run", 1)
 	n := f.Param(0)
@@ -250,7 +284,7 @@ func CheckSHA256() *wasm.Module {
 	f.Add32Imm(blk, blk, 64)
 	f.Br(isa.CondLT, blk, n, "block")
 	f.Add32Imm(rep, rep, 1)
-	f.BrImm(isa.CondLT, rep, 10, "again")
+	f.BrImm(isa.CondLT, rep, int64(reps), "again")
 	// Digest out.
 	for i := range h {
 		f.MovImm(tmp, int64(i*4))
@@ -267,7 +301,10 @@ func htmlRequest(i int) []byte {
 
 // TemplatedHTML renders a page template, substituting '@' placeholders
 // with fields of the request (split on '|').
-func TemplatedHTML() *wasm.Module {
+func TemplatedHTML() *wasm.Module { return TemplatedHTMLReps(10) }
+
+// TemplatedHTMLReps is TemplatedHTML with a configurable repetition count.
+func TemplatedHTMLReps(reps int) *wasm.Module {
 	m := wasm.NewModule("templated-html", 32, 32)
 	tmpl := []byte("<html><head><title>@</title></head><body><h1>Hello @</h1><ul>")
 	for i := 0; i < 20; i++ {
@@ -314,7 +351,7 @@ func TemplatedHTML() *wasm.Module {
 	f.Add32Imm(i, i, 1)
 	f.BrImm(isa.CondLT, i, tl, "copy")
 	f.Add32Imm(rep, rep, 1)
-	f.BrImm(isa.CondLT, rep, 10, "again")
+	f.BrImm(isa.CondLT, rep, int64(reps), "again")
 	f.Ret(o)
 	return m
 }

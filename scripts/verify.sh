@@ -1,0 +1,25 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate: build everything,
+# vet, then run the test suite under the race detector. The race pass
+# matters because internal/host serves mixed-tenant load across worker
+# goroutines; tier-1 CI (plain `go test ./...`) would not catch a data race
+# on the simulator state.
+#
+# The race pass runs with -short: that skips only the single-threaded macro
+# experiments (Fig 2/3/4, SPEC sweeps), which are ~16x slower under the
+# race detector and have no concurrency to check, while every concurrent
+# code path — internal/host including its 1000-request mixed-tenant stress
+# test, faas, sandbox, stats — runs in full. For the unabridged version:
+# `go test -race -timeout 45m ./...`.
+#
+# Usage: scripts/verify.sh  (or `make verify`)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race -short ./..."
+go test -race -short -timeout 15m ./...
+echo "verify: all green"
