@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test race vet verify bench serve
+.PHONY: build test race vet verify verifier bench serve
 
 build:
 	go build ./...
@@ -14,9 +14,15 @@ vet:
 race:
 	go test -race ./...
 
-# Full verification gate: build + vet + race-detected test suite.
+# Full verification gate: build + vet + race-detected test suite + the
+# static-verifier corpus sweep and mutation bench.
 verify:
 	sh scripts/verify.sh
+
+# Static verifier only: corpus sweep + full mutation bench (~2k mutants).
+verifier:
+	go run ./cmd/hfiverify
+	go run ./cmd/hfiverify -mutate -full
 
 bench:
 	go test -bench=. -benchmem

@@ -4,6 +4,7 @@
 // including hmov and the enter/exit pair, without writing Go.
 //
 //	hfiasm prog.s                  # assemble + disassemble (syntax check)
+//	hfiasm -verify prog.s          # + structural verifier passes and CFG stats
 //	hfiasm -run prog.s             # assemble and execute (emulation engine)
 //	hfiasm -run -engine sim prog.s # on the cycle-level core
 //	echo 'movi r0, 42
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"hfi/internal/cpu"
 	"hfi/internal/isa"
 	"hfi/internal/kernel"
+	"hfi/internal/verifier"
 )
 
 const (
@@ -36,9 +39,10 @@ const (
 func main() {
 	runIt := flag.Bool("run", false, "execute the program after assembling")
 	engine := flag.String("engine", "emu", "engine for -run: emu or sim")
+	verify := flag.Bool("verify", false, "run the structural verifier passes and print CFG statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hfiasm [-run] [-engine emu|sim] <file.s | ->")
+		fmt.Fprintln(os.Stderr, "usage: hfiasm [-verify] [-run] [-engine emu|sim] <file.s | ->")
 		os.Exit(2)
 	}
 
@@ -56,6 +60,27 @@ func main() {
 	prog, err := isa.Assemble(codeBase, string(src))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *verify {
+		// Raw assembly has no sandbox geometry, so only the geometry-free
+		// passes apply: structural well-formedness and CFG construction.
+		cfg, err := verifier.VerifyStructure(prog)
+		if err != nil {
+			var re *verifier.RejectError
+			if errors.As(err, &re) {
+				fatal(fmt.Errorf("verify: %v", re.First()))
+			}
+			fatal(err)
+		}
+		indirect := 0
+		for _, b := range cfg.Blocks {
+			if b.Indirect {
+				indirect++
+			}
+		}
+		fmt.Printf("verify: structural ok — %d instructions, %d blocks, %d indirect-branch blocks\n",
+			len(prog.Instrs), len(cfg.Blocks), indirect)
 	}
 
 	if !*runIt {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"hfi/internal/kernel"
 	"hfi/internal/sandbox"
 	"hfi/internal/sfi"
+	"hfi/internal/verifier"
 	"hfi/internal/wasm"
 	"hfi/internal/workloads"
 )
@@ -32,6 +34,7 @@ func main() {
 		scale      = flag.Int("scale", 1, "workload scale factor")
 		serialized = flag.Bool("serialized", false, "serialize hfi_enter/hfi_exit (Spectre protection)")
 		swiv       = flag.Bool("swivel", false, "apply Swivel-like Spectre hardening")
+		verify     = flag.Bool("verify", true, "statically verify the compiled program before running it")
 		list       = flag.Bool("list", false, "list available workloads")
 	)
 	flag.Parse()
@@ -66,8 +69,15 @@ func main() {
 
 	rt := sandbox.NewRuntime()
 	rt.Serialized = *serialized
-	inst, err := rt.Instantiate(chosen.Build(*scale), scheme, wasm.Options{Swivel: *swiv})
+	inst, err := rt.Instantiate(chosen.Build(*scale), scheme, wasm.Options{Swivel: *swiv, NoVerify: !*verify})
 	if err != nil {
+		var re *verifier.RejectError
+		if errors.As(err, &re) {
+			// The post-compile verifier refused the program: print the
+			// first violation with its instruction index and disassembly.
+			fmt.Fprintf(os.Stderr, "hfisim: verification failed under %v: %v\n", scheme, re.First())
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "hfisim:", err)
 		os.Exit(1)
 	}

@@ -447,7 +447,7 @@ func (c *Core) memReady(idx int, e *robEntry, v0, v1, v2 uint64) bool {
 			return true // will fault at execute; no ordering needed
 		}
 	default:
-		ea = v0 + v1*uint64(e.in.Scale) + uint64(e.in.Disp)
+		ea = isa.PlainEA(v0, v1, e.in.Scale, e.in.Disp)
 	}
 	for j := 0; j < idx; j++ {
 		st := c.rob[j]
@@ -560,7 +560,7 @@ func (c *Core) execute(idx int, e *robEntry, v0, v1, v2 uint64) {
 		c.finish(e, lat, v)
 
 	case isa.OpLoad:
-		ea := v0 + v1*uint64(in.Scale) + uint64(in.Disp)
+		ea := isa.PlainEA(v0, v1, in.Scale, in.Disp)
 		e.ea, e.eaValid = ea, true
 		// HFI check in parallel with the dtb lookup: a failing check
 		// blocks the cache access entirely (§4.1).
@@ -606,7 +606,7 @@ func (c *Core) execute(idx int, e *robEntry, v0, v1, v2 uint64) {
 		c.finish(e, lat, m.loadValue(ea, in))
 
 	case isa.OpStore:
-		ea := v0 + v1*uint64(in.Scale) + uint64(in.Disp)
+		ea := isa.PlainEA(v0, v1, in.Scale, in.Disp)
 		e.ea, e.eaValid = ea, true
 		if !m.HFI.PeekData(ea, in.Size, true) {
 			c.specFault(e, fcHFIData, ea, true)

@@ -59,7 +59,7 @@ func (m *Machine) regVal(r isa.Reg) uint64 {
 
 // plainEA computes the effective address of a non-hmov memory operation.
 func (m *Machine) plainEA(in *isa.Instr) uint64 {
-	return m.regVal(in.Rs1) + m.regVal(in.Rs2)*uint64(in.Scale) + uint64(in.Disp)
+	return isa.PlainEA(m.regVal(in.Rs1), m.regVal(in.Rs2), in.Scale, in.Disp)
 }
 
 // signExtend sign-extends the low size bytes of v.

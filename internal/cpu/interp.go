@@ -192,6 +192,9 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				}
 				continue
 			}
+			if m.MemHook != nil {
+				m.MemHook(m.PC, addr, in.Size, write)
+			}
 			if write {
 				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
 			} else {
@@ -213,6 +216,9 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 					return res
 				}
 				continue
+			}
+			if m.MemHook != nil {
+				m.MemHook(m.PC, addr, in.Size, write)
 			}
 			if write {
 				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
@@ -244,6 +250,9 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				}
 				continue
 			}
+			if m.MemHook != nil {
+				m.MemHook(m.PC, sp, 8, true)
+			}
 			m.Mem().Write(sp, 8, next)
 			m.Regs[isa.SP] = sp
 			if in.Op == isa.OpCall {
@@ -259,6 +268,9 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 					return res
 				}
 				continue
+			}
+			if m.MemHook != nil {
+				m.MemHook(m.PC, sp, 8, false)
 			}
 			next = m.Mem().Read(sp, 8)
 			m.Regs[isa.SP] = sp + 8

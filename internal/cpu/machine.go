@@ -93,6 +93,15 @@ type Machine struct {
 	// syscall or handled hfi_exit — the address a trusted runtime resumes
 	// the sandbox at after servicing the exit.
 	LastExitPC uint64
+
+	// MemHook, when non-nil, observes every data access the interpreter
+	// performs architecturally — loads, stores, and the implicit stack
+	// push/pop of call and ret — after the HFI and MMU checks have
+	// passed. The mutation harness uses it as an escape oracle: a hook
+	// that sees an address outside the regions a sandbox owns has caught
+	// a containment failure. The pipelined Core does not call it;
+	// wrong-path accesses would make the stream ill-defined.
+	MemHook func(pc, addr uint64, size uint8, write bool)
 }
 
 // NewMachine wires up a machine with a fresh address space, kernel, HFI

@@ -22,6 +22,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"hfi/internal/cpu"
 	"hfi/internal/faas"
 	"hfi/internal/stats"
+	"hfi/internal/verifier"
 	"hfi/internal/workloads"
 )
 
@@ -83,9 +85,14 @@ const (
 	StatusTimeout               // fuel budget exhausted (cpu.StopLimit)
 	StatusShed                  // rejected at admission (PolicyShed, queue full)
 	StatusFault                 // guest fault or provisioning error
+	// StatusRejected: the tenant's compiled program failed static
+	// verification at provisioning (a *verifier.RejectError is in Err).
+	// Distinct from shed: a shed request lost the capacity race, a
+	// rejected one was refused on proof grounds and never ran.
+	StatusRejected
 )
 
-var statusNames = [...]string{"ok", "timeout", "shed", "fault"}
+var statusNames = [...]string{"ok", "timeout", "shed", "fault", "rejected"}
 
 func (s Status) String() string {
 	if int(s) < len(statusNames) {
@@ -227,6 +234,8 @@ func (s *Server) worker(id int) {
 			s.rec.Record(stats.OutcomeOK, lat)
 		case StatusTimeout:
 			s.rec.Record(stats.OutcomeTimeout, lat)
+		case StatusRejected:
+			s.rec.Record(stats.OutcomeRejected, 0)
 		default:
 			s.rec.Record(stats.OutcomeFault, lat)
 		}
@@ -246,6 +255,10 @@ func (s *Server) serveOne(id int, pool map[poolKey]*faas.TenantInstance, req Req
 		var err error
 		ti, err = faas.Provision(req.Tenant, req.Iso)
 		if err != nil {
+			var re *verifier.RejectError
+			if errors.As(err, &re) {
+				return Response{Status: StatusRejected, Err: err, Worker: id}
+			}
 			return Response{Status: StatusFault, Err: err, Worker: id}
 		}
 		pool[key] = ti

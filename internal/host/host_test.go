@@ -1,12 +1,16 @@
 package host
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"hfi/internal/cpu"
 	"hfi/internal/faas"
+	"hfi/internal/isa"
 	"hfi/internal/sfi"
+	"hfi/internal/verifier"
+	"hfi/internal/wasm"
 	"hfi/internal/workloads"
 )
 
@@ -234,5 +238,60 @@ func TestScheduleDeterminism(t *testing.T) {
 		if a[i].Tenant.Name != b[i].Tenant.Name || a[i].Seq != b[i].Seq || a[i].Iso != b[i].Iso {
 			t.Fatalf("schedule diverged at %d: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// unverifiableTenant builds a tenant whose program compiles but fails
+// static verification: its memory.grow limit is far past the 8 GiB guard
+// reservation, so the grow path's mprotect range cannot be proven inside
+// the heap window.
+func unverifiableTenant() workloads.Tenant {
+	m := wasm.NewModule("oversized-grow", 1, 200_000)
+	f := m.Func("run", 1)
+	old := f.NewReg()
+	f.Grow(old, f.Param(0))
+	f.BrImm(isa.CondEQ, old, 0xFFFFFFFF, "fail")
+	f.Ret(old)
+	f.Label("fail")
+	f.Trap()
+	return workloads.Tenant{
+		Name: "oversized-grow", Mod: m,
+		MakeRequest: func(i int) []byte { return nil },
+	}
+}
+
+// TestRejectedTenantDistinctFromShed: provisioning a tenant whose program
+// fails verification yields StatusRejected with a typed
+// *verifier.RejectError, recorded separately from sheds and faults, and
+// never executes. Healthy traffic on the same server is unaffected.
+func TestRejectedTenantDistinctFromShed(t *testing.T) {
+	s := New(Config{Workers: 2})
+	iso := faas.Config{Name: "Guard", Scheme: sfi.GuardPages}
+
+	r := s.Do(Request{Tenant: unverifiableTenant(), Iso: iso, Seq: 0})
+	if r.Status != StatusRejected {
+		t.Fatalf("status = %v (err %v), want %v", r.Status, r.Err, StatusRejected)
+	}
+	var re *verifier.RejectError
+	if !errors.As(r.Err, &re) {
+		t.Fatalf("err = %v, want a *verifier.RejectError", r.Err)
+	}
+
+	// The same server still serves verifiable tenants.
+	good := workloads.FaaSTenantsLight()[0]
+	if g := s.Do(Request{Tenant: good, Iso: iso, Seq: 0}); g.Status != StatusOK {
+		t.Fatalf("healthy tenant: status = %v (err %v)", g.Status, g.Err)
+	}
+	s.Close()
+
+	sum := s.Snapshot(time.Second)
+	if sum.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", sum.Rejected)
+	}
+	if sum.Shed != 0 || sum.Faults != 0 {
+		t.Fatalf("shed = %d faults = %d, want 0/0: rejection must not masquerade", sum.Shed, sum.Faults)
+	}
+	if sum.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1 (the healthy request only)", sum.Executed())
 	}
 }

@@ -45,16 +45,28 @@ func Assemble(base uint64, src string) (*Program, error) {
 			if !isIdent(label) {
 				return nil, asmErr(lineno, "bad label %q", label)
 			}
-			b.Label(label)
+			if err := catchPanic(func() { b.Label(label) }); err != nil {
+				return nil, asmErr(lineno, "%v", err)
+			}
 			continue
 		}
-		if err := asmLine(b, line); err != nil {
+		// Builder methods panic on malformed operands (bad sizes, explicit
+		// region registers out of range, ...); surface those as assembly
+		// errors rather than crashing the caller.
+		if err := catchPanic(func() {
+			if lerr := asmLine(b, line); lerr != nil {
+				panic(lerr)
+			}
+		}); err != nil {
 			return nil, asmErr(lineno, "%v", err)
 		}
 	}
 	var p *Program
 	err := catchPanic(func() { p = b.Build() })
 	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return p, nil

@@ -162,7 +162,7 @@ func (b *Builder) Store(size uint8, base, index Reg, scale uint8, disp int64, sr
 func (b *Builder) HLoad(hreg uint8, size uint8, rd, index Reg, scale uint8, disp int64) *Builder {
 	checkSize(size)
 	checkScale(scale)
-	if hreg > 3 {
+	if hreg >= NumExplicitHRegs {
 		panic(fmt.Sprintf("isa: explicit region %d out of range", hreg))
 	}
 	return b.emit(Instr{Op: OpHLoad, Rd: rd, Rs1: RegNone, Rs2: index, Rs3: RegNone,
@@ -173,7 +173,7 @@ func (b *Builder) HLoad(hreg uint8, size uint8, rd, index Reg, scale uint8, disp
 func (b *Builder) HStore(hreg uint8, size uint8, index Reg, scale uint8, disp int64, src Reg) *Builder {
 	checkSize(size)
 	checkScale(scale)
-	if hreg > 3 {
+	if hreg >= NumExplicitHRegs {
 		panic(fmt.Sprintf("isa: explicit region %d out of range", hreg))
 	}
 	return b.emit(Instr{Op: OpHStore, Rd: RegNone, Rs1: RegNone, Rs2: index, Rs3: src,

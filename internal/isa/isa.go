@@ -87,8 +87,12 @@ const (
 	OpNot // Rd <- ^Rs1
 	OpNeg // Rd <- -Rs1
 
-	// Memory. Effective address = Rs1 + Rs2*Scale + Disp (register slots
-	// may be RegNone, contributing zero). Size is 1, 2, 4 or 8 bytes.
+	// Memory. Effective address = Rs1 + zext32(Rs2)*Scale + Disp
+	// (register slots may be RegNone, contributing zero). The index
+	// register contributes only its low 32 bits, zero-extended — the
+	// x86-64 32-bit-index addressing idiom SFI compilers lean on: a
+	// sandbox offset can never smuggle a corrupted upper half into the
+	// address computation (see PlainEA). Size is 1, 2, 4 or 8 bytes.
 	// Loads zero-extend unless SignExt is set.
 	OpLoad  // Rd <- mem[EA]
 	OpStore // mem[EA] <- Rs3
@@ -230,6 +234,14 @@ type Instr struct {
 	Disp   int64
 	Imm    int64
 	Target uint64
+}
+
+// PlainEA is the architectural effective-address computation for ld/st:
+// base + zext32(index)*scale + disp. Every engine and the static verifier
+// must use this one definition; the 32-bit index truncation is what lets
+// the guard-page schemes bound an access without per-access instructions.
+func PlainEA(base, index uint64, scale uint8, disp int64) uint64 {
+	return base + uint64(uint32(index))*uint64(scale) + uint64(disp)
 }
 
 // IsMem reports whether the instruction accesses data memory.

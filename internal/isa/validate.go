@@ -1,0 +1,184 @@
+package isa
+
+import "fmt"
+
+// NumExplicitHRegs is the number of explicit-region registers addressable
+// by hld/hst (the paper's hmov0..hmov3). Builder and Program.Validate
+// enforce HReg < NumExplicitHRegs.
+const NumExplicitHRegs = 4
+
+// maxRegionNumber bounds the region-number immediate of the HFI
+// configuration instructions (hfi_set_region and friends). The
+// architectural field is small; implementations define fewer regions and
+// trap on out-of-range numbers at runtime.
+const maxRegionNumber = 64
+
+// ValidationError reports the first structurally malformed instruction of
+// a Program, with enough context to locate it in a disassembly listing.
+type ValidationError struct {
+	Index  int    // instruction index, -1 for whole-program problems
+	Addr   uint64 // instruction address (Base + Index*InstrBytes)
+	Instr  string // disassembly of the offending instruction
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("invalid program: %s", e.Reason)
+	}
+	return fmt.Sprintf("invalid instruction %d at %#x (%s): %s", e.Index, e.Addr, e.Instr, e.Reason)
+}
+
+// Validate checks structural well-formedness: every opcode is defined,
+// register fields are in range (or RegNone where optional), memory sizes
+// and scales are 1/2/4/8, branch and call targets are InstrBytes-aligned
+// addresses inside the program, and execution cannot fall off the end
+// (the last instruction must be halt, jmp, jmpi, or ret).
+//
+// Validate is the verifier's pass 1 and is also run by Assemble, so
+// hand-written programs get the same checks as compiled ones. It does not
+// prove any isolation property; see internal/verifier for that.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return &ValidationError{Index: -1, Reason: "empty program"}
+	}
+	if p.Base%InstrBytes != 0 {
+		return &ValidationError{Index: -1, Reason: fmt.Sprintf("base %#x not %d-byte aligned", p.Base, InstrBytes)}
+	}
+	for i := range p.Instrs {
+		if reason := p.validateInstr(&p.Instrs[i]); reason != "" {
+			return &ValidationError{
+				Index:  i,
+				Addr:   p.Base + uint64(i)*InstrBytes,
+				Instr:  p.Instrs[i].String(),
+				Reason: reason,
+			}
+		}
+	}
+	last := &p.Instrs[len(p.Instrs)-1]
+	switch last.Op {
+	case OpHalt, OpJmp, OpJmpInd, OpRet:
+	default:
+		return &ValidationError{
+			Index:  len(p.Instrs) - 1,
+			Addr:   p.End() - InstrBytes,
+			Instr:  last.String(),
+			Reason: "execution falls off the end of the program (last instruction must be halt, jmp, jmpi, or ret)",
+		}
+	}
+	return nil
+}
+
+// validateInstr returns "" if in is well-formed, or a reason string.
+func (p *Program) validateInstr(in *Instr) string {
+	if in.Op >= opCount {
+		return fmt.Sprintf("undefined opcode %d", uint8(in.Op))
+	}
+	// Any register field must be a real register or RegNone; per-op rules
+	// below additionally require specific fields to be present.
+	for _, f := range [...]struct {
+		name string
+		r    Reg
+	}{{"rd", in.Rd}, {"rs1", in.Rs1}, {"rs2", in.Rs2}, {"rs3", in.Rs3}} {
+		if f.r != RegNone && f.r >= NumRegs {
+			return fmt.Sprintf("register field %s out of range (%d)", f.name, uint8(f.r))
+		}
+	}
+	need := func(name string, r Reg) string {
+		if r == RegNone {
+			return fmt.Sprintf("missing required %s operand", name)
+		}
+		return ""
+	}
+	validSize := func(n uint8) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+	mem := func() string {
+		if !validSize(in.Size) {
+			return fmt.Sprintf("bad access size %d", in.Size)
+		}
+		if in.Rs2 != RegNone && !validSize(in.Scale) {
+			return fmt.Sprintf("bad index scale %d", in.Scale)
+		}
+		return ""
+	}
+	target := func() string {
+		if in.Target < p.Base || in.Target >= p.End() {
+			return fmt.Sprintf("target %#x outside program [%#x, %#x)", in.Target, p.Base, p.End())
+		}
+		if (in.Target-p.Base)%InstrBytes != 0 {
+			return fmt.Sprintf("misaligned target %#x", in.Target)
+		}
+		return ""
+	}
+	region := func() string {
+		if in.Imm < 0 || in.Imm >= maxRegionNumber {
+			return fmt.Sprintf("region number %d out of range", in.Imm)
+		}
+		return ""
+	}
+	first := func(reasons ...string) string {
+		for _, r := range reasons {
+			if r != "" {
+				return r
+			}
+		}
+		return ""
+	}
+
+	switch in.Op {
+	case OpNop, OpHalt, OpRet, OpSyscall, OpFence,
+		OpHfiExit, OpHfiReenter, OpHfiClearAll:
+		return ""
+	case OpMovImm, OpRdtsc:
+		return need("rd", in.Rd)
+	case OpMov, OpNot, OpNeg:
+		return first(need("rd", in.Rd), need("rs1", in.Rs1))
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul, OpDiv, OpRem:
+		if r := first(need("rd", in.Rd), need("rs1", in.Rs1)); r != "" {
+			return r
+		}
+		if !in.UseImm {
+			return need("rs2", in.Rs2)
+		}
+		return ""
+	case OpLoad:
+		return first(need("rd", in.Rd), mem())
+	case OpStore:
+		return first(need("rs3", in.Rs3), mem())
+	case OpHLoad:
+		if in.HReg >= NumExplicitHRegs {
+			return fmt.Sprintf("explicit region register %d out of range", in.HReg)
+		}
+		return first(need("rd", in.Rd), mem())
+	case OpHStore:
+		if in.HReg >= NumExplicitHRegs {
+			return fmt.Sprintf("explicit region register %d out of range", in.HReg)
+		}
+		return first(need("rs3", in.Rs3), mem())
+	case OpBr:
+		if in.Cond > CondLEU {
+			return fmt.Sprintf("undefined condition %d", uint8(in.Cond))
+		}
+		if r := need("rs1", in.Rs1); r != "" {
+			return r
+		}
+		if !in.UseImm {
+			if r := need("rs2", in.Rs2); r != "" {
+				return r
+			}
+		}
+		return target()
+	case OpJmp, OpCall:
+		return target()
+	case OpJmpInd, OpCallInd:
+		return need("rs1", in.Rs1)
+	case OpClflush:
+		return need("rs1", in.Rs1)
+	case OpHfiEnter, OpXsave, OpXrstor:
+		return need("rs1", in.Rs1)
+	case OpHfiSetRegion, OpHfiGetRegion:
+		return first(need("rs2", in.Rs2), region())
+	case OpHfiClearRegion:
+		return region()
+	}
+	return ""
+}

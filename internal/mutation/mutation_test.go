@@ -1,0 +1,67 @@
+package mutation
+
+import (
+	"testing"
+
+	"hfi/internal/sfi"
+)
+
+// TestMutationGate is the acceptance gate: across the corpus and all
+// five schemes, at least 95% of injected unsafe mutants must be
+// rejected statically, and every survivor must be proven harmless by
+// the differential runtime — zero escapes, ever.
+func TestMutationGate(t *testing.T) {
+	opts := Options{Fast: testing.Short()}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatalf("mutation run: %v", err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("no mutants generated")
+	}
+	for _, e := range rep.Escapes {
+		t.Errorf("ESCAPE: %s/%v %s @%d (%s): %s",
+			e.Workload, e.Scheme, e.Operator, e.Index, e.Instr, e.Detail)
+	}
+	if rate := rep.KillRate(); rate < 0.95 {
+		t.Errorf("static kill rate %.1f%% < 95%% (%d/%d unsafe mutants killed, %d harmless, %d equivalent)",
+			rate*100, rep.Killed, rep.Unsafe(), rep.Harmless, rep.Equivalent)
+		for _, r := range rep.Results {
+			if r.Outcome == Harmless {
+				t.Logf("harmless survivor: %s/%v %s @%d (%s): %s",
+					r.Workload, r.Scheme, r.Operator, r.Index, r.Instr, r.Detail)
+			}
+		}
+	}
+	t.Logf("mutation: %d mutants (%d unsafe), %d killed statically (%.1f%%), %d harmless, %d equivalent",
+		rep.Total, rep.Unsafe(), rep.Killed, rep.KillRate()*100, rep.Harmless, rep.Equivalent)
+}
+
+// TestOperatorsCoverEverySchemeMechanism checks the fault model touches
+// each scheme's mediation at least once on a representative kernel:
+// masking must see drop-mask sites, bounds checking nop-check sites,
+// HFI swap-hld sites.
+func TestOperatorsCoverEverySchemeMechanism(t *testing.T) {
+	cases := []struct {
+		scheme sfi.Scheme
+		op     string
+	}{
+		{sfi.Masking, "drop-mask"},
+		{sfi.BoundsCheck, "nop-check"},
+		{sfi.HFI, "swap-hld"},
+		{sfi.GuardPages, "widen-disp"},
+	}
+	rep, err := Run(Options{Fast: true})
+	if err != nil {
+		t.Fatalf("mutation run: %v", err)
+	}
+	seen := map[[2]string]bool{}
+	for _, r := range rep.Results {
+		seen[[2]string{r.Scheme.String(), r.Operator}] = true
+	}
+	for _, c := range cases {
+		if !seen[[2]string{c.scheme.String(), c.op}] {
+			t.Errorf("no %s mutants generated under %v", c.op, c.scheme)
+		}
+	}
+}

@@ -18,8 +18,10 @@ import (
 )
 
 // GuardReservation is the per-instance address-space reservation of the
-// guard-page scheme: 4 GiB addressable + 4 GiB guard (§2).
-const GuardReservation = uint64(8) << 30
+// guard-page scheme: 4 GiB addressable + 4 GiB guard (§2). The number
+// lives in sfi so the static verifier proves accesses into the identical
+// window.
+const GuardReservation = sfi.GuardReservation
 
 // Runtime is the trusted runtime: it owns the machine and hands out
 // sandboxed instances.
@@ -95,8 +97,12 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 	m := rt.M
 
 	// First compilation with a throwaway layout to learn the code size
-	// (code size is layout-independent; only immediates change).
-	probe, err := wasm.Compile(mod, scheme, wasm.Layout{CodeBase: 0x10000, StackBase: 0x20000, StackSize: 0x1000, GlobalBase: 0x30000, HeapBase: 0x40000}, opts)
+	// (code size is layout-independent; only immediates change). The probe
+	// is never executed, so it skips verification; the real compilation
+	// below is verified against the real layout.
+	popts := opts
+	popts.NoVerify = true
+	probe, err := wasm.Compile(mod, scheme, wasm.Layout{CodeBase: 0x10000, StackBase: 0x20000, StackSize: 0x1000, GlobalBase: 0x30000, HeapBase: 0x40000}, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -113,12 +119,18 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 	}
 	m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
 
-	// Aux block: globals page + stack, power-of-two sized for the
-	// implicit data region that must cover it under HFI.
+	// Aux block: globals page, a PROT_NONE stack guard, then the stack;
+	// power-of-two sized for the implicit data region that must cover it
+	// under HFI. The guard sits between the globals page and the stack
+	// floor so a frame reaching below the deepest verified frame faults
+	// instead of corrupting the trusted globals.
 	const stackSize = 248 << 10
-	auxSize := nextPow2(uint64(kernel.OSPageSize) + stackSize)
+	auxSize := nextPow2(uint64(kernel.OSPageSize) + sfi.StackGuard + stackSize)
 	auxBase, err := rt.mapAux(auxSize)
 	if err != nil {
+		return nil, err
+	}
+	if err := m.Kern.Mprotect(m.AS, auxBase+kernel.OSPageSize, sfi.StackGuard, kernel.ProtNone); err != nil {
 		return nil, err
 	}
 
@@ -136,13 +148,28 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		bytes := uint64(pages) * wasm.PageSize
 		var base, reserved uint64
 		if bytes == 0 {
-			// Placeholder memory: no mapping until the runtime re-points
-			// it (ShareBuffer). Accesses fault until then.
-			extraBases = append(extraBases, 0)
-			extraReserved = append(extraReserved, 0)
+			// Placeholder memory: nothing accessible until the runtime
+			// re-points it (ShareBuffer). Guard schemes still pay the full
+			// PROT_NONE reservation so a stray access faults inside sandbox-
+			// owned address space instead of probing whatever the allocator
+			// put below 4 GiB; the checked schemes fault on a zero bound.
+			if scheme.NeedsGuardReservation() {
+				base, err = m.AS.MapAligned(GuardReservation, GuardReservation, kernel.ProtNone)
+				if err != nil {
+					return nil, err
+				}
+				m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
+				extraBases = append(extraBases, base)
+				extraReserved = append(extraReserved, GuardReservation)
+			} else {
+				extraBases = append(extraBases, 0)
+				extraReserved = append(extraReserved, 0)
+			}
 			continue
 		}
-		if scheme.NeedsGuardReservation() {
+		reserved = wasm.HeapReservation(scheme, bytes, bytes)
+		switch {
+		case scheme.NeedsGuardReservation():
 			base, err = m.AS.MapAligned(GuardReservation, GuardReservation, kernel.ProtNone)
 			if err != nil {
 				return nil, err
@@ -153,14 +180,23 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 					return nil, err
 				}
 			}
-			reserved = GuardReservation
-		} else {
+		case reserved > bytes:
+			// Masking: the memory plus its PROT_NONE redzone (displacement
+			// overhang lands there instead of in a neighbouring mapping).
+			base, err = m.AS.MapAligned(reserved, wasm.PageSize, kernel.ProtNone)
+			if err != nil {
+				return nil, err
+			}
+			m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
+			if err := m.Kern.Mprotect(m.AS, base, bytes, kernel.ProtRead|kernel.ProtWrite); err != nil {
+				return nil, err
+			}
+		default:
 			base, err = m.AS.MapAligned(bytes, wasm.PageSize, kernel.ProtRead|kernel.ProtWrite)
 			if err != nil {
 				return nil, err
 			}
 			m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
-			reserved = bytes
 		}
 		extraBases = append(extraBases, base)
 		extraReserved = append(extraReserved, reserved)
@@ -170,7 +206,7 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		CodeBase:   codeBase + springSlots*isa.InstrBytes,
 		HeapBase:   heapBase,
 		GlobalBase: auxBase + auxGlobals,
-		StackBase:  auxBase + kernel.OSPageSize,
+		StackBase:  auxBase + kernel.OSPageSize + sfi.StackGuard,
 		StackSize:  stackSize,
 	}
 	lay.ExtraMemBases = extraBases
@@ -200,7 +236,7 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		m.Mem().Write(off, 8, base)
 		bytes := uint64(mod.ExtraMemories[k]) * wasm.PageSize
 		boundOrMask := bytes
-		if scheme == sfi.Masking {
+		if scheme == sfi.Masking && bytes > 0 {
 			boundOrMask = bytes - 1
 		}
 		m.Mem().Write(off+8, 8, boundOrMask)
@@ -255,26 +291,32 @@ func (rt *Runtime) mapHeap(mod *wasm.Module, scheme sfi.Scheme) (base, reserved 
 		}
 		return base, GuardReservation, nil
 	case scheme == sfi.Masking:
-		// Masking memories are fixed power-of-two size.
-		base, err = m.AS.MapAligned(initBytes, wasm.PageSize, kernel.ProtRead|kernel.ProtWrite)
+		// Masking memories are fixed power-of-two size, followed by a
+		// PROT_NONE redzone absorbing the displacement overhang of masked
+		// accesses (the mask covers the index, not the full EA).
+		reserved = wasm.HeapReservation(scheme, initBytes, maxBytes)
+		base, err = m.AS.MapAligned(reserved, wasm.PageSize, kernel.ProtNone)
 		if err != nil {
 			return 0, 0, err
 		}
 		m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
-		return base, initBytes, nil
+		if initBytes > 0 {
+			if err := m.Kern.Mprotect(m.AS, base, initBytes, kernel.ProtRead|kernel.ProtWrite); err != nil {
+				return 0, 0, err
+			}
+		}
+		return base, reserved, nil
 	default:
 		// BoundsCheck and HFI: reserve up to the maximum, all RW; the
 		// bound (register or HFI region) enforces the accessible limit,
 		// so no guard pages and no mprotect on growth.
-		if maxBytes == 0 {
-			maxBytes = wasm.PageSize
-		}
-		base, err = m.AS.MapAligned(maxBytes, wasm.PageSize, kernel.ProtRead|kernel.ProtWrite)
+		reserved = wasm.HeapReservation(scheme, initBytes, maxBytes)
+		base, err = m.AS.MapAligned(reserved, wasm.PageSize, kernel.ProtRead|kernel.ProtWrite)
 		if err != nil {
 			return 0, 0, err
 		}
 		m.Kern.Clock.Advance(m.Kern.Costs.MmapReserve)
-		return base, maxBytes, nil
+		return base, reserved, nil
 	}
 }
 

@@ -126,7 +126,7 @@ func growModule() *wasm.Module {
 	idx := f.NewReg()
 	v := f.NewReg()
 	f.Grow(old, f.Param(0))
-	f.BrImm(isa.CondEQ, old, -1, "fail")
+	f.BrImm(isa.CondEQ, old, 0xFFFFFFFF, "fail") // grow failure is the i32 -1
 	// Write to the first byte of the newly grown page.
 	f.MulImm(idx, old, wasm.PageSize)
 	f.MovImm(v, 0x5a)

@@ -75,6 +75,54 @@ const (
 // hfi.RegionExplicitBase + HeapRegion.
 const HeapRegion = 0
 
+// Address-space geometry shared by the sandbox runtime and the static
+// verifier. Keeping these in sfi (below both) guarantees the reservation
+// the runtime maps and the window the verifier proves accesses into are
+// the same numbers.
+const (
+	// GuardReservation is the virtual-address reservation for guard-based
+	// schemes: 4 GiB of addressable heap plus a 4 GiB guard, so any
+	// base+index*scale+disp with a 32-bit index and a 31-bit displacement
+	// lands inside the reservation (§2).
+	GuardReservation = uint64(8) << 30
+
+	// MaskingRedzone is the PROT_NONE redzone mapped directly after a
+	// masked heap. Masking ANDs only the index, not the final effective
+	// address, so a masked access can still reach up to disp+size bytes
+	// past the heap end; the runtime maps the redzone inaccessible,
+	// turning those overhangs into contained faults instead of silent
+	// neighbour writes. It spans the full 2^31 displacement range the
+	// access contract admits (NaCl sized its guard regions the same way),
+	// so the cost is address space, never memory.
+	MaskingRedzone = uint64(1) << 31
+
+	// StackGuard is the PROT_NONE gap between the global area and the
+	// machine stack. Stack frames grow downward; a frame escape of up to
+	// StackGuard bytes below the stack floor faults instead of corrupting
+	// the globals page or a neighbouring mapping. The verifier enforces
+	// that no verified store targets more than StackGuard below the
+	// frame's entry SP.
+	StackGuard = uint64(64) << 10
+)
+
+// HeapReservation returns how many bytes of address space the runtime
+// reserves at the heap base for a memory with the given initial and
+// maximum sizes. Accesses the verifier admits are provably inside this
+// window.
+func (s Scheme) HeapReservation(initBytes, maxBytes uint64) uint64 {
+	switch s {
+	case None, GuardPages:
+		return GuardReservation
+	case Masking:
+		return initBytes + MaskingRedzone
+	default: // BoundsCheck, HFI: the full growth range is mapped upfront.
+		if maxBytes == 0 {
+			return initBytes
+		}
+		return maxBytes
+	}
+}
+
 // ReservedRegs returns the physical registers a scheme removes from the
 // allocatable pool. This is the register-pressure cost §6.1 quantifies.
 func (s Scheme) ReservedRegs() []isa.Reg {

@@ -7,13 +7,19 @@ type Outcome uint8
 
 // Request outcomes.
 const (
-	OutcomeOK      Outcome = iota // served, guest halted normally
-	OutcomeTimeout                // fuel budget exhausted (StopLimit)
-	OutcomeFault                  // guest faulted or stopped abnormally
-	OutcomeShed                   // rejected at admission (backpressure)
+	OutcomeOK       Outcome = iota // served, guest halted normally
+	OutcomeTimeout                 // fuel budget exhausted (StopLimit)
+	OutcomeFault                   // guest faulted or stopped abnormally
+	OutcomeShed                    // rejected at admission (backpressure)
+	// OutcomeRejected: the tenant's program failed static verification at
+	// provisioning. Distinct from shed — a shed request would have been
+	// safe to run but lost the capacity race; a rejected one was refused
+	// on proof grounds and never touched a sandbox. Load tests key on the
+	// distinction to assert no verified-then-escaped program exists.
+	OutcomeRejected
 )
 
-var outcomeNames = [...]string{"ok", "timeout", "fault", "shed"}
+var outcomeNames = [...]string{"ok", "timeout", "fault", "shed", "rejected"}
 
 func (o Outcome) String() string {
 	if int(o) < len(outcomeNames) {
@@ -33,6 +39,7 @@ type Recorder struct {
 	timeouts uint64
 	faults   uint64
 	shed     uint64
+	rejected uint64
 }
 
 // NewRecorder returns an empty recorder.
@@ -53,6 +60,9 @@ func (r *Recorder) Record(o Outcome, latNs float64) {
 	case OutcomeShed:
 		r.shed++
 		return
+	case OutcomeRejected:
+		r.rejected++
+		return
 	}
 	r.lats = append(r.lats, latNs)
 }
@@ -63,6 +73,9 @@ type ServeSummary struct {
 	Timeouts uint64
 	Faults   uint64
 	Shed     uint64
+	// Rejected counts requests refused because the tenant program failed
+	// static verification (never executed, no latency sample).
+	Rejected uint64
 
 	MeanNs float64
 	P50Ns  float64
@@ -85,7 +98,7 @@ func (s ServeSummary) Executed() uint64 { return s.OK + s.Timeouts + s.Faults }
 func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 	r.mu.Lock()
 	lats := append([]float64(nil), r.lats...)
-	s := ServeSummary{OK: r.ok, Timeouts: r.timeouts, Faults: r.faults, Shed: r.shed}
+	s := ServeSummary{OK: r.ok, Timeouts: r.timeouts, Faults: r.faults, Shed: r.shed, Rejected: r.rejected}
 	r.mu.Unlock()
 
 	if len(lats) > 0 {

@@ -1,0 +1,239 @@
+package verifier
+
+// The abstract domain. Each register holds an AbsVal: an unsigned 64-bit
+// interval plus optional stack provenance. The issue's four-point lattice
+// (untrusted / masked-to-heap / bounds-checked / trusted-base) embeds into
+// this domain:
+//
+//   - untrusted       = Top interval, no provenance
+//   - masked-to-heap  = interval bounded by the mask (the AND transfer)
+//   - bounds-checked  = interval refined by a compare-and-branch edge
+//   - trusted-base    = exact constant (heap base, globals) or stack symbol
+//
+// Intervals compose under arithmetic where the coarse lattice cannot,
+// which is what lets one analysis prove all four schemes.
+
+const maxU64 = ^uint64(0)
+
+// Interval is an inclusive unsigned range [Lo, Hi]. The empty interval is
+// not representable; transfer functions that would produce it report the
+// edge as dead instead.
+type Interval struct{ Lo, Hi uint64 }
+
+// Top is the unconstrained interval.
+var Top = Interval{0, maxU64}
+
+// Exact returns the singleton interval {v}.
+func Exact(v uint64) Interval { return Interval{v, v} }
+
+// IsTop reports whether the interval carries no information.
+func (iv Interval) IsTop() bool { return iv.Lo == 0 && iv.Hi == maxU64 }
+
+// Singleton returns the value and true if the interval is a single point.
+func (iv Interval) Singleton() (uint64, bool) { return iv.Lo, iv.Lo == iv.Hi }
+
+// Contains reports v ∈ iv.
+func (iv Interval) Contains(v uint64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// In reports iv ⊆ o.
+func (iv Interval) In(o Interval) bool { return o.Lo <= iv.Lo && iv.Hi <= o.Hi }
+
+// Join is the interval union hull.
+func (iv Interval) Join(o Interval) Interval {
+	return Interval{minU(iv.Lo, o.Lo), maxU(iv.Hi, o.Hi)}
+}
+
+// Widen accelerates convergence: bounds that grew since the previous
+// iterate jump to the next "all ones" threshold (2^k - 1) rather than
+// creeping upward. The threshold chain passes through 2^63-1, which keeps
+// signed-comparison refinement applicable to values that stay non-negative.
+func (iv Interval) Widen(next Interval) Interval {
+	w := iv.Join(next)
+	if w.Lo < iv.Lo {
+		w.Lo = 0
+	}
+	if w.Hi > iv.Hi {
+		w.Hi = nextAllOnes(w.Hi)
+	}
+	return w
+}
+
+// nextAllOnes returns the smallest 2^k-1 that is >= v.
+func nextAllOnes(v uint64) uint64 {
+	r := uint64(0)
+	for r < v {
+		r = r<<1 | 1
+	}
+	return r
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func satAdd(a, b uint64) (uint64, bool) {
+	s := a + b
+	if s < a {
+		return maxU64, false
+	}
+	return s, true
+}
+
+func satMul(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/a != b {
+		return maxU64, false
+	}
+	return p, true
+}
+
+// Add is the interval sum; overflow of either bound degrades to Top.
+func (iv Interval) Add(o Interval) Interval {
+	lo, ok1 := satAdd(iv.Lo, o.Lo)
+	hi, ok2 := satAdd(iv.Hi, o.Hi)
+	if !ok2 {
+		return Top
+	}
+	_ = ok1 // lo overflow implies hi overflow
+	return Interval{lo, hi}
+}
+
+// AddConst adds a signed displacement; negative displacements subtract.
+func (iv Interval) AddConst(c int64) Interval {
+	if c >= 0 {
+		return iv.Add(Exact(uint64(c)))
+	}
+	return iv.SubNoWrap(Exact(uint64(-c)))
+}
+
+// SubNoWrap computes iv - o assuming no wraparound can be proven
+// (iv.Lo >= o.Hi); otherwise it returns Top.
+func (iv Interval) SubNoWrap(o Interval) Interval {
+	if iv.Lo < o.Hi {
+		return Top
+	}
+	return Interval{iv.Lo - o.Hi, iv.Hi - o.Lo}
+}
+
+// subGE computes iv - o given an external proof that the minuend value is
+// always >= the subtrahend value (a relation fact from a branch edge).
+func (iv Interval) subGE(o Interval) Interval {
+	lo := uint64(0)
+	if iv.Lo > o.Hi {
+		lo = iv.Lo - o.Hi
+	}
+	// value(iv) >= value(o) >= o.Lo, and value(iv) <= iv.Hi, so iv.Hi >= o.Lo.
+	return Interval{lo, iv.Hi - o.Lo}
+}
+
+// Mul is the interval product (operands are unsigned).
+func (iv Interval) Mul(o Interval) Interval {
+	hi, ok := satMul(iv.Hi, o.Hi)
+	if !ok {
+		return Top
+	}
+	lo, _ := satMul(iv.Lo, o.Lo)
+	return Interval{lo, hi}
+}
+
+// cap32 truncates to Wasm i32 result semantics.
+func (iv Interval) cap32() Interval {
+	if iv.Hi <= 0xffffffff {
+		return iv
+	}
+	return Interval{0, 0xffffffff}
+}
+
+// capSize bounds a zero-extended load of the given byte size.
+func capSize(size uint8) Interval {
+	if size >= 8 {
+		return Top
+	}
+	return Interval{0, 1<<(8*uint(size)) - 1}
+}
+
+// AbsVal is the per-register abstract value: an interval, plus optional
+// stack provenance. When HasOff is set the value is exactly S + Off where
+// S is the analyzed function's entry stack pointer (a symbolic constant);
+// such values address the frame precisely even though S is unknown.
+// CallerFP marks the exact frame-pointer value the function was entered
+// with, threading the callee-saved-FP proof through spill slots.
+type AbsVal struct {
+	I        Interval
+	HasOff   bool
+	Off      int64
+	CallerFP bool
+}
+
+func topVal() AbsVal          { return AbsVal{I: Top} }
+func exactVal(v uint64) AbsVal { return AbsVal{I: Exact(v)} }
+func intervalVal(iv Interval) AbsVal { return AbsVal{I: iv} }
+
+// stackVal returns the symbolic stack value S + off.
+func stackVal(off int64) AbsVal { return AbsVal{I: Top, HasOff: true, Off: off} }
+
+// dataOnly strips provenance, keeping only the interval.
+func (v AbsVal) dataOnly() AbsVal { return AbsVal{I: v.I} }
+
+func (v AbsVal) join(o AbsVal) AbsVal {
+	r := AbsVal{I: v.I.Join(o.I)}
+	if v.HasOff && o.HasOff && v.Off == o.Off {
+		r.HasOff, r.Off = true, v.Off
+	}
+	r.CallerFP = v.CallerFP && o.CallerFP
+	return r
+}
+
+func (v AbsVal) widen(next AbsVal) AbsVal {
+	j := v.join(next)
+	j.I = v.I.Widen(next.I)
+	return j
+}
+
+func (v AbsVal) eq(o AbsVal) bool { return v == o }
+
+// addVal implements abstract a + b with stack-symbol propagation.
+func addVal(a, b AbsVal) AbsVal {
+	if b.HasOff && !a.HasOff {
+		a, b = b, a
+	}
+	if a.HasOff {
+		if c, ok := b.I.Singleton(); ok && !b.HasOff {
+			return stackVal(a.Off + int64(c))
+		}
+		return topVal() // stack symbol plus unknown: some address, location unknown
+	}
+	return intervalVal(a.I.Add(b.I))
+}
+
+// subVal implements abstract a - b; rels supplies a>=b facts.
+func subVal(a, b AbsVal, ge bool) AbsVal {
+	switch {
+	case a.HasOff && b.HasOff:
+		return exactVal(uint64(a.Off - b.Off)) // pointer difference: S cancels
+	case a.HasOff:
+		if c, ok := b.I.Singleton(); ok {
+			return stackVal(a.Off - int64(c))
+		}
+		return topVal()
+	case b.HasOff:
+		return topVal()
+	case ge:
+		return intervalVal(a.I.subGE(b.I))
+	default:
+		return intervalVal(a.I.SubNoWrap(b.I))
+	}
+}

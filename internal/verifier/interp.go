@@ -1,0 +1,766 @@
+package verifier
+
+import (
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+// Fixpoint tuning. Widening thresholds trade precision for convergence
+// speed; the visit caps are safety valves that turn a diverging analysis
+// into a rejection instead of a hang.
+const (
+	joinWidenAfter = 3
+	sumWidenAfter  = 4
+	maxBlockVisits = 60000
+	maxFnRounds    = 6000
+)
+
+// fnAnalysis is the interprocedural summary and intra-procedural fixpoint
+// state of one function (one call-target entry point). The analysis is
+// context-insensitive: parameter intervals join over all call sites and
+// the return interval joins over all rets.
+type fnAnalysis struct {
+	entry      int
+	in         map[int]*absState // block start index -> joined in-state
+	joins      map[int]int
+	summary    [6]Interval // joined argument intervals (R0..R5)
+	summarySet bool
+	sumJoins   int
+	ret        Interval
+	retSet     bool
+	retJoins   int
+	callers    map[int]bool // entries of functions that call this one
+	queued     bool
+	visits     int
+}
+
+type worklist struct {
+	order []int
+	in    map[int]bool
+}
+
+func (w *worklist) push(b int) {
+	if w.in == nil {
+		w.in = map[int]bool{}
+	}
+	if !w.in[b] {
+		w.in[b] = true
+		w.order = append(w.order, b)
+	}
+}
+
+func (w *worklist) pop() (int, bool) {
+	if len(w.order) == 0 {
+		return 0, false
+	}
+	b := w.order[0]
+	w.order = w.order[1:]
+	delete(w.in, b)
+	return b, true
+}
+
+// analyze runs passes 2 and 3: per-function abstract interpretation to a
+// global interprocedural fixpoint, recording violations as it goes.
+func (v *verification) analyze() {
+	v.isLeader = leaders(v.p)
+	v.rootEntry = v.entryIndex()
+	v.fns = map[int]*fnAnalysis{}
+	root := v.getFn(v.rootEntry)
+	for i := range root.summary {
+		root.summary[i] = Top
+	}
+	root.summarySet = true
+	v.enqueueFn(root)
+	for rounds := 0; len(v.fnWork) > 0; rounds++ {
+		if rounds > maxFnRounds {
+			v.violate(-1, "diverged", "interprocedural fixpoint did not converge")
+			return
+		}
+		f := v.fns[v.fnWork[0]]
+		v.fnWork = v.fnWork[1:]
+		f.queued = false
+		v.runFn(f)
+	}
+}
+
+func (v *verification) getFn(entry int) *fnAnalysis {
+	if f, ok := v.fns[entry]; ok {
+		return f
+	}
+	f := &fnAnalysis{
+		entry:   entry,
+		in:      map[int]*absState{},
+		joins:   map[int]int{},
+		callers: map[int]bool{},
+	}
+	v.fns[entry] = f
+	return f
+}
+
+func (v *verification) enqueueFn(f *fnAnalysis) {
+	if !f.queued {
+		f.queued = true
+		v.fnWork = append(v.fnWork, f.entry)
+	}
+}
+
+// fnEntryState builds the state a function is entered with. The program
+// entry trusts nothing (all registers unconstrained: the springboard, not
+// the guest, sets them). Called functions assume the ABI: SP is the frame
+// symbol S, FP is the caller's (to be restored), arguments carry the
+// joined call-site intervals, and the scheme's reserved registers hold
+// their invariants — justified because every call site checks them.
+func (v *verification) fnEntryState(f *fnAnalysis) *absState {
+	st := newState()
+	if f.entry == v.rootEntry {
+		return st
+	}
+	st.regs[isa.SP] = stackVal(0)
+	st.regs[sfi.FP] = AbsVal{I: Top, CallerFP: true}
+	for i := 0; i < 6; i++ {
+		st.regs[isa.R0+isa.Reg(i)] = intervalVal(f.summary[i])
+	}
+	v.applyReservedInvariants(st)
+	return st
+}
+
+// applyReservedInvariants sets the scheme's reserved registers to their
+// globally maintained values (checked at every write and call site).
+func (v *verification) applyReservedInvariants(st *absState) {
+	switch v.cfg.Scheme {
+	case sfi.None, sfi.GuardPages:
+		st.regs[sfi.HeapBaseReg] = exactVal(v.cfg.HeapBase)
+	case sfi.BoundsCheck:
+		st.regs[sfi.HeapBaseReg] = exactVal(v.cfg.HeapBase)
+		st.regs[sfi.HeapBoundReg] = intervalVal(Interval{0, v.cfg.MaxBytes})
+	case sfi.Masking:
+		st.regs[sfi.HeapBaseReg] = exactVal(v.cfg.HeapBase)
+		st.regs[sfi.MaskReg] = exactVal(v.cfg.InitBytes - 1)
+	}
+}
+
+// checkReservedWrite validates a just-performed write to a reserved
+// register against the scheme invariant.
+func (v *verification) checkReservedWrite(st *absState, idx int, rd isa.Reg) {
+	if rd == isa.RegNone {
+		return
+	}
+	val := st.regs[rd]
+	bad := func(want string) {
+		v.violate(idx, "reserved-reg", "write to %v must be %s", rd, want)
+	}
+	switch v.cfg.Scheme {
+	case sfi.None, sfi.GuardPages:
+		if rd == sfi.HeapBaseReg {
+			if c, ok := val.I.Singleton(); !ok || c != v.cfg.HeapBase {
+				bad("the heap base")
+			}
+		}
+	case sfi.BoundsCheck:
+		if rd == sfi.HeapBaseReg {
+			if c, ok := val.I.Singleton(); !ok || c != v.cfg.HeapBase {
+				bad("the heap base")
+			}
+		}
+		if rd == sfi.HeapBoundReg && !val.I.In(Interval{0, v.cfg.MaxBytes}) {
+			bad("within [0, max heap bytes]")
+		}
+	case sfi.Masking:
+		if rd == sfi.HeapBaseReg {
+			if c, ok := val.I.Singleton(); !ok || c != v.cfg.HeapBase {
+				bad("the heap base")
+			}
+		}
+		if rd == sfi.MaskReg {
+			if c, ok := val.I.Singleton(); !ok || c != v.cfg.InitBytes-1 {
+				bad("the heap mask")
+			}
+		}
+	}
+}
+
+// checkReservedAtCall asserts the invariants hold when control leaves the
+// current function (the callee entry state assumes them).
+func (v *verification) checkReservedAtCall(st *absState, idx int) {
+	probe := st.clone()
+	v.applyReservedInvariants(probe)
+	check := func(r isa.Reg) {
+		want := probe.regs[r].I
+		if !st.regs[r].I.In(want) {
+			v.violate(idx, "reserved-reg", "%v does not hold its invariant at call", r)
+		}
+	}
+	switch v.cfg.Scheme {
+	case sfi.None, sfi.GuardPages:
+		check(sfi.HeapBaseReg)
+	case sfi.BoundsCheck:
+		check(sfi.HeapBaseReg)
+		check(sfi.HeapBoundReg)
+	case sfi.Masking:
+		check(sfi.HeapBaseReg)
+		check(sfi.MaskReg)
+	}
+}
+
+// runFn drives the intra-procedural block fixpoint for f under its
+// current parameter summary.
+func (v *verification) runFn(f *fnAnalysis) {
+	if !f.summarySet {
+		return
+	}
+	var work worklist
+	v.updateIn(f, -1, f.entry, v.fnEntryState(f), &work)
+	// Re-seed every known block: callee summaries may have grown since
+	// the last run, and transfer re-reads them.
+	for b := range f.in {
+		work.push(b)
+	}
+	for {
+		b, ok := work.pop()
+		if !ok {
+			return
+		}
+		f.visits++
+		if f.visits > maxBlockVisits {
+			v.violate(f.entry, "diverged", "block fixpoint did not converge")
+			return
+		}
+		v.transferBlock(f, b, &work)
+	}
+}
+
+// updateIn joins the state flowing along the edge src -> b into block b's
+// in-state and schedules b when it changed. Widening applies only at the
+// targets of retreating edges (loop heads): every cycle contains one, so
+// the fixpoint still terminates, while the forward edge out of a
+// compare-and-branch keeps its refinement instead of having the bound
+// blown back out to the next widening threshold.
+func (v *verification) updateIn(f *fnAnalysis, src, b int, ns *absState, work *worklist) {
+	cur, ok := f.in[b]
+	if !ok {
+		f.in[b] = ns.clone()
+		work.push(b)
+		return
+	}
+	widen := false
+	if src >= b {
+		f.joins[b]++
+		widen = f.joins[b] > joinWidenAfter
+	}
+	if cur.merge(ns, widen) {
+		work.push(b)
+	}
+}
+
+// transferBlock abstractly executes the block starting at instruction
+// index b and propagates its out-states along the edges.
+func (v *verification) transferBlock(f *fnAnalysis, b int, work *worklist) {
+	st := f.in[b].clone()
+	for idx := b; idx < len(v.p.Instrs); idx++ {
+		in := &v.p.Instrs[idx]
+		if !v.step(f, st, idx, in, work) {
+			return
+		}
+		if idx+1 < len(v.p.Instrs) && v.isLeader[idx+1] {
+			v.updateIn(f, idx, idx+1, st, work)
+			return
+		}
+	}
+}
+
+// step transfers one non-control instruction in place, or terminates the
+// block (returning false) after posting successor edges for control flow.
+func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr, work *worklist) bool {
+	if !v.opAllowed(in.Op) {
+		v.violate(idx, "privileged-op", "%v is not admissible under scheme %v", in.Op, v.cfg.Scheme)
+		// Continue conservatively so further violations surface.
+		if in.Op == isa.OpRdtsc {
+			st.setReg(in.Rd, topVal())
+		}
+		if in.IsBranch() || in.Op == isa.OpHalt {
+			return false
+		}
+		return true
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpFence, isa.OpHfiExit:
+		return true
+	case isa.OpHalt:
+		return false
+	case isa.OpMovImm:
+		st.setReg(in.Rd, exactVal(uint64(in.Imm)))
+		v.checkReservedWrite(st, idx, in.Rd)
+		return true
+	case isa.OpMov:
+		st.setReg(in.Rd, st.regval(in.Rs1))
+		v.checkReservedWrite(st, idx, in.Rd)
+		return true
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpNot, isa.OpNeg:
+		return v.stepALU(st, idx, in)
+	case isa.OpLoad, isa.OpStore:
+		v.stepMem(st, idx, in)
+		if in.Op == isa.OpLoad {
+			v.checkReservedWrite(st, idx, in.Rd)
+		}
+		return true
+	case isa.OpHLoad, isa.OpHStore:
+		v.stepHfiMem(st, idx, in)
+		return true
+	case isa.OpBr:
+		v.stepBr(f, st, idx, in, work)
+		return false
+	case isa.OpJmp:
+		v.updateIn(f, idx, v.index(in.Target), st, work)
+		return false
+	case isa.OpJmpInd:
+		if t, ok := v.exactCodeTarget(st, in.Rs1); ok {
+			v.updateIn(f, idx, t, st, work)
+		} else {
+			v.violate(idx, "indirect-target", "indirect jump target is not a provable constant")
+		}
+		return false
+	case isa.OpCall:
+		v.stepCall(f, st, idx, v.index(in.Target), work)
+		return false
+	case isa.OpCallInd:
+		if t, ok := v.exactCodeTarget(st, in.Rs1); ok {
+			v.stepCall(f, st, idx, t, work)
+		} else {
+			v.violate(idx, "indirect-target", "indirect call target is not a provable constant")
+		}
+		return false
+	case isa.OpRet:
+		v.stepRet(f, st, idx)
+		return false
+	case isa.OpSyscall:
+		v.checkSyscall(st, idx)
+		st.setReg(isa.R0, topVal())
+		return true
+	case isa.OpHfiGetRegion, isa.OpHfiSetRegion:
+		v.stepRegionUpdate(st, idx, in)
+		return true
+	}
+	// Remaining ops were rejected by the allowlist already.
+	return true
+}
+
+// exactCodeTarget resolves an indirect branch operand to an instruction
+// index, requiring an exact in-range aligned constant.
+func (v *verification) exactCodeTarget(st *absState, r isa.Reg) (int, bool) {
+	c, ok := st.regval(r).I.Singleton()
+	if !ok || c < v.p.Base || c >= v.p.End() || (c-v.p.Base)%isa.InstrBytes != 0 {
+		return 0, false
+	}
+	return v.index(c), true
+}
+
+func (v *verification) stepALU(st *absState, idx int, in *isa.Instr) bool {
+	a := st.regval(in.Rs1)
+	var b AbsVal
+	if in.UseImm {
+		b = exactVal(uint64(in.Imm))
+	} else {
+		b = st.regval(in.Rs2)
+	}
+	var res AbsVal
+	switch in.Op {
+	case isa.OpAdd:
+		if c, ok := b.I.Singleton(); ok && c == 0 && !b.HasOff {
+			res = a // identity: preserves provenance (Swivel's add fp, fp, 0 pads)
+		} else {
+			res = addVal(a, b)
+		}
+	case isa.OpSub:
+		if c, ok := b.I.Singleton(); ok && c == 0 && !b.HasOff {
+			res = a
+		} else {
+			ge := !in.UseImm && st.hasRel(in.Rs1, in.Rs2)
+			res = subVal(a, b, ge)
+		}
+	case isa.OpAnd:
+		res = intervalVal(Interval{0, minU(a.I.Hi, b.I.Hi)})
+	case isa.OpOr:
+		hi, _ := satAdd(a.I.Hi, b.I.Hi) // a|b <= a+b for unsigned operands
+		res = intervalVal(Interval{maxU(a.I.Lo, b.I.Lo), hi})
+	case isa.OpXor:
+		hi, _ := satAdd(a.I.Hi, b.I.Hi)
+		res = intervalVal(Interval{0, hi})
+	case isa.OpShl:
+		res = shlVal(a.I, b.I)
+	case isa.OpShr:
+		res = shrVal(a.I, b.I)
+	case isa.OpSar:
+		if a.I.Hi < 1<<63 { // non-negative: arithmetic == logical
+			res = shrVal(a.I, b.I)
+		} else {
+			res = topVal()
+		}
+	case isa.OpMul:
+		res = intervalVal(a.I.Mul(b.I))
+	case isa.OpDiv, isa.OpRem:
+		if z, ok := b.I.Singleton(); ok && z == 0 {
+			return false // unconditional divide-by-zero trap: path ends here
+		}
+		if in.Op == isa.OpDiv {
+			res = divVal(a.I, b.I)
+		} else {
+			res = remVal(a.I, b.I)
+		}
+	case isa.OpNot:
+		res = intervalVal(Interval{^a.I.Hi, ^a.I.Lo})
+	case isa.OpNeg:
+		if c, ok := a.I.Singleton(); ok {
+			res = exactVal(-c)
+		} else {
+			res = topVal()
+		}
+	}
+	if in.W32 {
+		res = intervalVal(res.I.cap32())
+	}
+	// Record rd = rs1 + imm when the addition provably cannot wrap: the
+	// handle for refining a bounds-check's index through its scratch.
+	recordLin := false
+	if in.Op == isa.OpAdd && in.UseImm && !in.W32 && in.Imm >= 0 && !a.HasOff {
+		if _, ok := satAdd(a.I.Hi, uint64(in.Imm)); ok {
+			recordLin = true
+		}
+	}
+	st.setReg(in.Rd, res)
+	if recordLin {
+		st.setLin(in.Rd, in.Rs1, in.Imm)
+	}
+	v.checkReservedWrite(st, idx, in.Rd)
+	return true
+}
+
+func shlVal(a, b Interval) AbsVal {
+	if s, ok := b.Singleton(); ok {
+		s &= 63
+		if s == 0 {
+			return intervalVal(a)
+		}
+		if a.Hi>>(64-s) != 0 {
+			return topVal()
+		}
+		return intervalVal(Interval{a.Lo << s, a.Hi << s})
+	}
+	if a.Hi == 0 {
+		return exactVal(0)
+	}
+	return topVal()
+}
+
+func shrVal(a, b Interval) AbsVal {
+	if s, ok := b.Singleton(); ok {
+		s &= 63
+		return intervalVal(Interval{a.Lo >> s, a.Hi >> s})
+	}
+	return intervalVal(Interval{0, a.Hi})
+}
+
+func divVal(a, b Interval) AbsVal {
+	den := maxU(b.Lo, 1)
+	if b.Hi == 0 {
+		return topVal() // unreachable: exact zero handled by caller
+	}
+	return intervalVal(Interval{a.Lo / b.Hi, a.Hi / den})
+}
+
+func remVal(a, b Interval) AbsVal {
+	if b.Lo > 0 && a.Hi < b.Lo {
+		return intervalVal(a) // always a < b: remainder is a itself
+	}
+	hi := a.Hi
+	if b.Hi-1 < hi {
+		hi = b.Hi - 1
+	}
+	return intervalVal(Interval{0, hi})
+}
+
+// stepBr refines both outgoing edges with the branch condition.
+func (v *verification) stepBr(f *fnAnalysis, st *absState, idx int, in *isa.Instr, work *worklist) {
+	if ts, ok := v.refineEdge(st, in, true); ok {
+		v.updateIn(f, idx, v.index(in.Target), ts, work)
+	}
+	if fs, ok := v.refineEdge(st, in, false); ok && idx+1 < len(v.p.Instrs) {
+		v.updateIn(f, idx, idx+1, fs, work)
+	}
+}
+
+func negateCond(c isa.Cond) isa.Cond {
+	switch c {
+	case isa.CondEQ:
+		return isa.CondNE
+	case isa.CondNE:
+		return isa.CondEQ
+	case isa.CondLT:
+		return isa.CondGE
+	case isa.CondGE:
+		return isa.CondLT
+	case isa.CondGT:
+		return isa.CondLE
+	case isa.CondLE:
+		return isa.CondGT
+	case isa.CondLTU:
+		return isa.CondGEU
+	case isa.CondGEU:
+		return isa.CondLTU
+	case isa.CondGTU:
+		return isa.CondLEU
+	default:
+		return isa.CondGTU // CondLEU
+	}
+}
+
+// refineEdge clones st refined with the branch condition along the taken
+// or fall-through edge; ok=false marks the edge dead.
+func (v *verification) refineEdge(st *absState, in *isa.Instr, taken bool) (*absState, bool) {
+	ns := st.clone()
+	c := in.Cond
+	if !taken {
+		c = negateCond(c)
+	}
+	bReg := isa.RegNone
+	var b Interval
+	if in.UseImm {
+		b = Exact(uint64(in.Imm))
+	} else {
+		bReg = in.Rs2
+		b = ns.regval(in.Rs2).I
+	}
+	a := ns.regval(in.Rs1).I
+	na, nb, dead, relAB, relBA := refineIntervals(a, b, c)
+	if dead {
+		return nil, false
+	}
+	if !v.applyRefined(ns, in.Rs1, na) {
+		return nil, false
+	}
+	if bReg != isa.RegNone && !v.applyRefined(ns, bReg, nb) {
+		return nil, false
+	}
+	if bReg != isa.RegNone {
+		if relAB {
+			ns.addRel(in.Rs1, bReg)
+		}
+		if relBA {
+			ns.addRel(bReg, in.Rs1)
+		}
+	}
+	return ns, true
+}
+
+// refineIntervals narrows a and b under "cond(a, b) holds". relAB / relBA
+// report the derived unsigned ordering facts a>=b / b>=a.
+func refineIntervals(a, b Interval, c isa.Cond) (na, nb Interval, dead, relAB, relBA bool) {
+	na, nb = a, b
+	switch c {
+	case isa.CondEQ:
+		lo, hi := maxU(a.Lo, b.Lo), minU(a.Hi, b.Hi)
+		if lo > hi {
+			return na, nb, true, false, false
+		}
+		na, nb = Interval{lo, hi}, Interval{lo, hi}
+		relAB, relBA = true, true
+	case isa.CondNE:
+		if bv, ok := b.Singleton(); ok {
+			if av, ok2 := a.Singleton(); ok2 && av == bv {
+				return na, nb, true, false, false
+			}
+			if na.Lo == bv {
+				na.Lo++
+			}
+			if na.Hi == bv {
+				na.Hi--
+			}
+		}
+		if av, ok := a.Singleton(); ok {
+			if nb.Lo == av {
+				nb.Lo++
+			}
+			if nb.Hi == av {
+				nb.Hi--
+			}
+		}
+	case isa.CondLTU: // a < b
+		if b.Hi == 0 || a.Lo == maxU64 {
+			return na, nb, true, false, false
+		}
+		na.Hi = minU(na.Hi, b.Hi-1)
+		nb.Lo = maxU(nb.Lo, a.Lo+1)
+		relBA = true
+	case isa.CondGEU: // a >= b
+		na.Lo = maxU(na.Lo, b.Lo)
+		nb.Hi = minU(nb.Hi, a.Hi)
+		relAB = true
+	case isa.CondGTU: // a > b
+		if a.Hi == 0 || b.Lo == maxU64 {
+			return na, nb, true, false, false
+		}
+		na.Lo = maxU(na.Lo, b.Lo+1)
+		nb.Hi = minU(nb.Hi, a.Hi-1)
+		relAB = true
+	case isa.CondLEU: // a <= b
+		na.Hi = minU(na.Hi, b.Hi)
+		nb.Lo = maxU(nb.Lo, a.Lo)
+		relBA = true
+	case isa.CondLT, isa.CondGE, isa.CondGT, isa.CondLE:
+		// Signed compare over provably non-negative operands coincides
+		// with the unsigned compare; otherwise no sound refinement.
+		if a.Hi < 1<<63 && b.Hi < 1<<63 {
+			var uc isa.Cond
+			switch c {
+			case isa.CondLT:
+				uc = isa.CondLTU
+			case isa.CondGE:
+				uc = isa.CondGEU
+			case isa.CondGT:
+				uc = isa.CondGTU
+			default:
+				uc = isa.CondLEU
+			}
+			return refineIntervals(a, b, uc)
+		}
+	}
+	if na.Lo > na.Hi || nb.Lo > nb.Hi {
+		dead = true
+	}
+	return na, nb, dead, relAB, relBA
+}
+
+// applyRefined installs a tightened interval for r (keeping provenance
+// flags: the value did not change, only our knowledge of it), propagating
+// through a recorded linear definition r = src + imm. Returns false when
+// the refinement proves the edge dead.
+func (v *verification) applyRefined(ns *absState, r isa.Reg, ni Interval) bool {
+	if r == isa.RegNone {
+		return true
+	}
+	old := ns.regs[r]
+	ns.regs[r] = AbsVal{I: ni, HasOff: old.HasOff, Off: old.Off, CallerFP: old.CallerFP}
+	if d, ok := ns.lin[r]; ok {
+		// r = src + imm with no wraparound and src >= 0, imm >= 0.
+		imm := uint64(d.imm)
+		if ni.Hi < imm {
+			return false // r >= imm always; r <= ni.Hi < imm is impossible
+		}
+		lo := uint64(0)
+		if ni.Lo > imm {
+			lo = ni.Lo - imm
+		}
+		src := ns.regs[d.src]
+		slo, shi := maxU(src.I.Lo, lo), minU(src.I.Hi, ni.Hi-imm)
+		if slo > shi {
+			return false
+		}
+		ns.regs[d.src] = AbsVal{I: Interval{slo, shi}, HasOff: src.HasOff, Off: src.Off, CallerFP: src.CallerFP}
+	}
+	return true
+}
+
+// stepCall handles a direct (or resolved indirect) call: the implicit
+// return-address push, the reserved-register contract, the callee
+// summary, and the havoc-with-result continuation.
+func (v *verification) stepCall(f *fnAnalysis, st *absState, idx, target int, work *worklist) {
+	sp := st.regs[isa.SP]
+	switch {
+	case sp.HasOff:
+		if sp.Off > 0 || sp.Off-8 < -int64(v.cfg.StackGuard) {
+			v.violate(idx, "call-stack", "return-address push at entry-SP%+d escapes the frame window", sp.Off-8)
+		}
+	default:
+		c, ok := sp.I.Singleton()
+		if !ok || c < v.cfg.StackBase+8 || c > v.cfg.StackTop {
+			v.violate(idx, "call-stack", "stack pointer is not a provable stack location at call")
+		}
+	}
+	v.checkReservedAtCall(st, idx)
+
+	ce := v.getFn(target)
+	ce.callers[f.entry] = true
+	var args [6]Interval
+	for i := 0; i < 6; i++ {
+		args[i] = st.regs[isa.R0+isa.Reg(i)].dataOnly().I
+	}
+	if v.joinSummary(ce, args) {
+		v.enqueueFn(ce)
+	}
+	if !ce.retSet {
+		// No return path known yet; the continuation becomes reachable
+		// when the callee's first ret is analyzed (we re-run then).
+		return
+	}
+	ns := st.clone()
+	for r := isa.R0; r <= isa.R13; r++ {
+		ns.setReg(r, topVal())
+	}
+	ns.regs[isa.R0] = intervalVal(ce.ret)
+	v.applyReservedInvariants(ns)
+	ns.staging = -1
+	v.updateIn(f, idx, idx+1, ns, work)
+}
+
+func (v *verification) joinSummary(ce *fnAnalysis, args [6]Interval) bool {
+	if !ce.summarySet {
+		ce.summary = args
+		ce.summarySet = true
+		return true
+	}
+	changed := false
+	ce.sumJoins++
+	widen := ce.sumJoins > sumWidenAfter
+	for i := range args {
+		var ni Interval
+		if widen {
+			ni = ce.summary[i].Widen(args[i])
+		} else {
+			ni = ce.summary[i].Join(args[i])
+		}
+		if ni != ce.summary[i] {
+			ce.summary[i] = ni
+			changed = true
+		}
+	}
+	return changed
+}
+
+// stepRet checks the epilogue contract — SP back at the entry symbol S
+// (so the popped word is the pushed return address) and FP restored to
+// the caller's — and joins R0 into the return summary.
+func (v *verification) stepRet(f *fnAnalysis, st *absState, idx int) {
+	sp := st.regs[isa.SP]
+	if !sp.HasOff || sp.Off != 0 {
+		v.violate(idx, "ret-stack", "SP does not provably equal the entry SP at ret")
+	}
+	if !st.regs[sfi.FP].CallerFP {
+		v.violate(idx, "ret-fp", "FP is not provably restored to the caller's at ret")
+	}
+	r0 := st.regs[isa.R0].dataOnly().I
+	changed := false
+	if !f.retSet {
+		f.ret = r0
+		f.retSet = true
+		changed = true
+	} else {
+		f.retJoins++
+		var ni Interval
+		if f.retJoins > sumWidenAfter {
+			ni = f.ret.Widen(r0)
+		} else {
+			ni = f.ret.Join(r0)
+		}
+		if ni != f.ret {
+			f.ret = ni
+			changed = true
+		}
+	}
+	if changed {
+		for caller := range f.callers {
+			v.enqueueFn(v.fns[caller])
+		}
+		// A function that calls itself re-runs via its caller set.
+	}
+}

@@ -1,0 +1,271 @@
+package verifier
+
+import (
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+// opAllowed is the per-scheme instruction allowlist. Everything outside it
+// is a privileged-op violation: the HFI context-management instructions
+// belong to the host springboard, rdtsc/clflush are timer-attack surface
+// (paper §4), and syscalls are only reachable on the mmap-based schemes'
+// grow path.
+func (v *verification) opAllowed(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpHalt, isa.OpMovImm, isa.OpMov,
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpNot, isa.OpNeg,
+		isa.OpLoad, isa.OpStore,
+		isa.OpBr, isa.OpJmp, isa.OpJmpInd, isa.OpCall, isa.OpCallInd, isa.OpRet,
+		isa.OpFence:
+		return true
+	case isa.OpSyscall:
+		return v.cfg.Scheme == sfi.None || v.cfg.Scheme == sfi.GuardPages
+	case isa.OpHLoad, isa.OpHStore, isa.OpHfiExit,
+		isa.OpHfiGetRegion, isa.OpHfiSetRegion:
+		return v.cfg.Scheme == sfi.HFI
+	}
+	return false
+}
+
+// effectiveAddr computes the abstract EA of a plain load/store:
+// base + zext32(index)*scale + disp (isa.PlainEA). The architectural
+// 32-bit index truncation bounds the index contribution below 2^32
+// regardless of provenance, which is exactly the margin the guard-page
+// reservation covers.
+func (v *verification) effectiveAddr(st *absState, in *isa.Instr) AbsVal {
+	ea := st.regval(in.Rs1)
+	if in.Rs2 != isa.RegNone {
+		idx := st.regval(in.Rs2)
+		if idx.HasOff || idx.I.Hi > 0xffffffff {
+			idx = intervalVal(Interval{0, 0xffffffff}) // zext32 of an unknown value
+		}
+		if in.Scale > 1 {
+			idx = intervalVal(idx.I.Mul(Exact(uint64(in.Scale))))
+		}
+		ea = addVal(ea, idx.dataOnly())
+	}
+	if in.Disp != 0 {
+		if ea.HasOff {
+			ea = stackVal(ea.Off + in.Disp)
+		} else {
+			ea = intervalVal(ea.I.AddConst(in.Disp))
+		}
+	}
+	return ea
+}
+
+// stepMem checks one plain load/store against the scheme's window policy
+// and applies its effect on the abstract state.
+func (v *verification) stepMem(st *absState, idx int, in *isa.Instr) {
+	isStore := in.Op == isa.OpStore
+	size := in.Size
+	ea := v.effectiveAddr(st, in)
+	havoc := func() {
+		if !isStore {
+			st.setReg(in.Rd, st.loadSlot(1, size, in.SignExt)) // width-capped unknown
+		}
+	}
+
+	// Frame access through the stack symbol S: provably within
+	// [S-StackGuard, S). The guard region below the deepest verified
+	// frame makes any deeper (unverifiable) access a contained fault,
+	// and a successful call-push implies S >= StackBase, so the whole
+	// window sits inside [guard bottom, StackTop].
+	if ea.HasOff {
+		if ea.Off < -int64(v.cfg.StackGuard) || ea.Off+int64(size) > 0 {
+			v.violate(idx, "stack-frame", "frame access at entry-SP%+d (size %d) outside [-%d, 0)",
+				ea.Off, size, v.cfg.StackGuard)
+			havoc()
+			return
+		}
+		if isStore {
+			st.storeSlot(ea.Off, size, st.regval(in.Rs3))
+		} else {
+			st.setReg(in.Rd, st.loadSlot(ea.Off, size, in.SignExt))
+		}
+		return
+	}
+
+	lo := ea.I.Lo
+	end, ok := satAdd(ea.I.Hi, uint64(size))
+	if !ok {
+		v.violate(idx, "mem-window", "effective address wraps the address space")
+		havoc()
+		return
+	}
+	inWin := func(wlo, whi uint64) bool { return lo >= wlo && end <= whi }
+
+	// Trusted cells live in the global area; check it first.
+	if v.cfg.GlobalSize > 0 && inWin(v.cfg.GlobalBase, v.cfg.GlobalBase+v.cfg.GlobalSize) {
+		if isStore {
+			v.checkGlobalStore(st, idx, in, ea, size)
+		} else {
+			st.setReg(in.Rd, v.globalLoad(ea, size, in.SignExt))
+		}
+		return
+	}
+
+	windowOK := false
+	if v.cfg.Scheme != sfi.HFI {
+		// Linear-memory traffic: must stay inside a reserved window.
+		if v.cfg.HeapReservation > 0 && inWin(v.cfg.HeapBase, v.cfg.HeapBase+v.cfg.HeapReservation) {
+			windowOK = true
+		}
+		for _, em := range v.cfg.ExtraMems {
+			if em.Reservation > 0 && inWin(em.Base, em.Base+em.Reservation) {
+				windowOK = true
+			}
+		}
+	}
+	if !windowOK && v.cfg.NullPage > 0 && lo == 0 && ea.I.Hi == 0 && end <= v.cfg.NullPage && !isStore {
+		// The trap stub's deliberate null dereference: a load at exactly
+		// address zero, which the runtime never maps. Only that precise
+		// shape is admitted — a wider null-page window would also bless
+		// stray low-memory accesses (e.g. an hld whose region check was
+		// stripped), and those must be rejected, not trusted to fault.
+		windowOK = true
+	}
+	if !windowOK && v.cfg.StackTop > v.cfg.StackBase && inWin(v.cfg.StackBase, v.cfg.StackTop) {
+		windowOK = true // constant stack addresses (entry stub)
+	}
+	if !windowOK {
+		v.violate(idx, "mem-window", "access [%#x, %#x) not provably inside any sandbox window", lo, end)
+		havoc()
+		return
+	}
+	if !isStore {
+		if in.SignExt && size < 8 {
+			st.setReg(in.Rd, topVal())
+		} else {
+			st.setReg(in.Rd, intervalVal(capSize(size)))
+		}
+	}
+}
+
+// globalLoad returns the abstract value of a load from the global area,
+// using cell invariants when the address is exact.
+func (v *verification) globalLoad(ea AbsVal, size uint8, signExt bool) AbsVal {
+	if a, ok := ea.I.Singleton(); ok && size == 8 {
+		switch {
+		case a == v.cfg.CurPagesAddr:
+			return intervalVal(Interval{0, v.cfg.MaxPages})
+		case v.cfg.HeapBaseCell != 0 && a == v.cfg.HeapBaseCell:
+			return exactVal(v.cfg.HeapBase)
+		}
+		for _, em := range v.cfg.ExtraMems {
+			switch a {
+			case em.CtxAddr:
+				return exactVal(em.Base)
+			case em.CtxAddr + 8:
+				return exactVal(em.BoundVal)
+			}
+		}
+	}
+	if signExt && size < 8 {
+		return topVal()
+	}
+	return intervalVal(capSize(size))
+}
+
+// checkGlobalStore admits stores only to the mutable trusted cells, and
+// only with values that preserve the cell invariants every load assumes.
+func (v *verification) checkGlobalStore(st *absState, idx int, in *isa.Instr, ea AbsVal, size uint8) {
+	a, ok := ea.I.Singleton()
+	if !ok {
+		v.violate(idx, "global-store", "store into the global area at a non-constant address")
+		return
+	}
+	val := st.regval(in.Rs3)
+	switch {
+	case a == v.cfg.CurPagesAddr && size == 8:
+		if !val.I.In(Interval{0, v.cfg.MaxPages}) {
+			v.violate(idx, "cell-invariant", "current-pages store not provably within [0, %d]", v.cfg.MaxPages)
+		}
+	case v.cfg.Scheme == sfi.HFI && v.cfg.StagingAddr != 0 && a == v.cfg.StagingAddr+8 && size == 8:
+		// The staged region bound: hfi_set_region re-checks freshness,
+		// but the bound value itself must stay within the max heap.
+		if !val.I.In(Interval{0, v.cfg.MaxBytes}) {
+			v.violate(idx, "cell-invariant", "staged region bound not provably within [0, %d]", v.cfg.MaxBytes)
+		}
+	default:
+		v.violate(idx, "global-store", "store to global cell %#x is not admitted", a)
+	}
+}
+
+// stepHfiMem checks hld/hst: the hardware bounds-checks the EA against
+// the region descriptor, so the static obligations are only that the
+// region operand is a configured memory and the displacement cannot pull
+// the EA below the region base.
+func (v *verification) stepHfiMem(st *absState, idx int, in *isa.Instr) {
+	if int(in.HReg) >= v.cfg.NumMems {
+		v.violate(idx, "hfi-region", "explicit region %d exceeds the %d configured memories", in.HReg, v.cfg.NumMems)
+	}
+	if in.Disp < 0 {
+		v.violate(idx, "hfi-region", "negative displacement %d on an explicit-region access", in.Disp)
+	}
+	// Dead-access sanity: the hardware clamps the EA to the region, so a
+	// displacement at or past the region window means every execution of
+	// this instruction faults. Hardware contains it either way, but an
+	// access that can never succeed is miscompiled code, and admitting it
+	// would let a widened displacement masquerade as verified.
+	res := v.cfg.HeapReservation
+	if in.HReg > 0 && int(in.HReg)-1 < len(v.cfg.ExtraMems) {
+		res = v.cfg.ExtraMems[in.HReg-1].Reservation
+	}
+	if res > 0 && uint64(in.Disp)+uint64(in.Size) > res {
+		v.violate(idx, "hfi-dead-access", "displacement %d + size %d reaches past the %d-byte region window: the access can never succeed", in.Disp, in.Size, res)
+	}
+	if in.Op == isa.OpHLoad {
+		if in.SignExt && in.Size < 8 {
+			st.setReg(in.Rd, topVal())
+		} else {
+			st.setReg(in.Rd, intervalVal(capSize(in.Size)))
+		}
+	}
+}
+
+// stepRegionUpdate admits the grow path's region reconfiguration: only
+// the flat heap region, only through the staging cell, and a set only
+// after a get whose descriptor is still fresh (the bound field is the
+// only cell a store may touch in between).
+func (v *verification) stepRegionUpdate(st *absState, idx int, in *isa.Instr) {
+	ptr, ok := st.regval(in.Rs2).I.Singleton()
+	okPtr := ok && v.cfg.StagingAddr != 0 && ptr == v.cfg.StagingAddr
+	okRegion := int(in.Imm) == v.cfg.HeapRegionFlat
+	if in.Op == isa.OpHfiGetRegion {
+		if !okPtr || !okRegion {
+			v.violate(idx, "region-update", "hfi_get_region must read the heap region into the staging cell")
+			return
+		}
+		st.staging = int(in.Imm)
+		return
+	}
+	if !okPtr || !okRegion || st.staging != int(in.Imm) {
+		v.violate(idx, "region-update", "hfi_set_region must consume a freshly staged heap descriptor")
+	}
+}
+
+// checkSyscall admits the single syscall shape the guard-page grow path
+// needs: mprotect(addr, len, PROT_READ|PROT_WRITE) entirely within the
+// heap reservation. The kernel clobbers only R0 (the result).
+func (v *verification) checkSyscall(st *absState, idx int) {
+	num, ok := st.regs[isa.R0].I.Singleton()
+	if !ok || num != v.cfg.MprotectNum {
+		v.violate(idx, "syscall", "syscall number is not provably mprotect")
+		return
+	}
+	resvEnd := v.cfg.HeapBase + v.cfg.HeapReservation
+	addr := st.regs[isa.R1].I
+	length := st.regs[isa.R2].I
+	if !addr.In(Interval{v.cfg.HeapBase, resvEnd}) {
+		v.violate(idx, "syscall", "mprotect address not provably within the heap reservation")
+	}
+	if end, ok := satAdd(addr.Hi, length.Hi); !ok || end > resvEnd {
+		v.violate(idx, "syscall", "mprotect range not provably within the heap reservation")
+	}
+	if prot, ok := st.regs[isa.R3].I.Singleton(); !ok || prot != v.cfg.ProtRW {
+		v.violate(idx, "syscall", "mprotect protection is not provably PROT_READ|PROT_WRITE")
+	}
+}

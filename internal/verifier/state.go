@@ -1,0 +1,220 @@
+package verifier
+
+import "hfi/internal/isa"
+
+// absState is the abstract machine state at one program point: one AbsVal
+// per register, the tracked frame slots (keyed by entry-SP-relative
+// offset), branch-derived >=-relations between registers, unit-coefficient
+// linear definitions (rd = src + imm) for bounds-check idiom refinement,
+// and the HFI region-staging freshness marker.
+type absState struct {
+	regs  [isa.NumRegs]AbsVal
+	slots map[int64]AbsVal
+	rels  map[[2]isa.Reg]bool // {a,b}: value(a) >= value(b), unsigned
+	lin   map[isa.Reg]linDef
+	// staging is the flat region number whose descriptor was freshly
+	// read into the staging cell by hfi_get_region (-1: none). Only the
+	// bound field may be overwritten before hfi_set_region consumes it.
+	staging int
+}
+
+// linDef records rd = src + imm where the addition provably did not wrap
+// (required for sound backward refinement through the definition).
+type linDef struct {
+	src isa.Reg
+	imm int64
+}
+
+func newState() *absState {
+	s := &absState{staging: -1}
+	for i := range s.regs {
+		s.regs[i] = topVal()
+	}
+	return s
+}
+
+func (s *absState) clone() *absState {
+	c := &absState{regs: s.regs, staging: s.staging}
+	if len(s.slots) > 0 {
+		c.slots = make(map[int64]AbsVal, len(s.slots))
+		for k, v := range s.slots {
+			c.slots[k] = v
+		}
+	}
+	if len(s.rels) > 0 {
+		c.rels = make(map[[2]isa.Reg]bool, len(s.rels))
+		for k := range s.rels {
+			c.rels[k] = true
+		}
+	}
+	if len(s.lin) > 0 {
+		c.lin = make(map[isa.Reg]linDef, len(s.lin))
+		for k, v := range s.lin {
+			c.lin[k] = v
+		}
+	}
+	return c
+}
+
+// regval reads a register operand; RegNone contributes exact zero.
+func (s *absState) regval(r isa.Reg) AbsVal {
+	if r == isa.RegNone {
+		return exactVal(0)
+	}
+	return s.regs[r]
+}
+
+// setReg writes a register and kills facts that mention it.
+func (s *absState) setReg(r isa.Reg, v AbsVal) {
+	if r == isa.RegNone {
+		return
+	}
+	s.regs[r] = v
+	for k := range s.rels {
+		if k[0] == r || k[1] == r {
+			delete(s.rels, k)
+		}
+	}
+	for rd, d := range s.lin {
+		if rd == r || d.src == r {
+			delete(s.lin, rd)
+		}
+	}
+}
+
+func (s *absState) addRel(a, b isa.Reg) {
+	if a == isa.RegNone || b == isa.RegNone || a == b {
+		return
+	}
+	if s.rels == nil {
+		s.rels = make(map[[2]isa.Reg]bool)
+	}
+	s.rels[[2]isa.Reg{a, b}] = true
+}
+
+func (s *absState) hasRel(a, b isa.Reg) bool {
+	if a == isa.RegNone || b == isa.RegNone {
+		return false
+	}
+	return s.rels[[2]isa.Reg{a, b}]
+}
+
+func (s *absState) setLin(rd, src isa.Reg, imm int64) {
+	if rd == isa.RegNone || src == isa.RegNone || rd == src {
+		return
+	}
+	if s.lin == nil {
+		s.lin = make(map[isa.Reg]linDef)
+	}
+	s.lin[rd] = linDef{src: src, imm: imm}
+}
+
+// storeSlot records a frame store at entry-SP-relative offset off.
+func (s *absState) storeSlot(off int64, size uint8, v AbsVal) {
+	// Invalidate every tracked slot the write overlaps.
+	for o := range s.slots {
+		if off < o+8 && o < off+int64(size) {
+			delete(s.slots, o)
+		}
+	}
+	if size == 8 && off%8 == 0 {
+		if s.slots == nil {
+			s.slots = make(map[int64]AbsVal)
+		}
+		s.slots[off] = v
+	}
+}
+
+// loadSlot reads a frame slot; unknown slots return an unconstrained
+// value of the loaded width.
+func (s *absState) loadSlot(off int64, size uint8, signExt bool) AbsVal {
+	if size == 8 && off%8 == 0 {
+		if v, ok := s.slots[off]; ok {
+			return v
+		}
+		return topVal()
+	}
+	if signExt {
+		return topVal()
+	}
+	return intervalVal(capSize(size))
+}
+
+// merge joins o into s (widening intervals when widen is set), reporting
+// whether s changed. Absent slot/lin entries are Top/absent, so maps
+// intersect.
+func (s *absState) merge(o *absState, widen bool) bool {
+	changed := false
+	for i := range s.regs {
+		var nv AbsVal
+		if widen {
+			nv = s.regs[i].widen(o.regs[i])
+		} else {
+			nv = s.regs[i].join(o.regs[i])
+		}
+		if !nv.eq(s.regs[i]) {
+			s.regs[i] = nv
+			changed = true
+		}
+	}
+	for k, v := range s.slots {
+		ov, ok := o.slots[k]
+		if !ok {
+			delete(s.slots, k)
+			changed = true
+			continue
+		}
+		var nv AbsVal
+		if widen {
+			nv = v.widen(ov)
+		} else {
+			nv = v.join(ov)
+		}
+		if !nv.eq(v) {
+			s.slots[k] = nv
+			changed = true
+		}
+	}
+	for k := range s.rels {
+		if !o.rels[k] {
+			delete(s.rels, k)
+			changed = true
+		}
+	}
+	for k, v := range s.lin {
+		if ov, ok := o.lin[k]; !ok || ov != v {
+			delete(s.lin, k)
+			changed = true
+		}
+	}
+	if s.staging != o.staging && s.staging != -1 {
+		s.staging = -1
+		changed = true
+	}
+	return changed
+}
+
+func (s *absState) eq(o *absState) bool {
+	if s.regs != o.regs || s.staging != o.staging {
+		return false
+	}
+	if len(s.slots) != len(o.slots) || len(s.rels) != len(o.rels) || len(s.lin) != len(o.lin) {
+		return false
+	}
+	for k, v := range s.slots {
+		if ov, ok := o.slots[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k := range s.rels {
+		if !o.rels[k] {
+			return false
+		}
+	}
+	for k, v := range s.lin {
+		if ov, ok := o.lin[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package verifier
+
+import (
+	"errors"
+	"testing"
+
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+// --- CFG construction -------------------------------------------------
+
+// TestCFGIndirectJump: a jmpi block's successor set is over-approximated
+// by the address-taken set — every movi immediate that decodes to an
+// in-range instruction address, plus every symbol.
+func TestCFGIndirectJump(t *testing.T) {
+	b := isa.NewBuilder(0x1000)
+	b.Label("entry")
+	b.MovImm(isa.R1, 0x1010) // address-taken: instruction 4
+	b.JmpInd(isa.R1)
+	b.Label("a")
+	b.MovImm(isa.R0, 1)
+	b.Jmp("done")
+	b.Label("b") // 0x1010
+	b.MovImm(isa.R0, 2)
+	b.Label("done")
+	b.Halt()
+	p := b.Build()
+
+	targets := IndirectTargets(p)
+	wantTaken := map[int]bool{}
+	for _, ti := range targets {
+		wantTaken[ti] = true
+	}
+	if !wantTaken[4] {
+		t.Fatalf("address-taken set %v misses instruction 4 (movi 0x1010)", targets)
+	}
+	for _, sym := range []string{"entry", "a", "b", "done"} {
+		idx := int((p.Entry(sym) - p.Base) / isa.InstrBytes)
+		if !wantTaken[idx] {
+			t.Errorf("address-taken set %v misses symbol %q (instr %d)", targets, sym, idx)
+		}
+	}
+
+	g := BuildCFG(p)
+	ind := -1
+	for i, blk := range g.Blocks {
+		if blk.Indirect {
+			ind = i
+		}
+	}
+	if ind < 0 {
+		t.Fatal("no block marked Indirect")
+	}
+	// The indirect block's successors must cover every address-taken
+	// block — the over-approximation the package doc promises.
+	succ := map[int]bool{}
+	for _, s := range g.Blocks[ind].Succs {
+		succ[s] = true
+	}
+	for _, ti := range targets {
+		if !succ[g.BlockAt(ti)] {
+			t.Errorf("indirect block %d misses successor block of instr %d (succs %v)", ind, ti, g.Blocks[ind].Succs)
+		}
+	}
+}
+
+// TestCFGStraightLine: branches split blocks at targets and fall-throughs.
+func TestCFGStraightLine(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(isa.R0, 0)
+	b.Label("loop")
+	b.AddImm(isa.R0, isa.R0, 1)
+	b.BrImm(isa.CondLTU, isa.R0, 10, "loop")
+	b.Halt()
+	p := b.Build()
+
+	g := BuildCFG(p)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (entry / loop / exit)", len(g.Blocks))
+	}
+	loop := g.Blocks[g.BlockAt(1)]
+	found := map[int]bool{}
+	for _, s := range loop.Succs {
+		found[s] = true
+	}
+	if !found[g.BlockAt(1)] || !found[g.BlockAt(3)] {
+		t.Fatalf("loop block succs = %v, want itself and the halt block", loop.Succs)
+	}
+}
+
+// --- interval lattice --------------------------------------------------
+
+func TestIntervalJoin(t *testing.T) {
+	cases := []struct{ a, b, want Interval }{
+		{Exact(3), Exact(7), Interval{3, 7}},
+		{Interval{0, 10}, Interval{5, 20}, Interval{0, 20}},
+		{Top, Exact(1), Top},
+		{Exact(0), Exact(0), Exact(0)},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); got != c.want {
+			t.Errorf("%v ⊔ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Join(c.a); got != c.want {
+			t.Errorf("join not commutative: %v ⊔ %v = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	// Widening jumps an unstable bound to the next all-ones value so
+	// every chain stabilises in at most 64 steps.
+	w := Exact(5).Widen(Interval{5, 6})
+	if w.Lo != 5 || w.Hi != 7 {
+		t.Fatalf("widen {5,5}→{5,6} = %v, want {5,7}", w)
+	}
+	w = Interval{0, 0xffff}.Widen(Interval{0, 0x10000})
+	if w.Hi != 0x1ffff {
+		t.Fatalf("widen hi = %#x, want 0x1ffff", w.Hi)
+	}
+	// A stable bound must not move.
+	w = Interval{3, 10}.Widen(Interval{4, 10})
+	if w != (Interval{3, 10}) {
+		t.Fatalf("stable widen = %v, want {3,10}", w)
+	}
+}
+
+func TestIntervalTransfer(t *testing.T) {
+	// Add saturates to Top on overflow instead of wrapping.
+	if got := (Interval{1, 2}).Add(Exact(10)); got != (Interval{11, 12}) {
+		t.Errorf("add = %v, want {11,12}", got)
+	}
+	if got := (Interval{0, maxInterval().Hi}).Add(Exact(1)); !got.IsTop() {
+		t.Errorf("overflowing add = %v, want Top", got)
+	}
+	// Mul with a constant scale.
+	if got := (Interval{0, 0xffffffff}).Mul(Exact(8)); got != (Interval{0, 8 * 0xffffffff}) {
+		t.Errorf("mul = %v, want {0, 8*2^32-8}", got)
+	}
+	if got := (Interval{2, 3}).AddConst(-1); got != (Interval{1, 2}) {
+		t.Errorf("addconst = %v, want {1,2}", got)
+	}
+}
+
+func maxInterval() Interval { return Top }
+
+// --- golden per-scheme rejections --------------------------------------
+
+// testCfg builds a minimal consistent sandbox geometry for hand-written
+// escape attempts.
+func testCfg(scheme sfi.Scheme) Config {
+	const init = uint64(1) << 16
+	return Config{
+		Scheme:          scheme,
+		HeapBase:        0x1_0000_0000,
+		InitBytes:       init,
+		MaxBytes:        init,
+		MaxPages:        1,
+		HeapReservation: scheme.HeapReservation(init, init),
+		StackBase:       0x2000_0000,
+		StackTop:        0x2001_0000,
+		StackGuard:      sfi.StackGuard,
+		GlobalBase:      0x1000_0000,
+		GlobalSize:      512,
+		NullPage:        0x1000,
+		NumMems:         1,
+	}
+}
+
+// rejectRule verifies p under scheme and returns the rule of the first
+// violation, failing the test if the program is accepted.
+func rejectRule(t *testing.T, p *isa.Program, scheme sfi.Scheme) string {
+	t.Helper()
+	err := Verify(p, testCfg(scheme))
+	if err == nil {
+		t.Fatalf("%v: escape attempt verified as safe", scheme)
+	}
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("%v: error is %T, want *RejectError", scheme, err)
+	}
+	return re.First().Rule
+}
+
+// TestGoldenEscapePerScheme hand-writes one escape attempt per scheme and
+// pins the rejection rule it must trip.
+func TestGoldenEscapePerScheme(t *testing.T) {
+	t.Run("masking-unmasked-index", func(t *testing.T) {
+		// The index reaches the access without the AND: under masking the
+		// reservation is init+redzone, far below the 2^32 an unmasked
+		// 32-bit index can reach.
+		b := isa.NewBuilder(0)
+		b.Load(8, isa.R0, sfi.HeapBaseReg, isa.R1, 1, 0)
+		b.Halt()
+		if got := rejectRule(t, b.Build(), sfi.Masking); got != "mem-window" {
+			t.Fatalf("rule = %q, want mem-window", got)
+		}
+	})
+	t.Run("boundscheck-unchecked-access", func(t *testing.T) {
+		// No compare-and-branch dominates the access, so the index is
+		// unrefined and the 64 KiB window cannot contain it.
+		b := isa.NewBuilder(0)
+		b.Load(8, isa.R0, sfi.HeapBaseReg, isa.R1, 1, 0)
+		b.Halt()
+		if got := rejectRule(t, b.Build(), sfi.BoundsCheck); got != "mem-window" {
+			t.Fatalf("rule = %q, want mem-window", got)
+		}
+	})
+	t.Run("guardpages-oversized-disp", func(t *testing.T) {
+		// A displacement past the 8 GiB reservation escapes the guard.
+		b := isa.NewBuilder(0)
+		b.Load(8, isa.R0, sfi.HeapBaseReg, isa.R1, 1, int64(sfi.GuardReservation))
+		b.Halt()
+		if got := rejectRule(t, b.Build(), sfi.GuardPages); got != "mem-window" {
+			t.Fatalf("rule = %q, want mem-window", got)
+		}
+	})
+	t.Run("hfi-syscall", func(t *testing.T) {
+		// Sandbox code under HFI may never issue a raw syscall; the
+		// hardware redirects it, and the verifier refuses it outright.
+		b := isa.NewBuilder(0)
+		b.Syscall()
+		b.Halt()
+		if got := rejectRule(t, b.Build(), sfi.HFI); got != "privileged-op" {
+			t.Fatalf("rule = %q, want privileged-op", got)
+		}
+	})
+	t.Run("none-absolute-store", func(t *testing.T) {
+		// Even the no-isolation baseline runs inside a reservation; a
+		// store to an arbitrary absolute address is refused.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R1, 0x7f00_0000_0000)
+		b.Store(8, isa.R1, isa.RegNone, 1, 0, isa.R0)
+		b.Halt()
+		if got := rejectRule(t, b.Build(), sfi.None); got != "mem-window" {
+			t.Fatalf("rule = %q, want mem-window", got)
+		}
+	})
+}
+
+// TestStructuralRejection: pass 1 catches malformed programs before any
+// abstract interpretation runs.
+func TestStructuralRejection(t *testing.T) {
+	p := &isa.Program{Instrs: []isa.Instr{
+		{Op: isa.OpJmp, Target: 0x4000}, // out of range
+	}}
+	if _, err := VerifyStructure(p); err == nil {
+		t.Fatal("out-of-range jump accepted")
+	}
+	err := Verify(p, testCfg(sfi.HFI))
+	var re *RejectError
+	if !errors.As(err, &re) || re.First().Rule != "structural" {
+		t.Fatalf("err = %v, want structural violation", err)
+	}
+}

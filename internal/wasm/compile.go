@@ -8,6 +8,7 @@ import (
 	"hfi/internal/isa"
 	"hfi/internal/kernel"
 	"hfi/internal/sfi"
+	"hfi/internal/verifier"
 )
 
 // Layout fixes the guest addresses a compiled instance uses. The sandbox
@@ -54,6 +55,10 @@ type Options struct {
 	// interlock instructions at every linear-block entry and conditional
 	// branch, and a serializing entry fence. It models the §6.5 baseline.
 	Swivel bool
+	// NoVerify skips the post-compile static safety verification. Only
+	// throwaway compilations (layout probes) and tests that deliberately
+	// produce unverifiable programs should set it.
+	NoVerify bool
 }
 
 // Compiled is the output of Compile: the program image plus the metadata a
@@ -145,10 +150,19 @@ func Compile(m *Module, scheme sfi.Scheme, lay Layout, opts Options) (*Compiled,
 	c.emitTrap()
 
 	prog := c.b.Build()
-	return &Compiled{
+	cc := &Compiled{
 		Prog: prog, Module: m, Scheme: scheme, Layout: lay, Opts: opts,
 		BinaryBytes: prog.Size(),
-	}, nil
+	}
+	// Post-compile gate: prove the emitted program cannot escape the
+	// sandbox geometry it was compiled against. The compiler is not
+	// trusted; its output is checked on every compilation.
+	if !opts.NoVerify {
+		if err := verifier.Verify(prog, VerifyConfig(cc)); err != nil {
+			return nil, fmt.Errorf("wasm: %s/%v: %w", m.Name, scheme, err)
+		}
+	}
+	return cc, nil
 }
 
 // emitStart builds the entry stub: stack and scheme-register setup, the
@@ -174,6 +188,15 @@ func (c *compiler) emitStart() {
 		// The heap region register was programmed by the runtime before
 		// entry; no in-band setup is needed. This is the zero-reserved-
 		// register property the §6.1 analysis credits HFI's speedup to.
+	}
+	// Host-provided arguments are raw 64-bit register values, but the
+	// guest ABI types them i32 — truncate them here so the "index below
+	// 2^32" contract the access sequences rely on holds from the first
+	// guest instruction, whatever the host passed.
+	if f := c.m.Lookup("run"); f != nil {
+		for i := 0; i < f.NParams; i++ {
+			b.ALU32Imm(isa.OpAdd, isa.Reg(i), isa.Reg(i), 0)
+		}
 	}
 	b.Call("run")
 	if c.scheme == sfi.HFI {
@@ -321,6 +344,19 @@ func spillWeights(f *Fn) map[VReg]int {
 		}
 	}
 	return use
+}
+
+// checkMemDisp enforces the access contract every scheme's guard and
+// redzone geometry is sized for: displacements are non-negative (they
+// would reach below the memory base) and disp+size stays within 2^31.
+func (c *compiler) checkMemDisp(in *VInstr) error {
+	if in.Disp < 0 {
+		return fmt.Errorf("negative linear-memory displacement %d", in.Disp)
+	}
+	if in.Disp+int64(in.Size) > 1<<31 {
+		return fmt.Errorf("linear-memory displacement %d exceeds the 2^31 access contract", in.Disp)
+	}
+	return nil
 }
 
 func slotDisp(v VReg) int64 { return -8 * (int64(v) + 1) }
@@ -492,6 +528,9 @@ func (c *compiler) emitInstr(ctx *fnCtx, in *VInstr) error {
 		}
 
 	case vLoad:
+		if err := c.checkMemDisp(in); err != nil {
+			return err
+		}
 		idx := ctx.src(b, in.Rs1, ctx.s2)
 		r, fin := ctx.dst(b, in.Rd)
 		if in.MemIdx > 0 {
@@ -504,6 +543,9 @@ func (c *compiler) emitInstr(ctx *fnCtx, in *VInstr) error {
 		fin()
 
 	case vStore:
+		if err := c.checkMemDisp(in); err != nil {
+			return err
+		}
 		idx := ctx.src(b, in.Rs1, ctx.s2)
 		src := ctx.src(b, in.Rs3, ctx.s1)
 		if in.MemIdx > 0 {
@@ -644,7 +686,18 @@ func (c *compiler) emitGrow(ctx *fnCtx, in *VInstr) {
 	failLabel := fmt.Sprintf("%s.__growfail%d", ctx.f.Name, b.Len())
 	doneLabel := fmt.Sprintf("%s.__growdone%d", ctx.f.Name, b.Len())
 	b.BrImm(isa.CondGTU, isa.R3, int64(c.m.MaxPages), failLabel)
+	// A huge delta can wrap old+delta past the max-pages check; reject the
+	// wrap and recompute the delta from the checked sum so everything
+	// downstream (the mprotect length in particular) is provably in range.
+	b.Br(isa.CondLTU, isa.R3, isa.R2, failLabel)
+	b.Sub(isa.R1, isa.R3, isa.R2)
 	b.Store(8, isa.R4, isa.RegNone, 1, 0, isa.R3)
+	// Result = old page count, saved while R2 still holds it: every value
+	// the guest can observe from grow stays below 2^32 (i32 semantics),
+	// which is what lets later index arithmetic on it be bounds-proven.
+	if in.Rd != VNone {
+		b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(in.Rd), isa.R2)
+	}
 
 	switch c.scheme {
 	case sfi.GuardPages:
@@ -674,18 +727,15 @@ func (c *compiler) emitGrow(ctx *fnCtx, in *VInstr) {
 		b.Store(8, isa.R4, isa.RegNone, 1, 8, isa.R5)
 		b.HfiSetRegion(hfi.RegionExplicitBase+sfi.HeapRegion, isa.R4)
 	}
-	// Success: result = old pages.
-	b.MovImm(isa.R4, g+gCurPages) // reload pointer (clobbered above)
-	b.Load(8, isa.R0, isa.R4, isa.RegNone, 1, 0)
-	b.Load(8, isa.R1, sfi.FP, isa.RegNone, 1, slotDisp(in.Rs1))
-	b.Sub(isa.R0, isa.R0, isa.R1) // old = new - delta
 	b.Jmp(doneLabel)
 	b.Label(failLabel)
-	b.MovImm(isa.R0, -1)
-	b.Label(doneLabel)
+	// Failure result is the i32 -1 (0xFFFFFFFF), as in Wasm: a 64-bit -1
+	// would poison every interval derived from the result.
+	b.MovImm(isa.R0, 0xFFFFFFFF)
 	if in.Rd != VNone {
 		b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(in.Rd), isa.R0)
 	}
+	b.Label(doneLabel)
 	ctx.reloadRegs(b)
 }
 

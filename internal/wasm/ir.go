@@ -297,8 +297,9 @@ func (f *Fn) Ret(v VReg) *Fn {
 	return f.emit(VInstr{vop: vRet, Rd: VNone, Rs1: v, Rs2: VNone, Rs3: VNone})
 }
 
-// Grow emits memory.grow: rd receives the old size in pages, or all-ones
-// on failure; delta is the number of pages to add.
+// Grow emits memory.grow: rd receives the old size in pages, or the i32
+// -1 (0xFFFFFFFF) on failure, matching Wasm's i32-typed result; delta is
+// the number of pages to add.
 func (f *Fn) Grow(rd, delta VReg) *Fn {
 	return f.emit(VInstr{vop: vGrow, Rd: rd, Rs1: delta, Rs2: VNone, Rs3: VNone})
 }

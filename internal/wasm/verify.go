@@ -1,0 +1,86 @@
+package wasm
+
+import (
+	"hfi/internal/hfi"
+	"hfi/internal/kernel"
+	"hfi/internal/sfi"
+	"hfi/internal/verifier"
+)
+
+// HeapReservation is the address-space window a linear memory of the given
+// initial/maximum size occupies: the scheme's reservation policy
+// (sfi.Scheme.HeapReservation) with a one-page floor. The sandbox runtime
+// maps exactly this window and the verifier proves accesses into it; both
+// must call this one function so the numbers cannot drift apart.
+func HeapReservation(s sfi.Scheme, initBytes, maxBytes uint64) uint64 {
+	r := s.HeapReservation(initBytes, maxBytes)
+	if r < PageSize {
+		r = PageSize
+	}
+	return r
+}
+
+// VerifyConfig derives the verifier's sandbox-geometry description from a
+// compilation: the Layout the code was compiled against plus the
+// reservation policy the runtime maps around it.
+func VerifyConfig(c *Compiled) verifier.Config {
+	lay := c.Layout
+	init := c.HeapBytes()
+	max := c.MaxHeapBytes()
+	if max < init {
+		max = init
+	}
+	maxPages := uint64(c.Module.MaxPages)
+	if p := uint64(c.Module.MemPages); maxPages < p {
+		maxPages = p
+	}
+	cfg := verifier.Config{
+		Scheme:          c.Scheme,
+		EntrySym:        "__start",
+		TrapSym:         "__trap",
+		HeapBase:        lay.HeapBase,
+		InitBytes:       init,
+		MaxBytes:        max,
+		MaxPages:        maxPages,
+		HeapReservation: HeapReservation(c.Scheme, init, max),
+		StackBase:       lay.StackBase,
+		StackTop:        lay.StackBase + lay.StackSize,
+		StackGuard:      sfi.StackGuard,
+		GlobalBase:      lay.GlobalBase,
+		GlobalSize:      GlobalAreaSize,
+		CurPagesAddr:    lay.GlobalBase + gCurPages,
+		HeapBaseCell:    lay.GlobalBase + gHeapBase,
+		StagingAddr:     lay.GlobalBase + gStaging,
+		NullPage:        kernel.OSPageSize,
+		NumMems:         c.Module.NumMemories(),
+		HeapRegionFlat:  hfi.RegionExplicitBase + sfi.HeapRegion,
+		MprotectNum:     kernel.SysMprotect,
+		ProtRW:          uint64(kernel.ProtRead | kernel.ProtWrite),
+	}
+	for k, pages := range c.Module.ExtraMemories {
+		bytes := uint64(pages) * PageSize
+		var base uint64
+		if k < len(lay.ExtraMemBases) {
+			base = lay.ExtraMemBases[k]
+		}
+		em := verifier.ExtraMem{
+			CtxAddr: lay.GlobalBase + MemCtxOffset(k+1),
+			Base:    base,
+			Bytes:   bytes,
+		}
+		if bytes > 0 {
+			em.Reservation = HeapReservation(c.Scheme, bytes, bytes)
+			em.BoundVal = bytes
+			if c.Scheme == sfi.Masking {
+				em.BoundVal = bytes - 1
+			}
+		} else if c.Scheme.NeedsGuardReservation() && base != 0 {
+			// Placeholder memory under a guard scheme: the runtime still
+			// reserves the full PROT_NONE window (see the instantiate
+			// path), so accesses are contained even before it is re-pointed.
+			em.Reservation = HeapReservation(c.Scheme, 0, 0)
+		}
+		cfg.ExtraMems = append(cfg.ExtraMems, em)
+	}
+	return cfg
+}

@@ -12,6 +12,11 @@
 # test, faas, sandbox, stats — runs in full. For the unabridged version:
 # `go test -race -timeout 45m ./...`.
 #
+# After the tests, the static-verifier gate: hfiverify proves every corpus
+# program safe under every scheme, then runs the fast mutation bench, which
+# fails on any verified-then-escaped mutant or a static kill rate below 95%
+# (full bench: `go run ./cmd/hfiverify -mutate -full`).
+#
 # Usage: scripts/verify.sh  (or `make verify`)
 set -eu
 cd "$(dirname "$0")/.."
@@ -22,4 +27,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race -short ./..."
 go test -race -short -timeout 15m ./...
+echo "== hfiverify: corpus under all schemes"
+go run ./cmd/hfiverify
+echo "== hfiverify -mutate: verifier soundness bench (fast)"
+go run ./cmd/hfiverify -mutate
 echo "verify: all green"
