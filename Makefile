@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test race vet verify verifier bench serve
+.PHONY: build test race vet verify verifier bench benchfull serve
 
 build:
 	go build ./...
@@ -24,8 +24,14 @@ verifier:
 	go run ./cmd/hfiverify
 	go run ./cmd/hfiverify -mutate -full
 
+# Interpreter + provisioning performance snapshot; writes BENCH_PR3.json
+# and fails if the hot loop allocates.
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench.sh
+
+# Every benchmark in the tree, unfiltered.
+benchfull:
+	go test -bench=. -benchmem ./...
 
 # Throughput-vs-workers scaling demo with checksum verification.
 serve:

@@ -60,13 +60,54 @@ type Interp struct {
 	// false loads cost their base (pure-compute calibration runs).
 	UseCaches bool
 
+	// NoFastPath disables the dispatch fast paths — the machine's fetch
+	// code cache and the 1-entry data-translation cache — forcing every
+	// fetch through the binary search and every access through the full
+	// HFI + MMU checks. Architectural results are identical either way
+	// (the differential tests assert this); the flag exists so they can.
+	NoFastPath bool
+
 	milliCycles uint64
+
+	// costTab holds the per-opcode dispatch charge precomputed from Cost,
+	// so the hot loop charges a single table entry instead of selecting
+	// among cost-model fields per opcode. Rebuilt at Run entry whenever
+	// Cost differs from costSrc.
+	costTab   [isa.OpCount]uint64
+	costSrc   CostModel
+	costTabOK bool
 }
 
 // NewInterp returns an interpreter over m with the default cost model and
 // caches enabled.
 func NewInterp(m *Machine) *Interp {
 	return &Interp{M: m, Cost: DefaultCostModel(), UseCaches: true}
+}
+
+// buildCostTab precomputes the dispatch charge for every opcode from the
+// current cost model. Opcodes whose charge depends on runtime state (memory
+// ops, syscalls, HFI config) keep their composite accounting in the
+// dispatch loop; their entries hold the fixed part.
+func (ip *Interp) buildCostTab() {
+	c := &ip.Cost
+	for op := range ip.costTab {
+		ip.costTab[op] = c.ALU
+	}
+	ip.costTab[isa.OpMul] = c.Mul
+	ip.costTab[isa.OpDiv] = c.Div
+	ip.costTab[isa.OpRem] = c.Div
+	ip.costTab[isa.OpBr] = c.Branch
+	ip.costTab[isa.OpJmp] = c.Branch
+	ip.costTab[isa.OpJmpInd] = c.Branch
+	ip.costTab[isa.OpCall] = c.Branch + c.Store
+	ip.costTab[isa.OpCallInd] = c.Branch + c.Store
+	ip.costTab[isa.OpRet] = c.Branch + c.Load
+	ip.costTab[isa.OpFence] = c.Serialize
+	ip.costTab[isa.OpSyscall] = c.Syscall
+	ip.costTab[isa.OpXsave] = c.Serialize
+	ip.costTab[isa.OpXrstor] = c.Serialize
+	ip.costSrc = ip.Cost
+	ip.costTabOK = true
 }
 
 func (ip *Interp) charge(mc uint64) { ip.milliCycles += mc }
@@ -115,44 +156,127 @@ func (ip *Interp) syncClock() {
 // until maxInstrs instructions retire (0 = no limit).
 func (ip *Interp) Run(maxInstrs uint64) RunResult {
 	m := ip.M
-	for n := uint64(0); maxInstrs == 0 || n < maxInstrs; n++ {
-		if m.PC == HostReturn {
+	if !ip.costTabOK || ip.Cost != ip.costSrc {
+		ip.buildCostTab()
+	}
+	if maxInstrs == 0 {
+		maxInstrs = ^uint64(0) // unlimited; one compare in the loop header
+	}
+	for n := uint64(0); n < maxInstrs; n++ {
+		pc := m.PC
+		if pc == HostReturn {
 			ip.syncClock()
 			return RunResult{Reason: StopHostReturn}
 		}
-		if f := m.HFI.CheckExec(m.PC); f != nil {
-			if res, ok := ip.fault(m.PC, m.PC, f, false); !ok {
-				return res
+		// CheckExec is a no-op while HFI is disabled, so the call is gated
+		// on the cheap Enabled load; when enabled, the 1-entry exec cache
+		// skips the region walk for straight-line fetches from one page
+		// (keeping the observable check counter identical).
+		if m.HFI.Enabled {
+			if !ip.NoFastPath && m.epcHit(pc) {
+				m.HFI.ChecksCode++
+			} else {
+				if f := m.HFI.CheckExec(pc); f != nil {
+					if res, ok := ip.fault(pc, pc, f, false); !ok {
+						return res
+					}
+					continue
+				}
+				if !ip.NoFastPath {
+					m.epcFill(pc)
+				}
 			}
-			continue
 		}
-		in := m.FetchInstr(m.PC)
+		// Fetch: the code-cache range check is inlined here — FetchInstr
+		// is the same logic behind a call, too hot for the dispatch loop.
+		var in *isa.Instr
+		if ip.NoFastPath {
+			in = m.fetchAt(pc)
+		} else if off := pc - m.ccBase; off < m.ccLimit-m.ccBase && off&(isa.InstrBytes-1) == 0 {
+			in = &m.ccInstrs[off/isa.InstrBytes]
+		} else {
+			in = m.FetchInstr(pc)
+		}
 		if in == nil {
-			if res, ok := ip.fault(m.PC, m.PC, nil, true); !ok {
+			if res, ok := ip.fault(pc, pc, nil, true); !ok {
 				return res
 			}
 			continue
 		}
 		m.Instret++
-		next := m.PC + isa.InstrBytes
+		next := pc + isa.InstrBytes
 
 		switch in.Op {
 		case isa.OpNop:
-			ip.charge(ip.Cost.ALU)
+			ip.charge(ip.costTab[isa.OpNop])
 		case isa.OpHalt:
 			ip.syncClock()
 			return RunResult{Reason: StopHalt}
 
 		case isa.OpMovImm:
 			m.Regs[in.Rd] = uint64(in.Imm)
-			ip.charge(ip.Cost.ALU)
+			ip.charge(ip.costTab[isa.OpMovImm])
 		case isa.OpMov:
 			m.Regs[in.Rd] = m.Regs[in.Rs1]
-			ip.charge(ip.Cost.ALU)
+			ip.charge(ip.costTab[isa.OpMov])
 
-		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
-			isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv,
-			isa.OpRem, isa.OpNot, isa.OpNeg:
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor:
+			// The workhorse ALU ops get their own arm: they cannot fault,
+			// so the dispatch table jumps straight to the arithmetic
+			// without the aluOp call.
+			b := m.regVal(in.Rs2)
+			if in.UseImm {
+				b = uint64(in.Imm)
+			}
+			a := m.Regs[in.Rs1]
+			var v uint64
+			switch in.Op {
+			case isa.OpAdd:
+				v = a + b
+			case isa.OpSub:
+				v = a - b
+			case isa.OpAnd:
+				v = a & b
+			case isa.OpOr:
+				v = a | b
+			default:
+				v = a ^ b
+			}
+			if in.W32 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[in.Rd] = v
+			ip.charge(ip.costTab[in.Op])
+
+		case isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpNot, isa.OpNeg:
+			// Shifts, multiply and the unary ops cannot fault either.
+			b := m.regVal(in.Rs2)
+			if in.UseImm {
+				b = uint64(in.Imm)
+			}
+			a := m.Regs[in.Rs1]
+			var v uint64
+			switch in.Op {
+			case isa.OpShl:
+				v = a << (b & 63)
+			case isa.OpShr:
+				v = a >> (b & 63)
+			case isa.OpSar:
+				v = uint64(int64(a) >> (b & 63))
+			case isa.OpMul:
+				v = a * b
+			case isa.OpNot:
+				v = ^a
+			default:
+				v = -a
+			}
+			if in.W32 {
+				v = uint64(uint32(v))
+			}
+			m.Regs[in.Rd] = v
+			ip.charge(ip.costTab[in.Op])
+
+		case isa.OpDiv, isa.OpRem:
 			b := m.regVal(in.Rs2)
 			if in.UseImm {
 				b = uint64(in.Imm)
@@ -162,38 +286,46 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				v = uint64(uint32(v))
 			}
 			if !ok {
-				if res, okc := ip.fault(m.PC, 0, nil, false); !okc {
+				// Division by zero raises a hardware fault.
+				if res, okc := ip.fault(pc, 0, nil, false); !okc {
 					return res
 				}
 				continue
 			}
 			m.Regs[in.Rd] = v
-			switch in.Op {
-			case isa.OpMul:
-				ip.charge(ip.Cost.Mul)
-			case isa.OpDiv, isa.OpRem:
-				ip.charge(ip.Cost.Div)
-			default:
-				ip.charge(ip.Cost.ALU)
-			}
+			// Precomputed per-opcode charge replaces a second dispatch
+			// switch on the hot path.
+			ip.charge(ip.costTab[in.Op])
 
 		case isa.OpLoad, isa.OpStore:
 			addr := m.plainEA(in)
 			write := in.Op == isa.OpStore
-			if f := m.HFI.CheckData(addr, in.Size, write); f != nil {
-				if res, ok := ip.fault(m.PC, addr, f, false); !ok {
-					return res
+			if !ip.NoFastPath && m.dtcHit(addr, in.Size, write) {
+				// Fast path: the 1-entry DTC proves this access passes
+				// both the HFI and MMU checks. Keep the observable
+				// check counter identical to the slow path.
+				if m.HFI.Enabled {
+					m.HFI.ChecksData++
 				}
-				continue
-			}
-			if !m.checkMMU(addr, in.Size, write) {
-				if res, ok := ip.fault(m.PC, addr, nil, true); !ok {
-					return res
+			} else {
+				if f := m.HFI.CheckData(addr, in.Size, write); f != nil {
+					if res, ok := ip.fault(pc, addr, f, false); !ok {
+						return res
+					}
+					continue
 				}
-				continue
+				if !m.checkMMU(addr, in.Size, write) {
+					if res, ok := ip.fault(pc, addr, nil, true); !ok {
+						return res
+					}
+					continue
+				}
+				if !ip.NoFastPath {
+					m.dtcFill(addr)
+				}
 			}
 			if m.MemHook != nil {
-				m.MemHook(m.PC, addr, in.Size, write)
+				m.MemHook(pc, addr, in.Size, write)
 			}
 			if write {
 				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
@@ -206,19 +338,19 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			write := in.Op == isa.OpHStore
 			addr, f := m.HFI.ExplicitEA(int(in.HReg), m.regVal(in.Rs2), in.Scale, in.Disp, in.Size, write)
 			if f != nil {
-				if res, ok := ip.fault(m.PC, addr, f, false); !ok {
+				if res, ok := ip.fault(pc, addr, f, false); !ok {
 					return res
 				}
 				continue
 			}
 			if !m.checkMMU(addr, in.Size, write) {
-				if res, ok := ip.fault(m.PC, addr, nil, true); !ok {
+				if res, ok := ip.fault(pc, addr, nil, true); !ok {
 					return res
 				}
 				continue
 			}
 			if m.MemHook != nil {
-				m.MemHook(m.PC, addr, in.Size, write)
+				m.MemHook(pc, addr, in.Size, write)
 			}
 			if write {
 				m.Mem().Write(addr, in.Size, m.Regs[in.Rs3])
@@ -235,23 +367,23 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			if in.Cond.Eval(m.Regs[in.Rs1], b) {
 				next = in.Target
 			}
-			ip.charge(ip.Cost.Branch)
+			ip.charge(ip.costTab[isa.OpBr])
 		case isa.OpJmp:
 			next = in.Target
-			ip.charge(ip.Cost.Branch)
+			ip.charge(ip.costTab[isa.OpJmp])
 		case isa.OpJmpInd:
 			next = m.Regs[in.Rs1]
-			ip.charge(ip.Cost.Branch)
+			ip.charge(ip.costTab[isa.OpJmpInd])
 		case isa.OpCall, isa.OpCallInd:
 			sp := m.Regs[isa.SP] - 8
 			if !m.checkMMU(sp, 8, true) {
-				if res, ok := ip.fault(m.PC, sp, nil, true); !ok {
+				if res, ok := ip.fault(pc, sp, nil, true); !ok {
 					return res
 				}
 				continue
 			}
 			if m.MemHook != nil {
-				m.MemHook(m.PC, sp, 8, true)
+				m.MemHook(pc, sp, 8, true)
 			}
 			m.Mem().Write(sp, 8, next)
 			m.Regs[isa.SP] = sp
@@ -260,29 +392,29 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			} else {
 				next = m.Regs[in.Rs1]
 			}
-			ip.charge(ip.Cost.Branch + ip.Cost.Store)
+			ip.charge(ip.costTab[in.Op])
 		case isa.OpRet:
 			sp := m.Regs[isa.SP]
 			if !m.checkMMU(sp, 8, false) {
-				if res, ok := ip.fault(m.PC, sp, nil, true); !ok {
+				if res, ok := ip.fault(pc, sp, nil, true); !ok {
 					return res
 				}
 				continue
 			}
 			if m.MemHook != nil {
-				m.MemHook(m.PC, sp, 8, false)
+				m.MemHook(pc, sp, 8, false)
 			}
 			next = m.Mem().Read(sp, 8)
 			m.Regs[isa.SP] = sp + 8
-			ip.charge(ip.Cost.Branch + ip.Cost.Load)
+			ip.charge(ip.costTab[isa.OpRet])
 
 		case isa.OpSyscall:
-			ip.charge(ip.Cost.Syscall)
+			ip.charge(ip.costTab[isa.OpSyscall])
 			ip.syncClock()
 			serialized := m.HFI.Enabled && m.HFI.Bank.Cfg.Serialized && !m.HFI.SyscallAllowed()
-			nxt, redirected, f := m.doSyscall(m.PC)
+			nxt, redirected, f := m.doSyscall(pc)
 			if f != nil {
-				if res, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+				if res, ok := ip.fault(pc, pc, f, false); !ok {
 					return res
 				}
 				continue
@@ -303,19 +435,19 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			}
 
 		case isa.OpFence:
-			ip.charge(ip.Cost.Serialize)
+			ip.charge(ip.costTab[isa.OpFence])
 		case isa.OpClflush:
 			m.Hier.Flush(m.regVal(in.Rs1) + uint64(in.Disp))
-			ip.charge(ip.Cost.ALU)
+			ip.charge(ip.costTab[isa.OpClflush])
 		case isa.OpRdtsc:
 			ip.syncClock()
 			m.Regs[in.Rd] = m.Cycles
-			ip.charge(ip.Cost.ALU)
+			ip.charge(ip.costTab[isa.OpRdtsc])
 
 		case isa.OpHfiEnter:
 			res, f := m.hfiEnter(m.Regs[in.Rs1])
 			if f != nil {
-				if r, ok := ip.fault(m.PC, m.Regs[in.Rs1], f, false); !ok {
+				if r, ok := ip.fault(pc, m.Regs[in.Rs1], f, false); !ok {
 					return r
 				}
 				continue
@@ -331,13 +463,13 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				ip.charge(ip.Cost.Serialize)
 			}
 			if res.Handler != 0 {
-				m.LastExitPC = m.PC + isa.InstrBytes
+				m.LastExitPC = pc + isa.InstrBytes
 				next = res.Handler
 			}
 		case isa.OpHfiReenter:
 			res, f := m.HFI.Reenter()
 			if f != nil {
-				if r, ok := ip.fault(m.PC, 0, f, false); !ok {
+				if r, ok := ip.fault(pc, 0, f, false); !ok {
 					return r
 				}
 				continue
@@ -351,7 +483,7 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			serialize := m.HFI.RegionUpdateSerializes()
 			moves, f := m.hfiMicro(in)
 			if f != nil {
-				if r, ok := ip.fault(m.PC, 0, f, false); !ok {
+				if r, ok := ip.fault(pc, 0, f, false); !ok {
 					return r
 				}
 				continue
@@ -363,8 +495,8 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 
 		case isa.OpXsave:
 			if !m.HFI.PrivilegedAllowed() {
-				f := m.HFI.PrivFault(m.PC)
-				if r, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+				f := m.HFI.PrivFault(pc)
+				if r, ok := ip.fault(pc, pc, f, false); !ok {
 					return r
 				}
 				continue
@@ -376,8 +508,8 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			if !m.HFI.PrivilegedAllowed() {
 				// A native sandbox restoring HFI registers would break
 				// sandboxing; HFI traps (§3.3.3).
-				f := m.HFI.PrivFault(m.PC)
-				if r, ok := ip.fault(m.PC, m.PC, f, false); !ok {
+				f := m.HFI.PrivFault(pc)
+				if r, ok := ip.fault(pc, pc, f, false); !ok {
 					return r
 				}
 				continue
@@ -388,7 +520,7 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 			ip.charge(ip.Cost.Serialize)
 
 		default:
-			if res, ok := ip.fault(m.PC, m.PC, nil, false); !ok {
+			if res, ok := ip.fault(pc, pc, nil, false); !ok {
 				return res
 			}
 			continue

@@ -102,6 +102,54 @@ type Machine struct {
 	// a containment failure. The pipelined Core does not call it;
 	// wrong-path accesses would make the stream ill-defined.
 	MemHook func(pc, addr uint64, size uint8, write bool)
+
+	// Fetch code cache: the program containing the most recent fetch.
+	// ccInstrs aliases that program's (immutable once loaded) instruction
+	// slice, so a hit costs one range check and an index instead of a
+	// binary search plus a Program.At call. Cleared whenever the program
+	// list changes (LoadProgram/LoadPrelinked/Reset).
+	ccBase   uint64
+	ccLimit  uint64
+	ccInstrs []isa.Instr
+	lastProg int // index of the program fetchAt last hit
+
+	// dtc is a 1-entry data-translation cache summarizing the combined
+	// HFI + MMU decision for one OS page. It is consulted only by the
+	// interpreter's load/store fast path; validity is gen-tagged against
+	// both sources of truth, so any HFI state write (enter/exit/region
+	// update/fault/xrstor) or mapping change (mmap/mprotect/munmap)
+	// invalidates it without the mutating code knowing the cache exists.
+	dtc dtcEntry
+
+	// epc is the exec-side counterpart: the HFI code-region decision for
+	// the last fetched page, consulted by the interpreter only while HFI
+	// is enabled (fetch legality outside HFI comes from the program list,
+	// not the MMU). HFI state is the decision's only input, so the entry
+	// carries just the HFI generation tag.
+	epc epcEntry
+}
+
+// dtcEntry caches the access decision for every access wholly inside one OS
+// page. It is only filled when that decision is page-uniform: the same HFI
+// first-match outcome and VMA protection apply to every byte of the page
+// (see hfi.State.DataPageDecision; VMAs are OS-page aligned, so their side
+// is uniform by construction).
+type dtcEntry struct {
+	page    uint64
+	readOK  bool
+	writeOK bool
+	valid   bool
+	hfiGen  uint64 // hfi.State.Gen at fill time
+	mapGen  uint64 // kernel.AddressSpace.Gen at fill time
+}
+
+// epcEntry caches the CheckExec outcome for one OS page, filled only when
+// the decision is page-uniform (hfi.State.ExecPageDecision).
+type epcEntry struct {
+	page   uint64
+	exec   bool
+	valid  bool
+	hfiGen uint64
 }
 
 // NewMachine wires up a machine with a fresh address space, kernel, HFI
@@ -129,6 +177,7 @@ func (m *Machine) LoadProgram(p *isa.Program) error {
 	}
 	m.progs = append(m.progs, p)
 	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	m.invalidateFetchCache()
 	return nil
 }
 
@@ -143,6 +192,7 @@ func (m *Machine) LoadPrelinked(p *isa.Program) error {
 	}
 	m.progs = append(m.progs, p)
 	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	m.invalidateFetchCache()
 	return nil
 }
 
@@ -154,26 +204,138 @@ func (m *Machine) MustLoadProgram(p *isa.Program) {
 }
 
 // FetchInstr returns the instruction at pc, or nil if pc is not inside any
-// loaded program.
+// loaded program. Fetches are heavily local (straight-line code, loops), so
+// the common case indexes directly into the last program's instruction
+// slice; only a program switch pays the binary search.
 func (m *Machine) FetchInstr(pc uint64) *isa.Instr {
-	// Binary search over sorted programs.
+	if pc >= m.ccBase && pc < m.ccLimit {
+		off := pc - m.ccBase
+		if off%isa.InstrBytes != 0 {
+			return nil
+		}
+		return &m.ccInstrs[off/isa.InstrBytes]
+	}
+	in := m.fetchAt(pc)
+	if in != nil {
+		// fetchAt found the program; cache it for subsequent fetches.
+		p := m.progs[m.lastProg]
+		m.ccBase, m.ccLimit, m.ccInstrs = p.Base, p.End(), p.Instrs
+	}
+	return in
+}
+
+// fetchAt is the uncached fetch: a binary search over the sorted program
+// list. The interpreter's NoFastPath mode uses it directly so differential
+// tests exercise the pre-cache behaviour.
+func (m *Machine) fetchAt(pc uint64) *isa.Instr {
 	i := sort.Search(len(m.progs), func(i int) bool { return m.progs[i].End() > pc })
 	if i == len(m.progs) || pc < m.progs[i].Base {
 		return nil
 	}
+	m.lastProg = i
 	return m.progs[i].At(pc)
+}
+
+// invalidateFetchCache drops the fetch code cache; callers mutate m.progs.
+func (m *Machine) invalidateFetchCache() {
+	m.ccBase, m.ccLimit, m.ccInstrs = 0, 0, nil
+	m.lastProg = 0
+}
+
+// FlushDTC invalidates the interpreter's decision caches (the data
+// translation cache and the exec-permission cache). Generation tags already
+// catch HFI and mapping changes; this exists for state changes outside
+// those, i.e. swapping the whole machine between guests (Reset).
+func (m *Machine) FlushDTC() {
+	m.dtc = dtcEntry{}
+	m.epc = epcEntry{}
+}
+
+// epcHit reports whether the cached exec decision covers and permits a fetch
+// at pc. A denied or uncovered fetch returns false and takes the full
+// CheckExec path, which raises the architectural fault.
+func (m *Machine) epcHit(pc uint64) bool {
+	e := &m.epc
+	if !e.valid || e.hfiGen != m.HFI.Gen {
+		e.valid = false
+		return false
+	}
+	if pc&^uint64(kernel.OSPageSize-1) != e.page {
+		return false
+	}
+	return e.exec
+}
+
+// epcFill recomputes the exec decision for pc's OS page after a slow-path
+// CheckExec pass; installed only when uniform across the page.
+func (m *Machine) epcFill(pc uint64) {
+	page := pc &^ uint64(kernel.OSPageSize-1)
+	ok, uniform := m.HFI.ExecPageDecision(page, kernel.OSPageSize)
+	if !uniform {
+		m.epc.valid = false
+		return
+	}
+	m.epc = epcEntry{page: page, exec: ok, valid: true, hfiGen: m.HFI.Gen}
+}
+
+// dtcHit reports whether the cached page decision covers and permits this
+// access: generations current, same page, no page straddle, and the cached
+// permission allows it. Denied or uncovered accesses return false and take
+// the full CheckData/checkMMU path, which raises the architectural fault.
+func (m *Machine) dtcHit(addr uint64, size uint8, write bool) bool {
+	d := &m.dtc
+	if !d.valid || d.hfiGen != m.HFI.Gen || d.mapGen != m.AS.Gen() {
+		d.valid = false
+		return false
+	}
+	off := addr & (kernel.OSPageSize - 1)
+	if addr-off != d.page || off+uint64(size) > kernel.OSPageSize {
+		return false
+	}
+	if write {
+		return d.writeOK
+	}
+	return d.readOK
+}
+
+// dtcFill recomputes the decision for addr's OS page after a slow-path
+// check. The entry is only installed when the decision is uniform across
+// the page: the first-matching HFI region (if any) contains the whole page
+// — partial overlaps are not summarizable under first-match semantics —
+// and the VMA protection covers it (always true: VMAs are OS-page aligned).
+func (m *Machine) dtcFill(addr uint64) {
+	page := addr &^ uint64(kernel.OSPageSize-1)
+	r, w, uniform := m.HFI.DataPageDecision(page, kernel.OSPageSize)
+	if !uniform {
+		m.dtc.valid = false
+		return
+	}
+	prot, mapped := m.AS.Prot(page)
+	m.dtc = dtcEntry{
+		page:    page,
+		readOK:  r && mapped && prot&kernel.ProtRead != 0,
+		writeOK: w && mapped && prot&kernel.ProtWrite != 0,
+		valid:   true,
+		hfiGen:  m.HFI.Gen,
+		mapGen:  m.AS.Gen(),
+	}
 }
 
 // Mem returns the backing memory (convenience).
 func (m *Machine) Mem() *mem.Memory { return m.AS.Mem }
 
 // Reset clears registers and counters but keeps loaded programs, memory
-// contents, and kernel state.
+// contents, and kernel state. It also drops the fetch code cache and the
+// data-translation cache: Reset is the context-switch point where a machine
+// is handed to a different guest, and stale cached decisions must not leak
+// across that boundary.
 func (m *Machine) Reset() {
 	m.Regs = [isa.NumRegs]uint64{}
 	m.PC = 0
 	m.Cycles = 0
 	m.Instret = 0
+	m.invalidateFetchCache()
+	m.FlushDTC()
 }
 
 // raiseFault routes a fault through the OS signal path: HFI has already

@@ -73,12 +73,26 @@ type TenantInstance struct {
 	Eng    cpu.Engine
 }
 
+// Images is the process-wide shared code-image cache. Every Provision runs
+// on a fresh machine, so the allocator hands identical layouts to identical
+// (tenant, config) provisions; the first one compiles and verifies, the
+// rest — across workers, pools, and goroutines — share the immutable image.
+var Images = sandbox.NewCodeCache()
+
 // Provision instantiates tenant under cfg on a fresh machine and returns
-// the warm instance ready to serve requests.
+// the warm instance ready to serve requests. Code images are shared through
+// the package-wide Images cache.
 func Provision(tenant workloads.Tenant, cfg Config) (*TenantInstance, error) {
+	return ProvisionShared(tenant, cfg, Images)
+}
+
+// ProvisionShared is Provision with an explicit image cache (nil compiles
+// privately — the pre-cache behaviour, kept for differential tests).
+func ProvisionShared(tenant workloads.Tenant, cfg Config, images *sandbox.CodeCache) (*TenantInstance, error) {
 	rt := sandbox.NewRuntime()
 	rt.Serialized = cfg.HFINative
 	rt.WrapNative = cfg.HFINative
+	rt.Images = images
 	inst, err := rt.Instantiate(tenant.Mod, cfg.Scheme, wasm.Options{Swivel: cfg.Swivel})
 	if err != nil {
 		return nil, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)

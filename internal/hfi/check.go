@@ -39,6 +39,46 @@ func (s *State) CheckData(addr uint64, size uint8, write bool) *Fault {
 	return s.fault(FaultDataBounds, addr, write)
 }
 
+// DataPageDecision reports whether the implicit data-region decision is
+// uniform across every access wholly contained in [page, page+size): the
+// same first-matching region (or no region at all) applies to every byte.
+// When uniform, read/write carry that region's permissions (both false if
+// no region matches). Non-uniform pages — a region boundary crosses the
+// window, or an earlier region shadows part of it — are not summarizable
+// and must take the per-access CheckData path.
+//
+// The helper is non-mutating and exists for decision caches (the
+// interpreter's 1-entry data-translation cache): a cached positive decision
+// derived from a uniform page stays valid until the State's Gen changes.
+// Implicit regions are contiguous intervals [BasePrefix, BasePrefix+LSBMask]
+// (power-of-two sized and aligned), so overlap tests are interval tests.
+func (s *State) DataPageDecision(page, size uint64) (read, write, uniform bool) {
+	if !s.Enabled {
+		return true, true, true
+	}
+	last := page + size - 1
+	for i := range s.Bank.Data {
+		r := &s.Bank.Data[i]
+		if !r.Valid {
+			continue
+		}
+		lo, hi := r.BasePrefix, r.BasePrefix+r.LSBMask
+		if hi < page || lo > last {
+			continue // disjoint from the window
+		}
+		if lo <= page && hi >= last {
+			// First region reached that intersects the window contains it
+			// entirely: first-match semantics give it the whole window.
+			return r.Read, r.Write, true
+		}
+		// Partial overlap: the first-match decision differs within the
+		// window.
+		return false, false, false
+	}
+	// No region intersects the window: uniformly out of bounds.
+	return false, false, true
+}
+
 // PeekData reports whether an access would pass CheckData, without
 // mutating MSR or sandbox state. The timing simulator uses this for
 // speculative (not yet committed) accesses: a failing speculative access
@@ -85,6 +125,35 @@ func (s *State) CheckExec(pc uint64) *Fault {
 		}
 	}
 	return s.fault(FaultCodeBounds, pc, false)
+}
+
+// ExecPageDecision is CheckExec's analogue of DataPageDecision: it reports
+// whether the code-region decision is uniform across every pc in
+// [page, page+size) — the same first-matching code region (or none) applies
+// to every byte. When uniform, exec carries that region's permission (false
+// if no region matches). Non-mutating; exists for the interpreter's 1-entry
+// exec-permission cache, whose entries stay valid until Gen changes.
+func (s *State) ExecPageDecision(page, size uint64) (exec, uniform bool) {
+	if !s.Enabled {
+		return true, true
+	}
+	last := page + size - 1
+	for i := range s.Bank.Code {
+		r := &s.Bank.Code[i]
+		if !r.Valid {
+			continue
+		}
+		lo, hi := r.BasePrefix, r.BasePrefix+r.LSBMask
+		if hi < page || lo > last {
+			continue // disjoint from the window
+		}
+		if lo <= page && hi >= last {
+			return r.Exec, true
+		}
+		// Partial overlap: first-match decisions differ within the window.
+		return false, false
+	}
+	return false, true
 }
 
 // PeekExec reports whether a fetch at pc would pass, without mutating state.

@@ -45,6 +45,7 @@ func (s *State) Enter(cfg Config) (EnterResult, *Fault) {
 	s.Bank.Cfg = cfg
 	s.Enabled = true
 	s.Enters++
+	s.Gen++
 	return res, nil
 }
 
@@ -84,6 +85,7 @@ func (s *State) exit(reason ExitReason, info uint64) ExitResult {
 	s.MSR = reason
 	s.MSRInfo = info
 	s.Exits++
+	s.Gen++
 	s.last = s.Bank
 	s.lastValid = true
 	if s.Bank.Cfg.SwitchOnExit && s.savedValid {
@@ -117,6 +119,7 @@ func (s *State) Reenter() (EnterResult, *Fault) {
 	s.Bank = s.last
 	s.Enabled = true
 	s.Enters++
+	s.Gen++
 	return EnterResult{Serialize: s.Bank.Cfg.Serialized}, nil
 }
 

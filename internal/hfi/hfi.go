@@ -220,6 +220,14 @@ type State struct {
 	Enabled bool
 	Bank    Bank
 
+	// Gen counts state transitions that can change the outcome of a data
+	// access check: enter/exit/reenter, region writes, xrstor, faults, and
+	// reset. Execution engines that cache access decisions (the
+	// interpreter's 1-entry data-translation cache) tag each cached entry
+	// with the Gen it was derived under and treat any mismatch as a flush,
+	// so no transition can leave a stale positive decision live.
+	Gen uint64
+
 	// MSR holds the cause of the last exit or fault, readable by the
 	// trusted runtime's exit handler or signal handler.
 	MSR     ExitReason
@@ -247,8 +255,14 @@ type State struct {
 // NewState returns HFI state with the extension present but disabled.
 func NewState() *State { return &State{} }
 
-// Reset returns the state to power-on: disabled, all regions invalid.
-func (s *State) Reset() { *s = State{} }
+// Reset returns the state to power-on: disabled, all regions invalid. Gen
+// keeps advancing across resets so cached decisions from before the reset
+// can never alias a post-reset generation.
+func (s *State) Reset() {
+	gen := s.Gen
+	*s = State{}
+	s.Gen = gen + 1
+}
 
 // regionKind classifies a flat region number.
 func regionKind(n int) (kind string, idx int, err error) {
@@ -284,6 +298,7 @@ func (s *State) SetCodeRegion(idx int, r ImplicitRegion) *Fault {
 	r.Read, r.Write = false, false // code regions carry only Exec
 	s.Bank.Code[idx] = r
 	s.RegionUpdates++
+	s.Gen++
 	return nil
 }
 
@@ -302,6 +317,7 @@ func (s *State) SetDataRegion(idx int, r ImplicitRegion) *Fault {
 	r.Exec = false // data regions never grant execute
 	s.Bank.Data[idx] = r
 	s.RegionUpdates++
+	s.Gen++
 	return nil
 }
 
@@ -319,6 +335,7 @@ func (s *State) SetExplicitRegion(idx int, r ExplicitRegion) *Fault {
 	r.Valid = true
 	s.Bank.Expl[idx] = r
 	s.RegionUpdates++
+	s.Gen++
 	return nil
 }
 
@@ -340,6 +357,7 @@ func (s *State) ClearRegion(n int) *Fault {
 		s.Bank.Expl[idx] = ExplicitRegion{}
 	}
 	s.RegionUpdates++
+	s.Gen++
 	return nil
 }
 
@@ -352,6 +370,7 @@ func (s *State) ClearAllRegions() *Fault {
 	s.Bank.Data = [NumDataRegions]ImplicitRegion{}
 	s.Bank.Expl = [NumExplicitRegions]ExplicitRegion{}
 	s.RegionUpdates++
+	s.Gen++
 	return nil
 }
 
@@ -360,6 +379,7 @@ func (s *State) ClearAllRegions() *Fault {
 // returns the Fault for the execution engine to raise.
 func (s *State) fault(reason ExitReason, addr uint64, write bool) *Fault {
 	s.Faults++
+	s.Gen++
 	s.MSR = reason
 	s.MSRInfo = addr
 	if s.Enabled {

@@ -97,4 +97,5 @@ func (s *State) Xrstor(buf []byte) {
 	flags := binary.LittleEndian.Uint64(buf[off:])
 	s.Enabled = flags&1 != 0
 	s.savedValid = flags&2 != 0
+	s.Gen++
 }

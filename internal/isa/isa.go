@@ -137,6 +137,10 @@ const (
 	opCount // sentinel
 )
 
+// OpCount is the number of defined opcodes; per-opcode lookup tables (e.g.
+// the interpreter's precomputed cost table) are sized by it.
+const OpCount = int(opCount)
+
 var opNames = [...]string{
 	OpNop: "nop", OpHalt: "halt",
 	OpMovImm: "movi", OpMov: "mov",

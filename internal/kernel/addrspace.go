@@ -71,7 +71,18 @@ type AddressSpace struct {
 	// memory accesses are heavily local, and this keeps the per-access
 	// check cheap.
 	lastHit int
+
+	// gen counts mapping mutations (map, mprotect, munmap). Access-decision
+	// caches above the MMU (the interpreter's data-translation cache) tag
+	// entries with it and flush on any mismatch, so a protection change can
+	// never leave a stale permission decision live.
+	gen uint64
 }
+
+// Gen returns the mapping-mutation generation. It changes whenever a VMA is
+// added, removed, or reprotected; it does not change on madvise discards,
+// which keep mappings and protections.
+func (as *AddressSpace) Gen() uint64 { return as.gen }
 
 // NewAddressSpace returns an empty address space over fresh memory. The
 // top page of the user address space is left unallocated: the execution
@@ -136,6 +147,7 @@ func (as *AddressSpace) insert(v vma) {
 	copy(as.vmas[i+1:], as.vmas[i:])
 	as.vmas[i] = v
 	as.lastHit = 0
+	as.gen++
 }
 
 // overlaps reports whether [start, start+length) intersects any VMA.
@@ -273,6 +285,7 @@ func (as *AddressSpace) Protect(addr, length uint64, prot Prot) (pages uint64, e
 		as.vmas[k].prot = prot
 	}
 	as.coalesce()
+	as.gen++
 	return length / OSPageSize, nil
 }
 
@@ -288,6 +301,7 @@ func (as *AddressSpace) Unmap(addr, length uint64) (pages uint64, err error) {
 	as.reservedBytes -= length
 	as.Mem.Zero(addr, length)
 	as.lastHit = 0
+	as.gen++
 	return length / OSPageSize, nil
 }
 

@@ -10,6 +10,7 @@ type Cache struct {
 	name     string
 	lineBits uint
 	sets     uint64
+	setMask  uint64 // sets-1 when sets is a power of two, else 0
 	ways     int
 	// lines[set] is an LRU-ordered list of tags, most recent first.
 	lines [][]uint64
@@ -33,18 +34,29 @@ func NewCache(name string, size, ways, lineSize int) *Cache {
 	}
 	sets := uint64(size / (ways * lineSize))
 	c := &Cache{name: name, lineBits: lineBits, sets: sets, ways: ways}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
 	c.lines = make([][]uint64, sets)
 	return c
 }
 
-func (c *Cache) set(addr uint64) uint64 { return (addr >> c.lineBits) % c.sets }
+// set maps a tag to its set index. Power-of-two geometries (all the default
+// ones) use a mask; anything else pays the modulo.
+func (c *Cache) set(tag uint64) uint64 {
+	if m := c.setMask; m != 0 {
+		return tag & m
+	}
+	return tag % c.sets
+}
+
 func (c *Cache) tag(addr uint64) uint64 { return addr >> c.lineBits }
 
 // Lookup reports whether addr hits without updating replacement state or
 // counters. Used by probes that must not perturb the cache.
 func (c *Cache) Lookup(addr uint64) bool {
 	tag := c.tag(addr)
-	for _, t := range c.lines[c.set(addr)] {
+	for _, t := range c.lines[c.set(tag)] {
 		if t == tag {
 			return true
 		}
@@ -54,14 +66,25 @@ func (c *Cache) Lookup(addr uint64) bool {
 
 // Access performs a cache access for addr: on a hit the line moves to MRU
 // position; on a miss the line is filled, evicting LRU if the set is full.
-// It reports whether the access hit.
+// It reports whether the access hit. The MRU slot is checked before anything
+// else: re-touching the hottest line — the overwhelmingly common case in
+// loops — is already in MRU position, so the hit needs no reordering.
 func (c *Cache) Access(addr uint64) bool {
-	s := c.set(addr)
-	tag := c.tag(addr)
+	tag := addr >> c.lineBits
+	if set := c.lines[c.set(tag)]; len(set) > 0 && set[0] == tag {
+		c.hits++
+		return true
+	}
+	return c.accessSlow(tag)
+}
+
+// accessSlow handles the non-MRU cases: a hit deeper in the LRU list (moved
+// to front) or a miss (fill, evicting LRU if the set is full).
+func (c *Cache) accessSlow(tag uint64) bool {
+	s := c.set(tag)
 	set := c.lines[s]
-	for i, t := range set {
-		if t == tag {
-			// Move to front (MRU).
+	for i := 1; i < len(set); i++ {
+		if set[i] == tag {
 			copy(set[1:i+1], set[:i])
 			set[0] = tag
 			c.hits++
@@ -80,8 +103,8 @@ func (c *Cache) Access(addr uint64) bool {
 
 // Flush evicts the line containing addr if present (clflush).
 func (c *Cache) Flush(addr uint64) {
-	s := c.set(addr)
 	tag := c.tag(addr)
+	s := c.set(tag)
 	set := c.lines[s]
 	for i, t := range set {
 		if t == tag {
@@ -127,11 +150,20 @@ func NewTLB(entries int, pageBits uint) *TLB {
 }
 
 // Access looks up the translation for addr, filling on miss. It reports
-// whether the lookup hit.
+// whether the lookup hit. Like Cache.Access, the MRU entry is checked first
+// so repeated touches of the hot page cost one compare.
 func (t *TLB) Access(addr uint64) bool {
 	vpn := addr >> t.pageBits
-	for i, e := range t.order {
-		if e == vpn {
+	if o := t.order; len(o) > 0 && o[0] == vpn {
+		t.hits++
+		return true
+	}
+	return t.accessSlow(vpn)
+}
+
+func (t *TLB) accessSlow(vpn uint64) bool {
+	for i := 1; i < len(t.order); i++ {
+		if t.order[i] == vpn {
 			copy(t.order[1:i+1], t.order[:i])
 			t.order[0] = vpn
 			t.hits++

@@ -1,0 +1,81 @@
+package mem
+
+import "testing"
+
+// TestMemoryZeroLengthRanges: length-0 Zero and ResidentIn used to compute
+// (addr+length-1)>>PageBits, which underflows at addr 0 and, for ResidentIn,
+// turned the empty range into the whole address space.
+func TestMemoryZeroLengthRanges(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 8, 0xdead)
+	m.Write(0, 8, 0xbeef)
+
+	if got := m.ResidentIn(0, 0); got != 0 {
+		t.Fatalf("ResidentIn(0, 0) = %d, want 0", got)
+	}
+	if got := m.ResidentIn(0x1000, 0); got != 0 {
+		t.Fatalf("ResidentIn(0x1000, 0) = %d, want 0", got)
+	}
+
+	m.Zero(0, 0)
+	m.Zero(0x1000, 0)
+	if got := m.Read(0, 8); got != 0xbeef {
+		t.Fatalf("after Zero(0,0): mem[0] = %#x, want 0xbeef", got)
+	}
+	if got := m.Read(0x1000, 8); got != 0xdead {
+		t.Fatalf("after Zero(0x1000,0): mem[0x1000] = %#x, want 0xdead", got)
+	}
+}
+
+// TestMemoryReadAfterZero: Zero deletes backing pages, so the last-page
+// cache must not serve a discarded page.
+func TestMemoryReadAfterZero(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x2000, 8, 0x1234)
+	if got := m.Read(0x2000, 8); got != 0x1234 {
+		t.Fatalf("pre-zero read = %#x", got)
+	}
+	m.Zero(0x2000, PageSize)
+	if got := m.Read(0x2000, 8); got != 0 {
+		t.Fatalf("post-zero read = %#x, want 0 (stale page cache?)", got)
+	}
+	if m.PageResident(0x2000) {
+		t.Fatal("page still resident after Zero")
+	}
+	// Writing again must materialize a fresh page, not resurrect the old.
+	m.Write(0x2000, 4, 0x55)
+	if got := m.Read(0x2000, 8); got != 0x55 {
+		t.Fatalf("rewrite read = %#x, want 0x55", got)
+	}
+}
+
+// TestMemoryPageStraddle: accesses crossing a backing-page boundary must
+// take the multi-page path and still round-trip little-endian.
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	for _, size := range []uint8{2, 4, 8} {
+		addr := uint64(2*PageSize) - uint64(size)/2 // straddles the boundary
+		want := uint64(0x1122334455667788) >> (64 - 8*uint(size))
+		m.Write(addr, size, want)
+		if got := m.Read(addr, size); got != want {
+			t.Fatalf("size %d straddle at %#x: got %#x, want %#x", size, addr, got, want)
+		}
+		// The halves landed on the right pages.
+		lo := m.Read(addr, uint8(uint64(size)/2))
+		if want&((1<<(8*uint64(size)/2))-1) != lo {
+			t.Fatalf("size %d straddle low half = %#x", size, lo)
+		}
+	}
+}
+
+// TestMemoryUnmappedReads: reads of never-written locations return zero on
+// both the single-page fast path and the straddle path.
+func TestMemoryUnmappedReads(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read(0x5000, 8); got != 0 {
+		t.Fatalf("unmapped aligned read = %#x", got)
+	}
+	if got := m.Read(2*PageSize-4, 8); got != 0 {
+		t.Fatalf("unmapped straddle read = %#x", got)
+	}
+}

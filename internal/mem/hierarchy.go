@@ -44,6 +44,27 @@ func NewHierarchy() *Hierarchy {
 // timing simulator calls this for loads that may later be squashed, which
 // is exactly the behaviour the Spectre experiments rely on.
 func (h *Hierarchy) LoadLatency(addr uint64) int {
+	// Fast path: MRU hit in both the dTLB and the L1D — the steady state
+	// of any loop touching one hot page. Re-touching the MRU entry leaves
+	// replacement order unchanged, so only the hit counters move; every
+	// other case falls through to the full access walk. The masked set
+	// index is only meaningful for power-of-two geometries, but a wrong
+	// set can never produce a false hit: tags are full-address tags and
+	// are only ever stored in their own set's list.
+	d, c := h.DTB, h.L1D
+	vpn := addr >> d.pageBits
+	if o := d.order; len(o) > 0 && o[0] == vpn {
+		tag := addr >> c.lineBits
+		if set := c.lines[tag&c.setMask]; len(set) > 0 && set[0] == tag {
+			d.hits++
+			c.hits++
+			return h.Lat.TLBHit + h.Lat.L1
+		}
+	}
+	return h.loadLatencySlow(addr)
+}
+
+func (h *Hierarchy) loadLatencySlow(addr uint64) int {
 	lat := 0
 	if !h.DTB.Access(addr) {
 		lat += h.Lat.Walk

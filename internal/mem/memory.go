@@ -21,6 +21,13 @@ const PageSize = 1 << PageBits
 // concurrency safe; each simulated core owns its accesses.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// Last-page cache: guest accesses are heavily local, so most page
+	// lookups hit the page of the previous access. lastPg is nil until the
+	// first lookup and after Zero discards pages (Zero may delete the
+	// cached page, so it drops the whole cache rather than track which).
+	lastIdx uint64
+	lastPg  *[PageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -30,10 +37,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
 	idx := addr >> PageBits
+	if p := m.lastPg; p != nil && idx == m.lastIdx {
+		return p
+	}
 	p := m.pages[idx]
 	if p == nil && create {
 		p = new([PageSize]byte)
 		m.pages[idx] = p
+	}
+	if p != nil {
+		m.lastIdx, m.lastPg = idx, p
 	}
 	return p
 }
@@ -53,25 +66,62 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 }
 
 // Read returns size bytes starting at addr as a little-endian unsigned
-// integer. size must be 1, 2, 4 or 8.
+// integer. size must be 1, 2, 4 or 8. Accesses contained in one page — the
+// overwhelmingly common case on the interpreter hot path — decode straight
+// out of the backing page with no intermediate buffer; only accesses that
+// straddle a page boundary take the ReadBytes assembly path.
 func (m *Memory) Read(addr uint64, size uint8) uint64 {
-	var buf [8]byte
-	m.ReadBytes(addr, buf[:size])
-	switch size {
-	case 1:
-		return uint64(buf[0])
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(buf[:2]))
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(buf[:4]))
-	case 8:
-		return binary.LittleEndian.Uint64(buf[:8])
+	if off := addr & (PageSize - 1); off+uint64(size) <= PageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			if size == 1 || size == 2 || size == 4 || size == 8 {
+				return 0 // demand-zero page
+			}
+		} else {
+			switch size {
+			case 1:
+				return uint64(p[off])
+			case 2:
+				return uint64(binary.LittleEndian.Uint16(p[off:]))
+			case 4:
+				return uint64(binary.LittleEndian.Uint32(p[off:]))
+			case 8:
+				return binary.LittleEndian.Uint64(p[off:])
+			}
+		}
+		panic(fmt.Sprintf("mem: invalid read size %d", size))
 	}
-	panic(fmt.Sprintf("mem: invalid read size %d", size))
+	var buf [8]byte
+	switch size {
+	case 1, 2, 4, 8:
+		m.ReadBytes(addr, buf[:size])
+	default:
+		panic(fmt.Sprintf("mem: invalid read size %d", size))
+	}
+	return binary.LittleEndian.Uint64(buf[:])
 }
 
-// Write stores the low size bytes of v at addr, little-endian.
+// Write stores the low size bytes of v at addr, little-endian. Like Read,
+// single-page accesses encode directly into the backing page.
 func (m *Memory) Write(addr uint64, size uint8, v uint64) {
+	if off := addr & (PageSize - 1); off+uint64(size) <= PageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+		panic(fmt.Sprintf("mem: invalid write size %d", size))
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	switch size {
@@ -121,6 +171,10 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 // larger than the resident set it walks the page table instead of the
 // range, so discarding huge sparse reservations is O(resident).
 func (m *Memory) Zero(addr, length uint64) {
+	if length == 0 {
+		return // also avoids (end-1) underflow below when addr is 0
+	}
+	m.lastPg = nil // may delete the cached page; drop the whole cache
 	end := addr + length
 	if length/PageSize > uint64(len(m.pages))+2 {
 		lo, hi := addr>>PageBits, (end-1)>>PageBits
@@ -166,6 +220,9 @@ func (m *Memory) Zero(addr, length uint64) {
 // ResidentIn counts the resident bytes inside [addr, addr+length),
 // walking the page table (O(resident), not O(range)).
 func (m *Memory) ResidentIn(addr, length uint64) uint64 {
+	if length == 0 {
+		return 0 // (addr+length-1) would underflow for addr == 0
+	}
 	lo, hi := addr>>PageBits, (addr+length-1)>>PageBits
 	var n uint64
 	if uint64(len(m.pages)) < hi-lo {

@@ -1,0 +1,129 @@
+package sandbox
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// CodeCache shares compiled, verified code images across runtimes. A FaaS
+// host provisions the same tenant module many times — once per pooled
+// instance per worker — and every provision repeats two compilations: a
+// throwaway layout probe to learn the code size, then the real compile
+// against the instance's addresses. Both are deterministic functions of
+// their inputs, and a fresh Runtime allocates identical layouts for
+// identical (module, scheme, options), so provisions after the first can
+// reuse the first's work.
+//
+// Sharing is sound because a Compiled image is immutable once built: the
+// engines only read Program.Instrs, and instance state (heap, globals,
+// region tables) lives in per-machine memory, never in the image. The real
+// compile runs the static safety verifier before the image enters the
+// cache, so every runtime that shares it shares a *verified* image keyed by
+// the exact layout it was verified against; a runtime whose allocator
+// produced different addresses misses and compiles (and verifies) its own.
+//
+// CodeCache is safe for concurrent use. The lock is held across compiles so
+// a key is compiled at most once no matter how many workers race to
+// provision the same tenant.
+type CodeCache struct {
+	mu     sync.Mutex
+	sizes  map[sizeKey]uint64
+	images map[imageKey]*wasm.Compiled
+
+	hits, misses uint64
+}
+
+// sizeKey identifies a layout probe: code size depends on the module, the
+// scheme, and the compile options, but not on the layout addresses.
+type sizeKey struct {
+	mod    *wasm.Module
+	scheme sfi.Scheme
+	opts   wasm.Options
+}
+
+// imageKey identifies a full compilation: the probe inputs plus the layout
+// geometry the immediates were linked against. Layout holds a slice
+// (ExtraMemBases) so it cannot be a map key directly; lay is its rendered
+// fingerprint.
+type imageKey struct {
+	sizeKey
+	lay string
+}
+
+func layoutFingerprint(lay wasm.Layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%x h%x s%x+%x g%x", lay.CodeBase, lay.HeapBase, lay.StackBase, lay.StackSize, lay.GlobalBase)
+	for _, base := range lay.ExtraMemBases {
+		fmt.Fprintf(&b, " e%x", base)
+	}
+	return b.String()
+}
+
+// normalizeOpts canonicalizes options for keying: NoVerify changes what
+// work is done, not what code is produced, so probe and real compiles of
+// the same module share probe results.
+func normalizeOpts(opts wasm.Options) wasm.Options {
+	opts.NoVerify = false
+	return opts
+}
+
+// NewCodeCache returns an empty cache.
+func NewCodeCache() *CodeCache {
+	return &CodeCache{
+		sizes:  make(map[sizeKey]uint64),
+		images: make(map[imageKey]*wasm.Compiled),
+	}
+}
+
+// probeSize returns the code size (in bytes, excluding springboard slots)
+// of mod compiled under scheme/opts, running the throwaway layout probe on
+// the first request for a key and answering later ones from the cache.
+func (cc *CodeCache) probeSize(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Options) (uint64, error) {
+	k := sizeKey{mod: mod, scheme: scheme, opts: normalizeOpts(opts)}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if size, ok := cc.sizes[k]; ok {
+		return size, nil
+	}
+	popts := opts
+	popts.NoVerify = true
+	probe, err := wasm.Compile(mod, scheme, probeLayout, popts)
+	if err != nil {
+		return 0, err
+	}
+	cc.sizes[k] = probe.Prog.Size()
+	return probe.Prog.Size(), nil
+}
+
+// compile returns the verified image for (mod, scheme, lay, opts), sharing
+// one compilation across every caller with the same key.
+func (cc *CodeCache) compile(mod *wasm.Module, scheme sfi.Scheme, lay wasm.Layout, opts wasm.Options) (*wasm.Compiled, error) {
+	k := imageKey{
+		sizeKey: sizeKey{mod: mod, scheme: scheme, opts: normalizeOpts(opts)},
+		lay:     layoutFingerprint(lay),
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.images[k]; ok {
+		cc.hits++
+		return c, nil
+	}
+	cc.misses++
+	c, err := wasm.Compile(mod, scheme, lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	cc.images[k] = c
+	return c, nil
+}
+
+// Stats reports image-cache hits and misses (probe lookups excluded).
+func (cc *CodeCache) Stats() (hits, misses uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}

@@ -1,0 +1,90 @@
+package sandbox
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// runSnapshot captures everything observable about a finished run. Two runs
+// that differ only in whether the interpreter used its fast paths must
+// produce byte-identical snapshots.
+type runSnapshot struct {
+	reason    cpu.StopReason
+	result    uint64
+	regs      [isa.NumRegs]uint64
+	instret   uint64
+	cycles    uint64
+	clockNs   uint64
+	heapHash  uint64
+	checksD   uint64 // HFI data checks, the fast path's preserved counter
+	checksC   uint64
+	hfiFaults uint64
+}
+
+func hashBytes(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// TestDifferentialFastPathCorpus runs the full Sightglass corpus under the
+// HFI and guard-page schemes with the interpreter fast paths on and off,
+// and asserts identical architectural outcomes: stop reason, result,
+// registers, retired instructions, cycle counts, simulated clock, heap
+// image, and HFI check counters. The fast paths are pure caching — any
+// divergence here is a bug in their invalidation.
+func TestDifferentialFastPathCorpus(t *testing.T) {
+	wls := workloads.Sightglass()
+	if testing.Short() {
+		wls = wls[:4]
+	}
+	for _, w := range wls {
+		for _, scheme := range []sfi.Scheme{sfi.HFI, sfi.GuardPages} {
+			var want runSnapshot
+			for _, noFast := range []bool{false, true} {
+				rt := NewRuntime()
+				inst, err := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", w.Name, scheme, err)
+				}
+				ip := cpu.NewInterp(rt.M)
+				ip.NoFastPath = noFast
+				res, r0 := inst.Invoke(ip, 500_000_000)
+				if res.Reason != cpu.StopHalt {
+					t.Fatalf("%s/%v noFast=%v: stop = %v", w.Name, scheme, noFast, res.Reason)
+				}
+				m := rt.M
+				heap := inst.ReadHeap(0, int(uint64(inst.CurPages)*wasm.PageSize))
+				snap := runSnapshot{
+					reason:    res.Reason,
+					result:    r0,
+					regs:      m.Regs,
+					instret:   m.Instret,
+					cycles:    m.Cycles,
+					clockNs:   m.Kern.Clock.Now(),
+					heapHash:  hashBytes(heap),
+					checksD:   m.HFI.ChecksData,
+					checksC:   m.HFI.ChecksCode,
+					hfiFaults: m.HFI.Faults,
+				}
+				if !noFast {
+					want = snap
+				} else if snap != want {
+					t.Fatalf("%s/%v: fast/slow divergence:\nfast: %+v\nslow: %+v", w.Name, scheme, want, snap)
+				}
+			}
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Runtime struct {
 	// "Lucet+HFI using native sandbox" configuration.
 	WrapNative bool
 
+	// Images, when non-nil, shares compiled code images (and layout-probe
+	// results) with other runtimes through a CodeCache: instantiating the
+	// same module with the same scheme, options, and resulting layout
+	// reuses one verified immutable image instead of recompiling.
+	Images *CodeCache
+
 	instances []*Instance
 }
 
@@ -80,6 +86,10 @@ type Instance struct {
 
 const auxGlobals = 0 // globals at the base of the aux block
 
+// probeLayout is the throwaway layout used by code-size probe compilations;
+// the probe is never executed, only measured.
+var probeLayout = wasm.Layout{CodeBase: 0x10000, StackBase: 0x20000, StackSize: 0x1000, GlobalBase: 0x30000, HeapBase: 0x40000}
+
 // nextPow2 rounds up to a power of two.
 func nextPow2(v uint64) uint64 {
 	p := uint64(1)
@@ -99,16 +109,26 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 	// First compilation with a throwaway layout to learn the code size
 	// (code size is layout-independent; only immediates change). The probe
 	// is never executed, so it skips verification; the real compilation
-	// below is verified against the real layout.
-	popts := opts
-	popts.NoVerify = true
-	probe, err := wasm.Compile(mod, scheme, wasm.Layout{CodeBase: 0x10000, StackBase: 0x20000, StackSize: 0x1000, GlobalBase: 0x30000, HeapBase: 0x40000}, popts)
-	if err != nil {
-		return nil, err
+	// below is verified against the real layout. A shared CodeCache
+	// answers repeat probes without compiling.
+	var progSize uint64
+	if rt.Images != nil {
+		var err error
+		if progSize, err = rt.Images.probeSize(mod, scheme, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		popts := opts
+		popts.NoVerify = true
+		probe, err := wasm.Compile(mod, scheme, probeLayout, popts)
+		if err != nil {
+			return nil, err
+		}
+		progSize = probe.Prog.Size()
 	}
 
 	const springSlots = 16 // reserved instruction slots for the springboard
-	codeSize := probe.Prog.Size() + springSlots*isa.InstrBytes
+	codeSize := progSize + springSlots*isa.InstrBytes
 	codeBlock := nextPow2(codeSize)
 	if codeBlock < kernel.OSPageSize {
 		codeBlock = kernel.OSPageSize
@@ -210,7 +230,12 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		StackSize:  stackSize,
 	}
 	lay.ExtraMemBases = extraBases
-	c, err := wasm.Compile(mod, scheme, lay, opts)
+	var c *wasm.Compiled
+	if rt.Images != nil {
+		c, err = rt.Images.compile(mod, scheme, lay, opts)
+	} else {
+		c, err = wasm.Compile(mod, scheme, lay, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

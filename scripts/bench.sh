@@ -1,0 +1,55 @@
+#!/bin/sh
+# scripts/bench.sh — the performance snapshot behind `make bench`.
+#
+# Runs the interpreter hot-loop microbenchmarks and the hfibench `micro`
+# experiment (wasm-workload throughput + shared-image provisioning cost) and
+# records everything machine-readable in BENCH_PR3.json, alongside the
+# pre-PR baseline so the speedup is visible without checking out history.
+#
+# The script fails if the hot-loop benchmark reports any allocations; the
+# same invariant is enforced as a plain test (TestInterpHotLoopZeroAllocs)
+# so `make verify` catches regressions without running benchmarks.
+set -e
+cd "$(dirname "$0")/.."
+
+# Pre-PR baseline: BenchmarkInterpMemKernel's harness run on a worktree at
+# the parent commit of this PR (same machine class, -benchtime 2s -count 5).
+BASELINE_MEDIAN5=50899953
+BASELINE_BEST5=56314544
+
+echo "== interpreter microbenchmarks (count=5) =="
+out=$(go test -run '^$' -bench 'BenchmarkInterpMemKernel' -benchmem -benchtime 2s -count 5 ./internal/cpu/)
+echo "$out" | grep -E 'Benchmark|^ok'
+
+fast_median=$(echo "$out" | awk '/^BenchmarkInterpMemKernel / {print $5}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+slow_median=$(echo "$out" | awk '/^BenchmarkInterpMemKernelNoFastPath/ {print $5}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+allocs=$(echo "$out" | awk '/^BenchmarkInterpMemKernel/ {print $9}' | sort -n | tail -1)
+
+if [ "$allocs" != "0" ]; then
+    echo "bench.sh: FAIL: interpreter hot loop reports $allocs allocs/op (want 0)" >&2
+    exit 1
+fi
+
+speedup=$(awk "BEGIN {printf \"%.2f\", $fast_median / $BASELINE_MEDIAN5}")
+echo "interp fast-path median: $fast_median instrs/s ($speedup x pre-PR baseline $BASELINE_MEDIAN5)"
+
+echo "== hfibench -exp micro =="
+micro=$(go run ./cmd/hfibench -exp micro -json)
+
+{
+    printf '{\n'
+    printf '  "baseline_pre_pr": {\n'
+    printf '    "benchmark": "BenchmarkInterpMemKernel harness on a worktree at the parent commit (-benchtime 2s -count 5)",\n'
+    printf '    "interp_instrs_per_sec_median5": %s,\n' "$BASELINE_MEDIAN5"
+    printf '    "interp_instrs_per_sec_best5": %s\n' "$BASELINE_BEST5"
+    printf '  },\n'
+    printf '  "interp_microbench": {\n'
+    printf '    "fast_instrs_per_sec_median5": %s,\n' "$fast_median"
+    printf '    "nofastpath_instrs_per_sec_median5": %s,\n' "$slow_median"
+    printf '    "allocs_per_op": %s,\n' "$allocs"
+    printf '    "speedup_vs_baseline": %s\n' "$speedup"
+    printf '  },\n'
+    printf '  "hfibench_micro": %s\n' "$micro"
+    printf '}\n'
+} > BENCH_PR3.json
+echo "wrote BENCH_PR3.json"
