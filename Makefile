@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test race vet verify verifier bench benchfull serve
+.PHONY: build test race vet verify verifier bench benchfull serve soak chaos
 
 build:
 	go build ./...
@@ -36,3 +36,13 @@ benchfull:
 # Throughput-vs-workers scaling demo with checksum verification.
 serve:
 	go run ./cmd/hfiserve -requests 200 -verify
+
+# Short seeded chaos soak under the race detector (~15s): deterministic
+# fault schedule run twice, exact outcome conservation, per-tenant
+# fairness under a hot-tenant flood, bounded pools. Part of `make verify`.
+soak:
+	go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
+
+# Chaos-injected serving demo with the per-tenant outcome breakdown.
+chaos:
+	go run ./cmd/hfiserve -requests 200 -chaos -seed 7 -dispatch 500us

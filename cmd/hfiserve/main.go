@@ -10,9 +10,20 @@
 //	hfiserve -policy shed -queue 8     # shed instead of blocking when full
 //	hfiserve -fuel 200000              # per-request instruction budget
 //	hfiserve -verify                   # also check checksums vs single-threaded
+//	hfiserve -chaos -seed 7            # deterministic fault injection (internal/chaos)
+//	hfiserve -tenant-weights templated-html=4,xml-to-json=1
+//	                                   # per-tenant DRR weights
+//	hfiserve -chaos -json              # machine-readable report (echoes the seed)
+//
+// With -chaos the run exercises the robustness machinery: provisioning
+// retries, per-tenant circuit breakers, instance quarantine with verified
+// reset, and bounded warm pools; the per-tenant outcome breakdown is
+// printed after the scaling table. The same -seed always injects the same
+// fault schedule.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,23 +33,50 @@ import (
 	"strings"
 	"time"
 
+	"hfi/internal/chaos"
 	"hfi/internal/host"
 	"hfi/internal/stats"
 )
+
+// runReport is one worker-count run in the -json output.
+type runReport struct {
+	Workers  int                   `json:"workers"`
+	Summary  stats.ServeSummary    `json:"summary"`
+	Tenants  []stats.TenantSummary `json:"tenants"`
+	Counters host.Counters         `json:"counters"`
+	Chaos    *chaos.Summary        `json:"chaos,omitempty"`
+	Elapsed  float64               `json:"elapsed_s"`
+}
+
+// report is the full -json document. Seed is echoed so a saved report can
+// always be reproduced: the same seed yields the same load schedule and,
+// under -chaos, the same fault schedule.
+type report struct {
+	Seed   int64       `json:"seed"`
+	Mode   string      `json:"mode"`
+	Policy string      `json:"policy"`
+	Chaos  bool        `json:"chaos"`
+	Runs   []runReport `json:"runs"`
+}
 
 func main() {
 	var (
 		requests = flag.Int("requests", 400, "requests per worker-count run")
 		workers  = flag.String("workers", "1,2,4", "comma-separated worker counts (GOMAXPROCS is always included)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+		queue    = flag.Int("queue", 0, "admission queue depth per tenant (0 = 2x workers)")
 		policy   = flag.String("policy", "block", "backpressure policy: block | shed")
 		fuel     = flag.Uint64("fuel", 0, "per-request instruction budget (0 = unlimited)")
 		mode     = flag.String("mode", "closed", "load generator: closed | open")
 		clients  = flag.Int("clients", 0, "closed-loop clients (0 = 2x workers)")
 		rate     = flag.Float64("rate", 800, "open-loop arrival rate, req/s")
 		dispatch = flag.Duration("dispatch", 2*time.Millisecond, "wall-clock per-request dispatch overhead")
-		seed     = flag.Int64("seed", 1, "load schedule seed")
+		seed     = flag.Int64("seed", 1, "load (and chaos) schedule seed")
 		verify   = flag.Bool("verify", false, "verify checksums against a single-threaded reference run")
+		chaosOn  = flag.Bool("chaos", false, "inject deterministic faults (seeded by -seed)")
+		weights  = flag.String("tenant-weights", "", "per-tenant DRR weights, e.g. templated-html=4,xml-to-json=1")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report (includes the seed)")
+		poolCap  = flag.Int("pool", 0, "warm-instance pool cap per worker (0 = unbounded)")
+		breakWin = flag.Int("breaker-window", 0, "circuit-breaker outcome window per tenant (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -58,14 +96,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hfiserve:", err)
 		os.Exit(2)
 	}
+	tenants, err := parseTenantWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfiserve:", err)
+		os.Exit(2)
+	}
 
 	mix := host.DefaultMix()
 	// Checksum comparison needs every request to execute exactly once:
-	// shedding drops requests and fuel starvation turns them into timeouts,
-	// so verification only makes sense under PolicyBlock with unlimited fuel.
-	verifiable := *verify && pol == host.PolicyBlock && *fuel == 0
+	// shedding drops requests, fuel starvation turns them into timeouts, and
+	// chaos faults some on purpose, so verification only makes sense under
+	// PolicyBlock with unlimited fuel and no injection.
+	verifiable := *verify && pol == host.PolicyBlock && *fuel == 0 && !*chaosOn
 	if *verify && !verifiable {
-		fmt.Fprintln(os.Stderr, "hfiserve: -verify requires -policy block and -fuel 0 (requests must not shed or time out)")
+		fmt.Fprintln(os.Stderr, "hfiserve: -verify requires -policy block, -fuel 0, and no -chaos (requests must not shed, time out, or fault)")
 		os.Exit(2)
 	}
 	var ref uint64
@@ -78,13 +122,27 @@ func main() {
 
 	tb := &stats.Table{
 		Title:   fmt.Sprintf("throughput vs workers (%s loop, %d requests, policy %s)", *mode, *requests, pol),
-		Columns: []string{"workers", "req/s", "p50", "p99", "p99.9", "shed%", "timeouts", "speedup"},
+		Columns: []string{"workers", "req/s", "p50", "p99", "p99.9", "shed%", "timeouts", "faults", "speedup"},
 	}
+	rep := report{Seed: *seed, Mode: *mode, Policy: pol.String(), Chaos: *chaosOn}
 	var base float64
+	var lastTenants []stats.TenantSummary
 	for _, w := range counts {
+		var inj *chaos.Injector
+		if *chaosOn {
+			// A fresh injector per run so the per-run fault summary is
+			// attributable; decisions depend only on (seed, tenant, seq), so
+			// every run still sees the same fault schedule.
+			inj = chaos.Default(*seed)
+		}
 		s := host.New(host.Config{
 			Workers: w, QueueDepth: *queue, Policy: pol,
 			Fuel: *fuel, DispatchWall: *dispatch,
+			Tenants: tenants,
+			Retry:   host.RetryConfig{Max: 2},
+			Breaker: host.BreakerConfig{Window: *breakWin},
+			Pool:    host.PoolConfig{Cap: *poolCap},
+			Chaos:   inj, Seed: *seed,
 		})
 		var res host.LoadResult
 		if *mode == "open" {
@@ -108,8 +166,19 @@ func main() {
 			stats.Ns(sum.P50Ns), stats.Ns(sum.P99Ns), stats.Ns(sum.P999Ns),
 			fmt.Sprintf("%.1f", sum.ShedRate*100),
 			strconv.FormatUint(sum.Timeouts, 10),
+			strconv.FormatUint(sum.Faults, 10),
 			fmt.Sprintf("%.2fx", sum.ThroughputRPS/base),
 		)
+		lastTenants = s.TenantSummaries()
+		rr := runReport{
+			Workers: w, Summary: sum, Tenants: lastTenants,
+			Counters: s.Counters(), Elapsed: res.Elapsed.Seconds(),
+		}
+		if inj != nil {
+			cs := inj.Snapshot()
+			rr.Chaos = &cs
+		}
+		rep.Runs = append(rep.Runs, rr)
 		if verifiable {
 			if res.Checksum != ref {
 				fmt.Fprintf(os.Stderr, "hfiserve: %d workers: checksum %#x != single-threaded reference %#x\n", w, res.Checksum, ref)
@@ -117,11 +186,46 @@ func main() {
 			}
 		}
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	tb.AddNote("GOMAXPROCS=%d; dispatch overhead %v wall per request", runtime.GOMAXPROCS(0), *dispatch)
+	if *chaosOn {
+		tb.AddNote("chaos injection on, seed %d (same seed ⇒ same fault schedule)", *seed)
+	}
 	if verifiable {
 		tb.AddNote("checksums verified against single-threaded reference (%#x)", ref)
 	}
 	fmt.Println(tb)
+
+	// Per-tenant breakdown (largest worker count) whenever fairness or
+	// fault machinery is in play.
+	if (*chaosOn || *weights != "") && len(lastTenants) > 0 {
+		ttb := &stats.Table{
+			Title:   fmt.Sprintf("per-tenant outcomes (%d workers)", counts[len(counts)-1]),
+			Columns: []string{"tenant", "ok", "timeouts", "faults", "shed", "rejected", "p50", "p99"},
+		}
+		for _, ts := range lastTenants {
+			ttb.AddRow(
+				ts.Tenant,
+				strconv.FormatUint(ts.OK, 10),
+				strconv.FormatUint(ts.Timeouts, 10),
+				strconv.FormatUint(ts.Faults, 10),
+				strconv.FormatUint(ts.Shed, 10),
+				strconv.FormatUint(ts.Rejected, 10),
+				stats.Ns(ts.P50Ns), stats.Ns(ts.P99Ns),
+			)
+		}
+		fmt.Println(ttb)
+	}
 }
 
 // parseWorkers parses the -workers list, appends GOMAXPROCS, and
@@ -145,4 +249,28 @@ func parseWorkers(list string) ([]int, error) {
 	}
 	sort.Ints(counts)
 	return counts, nil
+}
+
+// parseTenantWeights parses "name=weight,..." into per-tenant policies.
+func parseTenantWeights(list string) (map[string]host.TenantPolicy, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	m := make(map[string]host.TenantPolicy)
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight in %q (want a positive integer)", part)
+		}
+		m[strings.TrimSpace(name)] = host.TenantPolicy{Weight: w}
+	}
+	return m, nil
 }

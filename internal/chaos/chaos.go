@@ -1,0 +1,302 @@
+// Package chaos is a deterministic, seeded fault injector for the serving
+// layer (internal/host). It exists to answer the question the happy-path
+// demo never asks: what happens when provisioning fails transiently, a
+// guest traps mid-request, a worker stalls, or a faulted instance comes
+// back with state its Reset failed to clear?
+//
+// Every decision is a pure function of (seed, fault class, tenant, seq) —
+// an FNV-1a hash, not a sequential PRNG draw — so the fault schedule is
+// identical no matter how goroutines interleave. That is what makes
+// chaos soaks reproducible: the same seed yields the same set of trapped,
+// starved, and rejected requests on every run, on every machine, under any
+// worker count (the reproducibility discipline the gem5 refresh argues
+// robustness experiments need). Decision methods are nil-safe: a nil
+// *Injector injects nothing, so the host's hot path carries no
+// chaos-enabled branch.
+//
+// The injector covers the seams the host already has:
+//
+//   - Provision/ProvisionShared errors — ProvisionError fails the first
+//     k(tenant) attempts of every provisioning call with a transient error
+//     (retryable; see faas.IsTransient), exercising the host's
+//     backoff-and-retry path.
+//   - Admission-time verifier rejections — RejectAtAdmission refuses a
+//     deterministic subset of requests before they touch a sandbox,
+//     exercising the StatusRejected taxonomy.
+//   - Guest traps — Trap marks requests that abort mid-run with a fault
+//     and mid-request garbage in the heap, exercising quarantine + Reset.
+//   - Fuel exhaustion — StarveFuel shrinks the instruction budget so the
+//     request genuinely stops with cpu.StopLimit (the timeout path).
+//   - Worker slowdowns — SlowDown adds wall latency to a request's
+//     dispatch, exercising queueing, backpressure, and fairness.
+//   - Poisoned instances — Poison marks faults whose instance keeps
+//     corrupted state even after Reset, exercising the host's verified
+//     reset (heap-hash check) and quarantine discard.
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Fault enumerates the injectable fault classes.
+type Fault uint8
+
+// Fault classes.
+const (
+	FaultProvision Fault = iota // transient provisioning failure
+	FaultReject                 // transient verifier rejection at admission
+	FaultTrap                   // guest trap mid-request
+	FaultFuel                   // fuel starvation (timeout path)
+	FaultSlow                   // worker slowdown
+	FaultPoison                 // post-Reset instance corruption
+	numFaults
+)
+
+var faultNames = [...]string{"provision", "reject", "trap", "fuel", "slow", "poison"}
+
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Config sets the per-class injection rates. All rates are probabilities
+// in [0, 1] evaluated per (tenant, seq) — or per tenant for provisioning.
+type Config struct {
+	Seed int64
+
+	// Provision is the fraction of tenants whose provisioning calls fail
+	// transiently; an affected tenant's calls fail the first k attempts
+	// (1 ≤ k ≤ MaxProvisionFails) and then succeed, so a host retrying at
+	// least MaxProvisionFails times always provisions eventually.
+	Provision         float64
+	MaxProvisionFails int // default 2
+
+	// Reject is the per-request probability of a transient verifier
+	// rejection at admission.
+	Reject float64
+
+	// Trap is the per-request probability of an injected guest trap.
+	Trap float64
+
+	// Fuel is the per-request probability of fuel starvation; a starved
+	// request runs with StarvedFuel instead of its configured budget.
+	Fuel        float64
+	StarvedFuel uint64 // default 64 instructions
+
+	// Slow is the per-request probability of a worker slowdown of SlowFor.
+	Slow    float64
+	SlowFor time.Duration // default 2ms
+
+	// Poison is the probability that a faulted request leaves its instance
+	// corrupted even after Reset (the incomplete-reset bug the quarantine
+	// hash check must catch).
+	Poison float64
+}
+
+// Injector makes deterministic fault decisions and counts what it injected.
+// All methods are safe for concurrent use and nil-safe (a nil injector
+// never injects).
+type Injector struct {
+	cfg    Config
+	counts [numFaults]atomic.Uint64
+}
+
+// New builds an injector from cfg, applying defaults for zero knobs.
+func New(cfg Config) *Injector {
+	if cfg.MaxProvisionFails <= 0 {
+		cfg.MaxProvisionFails = 2
+	}
+	if cfg.StarvedFuel == 0 {
+		cfg.StarvedFuel = 64
+	}
+	if cfg.SlowFor == 0 {
+		cfg.SlowFor = 2 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Default is the standard moderate-rate injector the hfiserve -chaos flag
+// and the soak tests use: every fault class active, none dominant.
+func Default(seed int64) *Injector {
+	return New(Config{
+		Seed:      seed,
+		Provision: 0.5, MaxProvisionFails: 2,
+		Reject: 0.02,
+		Trap:   0.05,
+		Fuel:   0.05,
+		Slow:   0.05, SlowFor: time.Millisecond,
+		Poison: 0.5,
+	})
+}
+
+// Seed echoes the injector's seed (for reproducibility records).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.Seed
+}
+
+// FaultError is the typed error of injected provisioning failures and
+// admission rejections. It implements Transient() so faas.IsTransient
+// classifies it as retryable.
+type FaultError struct {
+	Class   Fault
+	Tenant  string
+	Attempt int
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault (tenant %s, attempt %d)", e.Class, e.Tenant, e.Attempt)
+}
+
+// Transient marks injected faults as retryable (see faas.IsTransient).
+func (e *FaultError) Transient() bool { return true }
+
+// roll returns the deterministic uniform [0,1) draw for one decision.
+// FNV-1a over (seed, class, tenant, seq): pure, order-independent,
+// goroutine-independent.
+func (in *Injector) roll(class Fault, tenant string, seq int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for sh := 0; sh < 64; sh += 8 {
+		mix(byte(uint64(in.cfg.Seed) >> sh))
+	}
+	mix(byte(class))
+	for i := 0; i < len(tenant); i++ {
+		mix(tenant[i])
+	}
+	for sh := 0; sh < 64; sh += 8 {
+		mix(byte(uint64(seq) >> sh))
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// provisionFails returns how many consecutive attempts of tenant's
+// provisioning calls fail before one succeeds (0 for unaffected tenants).
+func (in *Injector) provisionFails(tenant string) int {
+	if in.roll(FaultProvision, tenant, 0) >= in.cfg.Provision {
+		return 0
+	}
+	// 1..MaxProvisionFails, drawn from an independent decision.
+	k := int(in.roll(FaultProvision, tenant, 1) * float64(in.cfg.MaxProvisionFails))
+	return k + 1
+}
+
+// ProvisionError fails the attempt'th try (0-based) of a provisioning call
+// for tenant, or returns nil. Affected tenants fail a fixed prefix of
+// attempts, so a host retrying ≥ MaxProvisionFails times always succeeds —
+// which keeps chaos-soak outcome counts deterministic.
+func (in *Injector) ProvisionError(tenant string, attempt int) error {
+	if in == nil || attempt >= in.provisionFails(tenant) {
+		return nil
+	}
+	in.counts[FaultProvision].Add(1)
+	return &FaultError{Class: FaultProvision, Tenant: tenant, Attempt: attempt}
+}
+
+// RejectAtAdmission returns a transient verifier-rejection error for the
+// chosen requests, nil otherwise. The host surfaces it as StatusRejected
+// without provisioning anything.
+func (in *Injector) RejectAtAdmission(tenant string, seq int) error {
+	if in == nil || in.roll(FaultReject, tenant, seq) >= in.cfg.Reject {
+		return nil
+	}
+	in.counts[FaultReject].Add(1)
+	return &FaultError{Class: FaultReject, Tenant: tenant, Attempt: seq}
+}
+
+// Trap reports whether the request aborts with an injected guest trap.
+func (in *Injector) Trap(tenant string, seq int) bool {
+	if in == nil || in.roll(FaultTrap, tenant, seq) >= in.cfg.Trap {
+		return false
+	}
+	in.counts[FaultTrap].Add(1)
+	return true
+}
+
+// StarveFuel returns the starved instruction budget for the chosen
+// requests (ok=true), forcing a genuine cpu.StopLimit timeout.
+func (in *Injector) StarveFuel(tenant string, seq int) (uint64, bool) {
+	if in == nil || in.roll(FaultFuel, tenant, seq) >= in.cfg.Fuel {
+		return 0, false
+	}
+	in.counts[FaultFuel].Add(1)
+	return in.cfg.StarvedFuel, true
+}
+
+// SlowDown returns the extra dispatch wall time injected into the request
+// (0 for most).
+func (in *Injector) SlowDown(tenant string, seq int) time.Duration {
+	if in == nil || in.roll(FaultSlow, tenant, seq) >= in.cfg.Slow {
+		return 0
+	}
+	in.counts[FaultSlow].Add(1)
+	return in.cfg.SlowFor
+}
+
+// Poison reports whether the faulted request leaves its instance corrupted
+// after Reset. Only meaningful on requests that faulted or timed out.
+func (in *Injector) Poison(tenant string, seq int) bool {
+	if in == nil || in.roll(FaultPoison, tenant, seq) >= in.cfg.Poison {
+		return false
+	}
+	in.counts[FaultPoison].Add(1)
+	return true
+}
+
+// Clean reports whether the request runs to normal completion under this
+// injector: no trap, no fuel starvation, no admission rejection. Slowdowns,
+// provisioning retries, and poisoning change timing and pool churn but not
+// the request's outcome. Reference checksum computations use this to know
+// which response bodies a chaos run must still produce bit-identically.
+func (in *Injector) Clean(tenant string, seq int) bool {
+	if in == nil {
+		return true
+	}
+	return in.roll(FaultTrap, tenant, seq) >= in.cfg.Trap &&
+		in.roll(FaultFuel, tenant, seq) >= in.cfg.Fuel &&
+		in.roll(FaultReject, tenant, seq) >= in.cfg.Reject
+}
+
+// Summary counts injected faults by class.
+type Summary struct {
+	Provision uint64 `json:"provision"`
+	Reject    uint64 `json:"reject"`
+	Trap      uint64 `json:"trap"`
+	Fuel      uint64 `json:"fuel"`
+	Slow      uint64 `json:"slow"`
+	Poison    uint64 `json:"poison"`
+}
+
+// Total sums all injected faults.
+func (s Summary) Total() uint64 {
+	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison
+}
+
+// Snapshot reports how many faults of each class were actually injected so
+// far (decisions that returned "inject", counted once per query).
+func (in *Injector) Snapshot() Summary {
+	if in == nil {
+		return Summary{}
+	}
+	return Summary{
+		Provision: in.counts[FaultProvision].Load(),
+		Reject:    in.counts[FaultReject].Load(),
+		Trap:      in.counts[FaultTrap].Load(),
+		Fuel:      in.counts[FaultFuel].Load(),
+		Slow:      in.counts[FaultSlow].Load(),
+		Poison:    in.counts[FaultPoison].Load(),
+	}
+}

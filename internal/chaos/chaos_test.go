@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule: two injectors with the same seed make
+// identical decisions for every (class, tenant, seq), regardless of query
+// order; a different seed diverges somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, Provision: 0.5, Reject: 0.1, Trap: 0.2, Fuel: 0.2, Slow: 0.2, Poison: 0.5}
+	a, b := New(cfg), New(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := New(cfg2)
+
+	tenants := []string{"alpha", "beta", "gamma"}
+	diverged := false
+	for _, tn := range tenants {
+		// Query b in reverse order to prove order-independence.
+		for seq := 99; seq >= 0; seq-- {
+			_ = b.Trap(tn, seq)
+		}
+	}
+	for _, tn := range tenants {
+		for seq := 0; seq < 100; seq++ {
+			if a.Trap(tn, seq) != (b.roll(FaultTrap, tn, seq) < cfg.Trap) {
+				t.Fatalf("trap decision diverged at %s/%d", tn, seq)
+			}
+			af, aok := a.StarveFuel(tn, seq)
+			bf, bok := b.StarveFuel(tn, seq)
+			if aok != bok || af != bf {
+				t.Fatalf("fuel decision diverged at %s/%d", tn, seq)
+			}
+			if (a.RejectAtAdmission(tn, seq) == nil) != (b.RejectAtAdmission(tn, seq) == nil) {
+				t.Fatalf("reject decision diverged at %s/%d", tn, seq)
+			}
+			if a.SlowDown(tn, seq) != b.SlowDown(tn, seq) {
+				t.Fatalf("slow decision diverged at %s/%d", tn, seq)
+			}
+			if a.Poison(tn, seq) != b.Poison(tn, seq) {
+				t.Fatalf("poison decision diverged at %s/%d", tn, seq)
+			}
+			if a.Trap(tn, seq) != c.Trap(tn, seq) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 made identical trap schedules over 300 requests")
+	}
+}
+
+// TestProvisionPrefixFailures: an affected tenant fails a fixed prefix of
+// attempts and then succeeds forever; retrying MaxProvisionFails times
+// therefore always provisions. Unaffected tenants never fail.
+func TestProvisionPrefixFailures(t *testing.T) {
+	in := New(Config{Seed: 3, Provision: 1.0, MaxProvisionFails: 3})
+	for _, tn := range []string{"t0", "t1", "t2", "t3"} {
+		k := 0
+		for ; k <= 10; k++ {
+			if in.ProvisionError(tn, k) == nil {
+				break
+			}
+		}
+		if k < 1 || k > 3 {
+			t.Fatalf("%s: failure prefix %d, want in [1,3]", tn, k)
+		}
+		// The prefix is a prefix: every attempt ≥ k succeeds.
+		for a := k; a < k+5; a++ {
+			if err := in.ProvisionError(tn, a); err != nil {
+				t.Fatalf("%s: attempt %d failed after success at %d: %v", tn, a, k, err)
+			}
+		}
+		// And it replays identically on the next provisioning call.
+		for a := 0; a < k; a++ {
+			if in.ProvisionError(tn, a) == nil {
+				t.Fatalf("%s: attempt %d succeeded on replay, want failure", tn, a)
+			}
+		}
+	}
+	off := New(Config{Seed: 3, Provision: 0})
+	if err := off.ProvisionError("t0", 0); err != nil {
+		t.Fatalf("rate-0 injector failed a provision: %v", err)
+	}
+}
+
+// TestTransientClassification: injected faults are typed and transient.
+func TestTransientClassification(t *testing.T) {
+	in := New(Config{Seed: 1, Provision: 1})
+	err := in.ProvisionError("x", 0)
+	if err == nil {
+		t.Skip("tenant x unaffected at this seed") // Provision=1 affects all
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %T is not *FaultError", err)
+	}
+	if !fe.Transient() {
+		t.Fatal("injected provision fault is not transient")
+	}
+	if fe.Class != FaultProvision {
+		t.Fatalf("class = %v", fe.Class)
+	}
+}
+
+// TestNilInjector: a nil injector never injects and never panics.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Trap("t", 0) || in.Poison("t", 0) {
+		t.Fatal("nil injector injected")
+	}
+	if _, ok := in.StarveFuel("t", 0); ok {
+		t.Fatal("nil injector starved fuel")
+	}
+	if in.ProvisionError("t", 0) != nil || in.RejectAtAdmission("t", 0) != nil {
+		t.Fatal("nil injector errored")
+	}
+	if in.SlowDown("t", 0) != 0 {
+		t.Fatal("nil injector slowed down")
+	}
+	if !in.Clean("t", 0) {
+		t.Fatal("nil injector marked a request unclean")
+	}
+	if in.Snapshot().Total() != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector has state")
+	}
+}
+
+// TestCleanMatchesDecisions: Clean is exactly "no trap, no starvation, no
+// rejection", and rates actually fire at plausible frequencies.
+func TestCleanMatchesDecisions(t *testing.T) {
+	in := Default(42)
+	var trapped, starved, rejected, clean int
+	const n = 2000
+	for seq := 0; seq < n; seq++ {
+		tr := in.Trap("tenant", seq)
+		_, fu := in.StarveFuel("tenant", seq)
+		re := in.RejectAtAdmission("tenant", seq) != nil
+		if tr {
+			trapped++
+		}
+		if fu {
+			starved++
+		}
+		if re {
+			rejected++
+		}
+		if in.Clean("tenant", seq) != (!tr && !fu && !re) {
+			t.Fatalf("Clean inconsistent at seq %d", seq)
+		}
+		if in.Clean("tenant", seq) {
+			clean++
+		}
+	}
+	if trapped == 0 || starved == 0 || rejected == 0 {
+		t.Fatalf("default rates never fired: trap=%d fuel=%d reject=%d", trapped, starved, rejected)
+	}
+	if clean < n/2 {
+		t.Fatalf("only %d/%d requests clean under Default — rates too hot", clean, n)
+	}
+	s := in.Snapshot()
+	if s.Trap == 0 || s.Fuel == 0 || s.Reject == 0 {
+		t.Fatalf("snapshot lost counts: %+v", s)
+	}
+}
+
+// TestConcurrentDecisions: concurrent queries race-free and identical to a
+// serial replay (run under -race).
+func TestConcurrentDecisions(t *testing.T) {
+	in := Default(9)
+	var wg sync.WaitGroup
+	results := make([][]bool, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		results[g] = make([]bool, 200)
+		go func(g int) {
+			defer wg.Done()
+			for seq := 0; seq < 200; seq++ {
+				results[g][seq] = in.Trap("shared", seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ref := New(Config{Seed: 9, Trap: Default(9).cfg.Trap})
+	for seq := 0; seq < 200; seq++ {
+		want := ref.Trap("shared", seq)
+		for g := 0; g < 8; g++ {
+			if results[g][seq] != want {
+				t.Fatalf("goroutine %d diverged at seq %d", g, seq)
+			}
+		}
+	}
+}
+
+// TestSlowDownDuration: slowdowns use the configured duration.
+func TestSlowDownDuration(t *testing.T) {
+	in := New(Config{Seed: 5, Slow: 1, SlowFor: 3 * time.Millisecond})
+	if d := in.SlowDown("t", 0); d != 3*time.Millisecond {
+		t.Fatalf("slowdown = %v, want 3ms", d)
+	}
+}

@@ -5,6 +5,7 @@
 package faas
 
 import (
+	"errors"
 	"fmt"
 
 	"hfi/internal/cpu"
@@ -78,6 +79,25 @@ type TenantInstance struct {
 // (tenant, config) provisions; the first one compiles and verifies, the
 // rest — across workers, pools, and goroutines — share the immutable image.
 var Images = sandbox.NewCodeCache()
+
+// transienter is the opt-in interface for retryable provisioning errors.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether a provisioning error is transient — worth
+// retrying with backoff — as opposed to a deterministic compile or
+// verification failure, which will fail identically forever. Errors opt in
+// by implementing interface{ Transient() bool } anywhere in their chain;
+// the chaos injector's provisioning faults do, real compile/verifier
+// errors do not.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok {
+			return t.Transient()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
 
 // Provision instantiates tenant under cfg on a fresh machine and returns
 // the warm instance ready to serve requests. Code images are shared through

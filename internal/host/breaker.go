@@ -1,0 +1,181 @@
+package host
+
+import "time"
+
+// BreakerConfig parameterizes the per-tenant circuit breaker. The breaker
+// watches each tenant's executed-request outcomes over a sliding window;
+// when the fault+timeout fraction trips the threshold the tenant's
+// admissions shed fast (StatusShed with ErrBreakerOpen) instead of
+// queueing work that will burn a sandbox just to fail. After OpenFor the
+// breaker half-opens: a limited number of probe requests are admitted, and
+// the breaker closes again only if they all succeed.
+type BreakerConfig struct {
+	// Window is the per-tenant sliding window of executed outcomes the
+	// failure rate is computed over. 0 disables the breaker entirely.
+	Window int
+	// MinSamples gates tripping until the window holds at least this many
+	// outcomes (default Window/2, at least 1).
+	MinSamples int
+	// TripRatio is the failing fraction (faults + timeouts) that opens the
+	// breaker (default 0.5).
+	TripRatio float64
+	// OpenFor is how long the breaker sheds before half-opening
+	// (default 100ms).
+	OpenFor time.Duration
+	// Probes is how many half-open probe requests are admitted; all must
+	// succeed to close the breaker (default 1).
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.TripRatio <= 0 {
+		c.TripRatio = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 100 * time.Millisecond
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	return [...]string{"closed", "open", "half-open"}[s]
+}
+
+// breaker is one tenant's circuit breaker. All methods are nil-safe (a
+// nil breaker is a disabled one) and expect the caller to hold the owning
+// scheduler's mutex — breaker state shares the admission critical section
+// so allow/record decisions can't tear against enqueues.
+type breaker struct {
+	cfg   BreakerConfig
+	state breakerState
+
+	win   []bool // ring of executed outcomes; true = failed
+	idx   int
+	n     int
+	fails int
+
+	openedAt time.Time
+	probes   int // half-open probes admitted and not yet resolved
+	probeOK  int
+	trips    uint64
+}
+
+// newBreaker returns nil when cfg disables the breaker.
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.Window <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, win: make([]bool, cfg.Window)}
+}
+
+// allow reports whether an admission may proceed now, advancing
+// open → half-open when the hold time has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probes = 1
+		b.probeOK = 0
+		return true
+	default: // half-open
+		if b.probes < b.cfg.Probes {
+			b.probes++
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds one executed outcome (failed = fault or timeout).
+func (b *breaker) record(failed bool, now time.Time) {
+	if b == nil {
+		return
+	}
+	switch b.state {
+	case breakerOpen:
+		// A late result from a request admitted before the trip; it
+		// already counted toward the window that tripped us.
+		return
+	case breakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failed {
+			b.trip(now)
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.reset()
+		}
+		return
+	}
+	// Closed: slide the window.
+	if b.n == len(b.win) {
+		if b.win[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.win[b.idx] = failed
+	if failed {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.win)
+	if b.n >= b.cfg.MinSamples && float64(b.fails) >= b.cfg.TripRatio*float64(b.n) {
+		b.trip(now)
+	}
+}
+
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.trips++
+	b.resetWindow()
+}
+
+func (b *breaker) reset() {
+	b.state = breakerClosed
+	b.resetWindow()
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.win {
+		b.win[i] = false
+	}
+	b.idx, b.n, b.fails, b.probes, b.probeOK = 0, 0, 0, 0, 0
+}
+
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips
+}

@@ -1,0 +1,143 @@
+package host
+
+import (
+	"testing"
+	"time"
+)
+
+// Breaker unit tests drive the state machine with explicit clocks — no
+// sleeping, no goroutines; every transition is checked exactly.
+
+func breakerClock() (func(d time.Duration) time.Time, time.Time) {
+	t0 := time.Unix(1000, 0)
+	return func(d time.Duration) time.Time { return t0.Add(d) }, t0
+}
+
+func TestBreakerTripAndHold(t *testing.T) {
+	at, t0 := breakerClock()
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.5,
+		OpenFor: 100 * time.Millisecond, Probes: 2})
+
+	// Below MinSamples nothing trips, even at 100% failure.
+	b.record(true, t0)
+	b.record(true, t0)
+	if b.state != breakerClosed {
+		t.Fatalf("tripped below MinSamples")
+	}
+	// 3 fails / 4 samples ≥ 0.5 → trip.
+	b.record(false, t0)
+	b.record(true, t0)
+	if b.state != breakerOpen {
+		t.Fatalf("state = %v, want open", b.state)
+	}
+	if b.tripCount() != 1 {
+		t.Fatalf("trips = %d, want 1", b.tripCount())
+	}
+	// Sheds while open, ignores late results.
+	if b.allow(at(50 * time.Millisecond)) {
+		t.Fatalf("allowed during OpenFor hold")
+	}
+	b.record(true, at(60*time.Millisecond))
+	if b.state != breakerOpen {
+		t.Fatalf("late result moved state to %v", b.state)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	at, t0 := breakerClock()
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5,
+		OpenFor: 100 * time.Millisecond, Probes: 2})
+	b.record(true, t0)
+	b.record(true, t0)
+	if b.state != breakerOpen {
+		t.Fatalf("not open after 2/2 failures")
+	}
+
+	// After OpenFor: exactly Probes admissions, then shed again.
+	if !b.allow(at(150 * time.Millisecond)) {
+		t.Fatalf("first probe not admitted")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.state)
+	}
+	if !b.allow(at(151 * time.Millisecond)) {
+		t.Fatalf("second probe not admitted")
+	}
+	if b.allow(at(152 * time.Millisecond)) {
+		t.Fatalf("third admission allowed with Probes=2 outstanding")
+	}
+
+	// Both probes succeed → closed, window fresh.
+	b.record(false, at(160*time.Millisecond))
+	if b.state != breakerHalfOpen {
+		t.Fatalf("closed after only one probe success")
+	}
+	b.record(false, at(161*time.Millisecond))
+	if b.state != breakerClosed {
+		t.Fatalf("state = %v, want closed after all probes ok", b.state)
+	}
+	if !b.allow(at(162 * time.Millisecond)) {
+		t.Fatalf("closed breaker not allowing")
+	}
+	if b.n != 0 || b.fails != 0 {
+		t.Fatalf("window not reset after recovery: n=%d fails=%d", b.n, b.fails)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	at, t0 := breakerClock()
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5,
+		OpenFor: 100 * time.Millisecond, Probes: 1})
+	b.record(true, t0)
+	b.record(true, t0)
+	if !b.allow(at(150 * time.Millisecond)) {
+		t.Fatalf("probe not admitted")
+	}
+	b.record(true, at(160*time.Millisecond))
+	if b.state != breakerOpen {
+		t.Fatalf("state = %v, want re-opened", b.state)
+	}
+	if b.tripCount() != 2 {
+		t.Fatalf("trips = %d, want 2", b.tripCount())
+	}
+	// The re-open hold starts from the probe failure, not the first trip.
+	if b.allow(at(200 * time.Millisecond)) {
+		t.Fatalf("allowed only 40ms into the second hold")
+	}
+	if !b.allow(at(270 * time.Millisecond)) {
+		t.Fatalf("not half-opened after the second hold elapsed")
+	}
+}
+
+func TestBreakerSlidingWindowForgets(t *testing.T) {
+	_, t0 := breakerClock()
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.75,
+		OpenFor: time.Second, Probes: 1})
+	// 2 fails then a run of successes: old fails slide out, never trips.
+	b.record(true, t0)
+	b.record(true, t0)
+	for i := 0; i < 8; i++ {
+		b.record(false, t0)
+	}
+	if b.state != breakerClosed {
+		t.Fatalf("tripped despite failures sliding out of the window")
+	}
+	if b.fails != 0 {
+		t.Fatalf("fails = %d after window slid clean, want 0", b.fails)
+	}
+}
+
+func TestBreakerDisabledIsNil(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b != nil {
+		t.Fatalf("Window=0 should disable the breaker")
+	}
+	// All nil-receiver methods are safe and permissive.
+	if !b.allow(time.Now()) {
+		t.Fatalf("nil breaker must allow")
+	}
+	b.record(true, time.Now())
+	if b.tripCount() != 0 {
+		t.Fatalf("nil breaker tripCount != 0")
+	}
+}

@@ -1,0 +1,386 @@
+package host
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hfi/internal/chaos"
+	"hfi/internal/cpu"
+	"hfi/internal/faas"
+	"hfi/internal/stats"
+)
+
+// The chaos soak is the acceptance test of the robustness PR. Phase one
+// (TestChaosSoakDeterministic) drives a mixed-tenant schedule through a
+// chaos-injected server twice with the same seed and asserts, exactly:
+//
+//   - outcome conservation — admitted == ok + timeouts + faults + shed +
+//     rejected, with zero slack;
+//   - determinism — both runs produce identical per-tenant outcome counts,
+//     because every chaos decision is a pure hash of (seed, tenant, seq);
+//   - no cross-tenant corruption — every clean request's response checksum
+//     matches a single-threaded reference, per tenant, even though faulted
+//     requests scribbled garbage into heaps that were then reused;
+//   - outcome counts match the fault schedule predicted from the injector
+//     alone (the injector and the host agree about what was injected);
+//   - the warm pool stays bounded.
+//
+// Phase two (TestChaosSoakOverloadFairness) adds overload: a hot tenant
+// flooding a shed queue, a permanently faulting tenant tripping its
+// breaker, chaos on top — and asserts conservation, per-tenant progress,
+// breaker trips, and the pool bound, where exact outcome counts are
+// legitimately timing-dependent.
+
+// soakChaosCfg is the shared phase-one injector configuration: every fault
+// class active at rates that leave most traffic clean.
+func soakChaosCfg(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:      seed,
+		Provision: 0.6, MaxProvisionFails: 2,
+		Reject: 0.04,
+		Trap:   0.08,
+		Fuel:   0.08, StarvedFuel: 64,
+		Slow: 0.03, SlowFor: 200 * time.Microsecond,
+		Poison: 0.5,
+	}
+}
+
+// soakOutcomes is an outcome-count tuple, used both for observed per-tenant
+// results and for the expectation predicted from the injector.
+type soakOutcomes struct {
+	ok, timeouts, faults, rejected uint64
+	checksum                       uint64
+}
+
+// soakRun is one chaos soak's observable result.
+type soakRun struct {
+	sum      stats.ServeSummary
+	tenants  map[string]soakOutcomes
+	counters Counters
+}
+
+// runChaosSoakOnce pushes reqs through a fresh chaos-injected server with
+// 8 concurrent closed-loop clients and returns the observed outcome counts
+// and per-tenant OK-response checksums.
+func runChaosSoakOnce(t *testing.T, seed int64, reqs []Request) soakRun {
+	t.Helper()
+	inj := chaos.New(soakChaosCfg(seed))
+	s := New(Config{
+		Workers: 4, QueueDepth: 8, Policy: PolicyBlock,
+		Retry: RetryConfig{Max: 2, Base: 50 * time.Microsecond, Cap: time.Millisecond},
+		Pool:  PoolConfig{Cap: 3, TeardownBatch: 4},
+		Chaos: inj, Seed: seed,
+		Tenants: map[string]TenantPolicy{reqs[0].Tenant.Name: {Weight: 2}},
+	})
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	obs := make(map[string]soakOutcomes)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(reqs) {
+					return
+				}
+				r := s.Do(reqs[i])
+				name := reqs[i].Tenant.Name
+				mu.Lock()
+				o := obs[name]
+				switch r.Status {
+				case StatusOK:
+					o.ok++
+					o.checksum ^= faas.HashResponse(reqs[i].Seq, r.Body)
+				case StatusTimeout:
+					o.timeouts++
+				case StatusFault:
+					o.faults++
+				case StatusRejected:
+					o.rejected++
+				default:
+					t.Errorf("req %d (%s seq %d): unexpected status %v err %v",
+						i, name, reqs[i].Seq, r.Status, r.Err)
+				}
+				obs[name] = o
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	return soakRun{sum: s.Snapshot(0), tenants: obs, counters: s.Counters()}
+}
+
+// soakExpected predicts each tenant's outcome counts and clean-response
+// checksum from the injector decisions alone, serving the full request set
+// single-threaded as the ground truth for response bodies. The prediction
+// mirrors the host's decision order: admission rejection, then injected
+// trap, then fuel starvation.
+func soakExpected(t *testing.T, seed int64, reqs []Request) map[string]soakOutcomes {
+	t.Helper()
+	inj := chaos.New(soakChaosCfg(seed))
+	instances := make(map[poolKey]*faas.TenantInstance)
+	exp := make(map[string]soakOutcomes)
+	for _, r := range reqs {
+		key := poolKey{r.Tenant.Name, r.Iso}
+		ti := instances[key]
+		if ti == nil {
+			var err error
+			ti, err = faas.Provision(r.Tenant, r.Iso)
+			if err != nil {
+				t.Fatalf("reference provision %s: %v", r.Tenant.Name, err)
+			}
+			instances[key] = ti
+		}
+		body, res := ti.ServeRequest(r.Seq, 0)
+		if res.Reason != cpu.StopHalt {
+			t.Fatalf("reference %s seq %d: stop %v", r.Tenant.Name, r.Seq, res.Reason)
+		}
+		o := exp[r.Tenant.Name]
+		switch {
+		case inj.RejectAtAdmission(r.Tenant.Name, r.Seq) != nil:
+			o.rejected++
+		case inj.Trap(r.Tenant.Name, r.Seq):
+			o.faults++
+		case func() bool { _, starved := inj.StarveFuel(r.Tenant.Name, r.Seq); return starved }():
+			o.timeouts++
+		default:
+			o.ok++
+			o.checksum ^= faas.HashResponse(r.Seq, body)
+		}
+		exp[r.Tenant.Name] = o
+	}
+	return exp
+}
+
+// TestChaosSoakDeterministic is soak phase one: N tenants, a seeded fault
+// schedule, 4 race-detected workers — run twice with the same seed.
+func TestChaosSoakDeterministic(t *testing.T) {
+	const seed = 1234
+	total := 240
+	if testing.Short() {
+		total = 120 // same invariants, smaller schedule, ~5s under -race
+	}
+	mix := DefaultMix()
+	reqs := BuildSchedule(mix, total, seed)
+
+	run1 := runChaosSoakOnce(t, seed, reqs)
+	run2 := runChaosSoakOnce(t, seed, reqs)
+	exp := soakExpected(t, seed, reqs)
+
+	// Exact conservation, run 1 and run 2.
+	for i, run := range []soakRun{run1, run2} {
+		sum := run.sum
+		accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected
+		if accounted != uint64(total) {
+			t.Fatalf("run %d: accounted %d of %d: %+v", i+1, accounted, total, sum)
+		}
+		if run.counters.Admitted != uint64(total) {
+			t.Fatalf("run %d: Admitted = %d, want %d", i+1, run.counters.Admitted, total)
+		}
+		if sum.Shed != 0 {
+			t.Fatalf("run %d: %d sheds under PolicyBlock with no breaker", i+1, sum.Shed)
+		}
+		// Pool bound: per-worker cap 3 (+1 transient during insert-then-evict),
+		// 4 workers.
+		if run.counters.PoolHighWater > (3+1)*4 {
+			t.Fatalf("run %d: pool high water %d over bound", i+1, run.counters.PoolHighWater)
+		}
+		if run.counters.PoolSize != 0 || run.counters.Teardowns != run.counters.ColdStarts {
+			t.Fatalf("run %d: pool not fully recycled: %+v", i+1, run.counters)
+		}
+	}
+
+	// Same seed ⇒ identical per-tenant outcome counts and checksums across
+	// runs, and both match the schedule predicted from the injector.
+	for _, mixClass := range mix {
+		name := mixClass.Tenant.Name
+		o1, o2, e := run1.tenants[name], run2.tenants[name], exp[name]
+		if o1 != o2 {
+			t.Fatalf("%s: runs diverged: %+v vs %+v", name, o1, o2)
+		}
+		if o1 != e {
+			t.Fatalf("%s: observed %+v, injector predicts %+v", name, o1, e)
+		}
+		if e.ok == 0 || e.ok == e.ok+e.timeouts+e.faults+e.rejected {
+			t.Fatalf("%s: degenerate fault schedule %+v — tune soak rates", name, e)
+		}
+	}
+
+	// The recorder's per-tenant view agrees with the client-side tally —
+	// and its global view is the exact sum of the tenant views.
+	// (Checksum equality above already proves no cross-tenant corruption:
+	// every clean response was bit-identical to the single-threaded
+	// reference for its own tenant.)
+	var g soakOutcomes
+	for _, o := range run1.tenants {
+		g.ok += o.ok
+		g.timeouts += o.timeouts
+		g.faults += o.faults
+		g.rejected += o.rejected
+	}
+	if g.ok != run1.sum.OK || g.timeouts != run1.sum.Timeouts ||
+		g.faults != run1.sum.Faults || g.rejected != run1.sum.Rejected {
+		t.Fatalf("tenant views %+v do not sum to global %+v", g, run1.sum)
+	}
+}
+
+// TestChaosSoakOverloadFairness is soak phase two: a hot tenant floods a
+// shed queue while cold tenants run closed-loop, a permanently faulting
+// tenant exercises the breaker, chaos injects on top. Outcome counts are
+// timing-dependent here; conservation, progress, and bounds are not.
+func TestChaosSoakOverloadFairness(t *testing.T) {
+	const seed = 77
+	inj := chaos.Default(seed)
+	mix := DefaultMix()
+	hot := mix[0]
+	colds := mix[1:]
+	flaky := flakyTenant("flaky-soak", 1<<30) // every request faults
+	flakyIso := faas.StockLucet()
+
+	floodPer, coldPer, flakyN := 200, 40, 120
+	if testing.Short() {
+		floodPer, coldPer, flakyN = 100, 24, 80
+	}
+
+	s := New(Config{
+		Workers: 2, QueueDepth: 16, Policy: PolicyBlock,
+		DispatchWall: 100 * time.Microsecond,
+		Tenants: map[string]TenantPolicy{
+			hot.Tenant.Name: {Policy: PolicyShed, QueueDepth: 8},
+		},
+		Breaker: BreakerConfig{Window: 16, MinSamples: 8, TripRatio: 0.9,
+			OpenFor: 2 * time.Millisecond, Probes: 1},
+		Retry: RetryConfig{Max: 2, Base: 50 * time.Microsecond, Cap: 500 * time.Microsecond},
+		Pool:  PoolConfig{Cap: 2, TTL: 50 * time.Millisecond, TeardownBatch: 4},
+		Chaos: inj, Seed: seed,
+	})
+
+	var (
+		submitted atomic.Uint64
+		resolved  atomic.Uint64
+		hotShed   atomic.Uint64
+		hotOK     atomic.Uint64
+		coldDone  = make([]atomic.Uint64, len(colds))
+		wg        sync.WaitGroup
+	)
+
+	// Hot flood: fire-and-forget submits against a depth-8 shed queue.
+	for f := 0; f < 4; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for i := 0; i < floodPer; i++ {
+				seq := f*floodPer + i
+				submitted.Add(1)
+				ch := s.Submit(Request{Tenant: hot.Tenant, Iso: hot.Iso, Seq: seq})
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					r := <-ch
+					resolved.Add(1)
+					switch r.Status {
+					case StatusShed:
+						hotShed.Add(1)
+					case StatusOK:
+						hotOK.Add(1)
+					}
+				}()
+				if i%32 == 31 {
+					time.Sleep(200 * time.Microsecond) // sustain the flood window
+				}
+			}
+			inner.Wait()
+		}(f)
+	}
+	// Cold tenants: closed loops that must progress during the flood.
+	for ci, c := range colds {
+		wg.Add(1)
+		go func(ci int, c Class) {
+			defer wg.Done()
+			for i := 0; i < coldPer; i++ {
+				submitted.Add(1)
+				s.Do(Request{Tenant: c.Tenant, Iso: c.Iso, Seq: i})
+				resolved.Add(1)
+				coldDone[ci].Add(1)
+			}
+		}(ci, c)
+	}
+	// Flaky tenant: always faults → breaker trips → typed breaker sheds.
+	var breakerSheds atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flakyN; i++ {
+			submitted.Add(1)
+			r := s.Do(Request{Tenant: flaky, Iso: flakyIso, Seq: i})
+			resolved.Add(1)
+			if r.Status == StatusShed && errors.Is(r.Err, ErrBreakerOpen) {
+				breakerSheds.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	s.Close()
+
+	total := submitted.Load()
+	if resolved.Load() != total {
+		t.Fatalf("resolved %d of %d submissions", resolved.Load(), total)
+	}
+	// Exact conservation under overload + chaos + breaker, zero slack.
+	sum := s.Snapshot(0)
+	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected
+	if accounted != total || s.Admitted() != total {
+		t.Fatalf("conservation violated: accounted %d admitted %d of %d (%+v)",
+			accounted, s.Admitted(), total, sum)
+	}
+	// The flood really was an overload, and it really was survived.
+	if hotShed.Load() == 0 {
+		t.Fatal("hot flood shed nothing — queue never saturated")
+	}
+	if hotOK.Load() == 0 {
+		t.Fatal("hot tenant served nothing — shed policy starved its own tenant")
+	}
+	// Every cold tenant made full progress despite the flood.
+	for ci, c := range colds {
+		if got := coldDone[ci].Load(); got != uint64(coldPer) {
+			t.Fatalf("cold tenant %s completed %d/%d", c.Tenant.Name, got, coldPer)
+		}
+		if got := s.sched.tenantServed(c.Tenant.Name); got == 0 {
+			t.Fatalf("cold tenant %s never dispatched", c.Tenant.Name)
+		}
+	}
+	// The flaky tenant tripped its breaker and was shed with the typed error.
+	if got := s.Counters().BreakerTrips; got == 0 {
+		t.Fatal("permanently faulting tenant never tripped its breaker")
+	}
+	if breakerSheds.Load() == 0 {
+		t.Fatal("no ErrBreakerOpen sheds observed")
+	}
+	// Breaker sheds must not have leaked into the cold tenants' accounting.
+	for _, c := range colds {
+		ts := s.rec.Tenant(c.Tenant.Name)
+		if ts.Shed != 0 {
+			t.Fatalf("cold tenant %s shed %d (PolicyBlock, healthy) — cross-tenant leak", c.Tenant.Name, ts.Shed)
+		}
+		if ts.Admitted() != uint64(coldPer) {
+			t.Fatalf("cold tenant %s accounted %d/%d", c.Tenant.Name, ts.Admitted(), coldPer)
+		}
+	}
+	// Pool stays bounded under churn (cap 2 + 1 transient, 2 workers) and
+	// everything provisioned is eventually torn down.
+	ctr := s.Counters()
+	if ctr.PoolHighWater > (2+1)*2 {
+		t.Fatalf("pool high water %d over bound 6", ctr.PoolHighWater)
+	}
+	if ctr.PoolSize != 0 || ctr.Teardowns != ctr.ColdStarts {
+		t.Fatalf("pool not recycled: %+v", ctr)
+	}
+}

@@ -2,33 +2,56 @@
 // wall-clock worker pool in front of the simulated FaaS platform. Where
 // faas.ServeTenant drives one warm instance on one goroutine, a host.Server
 // schedules mixed-tenant request streams across N worker goroutines behind
-// a bounded admission queue with a configurable backpressure policy (block
-// the submitter, or shed with a 429-style rejection counter).
+// per-tenant bounded admission queues dispatched by deficit round-robin
+// (DRR) — one hot tenant can saturate its own queue but cannot starve the
+// others, because every tenant with queued work dispatches at least
+// quantum × weight requests per scheduler round.
 //
 // Each worker owns a private pool of warm faas.TenantInstance sets keyed by
 // (tenant, isolation config), so the large per-instance allocations — a
 // cpu.Machine, a simulated kernel and address space, compiled code — are
 // built once per (worker, tenant, config) and warm-reused across requests,
 // mirroring the warm-instance model the paper's FaaS evaluation (§6.3)
-// assumes. Machines are never shared across goroutines: all simulator state
+// assumes. Pools are bounded: LRU/TTL eviction with deferred batched
+// teardown (§6.3.1) keeps the warm set at a configured cap under tenant
+// churn. Machines are never shared across goroutines: all simulator state
 // (kernel, memory, HFI, caches) is confined to the owning worker, which is
 // what makes the layer race-free by construction.
 //
+// The layer is hardened against the failure modes a production stack sees
+// (and which internal/chaos injects deterministically):
+//
+//   - Transient provisioning failures retry with exponential backoff and
+//     jitter (RetryConfig); deterministic compile/verification failures
+//     fail fast (see faas.IsTransient).
+//   - Per-tenant circuit breakers (BreakerConfig) trip on the tenant's
+//     fault+timeout rate, shed fast while open (StatusShed with
+//     ErrBreakerOpen), and half-open on a timer with probe requests.
+//   - A faulted or timed-out instance is quarantined: Reset, then a
+//     verified-reset check (sandbox.Instance.HeapHash against the
+//     post-provision baseline). An instance whose reset failed to restore
+//     the initial image — a poisoned instance — is discarded, never
+//     reused.
+//   - Submit after Close returns a typed ErrClosed response; requests
+//     admitted before Close drain with their real outcomes recorded.
+//
 // Per-request deadlines ride on the engines' existing instruction budget
 // ("fuel"): a request that exhausts its budget stops with cpu.StopLimit and
-// is surfaced as StatusTimeout, and the instance is reset (sandbox.Reset)
-// before reuse. Latencies and outcomes feed a stats.Recorder
-// (p50/p99/p999, throughput, shed rate).
+// is surfaced as StatusTimeout. Latencies and outcomes feed a
+// stats.Recorder (p50/p99/p999, throughput, shed rate) with a per-tenant
+// breakdown, so fairness and breaker behaviour are observable.
 package host
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hfi/internal/chaos"
 	"hfi/internal/cpu"
 	"hfi/internal/faas"
 	"hfi/internal/stats"
@@ -41,19 +64,70 @@ type Policy uint8
 
 // Backpressure policies.
 const (
+	// PolicyDefault (the zero value) inherits the server-level policy; at
+	// the server level it means PolicyBlock.
+	PolicyDefault Policy = iota
 	// PolicyBlock applies backpressure to the submitter: Submit blocks
-	// until the queue drains (a closed-loop client slows down).
-	PolicyBlock Policy = iota
-	// PolicyShed rejects immediately with StatusShed when the queue is
-	// full — the HTTP-429 path — and counts the rejection.
+	// until the tenant's queue drains (a closed-loop client slows down).
+	PolicyBlock
+	// PolicyShed rejects immediately with StatusShed when the tenant's
+	// queue is full — the HTTP-429 path — and counts the rejection.
 	PolicyShed
 )
 
 func (p Policy) String() string {
-	if p == PolicyShed {
+	switch p {
+	case PolicyShed:
 		return "shed"
+	case PolicyBlock:
+		return "block"
+	default:
+		return "default"
 	}
-	return "block"
+}
+
+// TenantPolicy is one tenant's admission configuration: its DRR weight,
+// its queue bound, and what happens when that queue is full. Zero fields
+// inherit the server defaults.
+type TenantPolicy struct {
+	// Weight scales the tenant's DRR share: a weight-2 tenant dispatches
+	// twice as many requests per scheduler round as a weight-1 tenant
+	// when both have backlog (0 = 1).
+	Weight int
+	// QueueDepth bounds the tenant's admission queue (0 = Config.QueueDepth).
+	QueueDepth int
+	// Policy is the tenant's backpressure policy (PolicyDefault =
+	// Config.Policy).
+	Policy Policy
+}
+
+func (p TenantPolicy) weight() int {
+	if p.Weight <= 0 {
+		return 1
+	}
+	return p.Weight
+}
+
+// RetryConfig bounds provisioning retries for transient failures.
+type RetryConfig struct {
+	// Max is the number of retries after the first attempt (0 = fail on
+	// the first error, the old behaviour).
+	Max int
+	// Base is the first backoff; attempt k waits ~Base·2^k with jitter
+	// (default 200µs).
+	Base time.Duration
+	// Cap bounds a single backoff (default 10ms).
+	Cap time.Duration
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.Base <= 0 {
+		r.Base = 200 * time.Microsecond
+	}
+	if r.Cap <= 0 {
+		r.Cap = 10 * time.Millisecond
+	}
+	return r
 }
 
 // Config parameterizes a Server.
@@ -61,10 +135,17 @@ type Config struct {
 	// Workers is the number of worker goroutines; each owns its own warm
 	// instance pool. Defaults to runtime.GOMAXPROCS(0).
 	Workers int
-	// QueueDepth bounds the admission queue. Defaults to 2*Workers.
+	// QueueDepth bounds each tenant's admission queue. Defaults to
+	// 2*Workers.
 	QueueDepth int
-	// Policy is the backpressure policy when the queue is full.
+	// Policy is the default backpressure policy when a tenant queue is
+	// full (PolicyDefault = PolicyBlock).
 	Policy Policy
+	// Quantum is the DRR quantum: requests a weight-1 tenant may dispatch
+	// per scheduler round (default 1).
+	Quantum int
+	// Tenants overrides per-tenant weight, depth, and shed policy.
+	Tenants map[string]TenantPolicy
 	// Fuel is the default per-request instruction budget (0 = unlimited).
 	// A request exceeding it stops with cpu.StopLimit → StatusTimeout.
 	Fuel uint64
@@ -74,6 +155,44 @@ type Config struct {
 	// clock. Workers overlap these waits, so throughput scales with the
 	// pool even when guest execution itself is bottlenecked on CPU.
 	DispatchWall time.Duration
+	// Retry bounds provisioning retries for transient failures.
+	Retry RetryConfig
+	// Breaker configures the per-tenant circuit breaker (zero = disabled).
+	Breaker BreakerConfig
+	// Pool bounds each worker's warm-instance pool (zero = unbounded, no
+	// TTL).
+	Pool PoolConfig
+	// Chaos, when non-nil, injects deterministic faults at the serving
+	// seams (see internal/chaos). nil serves clean.
+	Chaos *chaos.Injector
+	// Seed seeds the retry-jitter PRNGs (0 = 1). Jitter affects timing
+	// only, never outcomes.
+	Seed int64
+}
+
+// tenantPolicy resolves the effective policy for one tenant.
+func (c *Config) tenantPolicy(name string) TenantPolicy {
+	p := c.Tenants[name]
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = c.QueueDepth
+	}
+	if p.Policy == PolicyDefault {
+		p.Policy = c.Policy
+	}
+	if p.Policy == PolicyDefault {
+		p.Policy = PolicyBlock
+	}
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	return p
+}
+
+func (c *Config) quantum() int {
+	if c.Quantum <= 0 {
+		return 1
+	}
+	return c.Quantum
 }
 
 // Status classifies a response.
@@ -83,16 +202,20 @@ type Status uint8
 const (
 	StatusOK      Status = iota // guest halted normally; Body is valid
 	StatusTimeout               // fuel budget exhausted (cpu.StopLimit)
-	StatusShed                  // rejected at admission (PolicyShed, queue full)
+	StatusShed                  // rejected at admission (queue full or breaker open)
 	StatusFault                 // guest fault or provisioning error
 	// StatusRejected: the tenant's compiled program failed static
-	// verification at provisioning (a *verifier.RejectError is in Err).
-	// Distinct from shed: a shed request lost the capacity race, a
-	// rejected one was refused on proof grounds and never ran.
+	// verification at provisioning (a *verifier.RejectError is in Err),
+	// or the chaos injector refused the request at admission. Distinct
+	// from shed: a shed request lost the capacity race, a rejected one
+	// was refused on proof grounds and never ran.
 	StatusRejected
+	// StatusClosed: the request arrived after Close; Err is ErrClosed.
+	// Never recorded — a closed server admits nothing.
+	StatusClosed
 )
 
-var statusNames = [...]string{"ok", "timeout", "shed", "fault", "rejected"}
+var statusNames = [...]string{"ok", "timeout", "shed", "fault", "rejected", "closed"}
 
 func (s Status) String() string {
 	if int(s) < len(statusNames) {
@@ -100,6 +223,16 @@ func (s Status) String() string {
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
+
+// Typed admission-refusal errors.
+var (
+	// ErrClosed is returned (inside a StatusClosed response) by Submit
+	// after Close.
+	ErrClosed = errors.New("host: server closed")
+	// ErrBreakerOpen marks sheds caused by the tenant's circuit breaker
+	// rather than queue capacity.
+	ErrBreakerOpen = errors.New("host: tenant circuit breaker open")
+)
 
 // Request is one guest invocation: the seq'th request of tenant's stream,
 // served under the given isolation configuration.
@@ -116,7 +249,7 @@ type Response struct {
 	Status  Status
 	Body    []byte         // response bytes (StatusOK only)
 	Stop    cpu.StopReason // engine stop reason for executed requests
-	Err     error          // provisioning error (StatusFault only)
+	Err     error          // admission/provisioning error detail
 	Worker  int            // worker that served the request
 	Latency time.Duration  // wall time from admission to completion
 }
@@ -135,21 +268,29 @@ type poolKey struct {
 }
 
 // Server is the concurrent serving layer. Create with New, feed with
-// Submit/Do, then Close. Submitting after Close panics.
+// Submit/Do, then Close. Submit after Close resolves with ErrClosed.
 type Server struct {
-	cfg        Config
-	queue      chan call
-	rec        *stats.Recorder
-	wg         sync.WaitGroup
-	started    time.Time
+	cfg     Config
+	sched   *scheduler
+	rec     *stats.Recorder
+	wg      sync.WaitGroup
+	started time.Time
+
+	admitted   atomic.Uint64
 	coldStarts atomic.Uint64
 	rejected   atomic.Uint64
-
-	mu     sync.Mutex
-	closed bool
+	retries    atomic.Uint64
+	quarantine atomic.Uint64
+	discarded  atomic.Uint64
+	evictions  atomic.Uint64
+	teardowns  atomic.Uint64
+	closedRefs atomic.Uint64
+	poolSize   atomic.Int64
+	poolHigh   atomic.Int64
 }
 
-// New starts a server with cfg.Workers goroutines waiting on the queue.
+// New starts a server with cfg.Workers goroutines waiting on the
+// scheduler.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -157,12 +298,16 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan call, cfg.QueueDepth),
 		rec:     stats.NewRecorder(),
 		started: time.Now(),
 	}
+	s.sched = newScheduler(&s.cfg)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -173,37 +318,80 @@ func New(cfg Config) *Server {
 // Workers reports the configured pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
-// Submit admits one request and returns a channel that receives exactly one
-// Response. Under PolicyBlock a full queue blocks the caller; under
-// PolicyShed a full queue resolves immediately with StatusShed.
+// Submit admits one request and returns a channel that receives exactly
+// one Response. A full tenant queue blocks the caller (PolicyBlock) or
+// resolves immediately with StatusShed (PolicyShed); an open circuit
+// breaker sheds fast with ErrBreakerOpen; a closed server resolves with
+// StatusClosed/ErrClosed. The admission decision, its counter, and the
+// enqueue form one critical section, so outcome accounting is exact:
+// every admitted request resolves with exactly one of
+// ok/timeout/fault/shed/rejected.
 func (s *Server) Submit(req Request) <-chan Response {
 	done := make(chan Response, 1)
 	c := call{req: req, t0: time.Now(), done: done}
-	if s.cfg.Policy == PolicyShed {
-		select {
-		case s.queue <- c:
-		default:
-			s.rejected.Add(1)
-			s.rec.Record(stats.OutcomeShed, 0)
-			done <- Response{Status: StatusShed}
-		}
+	name := req.Tenant.Name
+	sc := s.sched
+
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		s.closedRefs.Add(1)
+		done <- Response{Status: StatusClosed, Err: ErrClosed}
 		return done
 	}
-	s.queue <- c
+	// Chaos seam: transient verifier rejection at admission — refused on
+	// (injected) proof grounds before touching a queue or sandbox.
+	if err := s.cfg.Chaos.RejectAtAdmission(name, req.Seq); err != nil {
+		s.admitted.Add(1)
+		s.rec.RecordTenant(name, stats.OutcomeRejected, 0)
+		sc.mu.Unlock()
+		done <- Response{Status: StatusRejected, Err: err}
+		return done
+	}
+	tq := sc.tenant(name)
+	if !tq.br.allow(time.Now()) {
+		s.admitted.Add(1)
+		s.rejected.Add(1)
+		s.rec.RecordTenant(name, stats.OutcomeShed, 0)
+		sc.mu.Unlock()
+		done <- Response{Status: StatusShed, Err: ErrBreakerOpen}
+		return done
+	}
+	if tq.pol.Policy == PolicyShed {
+		if tq.qlen() >= tq.pol.QueueDepth {
+			s.admitted.Add(1)
+			s.rejected.Add(1)
+			s.rec.RecordTenant(name, stats.OutcomeShed, 0)
+			sc.mu.Unlock()
+			done <- Response{Status: StatusShed}
+			return done
+		}
+	} else {
+		for tq.qlen() >= tq.pol.QueueDepth {
+			sc.notFull.Wait()
+			if sc.closed {
+				sc.mu.Unlock()
+				s.closedRefs.Add(1)
+				done <- Response{Status: StatusClosed, Err: ErrClosed}
+				return done
+			}
+		}
+	}
+	s.admitted.Add(1)
+	sc.enqueue(tq, c)
+	sc.mu.Unlock()
 	return done
 }
 
 // Do submits and waits for the response.
 func (s *Server) Do(req Request) Response { return <-s.Submit(req) }
 
-// Close drains the queue, stops the workers, and waits for them to exit.
+// Close stops admissions, drains every queued and in-flight request with
+// its real outcome recorded, tears down the worker pools, and waits for
+// the workers to exit. Safe to call concurrently with Submit and more than
+// once.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
+	s.sched.close()
 	s.wg.Wait()
 }
 
@@ -214,71 +402,238 @@ func (s *Server) Snapshot(elapsed time.Duration) stats.ServeSummary {
 	return s.rec.Snapshot(float64(elapsed.Nanoseconds()))
 }
 
+// TenantSummaries reports the per-tenant outcome breakdown (sorted by
+// tenant name) — the observability fairness and breaker behaviour are
+// judged by.
+func (s *Server) TenantSummaries() []stats.TenantSummary {
+	return s.rec.TenantSummaries()
+}
+
 // ColdStarts counts instance provisionings (pool misses) so far.
 func (s *Server) ColdStarts() uint64 { return s.coldStarts.Load() }
 
-// Rejected counts admissions refused under PolicyShed — the 429 counter.
+// Rejected counts admissions refused with StatusShed — queue-full sheds
+// under PolicyShed plus circuit-breaker sheds. The 429 counter.
 func (s *Server) Rejected() uint64 { return s.rejected.Load() }
 
-// worker owns a private pool of warm instances and serves queue entries
-// until the queue closes. Nothing in the pool ever crosses goroutines.
-func (s *Server) worker(id int) {
-	defer s.wg.Done()
-	pool := make(map[poolKey]*faas.TenantInstance)
-	for c := range s.queue {
-		resp := s.serveOne(id, pool, c.req)
-		resp.Latency = time.Since(c.t0)
-		lat := float64(resp.Latency.Nanoseconds())
-		switch resp.Status {
-		case StatusOK:
-			s.rec.Record(stats.OutcomeOK, lat)
-		case StatusTimeout:
-			s.rec.Record(stats.OutcomeTimeout, lat)
-		case StatusRejected:
-			s.rec.Record(stats.OutcomeRejected, 0)
-		default:
-			s.rec.Record(stats.OutcomeFault, lat)
-		}
-		c.done <- resp
+// Admitted counts requests that entered outcome accounting: every Submit
+// that did not hit a closed server. Conservation invariant:
+// Admitted == OK + Timeouts + Faults + Shed + Rejected once all submitted
+// requests have resolved.
+func (s *Server) Admitted() uint64 { return s.admitted.Load() }
+
+// Counters is a point-in-time view of the server's robustness machinery.
+type Counters struct {
+	Admitted          uint64 `json:"admitted"`
+	ColdStarts        uint64 `json:"cold_starts"`
+	Shed              uint64 `json:"shed"`
+	ClosedRejects     uint64 `json:"closed_rejects"`
+	ProvisionRetries  uint64 `json:"provision_retries"`
+	Quarantined       uint64 `json:"quarantined"`
+	QuarantineDiscard uint64 `json:"quarantine_discards"`
+	Evictions         uint64 `json:"evictions"`
+	Teardowns         uint64 `json:"teardowns"`
+	PoolSize          int64  `json:"pool_size"`
+	PoolHighWater     int64  `json:"pool_high_water"`
+	BreakerTrips      uint64 `json:"breaker_trips"`
+}
+
+// Counters snapshots the robustness counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Admitted:          s.admitted.Load(),
+		ColdStarts:        s.coldStarts.Load(),
+		Shed:              s.rejected.Load(),
+		ClosedRejects:     s.closedRefs.Load(),
+		ProvisionRetries:  s.retries.Load(),
+		Quarantined:       s.quarantine.Load(),
+		QuarantineDiscard: s.discarded.Load(),
+		Evictions:         s.evictions.Load(),
+		Teardowns:         s.teardowns.Load(),
+		PoolSize:          s.poolSize.Load(),
+		PoolHighWater:     s.poolHigh.Load(),
+		BreakerTrips:      s.sched.breakerTrips(),
 	}
 }
 
+// poolGrew maintains the aggregate pool-size gauge and its high-water
+// mark across all workers.
+func (s *Server) poolGrew(delta int64) {
+	n := s.poolSize.Add(delta)
+	for {
+		high := s.poolHigh.Load()
+		if n <= high || s.poolHigh.CompareAndSwap(high, n) {
+			return
+		}
+	}
+}
+
+// worker owns a private pool of warm instances and serves scheduler
+// entries until the scheduler closes and drains. Nothing in the pool ever
+// crosses goroutines.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	pool := newInstPool(s)
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(id)*0x9E3779B9))
+	for {
+		c, ok := s.sched.next()
+		if !ok {
+			break
+		}
+		resp := s.serveOne(id, pool, rng, c.req)
+		resp.Latency = time.Since(c.t0)
+		s.finish(c, resp)
+	}
+	pool.drain()
+}
+
+// finish records the outcome (globally and per tenant), feeds the
+// tenant's circuit breaker, and resolves the caller's channel.
+func (s *Server) finish(c call, resp Response) {
+	name := c.req.Tenant.Name
+	lat := float64(resp.Latency.Nanoseconds())
+	var o stats.Outcome
+	failed := false
+	switch resp.Status {
+	case StatusOK:
+		o = stats.OutcomeOK
+	case StatusTimeout:
+		o = stats.OutcomeTimeout
+		failed = true
+	case StatusRejected:
+		o, lat = stats.OutcomeRejected, 0
+	default:
+		o = stats.OutcomeFault
+		failed = true
+	}
+	s.rec.RecordTenant(name, o, lat)
+	if o != stats.OutcomeRejected {
+		// Rejections never probed the tenant's runtime health; everything
+		// else updates the breaker window.
+		s.sched.reportOutcome(name, failed, time.Now())
+	}
+	c.done <- resp
+}
+
+// chaosGarbage is the deterministic mid-request dirt an injected trap
+// leaves in the heap — what a genuinely aborted guest leaves behind.
+var chaosGarbage = func() []byte {
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = byte(0xA5 ^ i)
+	}
+	return b
+}()
+
 // serveOne runs one request on the worker's warm instance for its
-// (tenant, config), provisioning on first use.
-func (s *Server) serveOne(id int, pool map[poolKey]*faas.TenantInstance, req Request) Response {
-	if d := s.cfg.DispatchWall; d > 0 {
+// (tenant, config), provisioning (with retry) on pool miss and
+// quarantining the instance on any abnormal stop.
+func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, req Request) Response {
+	name := req.Tenant.Name
+	inj := s.cfg.Chaos
+	if d := s.cfg.DispatchWall + inj.SlowDown(name, req.Seq); d > 0 {
 		time.Sleep(d)
 	}
-	key := poolKey{req.Tenant.Name, req.Iso}
-	ti := pool[key]
-	if ti == nil {
-		var err error
-		ti, err = faas.Provision(req.Tenant, req.Iso)
-		if err != nil {
-			var re *verifier.RejectError
-			if errors.As(err, &re) {
-				return Response{Status: StatusRejected, Err: err, Worker: id}
-			}
-			return Response{Status: StatusFault, Err: err, Worker: id}
+	key := poolKey{name, req.Iso}
+	ent := pool.get(key, time.Now())
+	if ent == nil {
+		ti, resp, ok := s.provision(id, rng, req)
+		if !ok {
+			return resp
 		}
-		pool[key] = ti
+		ent = pool.put(key, ti, ti.Inst.HeapHash(), time.Now())
 		s.coldStarts.Add(1)
 	}
 	fuel := req.Fuel
 	if fuel == 0 {
 		fuel = s.cfg.Fuel
 	}
-	body, res := ti.ServeRequest(req.Seq, fuel)
+	var body []byte
+	var res cpu.RunResult
+	if inj.Trap(name, req.Seq) {
+		// Injected mid-request trap: dirty the heap the way an aborted
+		// guest would, then surface the fault. The recovery path below
+		// must clean this up or the next pooled reuse is corrupted.
+		ent.ti.Inst.WriteHeap(1024, chaosGarbage)
+		res = cpu.RunResult{Reason: cpu.StopFault}
+	} else {
+		if f, ok := inj.StarveFuel(name, req.Seq); ok {
+			fuel = f
+		}
+		body, res = ent.ti.ServeRequest(req.Seq, fuel)
+	}
 	switch res.Reason {
 	case cpu.StopHalt:
 		return Response{Status: StatusOK, Body: body, Stop: res.Reason, Worker: id}
 	case cpu.StopLimit:
 		// Deadline exceeded mid-run: the instance memory is mid-request
-		// garbage; restore it before the pool reuses it.
-		ti.Inst.Reset()
+		// garbage; quarantine before the pool reuses it.
+		s.quarantineInstance(pool, ent, req)
 		return Response{Status: StatusTimeout, Stop: res.Reason, Worker: id}
 	default:
-		ti.Inst.Reset()
+		s.quarantineInstance(pool, ent, req)
 		return Response{Status: StatusFault, Stop: res.Reason, Worker: id}
 	}
+}
+
+// quarantineInstance is the recovery path for a faulted or timed-out
+// instance: Reset, then verify the reset actually restored the
+// post-provision heap image (sandbox.Instance.HeapHash against the
+// baseline taken at provisioning). A verified instance returns to the
+// pool; a poisoned one — reset did not restore it — is discarded and torn
+// down, never reused ("Isolation Without Taxation": reuse is only safe if
+// post-fault state is provably reset).
+func (s *Server) quarantineInstance(pool *instPool, ent *poolEntry, req Request) {
+	s.quarantine.Add(1)
+	ent.ti.Inst.Reset()
+	if s.cfg.Chaos.Poison(req.Tenant.Name, req.Seq) {
+		// Chaos seam: lingering post-Reset corruption, as an incomplete
+		// reset (or a bug in it) would leave. The hash check must catch it.
+		ent.ti.Inst.WriteHeap(1500, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	}
+	if ent.ti.Inst.HeapHash() != ent.baseline {
+		pool.discard(ent)
+	}
+}
+
+// provision builds a warm instance for the request, retrying transient
+// failures with exponential backoff and jitter. Verification rejections
+// (typed *verifier.RejectError) and other deterministic failures fail
+// fast.
+func (s *Server) provision(id int, rng *rand.Rand, req Request) (*faas.TenantInstance, Response, bool) {
+	name := req.Tenant.Name
+	for attempt := 0; ; attempt++ {
+		err := s.cfg.Chaos.ProvisionError(name, attempt)
+		var ti *faas.TenantInstance
+		if err == nil {
+			ti, err = faas.Provision(req.Tenant, req.Iso)
+		}
+		if err == nil {
+			return ti, Response{}, true
+		}
+		var re *verifier.RejectError
+		if errors.As(err, &re) {
+			return nil, Response{Status: StatusRejected, Err: err, Worker: id}, false
+		}
+		if attempt >= s.cfg.Retry.Max || !faas.IsTransient(err) {
+			return nil, Response{Status: StatusFault, Err: err, Worker: id}, false
+		}
+		s.retries.Add(1)
+		time.Sleep(backoff(s.cfg.Retry, attempt, rng))
+	}
+}
+
+// backoff computes the attempt'th retry delay: exponential growth capped
+// at Cap, with uniform jitter in [d/2, d] so synchronized retry storms
+// decorrelate. Jitter shifts timing only; outcomes never depend on it.
+func backoff(r RetryConfig, attempt int, rng *rand.Rand) time.Duration {
+	d := r.Base
+	for i := 0; i < attempt && d < r.Cap; i++ {
+		d *= 2
+	}
+	if d > r.Cap {
+		d = r.Cap
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }

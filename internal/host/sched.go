@@ -1,0 +1,205 @@
+package host
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantQueue is one tenant's admission queue plus its scheduling state:
+// the FIFO of pending calls, the DRR deficit, and the tenant's circuit
+// breaker. All fields are guarded by the owning scheduler's mutex.
+type tenantQueue struct {
+	name    string
+	pol     TenantPolicy
+	q       []call
+	head    int // index of the front element in q
+	deficit int // DRR deficit counter (requests this tenant may pop this round)
+	inRing  bool
+	br      *breaker
+	served  uint64 // requests dispatched to workers (lifetime)
+}
+
+func (tq *tenantQueue) qlen() int { return len(tq.q) - tq.head }
+
+func (tq *tenantQueue) push(c call) { tq.q = append(tq.q, c) }
+
+func (tq *tenantQueue) popFront() call {
+	c := tq.q[tq.head]
+	tq.q[tq.head] = call{} // drop references for GC
+	tq.head++
+	if tq.head == len(tq.q) {
+		tq.q = tq.q[:0]
+		tq.head = 0
+	}
+	return c
+}
+
+// scheduler replaces the old single FIFO channel: per-tenant bounded
+// queues dispatched to workers by deficit round-robin. One mutex guards
+// admission, dispatch, and the per-tenant breakers, which is what makes
+// the shed/enqueue accounting exact: the queue-full decision, the shed
+// counter, and the enqueue are a single critical section, so the counters
+// cannot lose or double-count a shed when the queue oscillates at
+// capacity.
+//
+// DRR: tenants with queued work sit in a ring. A worker popping a request
+// takes it from the current ring tenant, spending one unit of its deficit;
+// when the deficit runs out the ring advances, and a tenant's deficit is
+// replenished by quantum × weight on each new visit. Every tenant in the
+// ring therefore dispatches at least quantum × weight requests per round
+// no matter how deep any other tenant's backlog is — the no-starvation
+// property the chaos soak asserts.
+type scheduler struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond // workers wait here for queued work
+	notFull  sync.Cond // PolicyBlock submitters wait here for queue space
+
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue
+	ringIdx int
+	queued  int // total calls across all tenant queues
+	rounds  uint64
+	closed  bool
+
+	cfg *Config
+}
+
+func newScheduler(cfg *Config) *scheduler {
+	sc := &scheduler{tenants: make(map[string]*tenantQueue), cfg: cfg}
+	sc.notEmpty.L = &sc.mu
+	sc.notFull.L = &sc.mu
+	return sc
+}
+
+// tenant returns (creating on first sight) the tenant's queue. Caller
+// holds sc.mu.
+func (sc *scheduler) tenant(name string) *tenantQueue {
+	tq := sc.tenants[name]
+	if tq == nil {
+		tq = &tenantQueue{
+			name: name,
+			pol:  sc.cfg.tenantPolicy(name),
+			br:   newBreaker(sc.cfg.Breaker),
+		}
+		sc.tenants[name] = tq
+	}
+	return tq
+}
+
+// enqueue appends a call to the tenant's queue and makes the tenant
+// schedulable. Caller holds sc.mu.
+func (sc *scheduler) enqueue(tq *tenantQueue, c call) {
+	tq.push(c)
+	sc.queued++
+	if !tq.inRing {
+		tq.inRing = true
+		tq.deficit = 0
+		sc.ring = append(sc.ring, tq)
+	}
+	sc.notEmpty.Signal()
+}
+
+// next blocks until a call is available (returning it under DRR order) or
+// the scheduler is closed and fully drained (ok=false). Workers loop on it.
+func (sc *scheduler) next() (call, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		if sc.queued > 0 {
+			c := sc.pop()
+			// A slot freed: wake blocked submitters (possibly of another
+			// tenant — they re-check their own queue's occupancy).
+			sc.notFull.Broadcast()
+			return c, true
+		}
+		if sc.closed {
+			return call{}, false
+		}
+		sc.notEmpty.Wait()
+	}
+}
+
+// pop removes the next call under deficit round-robin. Caller holds sc.mu
+// and guarantees sc.queued > 0 (so the ring is non-empty).
+func (sc *scheduler) pop() call {
+	tq := sc.ring[sc.ringIdx]
+	if tq.deficit <= 0 {
+		// New visit: replenish.
+		tq.deficit = sc.cfg.quantum() * tq.pol.weight()
+	}
+	c := tq.popFront()
+	sc.queued--
+	tq.deficit--
+	tq.served++
+	if tq.qlen() == 0 {
+		// Empty queues leave the ring; a classic DRR detail — the residual
+		// deficit is forfeited so an idle tenant cannot bank credit.
+		tq.inRing = false
+		tq.deficit = 0
+		sc.ringRemove(sc.ringIdx)
+	} else if tq.deficit == 0 {
+		sc.advance()
+	}
+	return c
+}
+
+func (sc *scheduler) ringRemove(i int) {
+	sc.ring = append(sc.ring[:i], sc.ring[i+1:]...)
+	if sc.ringIdx >= len(sc.ring) {
+		sc.ringIdx = 0
+		sc.rounds++
+	}
+}
+
+func (sc *scheduler) advance() {
+	sc.ringIdx++
+	if sc.ringIdx >= len(sc.ring) {
+		sc.ringIdx = 0
+		sc.rounds++
+	}
+}
+
+// close marks the scheduler closed: no new admissions; queued work keeps
+// draining; blocked submitters and idle workers wake.
+func (sc *scheduler) close() {
+	sc.mu.Lock()
+	if !sc.closed {
+		sc.closed = true
+		sc.notEmpty.Broadcast()
+		sc.notFull.Broadcast()
+	}
+	sc.mu.Unlock()
+}
+
+// reportOutcome feeds a served request's fate to the tenant's circuit
+// breaker (sheds and rejections are not reported — they never probed the
+// tenant's health).
+func (sc *scheduler) reportOutcome(name string, failed bool, now time.Time) {
+	sc.mu.Lock()
+	if tq := sc.tenants[name]; tq != nil {
+		tq.br.record(failed, now)
+	}
+	sc.mu.Unlock()
+}
+
+// breakerTrips sums lifetime breaker trips across tenants.
+func (sc *scheduler) breakerTrips() uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var n uint64
+	for _, tq := range sc.tenants {
+		n += tq.br.tripCount()
+	}
+	return n
+}
+
+// tenantServed reports how many of the tenant's requests have been
+// dispatched to workers (a progress probe for fairness tests).
+func (sc *scheduler) tenantServed(name string) uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if tq := sc.tenants[name]; tq != nil {
+		return tq.served
+	}
+	return 0
+}

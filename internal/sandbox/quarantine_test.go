@@ -1,0 +1,117 @@
+package sandbox
+
+import (
+	"testing"
+
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+	"hfi/internal/wasm"
+)
+
+// scribbleTrapModule's run(mode) behaves two ways: run(0) loads and
+// returns the data-segment byte at offset 0 (a pure, repeatable probe);
+// run(1) scribbles 0xAB over the first 512 heap bytes — including that
+// byte — and then traps, leaving the instance mid-request dirty exactly
+// like an aborted guest would.
+func scribbleTrapModule() *wasm.Module {
+	m := wasm.NewModule("scribble-trap", 1, 16)
+	m.AddData(0, []byte{10, 20, 30, 40})
+	f := m.Func("run", 1)
+	mode := f.Param(0)
+	a, v := f.NewReg(), f.NewReg()
+	f.BrImm(isa.CondEQ, mode, 0, "probe")
+	f.MovImm(a, 0)
+	f.MovImm(v, 0xAB)
+	f.Label("w")
+	f.Store(1, a, 0, v)
+	f.AddImm(a, a, 1)
+	f.BrImm(isa.CondLT, a, 512, "w")
+	f.Trap()
+	f.Label("probe")
+	f.MovImm(a, 0)
+	f.Load(1, v, a, 0)
+	f.Ret(v)
+	return m
+}
+
+// TestFaultedInstanceDetectableWithoutReset is the quarantine contract the
+// serving layer's pool relies on: a trapped instance reused *without*
+// Reset is detectable by heap hash (and returns wrong answers), while
+// Reset restores both hash equality and differential behavioural equality
+// with a cold instance.
+func TestFaultedInstanceDetectableWithoutReset(t *testing.T) {
+	for _, scheme := range []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.HFI} {
+		mod := scribbleTrapModule()
+
+		// Cold reference instance: baseline hash and baseline behaviour.
+		coldRT := NewRuntime()
+		cold, err := coldRT.Instantiate(mod, scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		coldEng := cpu.NewInterp(coldRT.M)
+		baseline := cold.HeapHash()
+		res, want := cold.Invoke(coldEng, 1_000_000, 0)
+		if res.Reason != cpu.StopHalt || want != 10 {
+			t.Fatalf("%v: cold probe = %d (stop %v), want 10/halt", scheme, want, res.Reason)
+		}
+
+		// Warm instance on its own machine, provisioned identically.
+		rt := NewRuntime()
+		inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		eng := cpu.NewInterp(rt.M)
+		if got := inst.HeapHash(); got != baseline {
+			t.Fatalf("%v: fresh-instance hash %#x != cold baseline %#x", scheme, got, baseline)
+		}
+
+		// Fault it mid-request.
+		res, _ = inst.Invoke(eng, 1_000_000, 1)
+		if res.Reason == cpu.StopHalt {
+			t.Fatalf("%v: scribble run halted, want a trap", scheme)
+		}
+
+		// Without Reset the poisoning is detectable two ways: the heap hash
+		// diverges from the cold baseline, and the probe answer is wrong.
+		if got := inst.HeapHash(); got == baseline {
+			t.Fatalf("%v: faulted instance hash still %#x — corruption undetectable", scheme, got)
+		}
+		if res, got := inst.Invoke(eng, 1_000_000, 0); res.Reason == cpu.StopHalt && got == want {
+			t.Fatalf("%v: faulted instance still answers %d — test module not dirty enough", scheme, got)
+		}
+
+		// Reset restores hash equality and differential equality with cold.
+		inst.Reset()
+		if got := inst.HeapHash(); got != baseline {
+			t.Fatalf("%v: post-Reset hash %#x != cold baseline %#x", scheme, got, baseline)
+		}
+		res, got := inst.Invoke(eng, 1_000_000, 0)
+		if res.Reason != cpu.StopHalt || got != want {
+			t.Fatalf("%v: post-Reset probe = %d (stop %v), want %d/halt", scheme, got, res.Reason, want)
+		}
+	}
+}
+
+// TestHeapHashSeesHostPokes: corruption written from the host side (the
+// chaos injector's poison seam writes through WriteHeap, not guest code)
+// is equally detectable, and a second Reset clears it.
+func TestHeapHashSeesHostPokes(t *testing.T) {
+	mod := scribbleTrapModule()
+	rt := NewRuntime()
+	inst, err := rt.Instantiate(mod, sfi.HFI, wasm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := inst.HeapHash()
+	inst.WriteHeap(64, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if inst.HeapHash() == baseline {
+		t.Fatal("host-side poke undetectable by HeapHash")
+	}
+	inst.Reset()
+	if got := inst.HeapHash(); got != baseline {
+		t.Fatalf("Reset left poke behind: %#x != %#x", got, baseline)
+	}
+}

@@ -596,6 +596,40 @@ func (inst *Instance) Reset() {
 	inst.CurPages = mod.MemPages
 }
 
+// HeapHash digests the instance's initial heap image — the module's
+// declared initial pages — with FNV-1a. Right after Instantiate (and right
+// after a correct Reset) the hash equals the cold-instance hash: data
+// segments replayed, everything else zero. A warm pool uses it as the
+// verified-reset check before reusing a faulted instance: any state a
+// buggy or bypassed Reset leaves behind in the initial pages changes the
+// hash, so a poisoned instance is detectable without reference to another
+// instance. Pages grown past the initial size are not hashed (Reset
+// discards them wholesale and restores the page count, which callers can
+// check via CurPages).
+func (inst *Instance) HeapHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mem := inst.RT.M.Mem()
+	total := uint64(inst.C.Module.MemPages) * wasm.PageSize
+	buf := make([]byte, 64<<10)
+	for off := uint64(0); off < total; off += uint64(len(buf)) {
+		n := total - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		chunk := buf[:n]
+		mem.ReadBytes(inst.HeapBase+off, chunk)
+		for _, b := range chunk {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Teardown discards the instance's memory image with one madvise call over
 // its committed heap, the way stock Wasmtime recycles instance slots
 // (§5.1). Guard reservations are not touched — the per-sandbox strategy

@@ -1,6 +1,9 @@
 package stats
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Outcome classifies one request's fate for the serving recorder.
 type Outcome uint8
@@ -40,31 +43,77 @@ type Recorder struct {
 	faults   uint64
 	shed     uint64
 	rejected uint64
+	tenants  map[string]*tenantStats
+}
+
+// tenantStats is one tenant's slice of the recorder: the same outcome
+// counters plus its own latency samples (for a per-tenant p99).
+type tenantStats struct {
+	ok, timeouts, faults, shed, rejected uint64
+	lats                                 []float64
 }
 
 // NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+func NewRecorder() *Recorder { return &Recorder{tenants: make(map[string]*tenantStats)} }
 
 // Record adds one request outcome. latNs is the wall-clock latency in
 // nanoseconds; it is ignored for shed requests, which never executed.
-func (r *Recorder) Record(o Outcome, latNs float64) {
+func (r *Recorder) Record(o Outcome, latNs float64) { r.RecordTenant("", o, latNs) }
+
+// RecordTenant adds one request outcome attributed to a tenant, updating
+// both the global view (identical to Record) and the tenant's breakdown.
+// The empty tenant records globally only.
+func (r *Recorder) RecordTenant(tenant string, o Outcome, latNs float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var ts *tenantStats
+	if tenant != "" {
+		if ts = r.tenants[tenant]; ts == nil {
+			if r.tenants == nil {
+				r.tenants = make(map[string]*tenantStats)
+			}
+			ts = &tenantStats{}
+			r.tenants[tenant] = ts
+		}
+	}
+	executed := false
 	switch o {
 	case OutcomeOK:
 		r.ok++
+		executed = true
+		if ts != nil {
+			ts.ok++
+		}
 	case OutcomeTimeout:
 		r.timeouts++
+		executed = true
+		if ts != nil {
+			ts.timeouts++
+		}
 	case OutcomeFault:
 		r.faults++
+		executed = true
+		if ts != nil {
+			ts.faults++
+		}
 	case OutcomeShed:
 		r.shed++
-		return
+		if ts != nil {
+			ts.shed++
+		}
 	case OutcomeRejected:
 		r.rejected++
+		if ts != nil {
+			ts.rejected++
+		}
+	}
+	if !executed {
 		return
 	}
 	r.lats = append(r.lats, latNs)
+	if ts != nil {
+		ts.lats = append(ts.lats, latNs)
+	}
 }
 
 // ServeSummary is a point-in-time view of a Recorder.
@@ -115,4 +164,56 @@ func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 		s.ShedRate = float64(s.Shed) / float64(total)
 	}
 	return s
+}
+
+// TenantSummary is one tenant's outcome breakdown — the observability the
+// fairness and circuit-breaker machinery is judged by.
+type TenantSummary struct {
+	Tenant   string  `json:"tenant"`
+	OK       uint64  `json:"ok"`
+	Timeouts uint64  `json:"timeouts"`
+	Faults   uint64  `json:"faults"`
+	Shed     uint64  `json:"shed"`
+	Rejected uint64  `json:"rejected"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+}
+
+// Executed counts the tenant's requests that reached a sandbox.
+func (t TenantSummary) Executed() uint64 { return t.OK + t.Timeouts + t.Faults }
+
+// Admitted counts every accounted outcome for the tenant.
+func (t TenantSummary) Admitted() uint64 { return t.Executed() + t.Shed + t.Rejected }
+
+// TenantSummaries returns the per-tenant breakdowns sorted by tenant name.
+// The global view (Snapshot) is unchanged by per-tenant attribution.
+func (r *Recorder) TenantSummaries() []TenantSummary {
+	r.mu.Lock()
+	out := make([]TenantSummary, 0, len(r.tenants))
+	for name, ts := range r.tenants {
+		t := TenantSummary{
+			Tenant: name,
+			OK:     ts.ok, Timeouts: ts.timeouts, Faults: ts.faults,
+			Shed: ts.shed, Rejected: ts.rejected,
+		}
+		if len(ts.lats) > 0 {
+			lats := append([]float64(nil), ts.lats...)
+			t.P50Ns = Percentile(lats, 50)
+			t.P99Ns = Percentile(lats, 99)
+		}
+		out = append(out, t)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Tenant returns one tenant's breakdown (zero value if never recorded).
+func (r *Recorder) Tenant(name string) TenantSummary {
+	for _, t := range r.TenantSummaries() {
+		if t.Tenant == name {
+			return t
+		}
+	}
+	return TenantSummary{Tenant: name}
 }

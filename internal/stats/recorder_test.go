@@ -75,6 +75,82 @@ func TestRecorderEmpty(t *testing.T) {
 	}
 }
 
+// TestRecorderPerTenant: RecordTenant feeds both the global view (exactly
+// as Record would) and the tenant breakdown; conservation holds per tenant
+// and p99s are per-tenant, not global.
+func TestRecorderPerTenant(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.RecordTenant("fast", OutcomeOK, 10)
+	}
+	for i := 0; i < 50; i++ {
+		r.RecordTenant("slow", OutcomeOK, 1000)
+	}
+	r.RecordTenant("slow", OutcomeTimeout, 5000)
+	r.RecordTenant("slow", OutcomeFault, 2000)
+	r.RecordTenant("slow", OutcomeShed, 0)
+	r.RecordTenant("slow", OutcomeRejected, 0)
+
+	g := r.Snapshot(0)
+	if g.OK != 150 || g.Timeouts != 1 || g.Faults != 1 || g.Shed != 1 || g.Rejected != 1 {
+		t.Fatalf("global view wrong: %+v", g)
+	}
+
+	ts := r.TenantSummaries()
+	if len(ts) != 2 || ts[0].Tenant != "fast" || ts[1].Tenant != "slow" {
+		t.Fatalf("tenants = %+v", ts)
+	}
+	fast, slow := ts[0], ts[1]
+	if fast.OK != 100 || fast.Admitted() != 100 {
+		t.Fatalf("fast = %+v", fast)
+	}
+	if slow.OK != 50 || slow.Timeouts != 1 || slow.Faults != 1 || slow.Shed != 1 || slow.Rejected != 1 {
+		t.Fatalf("slow = %+v", slow)
+	}
+	if slow.Admitted() != 54 || slow.Executed() != 52 {
+		t.Fatalf("slow conservation: %+v", slow)
+	}
+	if fast.P99Ns != 10 {
+		t.Fatalf("fast p99 = %v, want 10 (per-tenant, not global)", fast.P99Ns)
+	}
+	if slow.P99Ns < 1000 {
+		t.Fatalf("slow p99 = %v, want >= 1000", slow.P99Ns)
+	}
+	if got := r.Tenant("slow"); got.OK != 50 {
+		t.Fatalf("Tenant(slow) = %+v", got)
+	}
+	if got := r.Tenant("nope"); got.Admitted() != 0 {
+		t.Fatalf("Tenant(nope) = %+v", got)
+	}
+}
+
+// TestRecorderPerTenantConcurrent: per-tenant attribution under concurrent
+// writers loses nothing (run with -race).
+func TestRecorderPerTenantConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	const writers, each = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"a", "b"}[w%2]
+			for i := 0; i < each; i++ {
+				r.RecordTenant(name, OutcomeOK, float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, name := range []string{"a", "b"} {
+		if got := r.Tenant(name).OK; got != writers/2*each {
+			t.Fatalf("%s OK = %d, want %d", name, got, writers/2*each)
+		}
+	}
+	if g := r.Snapshot(0); g.OK != writers*each {
+		t.Fatalf("global OK = %d", g.OK)
+	}
+}
+
 // TestRecorderShedOnly: sheds never contribute latency samples.
 func TestRecorderShedOnly(t *testing.T) {
 	r := NewRecorder()

@@ -12,6 +12,12 @@
 # test, faas, sandbox, stats — runs in full. For the unabridged version:
 # `go test -race -timeout 45m ./...`.
 #
+# Then the chaos soak runs once more, uncached (-count=1): the seeded
+# fault-injection acceptance test for the serving layer — deterministic
+# outcome counts across two same-seed runs, exact conservation
+# (admitted == ok+timeout+fault+shed+rejected), per-tenant progress under
+# a hot-tenant flood, bounded warm pools (`make soak` runs just this).
+#
 # After the tests, the static-verifier gate: hfiverify proves every corpus
 # program safe under every scheme, then runs the fast mutation bench, which
 # fails on any verified-then-escaped mutant or a static kill rate below 95%
@@ -27,6 +33,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race -short ./..."
 go test -race -short -timeout 15m ./...
+echo "== chaos soak (seeded, race-detected)"
+go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
 echo "== hfiverify: corpus under all schemes"
 go run ./cmd/hfiverify
 echo "== hfiverify -mutate: verifier soundness bench (fast)"
