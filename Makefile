@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test race vet verify verifier bench benchfull serve soak chaos
+.PHONY: build test race vet verify verifier bench benchfull serve soak chaos loadtest httpd
 
 build:
 	go build ./...
@@ -46,3 +46,12 @@ soak:
 # Chaos-injected serving demo with the per-tenant outcome breakdown.
 chaos:
 	go run ./cmd/hfiserve -requests 200 -chaos -seed 7 -dispatch 500us
+
+# Short deterministic open-loop sweep gated on p99 vs the checked-in
+# baseline (scripts/loadtest_baseline.json). Part of `make verify`.
+loadtest:
+	sh scripts/loadtest.sh
+
+# HTTP front-end demo: serve the default tenant registry on :8080.
+httpd:
+	go run ./cmd/hfihttpd -addr :8080 -queue 16

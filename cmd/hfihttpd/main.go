@@ -1,0 +1,228 @@
+// Command hfihttpd serves the multi-tenant sandbox host (internal/host)
+// over HTTP via internal/httpfront: per-tenant invoke routes, drain-aware
+// health, and JSON stats — the front door real load generators (vegeta,
+// hey, wrk) point at.
+//
+// Usage:
+//
+//	hfihttpd -addr :8080                 # serve the default tenant registry
+//	hfihttpd -policy shed -queue 16      # real 429s under overload
+//	hfihttpd -fuel-per-second 5e7        # client deadlines shrink fuel budgets
+//	hfihttpd -selfdrive                  # built-in open-loop HTTP sweep, then exit
+//	hfihttpd -selfdrive -rates 200,800 -requests 200 -json
+//
+// Routes:
+//
+//	POST /v1/tenants/{tenant}/invoke     # body = guest input (empty ⇒ synthetic)
+//	GET  /healthz                        # 200, or 503 once draining
+//	GET  /statsz                         # serve summary + per-tenant + counters
+//
+// On SIGINT/SIGTERM the server drains: /healthz flips to 503 (load
+// balancers stop routing), queued and in-flight requests finish with real
+// outcomes, then the listener shuts down. Requests arriving after the
+// host closes get 503 + Retry-After.
+//
+// -selfdrive binds a loopback listener and drives it with the same
+// open-loop Poisson generator as `hfiserve -mode sweep`, but over real
+// HTTP — wire cost, status mapping, and client disconnects included; one
+// fresh server per offered rate. The table (and -json document) is the
+// p99-vs-rate hockey stick.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hfi/internal/host"
+	"hfi/internal/httpfront"
+	"hfi/internal/stats"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth per tenant (0 = 2x workers)")
+		policy    = flag.String("policy", "shed", "backpressure policy: block | shed (shed ⇒ real 429s)")
+		fuel      = flag.Uint64("fuel", 0, "per-request instruction budget (0 = unlimited)")
+		fuelPerS  = flag.Float64("fuel-per-second", 0, "deadline→fuel conversion (instructions per second of client deadline; 0 = off)")
+		dispatch  = flag.Duration("dispatch", 0, "wall-clock per-request dispatch overhead (selfdrive/test realism)")
+		seed      = flag.Int64("seed", 1, "request schedule seed (selfdrive)")
+		drainWait = flag.Duration("drain-wait", 500*time.Millisecond, "pause after flipping /healthz before closing the host")
+		selfdrive = flag.Bool("selfdrive", false, "run the open-loop HTTP sweep against an in-process listener and exit")
+		rates     = flag.String("rates", "200,400,800,1200,1600,2400", "offered rates for -selfdrive, req/s")
+		requests  = flag.Int("requests", 200, "requests per rate in -selfdrive")
+		jsonOut   = flag.Bool("json", false, "emit the -selfdrive result as JSON")
+	)
+	flag.Parse()
+
+	var pol host.Policy
+	switch *policy {
+	case "block":
+		pol = host.PolicyBlock
+	case "shed":
+		pol = host.PolicyShed
+	default:
+		fmt.Fprintf(os.Stderr, "hfihttpd: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	cfg := host.Config{
+		Workers: *workers, QueueDepth: *queue, Policy: pol,
+		Fuel: *fuel, FuelPerSecond: uint64(*fuelPerS),
+		DispatchWall: *dispatch,
+		Retry:        host.RetryConfig{Max: 2},
+		Seed:         *seed,
+	}
+
+	if *selfdrive {
+		os.Exit(runSelfdrive(cfg, *rates, *requests, *seed, *jsonOut))
+	}
+	os.Exit(serve(cfg, *addr, *drainWait))
+}
+
+// registry builds the routable tenant set from the standard mix: each
+// DefaultMix class keeps its isolation configuration, so /v1/tenants/...
+// names exercise the same (tenant, config) pool keying as the benchmarks.
+func registry() map[string]httpfront.Tenant {
+	reg := make(map[string]httpfront.Tenant)
+	for _, c := range host.DefaultMix() {
+		reg[c.Tenant.Name] = httpfront.Tenant{Workload: c.Tenant, Iso: c.Iso}
+	}
+	return reg
+}
+
+// serve runs the front until SIGINT/SIGTERM, then drains: healthz → 503,
+// wait for load balancers to notice, close the host (queued work finishes
+// with real outcomes), shut the listener down.
+func serve(cfg host.Config, addr string, drainWait time.Duration) int {
+	front := httpfront.New(host.New(cfg), registry())
+	hs := &http.Server{Addr: addr, Handler: front.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hfihttpd: serving on %s (%d workers, policy %s)\n",
+		addr, front.Host().Workers(), cfg.Policy)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hfihttpd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "hfihttpd: draining (healthz → 503)")
+	front.BeginDrain()
+	time.Sleep(drainWait)
+	front.Host().Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hfihttpd: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "hfihttpd: drained")
+	return 0
+}
+
+// selfdriveReport is the -selfdrive -json document.
+type selfdriveReport struct {
+	Seed    int64             `json:"seed"`
+	Mode    string            `json:"mode"`
+	Policy  string            `json:"policy"`
+	Workers int               `json:"workers"`
+	Points  []host.SweepPoint `json:"points"`
+}
+
+// runSelfdrive sweeps offered rates over real HTTP: one fresh server,
+// front, and loopback listener per rate so queue state never bleeds
+// between points.
+func runSelfdrive(cfg host.Config, rateList string, perRate int, seed int64, jsonOut bool) int {
+	var rates []float64
+	for _, f := range strings.Split(rateList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "hfihttpd: bad rate %q\n", f)
+			return 2
+		}
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+
+	reg := registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	rep := selfdriveReport{Seed: seed, Mode: "selfdrive", Policy: cfg.Policy.String()}
+	for _, rate := range rates {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfihttpd:", err)
+			return 1
+		}
+		front := httpfront.New(host.New(cfg), reg)
+		rep.Workers = front.Host().Workers()
+		hs := &http.Server{Handler: front.Handler()}
+		go hs.Serve(ln)
+
+		pt, err := httpfront.RunOpenLoopHTTP(client, "http://"+ln.Addr().String(), names, rate, perRate, seed)
+
+		front.Host().Close()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(shutCtx)
+		cancel()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "hfihttpd: sweep @ %.0f req/s: %v\n", rate, err)
+			return 1
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hfihttpd:", err)
+			return 1
+		}
+		return 0
+	}
+	tb := &stats.Table{
+		Title:   fmt.Sprintf("open-loop HTTP sweep, %d workers (%d requests/rate, policy %s)", rep.Workers, perRate, cfg.Policy),
+		Columns: []string{"rate req/s", "achieved", "ok", "shed%", "p50", "p99", "p99.9"},
+	}
+	for _, pt := range rep.Points {
+		tb.AddRow(
+			fmt.Sprintf("%.0f", pt.RateRPS),
+			fmt.Sprintf("%.0f", pt.AchievedRPS),
+			strconv.FormatUint(pt.OK, 10),
+			fmt.Sprintf("%.1f", pt.ShedRate*100),
+			stats.Ns(pt.P50Ns), stats.Ns(pt.P99Ns), stats.Ns(pt.P999Ns),
+		)
+	}
+	tb.AddNote("real HTTP over loopback: latencies include wire + front overhead")
+	fmt.Println(tb)
+	return 0
+}

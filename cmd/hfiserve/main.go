@@ -7,6 +7,10 @@
 //
 //	hfiserve                           # closed-loop sweep over 1,2,4,... workers
 //	hfiserve -mode open -rate 2000     # Poisson-ish open loop at 2000 req/s
+//	hfiserve -mode sweep -policy shed  # open-loop rate sweep: the p99 hockey stick
+//	hfiserve -mode sweep -rates 200,400,800,1600 -requests 300 -json
+//	hfiserve -mode sweep -check scripts/loadtest_baseline.json
+//	                                   # fail (exit 1) on p99 regression vs baseline
 //	hfiserve -policy shed -queue 8     # shed instead of blocking when full
 //	hfiserve -fuel 200000              # per-request instruction budget
 //	hfiserve -verify                   # also check checksums vs single-threaded
@@ -56,7 +60,15 @@ type report struct {
 	Mode   string      `json:"mode"`
 	Policy string      `json:"policy"`
 	Chaos  bool        `json:"chaos"`
-	Runs   []runReport `json:"runs"`
+	Runs   []runReport `json:"runs,omitempty"`
+	Sweeps []sweepRun  `json:"sweeps,omitempty"`
+}
+
+// sweepRun is one worker count's open-loop rate sweep — the hockey-stick
+// curve at that capacity.
+type sweepRun struct {
+	Workers int               `json:"workers"`
+	Points  []host.SweepPoint `json:"points"`
 }
 
 func main() {
@@ -77,6 +89,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report (includes the seed)")
 		poolCap  = flag.Int("pool", 0, "warm-instance pool cap per worker (0 = unbounded)")
 		breakWin = flag.Int("breaker-window", 0, "circuit-breaker outcome window per tenant (0 = disabled)")
+		rates    = flag.String("rates", "200,400,800,1200,1600,2400,3200", "offered rates for -mode sweep, req/s")
+		check    = flag.String("check", "", "baseline JSON (a prior -mode sweep -json) to gate p99 against")
+		tol      = flag.Float64("tolerance", 4.0, "p99 regression multiplier allowed vs -check baseline")
 	)
 	flag.Parse()
 
@@ -103,6 +118,21 @@ func main() {
 	}
 
 	mix := host.DefaultMix()
+
+	if *mode == "sweep" {
+		rateList, err := parseRates(*rates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve:", err)
+			os.Exit(2)
+		}
+		os.Exit(runSweep(sweepOpts{
+			counts: counts, mix: mix, pol: pol, queue: *queue, fuel: *fuel,
+			dispatch: *dispatch, tenants: tenants, rates: rateList,
+			perRate: *requests, seed: *seed, jsonOut: *jsonOut,
+			checkPath: *check, tol: *tol,
+		}))
+	}
+
 	// Checksum comparison needs every request to execute exactly once:
 	// shedding drops requests, fuel starvation turns them into timeouts, and
 	// chaos faults some on purpose, so verification only makes sense under

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hfi/internal/host"
+	"hfi/internal/stats"
+)
+
+// sweepOpts carries the -mode sweep configuration.
+type sweepOpts struct {
+	counts    []int
+	mix       []host.Class
+	pol       host.Policy
+	queue     int
+	fuel      uint64
+	dispatch  time.Duration
+	tenants   map[string]host.TenantPolicy
+	rates     []float64
+	perRate   int
+	seed      int64
+	jsonOut   bool
+	checkPath string
+	tol       float64
+}
+
+// runSweep produces the open-loop latency-vs-offered-load table per worker
+// count — the hockey stick: p99 flat while the offered rate sits below
+// capacity, then exploding (PolicyBlock) or flattening into shed
+// (PolicyShed) past the knee. Returns the process exit code.
+func runSweep(o sweepOpts) int {
+	rep := report{Seed: o.seed, Mode: "sweep", Policy: o.pol.String()}
+	for _, w := range o.counts {
+		newServer := func() *host.Server {
+			return host.New(host.Config{
+				Workers: w, QueueDepth: o.queue, Policy: o.pol,
+				Fuel: o.fuel, DispatchWall: o.dispatch,
+				Tenants: o.tenants,
+				Retry:   host.RetryConfig{Max: 2},
+				Seed:    o.seed,
+			})
+		}
+		pts := host.RunRateSweep(newServer, o.mix, o.rates, o.perRate, o.seed)
+		rep.Sweeps = append(rep.Sweeps, sweepRun{Workers: w, Points: pts})
+
+		if !o.jsonOut {
+			tb := &stats.Table{
+				Title:   fmt.Sprintf("open-loop sweep, %d workers (%d requests/rate, policy %s)", w, o.perRate, o.pol),
+				Columns: []string{"rate req/s", "achieved", "ok", "shed%", "p50", "p99", "p99.9"},
+			}
+			for _, pt := range pts {
+				tb.AddRow(
+					fmt.Sprintf("%.0f", pt.RateRPS),
+					fmt.Sprintf("%.0f", pt.AchievedRPS),
+					strconv.FormatUint(pt.OK, 10),
+					fmt.Sprintf("%.1f", pt.ShedRate*100),
+					stats.Ns(pt.P50Ns), stats.Ns(pt.P99Ns), stats.Ns(pt.P999Ns),
+				)
+			}
+			tb.AddNote("open loop: arrivals are Poisson at the offered rate, independent of completions")
+			fmt.Println(tb)
+		}
+	}
+
+	if o.checkPath != "" {
+		if err := checkBaseline(rep, o.checkPath, o.tol); err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve: loadtest gate:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "hfiserve: p99 within %.1fx of baseline %s at every point\n", o.tol, o.checkPath)
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// checkBaseline compares this run's p99 per (workers, rate) point against a
+// saved sweep report, allowing a tol× multiplier of slack (wall-clock
+// latency on shared CI hardware is noisy; a real regression shows up as a
+// multiple, not a percentage). Every run must also conserve its ledger and
+// actually serve something at every rate.
+func checkBaseline(rep report, path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	basePts := make(map[string]host.SweepPoint)
+	for _, sw := range base.Sweeps {
+		for _, pt := range sw.Points {
+			basePts[fmt.Sprintf("%d@%.0f", sw.Workers, pt.RateRPS)] = pt
+		}
+	}
+	for _, sw := range rep.Sweeps {
+		for _, pt := range sw.Points {
+			accounted := pt.OK + pt.Timeouts + pt.Faults + pt.Shed + pt.Rejected + pt.Canceled
+			if accounted != uint64(pt.Offered) {
+				return fmt.Errorf("%d workers @ %.0f req/s: accounted %d of %d offered",
+					sw.Workers, pt.RateRPS, accounted, pt.Offered)
+			}
+			if pt.OK == 0 {
+				return fmt.Errorf("%d workers @ %.0f req/s: zero successes", sw.Workers, pt.RateRPS)
+			}
+			key := fmt.Sprintf("%d@%.0f", sw.Workers, pt.RateRPS)
+			bp, ok := basePts[key]
+			if !ok || bp.P99Ns <= 0 {
+				continue // point not in baseline: informational only
+			}
+			if pt.P99Ns > bp.P99Ns*tol {
+				return fmt.Errorf("%d workers @ %.0f req/s: p99 %s vs baseline %s exceeds %.1fx",
+					sw.Workers, pt.RateRPS, stats.Ns(pt.P99Ns), stats.Ns(bp.P99Ns), tol)
+			}
+		}
+	}
+	return nil
+}
+
+// parseRates parses the -rates list.
+func parseRates(list string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return rates, nil
+}

@@ -129,8 +129,15 @@ func ProvisionShared(tenant workloads.Tenant, cfg Config, images *sandbox.CodeCa
 // caller decides between surfacing a timeout (StopLimit) and a fault. The
 // simulated clock advances by the dispatch overhead plus guest time.
 func (ti *TenantInstance) ServeRequest(seq int, fuel uint64) ([]byte, cpu.RunResult) {
+	return ti.ServeBody(ti.Tenant.MakeRequest(seq), fuel)
+}
+
+// ServeBody runs one request with an externally supplied request body —
+// the HTTP front-end's path, where the payload arrives over the wire
+// instead of from the tenant's synthetic request stream. The guest sees
+// the body at workloads.InputOffset exactly as it would a generated one.
+func (ti *TenantInstance) ServeBody(req []byte, fuel uint64) ([]byte, cpu.RunResult) {
 	ti.RT.M.Kern.Clock.Advance(DispatchOverheadNs)
-	req := ti.Tenant.MakeRequest(seq)
 	ti.Inst.WriteHeap(workloads.InputOffset, req)
 	res, outLen := ti.Inst.Invoke(ti.Eng, fuel, uint64(len(req)))
 	if res.Reason != cpu.StopHalt {

@@ -1,0 +1,203 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hfi/internal/cpu"
+	"hfi/internal/faas"
+	"hfi/internal/workloads"
+)
+
+// TestCancelPreAdmission: a context already cancelled at Submit resolves
+// StatusCanceled immediately, still counts as admitted (conservation), and
+// carries the context's cause as the error.
+func TestCancelPreAdmission(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := s.Do(ctx, treq(tenant, faas.StockLucet(), 0))
+	if r.Status != StatusCanceled {
+		t.Fatalf("status = %v, want %v", r.Status, StatusCanceled)
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", r.Err)
+	}
+	c := s.Counters()
+	if c.Admitted != 1 || c.Canceled != 1 {
+		t.Fatalf("counters = %+v, want admitted 1 canceled 1", c)
+	}
+}
+
+// TestCancelQueuedNeverOccupiesWorker is the core contract of the
+// cancellation redesign: a request cancelled while it sits in its tenant
+// queue is unlinked and resolved without ever being dispatched. The victim
+// uses its own tenant, so worker occupancy is provable from the counters —
+// zero executed requests for the victim tenant and exactly one cold start
+// (the blocker's) on the whole server.
+func TestCancelQueuedNeverOccupiesWorker(t *testing.T) {
+	light := workloads.FaaSTenantsLight()
+	blocker, victim := light[3], light[0]
+	iso := faas.StockLucet()
+	// One worker, slowed so the blocker holds it while the victim queues.
+	s := New(Config{Workers: 1, QueueDepth: 4, DispatchWall: 30 * time.Millisecond})
+
+	blockCh := s.Submit(context.Background(), treq(blocker, iso, 0))
+	time.Sleep(5 * time.Millisecond) // let the worker pick up the blocker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	victimCh := s.Submit(ctx, treq(victim, iso, 0))
+	cancel()
+
+	r := <-victimCh
+	if r.Status != StatusCanceled {
+		t.Fatalf("victim status = %v (err %v), want %v", r.Status, r.Err, StatusCanceled)
+	}
+	if b := <-blockCh; b.Status != StatusOK {
+		t.Fatalf("blocker status = %v", b.Status)
+	}
+	s.Close()
+
+	if ts := s.rec.Tenant(victim.Name); ts.Executed() != 0 || ts.Canceled != 1 {
+		t.Fatalf("victim tenant summary %+v, want executed 0 canceled 1", ts)
+	}
+	c := s.Counters()
+	if c.ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1 (victim must never reach a worker)", c.ColdStarts)
+	}
+	if c.Admitted != 2 || c.Canceled != 1 {
+		t.Fatalf("counters = %+v, want admitted 2 canceled 1", c)
+	}
+}
+
+// TestCancelBlockedSubmitter: under PolicyBlock a submitter stuck waiting
+// for queue space observes its context and gives up with StatusCanceled
+// instead of blocking forever.
+func TestCancelBlockedSubmitter(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	iso := faas.StockLucet()
+	s := New(Config{Workers: 1, QueueDepth: 1, Policy: PolicyBlock, DispatchWall: 30 * time.Millisecond})
+	defer s.Close()
+
+	// Saturate: one on the worker, one in the depth-1 queue.
+	chans := []<-chan Response{
+		s.Submit(context.Background(), treq(tenant, iso, 0)),
+		s.Submit(context.Background(), treq(tenant, iso, 1)),
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Response, 1)
+	go func() { done <- s.Do(ctx, treq(tenant, iso, 2)) }()
+	time.Sleep(5 * time.Millisecond) // let the submitter block on notFull
+	cancel()
+
+	select {
+	case r := <-done:
+		if r.Status != StatusCanceled {
+			t.Fatalf("blocked submitter status = %v, want %v", r.Status, StatusCanceled)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled submitter still blocked after 5s")
+	}
+	for _, ch := range chans {
+		if r := <-ch; r.Status != StatusOK {
+			t.Fatalf("background request status %v", r.Status)
+		}
+	}
+}
+
+// TestDeadlineFuelPropagation: with FuelPerSecond configured, a context
+// deadline shrinks the instruction budget — a deadline worth less fuel
+// than the request needs surfaces deterministically as StatusTimeout
+// (StopLimit), while the same request with no deadline completes.
+func TestDeadlineFuelPropagation(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3] // templated-html: starves at 100 fuel
+	iso := faas.StockLucet()
+	s := New(Config{Workers: 1, FuelPerSecond: 20})
+	defer s.Close()
+
+	// ~5s of deadline × 20 fuel/s ⇒ ≤100 instructions: starved.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r := s.Do(ctx, treq(tenant, iso, 0))
+	if r.Status != StatusTimeout || r.Stop != cpu.StopLimit {
+		t.Fatalf("deadline-starved request: status %v stop %v, want timeout/limit", r.Status, r.Stop)
+	}
+
+	// No deadline: full configured budget, runs to completion.
+	if r := s.Do(context.Background(), treq(tenant, iso, 0)); r.Status != StatusOK {
+		t.Fatalf("undeadlined request: status %v stop %v", r.Status, r.Stop)
+	}
+}
+
+// TestCancelConservation: interleaved cancels and normal traffic keep the
+// ledger exact — admitted == ok + timeout + fault + shed + rejected +
+// canceled with zero slack.
+func TestCancelConservation(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[3]
+	iso := faas.StockLucet()
+	s := New(Config{Workers: 2})
+
+	const n = 40
+	chans := make([]<-chan Response, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			chans[i] = s.Submit(ctx, treq(tenant, iso, i))
+		} else {
+			chans[i] = s.Submit(context.Background(), treq(tenant, iso, i))
+		}
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+	s.Close()
+
+	sum := s.Snapshot(0)
+	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
+	if accounted != n || s.Admitted() != n {
+		t.Fatalf("conservation: accounted %d admitted %d of %d (%+v)", accounted, s.Admitted(), n, sum)
+	}
+	if sum.Canceled != n/4 {
+		t.Fatalf("canceled = %d, want %d", sum.Canceled, n/4)
+	}
+	if sum.OK != n-n/4 {
+		t.Fatalf("ok = %d, want %d", sum.OK, n-n/4)
+	}
+}
+
+// TestRequestBodyOverride: WithBody routes an externally supplied payload
+// to the guest instead of the tenant's synthetic stream — the HTTP
+// front-end's path. The response must equal a direct faas.ServeBody run.
+func TestRequestBodyOverride(t *testing.T) {
+	tenant := workloads.FaaSTenantsLight()[0] // xml-to-json
+	iso := faas.StockLucet()
+	payload := tenant.MakeRequest(7)
+
+	ti, err := faas.Provision(tenant, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, res := ti.ServeBody(payload, 0)
+	if res.Reason != cpu.StopHalt {
+		t.Fatalf("reference stop %v", res.Reason)
+	}
+
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	r := s.Do(context.Background(), NewRequest(tenant.Name, 7,
+		WithWorkload(tenant), WithIso(iso), WithBody(payload)))
+	if r.Status != StatusOK {
+		t.Fatalf("status %v (err %v)", r.Status, r.Err)
+	}
+	if string(r.Body) != string(wantBody) {
+		t.Fatalf("body %q != reference %q", r.Body, wantBody)
+	}
+}

@@ -1,7 +1,9 @@
 package host
 
 import (
+	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -89,14 +91,14 @@ func runChaosSoakOnce(t *testing.T, seed int64, reqs []Request) soakRun {
 				if i >= len(reqs) {
 					return
 				}
-				r := s.Do(reqs[i])
+				r := s.Do(context.Background(), reqs[i])
 				name := reqs[i].Tenant.Name
 				mu.Lock()
 				o := obs[name]
 				switch r.Status {
 				case StatusOK:
 					o.ok++
-					o.checksum ^= faas.HashResponse(reqs[i].Seq, r.Body)
+					o.checksum ^= faas.HashResponse(int(reqs[i].Seq), r.Body)
 				case StatusTimeout:
 					o.timeouts++
 				case StatusFault:
@@ -138,21 +140,21 @@ func soakExpected(t *testing.T, seed int64, reqs []Request) map[string]soakOutco
 			}
 			instances[key] = ti
 		}
-		body, res := ti.ServeRequest(r.Seq, 0)
+		body, res := ti.ServeRequest(int(r.Seq), 0)
 		if res.Reason != cpu.StopHalt {
 			t.Fatalf("reference %s seq %d: stop %v", r.Tenant.Name, r.Seq, res.Reason)
 		}
 		o := exp[r.Tenant.Name]
 		switch {
-		case inj.RejectAtAdmission(r.Tenant.Name, r.Seq) != nil:
+		case inj.RejectAtAdmission(r.Tenant.Name, int(r.Seq)) != nil:
 			o.rejected++
-		case inj.Trap(r.Tenant.Name, r.Seq):
+		case inj.Trap(r.Tenant.Name, int(r.Seq)):
 			o.faults++
-		case func() bool { _, starved := inj.StarveFuel(r.Tenant.Name, r.Seq); return starved }():
+		case func() bool { _, starved := inj.StarveFuel(r.Tenant.Name, int(r.Seq)); return starved }():
 			o.timeouts++
 		default:
 			o.ok++
-			o.checksum ^= faas.HashResponse(r.Seq, body)
+			o.checksum ^= faas.HashResponse(int(r.Seq), body)
 		}
 		exp[r.Tenant.Name] = o
 	}
@@ -177,7 +179,7 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	// Exact conservation, run 1 and run 2.
 	for i, run := range []soakRun{run1, run2} {
 		sum := run.sum
-		accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected
+		accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
 		if accounted != uint64(total) {
 			t.Fatalf("run %d: accounted %d of %d: %+v", i+1, accounted, total, sum)
 		}
@@ -280,7 +282,7 @@ func TestChaosSoakOverloadFairness(t *testing.T) {
 			for i := 0; i < floodPer; i++ {
 				seq := f*floodPer + i
 				submitted.Add(1)
-				ch := s.Submit(Request{Tenant: hot.Tenant, Iso: hot.Iso, Seq: seq})
+				ch := s.Submit(context.Background(), treq(hot.Tenant, hot.Iso, seq))
 				inner.Add(1)
 				go func() {
 					defer inner.Done()
@@ -307,12 +309,46 @@ func TestChaosSoakOverloadFairness(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < coldPer; i++ {
 				submitted.Add(1)
-				s.Do(Request{Tenant: c.Tenant, Iso: c.Iso, Seq: i})
+				s.Do(context.Background(), treq(c.Tenant, c.Iso, i))
 				resolved.Add(1)
 				coldDone[ci].Add(1)
 			}
 		}(ci, c)
 	}
+	// Canceling client: a dedicated tenant whose requests are abandoned —
+	// a seeded half before admission (pre-cancelled contexts, so the
+	// canceled floor is deterministic), the rest while queued (cancel
+	// racing dispatch, either outcome legal). Conservation must stay
+	// exact across all of them.
+	cancelTenant := colds[0].Tenant
+	cancelTenant.Name = "cancel-soak"
+	cancelIso := colds[0].Iso
+	cancelN := 60
+	if testing.Short() {
+		cancelN = 40
+	}
+	var preCanceled uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < cancelN; i++ {
+			submitted.Add(1)
+			ctx, cancel := context.WithCancel(context.Background())
+			if rng.Intn(2) == 0 {
+				cancel()
+				preCanceled++
+				if r := s.Do(ctx, treq(cancelTenant, cancelIso, i)); r.Status != StatusCanceled {
+					t.Errorf("pre-cancelled submit %d: status %v, want %v", i, r.Status, StatusCanceled)
+				}
+			} else {
+				ch := s.Submit(ctx, treq(cancelTenant, cancelIso, i))
+				cancel()
+				<-ch
+			}
+			resolved.Add(1)
+		}
+	}()
 	// Flaky tenant: always faults → breaker trips → typed breaker sheds.
 	var breakerSheds atomic.Uint64
 	wg.Add(1)
@@ -320,7 +356,7 @@ func TestChaosSoakOverloadFairness(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < flakyN; i++ {
 			submitted.Add(1)
-			r := s.Do(Request{Tenant: flaky, Iso: flakyIso, Seq: i})
+			r := s.Do(context.Background(), treq(flaky, flakyIso, i))
 			resolved.Add(1)
 			if r.Status == StatusShed && errors.Is(r.Err, ErrBreakerOpen) {
 				breakerSheds.Add(1)
@@ -334,9 +370,10 @@ func TestChaosSoakOverloadFairness(t *testing.T) {
 	if resolved.Load() != total {
 		t.Fatalf("resolved %d of %d submissions", resolved.Load(), total)
 	}
-	// Exact conservation under overload + chaos + breaker, zero slack.
+	// Exact conservation under overload + chaos + breaker + cancels, zero
+	// slack.
 	sum := s.Snapshot(0)
-	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected
+	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
 	if accounted != total || s.Admitted() != total {
 		t.Fatalf("conservation violated: accounted %d admitted %d of %d (%+v)",
 			accounted, s.Admitted(), total, sum)
@@ -356,6 +393,15 @@ func TestChaosSoakOverloadFairness(t *testing.T) {
 		if got := s.sched.tenantServed(c.Tenant.Name); got == 0 {
 			t.Fatalf("cold tenant %s never dispatched", c.Tenant.Name)
 		}
+	}
+	// The canceled class conserves: at least the deterministic pre-cancelled
+	// floor resolved StatusCanceled, and the cancel tenant's own ledger
+	// accounts every one of its submissions.
+	if sum.Canceled < preCanceled {
+		t.Fatalf("canceled = %d, below deterministic floor %d", sum.Canceled, preCanceled)
+	}
+	if ts := s.rec.Tenant(cancelTenant.Name); ts.Admitted() != uint64(cancelN) {
+		t.Fatalf("cancel tenant accounted %d/%d (%+v)", ts.Admitted(), cancelN, ts)
 	}
 	// The flaky tenant tripped its breaker and was shed with the typed error.
 	if got := s.Counters().BreakerTrips; got == 0 {

@@ -40,9 +40,21 @@
 // is surfaced as StatusTimeout. Latencies and outcomes feed a
 // stats.Recorder (p50/p99/p999, throughput, shed rate) with a per-tenant
 // breakdown, so fairness and breaker behaviour are observable.
+//
+// Submission is context-aware: Submit(ctx, req) resolves StatusCanceled the
+// moment ctx is cancelled while the request still sits in its DRR tenant
+// queue — the request is unlinked from the queue without ever occupying a
+// worker, which is what lets an HTTP front-end abandon a queued request
+// when its client disconnects. A context deadline additionally propagates
+// into the fuel budget (Config.FuelPerSecond), so a request dispatched
+// close to its deadline runs with a correspondingly smaller instruction
+// budget and times out rather than overstaying. Cancellation is part of
+// the exact-conservation contract: every admitted request resolves with
+// exactly one of ok/timeout/fault/shed/rejected/canceled.
 package host
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -149,6 +161,12 @@ type Config struct {
 	// Fuel is the default per-request instruction budget (0 = unlimited).
 	// A request exceeding it stops with cpu.StopLimit → StatusTimeout.
 	Fuel uint64
+	// FuelPerSecond converts a context deadline into fuel: a request
+	// dispatched with d wall time left before its deadline runs with at
+	// most d × FuelPerSecond instructions (clamped below the configured
+	// budget, never above it). 0 disables the conversion — deadlines then
+	// only cancel requests still waiting in queue.
+	FuelPerSecond uint64
 	// DispatchWall models the per-request platform work outside the
 	// sandbox (network receive, routing, response send) as real wall time,
 	// the wall-clock twin of faas.DispatchOverheadNs on the simulated
@@ -213,9 +231,16 @@ const (
 	// StatusClosed: the request arrived after Close; Err is ErrClosed.
 	// Never recorded — a closed server admits nothing.
 	StatusClosed
+	// StatusCanceled: the request's context was cancelled (or its deadline
+	// passed) while it was still waiting — blocked at admission or queued
+	// in its tenant's DRR queue — so it was unlinked and never occupied a
+	// worker. Err carries ctx.Err(). Requests already dispatched to a
+	// worker are never interrupted; a deadline that expires mid-run
+	// surfaces as StatusTimeout via the fuel budget instead.
+	StatusCanceled
 )
 
-var statusNames = [...]string{"ok", "timeout", "shed", "fault", "rejected", "closed"}
+var statusNames = [...]string{"ok", "timeout", "shed", "fault", "rejected", "closed", "canceled"}
 
 func (s Status) String() string {
 	if int(s) < len(statusNames) {
@@ -235,13 +260,66 @@ var (
 )
 
 // Request is one guest invocation: the seq'th request of tenant's stream,
-// served under the given isolation configuration.
+// served under the given isolation configuration. Build requests with
+// NewRequest — the one construction path the HTTP front-end, the load
+// generators, and the tests share.
 type Request struct {
 	Tenant workloads.Tenant
 	Iso    faas.Config
-	Seq    int
+	Seq    uint64
 	// Fuel overrides the server's default budget when nonzero.
 	Fuel uint64
+	// Body overrides the tenant's canonical request generator: when
+	// non-nil these bytes are written as the guest request verbatim (the
+	// HTTP body → guest request mapping); when nil the body is derived
+	// from Tenant.MakeRequest(Seq).
+	Body []byte
+}
+
+// RequestOpt customizes a Request built by NewRequest.
+type RequestOpt func(*Request)
+
+// WithWorkload supplies the tenant's executable workload (module and
+// canonical request generator). The tenant name given to NewRequest stays
+// authoritative — an HTTP route may serve a workload under its own name.
+func WithWorkload(w workloads.Tenant) RequestOpt {
+	return func(r *Request) {
+		r.Tenant.Mod = w.Mod
+		r.Tenant.MakeRequest = w.MakeRequest
+	}
+}
+
+// WithIso selects the isolation configuration the request runs under.
+func WithIso(cfg faas.Config) RequestOpt {
+	return func(r *Request) { r.Iso = cfg }
+}
+
+// WithFuel overrides the server's default instruction budget (0 keeps it).
+func WithFuel(n uint64) RequestOpt {
+	return func(r *Request) { r.Fuel = n }
+}
+
+// WithBody makes the request carry an explicit guest request body instead
+// of the tenant's MakeRequest(Seq) output. A nil or empty body keeps the
+// canonical generator.
+func WithBody(b []byte) RequestOpt {
+	return func(r *Request) {
+		if len(b) > 0 {
+			r.Body = b
+		}
+	}
+}
+
+// NewRequest builds the seq'th request of tenant's stream. Options attach
+// the workload, the isolation configuration, a fuel override, and an
+// explicit body; every call site — cmds, tests, load generators, and the
+// HTTP layer — constructs requests through here.
+func NewRequest(tenant string, seq uint64, opts ...RequestOpt) Request {
+	r := Request{Tenant: workloads.Tenant{Name: tenant}, Seq: seq}
+	for _, opt := range opts {
+		opt(&r)
+	}
+	return r
 }
 
 // Response reports one request's outcome.
@@ -254,10 +332,25 @@ type Response struct {
 	Latency time.Duration  // wall time from admission to completion
 }
 
+// callState tracks where a call is in its lifecycle. Guarded by the
+// scheduler's mutex — it is what makes cancellation race-free: exactly one
+// of {cancel watcher, dequeue path, admission path} resolves each call.
+type callState uint8
+
+const (
+	callWaiting    callState = iota // blocked at admission (PolicyBlock, queue full)
+	callQueued                      // sitting in its tenant's DRR queue
+	callDispatched                  // handed to a worker; cancellation is too late
+	callDone                        // resolved (any status)
+)
+
 type call struct {
-	req  Request
-	t0   time.Time
-	done chan Response
+	req     Request
+	ctx     context.Context
+	t0      time.Time
+	done    chan Response
+	settled chan struct{} // closed at dispatch; stops the cancel watcher
+	state   callState     // guarded by sched.mu
 }
 
 // poolKey identifies a warm-instance pool slot: one tenant under one
@@ -279,6 +372,7 @@ type Server struct {
 	admitted   atomic.Uint64
 	coldStarts atomic.Uint64
 	rejected   atomic.Uint64
+	canceled   atomic.Uint64
 	retries    atomic.Uint64
 	quarantine atomic.Uint64
 	discarded  atomic.Uint64
@@ -308,6 +402,7 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 	}
 	s.sched = newScheduler(&s.cfg)
+	s.sched.srv = s
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -322,13 +417,19 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 // one Response. A full tenant queue blocks the caller (PolicyBlock) or
 // resolves immediately with StatusShed (PolicyShed); an open circuit
 // breaker sheds fast with ErrBreakerOpen; a closed server resolves with
-// StatusClosed/ErrClosed. The admission decision, its counter, and the
+// StatusClosed/ErrClosed. Cancelling ctx while the request waits —
+// blocked at admission or queued — resolves StatusCanceled and unlinks
+// the request without it ever occupying a worker; a nil ctx means
+// context.Background(). The admission decision, its counter, and the
 // enqueue form one critical section, so outcome accounting is exact:
 // every admitted request resolves with exactly one of
-// ok/timeout/fault/shed/rejected.
-func (s *Server) Submit(req Request) <-chan Response {
+// ok/timeout/fault/shed/rejected/canceled.
+func (s *Server) Submit(ctx context.Context, req Request) <-chan Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	done := make(chan Response, 1)
-	c := call{req: req, t0: time.Now(), done: done}
+	c := &call{req: req, ctx: ctx, t0: time.Now(), done: done, settled: make(chan struct{})}
 	name := req.Tenant.Name
 	sc := s.sched
 
@@ -339,11 +440,20 @@ func (s *Server) Submit(req Request) <-chan Response {
 		done <- Response{Status: StatusClosed, Err: ErrClosed}
 		return done
 	}
+	if ctx.Err() != nil {
+		// Cancelled before admission even started: accounted like any
+		// other admitted-then-canceled request so conservation holds.
+		s.admitted.Add(1)
+		s.resolveCanceledLocked(c)
+		sc.mu.Unlock()
+		return done
+	}
 	// Chaos seam: transient verifier rejection at admission — refused on
 	// (injected) proof grounds before touching a queue or sandbox.
-	if err := s.cfg.Chaos.RejectAtAdmission(name, req.Seq); err != nil {
+	if err := s.cfg.Chaos.RejectAtAdmission(name, int(req.Seq)); err != nil {
 		s.admitted.Add(1)
 		s.rec.RecordTenant(name, stats.OutcomeRejected, 0)
+		c.state = callDone
 		sc.mu.Unlock()
 		done <- Response{Status: StatusRejected, Err: err}
 		return done
@@ -353,23 +463,39 @@ func (s *Server) Submit(req Request) <-chan Response {
 		s.admitted.Add(1)
 		s.rejected.Add(1)
 		s.rec.RecordTenant(name, stats.OutcomeShed, 0)
+		c.state = callDone
 		sc.mu.Unlock()
 		done <- Response{Status: StatusShed, Err: ErrBreakerOpen}
 		return done
 	}
+	watching := false
 	if tq.pol.Policy == PolicyShed {
 		if tq.qlen() >= tq.pol.QueueDepth {
 			s.admitted.Add(1)
 			s.rejected.Add(1)
 			s.rec.RecordTenant(name, stats.OutcomeShed, 0)
+			c.state = callDone
 			sc.mu.Unlock()
 			done <- Response{Status: StatusShed}
 			return done
 		}
 	} else {
 		for tq.qlen() >= tq.pol.QueueDepth {
+			// The watcher wakes this wait when ctx fires; the loop re-checks
+			// the context each wake, so a cancelled submitter stops blocking.
+			if ctx.Err() != nil {
+				s.admitted.Add(1)
+				s.resolveCanceledLocked(c)
+				sc.mu.Unlock()
+				return done
+			}
+			if !watching {
+				watching = true
+				s.watchCancel(c)
+			}
 			sc.notFull.Wait()
 			if sc.closed {
+				c.state = callDone
 				sc.mu.Unlock()
 				s.closedRefs.Add(1)
 				done <- Response{Status: StatusClosed, Err: ErrClosed}
@@ -377,14 +503,77 @@ func (s *Server) Submit(req Request) <-chan Response {
 			}
 		}
 	}
+	if ctx.Err() != nil {
+		// ctx fired while this goroutine held the admission lock (the
+		// watcher, if any, saw callWaiting and could only wake us): resolve
+		// here rather than enqueueing a dead request.
+		s.admitted.Add(1)
+		s.resolveCanceledLocked(c)
+		sc.mu.Unlock()
+		return done
+	}
 	s.admitted.Add(1)
+	c.state = callQueued
 	sc.enqueue(tq, c)
+	if !watching && ctx.Done() != nil {
+		s.watchCancel(c)
+	}
 	sc.mu.Unlock()
 	return done
 }
 
 // Do submits and waits for the response.
-func (s *Server) Do(req Request) Response { return <-s.Submit(req) }
+func (s *Server) Do(ctx context.Context, req Request) Response { return <-s.Submit(ctx, req) }
+
+// watchCancel arms the per-call cancel watcher: one goroutine selecting
+// ctx.Done() against the call's dispatch. Only armed for cancellable
+// contexts, so background-context traffic pays nothing.
+func (s *Server) watchCancel(c *call) {
+	if c.ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-c.ctx.Done():
+			s.cancelCall(c)
+		case <-c.settled:
+		}
+	}()
+}
+
+// cancelCall is the watcher's entry: if the call is still queued, unlink
+// it from its tenant's DRR queue and resolve StatusCanceled; if it is
+// still blocked at admission, wake the submitter to observe its context;
+// dispatched or resolved calls are left alone.
+func (s *Server) cancelCall(c *call) {
+	sc := s.sched
+	sc.mu.Lock()
+	switch c.state {
+	case callWaiting:
+		sc.notFull.Broadcast()
+		sc.mu.Unlock()
+	case callQueued:
+		if sc.unlink(c) {
+			s.resolveCanceledLocked(c)
+			sc.notFull.Broadcast()
+		}
+		sc.mu.Unlock()
+	default:
+		sc.mu.Unlock()
+	}
+}
+
+// resolveCanceledLocked accounts and resolves a canceled call. Caller
+// holds sched.mu and has already counted the call as admitted (queued
+// calls were admitted at enqueue; pre-admission cancels count themselves).
+// The response channel is buffered, so the send cannot block under the
+// lock.
+func (s *Server) resolveCanceledLocked(c *call) {
+	c.state = callDone
+	s.canceled.Add(1)
+	s.rec.RecordTenant(c.req.Tenant.Name, stats.OutcomeCanceled, 0)
+	c.done <- Response{Status: StatusCanceled, Err: context.Cause(c.ctx), Latency: time.Since(c.t0)}
+}
 
 // Close stops admissions, drains every queued and in-flight request with
 // its real outcome recorded, tears down the worker pools, and waits for
@@ -416,10 +605,14 @@ func (s *Server) ColdStarts() uint64 { return s.coldStarts.Load() }
 // under PolicyShed plus circuit-breaker sheds. The 429 counter.
 func (s *Server) Rejected() uint64 { return s.rejected.Load() }
 
+// Canceled counts requests resolved StatusCanceled: cancelled or past
+// deadline while waiting, unlinked without occupying a worker.
+func (s *Server) Canceled() uint64 { return s.canceled.Load() }
+
 // Admitted counts requests that entered outcome accounting: every Submit
 // that did not hit a closed server. Conservation invariant:
-// Admitted == OK + Timeouts + Faults + Shed + Rejected once all submitted
-// requests have resolved.
+// Admitted == OK + Timeouts + Faults + Shed + Rejected + Canceled once
+// all submitted requests have resolved.
 func (s *Server) Admitted() uint64 { return s.admitted.Load() }
 
 // Counters is a point-in-time view of the server's robustness machinery.
@@ -427,6 +620,7 @@ type Counters struct {
 	Admitted          uint64 `json:"admitted"`
 	ColdStarts        uint64 `json:"cold_starts"`
 	Shed              uint64 `json:"shed"`
+	Canceled          uint64 `json:"canceled"`
 	ClosedRejects     uint64 `json:"closed_rejects"`
 	ProvisionRetries  uint64 `json:"provision_retries"`
 	Quarantined       uint64 `json:"quarantined"`
@@ -444,6 +638,7 @@ func (s *Server) Counters() Counters {
 		Admitted:          s.admitted.Load(),
 		ColdStarts:        s.coldStarts.Load(),
 		Shed:              s.rejected.Load(),
+		Canceled:          s.canceled.Load(),
 		ClosedRejects:     s.closedRefs.Load(),
 		ProvisionRetries:  s.retries.Load(),
 		Quarantined:       s.quarantine.Load(),
@@ -480,7 +675,7 @@ func (s *Server) worker(id int) {
 		if !ok {
 			break
 		}
-		resp := s.serveOne(id, pool, rng, c.req)
+		resp := s.serveOne(id, pool, rng, c)
 		resp.Latency = time.Since(c.t0)
 		s.finish(c, resp)
 	}
@@ -489,7 +684,7 @@ func (s *Server) worker(id int) {
 
 // finish records the outcome (globally and per tenant), feeds the
 // tenant's circuit breaker, and resolves the caller's channel.
-func (s *Server) finish(c call, resp Response) {
+func (s *Server) finish(c *call, resp Response) {
 	name := c.req.Tenant.Name
 	lat := float64(resp.Latency.Nanoseconds())
 	var o stats.Outcome
@@ -528,10 +723,12 @@ var chaosGarbage = func() []byte {
 // serveOne runs one request on the worker's warm instance for its
 // (tenant, config), provisioning (with retry) on pool miss and
 // quarantining the instance on any abnormal stop.
-func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, req Request) Response {
+func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Response {
+	req := c.req
 	name := req.Tenant.Name
+	seq := int(req.Seq)
 	inj := s.cfg.Chaos
-	if d := s.cfg.DispatchWall + inj.SlowDown(name, req.Seq); d > 0 {
+	if d := s.cfg.DispatchWall + inj.SlowDown(name, seq); d > 0 {
 		time.Sleep(d)
 	}
 	key := poolKey{name, req.Iso}
@@ -548,19 +745,24 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, req Request) R
 	if fuel == 0 {
 		fuel = s.cfg.Fuel
 	}
+	fuel = s.deadlineFuel(c.ctx, fuel)
 	var body []byte
 	var res cpu.RunResult
-	if inj.Trap(name, req.Seq) {
+	if inj.Trap(name, seq) {
 		// Injected mid-request trap: dirty the heap the way an aborted
 		// guest would, then surface the fault. The recovery path below
 		// must clean this up or the next pooled reuse is corrupted.
 		ent.ti.Inst.WriteHeap(1024, chaosGarbage)
 		res = cpu.RunResult{Reason: cpu.StopFault}
 	} else {
-		if f, ok := inj.StarveFuel(name, req.Seq); ok {
+		if f, ok := inj.StarveFuel(name, seq); ok {
 			fuel = f
 		}
-		body, res = ent.ti.ServeRequest(req.Seq, fuel)
+		if req.Body != nil {
+			body, res = ent.ti.ServeBody(req.Body, fuel)
+		} else {
+			body, res = ent.ti.ServeRequest(seq, fuel)
+		}
 	}
 	switch res.Reason {
 	case cpu.StopHalt:
@@ -576,6 +778,35 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, req Request) R
 	}
 }
 
+// deadlineFuel clamps a request's fuel budget to the wall time left
+// before its context deadline, at Config.FuelPerSecond instructions per
+// second. The conversion only ever shrinks the budget: a generous
+// deadline never buys more fuel than the configured cap, and a deadline
+// already in the past leaves a single instruction so the run surfaces as
+// a deterministic StatusTimeout (StopLimit) rather than a special case.
+func (s *Server) deadlineFuel(ctx context.Context, fuel uint64) uint64 {
+	if s.cfg.FuelPerSecond == 0 || ctx == nil {
+		return fuel
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return fuel
+	}
+	left := time.Until(dl)
+	if left <= 0 {
+		return 1
+	}
+	budget := uint64(left.Seconds() * float64(s.cfg.FuelPerSecond))
+	if budget == 0 {
+		budget = 1
+	}
+	if fuel == 0 || budget < fuel {
+		// fuel == 0 means "unlimited": the deadline becomes the only cap.
+		return budget
+	}
+	return fuel
+}
+
 // quarantineInstance is the recovery path for a faulted or timed-out
 // instance: Reset, then verify the reset actually restored the
 // post-provision heap image (sandbox.Instance.HeapHash against the
@@ -586,7 +817,7 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, req Request) R
 func (s *Server) quarantineInstance(pool *instPool, ent *poolEntry, req Request) {
 	s.quarantine.Add(1)
 	ent.ti.Inst.Reset()
-	if s.cfg.Chaos.Poison(req.Tenant.Name, req.Seq) {
+	if s.cfg.Chaos.Poison(req.Tenant.Name, int(req.Seq)) {
 		// Chaos seam: lingering post-Reset corruption, as an incomplete
 		// reset (or a bug in it) would leave. The hash check must catch it.
 		ent.ti.Inst.WriteHeap(1500, []byte{0xDE, 0xAD, 0xBE, 0xEF})

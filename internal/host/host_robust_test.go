@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -47,7 +48,7 @@ func TestSubmitAfterCloseTyped(t *testing.T) {
 	s := New(Config{Workers: 1})
 	s.Close()
 
-	r := s.Do(Request{Tenant: tenant, Iso: faas.StockLucet(), Seq: 0})
+	r := s.Do(context.Background(), treq(tenant, faas.StockLucet(), 0))
 	if r.Status != StatusClosed {
 		t.Fatalf("status = %v, want %v", r.Status, StatusClosed)
 	}
@@ -80,7 +81,7 @@ func TestCloseUnderLoad(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				results <- s.Do(Request{Tenant: tenant, Iso: iso, Seq: c*per + i})
+				results <- s.Do(context.Background(), treq(tenant, iso, c*per + i))
 			}
 		}(c)
 	}
@@ -143,7 +144,7 @@ func TestShedAccountingConservation(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				switch r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: c*per + i}); r.Status {
+				switch r := s.Do(context.Background(), treq(tenant, iso, c*per + i)); r.Status {
 				case StatusOK:
 					ok.Add(1)
 				case StatusShed:
@@ -195,7 +196,7 @@ func TestProvisionRetryTransient(t *testing.T) {
 		Retry: RetryConfig{Max: 2, Base: 50 * time.Microsecond, Cap: 200 * time.Microsecond}})
 	defer s.Close()
 
-	r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: 0})
+	r := s.Do(context.Background(), treq(tenant, iso, 0))
 	if r.Status != StatusOK {
 		t.Fatalf("status = %v (err %v), want OK after retries", r.Status, r.Err)
 	}
@@ -204,7 +205,7 @@ func TestProvisionRetryTransient(t *testing.T) {
 		t.Fatalf("ProvisionRetries = %d, want 1..2", ctr.ProvisionRetries)
 	}
 	// Warm reuse afterwards: no fresh provisioning, no fresh retries.
-	if r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: 1}); r.Status != StatusOK {
+	if r := s.Do(context.Background(), treq(tenant, iso, 1)); r.Status != StatusOK {
 		t.Fatalf("warm request: %v", r.Status)
 	}
 	if got := s.Counters(); got.ColdStarts != 1 || got.ProvisionRetries != ctr.ProvisionRetries {
@@ -220,7 +221,7 @@ func TestProvisionRetryBudgetExhausted(t *testing.T) {
 	s := New(Config{Workers: 1, Chaos: inj})
 	defer s.Close()
 
-	r := s.Do(Request{Tenant: tenant, Iso: faas.StockLucet(), Seq: 0})
+	r := s.Do(context.Background(), treq(tenant, faas.StockLucet(), 0))
 	if r.Status != StatusFault {
 		t.Fatalf("status = %v, want fault with Retry.Max=0", r.Status)
 	}
@@ -247,12 +248,12 @@ func TestBreakerTripsShedsRecovers(t *testing.T) {
 	defer s.Close()
 
 	for i := 0; i < 4; i++ {
-		if r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: i}); r.Status != StatusFault {
+		if r := s.Do(context.Background(), treq(tenant, iso, i)); r.Status != StatusFault {
 			t.Fatalf("seq %d: status %v, want fault", i, r.Status)
 		}
 	}
 	// Tripped: sheds fast with the typed error, without executing.
-	r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: 4})
+	r := s.Do(context.Background(), treq(tenant, iso, 4))
 	if r.Status != StatusShed || !errors.Is(r.Err, ErrBreakerOpen) {
 		t.Fatalf("post-trip: status %v err %v, want shed/ErrBreakerOpen", r.Status, r.Err)
 	}
@@ -264,7 +265,7 @@ func TestBreakerTripsShedsRecovers(t *testing.T) {
 	// the breaker closes and stays closed.
 	time.Sleep(30 * time.Millisecond)
 	for i := 5; i < 8; i++ {
-		if r := s.Do(Request{Tenant: tenant, Iso: iso, Seq: i}); r.Status != StatusOK {
+		if r := s.Do(context.Background(), treq(tenant, iso, i)); r.Status != StatusOK {
 			t.Fatalf("recovered seq %d: status %v err %v", i, r.Status, r.Err)
 		}
 	}
@@ -287,7 +288,7 @@ func TestQuarantineKeepsVerifiedInstance(t *testing.T) {
 	s := New(Config{Workers: 1, Chaos: inj})
 
 	for i := 0; i < 3; i++ {
-		if r := s.Do(Request{Tenant: tenant, Iso: faas.StockLucet(), Seq: i}); r.Status != StatusFault {
+		if r := s.Do(context.Background(), treq(tenant, faas.StockLucet(), i)); r.Status != StatusFault {
 			t.Fatalf("seq %d: status %v, want injected fault", i, r.Status)
 		}
 	}
@@ -310,7 +311,7 @@ func TestQuarantineDiscardsPoisonedInstance(t *testing.T) {
 	s := New(Config{Workers: 1, Chaos: inj})
 
 	for i := 0; i < 2; i++ {
-		if r := s.Do(Request{Tenant: tenant, Iso: faas.StockLucet(), Seq: i}); r.Status != StatusFault {
+		if r := s.Do(context.Background(), treq(tenant, faas.StockLucet(), i)); r.Status != StatusFault {
 			t.Fatalf("seq %d: status %v, want injected fault", i, r.Status)
 		}
 	}
@@ -339,12 +340,12 @@ func TestPoolEvictionLRU(t *testing.T) {
 	s := New(Config{Workers: 1, Pool: PoolConfig{Cap: 2, TeardownBatch: 2}})
 
 	for _, tn := range light { // 4 distinct pool keys through a cap-2 pool
-		if r := s.Do(Request{Tenant: tn, Iso: iso, Seq: 0}); r.Status != StatusOK {
+		if r := s.Do(context.Background(), treq(tn, iso, 0)); r.Status != StatusOK {
 			t.Fatalf("%s: %v", tn.Name, r.Status)
 		}
 	}
 	// light[0] was evicted long ago; revisiting re-provisions.
-	if r := s.Do(Request{Tenant: light[0], Iso: iso, Seq: 1}); r.Status != StatusOK {
+	if r := s.Do(context.Background(), treq(light[0], iso, 1)); r.Status != StatusOK {
 		t.Fatalf("revisit: %v", r.Status)
 	}
 	mid := s.Counters()
@@ -372,17 +373,17 @@ func TestPoolTTLEviction(t *testing.T) {
 	s := New(Config{Workers: 1, Pool: PoolConfig{TTL: 5 * time.Millisecond, TeardownBatch: 1}})
 	defer s.Close()
 
-	if r := s.Do(Request{Tenant: light[0], Iso: iso, Seq: 0}); r.Status != StatusOK {
+	if r := s.Do(context.Background(), treq(light[0], iso, 0)); r.Status != StatusOK {
 		t.Fatalf("first: %v", r.Status)
 	}
 	time.Sleep(15 * time.Millisecond)
-	if r := s.Do(Request{Tenant: light[1], Iso: iso, Seq: 0}); r.Status != StatusOK {
+	if r := s.Do(context.Background(), treq(light[1], iso, 0)); r.Status != StatusOK {
 		t.Fatalf("second: %v", r.Status)
 	}
 	if got := s.Counters().Evictions; got != 1 {
 		t.Fatalf("Evictions = %d, want 1 (stale instance swept)", got)
 	}
-	if r := s.Do(Request{Tenant: light[0], Iso: iso, Seq: 1}); r.Status != StatusOK {
+	if r := s.Do(context.Background(), treq(light[0], iso, 1)); r.Status != StatusOK {
 		t.Fatalf("revisit: %v", r.Status)
 	}
 	if got := s.Counters().ColdStarts; got != 3 {
@@ -403,7 +404,7 @@ func TestDRRFairnessUnderLoad(t *testing.T) {
 	var hotDone atomic.Uint64
 	var wg sync.WaitGroup
 	for i := 0; i < hotN; i++ {
-		ch := s.Submit(Request{Tenant: hot, Iso: iso, Seq: i})
+		ch := s.Submit(context.Background(), treq(hot, iso, i))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -415,7 +416,7 @@ func TestDRRFairnessUnderLoad(t *testing.T) {
 	time.Sleep(5 * time.Millisecond) // let the worker start on the backlog
 
 	for i := 0; i < 5; i++ {
-		if r := s.Do(Request{Tenant: cold, Iso: iso, Seq: i}); r.Status != StatusOK {
+		if r := s.Do(context.Background(), treq(cold, iso, i)); r.Status != StatusOK {
 			t.Fatalf("cold seq %d: %v", i, r.Status)
 		}
 	}

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -28,6 +29,13 @@ func equivalenceConfigs() []faas.Config {
 	}
 }
 
+// treq builds one test request through the options constructor — the only
+// construction path the API now offers (NewRequest names the tenant; the
+// workload option supplies its module and request stream).
+func treq(tn workloads.Tenant, iso faas.Config, seq int) Request {
+	return NewRequest(tn.Name, uint64(seq), WithWorkload(tn), WithIso(iso))
+}
+
 // TestServeEquivalence: for every tenant × isolation config, the aggregate
 // response checksum under the concurrent host must equal the
 // single-threaded faas.ServeTenant run over the same request set — the
@@ -44,7 +52,7 @@ func TestServeEquivalence(t *testing.T) {
 			s := New(Config{Workers: 4})
 			chans := make([]<-chan Response, n)
 			for i := 0; i < n; i++ {
-				chans[i] = s.Submit(Request{Tenant: tenant, Iso: cfg, Seq: i})
+				chans[i] = s.Submit(context.Background(), treq(tenant, cfg, i))
 			}
 			var got uint64
 			for i, ch := range chans {
@@ -108,11 +116,11 @@ func TestFuelDeadline(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 
-	r := s.Do(Request{Tenant: tenant, Iso: cfg, Seq: 0, Fuel: 100})
+	r := s.Do(context.Background(), NewRequest(tenant.Name, 0, WithWorkload(tenant), WithIso(cfg), WithFuel(100)))
 	if r.Status != StatusTimeout || r.Stop != cpu.StopLimit {
 		t.Fatalf("starved request: status %v stop %v, want timeout/limit", r.Status, r.Stop)
 	}
-	r = s.Do(Request{Tenant: tenant, Iso: cfg, Seq: 0})
+	r = s.Do(context.Background(), treq(tenant, cfg, 0))
 	if r.Status != StatusOK {
 		t.Fatalf("post-timeout request: status %v stop %v", r.Status, r.Stop)
 	}
@@ -137,7 +145,7 @@ func TestBackpressureShed(t *testing.T) {
 	const total = 32
 	chans := make([]<-chan Response, total)
 	for i := 0; i < total; i++ {
-		chans[i] = s.Submit(Request{Tenant: tenant, Iso: cfg, Seq: i})
+		chans[i] = s.Submit(context.Background(), treq(tenant, cfg, i))
 	}
 	var ok, shed uint64
 	for _, ch := range chans {
@@ -179,7 +187,7 @@ func TestBackpressureBlock(t *testing.T) {
 	for c := 0; c < 4; c++ {
 		go func(c int) {
 			for i := c; i < total; i += 4 {
-				done <- s.Do(Request{Tenant: tenant, Iso: cfg, Seq: i})
+				done <- s.Do(context.Background(), treq(tenant, cfg, i))
 			}
 		}(c)
 	}
@@ -219,7 +227,7 @@ func TestWarmReuse(t *testing.T) {
 	cfg := faas.StockLucet()
 	s := New(Config{Workers: 1})
 	for i := 0; i < 10; i++ {
-		if r := s.Do(Request{Tenant: tenant, Iso: cfg, Seq: i}); r.Status != StatusOK {
+		if r := s.Do(context.Background(), treq(tenant, cfg, i)); r.Status != StatusOK {
 			t.Fatalf("seq %d: %v", i, r.Status)
 		}
 	}
@@ -268,7 +276,7 @@ func TestRejectedTenantDistinctFromShed(t *testing.T) {
 	s := New(Config{Workers: 2})
 	iso := faas.Config{Name: "Guard", Scheme: sfi.GuardPages}
 
-	r := s.Do(Request{Tenant: unverifiableTenant(), Iso: iso, Seq: 0})
+	r := s.Do(context.Background(), treq(unverifiableTenant(), iso, 0))
 	if r.Status != StatusRejected {
 		t.Fatalf("status = %v (err %v), want %v", r.Status, r.Err, StatusRejected)
 	}
@@ -279,7 +287,7 @@ func TestRejectedTenantDistinctFromShed(t *testing.T) {
 
 	// The same server still serves verifiable tenants.
 	good := workloads.FaaSTenantsLight()[0]
-	if g := s.Do(Request{Tenant: good, Iso: iso, Seq: 0}); g.Status != StatusOK {
+	if g := s.Do(context.Background(), treq(good, iso, 0)); g.Status != StatusOK {
 		t.Fatalf("healthy tenant: status = %v (err %v)", g.Status, g.Err)
 	}
 	s.Close()

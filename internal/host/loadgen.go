@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,7 @@ func BuildSchedule(mix []Class, total int, seed int64) []Request {
 	for _, c := range mix {
 		wsum += c.Weight
 	}
-	seqs := make([]int, len(mix))
+	seqs := make([]uint64, len(mix))
 	reqs := make([]Request, total)
 	for i := range reqs {
 		w := rng.Intn(wsum)
@@ -55,7 +56,8 @@ func BuildSchedule(mix []Class, total int, seed int64) []Request {
 			w -= mix[k].Weight
 			k++
 		}
-		reqs[i] = Request{Tenant: mix[k].Tenant, Iso: mix[k].Iso, Seq: seqs[k]}
+		reqs[i] = NewRequest(mix[k].Tenant.Name, seqs[k],
+			WithWorkload(mix[k].Tenant), WithIso(mix[k].Iso))
 		seqs[k]++
 	}
 	return reqs
@@ -80,8 +82,8 @@ func ReferenceChecksum(mix []Class, total int, seed int64) (uint64, error) {
 			}
 			instances[key] = ti
 		}
-		body, _ := ti.ServeRequest(r.Seq, 0)
-		sum ^= faas.HashResponse(r.Seq, body)
+		body, _ := ti.ServeRequest(int(r.Seq), 0)
+		sum ^= faas.HashResponse(int(r.Seq), body)
 	}
 	return sum, nil
 }
@@ -116,9 +118,9 @@ func RunClosedLoop(s *Server, mix []Class, clients, total int, seed int64) LoadR
 				if i >= total {
 					break
 				}
-				r := s.Do(reqs[i])
+				r := s.Do(context.Background(), reqs[i])
 				if r.Status == StatusOK {
-					local ^= faas.HashResponse(reqs[i].Seq, r.Body)
+					local ^= faas.HashResponse(int(reqs[i].Seq), r.Body)
 				}
 			}
 			sums <- local
@@ -161,7 +163,7 @@ func RunOpenLoop(s *Server, mix []Class, rate float64, total int, seed int64) Lo
 		if d := time.Until(t0.Add(due[i])); d > 0 {
 			time.Sleep(d)
 		}
-		ch := s.Submit(reqs[i])
+		ch := s.Submit(context.Background(), reqs[i])
 		wg.Add(1)
 		go func(seq int) {
 			defer wg.Done()
@@ -170,9 +172,59 @@ func RunOpenLoop(s *Server, mix []Class, rate float64, total int, seed int64) Lo
 				sum ^= faas.HashResponse(seq, r.Body)
 				mu.Unlock()
 			}
-		}(reqs[i].Seq)
+		}(int(reqs[i].Seq))
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
 	return LoadResult{Summary: s.Snapshot(elapsed), Checksum: sum, Elapsed: elapsed}
+}
+
+// SweepPoint is one offered-load level of an open-loop rate sweep — a row
+// of the hockey-stick table. Latency percentiles cover executed requests
+// (ok + timeout + fault); shed and canceled requests never ran.
+type SweepPoint struct {
+	RateRPS     float64 `json:"rate_rps"`
+	Offered     int     `json:"offered"`
+	OK          uint64  `json:"ok"`
+	Timeouts    uint64  `json:"timeouts"`
+	Faults      uint64  `json:"faults"`
+	Shed        uint64  `json:"shed"`
+	Rejected    uint64  `json:"rejected"`
+	Canceled    uint64  `json:"canceled"`
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	ShedRate    float64 `json:"shed_rate"`
+}
+
+// MakeSweepPoint flattens one run's summary into a sweep row (shared by
+// the in-process generator here and the HTTP generator in
+// internal/httpfront).
+func MakeSweepPoint(rate float64, offered int, sum stats.ServeSummary) SweepPoint {
+	return SweepPoint{
+		RateRPS: rate, Offered: offered,
+		OK: sum.OK, Timeouts: sum.Timeouts, Faults: sum.Faults,
+		Shed: sum.Shed, Rejected: sum.Rejected, Canceled: sum.Canceled,
+		P50Ns: sum.P50Ns, P99Ns: sum.P99Ns, P999Ns: sum.P999Ns,
+		AchievedRPS: sum.ThroughputRPS, ShedRate: sum.ShedRate,
+	}
+}
+
+// RunRateSweep produces the open-loop latency-vs-offered-load curve: one
+// RunOpenLoop point per rate, each against a fresh server from newServer
+// so queue state and latency samples never bleed between points. This is
+// the measurement closed-loop generators cannot make: a closed loop's
+// offered load collapses to service capacity the moment the server slows
+// down, hiding exactly the queueing delay the p99 hockey stick exists to
+// show.
+func RunRateSweep(newServer func() *Server, mix []Class, rates []float64, perRate int, seed int64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(rates))
+	for _, rate := range rates {
+		s := newServer()
+		res := RunOpenLoop(s, mix, rate, perRate, seed)
+		s.Close()
+		pts = append(pts, MakeSweepPoint(rate, perRate, res.Summary))
+	}
+	return pts
 }

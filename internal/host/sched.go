@@ -11,7 +11,7 @@ import (
 type tenantQueue struct {
 	name    string
 	pol     TenantPolicy
-	q       []call
+	q       []*call
 	head    int // index of the front element in q
 	deficit int // DRR deficit counter (requests this tenant may pop this round)
 	inRing  bool
@@ -21,17 +21,37 @@ type tenantQueue struct {
 
 func (tq *tenantQueue) qlen() int { return len(tq.q) - tq.head }
 
-func (tq *tenantQueue) push(c call) { tq.q = append(tq.q, c) }
+func (tq *tenantQueue) push(c *call) { tq.q = append(tq.q, c) }
 
-func (tq *tenantQueue) popFront() call {
+func (tq *tenantQueue) popFront() *call {
 	c := tq.q[tq.head]
-	tq.q[tq.head] = call{} // drop references for GC
+	tq.q[tq.head] = nil // drop reference for GC
 	tq.head++
 	if tq.head == len(tq.q) {
 		tq.q = tq.q[:0]
 		tq.head = 0
 	}
 	return c
+}
+
+// remove deletes one specific (cancelled) call wherever it sits in the
+// queue, preserving FIFO order of the rest. O(depth), but cancellation of
+// queued work is rare next to dispatch, and queues are bounded by
+// TenantPolicy.QueueDepth anyway. Caller holds the scheduler's mutex.
+func (tq *tenantQueue) remove(c *call) bool {
+	for i := tq.head; i < len(tq.q); i++ {
+		if tq.q[i] == c {
+			copy(tq.q[i:], tq.q[i+1:])
+			tq.q[len(tq.q)-1] = nil
+			tq.q = tq.q[:len(tq.q)-1]
+			if tq.head == len(tq.q) {
+				tq.q = tq.q[:0]
+				tq.head = 0
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // scheduler replaces the old single FIFO channel: per-tenant bounded
@@ -62,6 +82,7 @@ type scheduler struct {
 	closed  bool
 
 	cfg *Config
+	srv *Server // owner; used to resolve dequeue-cancelled calls (nil in unit tests)
 }
 
 func newScheduler(cfg *Config) *scheduler {
@@ -88,7 +109,7 @@ func (sc *scheduler) tenant(name string) *tenantQueue {
 
 // enqueue appends a call to the tenant's queue and makes the tenant
 // schedulable. Caller holds sc.mu.
-func (sc *scheduler) enqueue(tq *tenantQueue, c call) {
+func (sc *scheduler) enqueue(tq *tenantQueue, c *call) {
 	tq.push(c)
 	sc.queued++
 	if !tq.inRing {
@@ -101,7 +122,11 @@ func (sc *scheduler) enqueue(tq *tenantQueue, c call) {
 
 // next blocks until a call is available (returning it under DRR order) or
 // the scheduler is closed and fully drained (ok=false). Workers loop on it.
-func (sc *scheduler) next() (call, bool) {
+// Dispatch is where a call stops being cancellable: the state flips to
+// callDispatched and the settled channel closes (stopping the watcher)
+// inside the same critical section that popped it, so the watcher can
+// never unlink a call a worker already owns.
+func (sc *scheduler) next() (*call, bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	for {
@@ -110,10 +135,21 @@ func (sc *scheduler) next() (call, bool) {
 			// A slot freed: wake blocked submitters (possibly of another
 			// tenant — they re-check their own queue's occupancy).
 			sc.notFull.Broadcast()
+			if sc.srv != nil && c.ctx != nil && c.ctx.Err() != nil {
+				// Dequeue-cancel backstop: ctx fired but this pop beat the
+				// watcher to the lock. Resolve canceled here instead of
+				// burning a worker on a request nobody is waiting for.
+				sc.srv.resolveCanceledLocked(c)
+				continue
+			}
+			c.state = callDispatched
+			if c.settled != nil {
+				close(c.settled)
+			}
 			return c, true
 		}
 		if sc.closed {
-			return call{}, false
+			return nil, false
 		}
 		sc.notEmpty.Wait()
 	}
@@ -121,7 +157,7 @@ func (sc *scheduler) next() (call, bool) {
 
 // pop removes the next call under deficit round-robin. Caller holds sc.mu
 // and guarantees sc.queued > 0 (so the ring is non-empty).
-func (sc *scheduler) pop() call {
+func (sc *scheduler) pop() *call {
 	tq := sc.ring[sc.ringIdx]
 	if tq.deficit <= 0 {
 		// New visit: replenish.
@@ -145,10 +181,37 @@ func (sc *scheduler) pop() call {
 
 func (sc *scheduler) ringRemove(i int) {
 	sc.ring = append(sc.ring[:i], sc.ring[i+1:]...)
+	if i < sc.ringIdx {
+		// Removing an earlier ring slot shifted the current tenant left;
+		// follow it so DRR order is unperturbed.
+		sc.ringIdx--
+	}
 	if sc.ringIdx >= len(sc.ring) {
 		sc.ringIdx = 0
 		sc.rounds++
 	}
+}
+
+// unlink removes a still-queued call from its tenant's queue (the
+// cancellation path). Returns false if the call is no longer queued —
+// a concurrent pop won the race. Caller holds sc.mu.
+func (sc *scheduler) unlink(c *call) bool {
+	tq := sc.tenants[c.req.Tenant.Name]
+	if tq == nil || !tq.remove(c) {
+		return false
+	}
+	sc.queued--
+	if tq.inRing && tq.qlen() == 0 {
+		tq.inRing = false
+		tq.deficit = 0
+		for i, r := range sc.ring {
+			if r == tq {
+				sc.ringRemove(i)
+				break
+			}
+		}
+	}
+	return true
 }
 
 func (sc *scheduler) advance() {

@@ -13,7 +13,9 @@ func fill(sc *scheduler, name string, n int) {
 	defer sc.mu.Unlock()
 	tq := sc.tenant(name)
 	for i := 0; i < n; i++ {
-		sc.enqueue(tq, call{req: Request{Tenant: workloads.Tenant{Name: name}, Seq: i}})
+		c := &call{req: NewRequest(name, uint64(i), WithWorkload(workloads.Tenant{Name: name})),
+			state: callQueued}
+		sc.enqueue(tq, c)
 	}
 }
 

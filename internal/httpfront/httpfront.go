@@ -1,0 +1,234 @@
+// Package httpfront exposes a host.Server over HTTP: per-tenant invoke
+// routes, a drain-aware health endpoint, and a JSON stats endpoint. It is
+// the seam where the serving layer's outcome vocabulary becomes wire
+// semantics — every host.Status has exactly one documented HTTP code (see
+// StatusCode) — and where client disconnects become cancellations: the
+// request's http context is passed straight into host.Server.Do, so a
+// caller that goes away while its request is queued resolves
+// StatusCanceled without ever occupying a worker.
+//
+// Routes:
+//
+//	POST /v1/tenants/{tenant}/invoke  run one request (body = guest input;
+//	                                  empty body = tenant's synthetic stream)
+//	GET  /healthz                     readiness; 503 once draining
+//	GET  /statsz                      stats.ServeSummary + per-tenant + counters
+package httpfront
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfi/internal/faas"
+	"hfi/internal/host"
+	"hfi/internal/stats"
+	"hfi/internal/workloads"
+)
+
+// StatusClientClosedRequest is the nginx-convention code for a request
+// whose client disconnected before a response existed. Nobody is usually
+// left to read it; it exists so access logs distinguish abandoned
+// requests from server failures.
+const StatusClientClosedRequest = 499
+
+// Tenant is one routable entry: the workload that backs the URL name and
+// the isolation configuration its instances run under.
+type Tenant struct {
+	Workload workloads.Tenant
+	Iso      faas.Config
+}
+
+// Front is the HTTP serving layer over one host.Server.
+type Front struct {
+	host     *host.Server
+	reg      map[string]Tenant
+	seqs     sync.Map // tenant name → *atomic.Uint64 request sequence
+	draining atomic.Bool
+	started  time.Time
+
+	// MaxBody bounds an invoke request body (bytes). Defaults to 1 MiB.
+	MaxBody int64
+}
+
+// New builds a front over srv routing the registered tenants.
+func New(srv *host.Server, reg map[string]Tenant) *Front {
+	return &Front{host: srv, reg: reg, started: time.Now(), MaxBody: 1 << 20}
+}
+
+// Host returns the underlying server (the drain path closes it directly).
+func (f *Front) Host() *host.Server { return f.host }
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing here.
+// In-flight and queued work is unaffected; the caller follows with
+// host.Server.Close (drains the queues) and http.Server.Shutdown.
+func (f *Front) BeginDrain() { f.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (f *Front) Draining() bool { return f.draining.Load() }
+
+// Handler returns the route mux.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{tenant}/invoke", f.invoke)
+	mux.HandleFunc("GET /healthz", f.healthz)
+	mux.HandleFunc("GET /statsz", f.statsz)
+	return mux
+}
+
+// StatusCode is the documented host.Status → HTTP mapping:
+//
+//	StatusOK       200    body is the guest response
+//	StatusShed     429    backpressure (queue full or breaker open); Retry-After set
+//	StatusRejected 422    program failed static verification — retrying cannot help
+//	StatusTimeout  504    fuel budget exhausted mid-run
+//	StatusFault    502    guest faulted
+//	StatusClosed   503    server draining; Retry-After set
+//	StatusCanceled 499    client went away first
+func StatusCode(st host.Status) int {
+	switch st {
+	case host.StatusOK:
+		return http.StatusOK
+	case host.StatusShed:
+		return http.StatusTooManyRequests
+	case host.StatusRejected:
+		return http.StatusUnprocessableEntity
+	case host.StatusTimeout:
+		return http.StatusGatewayTimeout
+	case host.StatusFault:
+		return http.StatusBadGateway
+	case host.StatusClosed:
+		return http.StatusServiceUnavailable
+	case host.StatusCanceled:
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// OutcomeForCode inverts StatusCode for HTTP-driving load generators:
+// which outcome class an observed response code counts toward. The bool
+// is false for codes outside the mapping (transport errors, 404s).
+func OutcomeForCode(code int) (stats.Outcome, bool) {
+	switch code {
+	case http.StatusOK:
+		return stats.OutcomeOK, true
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return stats.OutcomeShed, true
+	case http.StatusUnprocessableEntity:
+		return stats.OutcomeRejected, true
+	case http.StatusGatewayTimeout:
+		return stats.OutcomeTimeout, true
+	case http.StatusBadGateway:
+		return stats.OutcomeFault, true
+	case StatusClientClosedRequest:
+		return stats.OutcomeCanceled, true
+	default:
+		return 0, false
+	}
+}
+
+// errorBody is the JSON envelope of every non-200 invoke response.
+type errorBody struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (f *Front) invoke(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	te, ok := f.reg[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Status: "unknown_tenant",
+			Error: fmt.Sprintf("no tenant %q registered", name)})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, f.MaxBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Status: "bad_request", Error: err.Error()})
+		return
+	}
+	if int64(len(body)) > f.MaxBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Status: "body_too_large",
+			Error: fmt.Sprintf("body exceeds %d bytes", f.MaxBody)})
+		return
+	}
+	opts := []host.RequestOpt{host.WithWorkload(te.Workload), host.WithIso(te.Iso)}
+	if len(body) > 0 {
+		opts = append(opts, host.WithBody(body))
+	}
+	resp := f.host.Do(r.Context(), host.NewRequest(name, f.nextSeq(name), opts...))
+	f.writeResponse(w, resp)
+}
+
+// nextSeq hands out the tenant's next request sequence number — the
+// deterministic request identity chaos injection and response hashing
+// key on.
+func (f *Front) nextSeq(name string) uint64 {
+	v, _ := f.seqs.LoadOrStore(name, new(atomic.Uint64))
+	return v.(*atomic.Uint64).Add(1) - 1
+}
+
+func (f *Front) writeResponse(w http.ResponseWriter, resp host.Response) {
+	code := StatusCode(resp.Status)
+	if code == http.StatusOK {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(resp.Body)
+		return
+	}
+	switch code {
+	case http.StatusTooManyRequests:
+		// Backpressure is transient by construction — a breaker half-opens,
+		// a queue drains — so tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "5")
+	}
+	eb := errorBody{Status: resp.Status.String()}
+	if resp.Err != nil {
+		eb.Error = resp.Err.Error()
+		if errors.Is(resp.Err, host.ErrBreakerOpen) {
+			eb.Status = "breaker_open"
+		}
+	}
+	writeJSON(w, code, eb)
+}
+
+func (f *Front) healthz(w http.ResponseWriter, r *http.Request) {
+	if f.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Statsz is the /statsz document.
+type Statsz struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Draining      bool                  `json:"draining"`
+	Serve         stats.ServeSummary    `json:"serve"`
+	Tenants       []stats.TenantSummary `json:"tenants"`
+	Counters      host.Counters         `json:"counters"`
+}
+
+func (f *Front) statsz(w http.ResponseWriter, r *http.Request) {
+	up := time.Since(f.started)
+	writeJSON(w, http.StatusOK, Statsz{
+		UptimeSeconds: up.Seconds(),
+		Draining:      f.draining.Load(),
+		Serve:         f.host.Snapshot(up),
+		Tenants:       f.host.TenantSummaries(),
+		Counters:      f.host.Counters(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,331 @@
+package httpfront
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hfi/internal/faas"
+	"hfi/internal/host"
+	"hfi/internal/isa"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// trapOnBody builds a tenant whose guest traps whenever the request body
+// is non-empty and halts otherwise — a deterministic fault source with no
+// chaos injector.
+func trapOnBody(name string) workloads.Tenant {
+	m := wasm.NewModule(name, 1, 16)
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	f.BrImm(isa.CondEQ, n, 0, "ok")
+	f.Trap()
+	f.Label("ok")
+	f.Ret(n)
+	return workloads.Tenant{
+		Name: name, Mod: m,
+		MakeRequest: func(i int) []byte { return nil },
+	}
+}
+
+// unverifiable builds a tenant whose program compiles but fails static
+// verification (memory.grow limit past the guard reservation), so every
+// invoke resolves StatusRejected.
+func unverifiable(name string) workloads.Tenant {
+	m := wasm.NewModule(name, 1, 200_000)
+	f := m.Func("run", 1)
+	old := f.NewReg()
+	f.Grow(old, f.Param(0))
+	f.BrImm(isa.CondEQ, old, 0xFFFFFFFF, "fail")
+	f.Ret(old)
+	f.Label("fail")
+	f.Trap()
+	return workloads.Tenant{
+		Name: name, Mod: m,
+		MakeRequest: func(i int) []byte { return nil },
+	}
+}
+
+// newFront builds a front over a fresh server with the standard test
+// registry: a healthy tenant, a body-trapping tenant, and an unverifiable
+// tenant, all under stock isolation.
+func newFront(t *testing.T, cfg host.Config) (*Front, *httptest.Server) {
+	t.Helper()
+	light := workloads.FaaSTenantsLight()
+	iso := faas.StockLucet()
+	reg := map[string]Tenant{
+		"html":    {Workload: light[3], Iso: iso},
+		"xml":     {Workload: light[0], Iso: iso},
+		"trap":    {Workload: trapOnBody("trap"), Iso: iso},
+		"unverif": {Workload: unverifiable("unverif"), Iso: iso},
+	}
+	f := New(host.New(cfg), reg)
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() { ts.Close(); f.Host().Close() })
+	return f, ts
+}
+
+func post(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestStatusCodeTable pins the full documented host.Status → HTTP map.
+func TestStatusCodeTable(t *testing.T) {
+	want := map[host.Status]int{
+		host.StatusOK:       200,
+		host.StatusShed:     429,
+		host.StatusRejected: 422,
+		host.StatusTimeout:  504,
+		host.StatusFault:    502,
+		host.StatusClosed:   503,
+		host.StatusCanceled: 499,
+	}
+	for st, code := range want {
+		if got := StatusCode(st); got != code {
+			t.Errorf("StatusCode(%v) = %d, want %d", st, got, code)
+		}
+		o, ok := OutcomeForCode(code)
+		if !ok {
+			t.Errorf("OutcomeForCode(%d) unmapped", code)
+		}
+		// 503 folds into the shed class client-side; everything else round-trips.
+		if st == host.StatusClosed {
+			if o != stats.OutcomeShed {
+				t.Errorf("OutcomeForCode(503) = %v, want shed class", o)
+			}
+		}
+	}
+	if _, ok := OutcomeForCode(404); ok {
+		t.Error("OutcomeForCode(404) should be unmapped")
+	}
+}
+
+// TestInvokeEndToEnd drives every documented status over real HTTP.
+func TestInvokeEndToEnd(t *testing.T) {
+	t.Run("ok", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1})
+		resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+	})
+	t.Run("fault_502", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1})
+		resp := post(t, ts.URL+"/v1/tenants/trap/invoke", "boom")
+		if resp.StatusCode != 502 {
+			t.Fatalf("status %d, want 502", resp.StatusCode)
+		}
+		var eb struct{ Status string }
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Status != "fault" {
+			t.Fatalf("error body status %q (err %v), want fault", eb.Status, err)
+		}
+	})
+	t.Run("rejected_422", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1})
+		resp := post(t, ts.URL+"/v1/tenants/unverif/invoke", "")
+		if resp.StatusCode != 422 {
+			t.Fatalf("status %d, want 422", resp.StatusCode)
+		}
+	})
+	t.Run("timeout_504", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1, Fuel: 100})
+		resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
+		if resp.StatusCode != 504 {
+			t.Fatalf("status %d, want 504", resp.StatusCode)
+		}
+	})
+	t.Run("unknown_tenant_404", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1})
+		resp := post(t, ts.URL+"/v1/tenants/nope/invoke", "")
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+// TestOverloadShed429 saturates a depth-1 shed queue behind one slowed
+// worker and asserts a real 429 with Retry-After comes back.
+func TestOverloadShed429(t *testing.T) {
+	_, ts := newFront(t, host.Config{
+		Workers: 1, QueueDepth: 1, Policy: host.PolicyShed,
+		DispatchWall: 50 * time.Millisecond,
+	})
+	// First request occupies the worker (50ms dispatch wall), second fills
+	// the depth-1 queue, third must shed.
+	c1 := make(chan int, 1)
+	go func() { c1 <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	time.Sleep(10 * time.Millisecond)
+	c2 := make(chan int, 1)
+	go func() { c2 <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	time.Sleep(10 * time.Millisecond)
+
+	resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
+	if resp.StatusCode != 429 {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s1, s2 := <-c1, <-c2; s1 != 200 || s2 != 200 {
+		t.Fatalf("background requests %d/%d, want 200/200", s1, s2)
+	}
+}
+
+// TestDrainSemantics: BeginDrain flips /healthz to 503; after host.Close,
+// invokes map StatusClosed → 503 with Retry-After.
+func TestDrainSemantics(t *testing.T) {
+	f, ts := newFront(t, host.Config{Workers: 1})
+
+	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+	f.BeginDrain()
+	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != 503 {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+	// Draining alone must not refuse work — the LB drains us, clients with
+	// in-flight connections finish.
+	if resp := post(t, ts.URL+"/v1/tenants/html/invoke", ""); resp.StatusCode != 200 {
+		t.Fatalf("invoke during drain: %d, want 200", resp.StatusCode)
+	}
+	f.Host().Close()
+	resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
+	if resp.StatusCode != 503 {
+		t.Fatalf("invoke after close: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestClientDisconnectCancelsQueued is the end-to-end no-worker-occupancy
+// proof over real HTTP: a blocker request holds the single worker, a
+// victim request (own tenant) queues behind it, and the victim's client
+// disconnects. The host must account one canceled request, zero executed
+// requests for the victim tenant, and exactly one cold start — the
+// blocker's. The worker never touched the victim.
+func TestClientDisconnectCancelsQueued(t *testing.T) {
+	f, ts := newFront(t, host.Config{
+		Workers: 1, QueueDepth: 4, DispatchWall: 60 * time.Millisecond,
+	})
+
+	blocker := make(chan int, 1)
+	go func() { blocker <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	time.Sleep(15 * time.Millisecond) // worker is inside the blocker's dispatch wall
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/tenants/xml/invoke", nil)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(15 * time.Millisecond) // victim is queued behind the blocker
+	cancel()                          // client goes away
+
+	if err := <-errc; err == nil {
+		t.Fatal("victim request unexpectedly got a response after its context was cancelled")
+	}
+	if code := <-blocker; code != 200 {
+		t.Fatalf("blocker status %d", code)
+	}
+
+	// The cancel is resolved by the watcher under the scheduler lock, so it
+	// is already accounted by the time both requests resolved.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c := f.Host().Counters()
+		if c.Canceled == 1 {
+			if c.ColdStarts != 1 {
+				t.Fatalf("cold starts = %d, want 1 (victim must never occupy a worker)", c.ColdStarts)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled = %d after 2s, want 1 (%+v)", c.Canceled, c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, tn := range f.Host().TenantSummaries() {
+		if tn.Tenant == "xml" {
+			if tn.Executed() != 0 || tn.Canceled != 1 {
+				t.Fatalf("victim tenant %+v, want executed 0 canceled 1", tn)
+			}
+		}
+	}
+}
+
+// TestStatszConservation: /statsz serves valid JSON whose global ledger
+// conserves exactly across a burst of mixed-outcome traffic.
+func TestStatszConservation(t *testing.T) {
+	_, ts := newFront(t, host.Config{Workers: 2})
+	for i := 0; i < 10; i++ {
+		post(t, ts.URL+"/v1/tenants/html/invoke", "")
+	}
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/tenants/trap/invoke", "boom")
+	}
+	post(t, ts.URL+"/v1/tenants/unverif/invoke", "")
+
+	resp := get(t, ts.URL+"/statsz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	var sz Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	sum := sz.Serve
+	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
+	if accounted != sz.Counters.Admitted || accounted != 14 {
+		t.Fatalf("statsz ledger: accounted %d admitted %d, want 14", accounted, sz.Counters.Admitted)
+	}
+	if sum.OK != 10 || sum.Faults != 3 || sum.Rejected != 1 {
+		t.Fatalf("statsz outcomes %+v, want 10 ok / 3 faults / 1 rejected", sum)
+	}
+	if len(sz.Tenants) != 3 {
+		t.Fatalf("statsz tenants = %d, want 3", len(sz.Tenants))
+	}
+}
+
+// TestOpenLoopHTTPGenerator: the HTTP open-loop generator produces a
+// conserving sweep point against a live front.
+func TestOpenLoopHTTPGenerator(t *testing.T) {
+	_, ts := newFront(t, host.Config{Workers: 2, QueueDepth: 4, Policy: host.PolicyShed})
+	pt, err := RunOpenLoopHTTP(http.DefaultClient, ts.URL, []string{"html", "xml"}, 500, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounted := pt.OK + pt.Timeouts + pt.Faults + pt.Shed + pt.Rejected + pt.Canceled
+	if accounted != 50 {
+		t.Fatalf("generator accounted %d of 50: %+v", accounted, pt)
+	}
+	if pt.OK == 0 {
+		t.Fatalf("no successes at moderate load: %+v", pt)
+	}
+}

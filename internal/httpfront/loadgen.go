@@ -1,0 +1,101 @@
+package httpfront
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hfi/internal/host"
+	"hfi/internal/stats"
+)
+
+// RunOpenLoopHTTP drives a front over real HTTP with the same open-loop
+// Poisson arrival process as host.RunOpenLoop: exponential inter-arrival
+// gaps at `rate` requests per second from a seeded PRNG, tenants drawn
+// round-robin from names. Response codes are folded back into outcome
+// classes via OutcomeForCode, and latency percentiles cover executed
+// requests (ok/timeout/fault) to match the server-side recorder's view.
+// Transport errors (connection refused, ...) are returned, not counted.
+func RunOpenLoopHTTP(client *http.Client, base string, names []string, rate float64, total int, seed int64) (host.SweepPoint, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	due := make([]time.Duration, total)
+	var t float64
+	for i := range due {
+		t += rng.ExpFloat64() / rate * 1e9
+		due[i] = time.Duration(t)
+	}
+
+	var (
+		mu       sync.Mutex
+		counts   = make(map[stats.Outcome]uint64)
+		lats     []float64
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	t0 := time.Now()
+	for i := 0; i < total; i++ {
+		if d := time.Until(t0.Add(due[i])); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/tenants/%s/invoke", base, names[i%len(names)])
+			start := time.Now()
+			resp, err := client.Post(url, "application/octet-stream", nil)
+			lat := float64(time.Since(start).Nanoseconds())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			o, ok := OutcomeForCode(resp.StatusCode)
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("unexpected HTTP %d from %s", resp.StatusCode, url)
+				}
+				return
+			}
+			counts[o]++
+			switch o {
+			case stats.OutcomeOK, stats.OutcomeTimeout, stats.OutcomeFault:
+				lats = append(lats, lat)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return host.SweepPoint{}, firstErr
+	}
+
+	sort.Float64s(lats)
+	pt := host.SweepPoint{
+		RateRPS: rate, Offered: total,
+		OK: counts[stats.OutcomeOK], Timeouts: counts[stats.OutcomeTimeout],
+		Faults: counts[stats.OutcomeFault], Shed: counts[stats.OutcomeShed],
+		Rejected: counts[stats.OutcomeRejected], Canceled: counts[stats.OutcomeCanceled],
+	}
+	if len(lats) > 0 {
+		pt.P50Ns = stats.Percentile(lats, 50)
+		pt.P99Ns = stats.Percentile(lats, 99)
+		pt.P999Ns = stats.Percentile(lats, 99.9)
+	}
+	executed := pt.OK + pt.Timeouts + pt.Faults
+	if elapsed > 0 {
+		pt.AchievedRPS = float64(executed) / elapsed.Seconds()
+	}
+	if n := executed + pt.Shed; n > 0 {
+		pt.ShedRate = float64(pt.Shed) / float64(n)
+	}
+	return pt, nil
+}

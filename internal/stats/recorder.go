@@ -20,9 +20,14 @@ const (
 	// on proof grounds and never touched a sandbox. Load tests key on the
 	// distinction to assert no verified-then-escaped program exists.
 	OutcomeRejected
+	// OutcomeCanceled: the caller's context was cancelled while the request
+	// waited in its tenant queue. Like a shed it never executed (no latency
+	// sample, no sandbox contact), but the initiative was the client's, not
+	// the server's — the HTTP front-end reports these separately from 429s.
+	OutcomeCanceled
 )
 
-var outcomeNames = [...]string{"ok", "timeout", "fault", "shed", "rejected"}
+var outcomeNames = [...]string{"ok", "timeout", "fault", "shed", "rejected", "canceled"}
 
 func (o Outcome) String() string {
 	if int(o) < len(outcomeNames) {
@@ -43,14 +48,15 @@ type Recorder struct {
 	faults   uint64
 	shed     uint64
 	rejected uint64
+	canceled uint64
 	tenants  map[string]*tenantStats
 }
 
 // tenantStats is one tenant's slice of the recorder: the same outcome
 // counters plus its own latency samples (for a per-tenant p99).
 type tenantStats struct {
-	ok, timeouts, faults, shed, rejected uint64
-	lats                                 []float64
+	ok, timeouts, faults, shed, rejected, canceled uint64
+	lats                                           []float64
 }
 
 // NewRecorder returns an empty recorder.
@@ -106,6 +112,11 @@ func (r *Recorder) RecordTenant(tenant string, o Outcome, latNs float64) {
 		if ts != nil {
 			ts.rejected++
 		}
+	case OutcomeCanceled:
+		r.canceled++
+		if ts != nil {
+			ts.canceled++
+		}
 	}
 	if !executed {
 		return
@@ -125,6 +136,9 @@ type ServeSummary struct {
 	// Rejected counts requests refused because the tenant program failed
 	// static verification (never executed, no latency sample).
 	Rejected uint64
+	// Canceled counts requests abandoned by their caller while queued
+	// (never executed, no latency sample).
+	Canceled uint64
 
 	MeanNs float64
 	P50Ns  float64
@@ -147,7 +161,10 @@ func (s ServeSummary) Executed() uint64 { return s.OK + s.Timeouts + s.Faults }
 func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 	r.mu.Lock()
 	lats := append([]float64(nil), r.lats...)
-	s := ServeSummary{OK: r.ok, Timeouts: r.timeouts, Faults: r.faults, Shed: r.shed, Rejected: r.rejected}
+	s := ServeSummary{
+		OK: r.ok, Timeouts: r.timeouts, Faults: r.faults,
+		Shed: r.shed, Rejected: r.rejected, Canceled: r.canceled,
+	}
 	r.mu.Unlock()
 
 	if len(lats) > 0 {
@@ -175,6 +192,7 @@ type TenantSummary struct {
 	Faults   uint64  `json:"faults"`
 	Shed     uint64  `json:"shed"`
 	Rejected uint64  `json:"rejected"`
+	Canceled uint64  `json:"canceled"`
 	P50Ns    float64 `json:"p50_ns"`
 	P99Ns    float64 `json:"p99_ns"`
 }
@@ -183,7 +201,7 @@ type TenantSummary struct {
 func (t TenantSummary) Executed() uint64 { return t.OK + t.Timeouts + t.Faults }
 
 // Admitted counts every accounted outcome for the tenant.
-func (t TenantSummary) Admitted() uint64 { return t.Executed() + t.Shed + t.Rejected }
+func (t TenantSummary) Admitted() uint64 { return t.Executed() + t.Shed + t.Rejected + t.Canceled }
 
 // TenantSummaries returns the per-tenant breakdowns sorted by tenant name.
 // The global view (Snapshot) is unchanged by per-tenant attribution.
@@ -194,7 +212,7 @@ func (r *Recorder) TenantSummaries() []TenantSummary {
 		t := TenantSummary{
 			Tenant: name,
 			OK:     ts.ok, Timeouts: ts.timeouts, Faults: ts.faults,
-			Shed: ts.shed, Rejected: ts.rejected,
+			Shed: ts.shed, Rejected: ts.rejected, Canceled: ts.canceled,
 		}
 		if len(ts.lats) > 0 {
 			lats := append([]float64(nil), ts.lats...)

@@ -1,0 +1,32 @@
+#!/bin/sh
+# loadtest.sh — short deterministic open-loop load gate (`make loadtest`).
+#
+# Runs the in-process open-loop sweep (hfiserve -mode sweep: seeded Poisson
+# arrivals, built-in generator, no external tools) at three offered rates —
+# comfortably below, around, and far past one/two-worker capacity — and
+# fails if any point's p99 exceeds the checked-in baseline by more than the
+# tolerance, if the outcome ledger does not conserve exactly, or if any
+# rate serves zero successes.
+#
+# The tolerance is a multiplier (default 4x), not a percentage: wall-clock
+# latency on shared CI hardware is noisy, and a real regression — an
+# accidental lock across dispatch, a lost fast path — shows up as a
+# multiple. PolicyShed keeps p99 bounded at the overloaded point, so the
+# gate stays meaningful past the knee.
+#
+# Regenerate the baseline after an intentional perf change (the trailing
+# flags override the defaults; -check "" disables the gate for the
+# recording run):
+#   scripts/loadtest.sh -check "" -json > scripts/loadtest_baseline.json
+#
+# Usage: scripts/loadtest.sh [extra hfiserve flags]
+set -eu
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/hfiserve -mode sweep \
+	-workers 2 \
+	-rates 300,900,2500 \
+	-requests 120 \
+	-policy shed -queue 16 -dispatch 300us -seed 1 \
+	-check scripts/loadtest_baseline.json \
+	"$@"

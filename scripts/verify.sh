@@ -18,6 +18,11 @@
 # (admitted == ok+timeout+fault+shed+rejected), per-tenant progress under
 # a hot-tenant flood, bounded warm pools (`make soak` runs just this).
 #
+# Then the fast load gate: a short deterministic open-loop sweep
+# (hfiserve -mode sweep, built-in Poisson generator) whose p99 must stay
+# within tolerance of the checked-in baseline at every (workers, rate)
+# point, with exact outcome conservation (`make loadtest` runs just this).
+#
 # After the tests, the static-verifier gate: hfiverify proves every corpus
 # program safe under every scheme, then runs the fast mutation bench, which
 # fails on any verified-then-escaped mutant or a static kill rate below 95%
@@ -35,6 +40,8 @@ echo "== go test -race -short ./..."
 go test -race -short -timeout 15m ./...
 echo "== chaos soak (seeded, race-detected)"
 go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
+echo "== loadtest: open-loop p99 gate vs baseline (fast)"
+sh scripts/loadtest.sh >/dev/null
 echo "== hfiverify: corpus under all schemes"
 go run ./cmd/hfiverify
 echo "== hfiverify -mutate: verifier soundness bench (fast)"
