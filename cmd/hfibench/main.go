@@ -8,7 +8,7 @@
 //	hfibench -table 1          # Table 1
 //	hfibench -exp heapgrowth   # §-experiments: heapgrowth, regpressure,
 //	                           # teardown, scaling, syscalls, font, micro,
-//	                           # ablate-switch, ablate-schemes
+//	                           # hostcall, ablate-switch, ablate-schemes
 //	hfibench -quick            # reduced scales for a fast smoke pass
 //	hfibench -all -json        # machine-readable: JSON array of tables
 package main
@@ -28,7 +28,7 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		fig     = flag.Int("fig", 0, "figure number to reproduce (2,3,4,5,7)")
 		table   = flag.Int("table", 0, "table number to reproduce (1)")
-		exp     = flag.String("exp", "", "named experiment (heapgrowth, regpressure, teardown, scaling, syscalls, font, multimem, micro, ablate-switch, ablate-schemes)")
+		exp     = flag.String("exp", "", "named experiment (heapgrowth, regpressure, teardown, scaling, syscalls, font, multimem, micro, hostcall, ablate-switch, ablate-schemes)")
 		quick   = flag.Bool("quick", false, "reduced scales")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array of tables instead of text")
 	)
@@ -117,6 +117,14 @@ func main() {
 	}
 	if runExp("multimem") {
 		tb, err := experiments.RunMultiMemory()
+		show(tb, err)
+	}
+	if runExp("hostcall") {
+		hcReqs := 3000
+		if *quick {
+			hcReqs = 500
+		}
+		_, tb, err := experiments.RunHostcallRoundTrip(hcReqs)
 		show(tb, err)
 	}
 	if runExp("micro") {

@@ -45,9 +45,13 @@ import (
 	"syscall"
 	"time"
 
+	"hfi/internal/faas"
 	"hfi/internal/host"
+	"hfi/internal/hostcall"
 	"hfi/internal/httpfront"
+	"hfi/internal/sfi"
 	"hfi/internal/stats"
+	"hfi/internal/workloads"
 )
 
 func main() {
@@ -92,13 +96,21 @@ func main() {
 	os.Exit(serve(cfg, *addr, *drainWait))
 }
 
-// registry builds the routable tenant set from the standard mix: each
-// DefaultMix class keeps its isolation configuration, so /v1/tenants/...
-// names exercise the same (tenant, config) pool keying as the benchmarks.
+// registry builds the routable tenant set: the standard DefaultMix
+// classes (each keeping its isolation configuration, so /v1/tenants/...
+// names exercise the same (tenant, config) pool keying as the
+// benchmarks) plus the hostcall guests — kv-session, stream-xform,
+// fan-in-agg, hostcall-micro — under HFI with one shared seeded world,
+// so KV state written by one tenant is visible to the others subject to
+// per-tenant quotas.
 func registry() map[string]httpfront.Tenant {
 	reg := make(map[string]httpfront.Tenant)
 	for _, c := range host.DefaultMix() {
 		reg[c.Tenant.Name] = httpfront.Tenant{Workload: c.Tenant, Iso: c.Iso}
+	}
+	iso := faas.Config{Name: "HFI", Scheme: sfi.HFI, World: hostcall.NewWorld(1)}
+	for _, te := range workloads.HostcallTenants() {
+		reg[te.Name] = httpfront.Tenant{Workload: te, Iso: iso}
 	}
 	return reg
 }

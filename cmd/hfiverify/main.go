@@ -9,6 +9,7 @@
 //
 //	hfiverify                      # verify the whole corpus, all schemes
 //	hfiverify -w sieve             # one workload, all schemes
+//	hfiverify -class hostcall      # one workload class (the boundary guests)
 //	hfiverify -scheme masking      # all workloads, one scheme
 //	hfiverify -v                   # print every violation, not just the first
 //	hfiverify -mutate              # also run the mutation soundness bench (fast)
@@ -34,36 +35,44 @@ import (
 )
 
 type entry struct {
-	name string
-	mod  func() *wasm.Module
+	name  string
+	class string
+	mod   func() *wasm.Module
 }
 
 // corpus is every built-in guest program: the Sightglass suite, the
-// SPEC-like kernels, the FaaS tenants, and the library-sandboxing codecs.
+// SPEC-like kernels, the FaaS tenants, the library-sandboxing codecs,
+// and the hostcall guests (whose gate and call-site proofs only they
+// exercise).
 func corpus() []entry {
 	var out []entry
 	for _, w := range workloads.Sightglass() {
 		w := w
-		out = append(out, entry{w.Name, func() *wasm.Module { return w.Build(1) }})
+		out = append(out, entry{w.Name, "sightglass", func() *wasm.Module { return w.Build(1) }})
 	}
 	for _, w := range workloads.SpecInt() {
 		w := w
-		out = append(out, entry{w.Name, func() *wasm.Module { return w.Build(1) }})
+		out = append(out, entry{w.Name, "spec", func() *wasm.Module { return w.Build(1) }})
 	}
 	for _, t := range workloads.FaaSTenants() {
 		t := t
-		out = append(out, entry{t.Name, func() *wasm.Module { return t.Mod }})
+		out = append(out, entry{t.Name, "faas", func() *wasm.Module { return t.Mod }})
 	}
 	out = append(out,
-		entry{"jpeg-decoder", workloads.JPEGDecoder},
-		entry{"font-shaper", workloads.FontShaper},
+		entry{"jpeg-decoder", "library", workloads.JPEGDecoder},
+		entry{"font-shaper", "library", workloads.FontShaper},
 	)
+	for _, w := range workloads.HostcallKernels() {
+		w := w
+		out = append(out, entry{w.Name, w.Class, func() *wasm.Module { return w.Build(4) }})
+	}
 	return out
 }
 
 func main() {
 	var (
 		name       = flag.String("w", "", "verify only this workload")
+		class      = flag.String("class", "", "verify only workloads of this class (sightglass, spec, faas, library, hostcall)")
 		schemeName = flag.String("scheme", "", "verify only under this scheme")
 		verbose    = flag.Bool("v", false, "print every violation, not just the first")
 		mutate     = flag.Bool("mutate", false, "run the mutation soundness bench after the corpus sweep")
@@ -88,6 +97,9 @@ func main() {
 		if *name != "" && e.name != *name {
 			continue
 		}
+		if *class != "" && e.class != *class {
+			continue
+		}
 		for _, scheme := range schemes {
 			if !verifyOne(e, scheme, *verbose) {
 				failed = true
@@ -96,7 +108,7 @@ func main() {
 		}
 	}
 	if checked == 0 {
-		fmt.Fprintf(os.Stderr, "hfiverify: no workload matches %q\n", *name)
+		fmt.Fprintf(os.Stderr, "hfiverify: no workload matches -w %q -class %q\n", *name, *class)
 		os.Exit(2)
 	}
 	fmt.Printf("corpus: %d program/scheme pairs verified in %v\n", checked, time.Since(start).Round(time.Millisecond))

@@ -32,12 +32,18 @@
 //   - Poisoned instances — Poison marks faults whose instance keeps
 //     corrupted state even after Reset, exercising the host's verified
 //     reset (heap-hash check) and quarantine discard.
+//   - Hostcall-layer faults — Hostcall arms one of the hostcall
+//     environment's fault modes for a request (a transient resource
+//     error, quota exhaustion, or a slow host call), exercising guests'
+//     errno handling without ever breaching the isolation boundary.
 package chaos
 
 import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"hfi/internal/hostcall"
 )
 
 // Fault enumerates the injectable fault classes.
@@ -51,10 +57,11 @@ const (
 	FaultFuel                   // fuel starvation (timeout path)
 	FaultSlow                   // worker slowdown
 	FaultPoison                 // post-Reset instance corruption
+	FaultHostcall               // hostcall-layer fault (error/quota/slow)
 	numFaults
 )
 
-var faultNames = [...]string{"provision", "reject", "trap", "fuel", "slow", "poison"}
+var faultNames = [...]string{"provision", "reject", "trap", "fuel", "slow", "poison", "hostcall"}
 
 func (f Fault) String() string {
 	if int(f) < len(faultNames) {
@@ -95,6 +102,14 @@ type Config struct {
 	// corrupted even after Reset (the incomplete-reset bug the quarantine
 	// hash check must catch).
 	Poison float64
+
+	// Hostcall is the per-request probability of an injected
+	// hostcall-layer fault. Affected requests draw a submode uniformly:
+	// a one-shot transient resource error (EIO), quota exhaustion on
+	// kv_put (EDQUOT), or a slow host call (extra simulated latency).
+	// Only the first two can change a guest's observable output; a slow
+	// call shifts simulated time alone.
+	Hostcall float64
 }
 
 // Injector makes deterministic fault decisions and counts what it injected.
@@ -129,7 +144,8 @@ func Default(seed int64) *Injector {
 		Trap:   0.05,
 		Fuel:   0.05,
 		Slow:   0.05, SlowFor: time.Millisecond,
-		Poison: 0.5,
+		Poison:   0.5,
+		Hostcall: 0.05,
 	})
 }
 
@@ -256,14 +272,41 @@ func (in *Injector) Poison(tenant string, seq int) bool {
 	return true
 }
 
+// Hostcall returns the hostcall-layer fault armed for the request
+// (hostcall.FaultNone for most). An affected request draws its submode —
+// transient error, quota exhaustion, slow call — from an independent
+// deterministic decision, so the full fault schedule is still a pure
+// function of (seed, tenant, seq).
+func (in *Injector) Hostcall(tenant string, seq int) hostcall.Fault {
+	if in == nil || in.roll(FaultHostcall, tenant, seq) >= in.cfg.Hostcall {
+		return hostcall.FaultNone
+	}
+	in.counts[FaultHostcall].Add(1)
+	switch m := in.roll(FaultHostcall, tenant+"/mode", seq); {
+	case m < 1.0/3:
+		return hostcall.FaultErr
+	case m < 2.0/3:
+		return hostcall.FaultQuota
+	default:
+		return hostcall.FaultSlow
+	}
+}
+
 // Clean reports whether the request runs to normal completion under this
-// injector: no trap, no fuel starvation, no admission rejection. Slowdowns,
-// provisioning retries, and poisoning change timing and pool churn but not
-// the request's outcome. Reference checksum computations use this to know
-// which response bodies a chaos run must still produce bit-identically.
+// injector AND produces its fault-free output: no trap, no fuel
+// starvation, no admission rejection, and no hostcall fault that can
+// change what the guest computes (an error or quota submode; a slow call
+// only shifts time). Slowdowns, provisioning retries, and poisoning change
+// timing and pool churn but not the request's outcome. Reference checksum
+// computations use this to know which response bodies a chaos run must
+// still produce bit-identically.
 func (in *Injector) Clean(tenant string, seq int) bool {
 	if in == nil {
 		return true
+	}
+	if in.roll(FaultHostcall, tenant, seq) < in.cfg.Hostcall &&
+		in.roll(FaultHostcall, tenant+"/mode", seq) < 2.0/3 {
+		return false
 	}
 	return in.roll(FaultTrap, tenant, seq) >= in.cfg.Trap &&
 		in.roll(FaultFuel, tenant, seq) >= in.cfg.Fuel &&
@@ -278,11 +321,12 @@ type Summary struct {
 	Fuel      uint64 `json:"fuel"`
 	Slow      uint64 `json:"slow"`
 	Poison    uint64 `json:"poison"`
+	Hostcall  uint64 `json:"hostcall"`
 }
 
 // Total sums all injected faults.
 func (s Summary) Total() uint64 {
-	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison
+	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison + s.Hostcall
 }
 
 // Snapshot reports how many faults of each class were actually injected so
@@ -298,5 +342,6 @@ func (in *Injector) Snapshot() Summary {
 		Fuel:      in.counts[FaultFuel].Load(),
 		Slow:      in.counts[FaultSlow].Load(),
 		Poison:    in.counts[FaultPoison].Load(),
+		Hostcall:  in.counts[FaultHostcall].Load(),
 	}
 }

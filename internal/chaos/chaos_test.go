@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hfi/internal/hostcall"
 )
 
 // TestDeterministicSchedule: two injectors with the same seed make
@@ -122,6 +124,9 @@ func TestNilInjector(t *testing.T) {
 	if in.SlowDown("t", 0) != 0 {
 		t.Fatal("nil injector slowed down")
 	}
+	if in.Hostcall("t", 0) != hostcall.FaultNone {
+		t.Fatal("nil injector armed a hostcall fault")
+	}
 	if !in.Clean("t", 0) {
 		t.Fatal("nil injector marked a request unclean")
 	}
@@ -131,15 +136,17 @@ func TestNilInjector(t *testing.T) {
 }
 
 // TestCleanMatchesDecisions: Clean is exactly "no trap, no starvation, no
-// rejection", and rates actually fire at plausible frequencies.
+// rejection, no output-changing hostcall fault", and rates actually fire
+// at plausible frequencies.
 func TestCleanMatchesDecisions(t *testing.T) {
 	in := Default(42)
-	var trapped, starved, rejected, clean int
+	var trapped, starved, rejected, hcFaults, hcSlow, clean int
 	const n = 2000
 	for seq := 0; seq < n; seq++ {
 		tr := in.Trap("tenant", seq)
 		_, fu := in.StarveFuel("tenant", seq)
 		re := in.RejectAtAdmission("tenant", seq) != nil
+		hc := in.Hostcall("tenant", seq)
 		if tr {
 			trapped++
 		}
@@ -149,7 +156,14 @@ func TestCleanMatchesDecisions(t *testing.T) {
 		if re {
 			rejected++
 		}
-		if in.Clean("tenant", seq) != (!tr && !fu && !re) {
+		switch hc {
+		case hostcall.FaultErr, hostcall.FaultQuota:
+			hcFaults++
+		case hostcall.FaultSlow:
+			hcSlow++
+		}
+		hcDirty := hc == hostcall.FaultErr || hc == hostcall.FaultQuota
+		if in.Clean("tenant", seq) != (!tr && !fu && !re && !hcDirty) {
 			t.Fatalf("Clean inconsistent at seq %d", seq)
 		}
 		if in.Clean("tenant", seq) {
@@ -159,11 +173,14 @@ func TestCleanMatchesDecisions(t *testing.T) {
 	if trapped == 0 || starved == 0 || rejected == 0 {
 		t.Fatalf("default rates never fired: trap=%d fuel=%d reject=%d", trapped, starved, rejected)
 	}
+	if hcFaults == 0 || hcSlow == 0 {
+		t.Fatalf("hostcall submodes never fired: err/quota=%d slow=%d", hcFaults, hcSlow)
+	}
 	if clean < n/2 {
 		t.Fatalf("only %d/%d requests clean under Default — rates too hot", clean, n)
 	}
 	s := in.Snapshot()
-	if s.Trap == 0 || s.Fuel == 0 || s.Reject == 0 {
+	if s.Trap == 0 || s.Fuel == 0 || s.Reject == 0 || s.Hostcall == 0 {
 		t.Fatalf("snapshot lost counts: %+v", s)
 	}
 }

@@ -286,7 +286,7 @@ func (c *Core) dispatch(in *isa.Instr) {
 			e.ops[0] = c.capture(isa.SP)
 			e.dest = isa.SP
 		}
-	case isa.OpSyscall, isa.OpFence, isa.OpHalt, isa.OpXsave, isa.OpXrstor,
+	case isa.OpSyscall, isa.OpHostcall, isa.OpFence, isa.OpHalt, isa.OpXsave, isa.OpXrstor,
 		isa.OpHfiSetRegion, isa.OpHfiGetRegion, isa.OpHfiClearRegion, isa.OpHfiClearAll:
 		// Statically serializing (region updates serialize conservatively
 		// in the core; §4.3 notes renaming could relax this).
@@ -695,6 +695,21 @@ func (c *Core) execute(idx int, e *robEntry, v0, v1, v2 uint64) {
 				lat += hfi.SerializeCycles
 			}
 		}
+		e.isBranch = true
+		e.actualNext = next
+		c.finish(e, lat, 0)
+		c.redirectFetch(next, c.cycle+lat)
+	case isa.OpHostcall:
+		// Serializer like syscall: executes at ROB head with fetch
+		// stalled, so mutating the architectural register file directly
+		// is commit-equivalent. No redirect path — the gate is the exit.
+		c.syncClock()
+		next, f := m.doHostcall(e.pc)
+		if f != nil {
+			c.specFault(e, fcPriv, e.pc, false)
+			return
+		}
+		lat := uint64(2)
 		e.isBranch = true
 		e.actualNext = next
 		c.finish(e, lat, 0)

@@ -160,3 +160,17 @@ func (m *Machine) doSyscall(pc uint64) (next uint64, redirected bool, fault *hfi
 	m.Kern.Syscall(m.AS, &m.Regs)
 	return pc + isa.InstrBytes, false, nil
 }
+
+// doHostcall dispatches a host-call gate instruction to the runtime's
+// registered dispatcher. Unlike a syscall it is never redirected: the gate
+// IS the designed exit, on every scheme — the verifier proves it is only
+// reachable through the designated call gate, and the host function runs
+// in the trusted runtime. A machine with no dispatcher installed treats
+// the instruction as privileged and faults.
+func (m *Machine) doHostcall(pc uint64) (next uint64, fault *hfi.Fault) {
+	if m.HostcallFn == nil {
+		return 0, m.HFI.PrivFault(pc)
+	}
+	m.HostcallFn(&m.Regs)
+	return pc + isa.InstrBytes, nil
+}

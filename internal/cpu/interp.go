@@ -30,6 +30,7 @@ type CostModel struct {
 	HfiMove   uint64 // per 8-byte metadata move memory<->HFI registers
 	Syscall   uint64 // core-side cost of a syscall instruction
 	Redirect  uint64 // decode-stage syscall redirect (1 cycle, §4.4)
+	Hostcall  uint64 // core-side cost of a hostcall gate transition
 }
 
 // DefaultCostModel returns the calibrated emulation cost model.
@@ -47,6 +48,11 @@ func DefaultCostModel() CostModel {
 		HfiMove:   1_500,
 		Syscall:   60_000,
 		Redirect:  1_000,
+		// An in-process domain transition: no mode switch, no page-table
+		// swap — the "near-zero-cost transition" argument. The host-side
+		// work (marshalling, resource access) is charged separately on the
+		// kernel clock by the dispatcher.
+		Hostcall: 18_000,
 	}
 }
 
@@ -104,6 +110,7 @@ func (ip *Interp) buildCostTab() {
 	ip.costTab[isa.OpRet] = c.Branch + c.Load
 	ip.costTab[isa.OpFence] = c.Serialize
 	ip.costTab[isa.OpSyscall] = c.Syscall
+	ip.costTab[isa.OpHostcall] = c.Hostcall
 	ip.costTab[isa.OpXsave] = c.Serialize
 	ip.costTab[isa.OpXrstor] = c.Serialize
 	ip.costSrc = ip.Cost
@@ -433,6 +440,18 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				ip.syncClock()
 				return RunResult{Reason: StopExit}
 			}
+
+		case isa.OpHostcall:
+			ip.charge(ip.costTab[isa.OpHostcall])
+			ip.syncClock()
+			nxt, f := m.doHostcall(pc)
+			if f != nil {
+				if res, ok := ip.fault(pc, pc, f, false); !ok {
+					return res
+				}
+				continue
+			}
+			next = nxt
 
 		case isa.OpFence:
 			ip.charge(ip.costTab[isa.OpFence])

@@ -94,6 +94,16 @@ type Machine struct {
 	// the sandbox at after servicing the exit.
 	LastExitPC uint64
 
+	// HostcallFn is the host-call dispatcher a trusted runtime installs
+	// before running guest code that uses the hostcall gate: the guest
+	// places the hostcall number in R0 and arguments in R1-R5, and the
+	// dispatcher writes the result (or negated errno) back into R0. The
+	// host side is responsible for its own marshalling checks and for
+	// charging simulated time on the kernel clock. Executing hostcall with
+	// no dispatcher installed raises a privilege fault — a sandbox cannot
+	// reach a host that never offered it an interface.
+	HostcallFn func(regs *[isa.NumRegs]uint64)
+
 	// MemHook, when non-nil, observes every data access the interpreter
 	// performs architecturally — loads, stores, and the implicit stack
 	// push/pop of call and ret — after the HFI and MMU checks have

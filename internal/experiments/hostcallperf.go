@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hfi/internal/cpu"
+	"hfi/internal/faas"
+	"hfi/internal/hostcall"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/workloads"
+)
+
+// HostcallPerf reports the cost of crossing the host-call boundary: the
+// simulated (cost-modeled) time one guest->host->guest round trip spends,
+// how many bytes it marshals, and how fast the simulator itself grinds
+// through round trips (host wall-clock). The simulated figure is the one
+// the paper's argument cares about — an in-process transition plus
+// mediated marshalling, with no kernel round trip — and BENCH_*.json
+// tracks both so a regression in either the model or the implementation
+// is visible.
+type HostcallPerf struct {
+	SimNsPerCall    float64 // simulated ns per hostcall (core transition + dispatch + marshalling)
+	MarshalBPerCall float64 // guest<->host bytes marshalled per hostcall
+	CallsPerSec     float64 // host wall-clock hostcalls per second through the interpreter
+	AllocsPerReq    float64 // host allocations per served request (response-copy only; the marshalling fast path is alloc-free)
+}
+
+// RunHostcallRoundTrip drives the hostcall-micro guest (clock samples plus
+// 1 KiB of seeded randomness per repetition — almost nothing but boundary
+// crossings) through the warm serving path for reqs requests and amortizes
+// the bill per hostcall.
+func RunHostcallRoundTrip(reqs int) (HostcallPerf, *stats.Table, error) {
+	var hp HostcallPerf
+	var micro workloads.Tenant
+	for _, te := range workloads.HostcallTenants() {
+		if te.Name == "hostcall-micro" {
+			micro = te
+		}
+	}
+	if micro.Mod == nil {
+		return hp, nil, fmt.Errorf("hostcallperf: hostcall-micro tenant missing")
+	}
+	cfg := faas.Config{Name: "HFI", Scheme: sfi.HFI, World: hostcall.NewWorld(7)}
+	ti, err := faas.Provision(micro, cfg)
+	if err != nil {
+		return hp, nil, err
+	}
+	body := micro.MakeRequest(0)
+	if _, res := ti.ServeBody(body, 0); res.Reason != cpu.StopHalt {
+		return hp, nil, fmt.Errorf("hostcallperf warmup: stop %v", res.Reason)
+	}
+	ti.Env.TakeCounters()
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	simStart := ti.RT.M.Kern.Clock.Now()
+	t0 := time.Now()
+	for i := 0; i < reqs; i++ {
+		if _, res := ti.ServeBody(body, 0); res.Reason != cpu.StopHalt {
+			return hp, nil, fmt.Errorf("hostcallperf req %d: stop %v", i, res.Reason)
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	calls, bytesIn, bytesOut, _ := ti.Env.TakeCounters()
+	if calls == 0 {
+		return hp, nil, fmt.Errorf("hostcallperf: guest made no hostcalls")
+	}
+	// The per-request FaaS dispatch overhead is serving-path bookkeeping,
+	// not boundary cost; bill only the remainder to the round trips.
+	simNs := ti.RT.M.Kern.Clock.Now() - simStart - uint64(reqs)*faas.DispatchOverheadNs
+	hp.SimNsPerCall = float64(simNs) / float64(calls)
+	hp.MarshalBPerCall = float64(bytesIn+bytesOut) / float64(calls)
+	hp.CallsPerSec = float64(calls) / elapsed
+	hp.AllocsPerReq = float64(ms1.Mallocs-ms0.Mallocs) / float64(reqs)
+
+	tb := &stats.Table{
+		Title:   "Hostcall: guest->host->guest round-trip cost (ABI v1, HFI, warm instance)",
+		Columns: []string{"metric", "value"},
+	}
+	tb.AddRow("simulated ns / hostcall", fmt.Sprintf("%.0f", hp.SimNsPerCall))
+	tb.AddRow("marshalled B / hostcall", fmt.Sprintf("%.0f", hp.MarshalBPerCall))
+	tb.AddRow("hostcalls / host-sec", fmt.Sprintf("%.0fk", hp.CallsPerSec/1e3))
+	tb.AddRow("allocs / request", fmt.Sprintf("%.1f", hp.AllocsPerReq))
+	tb.AddNote("simulated cost = core-side gate transition + HostcallBase + HostcallCopyPerKiB x marshalled KiB; the marshalling fast path itself is alloc-free (BenchmarkHostcallRoundTrip pins 0 allocs/op)")
+	return hp, tb, nil
+}

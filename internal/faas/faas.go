@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hfi/internal/cpu"
+	"hfi/internal/hostcall"
 	"hfi/internal/isa"
 	"hfi/internal/kernel"
 	"hfi/internal/sandbox"
@@ -26,6 +27,11 @@ type Config struct {
 	Swivel bool
 	// HFINative wraps instances in a serialized HFI native sandbox.
 	HFINative bool
+	// World is the shared hostcall resource universe (clock seeds, the
+	// cross-instance KV store) tenants provisioned under this config talk
+	// to. nil gives each instance a private default world, which keeps
+	// pure-compute configs comparable as map keys and zero-config.
+	World *hostcall.World
 }
 
 // StockLucet is the unprotected baseline (Table 1's Lucet(Unsafe)).
@@ -72,6 +78,11 @@ type TenantInstance struct {
 	RT     *sandbox.Runtime
 	Inst   *sandbox.Instance
 	Eng    cpu.Engine
+	// Env is the instance's hostcall environment, bound at provisioning
+	// for modules that talk to the host; nil for pure-compute tenants.
+	Env *hostcall.Env
+
+	pendingFault hostcall.Fault
 }
 
 // Images is the process-wide shared code-image cache. Every Provision runs
@@ -117,10 +128,28 @@ func ProvisionShared(tenant workloads.Tenant, cfg Config, images *sandbox.CodeCa
 	if err != nil {
 		return nil, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)
 	}
-	return &TenantInstance{
+	ti := &TenantInstance{
 		Tenant: tenant, Cfg: cfg,
 		RT: rt, Inst: inst, Eng: cpu.NewInterp(rt.M),
-	}, nil
+	}
+	if tenant.Mod != nil && tenant.Mod.UsesHostcalls() {
+		world := cfg.World
+		if world == nil {
+			world = hostcall.NewWorld(1)
+		}
+		ti.Env = world.NewEnv(tenant.Name)
+		ti.Env.Bind(rt.M, inst.HeapBase, inst.C.MaxHeapBytes())
+	}
+	return ti, nil
+}
+
+// ArmHostcallFault schedules a chaos fault for the next request served on
+// this instance (the injector's hostcall seam). It is consumed by the next
+// ServeBody/ServeRequest and is a no-op for pure-compute tenants.
+func (ti *TenantInstance) ArmHostcallFault(f hostcall.Fault) {
+	if ti.Env != nil {
+		ti.pendingFault = f
+	}
 }
 
 // ServeRequest runs the seq'th request of the tenant's stream on the warm
@@ -138,10 +167,22 @@ func (ti *TenantInstance) ServeRequest(seq int, fuel uint64) ([]byte, cpu.RunRes
 // the body at workloads.InputOffset exactly as it would a generated one.
 func (ti *TenantInstance) ServeBody(req []byte, fuel uint64) ([]byte, cpu.RunResult) {
 	ti.RT.M.Kern.Clock.Advance(DispatchOverheadNs)
-	ti.Inst.WriteHeap(workloads.InputOffset, req)
+	if ti.Env != nil {
+		ti.Env.BeginRequest(req)
+		ti.Env.InjectFault(ti.pendingFault)
+		ti.pendingFault = hostcall.FaultNone
+	}
+	if !ti.Tenant.Stream {
+		ti.Inst.WriteHeap(workloads.InputOffset, req)
+	}
 	res, outLen := ti.Inst.Invoke(ti.Eng, fuel, uint64(len(req)))
 	if res.Reason != cpu.StopHalt {
 		return nil, res
+	}
+	if ti.Tenant.Stream {
+		// The guest answered through fd 1; Env.ResponseBody aliases the
+		// environment's buffer, so detach it before the instance is reused.
+		return append([]byte(nil), ti.Env.ResponseBody()...), res
 	}
 	return ti.Inst.ReadHeap(workloads.OutputOffset, int(outLen)), res
 }

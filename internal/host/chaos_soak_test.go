@@ -12,7 +12,9 @@ import (
 	"hfi/internal/chaos"
 	"hfi/internal/cpu"
 	"hfi/internal/faas"
+	"hfi/internal/sfi"
 	"hfi/internal/stats"
+	"hfi/internal/workloads"
 )
 
 // The chaos soak is the acceptance test of the robustness PR. Phase one
@@ -46,8 +48,28 @@ func soakChaosCfg(seed int64) chaos.Config {
 		Trap:   0.08,
 		Fuel:   0.08, StarvedFuel: 64,
 		Slow: 0.03, SlowFor: 200 * time.Microsecond,
-		Poison: 0.5,
+		Poison:   0.5,
+		Hostcall: 0.15,
 	}
+}
+
+// soakMix is the phase-one traffic: the Table 1 mix plus a hostcall tenant
+// (the streaming transformer — stateless per request, so its responses are
+// worker- and order-independent and the checksum reference stays exact even
+// while hostcall faults are injected).
+func soakMix() []Class {
+	mix := DefaultMix()
+	hc := workloads.HostcallTenants()
+	for _, te := range hc {
+		if te.Name == "stream-xform" {
+			mix = append(mix, Class{Weight: 4, Tenant: te,
+				Iso: faas.Config{Name: "HFI", Scheme: sfi.HFI}})
+		}
+	}
+	if len(mix) == len(DefaultMix()) {
+		panic("soakMix: stream-xform tenant missing")
+	}
+	return mix
 }
 
 // soakOutcomes is an outcome-count tuple, used both for observed per-tenant
@@ -61,6 +83,7 @@ type soakOutcomes struct {
 type soakRun struct {
 	sum      stats.ServeSummary
 	tenants  map[string]soakOutcomes
+	tsums    []stats.TenantSummary
 	counters Counters
 }
 
@@ -116,7 +139,8 @@ func runChaosSoakOnce(t *testing.T, seed int64, reqs []Request) soakRun {
 	}
 	wg.Wait()
 	s.Close()
-	return soakRun{sum: s.Snapshot(0), tenants: obs, counters: s.Counters()}
+	return soakRun{sum: s.Snapshot(0), tenants: obs,
+		tsums: s.TenantSummaries(), counters: s.Counters()}
 }
 
 // soakExpected predicts each tenant's outcome counts and clean-response
@@ -140,6 +164,9 @@ func soakExpected(t *testing.T, seed int64, reqs []Request) map[string]soakOutco
 			}
 			instances[key] = ti
 		}
+		// Mirror the host's hostcall-fault arming: a faulted-but-OK request
+		// must hash identically in the reference and the concurrent run.
+		ti.ArmHostcallFault(inj.Hostcall(r.Tenant.Name, int(r.Seq)))
 		body, res := ti.ServeRequest(int(r.Seq), 0)
 		if res.Reason != cpu.StopHalt {
 			t.Fatalf("reference %s seq %d: stop %v", r.Tenant.Name, r.Seq, res.Reason)
@@ -169,7 +196,7 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	if testing.Short() {
 		total = 120 // same invariants, smaller schedule, ~5s under -race
 	}
-	mix := DefaultMix()
+	mix := soakMix()
 	reqs := BuildSchedule(mix, total, seed)
 
 	run1 := runChaosSoakOnce(t, seed, reqs)
@@ -213,6 +240,27 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		if e.ok == 0 || e.ok == e.ok+e.timeouts+e.faults+e.rejected {
 			t.Fatalf("%s: degenerate fault schedule %+v — tune soak rates", name, e)
 		}
+	}
+
+	// Hostcall-boundary accounting: the hostcall tenant really crossed
+	// the boundary, both runs harvested bit-identical traffic (same
+	// deterministic fault schedule ⇒ same calls, bytes, and quota
+	// rejections), and the per-tenant counters sum exactly to the global
+	// view — every marshalled byte is attributed.
+	if run1.sum.Hostcalls.Calls == 0 {
+		t.Fatal("hostcall tenant in the mix but zero hostcalls recorded")
+	}
+	if run1.sum.Hostcalls != run2.sum.Hostcalls {
+		t.Fatalf("hostcall traffic diverged across runs: %+v vs %+v",
+			run1.sum.Hostcalls, run2.sum.Hostcalls)
+	}
+	var hcSum stats.HostcallCounters
+	for _, ts := range run1.tsums {
+		hcSum.Add(ts.Hostcalls)
+	}
+	if hcSum != run1.sum.Hostcalls {
+		t.Fatalf("tenant hostcall counters %+v do not sum to global %+v",
+			hcSum, run1.sum.Hostcalls)
 	}
 
 	// The recorder's per-tenant view agrees with the client-side tally —

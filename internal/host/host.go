@@ -286,6 +286,7 @@ func WithWorkload(w workloads.Tenant) RequestOpt {
 	return func(r *Request) {
 		r.Tenant.Mod = w.Mod
 		r.Tenant.MakeRequest = w.MakeRequest
+		r.Tenant.Stream = w.Stream
 	}
 }
 
@@ -758,11 +759,15 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Respo
 		if f, ok := inj.StarveFuel(name, seq); ok {
 			fuel = f
 		}
+		// Chaos seam: arm a hostcall-layer fault (transient error, quota
+		// exhaustion, slow call) for this request; consumed at dispatch.
+		ent.ti.ArmHostcallFault(inj.Hostcall(name, seq))
 		if req.Body != nil {
 			body, res = ent.ti.ServeBody(req.Body, fuel)
 		} else {
 			body, res = ent.ti.ServeRequest(seq, fuel)
 		}
+		s.harvestHostcalls(name, ent.ti)
 	}
 	switch res.Reason {
 	case cpu.StopHalt:
@@ -776,6 +781,19 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Respo
 		s.quarantineInstance(pool, ent, req)
 		return Response{Status: StatusFault, Stop: res.Reason, Worker: id}
 	}
+}
+
+// harvestHostcalls attributes the instance's host-call boundary traffic
+// (the delta since the last harvest) to the tenant's stats. Pure-compute
+// tenants have no environment and record nothing.
+func (s *Server) harvestHostcalls(name string, ti *faas.TenantInstance) {
+	if ti.Env == nil {
+		return
+	}
+	calls, bi, bo, qr := ti.Env.TakeCounters()
+	s.rec.RecordHostcalls(name, stats.HostcallCounters{
+		Calls: calls, BytesIn: bi, BytesOut: bo, QuotaRejects: qr,
+	})
 }
 
 // deadlineFuel clamps a request's fuel budget to the wall time left
@@ -817,6 +835,11 @@ func (s *Server) deadlineFuel(ctx context.Context, fuel uint64) uint64 {
 func (s *Server) quarantineInstance(pool *instPool, ent *poolEntry, req Request) {
 	s.quarantine.Add(1)
 	ent.ti.Inst.Reset()
+	if ent.ti.Env != nil {
+		// Host-side session state (fd table, streams) is mid-request
+		// garbage too; reset it alongside the heap.
+		ent.ti.Env.ResetSession()
+	}
 	if s.cfg.Chaos.Poison(req.Tenant.Name, int(req.Seq)) {
 		// Chaos seam: lingering post-Reset corruption, as an incomplete
 		// reset (or a bug in it) would leave. The hash check must catch it.

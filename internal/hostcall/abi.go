@@ -1,0 +1,98 @@
+// Package hostcall is the typed, versioned host-call ABI and the
+// simulated WASI-flavored resource layer behind it: the "world" guests
+// talk to once they outgrow pure compute.
+//
+// The boundary is a designated call gate in guest code (conventionally
+// the two-instruction "__hostcall" function: hostcall; ret). The
+// verifier proves, per scheme, that the gate is the ONLY way out of the
+// sandbox — no hostcall instruction outside it, no jump into it, and
+// every direct call site carries a provably registered call number and
+// provably in-heap buffer arguments (internal/verifier, rule "hostcall").
+// The host side then dispatches to per-tenant registered functions with
+// every marshalled byte bounds-checked against the instance's page
+// tables and charged on the simulated kernel clock, mirroring how the
+// paper's HFI hardware keeps host calls in-process (§4: transitions
+// without a kernel round trip) while the runtime retains full mediation.
+//
+// ABI v1 register convention (identical to the syscall ABI so compilers
+// share lowering): the call number travels in R0, arguments in R1-R5,
+// and the result — or a negated kernel errno — returns in R0. Pointer
+// arguments are OFFSETS into guest linear memory, never host virtual
+// addresses; a pointer argument is always immediately followed by its
+// byte-count argument, and the pair must stay inside the heap.
+package hostcall
+
+import "hfi/internal/verifier"
+
+// Version is the ABI version reported by abi_version. Guests built
+// against a newer ABI than the host serves must refuse to run.
+const Version = 1
+
+// Host-call numbers, ABI v1. Numbers are append-only: published numbers
+// never change meaning, and holes are never reused.
+const (
+	NumAbiVersion     = 0  // () -> version
+	NumClockMonotonic = 1  // () -> ns since instance start (simulated)
+	NumClockWall      = 2  // () -> deterministic wall-clock ns
+	NumRandomGet      = 3  // (ptr, len) -> 0; fills ptr with seeded bytes
+	NumFdOpen         = 4  // (namePtr, nameLen, flags) -> fd
+	NumFdClose        = 5  // (fd) -> 0
+	NumFdRead         = 6  // (fd, ptr, cap) -> bytes read
+	NumFdWrite        = 7  // (fd, ptr, len) -> bytes written
+	NumKvGet          = 8  // (kPtr, kLen, vPtr, vCap) -> bytes copied
+	NumKvPut          = 9  // (kPtr, kLen, vPtr, vLen) -> 0
+	NumKvDelete       = 10 // (kPtr, kLen) -> 0
+
+	// NumHostcalls bounds the dispatch table; the verifier refuses any
+	// call site whose number is not provably below it.
+	NumHostcalls = 11
+)
+
+// Well-known file descriptors. Stdin streams the current request body;
+// stdout accumulates the response body the host returns to the client.
+const (
+	FdStdin  = 0
+	FdStdout = 1
+)
+
+// FdOpen flags.
+const (
+	OpenRead   = 0x0 // existing file, read-only
+	OpenCreate = 0x1 // create or truncate for writing
+)
+
+// MaxIOBytes caps a single marshalled transfer. Larger buffers must be
+// chunked by the guest; the cap bounds the host-side scratch buffer so
+// the marshalling fast path never allocates.
+const MaxIOBytes = 64 << 10
+
+// GateSym is the conventional symbol of the hostcall gate the compiler
+// emits and the verifier polices.
+const GateSym = "__hostcall"
+
+// Sigs returns the verifier-facing signature table for ABI v1, indexed
+// by call number. Pointer/length argument kinds drive the per-call-site
+// marshalling proofs.
+func Sigs() []verifier.HostcallSig {
+	s := make([]verifier.HostcallSig, NumHostcalls)
+	s[NumAbiVersion] = verifier.HostcallSig{Name: "abi_version"}
+	s[NumClockMonotonic] = verifier.HostcallSig{Name: "clock_monotonic"}
+	s[NumClockWall] = verifier.HostcallSig{Name: "clock_wall"}
+	s[NumRandomGet] = verifier.HostcallSig{Name: "random_get",
+		Args: [5]verifier.HostcallArg{verifier.HcArgPtr, verifier.HcArgLen}}
+	s[NumFdOpen] = verifier.HostcallSig{Name: "fd_open",
+		Args: [5]verifier.HostcallArg{verifier.HcArgPtr, verifier.HcArgLen, verifier.HcArgVal}}
+	s[NumFdClose] = verifier.HostcallSig{Name: "fd_close",
+		Args: [5]verifier.HostcallArg{verifier.HcArgVal}}
+	s[NumFdRead] = verifier.HostcallSig{Name: "fd_read",
+		Args: [5]verifier.HostcallArg{verifier.HcArgVal, verifier.HcArgPtr, verifier.HcArgLen}}
+	s[NumFdWrite] = verifier.HostcallSig{Name: "fd_write",
+		Args: [5]verifier.HostcallArg{verifier.HcArgVal, verifier.HcArgPtr, verifier.HcArgLen}}
+	s[NumKvGet] = verifier.HostcallSig{Name: "kv_get",
+		Args: [5]verifier.HostcallArg{verifier.HcArgPtr, verifier.HcArgLen, verifier.HcArgPtr, verifier.HcArgLen}}
+	s[NumKvPut] = verifier.HostcallSig{Name: "kv_put",
+		Args: [5]verifier.HostcallArg{verifier.HcArgPtr, verifier.HcArgLen, verifier.HcArgPtr, verifier.HcArgLen}}
+	s[NumKvDelete] = verifier.HostcallSig{Name: "kv_delete",
+		Args: [5]verifier.HostcallArg{verifier.HcArgPtr, verifier.HcArgLen}}
+	return s
+}

@@ -1,0 +1,463 @@
+package hostcall
+
+import (
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// World is the host-side resource universe shared by every sandbox a
+// host process serves: the determinism seed (all clocks and randomness
+// derive from it, so a run is exactly reproducible) and the shared KV
+// store. One World per host.
+type World struct {
+	Seed uint64
+	KV   *KV
+}
+
+// NewWorld returns a world with the default per-tenant KV quota.
+func NewWorld(seed uint64) *World {
+	return &World{Seed: seed, KV: NewKV(DefaultKVQuota())}
+}
+
+// Fault is a chaos-injected hostcall failure mode (internal/chaos arms
+// one per faulted request).
+type Fault uint8
+
+// Hostcall fault modes.
+const (
+	FaultNone  Fault = iota
+	FaultErr         // the request's first resource call fails with EIO
+	FaultQuota       // every kv_put this request is refused with EDQUOT
+	FaultSlow        // every hostcall pays SlowFaultNs extra
+)
+
+// SlowFaultNs is the extra simulated latency a FaultSlow hostcall pays —
+// a host function blocking on a contended resource.
+const SlowFaultNs = 50_000
+
+// Env is one instance's hostcall environment: the per-tenant view of the
+// world, the marshalling scratch state, and the counters the serving
+// layer harvests. An Env lives as long as its tenant instance and is
+// rearmed per request with BeginRequest.
+type Env struct {
+	world  *World
+	tenant string
+
+	// Bound execution context (Bind).
+	m        *cpu.Machine
+	heapBase uint64
+	maxBytes uint64
+
+	// Deterministic time and randomness, derived from the world seed and
+	// the tenant name — per-tenant streams, reproducible across runs.
+	wallBase uint64
+	rng      uint64
+
+	// Tenant-scoped filesystem and fd table. Files persist across
+	// requests (session state); fds 0/1 stream the request/response.
+	files    map[string][]byte
+	fds      map[int]*openFD
+	nextFD   int
+	stdin    []byte
+	stdinOff int
+	stdout   []byte
+
+	// buf is the preallocated marshalling scratch: every guest<->host
+	// copy bounces through it, so the fast path never allocates.
+	buf [MaxIOBytes]byte
+
+	// Counters harvested by the serving layer (stats.Recorder, /statsz).
+	Calls        uint64
+	BytesIn      uint64 // guest -> host marshalled bytes
+	BytesOut     uint64 // host -> guest marshalled bytes
+	QuotaRejects uint64
+
+	fault    Fault
+	errArmed bool // FaultErr: one-shot, trips on the first resource call
+}
+
+type openFD struct {
+	name string
+	off  int
+	wr   bool
+}
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output;
+// the standard seeding PRNG, alloc-free and deterministic.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewEnv derives the tenant's environment from the world seed. Same
+// seed, same tenant, same history => identical clock and random streams.
+func (w *World) NewEnv(tenant string) *Env {
+	st := w.Seed ^ fnv64(tenant)
+	e := &Env{
+		world:  w,
+		tenant: tenant,
+		files:  make(map[string][]byte),
+		fds:    make(map[int]*openFD),
+		nextFD: 3,
+	}
+	// A plausible, deterministic epoch: mid-2026 plus a seeded skew.
+	e.wallBase = 1_780_000_000_000_000_000 + splitmix64(&st)%1_000_000_000_000
+	e.rng = splitmix64(&st)
+	return e
+}
+
+// Tenant returns the namespace this environment serves.
+func (e *Env) Tenant() string { return e.tenant }
+
+// AddFile seeds the tenant filesystem (workload fixtures).
+func (e *Env) AddFile(name string, data []byte) {
+	e.files[name] = append([]byte(nil), data...)
+}
+
+// Bind installs the environment as m's hostcall dispatcher for an
+// instance whose linear memory starts at heapBase and spans maxBytes.
+// Pointer arguments are offsets into that window; nothing else is ever
+// touched.
+func (e *Env) Bind(m *cpu.Machine, heapBase, maxBytes uint64) {
+	e.m = m
+	e.heapBase = heapBase
+	e.maxBytes = maxBytes
+	m.HostcallFn = e.dispatch
+}
+
+// BeginRequest arms the environment for one invocation: fd 0 streams
+// body, fd 1 starts empty, and the previous request's one-shot fault
+// state clears. Session state (files, KV, clocks, rng) persists.
+func (e *Env) BeginRequest(body []byte) {
+	e.stdin = body
+	e.stdinOff = 0
+	e.stdout = e.stdout[:0]
+	e.fault = FaultNone
+	e.errArmed = false
+}
+
+// InjectFault arms a chaos fault for the CURRENT request (call after
+// BeginRequest, before Invoke).
+func (e *Env) InjectFault(f Fault) {
+	e.fault = f
+	e.errArmed = f == FaultErr
+}
+
+// ResponseBody returns the bytes the guest wrote to fd 1 this request.
+// The slice aliases Env state; callers copy before the next request.
+func (e *Env) ResponseBody() []byte { return e.stdout }
+
+// TakeCounters returns and clears the counters accumulated since the last
+// harvest — the per-request delta the serving layer attributes to the
+// tenant in its stats recorder.
+func (e *Env) TakeCounters() (calls, bytesIn, bytesOut, quotaRejects uint64) {
+	calls, bytesIn, bytesOut, quotaRejects = e.Calls, e.BytesIn, e.BytesOut, e.QuotaRejects
+	e.Calls, e.BytesIn, e.BytesOut, e.QuotaRejects = 0, 0, 0, 0
+	return
+}
+
+// ResetSession drops all per-session state (files, fds, streams) —
+// the serving layer calls it when an instance is recycled or poisoned.
+func (e *Env) ResetSession() {
+	e.files = make(map[string][]byte)
+	e.fds = make(map[int]*openFD)
+	e.nextFD = 3
+	e.stdin = nil
+	e.stdinOff = 0
+	e.stdout = nil
+	e.fault = FaultNone
+	e.errArmed = false
+}
+
+func negErrno(errno uint64) uint64 { return -errno & (1<<64 - 1) }
+
+// resourceFault consumes a one-shot FaultErr arm.
+func (e *Env) resourceFault() bool {
+	if e.errArmed {
+		e.errArmed = false
+		return true
+	}
+	return false
+}
+
+// checkIn validates a guest buffer for reading and copies it into the
+// scratch buffer, returning errno (0 = ok).
+func (e *Env) checkIn(off, n uint64) ([]byte, uint64) {
+	if n > MaxIOBytes {
+		return nil, kernel.EINVAL
+	}
+	va, ok := e.guestRange(off, n)
+	if !ok || !e.m.AS.CheckRange(va, n, kernel.ProtRead) {
+		return nil, kernel.EFAULT
+	}
+	b := e.buf[:n]
+	e.m.AS.Mem.ReadBytes(va, b)
+	e.BytesIn += n
+	return b, 0
+}
+
+// checkOut validates a guest buffer for writing, returning its host VA.
+func (e *Env) checkOut(off, n uint64) (uint64, uint64) {
+	if n > MaxIOBytes {
+		return 0, kernel.EINVAL
+	}
+	va, ok := e.guestRange(off, n)
+	if !ok || !e.m.AS.CheckRange(va, n, kernel.ProtWrite) {
+		return 0, kernel.EFAULT
+	}
+	return va, 0
+}
+
+// guestRange maps a linear-memory (offset, len) to a host VA, refusing
+// anything outside [0, maxBytes) — the runtime re-check behind the
+// verifier's static proof (defense in depth: a compiler or verifier bug
+// still cannot reach host memory).
+func (e *Env) guestRange(off, n uint64) (uint64, bool) {
+	if off > e.maxBytes || n > e.maxBytes-off {
+		return 0, false
+	}
+	return e.heapBase + off, true
+}
+
+// writeOut copies host bytes to a validated guest VA.
+func (e *Env) writeOut(va uint64, b []byte) {
+	e.m.AS.Mem.WriteBytes(va, b)
+	e.BytesOut += uint64(len(b))
+}
+
+// dispatch is the installed cpu.Machine.HostcallFn: decode R0, marshal,
+// run the host function, charge the simulated clock. Alloc-free on the
+// scalar and scratch-buffer paths.
+func (e *Env) dispatch(regs *[isa.NumRegs]uint64) {
+	e.Calls++
+	num := regs[isa.R0]
+	bytesBefore := e.BytesIn + e.BytesOut
+
+	var ret uint64
+	switch num {
+	case NumAbiVersion:
+		ret = Version
+	case NumClockMonotonic:
+		ret = e.m.Kern.Clock.Now()
+	case NumClockWall:
+		ret = e.wallBase + e.m.Kern.Clock.Now()
+	case NumRandomGet:
+		ret = e.randomGet(regs[isa.R1], regs[isa.R2])
+	case NumFdOpen:
+		ret = e.fdOpen(regs[isa.R1], regs[isa.R2], regs[isa.R3])
+	case NumFdClose:
+		ret = e.fdClose(regs[isa.R1])
+	case NumFdRead:
+		ret = e.fdRead(regs[isa.R1], regs[isa.R2], regs[isa.R3])
+	case NumFdWrite:
+		ret = e.fdWrite(regs[isa.R1], regs[isa.R2], regs[isa.R3])
+	case NumKvGet:
+		ret = e.kvGet(regs[isa.R1], regs[isa.R2], regs[isa.R3], regs[isa.R4])
+	case NumKvPut:
+		ret = e.kvPut(regs[isa.R1], regs[isa.R2], regs[isa.R3], regs[isa.R4])
+	case NumKvDelete:
+		ret = e.kvDelete(regs[isa.R1], regs[isa.R2])
+	default:
+		// Unreachable through verified code (the gate proof bounds R0);
+		// reachable in mutation/chaos harnesses, so fail closed.
+		ret = negErrno(kernel.ENOSYS)
+	}
+	regs[isa.R0] = ret
+
+	// Cost model: fixed dispatch plus per-KiB marshalling, on the kernel
+	// clock (host-side work; the core-side transition cost is charged by
+	// the engines at the hostcall instruction).
+	costs := &e.m.Kern.Costs
+	moved := e.BytesIn + e.BytesOut - bytesBefore
+	ns := costs.HostcallBase + costs.HostcallCopyPerKiB*((moved+1023)/1024)
+	if e.fault == FaultSlow {
+		ns += SlowFaultNs
+	}
+	e.m.Kern.Clock.Advance(ns)
+}
+
+func (e *Env) randomGet(off, n uint64) uint64 {
+	va, errno := e.checkOut(off, n)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	b := e.buf[:n]
+	for i := 0; i < len(b); i += 8 {
+		r := splitmix64(&e.rng)
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			b[i+j] = byte(r >> (8 * j))
+		}
+	}
+	e.writeOut(va, b)
+	return 0
+}
+
+func (e *Env) fdOpen(nameOff, nameLen, flags uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	name, errno := e.checkIn(nameOff, nameLen)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	wr := flags&OpenCreate != 0
+	if wr {
+		e.files[string(name)] = nil
+	} else if _, ok := e.files[string(name)]; !ok {
+		return negErrno(kernel.ENOENT)
+	}
+	fd := e.nextFD
+	e.nextFD++
+	e.fds[fd] = &openFD{name: string(name), wr: wr}
+	return uint64(fd)
+}
+
+func (e *Env) fdClose(fd uint64) uint64 {
+	if _, ok := e.fds[int(fd)]; !ok {
+		return negErrno(kernel.EBADF)
+	}
+	delete(e.fds, int(fd))
+	return 0
+}
+
+func (e *Env) fdRead(fd, off, capacity uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	var src []byte
+	var at *int
+	switch fd {
+	case FdStdin:
+		src, at = e.stdin, &e.stdinOff
+	case FdStdout:
+		return negErrno(kernel.EBADF)
+	default:
+		f, ok := e.fds[int(fd)]
+		if !ok {
+			return negErrno(kernel.EBADF)
+		}
+		src, at = e.files[f.name], &f.off
+	}
+	n := capacity
+	if n > MaxIOBytes {
+		n = MaxIOBytes
+	}
+	if rem := uint64(len(src) - *at); n > rem {
+		n = rem
+	}
+	va, errno := e.checkOut(off, n)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	e.writeOut(va, src[*at:*at+int(n)])
+	*at += int(n)
+	return n
+}
+
+func (e *Env) fdWrite(fd, off, n uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	b, errno := e.checkIn(off, n)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	switch fd {
+	case FdStdout:
+		e.stdout = append(e.stdout, b...)
+	case FdStdin:
+		return negErrno(kernel.EBADF)
+	default:
+		f, ok := e.fds[int(fd)]
+		if !ok || !f.wr {
+			return negErrno(kernel.EBADF)
+		}
+		e.files[f.name] = append(e.files[f.name], b...)
+	}
+	return n
+}
+
+func (e *Env) kvGet(kOff, kLen, vOff, vCap uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	key, errno := e.checkIn(kOff, kLen)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	if vCap > MaxIOBytes {
+		vCap = MaxIOBytes
+	}
+	va, errno := e.checkOut(vOff, vCap)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	// The key occupies buf[:kLen]; copy the value after it so both fit
+	// in the one scratch buffer without allocating.
+	dst := e.buf[kLen:]
+	if uint64(len(dst)) > vCap {
+		dst = dst[:vCap]
+	}
+	n, kerr := e.world.KV.Get(e.tenant, key, dst)
+	if kerr != 0 {
+		return negErrno(kerr)
+	}
+	e.writeOut(va, dst[:n])
+	return uint64(n)
+}
+
+func (e *Env) kvPut(kOff, kLen, vOff, vLen uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	if e.fault == FaultQuota {
+		e.QuotaRejects++
+		return negErrno(kernel.EDQUOT)
+	}
+	if kLen+vLen > MaxIOBytes {
+		return negErrno(kernel.EINVAL)
+	}
+	key, errno := e.checkIn(kOff, kLen)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	// Marshal the value into the scratch space after the key.
+	va, ok := e.guestRange(vOff, vLen)
+	if !ok || !e.m.AS.CheckRange(va, vLen, kernel.ProtRead) {
+		return negErrno(kernel.EFAULT)
+	}
+	val := e.buf[kLen : kLen+vLen]
+	e.m.AS.Mem.ReadBytes(va, val)
+	e.BytesIn += vLen
+	if kerr := e.world.KV.Put(e.tenant, key, val); kerr != 0 {
+		if kerr == kernel.EDQUOT {
+			e.QuotaRejects++
+		}
+		return negErrno(kerr)
+	}
+	return 0
+}
+
+func (e *Env) kvDelete(kOff, kLen uint64) uint64 {
+	if e.resourceFault() {
+		return negErrno(kernel.EIO)
+	}
+	key, errno := e.checkIn(kOff, kLen)
+	if errno != 0 {
+		return negErrno(errno)
+	}
+	return negErrno(e.world.KV.Delete(e.tenant, key))
+}

@@ -2,7 +2,9 @@ package httpfront
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,7 +13,9 @@ import (
 
 	"hfi/internal/faas"
 	"hfi/internal/host"
+	"hfi/internal/hostcall"
 	"hfi/internal/isa"
+	"hfi/internal/sfi"
 	"hfi/internal/stats"
 	"hfi/internal/wasm"
 	"hfi/internal/workloads"
@@ -310,6 +314,91 @@ func TestStatszConservation(t *testing.T) {
 	}
 	if len(sz.Tenants) != 3 {
 		t.Fatalf("statsz tenants = %d, want 3", len(sz.Tenants))
+	}
+}
+
+// TestHostcallOverHTTP is the quickstart scenario end-to-end: the
+// stateful KV-session tenant and the streaming transformer served over
+// real HTTP, with the /statsz hostcall counters conserving exactly —
+// the global boundary traffic is the sum of the per-tenant attributions.
+func TestHostcallOverHTTP(t *testing.T) {
+	world := hostcall.NewWorld(21)
+	iso := faas.Config{Name: "HFI", Scheme: sfi.HFI, World: world}
+	var kv, stream workloads.Tenant
+	for _, te := range workloads.HostcallTenants() {
+		switch te.Name {
+		case "kv-session":
+			kv = te
+		case "stream-xform":
+			stream = te
+		}
+	}
+	reg := map[string]Tenant{
+		"kv":     {Workload: kv, Iso: iso},
+		"stream": {Workload: stream, Iso: iso},
+	}
+	f := New(host.New(host.Config{Workers: 1}), reg)
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() { ts.Close(); f.Host().Close() })
+
+	// Multi-invoke stateful session: the counter accumulates across HTTP
+	// requests because the state lives in the shared world's KV store.
+	counter := func(body string) uint64 {
+		resp := post(t, ts.URL+"/v1/tenants/kv/invoke", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("kv invoke status %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || len(b) != 8 {
+			t.Fatalf("kv response %d bytes (err %v), want 8", len(b), err)
+		}
+		return binary.LittleEndian.Uint64(b)
+	}
+	var want uint64
+	for _, body := range []string{"abc", "d", "hello world"} {
+		for _, c := range []byte(body) {
+			want += uint64(c)
+		}
+		if got := counter(body); got != want {
+			t.Fatalf("session counter after %q = %d, want %d", body, got, want)
+		}
+	}
+
+	// Streaming body: request flows to the guest via fd 0, the response is
+	// whatever reached fd 1 — here the XOR transform of the body.
+	payload := strings.Repeat("streaming over hfihttpd! ", 30) // > one 512 B chunk
+	resp := post(t, ts.URL+"/v1/tenants/stream/invoke", payload)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream invoke status %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || len(got) != len(payload) {
+		t.Fatalf("streamed %d of %d bytes (err %v)", len(got), len(payload), err)
+	}
+	for i := range got {
+		if got[i] != payload[i]^0x5a {
+			t.Fatalf("stream byte %d = %#x, want %#x", i, got[i], payload[i]^0x5a)
+		}
+	}
+
+	// Hostcall counter conservation on /statsz: global == Σ per-tenant,
+	// and both tenants actually crossed the boundary.
+	var sz Statsz
+	if err := json.NewDecoder(get(t, ts.URL+"/statsz").Body).Decode(&sz); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	var sum stats.HostcallCounters
+	for _, tn := range sz.Tenants {
+		if tn.Hostcalls.Calls == 0 {
+			t.Fatalf("tenant %s recorded no hostcalls", tn.Tenant)
+		}
+		sum.Add(tn.Hostcalls)
+	}
+	if sum != sz.Serve.Hostcalls {
+		t.Fatalf("hostcall conservation: tenants %+v != global %+v", sum, sz.Serve.Hostcalls)
+	}
+	if sz.Serve.Hostcalls.Calls == 0 || sz.Serve.Hostcalls.BytesIn == 0 || sz.Serve.Hostcalls.BytesOut == 0 {
+		t.Fatalf("degenerate hostcall traffic: %+v", sz.Serve.Hostcalls)
 	}
 }
 

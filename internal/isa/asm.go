@@ -120,6 +120,8 @@ func asmLine(b *Builder, line string) error {
 		b.Ret()
 	case mnemonic == "syscall":
 		b.Syscall()
+	case mnemonic == "hostcall":
+		b.Hostcall()
 	case mnemonic == "fence":
 		b.Fence()
 	case mnemonic == "hfi_exit":

@@ -233,6 +233,12 @@ func (b *Builder) Syscall() *Builder {
 	return b.emit(Instr{Op: OpSyscall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
 }
 
+// Hostcall emits a host-call gate instruction: the number travels in R0,
+// arguments in R1-R5, and the result (or negated errno) returns in R0.
+func (b *Builder) Hostcall() *Builder {
+	return b.emit(Instr{Op: OpHostcall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})
+}
+
 // Fence emits a full serializing fence.
 func (b *Builder) Fence() *Builder {
 	return b.emit(Instr{Op: OpFence, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone})

@@ -114,8 +114,9 @@ const (
 	OpRet // pop return address, jump
 
 	// System and microarchitectural.
-	OpSyscall // syscall number in R0, args R1-R5, result in R0
-	OpFence   // full pipeline serialization
+	OpSyscall  // syscall number in R0, args R1-R5, result in R0
+	OpHostcall // host-call gate: number in R0, args R1-R5, result in R0
+	OpFence    // full pipeline serialization
 	OpClflush // evict the cache line containing EA (Rs1 + Disp)
 	OpRdtsc   // Rd <- current cycle count
 
@@ -150,7 +151,7 @@ var opNames = [...]string{
 	OpLoad: "ld", OpStore: "st", OpHLoad: "hld", OpHStore: "hst",
 	OpBr: "br", OpJmp: "jmp", OpJmpInd: "jmpi", OpCall: "call",
 	OpCallInd: "calli", OpRet: "ret",
-	OpSyscall: "syscall", OpFence: "fence", OpClflush: "clflush",
+	OpSyscall: "syscall", OpHostcall: "hostcall", OpFence: "fence", OpClflush: "clflush",
 	OpRdtsc:    "rdtsc",
 	OpHfiEnter: "hfi_enter", OpHfiExit: "hfi_exit", OpHfiReenter: "hfi_reenter",
 	OpHfiSetRegion: "hfi_set_region", OpHfiGetRegion: "hfi_get_region",
@@ -308,7 +309,7 @@ func (i *Instr) String() string {
 		return fmt.Sprintf("[%s + %s*%d + %d]", i.Rs1, i.Rs2, i.Scale, i.Disp)
 	}
 	switch i.Op {
-	case OpNop, OpHalt, OpRet, OpSyscall, OpFence, OpHfiExit, OpHfiReenter, OpHfiClearAll:
+	case OpNop, OpHalt, OpRet, OpSyscall, OpHostcall, OpFence, OpHfiExit, OpHfiReenter, OpHfiClearAll:
 		return i.Op.String()
 	case OpRdtsc:
 		return fmt.Sprintf("rdtsc %s", i.Rd)

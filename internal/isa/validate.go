@@ -125,7 +125,7 @@ func (p *Program) validateInstr(in *Instr) string {
 	}
 
 	switch in.Op {
-	case OpNop, OpHalt, OpRet, OpSyscall, OpFence,
+	case OpNop, OpHalt, OpRet, OpSyscall, OpHostcall, OpFence,
 		OpHfiExit, OpHfiReenter, OpHfiClearAll:
 		return ""
 	case OpMovImm, OpRdtsc:

@@ -140,6 +140,35 @@ func (as *AddressSpace) CheckAccess(addr uint64, size uint8, want Prot) bool {
 	return as.CheckAccess(v.end(), uint8(addr+uint64(size)-v.end()), want)
 }
 
+// CheckRange is CheckAccess over an arbitrary-length range: it reports
+// whether every byte of [addr, addr+length) is mapped with the wanted
+// protection. The hostcall marshaller validates whole guest buffers with
+// it before copying.
+func (as *AddressSpace) CheckRange(addr, length uint64, want Prot) bool {
+	if length == 0 {
+		return true
+	}
+	if addr+length < addr {
+		return false
+	}
+	for {
+		i := as.find(addr)
+		if i < 0 {
+			return false
+		}
+		v := as.vmas[i]
+		if v.prot&want != want {
+			return false
+		}
+		n := v.end() - addr
+		if n >= length {
+			return true
+		}
+		addr += n
+		length -= n
+	}
+}
+
 // insert adds a VMA, keeping the list sorted. Caller guarantees no overlap.
 func (as *AddressSpace) insert(v vma) {
 	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].start > v.start })

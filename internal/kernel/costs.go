@@ -56,6 +56,18 @@ type CostModel struct {
 	// FileOp is the per-call body cost of the trivial virtual
 	// file-system operations (open/read/close) beyond SyscallBase.
 	FileOp uint64
+
+	// HostcallBase is the host-side cost of one hostcall dispatch beyond
+	// the core's transition cost: argument decode, table lookup, and the
+	// trusted function prologue. An in-process transition, so well under
+	// SyscallBase — no mode switch, no kernel entry path.
+	HostcallBase uint64
+
+	// HostcallCopyPerKiB is the marshalling cost per KiB copied between
+	// guest linear memory and host buffers, charged on every hostcall
+	// byte in either direction so boundary-crossing data volume shows up
+	// on the simulated timeline.
+	HostcallCopyPerKiB uint64
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -74,6 +86,8 @@ func DefaultCosts() CostModel {
 		SignalDeliver:          2_500,
 		ContextSwitch:          1_500,
 		FileOp:                 250,
+		HostcallBase:           25,
+		HostcallCopyPerKiB:     40,
 	}
 }
 

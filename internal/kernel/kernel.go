@@ -27,12 +27,16 @@ const (
 
 // Errno values returned (negated) in R0.
 const (
+	ENOENT = 2
+	EIO    = 5
 	EBADF  = 9
+	EAGAIN = 11
 	ENOMEM = 12
 	EACCES = 13
 	EFAULT = 14
 	EINVAL = 22
 	ENOSYS = 38
+	EDQUOT = 122
 )
 
 // Filter is the syscall-interposition hook: the seccomp-bpf baseline

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hfi/internal/cpu"
+	"hfi/internal/hostcall"
 	"hfi/internal/isa"
 	"hfi/internal/kernel"
 	"hfi/internal/sandbox"
@@ -109,13 +110,22 @@ type siteEnv struct {
 	scheme   sfi.Scheme
 	trapAddr uint64 // address of the __trap block
 	progEnd  uint64
+
+	// Hostcall boundary context (zero-valued for pure-compute programs):
+	// the gate address plus the call-setup sites the pre-pass classified
+	// by walking backwards from every direct call to the gate.
+	gateAddr uint64
+	hcNum    map[int]bool // MovImm R0 sites selecting the hostcall number
+	hcLen    map[int]bool // arg-marshalling loads of a byte-count argument
 }
 
 // operator is one deterministic single-instruction fault. apply returns
-// the mutated instruction and whether the operator applies at this site.
+// the mutated instruction and whether the operator applies at this site
+// (identified by its instruction index, so boundary operators can match
+// against the pre-classified hostcall sites in env).
 type operator struct {
 	name  string
-	apply func(in isa.Instr, env siteEnv) (isa.Instr, bool)
+	apply func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool)
 }
 
 // aluNop is the identity instruction used to erase a check: add r0,r0,+0
@@ -127,7 +137,7 @@ func aluNop() isa.Instr {
 // operators is the fault model: each entry removes or skews exactly the
 // kind of mediation §4's security argument depends on.
 var operators = []operator{
-	{"drop-mask", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"drop-mask", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// Masking's AND with the mask register becomes a plain copy: the
 		// index flows to the access unmasked.
 		if env.scheme != sfi.Masking || in.Op != isa.OpAnd || in.UseImm || in.Rs2 != sfi.MaskReg {
@@ -135,7 +145,7 @@ var operators = []operator{
 		}
 		return isa.Instr{Op: isa.OpAdd, Rd: in.Rd, Rs1: in.Rs1, UseImm: true}, true
 	}},
-	{"nop-check", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"nop-check", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// A compare-and-branch guarding the trap block is erased, so the
 		// access it dominated runs unconditionally.
 		if in.Op != isa.OpBr || in.Target != env.trapAddr {
@@ -143,7 +153,7 @@ var operators = []operator{
 		}
 		return aluNop(), true
 	}},
-	{"retarget-check", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"retarget-check", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// The guard branch survives but jumps one instruction past the
 		// trap block, landing in whatever code follows it.
 		if in.Op != isa.OpBr || in.Target != env.trapAddr {
@@ -156,7 +166,7 @@ var operators = []operator{
 		out.Target += isa.InstrBytes
 		return out, true
 	}},
-	{"widen-disp", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"widen-disp", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// The displacement grows by 8 GiB, past every reservation any
 		// scheme maps.
 		if in.Op != isa.OpLoad && in.Op != isa.OpStore && in.Op != isa.OpHLoad && in.Op != isa.OpHStore {
@@ -166,7 +176,7 @@ var operators = []operator{
 		out.Disp += int64(sfi.GuardReservation)
 		return out, true
 	}},
-	{"swap-hld", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"swap-hld", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// HFI's checked hld/hst becomes a raw ld/st with the same
 		// operands: the region check disappears and the index is applied
 		// to base zero.
@@ -182,7 +192,7 @@ var operators = []operator{
 		out.Rs1 = isa.RegNone
 		return out, true
 	}},
-	{"hreg-skew", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"hreg-skew", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// The explicit access targets the next region number, which the
 		// sandbox never configured for heap traffic.
 		if in.Op != isa.OpHLoad && in.Op != isa.OpHStore {
@@ -192,7 +202,7 @@ var operators = []operator{
 		out.HReg++
 		return out, true
 	}},
-	{"clobber-base", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"clobber-base", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// An ordinary ALU result is redirected into the scheme's reserved
 		// heap-base register, re-pointing every later access.
 		if len(env.scheme.ReservedRegs()) == 0 {
@@ -210,7 +220,7 @@ var operators = []operator{
 		out.Rd = sfi.HeapBaseReg
 		return out, true
 	}},
-	{"frame-escape", func(in isa.Instr, env siteEnv) (isa.Instr, bool) {
+	{"frame-escape", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
 		// A frame-slot store is pushed below the stack guard window.
 		if in.Op != isa.OpStore || in.Rs1 != sfi.FP || in.Disp >= 0 {
 			return in, false
@@ -218,6 +228,51 @@ var operators = []operator{
 		out := in
 		out.Disp -= int64(sfi.StackGuard)
 		return out, true
+	}},
+
+	// Hostcall-boundary operators: each removes one link in the chain of
+	// proofs that makes the __hostcall gate a safe exit. Sites come from
+	// the pre-pass that walks backwards from every direct call to the
+	// gate (env.hcNum / env.hcLen).
+	{"swap-hostcall-num", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
+		// The provable constant selecting the host function is swapped
+		// for an index past the registered table — the forged number a
+		// compromised compiler could emit. The host dispatcher would
+		// index out of its function table; the verifier must refuse the
+		// call site (rule "hostcall").
+		if !env.hcNum[idx] {
+			return in, false
+		}
+		out := in
+		out.Imm += hostcall.NumHostcalls
+		return out, true
+	}},
+	{"corrupt-marshal-len", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
+		// The marshalled byte-count argument is replaced with a 4 GiB
+		// constant: the host-side copy would run far past the guest
+		// buffer and out of linear memory. The (ptr, len) pair no longer
+		// provably ends inside the heap, so the call site must be
+		// rejected; if one ever slipped through, the dispatcher's
+		// runtime re-check (MaxIOBytes, page tables) still contains it.
+		if !env.hcLen[idx] {
+			return in, false
+		}
+		return isa.Instr{Op: isa.OpMovImm, Rd: in.Rd,
+			Rs1: isa.RegNone, Rs2: isa.RegNone, Rs3: isa.RegNone, Imm: 1 << 32}, true
+	}},
+	{"skip-bounds-recheck", func(in isa.Instr, idx int, env siteEnv) (isa.Instr, bool) {
+		// The guest-side mask that re-bounds a dynamic hostcall result
+		// (e.g. the length fd_read returned, masked before it flows back
+		// into fd_write) is erased: the value reaches the next call site
+		// unconstrained, so its marshalling proof must fail. Only masks
+		// wide enough to be length refinements are targeted; tiny
+		// selector masks (slot indices) refine values that stay provably
+		// in-heap either way.
+		if env.gateAddr == 0 || in.Op != isa.OpAnd || !in.UseImm ||
+			in.Imm < 64 || in.Imm >= 1<<16 {
+			return in, false
+		}
+		return isa.Instr{Op: isa.OpAdd, Rd: in.Rd, Rs1: in.Rs1, UseImm: true}, true
 	}},
 }
 
@@ -236,15 +291,70 @@ type Options struct {
 	Limit uint64
 }
 
-// Corpus returns the workload set for a mode. Fast mode picks three
-// kernels that between them exercise loads, stores, tables, recursion
-// and tight ALU loops.
+// classifyHostcallSites fills env's hostcall site maps for a program with
+// a __hostcall gate. The compiler lowers every host call as a contiguous
+// setup — MovImm R0, num; loads into R1..R5; call __hostcall — so walking
+// backwards from each direct gate call recovers, per site, the
+// number-selecting instruction and (via the ABI signature table) which
+// argument loads carry a marshalled byte count.
+func classifyHostcallSites(prog *isa.Program, env *siteEnv) {
+	addr, ok := prog.Symbols[hostcall.GateSym]
+	if !ok {
+		return
+	}
+	env.gateAddr = addr
+	env.hcNum = map[int]bool{}
+	env.hcLen = map[int]bool{}
+	sigs := hostcall.Sigs()
+	for ci := range prog.Instrs {
+		if prog.Instrs[ci].Op != isa.OpCall || prog.Instrs[ci].Target != addr {
+			continue
+		}
+		numIdx := -1
+		args := map[int]int{} // argument position (0 = R1) -> instr index
+	scan:
+		for j := ci - 1; j >= 0; j-- {
+			in := &prog.Instrs[j]
+			switch {
+			case in.Op == isa.OpLoad && in.Rd >= isa.R1 && in.Rd <= isa.R5:
+				args[int(in.Rd-isa.R1)] = j
+			case in.Op == isa.OpMovImm && in.Rd == isa.R0:
+				numIdx = j
+				break scan
+			default:
+				break scan
+			}
+		}
+		if numIdx < 0 {
+			continue
+		}
+		env.hcNum[numIdx] = true
+		num := prog.Instrs[numIdx].Imm
+		if num < 0 || num >= int64(len(sigs)) {
+			continue
+		}
+		for pos, j := range args {
+			if sigs[num].Args[pos] == verifier.HcArgLen {
+				env.hcLen[j] = true
+			}
+		}
+	}
+}
+
+// Corpus returns the workload set for a mode: the Sightglass suite plus
+// the hostcall guests (the boundary operators need programs that actually
+// cross it). Fast mode picks three compute kernels that between them
+// exercise loads, stores, tables, recursion and tight ALU loops, plus the
+// two hostcall guests that between them hit every boundary operator.
 func Corpus(fast bool) []workloads.Workload {
-	all := workloads.Sightglass()
+	all := append(workloads.Sightglass(), workloads.HostcallKernels()...)
 	if !fast {
 		return all
 	}
-	want := map[string]bool{"base64": true, "sieve": true, "xchacha20": true}
+	want := map[string]bool{
+		"base64": true, "sieve": true, "xchacha20": true,
+		"kv-session": true, "stream-xform": true,
+	}
 	var out []workloads.Workload
 	for _, w := range all {
 		if want[w.Name] {
@@ -300,6 +410,7 @@ func runOne(rep *Report, w workloads.Workload, scheme sfi.Scheme, maxSites int, 
 	if t, ok := prog.Symbols["__trap"]; ok {
 		env.trapAddr = t
 	}
+	classifyHostcallSites(prog, &env)
 
 	// Baseline run of the unmutated program: survivors whose behaviour
 	// matches it exactly are equivalent mutants, not unsafe ones.
@@ -313,7 +424,7 @@ func runOne(rep *Report, w workloads.Workload, scheme sfi.Scheme, maxSites int, 
 		// maxSites spread across the program.
 		var sites []int
 		for i := range prog.Instrs {
-			if _, ok := op.apply(prog.Instrs[i], env); ok {
+			if _, ok := op.apply(prog.Instrs[i], i, env); ok {
 				sites = append(sites, i)
 			}
 		}
@@ -323,7 +434,7 @@ func runOne(rep *Report, w workloads.Workload, scheme sfi.Scheme, maxSites int, 
 		stride := (len(sites) + maxSites - 1) / maxSites
 		for si := 0; si < len(sites); si += stride {
 			idx := sites[si]
-			mut, _ := op.apply(prog.Instrs[idx], env)
+			mut, _ := op.apply(prog.Instrs[idx], idx, env)
 			res := Result{
 				Workload: w.Name, Scheme: scheme, Operator: op.name,
 				Index: idx, Instr: mut.String(),
@@ -379,15 +490,44 @@ func firstViolation(err error) string {
 	return err.Error()
 }
 
+// mutBody is the fixed request every hostcall guest serves during
+// baseline and mutant runs: deterministic, and long enough to push the
+// streaming guest through both a full and a partial fd-chunk round trip.
+var mutBody = func() []byte {
+	b := make([]byte, 700)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}()
+
+// bindHostEnv gives an instance of a hostcall-using module a world to
+// talk to — a fixed-seed environment with mutBody streaming on fd 0 and
+// copied to InputOffset — so hostcall guests execute identically in the
+// baseline and every mutant run. Returns the invoke arguments (the body
+// length) and nil for pure-compute modules.
+func bindHostEnv(rt *sandbox.Runtime, inst *sandbox.Instance, m *wasm.Module, name string) []uint64 {
+	if !m.UsesHostcalls() {
+		return nil
+	}
+	env := hostcall.NewWorld(1).NewEnv(name)
+	env.Bind(rt.M, inst.HeapBase, inst.C.MaxHeapBytes())
+	env.BeginRequest(mutBody)
+	inst.WriteHeap(workloads.InputOffset, mutBody)
+	return []uint64{uint64(len(mutBody))}
+}
+
 // runBaseline executes the unmutated program once and records how it
 // stops, so survivors can be compared against it.
 func runBaseline(w workloads.Workload, scheme sfi.Scheme, limit uint64) (cpu.StopReason, uint64, error) {
 	rt := sandbox.NewRuntime()
-	inst, err := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
+	mod := w.Build(1)
+	inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
 	if err != nil {
 		return 0, 0, err
 	}
-	res, out := inst.Invoke(cpu.NewInterp(rt.M), limit)
+	args := bindHostEnv(rt, inst, mod, w.Name)
+	res, out := inst.Invoke(cpu.NewInterp(rt.M), limit, args...)
 	return res.Reason, out, nil
 }
 
@@ -397,10 +537,12 @@ func runBaseline(w workloads.Workload, scheme sfi.Scheme, limit uint64) (cpu.Sto
 // outside the regions the instance owns is an escape.
 func runMutant(w workloads.Workload, scheme sfi.Scheme, idx int, mut isa.Instr, limit uint64, baseReason cpu.StopReason, baseOut uint64) (Outcome, string, error) {
 	rt := sandbox.NewRuntime()
-	inst, err := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
+	mod := w.Build(1)
+	inst, err := rt.Instantiate(mod, scheme, wasm.Options{})
 	if err != nil {
 		return Escaped, "", err
 	}
+	invokeArgs := bindHostEnv(rt, inst, mod, w.Name)
 	if idx >= len(inst.C.Prog.Instrs) {
 		return Escaped, "", fmt.Errorf("mutant index %d out of range", idx)
 	}
@@ -448,7 +590,7 @@ func runMutant(w workloads.Workload, scheme sfi.Scheme, idx int, mut isa.Instr, 
 		}
 		escape = fmt.Sprintf("%s of %d bytes at %#x (pc %#x) outside sandbox", kind, size, addr, pc)
 	}
-	res, out := inst.Invoke(cpu.NewInterp(m), limit)
+	res, out := inst.Invoke(cpu.NewInterp(m), limit, invokeArgs...)
 	m.MemHook = nil
 
 	if escape != "" {

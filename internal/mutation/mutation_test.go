@@ -50,6 +50,11 @@ func TestOperatorsCoverEverySchemeMechanism(t *testing.T) {
 		{sfi.BoundsCheck, "nop-check"},
 		{sfi.HFI, "swap-hld"},
 		{sfi.GuardPages, "widen-disp"},
+		// The hostcall-boundary operators fire under every scheme (the
+		// gate proof is scheme-independent); HFI is the representative.
+		{sfi.HFI, "swap-hostcall-num"},
+		{sfi.HFI, "corrupt-marshal-len"},
+		{sfi.HFI, "skip-bounds-recheck"},
 	}
 	rep, err := Run(Options{Fast: true})
 	if err != nil {

@@ -49,13 +49,34 @@ type Recorder struct {
 	shed     uint64
 	rejected uint64
 	canceled uint64
+	hc       HostcallCounters
 	tenants  map[string]*tenantStats
+}
+
+// HostcallCounters aggregates the host-call boundary traffic the serving
+// layer harvests from each instance's hostcall.Env after every request.
+// Conservation invariant: the global counters are the exact sum of the
+// per-tenant ones — nothing crosses the boundary unattributed.
+type HostcallCounters struct {
+	Calls        uint64 `json:"calls"`
+	BytesIn      uint64 `json:"bytes_in"`
+	BytesOut     uint64 `json:"bytes_out"`
+	QuotaRejects uint64 `json:"quota_rejects"`
+}
+
+// Add accumulates o into c.
+func (c *HostcallCounters) Add(o HostcallCounters) {
+	c.Calls += o.Calls
+	c.BytesIn += o.BytesIn
+	c.BytesOut += o.BytesOut
+	c.QuotaRejects += o.QuotaRejects
 }
 
 // tenantStats is one tenant's slice of the recorder: the same outcome
 // counters plus its own latency samples (for a per-tenant p99).
 type tenantStats struct {
 	ok, timeouts, faults, shed, rejected, canceled uint64
+	hc                                             HostcallCounters
 	lats                                           []float64
 }
 
@@ -127,6 +148,30 @@ func (r *Recorder) RecordTenant(tenant string, o Outcome, latNs float64) {
 	}
 }
 
+// RecordHostcalls attributes one request's host-call boundary traffic to
+// a tenant, updating the global aggregate identically — so the sum over
+// TenantSummaries always equals the Snapshot totals (the conservation
+// check the HTTP front-end tests assert).
+func (r *Recorder) RecordHostcalls(tenant string, hc HostcallCounters) {
+	if hc == (HostcallCounters{}) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hc.Add(hc)
+	if tenant != "" {
+		ts := r.tenants[tenant]
+		if ts == nil {
+			if r.tenants == nil {
+				r.tenants = make(map[string]*tenantStats)
+			}
+			ts = &tenantStats{}
+			r.tenants[tenant] = ts
+		}
+		ts.hc.Add(hc)
+	}
+}
+
 // ServeSummary is a point-in-time view of a Recorder.
 type ServeSummary struct {
 	OK       uint64
@@ -139,6 +184,10 @@ type ServeSummary struct {
 	// Canceled counts requests abandoned by their caller while queued
 	// (never executed, no latency sample).
 	Canceled uint64
+
+	// Hostcalls aggregates the host-call boundary traffic of every served
+	// request: calls, marshalled bytes each way, and quota rejections.
+	Hostcalls HostcallCounters
 
 	MeanNs float64
 	P50Ns  float64
@@ -164,6 +213,7 @@ func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 	s := ServeSummary{
 		OK: r.ok, Timeouts: r.timeouts, Faults: r.faults,
 		Shed: r.shed, Rejected: r.rejected, Canceled: r.canceled,
+		Hostcalls: r.hc,
 	}
 	r.mu.Unlock()
 
@@ -195,6 +245,9 @@ type TenantSummary struct {
 	Canceled uint64  `json:"canceled"`
 	P50Ns    float64 `json:"p50_ns"`
 	P99Ns    float64 `json:"p99_ns"`
+
+	// Hostcalls is the tenant's host-call boundary traffic.
+	Hostcalls HostcallCounters `json:"hostcalls"`
 }
 
 // Executed counts the tenant's requests that reached a sandbox.
@@ -213,6 +266,7 @@ func (r *Recorder) TenantSummaries() []TenantSummary {
 			Tenant: name,
 			OK:     ts.ok, Timeouts: ts.timeouts, Faults: ts.faults,
 			Shed: ts.shed, Rejected: ts.rejected, Canceled: ts.canceled,
+			Hostcalls: ts.hc,
 		}
 		if len(ts.lats) > 0 {
 			lats := append([]float64(nil), ts.lats...)

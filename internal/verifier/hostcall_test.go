@@ -1,0 +1,207 @@
+package verifier
+
+import (
+	"errors"
+	"testing"
+
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+// Test-local hostcall table: a scalar call, and one taking (ptr, len)
+// into guest linear memory — enough shape to exercise every proof.
+func hcCfg(scheme sfi.Scheme) Config {
+	cfg := testCfg(scheme)
+	cfg.HostcallGateSym = "__hostcall"
+	cfg.NumHostcalls = 4
+	cfg.HostcallSigs = []HostcallSig{
+		{Name: "abi_version"},
+		{Name: "clock_monotonic"},
+		{Name: "clock_wall"},
+		{Name: "random_get", Args: [5]HostcallArg{HcArgPtr, HcArgLen}},
+	}
+	return cfg
+}
+
+// hcReject verifies p under the hostcall config and returns the first
+// violation's rule, failing the test if the escape attempt is admitted.
+func hcReject(t *testing.T, p *isa.Program, scheme sfi.Scheme) string {
+	t.Helper()
+	err := Verify(p, hcCfg(scheme))
+	if err == nil {
+		t.Fatalf("%v: hostcall escape attempt verified as safe", scheme)
+	}
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("%v: error is %T, want *RejectError", scheme, err)
+	}
+	return re.First().Rule
+}
+
+// emitGate appends the canonical two-instruction gate. The instruction
+// preceding it in every test is a halt/jmp/ret, matching compiler output.
+func emitGate(b *isa.Builder) {
+	b.Label("__hostcall")
+	b.Hostcall()
+	b.Ret()
+}
+
+// TestHostcallGateAccepts: the well-formed shape — constant number,
+// provably in-heap buffer, direct call to the gate — verifies as safe.
+func TestHostcallGateAccepts(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(isa.SP, 0x2001_0000)
+	b.MovImm(isa.R0, 3)      // random_get
+	b.MovImm(isa.R1, 4096)   // ptr: inside the 64 KiB heap
+	b.MovImm(isa.R2, 32)     // len: 4096+32 <= MaxBytes
+	b.Call("__hostcall")
+	b.MovImm(isa.R0, 1) // clock_monotonic: scalar, no buffer proof
+	b.Call("__hostcall")
+	b.Halt()
+	emitGate(b)
+	if err := Verify(b.Build(), hcCfg(sfi.HFI)); err != nil {
+		t.Fatalf("well-formed hostcall rejected: %v", err)
+	}
+}
+
+// TestHostcallGoldenEscapes hand-writes one escape attempt per hostcall
+// rule and pins the rejection each must trip.
+func TestHostcallGoldenEscapes(t *testing.T) {
+	t.Run("forged-number", func(t *testing.T) {
+		// A number past the registered table must be refused at the call
+		// site: the host dispatcher would index out of its function table.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.SP, 0x2001_0000)
+		b.MovImm(isa.R0, 99)
+		b.Call("__hostcall")
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall" {
+			t.Fatalf("rule = %q, want hostcall", got)
+		}
+	})
+	t.Run("unproven-number", func(t *testing.T) {
+		// The number is not a provable constant at the site (root entry
+		// registers are unconstrained), so the table lookup is unprovable.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.SP, 0x2001_0000)
+		b.Call("__hostcall") // R0 never set: Top
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall" {
+			t.Fatalf("rule = %q, want hostcall", got)
+		}
+	})
+	t.Run("out-of-sandbox-pointer", func(t *testing.T) {
+		// random_get's buffer offset points far outside linear memory; the
+		// host would copy host-owned bytes into (or out of) foreign memory.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.SP, 0x2001_0000)
+		b.MovImm(isa.R0, 3)
+		b.MovImm(isa.R1, 1<<40) // offset way past MaxBytes
+		b.MovImm(isa.R2, 8)
+		b.Call("__hostcall")
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall" {
+			t.Fatalf("rule = %q, want hostcall", got)
+		}
+	})
+	t.Run("buffer-end-overflow", func(t *testing.T) {
+		// Offset and length each fit, but offset+len crosses the heap end:
+		// the classic marshalling overflow.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.SP, 0x2001_0000)
+		b.MovImm(isa.R0, 3)
+		b.MovImm(isa.R1, (1<<16)-8) // last 8 bytes of the heap
+		b.MovImm(isa.R2, 64)        // ...but a 64-byte buffer
+		b.Call("__hostcall")
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall" {
+			t.Fatalf("rule = %q, want hostcall", got)
+		}
+	})
+	t.Run("indirect-jump-to-gate", func(t *testing.T) {
+		// Reaching the gate via an indirect jump skips every call-site
+		// proof; only a direct call may enter.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R0, 1)
+		b.MovImm(isa.R1, 4*isa.InstrBytes) // address of the gate below
+		b.JmpInd(isa.R1)
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("direct-jump-to-gate", func(t *testing.T) {
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R0, 1)
+		b.Jmp("__hostcall")
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("inline-hostcall", func(t *testing.T) {
+		// A hostcall instruction forged outside the designated gate.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R0, 1)
+		b.Hostcall()
+		b.Halt()
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("call-into-gate-middle", func(t *testing.T) {
+		// Calling the gate's ret directly would let a later forged entry
+		// skip the number check; entering mid-gate is refused outright.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.SP, 0x2001_0000)
+		b.Call("gate-mid")
+		b.Halt()
+		b.Label("__hostcall")
+		b.Hostcall()
+		b.Label("gate-mid")
+		b.Ret()
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("fall-through-into-gate", func(t *testing.T) {
+		// Control must not be able to slide into the gate from above.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R0, 1) // no terminator before the gate
+		emitGate(b)
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("malformed-gate", func(t *testing.T) {
+		// The gate symbol must name exactly the sequence hostcall; ret.
+		b := isa.NewBuilder(0)
+		b.Halt()
+		b.Label("__hostcall")
+		b.MovImm(isa.R0, 0) // not a hostcall instruction
+		b.Ret()
+		if got := hcReject(t, b.Build(), sfi.HFI); got != "hostcall-gate" {
+			t.Fatalf("rule = %q, want hostcall-gate", got)
+		}
+	})
+	t.Run("hostcall-without-gate-config", func(t *testing.T) {
+		// With no gate configured, any hostcall instruction is a
+		// privileged op under every scheme.
+		b := isa.NewBuilder(0)
+		b.MovImm(isa.R0, 1)
+		b.Hostcall()
+		b.Halt()
+		for _, scheme := range []sfi.Scheme{sfi.None, sfi.GuardPages, sfi.BoundsCheck, sfi.Masking, sfi.HFI} {
+			if got := rejectRule(t, b.Build(), scheme); got != "privileged-op" {
+				t.Fatalf("%v: rule = %q, want privileged-op", scheme, got)
+			}
+		}
+	})
+}

@@ -62,6 +62,7 @@ func (w *worklist) pop() (int, bool) {
 // analyze runs passes 2 and 3: per-function abstract interpretation to a
 // global interprocedural fixpoint, recording violations as it goes.
 func (v *verification) analyze() {
+	v.checkHostcallGate()
 	v.isLeader = leaders(v.p)
 	v.rootEntry = v.entryIndex()
 	v.fns = map[int]*fnAnalysis{}
@@ -316,6 +317,10 @@ func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr,
 		return false
 	case isa.OpJmpInd:
 		if t, ok := v.exactCodeTarget(st, in.Rs1); ok {
+			if v.gateIdx >= 0 && (t == v.gateIdx || t == v.gateIdx+1) {
+				v.violate(idx, "hostcall-gate", "indirect jump into the hostcall gate: the gate is only enterable by a direct call")
+				return false
+			}
 			v.updateIn(f, idx, t, st, work)
 		} else {
 			v.violate(idx, "indirect-target", "indirect jump target is not a provable constant")
@@ -326,6 +331,10 @@ func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr,
 		return false
 	case isa.OpCallInd:
 		if t, ok := v.exactCodeTarget(st, in.Rs1); ok {
+			if v.gateIdx >= 0 && (t == v.gateIdx || t == v.gateIdx+1) {
+				v.violate(idx, "hostcall-gate", "indirect call into the hostcall gate: the gate is only enterable by a direct call")
+				return false
+			}
 			v.stepCall(f, st, idx, t, work)
 		} else {
 			v.violate(idx, "indirect-target", "indirect call target is not a provable constant")
@@ -336,6 +345,10 @@ func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr,
 		return false
 	case isa.OpSyscall:
 		v.checkSyscall(st, idx)
+		st.setReg(isa.R0, topVal())
+		return true
+	case isa.OpHostcall:
+		v.checkHostcallBody(st, idx)
 		st.setReg(isa.R0, topVal())
 		return true
 	case isa.OpHfiGetRegion, isa.OpHfiSetRegion:
@@ -678,6 +691,12 @@ func (v *verification) stepCall(f *fnAnalysis, st *absState, idx, target int, wo
 		}
 	}
 	v.checkReservedAtCall(st, idx)
+	if target == v.gateIdx {
+		// The callee summary joins argument intervals over every call
+		// site, so the hostcall proofs (singleton number, in-heap buffer
+		// bounds) must be discharged here against THIS site's state.
+		v.checkHostcallSite(st, idx)
+	}
 
 	ce := v.getFn(target)
 	ce.callers[f.entry] = true

@@ -22,6 +22,10 @@ func (v *verification) opAllowed(op isa.Op) bool {
 		return true
 	case isa.OpSyscall:
 		return v.cfg.Scheme == sfi.None || v.cfg.Scheme == sfi.GuardPages
+	case isa.OpHostcall:
+		// Admissible under every scheme, but only inside a designated
+		// gate (checkHostcallGate enforces placement).
+		return v.gateIdx >= 0
 	case isa.OpHLoad, isa.OpHStore, isa.OpHfiExit,
 		isa.OpHfiGetRegion, isa.OpHfiSetRegion:
 		return v.cfg.Scheme == sfi.HFI
@@ -244,6 +248,120 @@ func (v *verification) stepRegionUpdate(st *absState, idx int, in *isa.Instr) {
 	}
 	if !okPtr || !okRegion || st.staging != int(in.Imm) {
 		v.violate(idx, "region-update", "hfi_set_region must consume a freshly staged heap descriptor")
+	}
+}
+
+// checkHostcallGate locates and structurally validates the hostcall gate,
+// then proves it is the only way a hostcall instruction can execute: no
+// hostcall outside the gate, no jump or branch into it, no call into its
+// middle, and no fall-through from the preceding instruction. Together
+// with the indirect-target checks in step (an exact-constant indirect
+// jump or call resolving to the gate is rejected there) this leaves a
+// direct call to the gate entry as the single admissible entry path — the
+// hostcall analogue of the mprotect-only syscall proof.
+func (v *verification) checkHostcallGate() {
+	v.gateIdx = -1
+	sym := v.cfg.HostcallGateSym
+	if sym == "" {
+		return
+	}
+	addr, ok := v.p.Symbols[sym]
+	if !ok {
+		// Gate policy configured but the program defines no gate: nothing
+		// to admit; any hostcall instruction fails the opAllowed check.
+		return
+	}
+	g := v.index(addr)
+	v.gateIdx = g
+	if g < 0 || g+1 >= len(v.p.Instrs) ||
+		v.p.Instrs[g].Op != isa.OpHostcall || v.p.Instrs[g+1].Op != isa.OpRet {
+		v.violate(g, "hostcall-gate", "gate %q must be exactly the sequence hostcall; ret", sym)
+		v.gateIdx = -1
+		return
+	}
+	for i := range v.p.Instrs {
+		in := &v.p.Instrs[i]
+		if in.Op == isa.OpHostcall && i != g {
+			v.violate(i, "hostcall-gate", "hostcall instruction outside the designated gate %q", sym)
+		}
+		switch in.Op {
+		case isa.OpJmp, isa.OpBr:
+			if in.Target == addr || in.Target == addr+isa.InstrBytes {
+				v.violate(i, "hostcall-gate", "jump into the hostcall gate: the gate is only enterable by a direct call")
+			}
+		case isa.OpCall:
+			if in.Target == addr+isa.InstrBytes {
+				v.violate(i, "hostcall-gate", "call into the middle of the hostcall gate")
+			}
+		}
+	}
+	if g > 0 {
+		switch v.p.Instrs[g-1].Op {
+		case isa.OpHalt, isa.OpJmp, isa.OpJmpInd, isa.OpRet:
+		default:
+			v.violate(g-1, "hostcall-gate", "control can fall through into the hostcall gate")
+		}
+	}
+}
+
+// checkHostcallSite discharges the per-call-site obligations of a direct
+// call to the hostcall gate. The interprocedural summary joins argument
+// intervals over every call site, so the singleton-number and buffer
+// proofs must run HERE, against this site's state — at the gate body only
+// the joined containment is still provable.
+func (v *verification) checkHostcallSite(st *absState, idx int) {
+	if v.cfg.NumHostcalls == 0 {
+		v.violate(idx, "hostcall", "no hostcalls are registered for this sandbox")
+		return
+	}
+	num, ok := st.regs[isa.R0].I.Singleton()
+	if !ok || num >= v.cfg.NumHostcalls {
+		v.violate(idx, "hostcall", "hostcall number is not provably a registered hostcall")
+		return
+	}
+	if num >= uint64(len(v.cfg.HostcallSigs)) {
+		return // number proven in-table; no signature detail to check
+	}
+	sig := v.cfg.HostcallSigs[num]
+	max := v.cfg.MaxBytes
+	heap := Interval{0, max}
+	for i := 0; i < 5; i++ {
+		kind := sig.Args[i]
+		if kind != HcArgPtr && kind != HcArgLen {
+			continue
+		}
+		arg := st.regs[isa.R1+isa.Reg(i)].dataOnly().I
+		what := "buffer offset"
+		if kind == HcArgLen {
+			what = "byte count"
+		}
+		if !arg.In(heap) {
+			v.violate(idx, "hostcall", "%s: argument %d (%s) is not provably within the sandbox heap", sig.Name, i+1, what)
+		}
+	}
+	for i := 0; i+1 < 5; i++ {
+		if sig.Args[i] != HcArgPtr || sig.Args[i+1] != HcArgLen {
+			continue
+		}
+		p := st.regs[isa.R1+isa.Reg(i)].dataOnly().I
+		l := st.regs[isa.R1+isa.Reg(i+1)].dataOnly().I
+		if end, ok := satAdd(p.Hi, l.Hi); !ok || end > max {
+			v.violate(idx, "hostcall", "%s: buffer at argument %d does not provably end within the sandbox heap", sig.Name, i+1)
+		}
+	}
+}
+
+// checkHostcallBody runs at the gate's hostcall instruction itself. Every
+// call site has already proven its own number a registered singleton, so
+// the joined interval flowing into the gate must still be contained in
+// the table — a cheap belt-and-suspenders re-check.
+func (v *verification) checkHostcallBody(st *absState, idx int) {
+	if v.cfg.NumHostcalls == 0 {
+		v.violate(idx, "hostcall", "no hostcalls are registered for this sandbox")
+		return
+	}
+	if !st.regs[isa.R0].I.In(Interval{0, v.cfg.NumHostcalls - 1}) {
+		v.violate(idx, "hostcall", "hostcall number at the gate is not provably within the registered table")
 	}
 }
 

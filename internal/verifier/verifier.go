@@ -92,6 +92,39 @@ type Config struct {
 	// over the heap reservation, is admitted (the grow path).
 	MprotectNum uint64
 	ProtRW      uint64
+
+	// Hostcall gate policy. HostcallGateSym names the designated call
+	// gate (conventionally "__hostcall"): the only instruction sequence
+	// through which guest code may execute a hostcall, enterable only by
+	// a direct call. Empty disables hostcalls entirely — any hostcall
+	// instruction is then a privileged-op violation. NumHostcalls bounds
+	// the registered table, and HostcallSigs (indexed by number) drives
+	// the per-call-site marshalling proofs: pointer and length arguments
+	// must provably be linear-memory offsets inside the sandbox heap.
+	HostcallGateSym string
+	NumHostcalls    uint64
+	HostcallSigs    []HostcallSig
+}
+
+// HostcallArg classifies one hostcall argument register for the
+// call-site proof.
+type HostcallArg uint8
+
+// Hostcall argument kinds. A HcArgLen directly following a HcArgPtr is
+// that pointer's byte count; the pair must provably stay inside the heap.
+const (
+	HcArgNone HostcallArg = iota // unused slot
+	HcArgVal                     // plain scalar, no proof obligation
+	HcArgPtr                     // linear-memory offset of a buffer
+	HcArgLen                     // byte count (of the preceding HcArgPtr)
+)
+
+// HostcallSig is the verifier-facing shape of one registered hostcall:
+// its name (for diagnostics) and the kind of each argument register
+// R1..R5.
+type HostcallSig struct {
+	Name string
+	Args [5]HostcallArg
 }
 
 // ExtraMem is the geometry of one additional linear memory: its context
@@ -197,6 +230,10 @@ type verification struct {
 	fnWork    []int
 	isLeader  []bool
 	rootEntry int
+
+	// gateIdx is the instruction index of the hostcall gate, or -1 when
+	// the program has none (set by checkHostcallGate at analyze entry).
+	gateIdx int
 }
 
 type violationKey struct {

@@ -148,6 +148,9 @@ func Compile(m *Module, scheme sfi.Scheme, lay Layout, opts Options) (*Compiled,
 		}
 	}
 	c.emitTrap()
+	if m.UsesHostcalls() {
+		c.emitHostcallGate()
+	}
 
 	prog := c.b.Build()
 	cc := &Compiled{
@@ -217,6 +220,22 @@ func (c *compiler) emitTrap() {
 	b.MovImm(isa.R0, 0)
 	b.Load(8, isa.R0, isa.R0, isa.RegNone, 1, 0)
 	b.Halt()
+}
+
+// hostcallGateSym names the module's single host exit. internal/hostcall
+// publishes the same convention (hostcall.GateSym); the literal is
+// duplicated here so wasm does not depend on the host-side package.
+const hostcallGateSym = "__hostcall"
+
+// emitHostcallGate builds the designated host exit: exactly the sequence
+// the verifier's gate proof demands (hostcall; ret), enterable only by a
+// direct call. Emitted right after __trap, whose terminating halt doubles
+// as the no-fall-through barrier the proof requires.
+func (c *compiler) emitHostcallGate() {
+	b := c.b
+	b.Label(hostcallGateSym)
+	b.Hostcall()
+	b.Ret()
 }
 
 // allocate performs register allocation for one function.
@@ -591,6 +610,21 @@ func (c *compiler) emitInstr(ctx *fnCtx, in *VInstr) error {
 
 	case vTrap:
 		b.Jmp("__trap")
+
+	case vHost:
+		if len(in.Args) > 5 {
+			return fmt.Errorf("hostcall %d: more than 5 arguments unsupported", in.Imm)
+		}
+		ctx.flushRegs(b)
+		b.MovImm(isa.R0, in.Imm) // the per-call-site provable constant
+		for i := range in.Args {
+			b.Load(8, isa.Reg(1+i), sfi.FP, isa.RegNone, 1, slotDisp(in.Args[i]))
+		}
+		b.Call(hostcallGateSym)
+		if in.Rd != VNone {
+			b.Store(8, sfi.FP, isa.RegNone, 1, slotDisp(in.Rd), isa.R0)
+		}
+		ctx.reloadRegs(b)
 
 	default:
 		return fmt.Errorf("unknown IR op %d", in.vop)

@@ -1,0 +1,76 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+
+	"hfi/internal/hostcall"
+	"hfi/internal/sfi"
+)
+
+// hostcallModule builds a minimal module that asks the host for its ABI
+// version and 16 random bytes at offset 256.
+func hostcallModule() *Module {
+	m := NewModule("hc-min", 1, 1)
+	f := m.Func("run", 0)
+	v := f.NewReg()
+	ptr := f.NewReg()
+	n := f.NewReg()
+	f.MovImm(ptr, 256)
+	f.MovImm(n, 16)
+	f.Hostcall(v, hostcall.NumAbiVersion)
+	f.Hostcall(v, hostcall.NumRandomGet, ptr, n)
+	f.Ret(v)
+	return m
+}
+
+// TestHostcallCompileAllSchemes: a hostcall module compiles, carries the
+// gate, and passes the post-compile verifier gate under every scheme.
+func TestHostcallCompileAllSchemes(t *testing.T) {
+	for _, scheme := range []sfi.Scheme{sfi.None, sfi.GuardPages, sfi.BoundsCheck, sfi.Masking, sfi.HFI} {
+		cc, err := Compile(hostcallModule(), scheme, testLayout(), Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if _, ok := cc.Prog.Symbols["__hostcall"]; !ok {
+			t.Fatalf("%v: compiled program is missing the __hostcall gate", scheme)
+		}
+	}
+}
+
+// TestNoGateWithoutHostcalls: pure-compute modules must stay
+// byte-identical to pre-hostcall builds — no gate, no symbol.
+func TestNoGateWithoutHostcalls(t *testing.T) {
+	m := NewModule("pure", 1, 1)
+	f := m.Func("run", 0)
+	v := f.NewReg()
+	f.MovImm(v, 7)
+	f.Ret(v)
+	cc, err := Compile(m, sfi.Masking, testLayout(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.Prog.Symbols["__hostcall"]; ok {
+		t.Fatal("hostcall-free module grew a gate")
+	}
+	if m.UsesHostcalls() {
+		t.Fatal("UsesHostcalls = true for a pure module")
+	}
+}
+
+// TestHostcallForgedNumberRejected: the compiler is not trusted — a
+// module lowered with an out-of-table number must die at the verifier.
+func TestHostcallForgedNumberRejected(t *testing.T) {
+	m := NewModule("hc-forged", 1, 1)
+	f := m.Func("run", 0)
+	v := f.NewReg()
+	f.Hostcall(v, hostcall.NumHostcalls+5)
+	f.Ret(v)
+	_, err := Compile(m, sfi.Masking, testLayout(), Options{})
+	if err == nil {
+		t.Fatal("forged hostcall number compiled and verified")
+	}
+	if !strings.Contains(err.Error(), "hostcall") {
+		t.Fatalf("rejection does not cite the hostcall rule: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ const (
 	vCall             // direct call with args/result
 	vRet              // return (optional value in Rs1)
 	vTrap             // unconditional trap
+	vHost             // host call through the __hostcall gate: Imm = number
 )
 
 // VInstr is one IR instruction.
@@ -121,6 +122,21 @@ func (m *Module) AddMemory(pages int) uint8 {
 
 // NumMemories returns the total linear-memory count.
 func (m *Module) NumMemories() int { return 1 + len(m.ExtraMemories) }
+
+// UsesHostcalls reports whether any function performs a host call. The
+// compiler emits the __hostcall gate (and the verifier polices it) only
+// then, keeping pure-compute images byte-identical to hostcall-free
+// builds.
+func (m *Module) UsesHostcalls() bool {
+	for _, f := range m.Funcs {
+		for i := range f.code {
+			if f.code[i].vop == vHost {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // Func creates (or returns) the function named name with nparams
 // parameters. Parameters occupy virtual registers 0..nparams-1.
@@ -295,6 +311,16 @@ func (f *Fn) Call(name string, rd VReg, args ...VReg) *Fn {
 // Ret returns from the function with an optional result (VNone for none).
 func (f *Fn) Ret(v VReg) *Fn {
 	return f.emit(VInstr{vop: vRet, Rd: VNone, Rs1: v, Rs2: VNone, Rs3: VNone})
+}
+
+// Hostcall emits a typed host call: num is the ABI call number (placed
+// in R0), up to five argument values travel in R1-R5, and the result —
+// or a negated kernel errno — lands in rd (VNone to discard). Lowering
+// routes the call through the module's single __hostcall gate, the only
+// host exit the verifier admits.
+func (f *Fn) Hostcall(rd VReg, num int64, args ...VReg) *Fn {
+	f.HasCalls = true
+	return f.emit(VInstr{vop: vHost, Rd: rd, Rs1: VNone, Rs2: VNone, Rs3: VNone, Imm: num, Args: args})
 }
 
 // Grow emits memory.grow: rd receives the old size in pages, or the i32

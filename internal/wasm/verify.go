@@ -2,6 +2,7 @@ package wasm
 
 import (
 	"hfi/internal/hfi"
+	"hfi/internal/hostcall"
 	"hfi/internal/kernel"
 	"hfi/internal/sfi"
 	"hfi/internal/verifier"
@@ -56,6 +57,14 @@ func VerifyConfig(c *Compiled) verifier.Config {
 		HeapRegionFlat:  hfi.RegionExplicitBase + sfi.HeapRegion,
 		MprotectNum:     kernel.SysMprotect,
 		ProtRW:          uint64(kernel.ProtRead | kernel.ProtWrite),
+	}
+	if _, ok := c.Prog.Symbols[hostcallGateSym]; ok {
+		// The module talks to the host: hand the verifier the gate symbol
+		// and the ABI signature table so it can prove the gate is the only
+		// exit and every call site marshals provably in-heap buffers.
+		cfg.HostcallGateSym = hostcallGateSym
+		cfg.NumHostcalls = hostcall.NumHostcalls
+		cfg.HostcallSigs = hostcall.Sigs()
 	}
 	for k, pages := range c.Module.ExtraMemories {
 		bytes := uint64(pages) * PageSize

@@ -22,15 +22,19 @@ type Tenant struct {
 	Mod  *wasm.Module
 	// MakeRequest produces the request body for the i'th request.
 	MakeRequest func(i int) []byte
+	// Stream marks tenants that consume the request through fd 0 and
+	// produce the response on fd 1 instead of the heap input/output
+	// windows; the platform serves them through the hostcall streams.
+	Stream bool
 }
 
 // FaaSTenants returns the four Table 1 workloads.
 func FaaSTenants() []Tenant {
 	return []Tenant{
-		{"xml-to-json", XMLToJSON(), xmlRequest},
-		{"image-classification", ImageClassification(), imageRequest},
-		{"check-sha256", CheckSHA256(), shaRequest},
-		{"templated-html", TemplatedHTML(), htmlRequest},
+		{Name: "xml-to-json", Mod: XMLToJSON(), MakeRequest: xmlRequest},
+		{Name: "image-classification", Mod: ImageClassification(), MakeRequest: imageRequest},
+		{Name: "check-sha256", Mod: CheckSHA256(), MakeRequest: shaRequest},
+		{Name: "templated-html", Mod: TemplatedHTML(), MakeRequest: htmlRequest},
 	}
 }
 
@@ -41,10 +45,10 @@ func FaaSTenants() []Tenant {
 // the Table 1 tenants; only the work per request shrinks.
 func FaaSTenantsLight() []Tenant {
 	return []Tenant{
-		{"xml-to-json", XMLToJSONReps(2), xmlRequestN(8)},
-		{"image-classification", ImageClassificationScaled(1, 2), imageRequest},
-		{"check-sha256", CheckSHA256Reps(1), shaRequestN(512)},
-		{"templated-html", TemplatedHTMLReps(2), htmlRequest},
+		{Name: "xml-to-json", Mod: XMLToJSONReps(2), MakeRequest: xmlRequestN(8)},
+		{Name: "image-classification", Mod: ImageClassificationScaled(1, 2), MakeRequest: imageRequest},
+		{Name: "check-sha256", Mod: CheckSHA256Reps(1), MakeRequest: shaRequestN(512)},
+		{Name: "templated-html", Mod: TemplatedHTMLReps(2), MakeRequest: htmlRequest},
 	}
 }
 

@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hfi/internal/hostcall"
+	"hfi/internal/isa"
+	"hfi/internal/wasm"
+)
+
+// Hostcall workload guests: tenants that need a world to talk to. Each
+// exercises a different slice of the ABI — stateful KV sessions, chunked
+// body streaming over fds 0/1, cross-request fan-in aggregation, and a
+// clock/randomness micro-kernel — and every buffer argument is emitted
+// so the verifier can prove it stays inside linear memory.
+//
+// Guest-side buffer map (all well inside the 2 MiB instance heap):
+const (
+	kvKeyOffset  = 0    // key bytes land here via data segments
+	kvValOffset  = 64   // 8-byte KV value scratch
+	kvVal2Offset = 72   // second value scratch (fan-in reads)
+	streamBuf    = 8192 // streaming chunk buffer
+	streamChunk  = 512  // bytes per fd_read/fd_write round trip
+)
+
+// KVSession is a stateful multi-invoke tenant: each request loads the
+// session counter from the shared KV store, folds the request bytes in,
+// stores it back, and answers with the running value. State lives in the
+// host world, not the instance heap, so it survives instance recycling.
+func KVSession() *wasm.Module {
+	m := wasm.NewModule("kv-session", 32, 32)
+	m.AddData(kvKeyOffset, []byte("ctr"))
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	z, r, cur, i, b := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	kp, kl, vp, vl := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(z, 0)
+	f.MovImm(kp, kvKeyOffset)
+	f.MovImm(kl, 3)
+	f.MovImm(vp, kvValOffset)
+	f.MovImm(vl, 8)
+	// cur = KV["ctr"], or 0 on the session's first request.
+	f.Hostcall(r, hostcall.NumKvGet, kp, kl, vp, vl)
+	f.MovImm(cur, 0)
+	f.BrImm(isa.CondNE, r, 8, "fresh")
+	f.Load(8, cur, z, kvValOffset)
+	f.Label("fresh")
+	// Fold the request body in.
+	f.MovImm(i, 0)
+	f.Label("sum")
+	f.Br(isa.CondGEU, i, n, "sumdone")
+	f.Load(1, b, i, InputOffset)
+	f.Add(cur, cur, b)
+	f.Add32Imm(i, i, 1)
+	f.Jmp("sum")
+	f.Label("sumdone")
+	// Persist and respond with the running counter.
+	f.Store(8, z, kvValOffset, cur)
+	f.Hostcall(r, hostcall.NumKvPut, kp, kl, vp, vl)
+	f.Store(8, z, OutputOffset, cur)
+	f.MovImm(r, 8)
+	f.Ret(r)
+	return m
+}
+
+// StreamXform is the streaming-body tenant: it pulls the request through
+// fd 0 in 512-byte chunks, XOR-transforms each chunk in place, and pushes
+// it out through fd 1. The response body is whatever reached stdout, so
+// the platform serves it in streaming mode (Tenant.Stream). The chunk
+// length returned by fd_read is masked before it is passed back to
+// fd_write — the interval refinement the verifier's call-site proof needs.
+func StreamXform() *wasm.Module {
+	m := wasm.NewModule("stream-xform", 32, 32)
+	f := m.Func("run", 1)
+	fd0, fd1, buf, cap_, r := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	i, b, w, total := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(fd0, hostcall.FdStdin)
+	f.MovImm(fd1, hostcall.FdStdout)
+	f.MovImm(buf, streamBuf)
+	f.MovImm(cap_, streamChunk)
+	f.MovImm(total, 0)
+	f.Label("loop")
+	f.Hostcall(r, hostcall.NumFdRead, fd0, buf, cap_)
+	f.BrImm(isa.CondEQ, r, 0, "eof")
+	f.BrImm(isa.CondGTU, r, streamChunk, "eof") // negated errno: stop
+	f.AndImm(r, r, 1023)                        // provably in-heap length
+	f.MovImm(i, 0)
+	f.Label("xf")
+	f.Br(isa.CondGEU, i, r, "xfdone")
+	f.Load(1, b, i, streamBuf)
+	f.XorImm(b, b, 0x5a)
+	f.Store(1, i, streamBuf, b)
+	f.Add32Imm(i, i, 1)
+	f.Jmp("xf")
+	f.Label("xfdone")
+	f.Hostcall(w, hostcall.NumFdWrite, fd1, buf, r)
+	f.Add(total, total, r)
+	f.Jmp("loop")
+	f.Label("eof")
+	f.Ret(total)
+	return m
+}
+
+// FanInAgg is the fan-in aggregation tenant: each request publishes its
+// payload sum into one of four KV slots (chosen by the first body byte)
+// and answers with the aggregate across every slot — many producers,
+// one rolled-up view, all through the shared store.
+func FanInAgg() *wasm.Module {
+	m := wasm.NewModule("fan-in-agg", 32, 32)
+	m.AddData(kvKeyOffset, []byte("s0s1s2s3"))
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	z, r, v, i, b := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	slot, sum, total := f.NewReg(), f.NewReg(), f.NewReg()
+	kp, kl, vp, vp2, vl := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.MovImm(z, 0)
+	f.MovImm(kl, 2)
+	f.MovImm(vp, kvValOffset)
+	f.MovImm(vp2, kvVal2Offset)
+	f.MovImm(vl, 8)
+	// slot key offset = (body[0] & 3) * 2 — interval [0,6], provable.
+	f.Load(1, slot, z, InputOffset)
+	f.AndImm(slot, slot, 3)
+	f.ShlImm(slot, slot, 1)
+	// sum the body.
+	f.MovImm(sum, 0)
+	f.MovImm(i, 0)
+	f.Label("sum")
+	f.Br(isa.CondGEU, i, n, "sumdone")
+	f.Load(1, b, i, InputOffset)
+	f.Add(sum, sum, b)
+	f.Add32Imm(i, i, 1)
+	f.Jmp("sum")
+	f.Label("sumdone")
+	// Publish into this producer's slot.
+	f.Store(8, z, kvValOffset, sum)
+	f.Hostcall(r, hostcall.NumKvPut, slot, kl, vp, vl)
+	// Aggregate across all four slots.
+	f.MovImm(total, 0)
+	for k := 0; k < 4; k++ {
+		skip := fmt.Sprintf("skip%d", k)
+		f.MovImm(kp, int64(kvKeyOffset+k*2))
+		f.Hostcall(r, hostcall.NumKvGet, kp, kl, vp2, vl)
+		f.BrImm(isa.CondNE, r, 8, skip)
+		f.Load(8, v, z, kvVal2Offset)
+		f.Add(total, total, v)
+		f.Label(skip)
+	}
+	f.Store(8, z, OutputOffset, total)
+	f.MovImm(r, 8)
+	f.Ret(r)
+	return m
+}
+
+// HostcallMicro is the boundary micro-kernel behind the hostcall
+// round-trip experiment: per repetition it samples both clocks and pulls
+// 1 KiB of seeded randomness into the heap, then answers with the two
+// timestamps — almost nothing but boundary crossings.
+func HostcallMicro(reps int) *wasm.Module {
+	m := wasm.NewModule("hostcall-micro", 32, 32)
+	f := m.Func("run", 1)
+	z, t0, t1, r, rep := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	ptr, cnt := f.NewReg(), f.NewReg()
+	f.MovImm(z, 0)
+	f.MovImm(ptr, streamBuf)
+	f.MovImm(cnt, 1024)
+	f.MovImm(rep, 0)
+	f.Label("again")
+	f.Hostcall(t0, hostcall.NumClockMonotonic)
+	f.Hostcall(r, hostcall.NumRandomGet, ptr, cnt)
+	f.Hostcall(t1, hostcall.NumClockWall)
+	f.Add32Imm(rep, rep, 1)
+	f.BrImm(isa.CondLT, rep, int64(reps), "again")
+	f.Store(8, z, OutputOffset, t0)
+	f.Store(8, z, OutputOffset+8, t1)
+	f.MovImm(r, 16)
+	f.Ret(r)
+	return m
+}
+
+func kvRequest(i int) []byte {
+	b := make([]byte, 16)
+	for p := range b {
+		b[p] = byte(i + p*3)
+	}
+	return b
+}
+
+func streamRequest(i int) []byte {
+	// ~1.5 chunks so every request exercises both a full and a partial
+	// fd_read/fd_write round trip.
+	b := make([]byte, streamChunk+streamChunk/2)
+	for p := range b {
+		b[p] = byte('a' + (p+i)%26)
+	}
+	return b
+}
+
+func fanInRequest(i int) []byte {
+	b := make([]byte, 12)
+	b[0] = byte(i) // producer slot = i % 4
+	binary.LittleEndian.PutUint64(b[1:9], uint64(i)*2654435761)
+	return b
+}
+
+func microRequest(i int) []byte { return []byte{byte(i)} }
+
+// HostcallTenants returns the tenants that exercise the host-call layer:
+// a stateful KV session, a streaming body transformer, a KV fan-in
+// aggregator, and the boundary micro-kernel.
+func HostcallTenants() []Tenant {
+	return []Tenant{
+		{Name: "kv-session", Mod: KVSession(), MakeRequest: kvRequest},
+		{Name: "stream-xform", Mod: StreamXform(), MakeRequest: streamRequest, Stream: true},
+		{Name: "fan-in-agg", Mod: FanInAgg(), MakeRequest: fanInRequest},
+		{Name: "hostcall-micro", Mod: HostcallMicro(4), MakeRequest: microRequest},
+	}
+}
+
+// HostcallKernels exposes the same guests as corpus workloads for the
+// verifier sweep and the mutation harness. Scale maps to repetitions for
+// the micro-kernel and is ignored by the request-driven guests.
+func HostcallKernels() []Workload {
+	return []Workload{
+		{Name: "kv-session", Build: func(scale int) *wasm.Module { return KVSession() }, Class: "hostcall"},
+		{Name: "stream-xform", Build: func(scale int) *wasm.Module { return StreamXform() }, Class: "hostcall"},
+		{Name: "fan-in-agg", Build: func(scale int) *wasm.Module { return FanInAgg() }, Class: "hostcall"},
+		{Name: "hostcall-micro", Build: func(scale int) *wasm.Module { return HostcallMicro(scale) }, Class: "hostcall"},
+	}
+}

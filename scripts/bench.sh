@@ -5,6 +5,10 @@
 # experiment (wasm-workload throughput + shared-image provisioning cost) and
 # records everything machine-readable in BENCH_PR3.json, alongside the
 # pre-PR baseline so the speedup is visible without checking out history.
+# Then the host-call boundary snapshot: BenchmarkHostcallRoundTrip (host
+# wall ns, cost-modeled sim-ns, marshalled bytes — the marshalling fast
+# path must report 0 allocs/op) plus `hfibench -exp hostcall -json`, into
+# BENCH_PR6.json.
 #
 # The script fails if the hot-loop benchmark reports any allocations; the
 # same invariant is enforced as a plain test (TestInterpHotLoopZeroAllocs)
@@ -53,3 +57,32 @@ micro=$(go run ./cmd/hfibench -exp micro -json)
     printf '}\n'
 } > BENCH_PR3.json
 echo "wrote BENCH_PR3.json"
+
+echo "== hostcall round-trip benchmark (count=5) =="
+hc=$(go test -run '^$' -bench 'BenchmarkHostcallRoundTrip' -benchmem -benchtime 1s -count 5 ./internal/hostcall/)
+echo "$hc" | grep -E 'Benchmark|^ok'
+
+hc_ns=$(echo "$hc" | awk '/^BenchmarkHostcallRoundTrip/ {print $3}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+hc_sim=$(echo "$hc" | awk '/^BenchmarkHostcallRoundTrip/ {print $7}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+hc_allocs=$(echo "$hc" | awk '/^BenchmarkHostcallRoundTrip/ {print $11}' | sort -n | tail -1)
+
+if [ "$hc_allocs" != "0" ]; then
+    echo "bench.sh: FAIL: hostcall marshalling fast path reports $hc_allocs allocs/op (want 0)" >&2
+    exit 1
+fi
+
+echo "== hfibench -exp hostcall =="
+hcexp=$(go run ./cmd/hfibench -exp hostcall -json)
+
+{
+    printf '{\n'
+    printf '  "hostcall_roundtrip_bench": {\n'
+    printf '    "benchmark": "BenchmarkHostcallRoundTrip: 1 KiB random_get through the verified gate under the interpreter (-benchtime 1s -count 5)",\n'
+    printf '    "host_wall_ns_per_op_median5": %s,\n' "$hc_ns"
+    printf '    "sim_ns_per_op_median5": %s,\n' "$hc_sim"
+    printf '    "allocs_per_op": %s\n' "$hc_allocs"
+    printf '  },\n'
+    printf '  "hfibench_hostcall": %s\n' "$hcexp"
+    printf '}\n'
+} > BENCH_PR6.json
+echo "wrote BENCH_PR6.json"

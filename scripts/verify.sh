@@ -24,9 +24,11 @@
 # point, with exact outcome conservation (`make loadtest` runs just this).
 #
 # After the tests, the static-verifier gate: hfiverify proves every corpus
-# program safe under every scheme, then runs the fast mutation bench, which
-# fails on any verified-then-escaped mutant or a static kill rate below 95%
-# (full bench: `go run ./cmd/hfiverify -mutate -full`).
+# program safe under every scheme (the corpus includes the hostcall guests,
+# whose gate and marshalling proofs get an explicit labeled sweep of their
+# own), then runs the fast mutation bench, which fails on any
+# verified-then-escaped mutant or a static kill rate below 95% (full bench:
+# `go run ./cmd/hfiverify -mutate -full`).
 #
 # Usage: scripts/verify.sh  (or `make verify`)
 set -eu
@@ -44,6 +46,8 @@ echo "== loadtest: open-loop p99 gate vs baseline (fast)"
 sh scripts/loadtest.sh >/dev/null
 echo "== hfiverify: corpus under all schemes"
 go run ./cmd/hfiverify
+echo "== hfiverify -class hostcall: gate + marshalling proofs on the boundary guests"
+go run ./cmd/hfiverify -class hostcall
 echo "== hfiverify -mutate: verifier soundness bench (fast)"
 go run ./cmd/hfiverify -mutate
 echo "verify: all green"
