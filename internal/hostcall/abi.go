@@ -39,7 +39,7 @@ const (
 	NumFdClose        = 5  // (fd) -> 0
 	NumFdRead         = 6  // (fd, ptr, cap) -> bytes read
 	NumFdWrite        = 7  // (fd, ptr, len) -> bytes written
-	NumKvGet          = 8  // (kPtr, kLen, vPtr, vCap) -> bytes copied
+	NumKvGet          = 8  // (kPtr, kLen, vPtr, vCap) -> full value length; min(len, vCap) bytes copied
 	NumKvPut          = 9  // (kPtr, kLen, vPtr, vLen) -> 0
 	NumKvDelete       = 10 // (kPtr, kLen) -> 0
 

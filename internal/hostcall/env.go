@@ -8,16 +8,34 @@ import (
 
 // World is the host-side resource universe shared by every sandbox a
 // host process serves: the determinism seed (all clocks and randomness
-// derive from it, so a run is exactly reproducible) and the shared KV
-// store. One World per host.
+// derive from it, so a run is exactly reproducible), the shared KV
+// store, and the per-tenant filesystem quota. One World per host.
 type World struct {
 	Seed uint64
 	KV   *KV
+	FS   FSQuota
 }
 
-// NewWorld returns a world with the default per-tenant KV quota.
+// NewWorld returns a world with the default per-tenant KV and FS quotas.
 func NewWorld(seed uint64) *World {
-	return &World{Seed: seed, KV: NewKV(DefaultKVQuota())}
+	return &World{Seed: seed, KV: NewKV(DefaultKVQuota()), FS: DefaultFSQuota()}
+}
+
+// FSQuota bounds one tenant's simulated filesystem and stream footprint.
+// Files persist across requests as session state, so without a quota a
+// tenant could loop fd_open/fd_write and grow host memory without bound.
+// Zero fields mean unlimited (tests); NewWorld installs the defaults.
+type FSQuota struct {
+	MaxFiles       int    // live files per tenant
+	MaxFDs         int    // open descriptors per tenant
+	MaxBytes       uint64 // sum of name+content bytes across the tenant's files
+	MaxStdoutBytes uint64 // response bytes buffered per request
+}
+
+// DefaultFSQuota mirrors DefaultKVQuota: roomy enough for the workloads,
+// a hard wall for a runaway tenant.
+func DefaultFSQuota() FSQuota {
+	return FSQuota{MaxFiles: 256, MaxFDs: 64, MaxBytes: 4 << 20, MaxStdoutBytes: 1 << 20}
 }
 
 // Fault is a chaos-injected hostcall failure mode (internal/chaos arms
@@ -56,7 +74,9 @@ type Env struct {
 
 	// Tenant-scoped filesystem and fd table. Files persist across
 	// requests (session state); fds 0/1 stream the request/response.
+	// fsBytes is the quota-charged footprint (name+content bytes).
 	files    map[string][]byte
+	fsBytes  uint64
 	fds      map[int]*openFD
 	nextFD   int
 	stdin    []byte
@@ -122,9 +142,15 @@ func (w *World) NewEnv(tenant string) *Env {
 // Tenant returns the namespace this environment serves.
 func (e *Env) Tenant() string { return e.tenant }
 
-// AddFile seeds the tenant filesystem (workload fixtures).
+// AddFile seeds the tenant filesystem (workload fixtures). Seeded bytes
+// count against the tenant's FS footprint so guest writes on top of
+// fixtures stay bounded by the same quota.
 func (e *Env) AddFile(name string, data []byte) {
+	if old, ok := e.files[name]; ok {
+		e.fsBytes -= uint64(len(name) + len(old))
+	}
 	e.files[name] = append([]byte(nil), data...)
+	e.fsBytes += uint64(len(name) + len(data))
 }
 
 // Bind installs the environment as m's hostcall dispatcher for an
@@ -173,6 +199,7 @@ func (e *Env) TakeCounters() (calls, bytesIn, bytesOut, quotaRejects uint64) {
 // the serving layer calls it when an instance is recycled or poisoned.
 func (e *Env) ResetSession() {
 	e.files = make(map[string][]byte)
+	e.fsBytes = 0
 	e.fds = make(map[int]*openFD)
 	e.nextFD = 3
 	e.stdin = nil
@@ -313,8 +340,26 @@ func (e *Env) fdOpen(nameOff, nameLen, flags uint64) uint64 {
 	if errno != 0 {
 		return negErrno(errno)
 	}
+	q := e.world.FS
+	if q.MaxFDs > 0 && len(e.fds) >= q.MaxFDs {
+		e.QuotaRejects++
+		return negErrno(kernel.EDQUOT)
+	}
 	wr := flags&OpenCreate != 0
 	if wr {
+		if old, exists := e.files[string(name)]; exists {
+			e.fsBytes -= uint64(len(old)) // truncation frees content bytes
+		} else {
+			if q.MaxFiles > 0 && len(e.files) >= q.MaxFiles {
+				e.QuotaRejects++
+				return negErrno(kernel.EDQUOT)
+			}
+			if q.MaxBytes > 0 && e.fsBytes+nameLen > q.MaxBytes {
+				e.QuotaRejects++
+				return negErrno(kernel.EDQUOT)
+			}
+			e.fsBytes += nameLen
+		}
 		e.files[string(name)] = nil
 	} else if _, ok := e.files[string(name)]; !ok {
 		return negErrno(kernel.ENOENT)
@@ -355,6 +400,12 @@ func (e *Env) fdRead(fd, off, capacity uint64) uint64 {
 	if n > MaxIOBytes {
 		n = MaxIOBytes
 	}
+	// A file can shrink under a live fd (fd_open with OpenCreate
+	// truncates in place); clamp the stale offset before computing the
+	// remainder so the unsigned subtraction cannot underflow.
+	if *at > len(src) {
+		*at = len(src)
+	}
 	if rem := uint64(len(src) - *at); n > rem {
 		n = rem
 	}
@@ -377,6 +428,10 @@ func (e *Env) fdWrite(fd, off, n uint64) uint64 {
 	}
 	switch fd {
 	case FdStdout:
+		if q := e.world.FS; q.MaxStdoutBytes > 0 && uint64(len(e.stdout))+n > q.MaxStdoutBytes {
+			e.QuotaRejects++
+			return negErrno(kernel.EDQUOT)
+		}
 		e.stdout = append(e.stdout, b...)
 	case FdStdin:
 		return negErrno(kernel.EBADF)
@@ -385,7 +440,12 @@ func (e *Env) fdWrite(fd, off, n uint64) uint64 {
 		if !ok || !f.wr {
 			return negErrno(kernel.EBADF)
 		}
+		if q := e.world.FS; q.MaxBytes > 0 && e.fsBytes+n > q.MaxBytes {
+			e.QuotaRejects++
+			return negErrno(kernel.EDQUOT)
+		}
 		e.files[f.name] = append(e.files[f.name], b...)
+		e.fsBytes += n
 	}
 	return n
 }
@@ -399,7 +459,7 @@ func (e *Env) kvGet(kOff, kLen, vOff, vCap uint64) uint64 {
 		return negErrno(errno)
 	}
 	if vCap > MaxIOBytes {
-		vCap = MaxIOBytes
+		return negErrno(kernel.EINVAL) // oversized lengths fail like every other marshalled arg
 	}
 	va, errno := e.checkOut(vOff, vCap)
 	if errno != 0 {
@@ -415,7 +475,13 @@ func (e *Env) kvGet(kOff, kLen, vOff, vCap uint64) uint64 {
 	if kerr != 0 {
 		return negErrno(kerr)
 	}
-	e.writeOut(va, dst[:n])
+	copied := n
+	if copied > len(dst) {
+		copied = len(dst)
+	}
+	e.writeOut(va, dst[:copied])
+	// Full value length, not bytes copied: a return above vCap tells the
+	// guest the read was truncated and how big a buffer to retry with.
 	return uint64(n)
 }
 

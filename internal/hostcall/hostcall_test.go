@@ -183,6 +183,97 @@ func TestFdFiles(t *testing.T) {
 	}
 }
 
+func TestFdReadAfterTruncate(t *testing.T) {
+	// Regression: fd_open(OpenCreate) truncates a file under a live read
+	// fd. The stale offset must clamp to the new length — the unsigned
+	// remainder would otherwise underflow and the copy would panic.
+	_, _, m := testEnv(t, 1, "alice")
+	m.AS.Mem.WriteBytes(testHeapBase, []byte("f"))
+	m.AS.Mem.WriteBytes(testHeapBase+100, bytes.Repeat([]byte{'x'}, 20))
+
+	wfd := call(m, NumFdOpen, 0, 1, OpenCreate)
+	if n := call(m, NumFdWrite, wfd, 100, 20); n != 20 {
+		t.Fatalf("write = %d", n)
+	}
+	rfd := call(m, NumFdOpen, 0, 1, OpenRead)
+	if n := call(m, NumFdRead, rfd, 200, 20); n != 20 {
+		t.Fatalf("read = %d", n)
+	}
+	// Truncate under the live read fd, then read through it again.
+	call(m, NumFdOpen, 0, 1, OpenCreate)
+	if n := call(m, NumFdRead, rfd, 200, 20); n != 0 {
+		t.Fatalf("read after truncate = %#x, want 0 (EOF)", n)
+	}
+	// The clamped fd keeps working once the file regrows.
+	if n := call(m, NumFdWrite, wfd, 100, 5); n != 5 {
+		t.Fatalf("regrow write = %d", n)
+	}
+	if n := call(m, NumFdRead, rfd, 200, 20); n != 5 {
+		t.Fatalf("read after regrow = %d, want 5", n)
+	}
+}
+
+func TestFsQuota(t *testing.T) {
+	_, e, m := testEnv(t, 1, "alice")
+	e.world.FS = FSQuota{MaxFiles: 2, MaxFDs: 3, MaxBytes: 40, MaxStdoutBytes: 8}
+	m.AS.Mem.WriteBytes(testHeapBase, []byte("f1f2f3"))
+	m.AS.Mem.WriteBytes(testHeapBase+32, bytes.Repeat([]byte{7}, 64))
+
+	fd1 := call(m, NumFdOpen, 0, 2, OpenCreate)
+	fd2 := call(m, NumFdOpen, 2, 2, OpenCreate)
+	if int64(fd1) < 0 || int64(fd2) < 0 {
+		t.Fatalf("opens = %#x, %#x", fd1, fd2)
+	}
+	// Third file: entry quota.
+	if r := call(m, NumFdOpen, 4, 2, OpenCreate); !isErrno(r, kernel.EDQUOT) {
+		t.Fatalf("file 3 = %#x, want -EDQUOT", r)
+	}
+	// Reopening an existing name is a new fd, not a new file; the fourth
+	// simultaneous descriptor trips MaxFDs.
+	fd3 := call(m, NumFdOpen, 0, 2, OpenRead)
+	if int64(fd3) < 0 {
+		t.Fatalf("fd3 = %#x", fd3)
+	}
+	if r := call(m, NumFdOpen, 2, 2, OpenRead); !isErrno(r, kernel.EDQUOT) {
+		t.Fatalf("fd 4 = %#x, want -EDQUOT", r)
+	}
+	if r := call(m, NumFdClose, fd3); r != 0 {
+		t.Fatalf("close = %#x", r)
+	}
+	// Byte quota: the two names charged 4 bytes, so 36 content bytes fit.
+	if n := call(m, NumFdWrite, fd1, 32, 30); n != 30 {
+		t.Fatalf("write = %d", n)
+	}
+	if r := call(m, NumFdWrite, fd2, 32, 7); !isErrno(r, kernel.EDQUOT) {
+		t.Fatalf("over-quota write = %#x, want -EDQUOT", r)
+	}
+	if n := call(m, NumFdWrite, fd2, 32, 6); n != 6 {
+		t.Fatalf("fitting write = %d", n)
+	}
+	// Truncation frees content bytes for reuse.
+	call(m, NumFdOpen, 0, 2, OpenCreate)
+	if n := call(m, NumFdWrite, fd2, 32, 20); n != 20 {
+		t.Fatalf("post-truncate write = %d", n)
+	}
+	// Stdout cap is per request.
+	e.BeginRequest(nil)
+	if n := call(m, NumFdWrite, FdStdout, 32, 8); n != 8 {
+		t.Fatalf("stdout write = %d", n)
+	}
+	if r := call(m, NumFdWrite, FdStdout, 32, 1); !isErrno(r, kernel.EDQUOT) {
+		t.Fatalf("stdout overflow = %#x, want -EDQUOT", r)
+	}
+	if e.QuotaRejects != 4 {
+		t.Fatalf("QuotaRejects = %d, want 4", e.QuotaRejects)
+	}
+	// ResetSession returns the footprint to zero.
+	e.ResetSession()
+	fd := call(m, NumFdOpen, 0, 2, OpenCreate)
+	if n := call(m, NumFdWrite, fd, 32, 38); n != 38 {
+		t.Fatalf("post-reset write = %d", n)
+	}
+}
+
 func TestKvSharedStoreTenantIsolation(t *testing.T) {
 	m1 := cpu.NewMachine()
 	m2 := cpu.NewMachine()
@@ -219,6 +310,28 @@ func TestKvSharedStoreTenantIsolation(t *testing.T) {
 	}
 	if r := call(m1, NumKvGet, 0, 3, 100, 64); !isErrno(r, kernel.ENOENT) {
 		t.Fatalf("kv_get after delete = %#x, want -ENOENT", r)
+	}
+}
+
+func TestKvGetTruncationDetectable(t *testing.T) {
+	_, _, m := testEnv(t, 1, "alice")
+	m.AS.Mem.WriteBytes(testHeapBase, []byte("keysecret"))
+	if r := call(m, NumKvPut, 0, 3, 3, 6); r != 0 {
+		t.Fatalf("kv_put = %#x", r)
+	}
+	// Undersized buffer: the full length comes back, only vCap bytes land.
+	m.AS.Mem.WriteBytes(testHeapBase+100, bytes.Repeat([]byte{0xee}, 8))
+	if n := call(m, NumKvGet, 0, 3, 100, 4); n != 6 {
+		t.Fatalf("truncated kv_get = %d, want full length 6", n)
+	}
+	got := make([]byte, 8)
+	m.AS.Mem.ReadBytes(testHeapBase+100, got)
+	if string(got[:4]) != "secr" || !bytes.Equal(got[4:], bytes.Repeat([]byte{0xee}, 4)) {
+		t.Fatalf("truncated kv_get wrote %q past its capacity", got)
+	}
+	// Oversized capacity: EINVAL, like every other marshalled length.
+	if r := call(m, NumKvGet, 0, 3, 100, MaxIOBytes+1); !isErrno(r, kernel.EINVAL) {
+		t.Fatalf("oversized vCap = %#x, want -EINVAL", r)
 	}
 }
 

@@ -42,8 +42,10 @@ func (kv *KV) tenant(name string) *kvTenant {
 	return t
 }
 
-// Get copies the value for key into dst, returning the number of bytes
-// copied (clamped to len(dst)) or a kernel errno (>0) when absent.
+// Get copies up to len(dst) bytes of the value for key into dst,
+// returning the FULL value length — callers compare it against their
+// capacity to detect a truncated read — or a kernel errno (>0) when the
+// key is absent.
 func (kv *KV) Get(tenant string, key, dst []byte) (int, uint64) {
 	t, ok := kv.tenants[tenant]
 	if !ok {
@@ -53,7 +55,8 @@ func (kv *KV) Get(tenant string, key, dst []byte) (int, uint64) {
 	if !ok {
 		return 0, kernel.ENOENT
 	}
-	return copy(dst, v), 0
+	copy(dst, v)
+	return len(v), 0
 }
 
 // Put stores a copy of val under key, enforcing the tenant quota. A
