@@ -1,0 +1,49 @@
+// Command hfilint runs the repository's custom static checks
+// (internal/lint): the negated-errno return convention in the hostcall
+// layer, and the closed verifier rule vocabulary — every violation rule
+// string registered, every registered rule used. It is part of
+// `make verify`.
+//
+// Usage:
+//
+//	hfilint            # lint the repository containing the cwd
+//	hfilint -root DIR  # lint an explicit repository root
+//
+// Exit status: 0 if clean, 1 if any issue, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hfi/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "repository root (default: walk up from cwd to go.mod)")
+	flag.Parse()
+
+	r := *root
+	if r == "" {
+		var err error
+		r, err = lint.FindRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfilint:", err)
+			os.Exit(2)
+		}
+	}
+	issues, err := lint.Run(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfilint:", err)
+		os.Exit(2)
+	}
+	for _, i := range issues {
+		fmt.Println(i)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "hfilint: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+	fmt.Println("hfilint: clean")
+}

@@ -12,6 +12,7 @@
 //	hfiverify -class hostcall      # one workload class (the boundary guests)
 //	hfiverify -scheme masking      # all workloads, one scheme
 //	hfiverify -v                   # print every violation, not just the first
+//	hfiverify -facts               # emit + audit the proof-fact artifact per program
 //	hfiverify -mutate              # also run the mutation soundness bench (fast)
 //	hfiverify -mutate -full        # ... full corpus and site counts
 //
@@ -75,6 +76,7 @@ func main() {
 		class      = flag.String("class", "", "verify only workloads of this class (sightglass, spec, faas, library, hostcall)")
 		schemeName = flag.String("scheme", "", "verify only under this scheme")
 		verbose    = flag.Bool("v", false, "print every violation, not just the first")
+		facts      = flag.Bool("facts", false, "run the analyzer, print the proof-fact summary, and audit the artifact")
 		mutate     = flag.Bool("mutate", false, "run the mutation soundness bench after the corpus sweep")
 		full       = flag.Bool("full", false, "with -mutate: full corpus and site counts")
 	)
@@ -101,7 +103,11 @@ func main() {
 			continue
 		}
 		for _, scheme := range schemes {
-			if !verifyOne(e, scheme, *verbose) {
+			if *facts {
+				if !factsOne(e, scheme, *verbose) {
+					failed = true
+				}
+			} else if !verifyOne(e, scheme, *verbose) {
 				failed = true
 			}
 			checked++
@@ -141,6 +147,39 @@ func verifyOne(e entry, scheme sfi.Scheme, verbose bool) bool {
 		return false
 	}
 	fmt.Printf("  ok   %-18s %-12v %5d instrs  %8v\n", e.name, scheme, len(inst.C.Prog.Instrs), elapsed.Round(time.Microsecond))
+	return true
+}
+
+// factsOne runs the fact-producing analysis instead of the boolean gate,
+// prints the artifact's summary, and immediately audits it with the
+// independent re-checker — the same double-entry bookkeeping verify.sh
+// applies over the corpus.
+func factsOne(e entry, scheme sfi.Scheme, verbose bool) bool {
+	rt := sandbox.NewRuntime()
+	inst, err := rt.Instantiate(e.mod(), scheme, wasm.Options{})
+	if err != nil {
+		report(e.name, scheme, err, verbose)
+		return false
+	}
+	cfg := wasm.VerifyConfig(inst.C)
+	start := time.Now()
+	f, err := verifier.Analyze(inst.C.Prog, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		report(e.name, scheme, err, verbose)
+		return false
+	}
+	if err := verifier.AuditFacts(inst.C.Prog, cfg, f); err != nil {
+		fmt.Printf("  FAIL %-18s %-12v audit rejected the analyzer's own artifact: %v\n", e.name, scheme, err)
+		return false
+	}
+	s := f.Summary()
+	cov := 100.0
+	if s.HeapOps > 0 {
+		cov = 100 * float64(f.Covered) / float64(f.HeapOps)
+	}
+	fmt.Printf("  ok   %-18s %-12v %5d instrs  mem %3d  res %3d  dom %3d  hfi %3d  hc %2d  heap-cov %3.0f%%  %8v\n",
+		e.name, scheme, len(inst.C.Prog.Instrs), s.MemOps, s.Resident, s.Dominated, s.HfiHeap, s.HostcallSites, cov, elapsed.Round(time.Microsecond))
 	return true
 }
 

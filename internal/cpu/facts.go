@@ -1,0 +1,235 @@
+package cpu
+
+import (
+	"sort"
+
+	"hfi/internal/hfi"
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+)
+
+// Verifier-proven elision facts. The interpreter consumes a per-program
+// ElisionFacts artifact (attached by the runtime after verification) to
+// skip the dynamic page-decision lookup for accesses the verifier already
+// proved safe — the paper's §4 argument that checks proven once should not
+// be paid per access. The artifact is advisory with respect to the current
+// machine state: every claim is gated at runtime on generation tags and a
+// lazy re-validation of the claimed windows against the live page table
+// and HFI bank, so stale or mismatched facts simply fall back to the full
+// dynamic checks rather than trusting anything.
+//
+// The bit values mirror internal/verifier's Fact* constants (cpu cannot
+// import verifier — the verifier imports nothing below the ISA, and the
+// runtime layers above both do the conversion); sandbox asserts the
+// correspondence in a test.
+const (
+	// FactResident: a plain load/store proven inside one of Windows.
+	FactResident uint8 = 1 << iota
+	// FactDominated: an identical, provably dominating check covers this
+	// access; valid only while the run entered the program at Entry and no
+	// fault was resumed (Interp.domSafe).
+	FactDominated
+	// FactHfiHeap: an hld/hst whose region operand the verifier proved
+	// well-formed; the HFI bounds check (ExplicitEA) still runs, only the
+	// MMU lookup behind it is elidable.
+	FactHfiHeap
+	// FactHostcall is carried for bit-layout parity; the interpreter does
+	// not consume it (hostcall marshalling re-checks stay on).
+	FactHostcall
+)
+
+// FactWindow is a half-open address range the producer claims the runtime
+// keeps mapped read+write. The machine re-validates it before use.
+type FactWindow struct{ Lo, Hi uint64 }
+
+// ElisionFacts is the interpreter-facing projection of a verifier Facts
+// artifact for one loaded program.
+type ElisionFacts struct {
+	// Entry is the absolute address of the program entry the dominator
+	// proofs are rooted at.
+	Entry uint64
+	// Bits holds per-instruction fact bits; WinOf is parallel and names
+	// the Windows index backing a FactResident claim (-1 otherwise).
+	Bits    []uint8
+	WinOf   []int16
+	Windows []FactWindow
+}
+
+// factGate is the machine's lazily validated view of the current facts
+// artifact: per-window and per-explicit-region validation results, tagged
+// with the HFI and mapping generations they were computed under. Any HFI
+// state write or mapping change invalidates the whole gate without the
+// mutating code knowing it exists — the same discipline as the DTC.
+type factGate struct {
+	hfiGen uint64
+	mapGen uint64
+	genOK  bool
+	// winST: per Windows entry, 0 unknown / 1 valid / 2 invalid.
+	winST []uint8
+	// exOK: per explicit region, same encoding.
+	exOK [hfi.NumExplicitRegions]uint8
+}
+
+// AttachFacts associates an elision-facts artifact with a loaded program.
+// Passing nil detaches. The artifact must stay immutable while attached.
+func (m *Machine) AttachFacts(p *isa.Program, f *ElisionFacts) {
+	if m.facts == nil {
+		m.facts = make(map[*isa.Program]*ElisionFacts)
+	}
+	if f == nil {
+		delete(m.facts, p)
+	} else {
+		m.facts[p] = f
+	}
+	m.resetFactMirror()
+}
+
+// resetFactMirror drops the per-program fast-lookup mirror and the gate.
+func (m *Machine) resetFactMirror() {
+	m.fcBase, m.fcEnd, m.fcF = 0, 0, nil
+	m.fgate.genOK = false
+}
+
+// factBits returns the fact bits at pc and the artifact they came from
+// (nil when the containing program has no facts). The common case is one
+// range check and an index into the mirrored artifact.
+func (m *Machine) factBits(pc uint64) (uint8, *ElisionFacts) {
+	if pc-m.fcBase < m.fcEnd-m.fcBase {
+		if m.fcF == nil {
+			return 0, nil
+		}
+		return m.fcF.Bits[(pc-m.fcBase)/isa.InstrBytes], m.fcF
+	}
+	return m.factBitsSlow(pc)
+}
+
+func (m *Machine) factBitsSlow(pc uint64) (uint8, *ElisionFacts) {
+	i := sort.Search(len(m.progs), func(i int) bool { return m.progs[i].End() > pc })
+	if i == len(m.progs) || pc < m.progs[i].Base {
+		return 0, nil
+	}
+	p := m.progs[i]
+	f := m.facts[p] // nil is cached too: facts-less programs stay one range check
+	m.fcBase, m.fcEnd, m.fcF = p.Base, p.End(), f
+	m.fgate.genOK = false // window table changed with the artifact
+	if f == nil {
+		return 0, nil
+	}
+	return f.Bits[(pc-p.Base)/isa.InstrBytes], f
+}
+
+// factGateSync re-tags the gate against the live HFI and mapping
+// generations, clearing all cached validation results when either moved.
+func (m *Machine) factGateSync() {
+	g := &m.fgate
+	if g.genOK && g.hfiGen == m.HFI.Gen && g.mapGen == m.AS.Gen() {
+		return
+	}
+	g.hfiGen, g.mapGen, g.genOK = m.HFI.Gen, m.AS.Gen(), true
+	n := len(m.fcF.Windows)
+	if cap(g.winST) < n {
+		g.winST = make([]uint8, n)
+	} else {
+		g.winST = g.winST[:n]
+		for i := range g.winST {
+			g.winST[i] = 0
+		}
+	}
+	g.exOK = [hfi.NumExplicitRegions]uint8{}
+}
+
+// factWindowValid lazily validates one claimed window against the live
+// machine: the whole range mapped read+write, and — while HFI is enabled —
+// every page's data decision uniform and read+write. The result is cached
+// until a generation moves.
+func (m *Machine) factWindowValid(w int) bool {
+	g := &m.fgate
+	switch g.winST[w] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	win := m.fcF.Windows[w]
+	ok := win.Hi > win.Lo && m.AS.CheckRange(win.Lo, win.Hi-win.Lo, kernel.ProtRead|kernel.ProtWrite)
+	if ok && m.HFI.Enabled {
+		for page := win.Lo &^ uint64(kernel.OSPageSize - 1); page < win.Hi; page += kernel.OSPageSize {
+			r, wr, uniform := m.HFI.DataPageDecision(page, kernel.OSPageSize)
+			if !uniform || !r || !wr {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		g.winST[w] = 1
+	} else {
+		g.winST[w] = 2
+	}
+	return ok
+}
+
+// factElidePlain reports whether the dynamic page-decision lookup for a
+// plain load/store at pc may be skipped: either the access is proven
+// resident in a window the live machine re-validated (the concrete address
+// is compared against the window as hardening against a bad artifact), or
+// an identical dominating check already ran this run (domSafe).
+func (m *Machine) factElidePlain(pc, addr uint64, size uint8, domSafe bool) bool {
+	bits, f := m.factBits(pc)
+	if bits&(FactResident|FactDominated) == 0 {
+		return false
+	}
+	m.factGateSync()
+	if bits&FactResident != 0 {
+		if w := int(f.WinOf[(pc-m.fcBase)/isa.InstrBytes]); w >= 0 && w < len(f.Windows) && m.factWindowValid(w) {
+			win := f.Windows[w]
+			if addr >= win.Lo && addr < win.Hi && uint64(size) <= win.Hi-addr {
+				return true
+			}
+		}
+	}
+	return bits&FactDominated != 0 && domSafe
+}
+
+// factElideHfi reports whether the MMU lookup behind an hld/hst at pc may
+// be skipped: the verifier proved the access shape, ExplicitEA has already
+// bounds-checked the address into region hreg this very access, and the
+// region's whole span is re-validated read+write against the live page
+// table (cached per generation).
+func (m *Machine) factElideHfi(pc uint64, hreg int) bool {
+	bits, _ := m.factBits(pc)
+	if bits&FactHfiHeap == 0 || hreg < 0 || hreg >= hfi.NumExplicitRegions {
+		return false
+	}
+	m.factGateSync()
+	g := &m.fgate
+	switch g.exOK[hreg] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	r := &m.HFI.Bank.Expl[hreg]
+	ok := r.Valid && r.Bound > 0 && m.AS.CheckRange(r.Base, r.Bound, kernel.ProtRead|kernel.ProtWrite)
+	if ok {
+		g.exOK[hreg] = 1
+	} else {
+		g.exOK[hreg] = 2
+	}
+	return ok
+}
+
+// factRunEntrySafe reports whether dominated-check elision is admissible
+// for a run starting at pc: the run must enter any facts-carrying program
+// at its entry (the root of the dominator proofs). Runs starting outside
+// facts programs are safe — the trusted springboards only transfer into a
+// guest at its entry, and verified guest code cannot branch out of its own
+// program.
+func (m *Machine) factRunEntrySafe(pc uint64) bool {
+	for p, f := range m.facts {
+		if pc >= p.Base && pc < p.End() && pc != f.Entry {
+			return false
+		}
+	}
+	return true
+}

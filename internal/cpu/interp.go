@@ -73,6 +73,19 @@ type Interp struct {
 	// (the differential tests assert this); the flag exists so they can.
 	NoFastPath bool
 
+	// TrustFacts enables the verifier-fact elision path (facts.go): the
+	// dynamic page-decision lookup is skipped for accesses carrying a
+	// runtime-re-validated proof, while the cost model is billed
+	// identically. Default on (NewInterp); orthogonal to NoFastPath so
+	// the differential tests can cross the two.
+	TrustFacts bool
+
+	// domSafe, per run, admits dominated-check elision: set at Run entry
+	// when the machine enters facts-carrying code at its proof root, and
+	// cleared for the rest of the run once any fault is resumed (the
+	// handler may transfer control past the dominating check).
+	domSafe bool
+
 	milliCycles uint64
 
 	// costTab holds the per-opcode dispatch charge precomputed from Cost,
@@ -87,7 +100,7 @@ type Interp struct {
 // NewInterp returns an interpreter over m with the default cost model and
 // caches enabled.
 func NewInterp(m *Machine) *Interp {
-	return &Interp{M: m, Cost: DefaultCostModel(), UseCaches: true}
+	return &Interp{M: m, Cost: DefaultCostModel(), UseCaches: true, TrustFacts: true}
 }
 
 // buildCostTab precomputes the dispatch charge for every opcode from the
@@ -169,6 +182,7 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 	if maxInstrs == 0 {
 		maxInstrs = ^uint64(0) // unlimited; one compare in the loop header
 	}
+	ip.domSafe = ip.TrustFacts && m.factRunEntrySafe(m.PC)
 	for n := uint64(0); n < maxInstrs; n++ {
 		pc := m.PC
 		if pc == HostReturn {
@@ -314,6 +328,14 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				if m.HFI.Enabled {
 					m.HFI.ChecksData++
 				}
+			} else if ip.TrustFacts && m.factElidePlain(pc, addr, in.Size, ip.domSafe) {
+				// Elision path: a verifier fact, re-validated against the
+				// live machine, proves this access passes both checks.
+				// Counters and cost stay identical to the other paths.
+				if m.HFI.Enabled {
+					m.HFI.ChecksData++
+				}
+				m.FactElisions++
 			} else {
 				if f := m.HFI.CheckData(addr, in.Size, write); f != nil {
 					if res, ok := ip.fault(pc, addr, f, false); !ok {
@@ -350,7 +372,13 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 				}
 				continue
 			}
-			if !m.checkMMU(addr, in.Size, write) {
+			if ip.TrustFacts && m.factElideHfi(pc, int(in.HReg)) {
+				// ExplicitEA (the fault source) has already bounds-checked
+				// the address into the region; the fact gate re-validated
+				// the region's span against the page table, so the MMU
+				// lookup is redundant.
+				m.FactElisions++
+			} else if !m.checkMMU(addr, in.Size, write) {
 				if res, ok := ip.fault(pc, addr, nil, true); !ok {
 					return res
 				}
@@ -559,6 +587,10 @@ func (ip *Interp) fault(pc, addr uint64, f *hfi.Fault, pageFault bool) (RunResul
 	if resume == 0 {
 		return RunResult{Reason: StopFault, Fault: f, PageFault: pageFault, FaultAddr: addr, FaultPC: pc}, false
 	}
+	// The handler chose the resume point; control may now bypass a
+	// dominating check, so dominated-check elision is off for the rest of
+	// this run.
+	ip.domSafe = false
 	ip.M.PC = resume
 	return RunResult{}, true
 }

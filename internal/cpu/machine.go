@@ -137,6 +137,20 @@ type Machine struct {
 	// not the MMU). HFI state is the decision's only input, so the entry
 	// carries just the HFI generation tag.
 	epc epcEntry
+
+	// facts holds verifier-proven elision facts per loaded program (see
+	// facts.go); fcBase/fcEnd/fcF mirror the entry for the program of the
+	// most recent lookup (fcF nil caches "no facts"), and fgate holds the
+	// lazily re-validated runtime view of the mirrored artifact.
+	facts map[*isa.Program]*ElisionFacts
+	fcBase uint64
+	fcEnd  uint64
+	fcF    *ElisionFacts
+	fgate  factGate
+
+	// FactElisions counts dynamic checks skipped on the strength of a
+	// fact (not part of the architectural state; benchmarks read it).
+	FactElisions uint64
 }
 
 // dtcEntry caches the access decision for every access wholly inside one OS
@@ -250,6 +264,7 @@ func (m *Machine) fetchAt(pc uint64) *isa.Instr {
 func (m *Machine) invalidateFetchCache() {
 	m.ccBase, m.ccLimit, m.ccInstrs = 0, 0, nil
 	m.lastProg = 0
+	m.resetFactMirror()
 }
 
 // FlushDTC invalidates the interpreter's decision caches (the data
@@ -259,6 +274,7 @@ func (m *Machine) invalidateFetchCache() {
 func (m *Machine) FlushDTC() {
 	m.dtc = dtcEntry{}
 	m.epc = epcEntry{}
+	m.resetFactMirror()
 }
 
 // epcHit reports whether the cached exec decision covers and permits a fetch

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hfi/internal/cpu"
+	"hfi/internal/sandbox"
+	"hfi/internal/sfi"
+	"hfi/internal/stats"
+	"hfi/internal/wasm"
+	"hfi/internal/workloads"
+)
+
+// FactsElisionScheme is one scheme's row in the proof-fact elision
+// experiment: how many dynamic memory checks the verifier-emitted facts
+// let the interpreter skip across the Sightglass corpus, and what that
+// does to simulator throughput. "Checks" counts every data access the
+// interpreter mediates (page-decision lookup, bounds/mask check, or HFI
+// region walk); an elided check is one the static proof discharged, so
+// only the raw memory read/write remains.
+type FactsElisionScheme struct {
+	Scheme string
+
+	Instret  uint64 // guest instructions retired over the corpus pass
+	Accesses uint64 // data accesses (= dynamic checks with TrustFacts off)
+	Elisions uint64 // checks discharged statically with TrustFacts on
+
+	ChecksPerInstrOff float64 // Accesses / Instret
+	ChecksPerInstrOn  float64 // (Accesses - Elisions) / Instret
+	ReductionPP       float64 // percentage-point drop in checks per instr
+
+	HeapOps int // heap memory operations in the corpus programs
+	Covered int // of those, sites carrying an elidable fact
+
+	OffInstrsPerSec float64 // host throughput, TrustFacts off
+	OnInstrsPerSec  float64 // host throughput, TrustFacts on
+	Speedup         float64
+}
+
+// FactsElision is the full experiment result (BENCH_PR7.json).
+type FactsElision struct {
+	Schemes []FactsElisionScheme
+}
+
+// corpusPass invokes every Sightglass workload once under scheme with the
+// given TrustFacts setting, counting retired instructions, data accesses
+// (via MemHook, which observes every access whether or not its check was
+// elided), and elisions.
+func corpusPass(scheme sfi.Scheme, trust bool) (instret, accesses, elisions uint64, heapOps, covered int, err error) {
+	for _, w := range workloads.Sightglass() {
+		rt := sandbox.NewRuntime()
+		inst, ierr := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
+		if ierr != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s/%v: %w", w.Name, scheme, ierr)
+		}
+		m := rt.M
+		m.MemHook = func(pc, addr uint64, size uint8, write bool) { accesses++ }
+		ip := cpu.NewInterp(m)
+		ip.TrustFacts = trust
+		if res, _ := inst.Invoke(ip, 500_000_000); res.Reason != cpu.StopHalt {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s/%v: stop %v", w.Name, scheme, res.Reason)
+		}
+		m.MemHook = nil
+		instret += m.Instret
+		elisions += m.FactElisions
+		if trust && inst.C.Facts != nil {
+			heapOps += inst.C.Facts.HeapOps
+			covered += inst.C.Facts.Covered
+		}
+	}
+	return instret, accesses, elisions, heapOps, covered, nil
+}
+
+// measureCorpusThroughput loops the corpus (no hooks, caches warm) until
+// minInstrs retire, returning guest instructions per host second.
+func measureCorpusThroughput(scheme sfi.Scheme, trust bool, minInstrs uint64) (float64, error) {
+	type warmInst struct {
+		inst *sandbox.Instance
+		ip   *cpu.Interp
+	}
+	var warm []warmInst
+	for _, w := range workloads.Sightglass() {
+		rt := sandbox.NewRuntime()
+		inst, err := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
+		if err != nil {
+			return 0, err
+		}
+		ip := cpu.NewInterp(rt.M)
+		ip.TrustFacts = trust
+		if res, _ := inst.Invoke(ip, 500_000_000); res.Reason != cpu.StopHalt {
+			return 0, fmt.Errorf("%s/%v warmup: stop %v", w.Name, scheme, res.Reason)
+		}
+		warm = append(warm, warmInst{inst, ip})
+	}
+	var done uint64
+	t0 := time.Now()
+	for done < minInstrs {
+		for _, wi := range warm {
+			before := wi.inst.RT.M.Instret
+			if res, _ := wi.inst.Invoke(wi.ip, 500_000_000); res.Reason != cpu.StopHalt {
+				return 0, fmt.Errorf("throughput: stop %v", res.Reason)
+			}
+			done += wi.inst.RT.M.Instret - before
+		}
+	}
+	return float64(done) / time.Since(t0).Seconds(), nil
+}
+
+// RunFactsElision measures, per scheme, the dynamic-check elision the
+// verifier's proof facts buy on the Sightglass corpus: checks per
+// instruction with the facts ignored vs trusted, static heap-op coverage,
+// and interpreter throughput both ways.
+func RunFactsElision(minInstrs uint64) (FactsElision, *stats.Table, error) {
+	var out FactsElision
+	for _, scheme := range []sfi.Scheme{sfi.HFI, sfi.GuardPages, sfi.BoundsCheck} {
+		instret, accesses, _, _, _, err := corpusPass(scheme, false)
+		if err != nil {
+			return out, nil, err
+		}
+		instretOn, accessesOn, elisions, heapOps, covered, err := corpusPass(scheme, true)
+		if err != nil {
+			return out, nil, err
+		}
+		if instretOn != instret || accessesOn != accesses {
+			return out, nil, fmt.Errorf("%v: facts-on pass diverged architecturally (%d/%d instrs, %d/%d accesses)",
+				scheme, instretOn, instret, accessesOn, accesses)
+		}
+		row := FactsElisionScheme{
+			Scheme:   scheme.String(),
+			Instret:  instret,
+			Accesses: accesses,
+			Elisions: elisions,
+			HeapOps:  heapOps,
+			Covered:  covered,
+		}
+		row.ChecksPerInstrOff = float64(accesses) / float64(instret)
+		row.ChecksPerInstrOn = float64(accesses-elisions) / float64(instret)
+		row.ReductionPP = 100 * (row.ChecksPerInstrOff - row.ChecksPerInstrOn)
+		if row.OffInstrsPerSec, err = measureCorpusThroughput(scheme, false, minInstrs); err != nil {
+			return out, nil, err
+		}
+		if row.OnInstrsPerSec, err = measureCorpusThroughput(scheme, true, minInstrs); err != nil {
+			return out, nil, err
+		}
+		row.Speedup = row.OnInstrsPerSec / row.OffInstrsPerSec
+		out.Schemes = append(out.Schemes, row)
+	}
+
+	tb := &stats.Table{
+		Title:   "Facts: verifier-proof check elision on Sightglass (checks/instr, coverage, host throughput)",
+		Columns: []string{"scheme", "checks/instr off", "checks/instr on", "reduction (pp)", "heap-op coverage", "instrs/s off", "instrs/s on", "speedup"},
+	}
+	for _, r := range out.Schemes {
+		cov := "n/a"
+		if r.HeapOps > 0 {
+			cov = fmt.Sprintf("%d/%d (%.0f%%)", r.Covered, r.HeapOps, 100*float64(r.Covered)/float64(r.HeapOps))
+		}
+		tb.AddRow(r.Scheme,
+			fmt.Sprintf("%.4f", r.ChecksPerInstrOff),
+			fmt.Sprintf("%.4f", r.ChecksPerInstrOn),
+			fmt.Sprintf("%.2f", r.ReductionPP),
+			cov,
+			fmt.Sprintf("%.1fM", r.OffInstrsPerSec/1e6),
+			fmt.Sprintf("%.1fM", r.OnInstrsPerSec/1e6),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	tb.AddNote("off = TrustFacts disabled (every access dynamically mediated); on = default interpreter, verifier facts elide proven checks; architectural state is differentially identical either way")
+	return out, tb, nil
+}

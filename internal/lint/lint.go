@@ -1,0 +1,284 @@
+// Package lint implements the repository's custom static checks — the
+// invariants gofmt and go vet cannot see because they are contracts of
+// this codebase, not of Go:
+//
+//   - Hostcall handlers return errnos negated (the kernel-style negative
+//     return convention the guests decode). A handler that returns a raw
+//     positive kernel.E* would read as a huge successful byte count on the
+//     guest side, so any single-valued `return kernel.EXXX` in an Env
+//     method is an error. The rule is scoped to the handler surface —
+//     methods on Env — because the resource layer beneath it (the KV
+//     store, checkIn/checkOut) documents positive errnos as its API and
+//     relies on the dispatch layer to negate at the boundary.
+//
+//   - Every verifier rule string is registered. Violation rules are the
+//     verifier's public vocabulary — admission stats, the CLI, and the
+//     mutation bench key on them — so each violate() call site must pass a
+//     string literal that appears in ruleRegistry, and every registry
+//     entry must be used by at least one call site (a dead entry is a
+//     misspelling waiting to happen). Uniqueness is by construction: the
+//     registry is a map literal, and duplicate keys do not compile.
+//
+// The checker is pure go/ast + go/parser (the module has no dependencies,
+// so golang.org/x/tools analysis frameworks are off the table) and runs as
+// cmd/hfilint inside `make verify`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Issue is one finding, formatted file:line: message.
+type Issue struct {
+	Pos string
+	Msg string
+}
+
+func (i Issue) String() string { return i.Pos + ": " + i.Msg }
+
+// FindRoot walks up from dir to the directory containing go.mod.
+func FindRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run applies every check to the repository rooted at root and returns
+// the findings, sorted by position.
+func Run(root string) ([]Issue, error) {
+	var issues []Issue
+
+	hc, fset, err := parseDir(filepath.Join(root, "internal", "hostcall"))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range hc {
+		issues = append(issues, lintErrnoReturns(fset, f)...)
+	}
+
+	ver, vfset, err := parseDir(filepath.Join(root, "internal", "verifier"))
+	if err != nil {
+		return nil, err
+	}
+	registry := map[string]bool{}
+	for _, f := range ver {
+		for k := range collectRegistry(f) {
+			registry[k] = true
+		}
+	}
+	if len(registry) == 0 {
+		return nil, fmt.Errorf("lint: ruleRegistry not found in internal/verifier")
+	}
+	used := map[string]bool{}
+	for _, f := range ver {
+		uses, bad := collectRuleUses(vfset, f)
+		issues = append(issues, bad...)
+		for _, u := range uses {
+			used[u.rule] = true
+			if !registry[u.rule] {
+				issues = append(issues, Issue{u.pos, fmt.Sprintf("rule %q is not in ruleRegistry", u.rule)})
+			}
+		}
+	}
+	for r := range registry {
+		if !used[r] {
+			issues = append(issues, Issue{"internal/verifier/rules.go", fmt.Sprintf("registered rule %q has no violate() call site", r)})
+		}
+	}
+
+	sort.Slice(issues, func(i, j int) bool { return issues[i].Pos < issues[j].Pos })
+	return issues, nil
+}
+
+// parseDir parses every non-test .go file in dir.
+func parseDir(dir string) ([]*ast.File, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	return files, fset, nil
+}
+
+var errnoName = regexp.MustCompile(`^E[A-Z0-9]+$`)
+
+// lintErrnoReturns flags single-valued returns of a bare kernel.E*
+// selector inside Env methods: the negative-errno ABI requires negErrno()
+// around them. Functions and methods on other receivers are the resource
+// layer, whose positive-errno returns are their documented API.
+func lintErrnoReturns(fset *token.FileSet, f *ast.File) []Issue {
+	var issues []Issue
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !isEnvMethod(fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			sel, ok := ret.Results[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "kernel" || !errnoName.MatchString(sel.Sel.Name) {
+				return true
+			}
+			issues = append(issues, Issue{
+				posOf(fset, ret.Pos()),
+				fmt.Sprintf("handler returns positive errno kernel.%s; wrap it in negErrno()", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return issues
+}
+
+// isEnvMethod reports whether fd is a method on Env or *Env — the
+// hostcall handler surface the negation rule governs.
+func isEnvMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Env"
+}
+
+type ruleUse struct {
+	rule string
+	pos  string
+}
+
+// collectRuleUses gathers the rule string of every violate(idx, rule, ...)
+// call and every Violation{Rule: ...} composite literal. A rule argument
+// that is not a string literal is itself an issue: the registry
+// cross-check only works over literals.
+func collectRuleUses(fset *token.FileSet, f *ast.File) ([]ruleUse, []Issue) {
+	var uses []ruleUse
+	var issues []Issue
+	record := func(expr ast.Expr, allowIdent bool) {
+		if lit, ok := expr.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			s, err := strconv.Unquote(lit.Value)
+			if err == nil {
+				uses = append(uses, ruleUse{s, posOf(fset, lit.Pos())})
+				return
+			}
+		}
+		// A bare identifier inside a Violation literal is a forwarded
+		// parameter (the violate() implementation itself); its value is
+		// checked at the violate() call sites, which must be literals.
+		if allowIdent {
+			if _, ok := expr.(*ast.Ident); ok {
+				return
+			}
+		}
+		issues = append(issues, Issue{posOf(fset, expr.Pos()), "violation rule is not a string literal; the registry cross-check cannot see it"})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "violate" && len(n.Args) >= 2 {
+				record(n.Args[1], false)
+			}
+		case *ast.CompositeLit:
+			id, ok := n.Type.(*ast.Ident)
+			if !ok || id.Name != "Violation" {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Rule" {
+					record(kv.Value, true)
+				}
+			}
+		}
+		return true
+	})
+	return uses, issues
+}
+
+// collectRegistry extracts the keys of the ruleRegistry map literal, if
+// this file declares it.
+func collectRegistry(f *ast.File) map[string]bool {
+	keys := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "ruleRegistry" || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if s, err := strconv.Unquote(lit.Value); err == nil {
+							keys[s] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys
+}
+
+func posOf(fset *token.FileSet, p token.Pos) string {
+	pos := fset.Position(p)
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

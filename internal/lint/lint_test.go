@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestRepoIsClean runs the full linter over the repository itself: the
+// hostcall layer and the verifier must satisfy their own contracts.
+func TestRepoIsClean(t *testing.T) {
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range issues {
+		t.Errorf("%s", i)
+	}
+}
+
+// TestErrnoReturnRule feeds the errno check synthetic good and bad
+// handlers and pins which shapes it flags.
+func TestErrnoReturnRule(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		bad  int
+	}{
+		{"raw positive errno", `package p
+func (e *Env) h() uint64 { return kernel.EINVAL }`, 1},
+		{"negated errno", `package p
+func (e *Env) h() uint64 { return negErrno(kernel.EINVAL) }`, 0},
+		{"two-valued helper is exempt", `package p
+func (e *Env) checkIn() ([]byte, uint64) { return nil, kernel.EFAULT }`, 0},
+		{"non-errno selector untouched", `package p
+func (e *Env) h() uint64 { return kernel.OSPageSize }`, 0},
+		{"two raw returns", `package p
+func (e *Env) h() uint64 { if x { return kernel.EIO }; return kernel.EBADF }`, 2},
+		{"resource layer is out of scope", `package p
+func (kv *KV) Put() uint64 { return kernel.EDQUOT }
+func free() uint64 { return kernel.ENOENT }`, 0},
+	}
+	for _, c := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "synthetic.go", c.src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := lintErrnoReturns(fset, f)
+		if len(got) != c.bad {
+			t.Errorf("%s: %d issues, want %d: %v", c.name, len(got), c.bad, got)
+		}
+	}
+}
+
+// TestRuleUseCollection pins the violate()/Violation{} extraction,
+// including the non-literal-rule finding.
+func TestRuleUseCollection(t *testing.T) {
+	src := `package p
+func f() {
+	v.violate(3, "mem-window", "x")
+	a.violate(-1, "fact-shape", "y")
+	v.violate(0, ruleVar, "computed rule")
+	_ = &Violation{Rule: "syscall", Index: 1}
+	_ = &Violation{Rule: forwarded, Index: 2} // violate() itself: fine
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uses, issues := collectRuleUses(fset, f)
+	want := map[string]bool{"mem-window": true, "fact-shape": true, "syscall": true}
+	if len(uses) != len(want) {
+		t.Fatalf("uses = %v, want keys %v", uses, want)
+	}
+	for _, u := range uses {
+		if !want[u.rule] {
+			t.Errorf("unexpected rule use %q", u.rule)
+		}
+	}
+	if len(issues) != 1 {
+		t.Errorf("issues = %v, want exactly the non-literal finding", issues)
+	}
+}
+
+// TestRegistryExtraction pins ruleRegistry key collection.
+func TestRegistryExtraction(t *testing.T) {
+	src := `package p
+var ruleRegistry = map[string]string{
+	"alpha": "first",
+	"beta":  "second",
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fset
+	keys := collectRegistry(f)
+	if !keys["alpha"] || !keys["beta"] || len(keys) != 2 {
+		t.Errorf("registry keys = %v", keys)
+	}
+}

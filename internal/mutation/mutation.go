@@ -389,6 +389,9 @@ func Run(opts Options) (*Report, error) {
 			if err := runOne(rep, w, scheme, maxSites, limit); err != nil {
 				return nil, fmt.Errorf("mutation: %s/%v: %w", w.Name, scheme, err)
 			}
+			if err := runFactOps(rep, w, scheme, maxSites, limit); err != nil {
+				return nil, fmt.Errorf("mutation facts: %s/%v: %w", w.Name, scheme, err)
+			}
 		}
 	}
 	return rep, nil

@@ -37,6 +37,42 @@ func TestMutationGate(t *testing.T) {
 		rep.Total, rep.Unsafe(), rep.Killed, rep.KillRate()*100, rep.Harmless, rep.Equivalent)
 }
 
+// TestFactOperatorsAuditKill pins the proof-artifact half of the fault
+// model: every fact-corruption mutant — a widened resident interval, a
+// forged residency bit, a fabricated domination claim — must be present in
+// the sweep and rejected by verifier.AuditFacts before it ever runs. A
+// corrupted artifact that reaches execution would have the runtime gates
+// and the escape oracle as last lines, but the audit is required to kill
+// 100% on its own.
+func TestFactOperatorsAuditKill(t *testing.T) {
+	rep, err := Run(Options{Fast: true})
+	if err != nil {
+		t.Fatalf("mutation run: %v", err)
+	}
+	factOps := map[string]int{
+		"widen-fact-interval":  0,
+		"forge-resident-fact":  0,
+		"fake-dominated-check": 0,
+	}
+	for _, r := range rep.Results {
+		if _, ok := factOps[r.Operator]; !ok {
+			continue
+		}
+		factOps[r.Operator]++
+		if r.Outcome != KilledStatic {
+			t.Errorf("fact mutant survived the audit: %s/%v %s @%d (%s): outcome %v, %s",
+				r.Workload, r.Scheme, r.Operator, r.Index, r.Instr, r.Outcome, r.Detail)
+		}
+	}
+	for op, n := range factOps {
+		if n == 0 {
+			t.Errorf("no %s mutants generated", op)
+		} else {
+			t.Logf("%s: %d mutants, all audit-killed", op, n)
+		}
+	}
+}
+
 // TestOperatorsCoverEverySchemeMechanism checks the fault model touches
 // each scheme's mediation at least once on a representative kernel:
 // masking must see drop-mask sites, bounds checking nop-check sites,

@@ -1,0 +1,42 @@
+package sandbox
+
+import (
+	"hfi/internal/cpu"
+	"hfi/internal/isa"
+	"hfi/internal/verifier"
+)
+
+// ElisionFromFacts projects a verifier proof artifact into the
+// interpreter-facing cpu.ElisionFacts form: absolute entry address, the
+// per-instruction fact bits (shared — Facts is immutable once built), the
+// resident-window index per instruction, and the window table. The cpu
+// package cannot import the verifier (it sits below it in the layering),
+// so the runtime performs this projection at attach time; facts_test.go
+// pins the bit-value correspondence the shared Bits slice relies on.
+func ElisionFromFacts(p *isa.Program, f *verifier.Facts) *cpu.ElisionFacts {
+	if f == nil || len(f.Bits) != len(p.Instrs) || len(f.Mem) != len(p.Instrs) {
+		return nil
+	}
+	ef := &cpu.ElisionFacts{
+		Entry:   p.Base + uint64(f.Entry)*isa.InstrBytes,
+		Bits:    f.Bits,
+		WinOf:   make([]int16, len(f.Mem)),
+		Windows: make([]cpu.FactWindow, len(f.Windows)),
+	}
+	for i := range f.Mem {
+		ef.WinOf[i] = f.Mem[i].Window
+	}
+	for i, w := range f.Windows {
+		ef.Windows[i] = cpu.FactWindow{Lo: w.Lo, Hi: w.Hi}
+	}
+	return ef
+}
+
+// AttachFacts replaces the elision facts attached to this instance's
+// program (nil detaches). Instantiate attaches the compile-time artifact
+// automatically; this exists for the mutation harness, which runs mutants
+// under deliberately corrupted artifacts to prove the audit pass and the
+// runtime gates hold the line.
+func (inst *Instance) AttachFacts(f *verifier.Facts) {
+	inst.RT.M.AttachFacts(inst.C.Prog, ElisionFromFacts(inst.C.Prog, f))
+}

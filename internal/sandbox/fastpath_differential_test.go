@@ -40,30 +40,47 @@ func hashBytes(data []byte) uint64 {
 }
 
 // TestDifferentialFastPathCorpus runs the full Sightglass corpus under the
-// HFI and guard-page schemes with the interpreter fast paths on and off,
-// and asserts identical architectural outcomes: stop reason, result,
-// registers, retired instructions, cycle counts, simulated clock, heap
-// image, and HFI check counters. The fast paths are pure caching — any
-// divergence here is a bug in their invalidation.
+// HFI and guard-page schemes with the interpreter fast paths and the
+// verifier-fact elision crossed in all four combinations, and asserts
+// identical architectural outcomes against the fully dynamic baseline
+// (NoFastPath=true, TrustFacts=off): stop reason, result, registers,
+// retired instructions, cycle counts, simulated clock, heap image, and HFI
+// check counters. The fast paths are pure caching and the elision path is
+// a pure proof-consumer — any divergence is a bug in cache invalidation or
+// in a fact the verifier should not have emitted. The elided runs must
+// also actually elide (FactElisions > 0), so the equivalence is not
+// vacuous.
 func TestDifferentialFastPathCorpus(t *testing.T) {
 	wls := workloads.Sightglass()
 	if testing.Short() {
 		wls = wls[:4]
 	}
+	type variant struct {
+		noFast, trustFacts bool
+	}
+	variants := []variant{
+		{true, false}, // fully dynamic baseline, snapshot source
+		{false, false},
+		{false, true},
+		{true, true},
+	}
 	for _, w := range wls {
 		for _, scheme := range []sfi.Scheme{sfi.HFI, sfi.GuardPages} {
 			var want runSnapshot
-			for _, noFast := range []bool{false, true} {
+			elided := uint64(0)
+			elidable := uint64(0)
+			for vi, v := range variants {
 				rt := NewRuntime()
 				inst, err := rt.Instantiate(w.Build(1), scheme, wasm.Options{})
 				if err != nil {
 					t.Fatalf("%s/%v: %v", w.Name, scheme, err)
 				}
 				ip := cpu.NewInterp(rt.M)
-				ip.NoFastPath = noFast
+				ip.NoFastPath = v.noFast
+				ip.TrustFacts = v.trustFacts
 				res, r0 := inst.Invoke(ip, 500_000_000)
 				if res.Reason != cpu.StopHalt {
-					t.Fatalf("%s/%v noFast=%v: stop = %v", w.Name, scheme, noFast, res.Reason)
+					t.Fatalf("%s/%v %+v: stop = %v", w.Name, scheme, v, res.Reason)
 				}
 				m := rt.M
 				heap := inst.ReadHeap(0, int(uint64(inst.CurPages)*wasm.PageSize))
@@ -79,11 +96,23 @@ func TestDifferentialFastPathCorpus(t *testing.T) {
 					checksC:   m.HFI.ChecksCode,
 					hfiFaults: m.HFI.Faults,
 				}
-				if !noFast {
+				if v.trustFacts {
+					elided += m.FactElisions
+					s := inst.C.Facts.Summary()
+					elidable = uint64(s.Resident + s.Dominated + s.HfiHeap)
+				}
+				if vi == 0 {
 					want = snap
 				} else if snap != want {
-					t.Fatalf("%s/%v: fast/slow divergence:\nfast: %+v\nslow: %+v", w.Name, scheme, want, snap)
+					t.Fatalf("%s/%v %+v: divergence from dynamic baseline:\nbase: %+v\ngot:  %+v",
+						w.Name, scheme, v, want, snap)
 				}
+			}
+			if elidable > 0 && elided == 0 {
+				// Pure register workloads legitimately carry no elidable
+				// facts; everything else must actually exercise the path.
+				t.Errorf("%s/%v: %d elidable facts but no checks elided; the differential is vacuous",
+					w.Name, scheme, elidable)
 			}
 		}
 	}

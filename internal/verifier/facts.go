@@ -1,0 +1,878 @@
+package verifier
+
+import (
+	"hfi/internal/isa"
+	"hfi/internal/kernel"
+	"hfi/internal/sfi"
+)
+
+// This file promotes the verifier from a boolean gate into an analyzer:
+// Analyze runs the same abstract interpretation Verify does, but keeps the
+// proofs it discharges as a Facts artifact the interpreter can consume to
+// elide dynamic checks (§4's check-hoisting argument: safety proven once
+// should not be re-paid per access). Facts are conservative claims — every
+// bit set is backed by the interval fixpoint plus the CFG dominator pass —
+// and they are re-checkable: AuditFacts re-derives everything from scratch
+// and rejects any claim that does not reproduce.
+
+// Per-instruction fact bits.
+const (
+	// FactResident: a plain load/store whose effective address provably
+	// lies inside one of Facts.Windows — an address range the runtime maps
+	// read+write at instantiate time. Once the runtime re-validates the
+	// window's pages against the live page table and HFI bank (gen-tagged),
+	// the per-access page-decision lookup is redundant.
+	FactResident uint8 = 1 << iota
+	// FactDominated: an identical check (same base/index/scale/disp/size/
+	// direction) provably executes on every path to this instruction with
+	// no intervening redefinition of the address registers and no
+	// state-changing instruction (call, syscall, hostcall, HFI config) in
+	// between, and a concrete dominating site exists in the dominator tree.
+	// The earlier check's outcome therefore equals this one's.
+	FactDominated
+	// FactHfiHeap: an hld/hst whose region operand and displacement the
+	// verifier proved well-formed. The hardware bounds check (ExplicitEA)
+	// still runs — it is the fault source — but the MMU lookup behind it is
+	// redundant once the region's span is validated against the page table.
+	FactHfiHeap
+	// FactHostcall: a direct call to the hostcall gate whose number is a
+	// proven singleton and whose pointer/length arguments are proven inside
+	// the sandbox heap.
+	FactHostcall
+)
+
+// Window is a half-open address range [Lo, Hi) the runtime is expected to
+// have mapped read+write for the lifetime of the instance. Facts never
+// assert the mapping — the interpreter re-validates a window's pages
+// against the live address space and HFI bank before trusting any
+// FactResident claim into it.
+type Window struct{ Lo, Hi uint64 }
+
+// MemFact carries the per-instruction proof detail behind the FactResident
+// and FactDominated bits of one memory operation.
+type MemFact struct {
+	// EA is the joined proven interval of the access's first byte over
+	// every abstract state reaching the instruction.
+	EA   Interval
+	Size uint8
+	// Window indexes Facts.Windows for FactResident claims; -1 otherwise.
+	Window int16
+	// DomSite is the instruction index of a dominating identical check for
+	// FactDominated claims; -1 otherwise.
+	DomSite int32
+}
+
+// HostcallFact is the discharged call-site proof of one direct call to the
+// hostcall gate.
+type HostcallFact struct {
+	Num uint64 // proven singleton hostcall number
+	// BufEnd is the largest proven ptr+len end bound across the
+	// signature's buffer pairs (0 when the signature has none); always
+	// <= Config.MaxBytes.
+	BufEnd uint64
+}
+
+// OpCounts is a scheme-neutral static cost summary of a basic block, by
+// opcode class.
+type OpCounts struct {
+	ALU    int // moves, arithmetic, logic, fences
+	MulDiv int
+	Mem    int // loads and stores, plain and explicit-region
+	Branch int // branches, jumps, calls, rets
+	Other  int
+}
+
+// UniformRange is a maximal run of consecutive memory operations inside
+// one block whose proven effective addresses all fall in one OS page: a
+// tiered engine may hoist their page decision to the run head. From/To are
+// instruction indices, half-open.
+type UniformRange struct {
+	From, To int
+	Page     uint64
+}
+
+// BlockFact summarizes one basic block.
+type BlockFact struct {
+	Start, End int
+	// NoSideExit: no instruction in the block can fault, trap, or halt —
+	// control provably leaves only through the terminator's edges.
+	NoSideExit bool
+	Cost       OpCounts
+	Uniform    []UniformRange
+}
+
+// Facts is the proof artifact Analyze emits alongside a successful
+// verification. It is immutable once built and travels with the verified
+// program through sandbox.CodeCache / faas.Images, so shared warm images
+// carry their proofs.
+type Facts struct {
+	Scheme    sfi.Scheme
+	Entry     int // entry instruction index (EntrySym)
+	NumInstrs int
+	// Bits holds the per-instruction fact bits; Mem is parallel and
+	// meaningful only where a memory-fact bit is set.
+	Bits      []uint8
+	Mem       []MemFact
+	Hostcalls map[int]HostcallFact
+	Windows   []Window
+	Blocks    []BlockFact
+
+	// HeapOps counts linear-memory operations (plain accesses proven into
+	// the heap or an extra memory, plus every hld/hst); Covered counts
+	// those carrying an elidable fact (resident, HFI-heap, or dominated).
+	HeapOps int
+	Covered int
+}
+
+// FactsSummary is the CLI-facing rollup of one Facts artifact.
+type FactsSummary struct {
+	Resident, Dominated, HfiHeap, HostcallSites int
+	MemOps, HeapOps, Covered                    int
+}
+
+// Summary counts facts by kind. MemOps counts every memory instruction;
+// HeapOps/Covered are the elision-coverage numerator and denominator.
+func (f *Facts) Summary() FactsSummary {
+	var s FactsSummary
+	for i, b := range f.Bits {
+		_ = i
+		if b&FactResident != 0 {
+			s.Resident++
+		}
+		if b&FactDominated != 0 {
+			s.Dominated++
+		}
+		if b&FactHfiHeap != 0 {
+			s.HfiHeap++
+		}
+		if b&FactHostcall != 0 {
+			s.HostcallSites++
+		}
+	}
+	s.MemOps = f.memOpCount()
+	s.HeapOps = f.HeapOps
+	s.Covered = f.Covered
+	return s
+}
+
+func (f *Facts) memOpCount() int {
+	// NumInstrs is authoritative; count from Mem entries with a size.
+	n := 0
+	for i := range f.Mem {
+		if f.Mem[i].Size != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the artifact (the mutation harness corrupts copies).
+func (f *Facts) Clone() *Facts {
+	c := *f
+	c.Bits = append([]uint8(nil), f.Bits...)
+	c.Mem = append([]MemFact(nil), f.Mem...)
+	c.Windows = append([]Window(nil), f.Windows...)
+	c.Hostcalls = make(map[int]HostcallFact, len(f.Hostcalls))
+	for k, v := range f.Hostcalls {
+		c.Hostcalls[k] = v
+	}
+	c.Blocks = append([]BlockFact(nil), f.Blocks...)
+	for i := range c.Blocks {
+		c.Blocks[i].Uniform = append([]UniformRange(nil), f.Blocks[i].Uniform...)
+	}
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Production: observation collection during the abstract interpretation.
+
+// factsCollector accumulates per-instruction observations across every
+// abstract visit. Joining over all visits over-approximates the final
+// fixpoint state, so the joined interval covers every concrete execution.
+type factsCollector struct {
+	mem  map[int]*memObs
+	host map[int]*hostObs
+}
+
+type memObs struct {
+	ea    Interval
+	seen  bool // at least one interval-addressed visit
+	frame bool // some visit resolved to a stack-frame (symbolic) address
+	heap  bool // some visit landed in the heap or an extra linear memory
+}
+
+type hostObs struct {
+	num      uint64
+	set      bool
+	conflict bool
+	bufEnd   uint64
+}
+
+func newFactsCollector() *factsCollector {
+	return &factsCollector{mem: map[int]*memObs{}, host: map[int]*hostObs{}}
+}
+
+func (fc *factsCollector) memAt(idx int) *memObs {
+	o := fc.mem[idx]
+	if o == nil {
+		o = &memObs{}
+		fc.mem[idx] = o
+	}
+	return o
+}
+
+// obsMem records one interval-addressed visit of a plain load/store.
+func (v *verification) obsMem(idx int, ea Interval, heapish bool) {
+	if v.fc == nil {
+		return
+	}
+	o := v.fc.memAt(idx)
+	if !o.seen {
+		o.ea, o.seen = ea, true
+	} else {
+		o.ea = o.ea.Join(ea)
+	}
+	o.heap = o.heap || heapish
+}
+
+// obsFrame records a stack-frame visit: the address is symbolic, so the
+// instruction can never carry an interval fact.
+func (v *verification) obsFrame(idx int) {
+	if v.fc == nil {
+		return
+	}
+	v.fc.memAt(idx).frame = true
+}
+
+// obsHostcall records a discharged hostcall call-site proof.
+func (v *verification) obsHostcall(idx int, num, bufEnd uint64) {
+	if v.fc == nil {
+		return
+	}
+	o := v.fc.host[idx]
+	if o == nil {
+		v.fc.host[idx] = &hostObs{num: num, set: true, bufEnd: bufEnd}
+		return
+	}
+	if o.num != num {
+		o.conflict = true
+	}
+	if bufEnd > o.bufEnd {
+		o.bufEnd = bufEnd
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Post-fixpoint derivation.
+
+// residentWindows derives, from the geometry alone, the address ranges the
+// runtime maps read+write at instantiate time: the committed prefix of the
+// heap (the whole reservation for the schemes that commit it up front),
+// the global area, and the committed prefix of each extra memory. The
+// derivation is deliberately independent of the abstract interpretation so
+// AuditFacts can recompute and compare it.
+func residentWindows(cfg *Config) []Window {
+	var ws []Window
+	committed := func(initBytes, reservation uint64) uint64 {
+		m := initBytes
+		switch cfg.Scheme {
+		case sfi.BoundsCheck, sfi.HFI:
+			// These schemes map the whole reservation RW up front.
+			m = reservation
+		}
+		if m > reservation {
+			m = reservation
+		}
+		return m
+	}
+	if m := committed(cfg.InitBytes, cfg.HeapReservation); m > 0 {
+		ws = append(ws, Window{cfg.HeapBase, cfg.HeapBase + m})
+	}
+	if cfg.GlobalSize > 0 {
+		ws = append(ws, Window{cfg.GlobalBase, cfg.GlobalBase + cfg.GlobalSize})
+	}
+	for _, em := range cfg.ExtraMems {
+		if m := committed(em.Bytes, em.Reservation); m > 0 {
+			ws = append(ws, Window{em.Base, em.Base + m})
+		}
+	}
+	return ws
+}
+
+// checkKey identifies a dynamic check: two memory operations with equal
+// keys compute the same effective address from the same registers and make
+// the same access, so with no intervening redefinition or state change
+// their checks decide identically.
+type checkKey struct {
+	rs1, rs2 isa.Reg
+	scale    uint8
+	disp     int64
+	size     uint8
+	write    bool
+	hfi      bool
+	hreg     uint8
+}
+
+// memCheckKey returns the check key of a memory instruction.
+func memCheckKey(in *isa.Instr) (checkKey, bool) {
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore:
+		return checkKey{rs1: in.Rs1, rs2: in.Rs2, scale: in.Scale, disp: in.Disp,
+			size: in.Size, write: in.Op == isa.OpStore}, true
+	case isa.OpHLoad, isa.OpHStore:
+		return checkKey{rs1: isa.RegNone, rs2: in.Rs2, scale: in.Scale, disp: in.Disp,
+			size: in.Size, write: in.Op == isa.OpHStore, hfi: true, hreg: in.HReg}, true
+	}
+	return checkKey{}, false
+}
+
+func (k *checkKey) usesReg(r isa.Reg) bool {
+	return r != isa.RegNone && (k.rs1 == r || k.rs2 == r)
+}
+
+// instrEffect classifies one instruction for the availability transfer:
+// the register it defines (RegNone if none) and whether it invalidates
+// every outstanding check (control leaves the function, or machine state a
+// check depends on — page tables, the HFI bank — may change).
+func instrEffect(in *isa.Instr) (def isa.Reg, killAll bool) {
+	switch in.Op {
+	case isa.OpNop, isa.OpFence, isa.OpHalt,
+		isa.OpStore, isa.OpHStore,
+		isa.OpBr, isa.OpJmp, isa.OpJmpInd, isa.OpClflush:
+		return isa.RegNone, false
+	case isa.OpMovImm, isa.OpMov,
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpNot, isa.OpNeg,
+		isa.OpLoad, isa.OpHLoad, isa.OpRdtsc:
+		return in.Rd, false
+	case isa.OpRet:
+		// No fall-through; successors (none) make the kill moot.
+		return isa.RegNone, false
+	default:
+		// Calls (callee havocs registers and may change state), syscalls
+		// (mprotect moves the map generation), hostcalls (host runs), and
+		// every HFI config instruction (bank generation moves). Anything
+		// unrecognized is conservatively a barrier.
+		return isa.RegNone, true
+	}
+}
+
+// availability runs a forward available-checks dataflow over the CFG:
+// bitsets of memory-op sites whose check provably executed on every path
+// since the last kill. Intersection join; entry and indirect-target blocks
+// start empty via their (possibly absent) predecessors.
+type availability struct {
+	p     *isa.Program
+	g     *CFG
+	sites []int           // instruction indices of memory ops
+	siteNo map[int]int    // instruction index -> dense site number
+	keys  []checkKey      // per site
+	byKey map[checkKey][]int // site numbers sharing a key
+	in    [][]uint64      // per block, bitset over sites
+	words int
+}
+
+func newAvailability(p *isa.Program, g *CFG) *availability {
+	a := &availability{p: p, g: g, siteNo: map[int]int{}, byKey: map[checkKey][]int{}}
+	for i := range p.Instrs {
+		if k, ok := memCheckKey(&p.Instrs[i]); ok {
+			a.siteNo[i] = len(a.sites)
+			a.byKey[k] = append(a.byKey[k], len(a.sites))
+			a.sites = append(a.sites, i)
+			a.keys = append(a.keys, k)
+		}
+	}
+	a.words = (len(a.sites) + 63) / 64
+	a.in = make([][]uint64, len(g.Blocks))
+	return a
+}
+
+func (a *availability) full() []uint64 {
+	s := make([]uint64, a.words)
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	return s
+}
+
+func (a *availability) set(s []uint64, bit int)   { s[bit/64] |= 1 << (bit % 64) }
+func (a *availability) clear(s []uint64, bit int) { s[bit/64] &^= 1 << (bit % 64) }
+func (a *availability) has(s []uint64, bit int) bool {
+	return s[bit/64]&(1<<(bit%64)) != 0
+}
+
+// transfer runs the block's availability transfer in place.
+func (a *availability) transfer(b int, s []uint64) {
+	blk := &a.g.Blocks[b]
+	for idx := blk.Start; idx < blk.End; idx++ {
+		in := &a.p.Instrs[idx]
+		// The site becomes available first, then its own definition kills
+		// it if the destination overlaps the address registers.
+		if site, ok := a.siteNo[idx]; ok {
+			a.set(s, site)
+		}
+		def, killAll := instrEffect(in)
+		if killAll {
+			for w := range s {
+				s[w] = 0
+			}
+			continue
+		}
+		if def != isa.RegNone {
+			for sn, k := range a.keys {
+				if k.usesReg(def) {
+					a.clear(s, sn)
+				}
+			}
+		}
+	}
+}
+
+// solve iterates to the greatest fixpoint.
+func (a *availability) solve() {
+	if len(a.g.Blocks) == 0 {
+		return
+	}
+	preds := a.g.Preds()
+	for b := range a.in {
+		if len(preds[b]) == 0 {
+			a.in[b] = make([]uint64, a.words)
+		} else {
+			a.in[b] = a.full()
+		}
+	}
+	out := make([][]uint64, len(a.in))
+	for b := range out {
+		out[b] = make([]uint64, a.words)
+		copy(out[b], a.in[b])
+		a.transfer(b, out[b])
+	}
+	tmp := make([]uint64, a.words)
+	for changed := true; changed; {
+		changed = false
+		for b := range a.in {
+			ps := preds[b]
+			if len(ps) == 0 {
+				continue
+			}
+			copy(tmp, out[ps[0]])
+			for _, p := range ps[1:] {
+				for w := range tmp {
+					tmp[w] &= out[p][w]
+				}
+			}
+			same := true
+			for w := range tmp {
+				if tmp[w] != a.in[b][w] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+			copy(a.in[b], tmp)
+			copy(out[b], tmp)
+			a.transfer(b, out[b])
+			changed = true
+		}
+	}
+}
+
+// dominatedAt walks block b replaying the transfer and reports, for each
+// memory op, a same-key site available at that point (-1 if none). The
+// returned map is keyed by instruction index.
+func (a *availability) dominatedAt(b int) map[int]int {
+	out := map[int]int{}
+	s := make([]uint64, a.words)
+	copy(s, a.in[b])
+	blk := &a.g.Blocks[b]
+	for idx := blk.Start; idx < blk.End; idx++ {
+		in := &a.p.Instrs[idx]
+		if site, ok := a.siteNo[idx]; ok {
+			k := a.keys[site]
+			dom := -1
+			for _, sn := range a.byKey[k] {
+				if sn != site && a.has(s, sn) {
+					dom = a.sites[sn]
+					break
+				}
+			}
+			out[idx] = dom
+			a.set(s, site)
+		}
+		def, killAll := instrEffect(in)
+		if killAll {
+			for w := range s {
+				s[w] = 0
+			}
+			continue
+		}
+		if def != isa.RegNone {
+			for sn, k := range a.keys {
+				if k.usesReg(def) {
+					a.clear(s, sn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildFacts derives the Facts artifact after a violation-free analysis.
+func (v *verification) buildFacts() *Facts {
+	p := v.p
+	g := BuildCFG(p)
+	f := &Facts{
+		Scheme:    v.cfg.Scheme,
+		Entry:     v.entryIndex(),
+		NumInstrs: len(p.Instrs),
+		Bits:      make([]uint8, len(p.Instrs)),
+		Mem:       make([]MemFact, len(p.Instrs)),
+		Hostcalls: map[int]HostcallFact{},
+		Windows:   residentWindows(&v.cfg),
+	}
+	for i := range f.Mem {
+		f.Mem[i].Window, f.Mem[i].DomSite = -1, -1
+	}
+
+	// Resident facts from the joined observations.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case isa.OpLoad, isa.OpStore:
+			o := v.fc.mem[i]
+			if o == nil || !o.seen || o.frame {
+				continue
+			}
+			f.Mem[i].EA, f.Mem[i].Size = o.ea, in.Size
+			if o.heap {
+				f.HeapOps++
+			}
+			if end, ok := satAdd(o.ea.Hi, uint64(in.Size)); ok {
+				for w, win := range f.Windows {
+					if o.ea.Lo >= win.Lo && end <= win.Hi {
+						f.Bits[i] |= FactResident
+						f.Mem[i].Window = int16(w)
+						break
+					}
+				}
+			}
+		case isa.OpHLoad, isa.OpHStore:
+			// A verified program proved every hld/hst's region operand and
+			// displacement; the hardware bounds check remains the fault
+			// source, so the MMU lookup is the only elidable part.
+			f.Bits[i] |= FactHfiHeap
+			f.Mem[i].Size = in.Size
+			f.HeapOps++
+		}
+	}
+
+	// Hostcall call-site facts.
+	for idx, o := range v.fc.host {
+		if o.set && !o.conflict {
+			f.Bits[idx] |= FactHostcall
+			f.Hostcalls[idx] = HostcallFact{Num: o.num, BufEnd: o.bufEnd}
+		}
+	}
+
+	// Dominated-check facts: availability fixpoint, then the dominator
+	// pass filters each witness down to a site that actually dominates.
+	av := newAvailability(p, g)
+	av.solve()
+	entryBlock := g.BlockOf(f.Entry)
+	idom := g.Dominators(entryBlock)
+	for b := range g.Blocks {
+		for idx, domSite := range av.dominatedAt(b) {
+			if domSite < 0 {
+				continue
+			}
+			db, ib := g.BlockOf(domSite), b
+			ok := false
+			if db == ib {
+				ok = domSite < idx
+			} else {
+				ok = Dominates(idom, db, ib)
+			}
+			if !ok {
+				// Available on every path but no single dominating witness
+				// (e.g. a diamond with the check in both arms): drop.
+				continue
+			}
+			f.Bits[idx] |= FactDominated
+			f.Mem[idx].DomSite = int32(domSite)
+		}
+	}
+
+	// Block facts.
+	f.Blocks = make([]BlockFact, len(g.Blocks))
+	for b := range g.Blocks {
+		f.Blocks[b] = v.blockFact(g, b, f)
+	}
+
+	// Coverage: heap ops carrying any elidable fact.
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.OpLoad, isa.OpStore:
+			o := v.fc.mem[i]
+			if o == nil || !o.heap || o.frame {
+				continue
+			}
+		case isa.OpHLoad, isa.OpHStore:
+		default:
+			continue
+		}
+		if f.Bits[i]&(FactResident|FactHfiHeap|FactDominated) != 0 {
+			f.Covered++
+		}
+	}
+	return f
+}
+
+// noSideExitOps is the opcode set that can neither fault nor stop the run.
+func sideExitFree(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpMovImm, isa.OpMov,
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul,
+		isa.OpNot, isa.OpNeg,
+		isa.OpBr, isa.OpJmp, isa.OpFence:
+		return true
+	}
+	return false
+}
+
+// blockFact summarizes one block: side-exit freedom, static cost counts,
+// and maximal page-uniform runs of its memory operations.
+func (v *verification) blockFact(g *CFG, b int, f *Facts) BlockFact {
+	blk := &g.Blocks[b]
+	bf := BlockFact{Start: blk.Start, End: blk.End, NoSideExit: true}
+	const pageMask = ^uint64(kernel.OSPageSize - 1)
+	runStart, runPage := -1, uint64(0)
+	flush := func(end int) {
+		if runStart >= 0 {
+			bf.Uniform = append(bf.Uniform, UniformRange{From: runStart, To: end, Page: runPage})
+			runStart = -1
+		}
+	}
+	for idx := blk.Start; idx < blk.End; idx++ {
+		in := &v.p.Instrs[idx]
+		if !sideExitFree(in.Op) {
+			bf.NoSideExit = false
+		}
+		switch in.Op {
+		case isa.OpMul, isa.OpDiv, isa.OpRem:
+			bf.Cost.MulDiv++
+		case isa.OpLoad, isa.OpStore, isa.OpHLoad, isa.OpHStore:
+			bf.Cost.Mem++
+		case isa.OpBr, isa.OpJmp, isa.OpJmpInd, isa.OpCall, isa.OpCallInd, isa.OpRet:
+			bf.Cost.Branch++
+		case isa.OpNop, isa.OpMovImm, isa.OpMov,
+			isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+			isa.OpShl, isa.OpShr, isa.OpSar, isa.OpNot, isa.OpNeg, isa.OpFence:
+			bf.Cost.ALU++
+		default:
+			bf.Cost.Other++
+		}
+		switch in.Op {
+		case isa.OpLoad, isa.OpStore:
+			o := v.fc.mem[idx]
+			page := uint64(0)
+			single := false
+			if o != nil && o.seen && !o.frame {
+				if end, ok := satAdd(o.ea.Hi, uint64(in.Size)); ok && end > 0 {
+					if o.ea.Lo&pageMask == (end-1)&pageMask {
+						page, single = o.ea.Lo&pageMask, true
+					}
+				}
+			}
+			switch {
+			case single && runStart >= 0 && page == runPage:
+				// run continues
+			case single:
+				flush(idx)
+				runStart, runPage = idx, page
+			default:
+				flush(idx)
+			}
+		case isa.OpHLoad, isa.OpHStore:
+			// Region-relative address: page unknown statically.
+			flush(idx)
+		}
+	}
+	flush(blk.End)
+	return bf
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+// Analyze proves p safe under cfg exactly like Verify, and on success also
+// returns the Facts artifact backing the proof. On rejection the facts are
+// nil and the error is the same *RejectError Verify returns.
+func Analyze(p *isa.Program, cfg Config) (*Facts, error) {
+	v := &verification{p: p, cfg: cfg, fc: newFactsCollector()}
+	if err := p.Validate(); err != nil {
+		ve := err.(*isa.ValidationError)
+		v.violations = append(v.violations, &Violation{
+			Rule: "structural", Index: ve.Index, Addr: ve.Addr, Instr: ve.Instr, Detail: ve.Reason,
+		})
+		return nil, v.reject()
+	}
+	v.analyze()
+	if len(v.violations) > 0 {
+		return nil, v.reject()
+	}
+	return v.buildFacts(), nil
+}
+
+// AuditFacts independently re-checks a claimed Facts artifact against p
+// and cfg: a fresh abstract interpretation (no state shared with the
+// producer) re-derives the facts, and every claim must be subsumed by the
+// re-derivation — claimed bits a superset of nothing, intervals containing
+// the fresh ones while fitting their windows, dominators actually
+// dominating. Any discrepancy rejects with a fact-* rule. The runtime
+// never has to trust a deserialized or cached artifact: auditing it costs
+// one verification run.
+func AuditFacts(p *isa.Program, cfg Config, claimed *Facts) error {
+	fresh, err := Analyze(p, cfg)
+	if err != nil {
+		return err
+	}
+	a := &verification{p: p, cfg: cfg}
+	if claimed == nil {
+		a.violate(-1, "fact-shape", "no facts artifact to audit")
+		return a.reject()
+	}
+	if claimed.NumInstrs != len(p.Instrs) ||
+		len(claimed.Bits) != len(p.Instrs) || len(claimed.Mem) != len(p.Instrs) {
+		a.violate(-1, "fact-shape", "artifact shape %d/%d/%d does not match the %d-instruction program",
+			claimed.NumInstrs, len(claimed.Bits), len(claimed.Mem), len(p.Instrs))
+		return a.reject()
+	}
+	if claimed.Scheme != cfg.Scheme {
+		a.violate(-1, "fact-shape", "artifact scheme %v != config scheme %v", claimed.Scheme, cfg.Scheme)
+	}
+	if claimed.Entry != fresh.Entry {
+		a.violate(-1, "fact-shape", "artifact entry %d != program entry %d", claimed.Entry, fresh.Entry)
+	}
+	// Windows must equal the geometry-derived set: a tampered window would
+	// re-anchor every resident claim.
+	if len(claimed.Windows) != len(fresh.Windows) {
+		a.violate(-1, "fact-window", "artifact has %d windows, geometry derives %d",
+			len(claimed.Windows), len(fresh.Windows))
+	} else {
+		for w := range claimed.Windows {
+			if claimed.Windows[w] != fresh.Windows[w] {
+				a.violate(-1, "fact-window", "window %d is [%#x,%#x), geometry derives [%#x,%#x)",
+					w, claimed.Windows[w].Lo, claimed.Windows[w].Hi, fresh.Windows[w].Lo, fresh.Windows[w].Hi)
+			}
+		}
+	}
+	if len(a.violations) > 0 {
+		return a.reject()
+	}
+
+	g := BuildCFG(p)
+	idom := g.Dominators(g.BlockOf(fresh.Entry))
+	for i := range p.Instrs {
+		if extra := claimed.Bits[i] &^ fresh.Bits[i]; extra != 0 {
+			a.violate(i, "fact-claim", "claimed fact bits %#x are not re-derivable (fresh %#x)",
+				claimed.Bits[i], fresh.Bits[i])
+			continue
+		}
+		cm, fm := &claimed.Mem[i], &fresh.Mem[i]
+		if claimed.Bits[i]&FactResident != 0 {
+			w := int(cm.Window)
+			if w < 0 || w >= len(claimed.Windows) {
+				a.violate(i, "fact-window", "resident claim names window %d of %d", w, len(claimed.Windows))
+				continue
+			}
+			win := claimed.Windows[w]
+			end, ok := satAdd(cm.EA.Hi, uint64(cm.Size))
+			if cm.Size != fm.Size || !ok || cm.EA.Lo < win.Lo || end > win.Hi {
+				a.violate(i, "fact-window", "claimed interval [%#x,%#x]+%d does not fit window [%#x,%#x)",
+					cm.EA.Lo, cm.EA.Hi, cm.Size, win.Lo, win.Hi)
+				continue
+			}
+			if fm.EA.Lo < cm.EA.Lo || fm.EA.Hi > cm.EA.Hi {
+				a.violate(i, "fact-claim", "claimed interval [%#x,%#x] does not contain the proven [%#x,%#x]",
+					cm.EA.Lo, cm.EA.Hi, fm.EA.Lo, fm.EA.Hi)
+				continue
+			}
+		}
+		if claimed.Bits[i]&FactDominated != 0 {
+			ds := int(cm.DomSite)
+			bad := func(why string) {
+				a.violate(i, "fact-dominated", "claimed dominating site %d: %s", ds, why)
+			}
+			if ds < 0 || ds >= len(p.Instrs) || ds == i {
+				bad("out of range")
+				continue
+			}
+			ki, oki := memCheckKey(&p.Instrs[i])
+			kd, okd := memCheckKey(&p.Instrs[ds])
+			if !oki || !okd || ki != kd {
+				bad("not an identical check")
+				continue
+			}
+			db, ib := g.BlockOf(ds), g.BlockOf(i)
+			if db == ib {
+				if ds >= i {
+					bad("follows the claimed dominated access in its block")
+					continue
+				}
+			} else if !Dominates(idom, db, ib) {
+				bad("its block does not dominate the access")
+				continue
+			}
+		}
+		if claimed.Bits[i]&FactHostcall != 0 {
+			ch, okc := claimed.Hostcalls[i]
+			fh := fresh.Hostcalls[i]
+			if !okc {
+				a.violate(i, "fact-hostcall", "hostcall bit set with no call-site record")
+				continue
+			}
+			if ch.Num != fh.Num || ch.BufEnd < fh.BufEnd || ch.BufEnd > cfg.MaxBytes {
+				a.violate(i, "fact-hostcall", "claimed number %d / buffer end %d disagrees with the proof (%d / %d, max %d)",
+					ch.Num, ch.BufEnd, fh.Num, fh.BufEnd, cfg.MaxBytes)
+			}
+		}
+	}
+
+	// Block facts: structure and cost must reproduce; side-exit freedom
+	// and uniform ranges must be subsumed by the fresh derivation.
+	if len(claimed.Blocks) != len(fresh.Blocks) {
+		a.violate(-1, "fact-block", "artifact has %d blocks, CFG derives %d", len(claimed.Blocks), len(fresh.Blocks))
+	} else {
+		for b := range claimed.Blocks {
+			cb, fb := &claimed.Blocks[b], &fresh.Blocks[b]
+			if cb.Start != fb.Start || cb.End != fb.End || cb.Cost != fb.Cost {
+				a.violate(cb.Start, "fact-block", "block %d bounds/cost do not reproduce", b)
+				continue
+			}
+			if cb.NoSideExit && !fb.NoSideExit {
+				a.violate(cb.Start, "fact-block", "block %d claimed side-exit-free but contains faulting ops", b)
+			}
+			for _, cr := range cb.Uniform {
+				ok := false
+				for _, fr := range fb.Uniform {
+					if fr.From <= cr.From && cr.To <= fr.To && fr.Page == cr.Page {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					a.violate(cr.From, "fact-block", "claimed page-uniform range [%d,%d) on page %#x not re-derivable",
+						cr.From, cr.To, cr.Page)
+				}
+			}
+		}
+	}
+	if len(a.violations) > 0 {
+		return a.reject()
+	}
+	return nil
+}

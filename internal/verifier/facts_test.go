@@ -1,0 +1,280 @@
+package verifier
+
+import (
+	"errors"
+	"testing"
+
+	"hfi/internal/isa"
+	"hfi/internal/sfi"
+)
+
+// analyzeOK runs Analyze under scheme with the shared test geometry and
+// fails the test on rejection.
+func analyzeOK(t *testing.T, p *isa.Program, scheme sfi.Scheme) *Facts {
+	t.Helper()
+	f, err := Analyze(p, testCfg(scheme))
+	if err != nil {
+		t.Fatalf("%v: analyze rejected: %v", scheme, err)
+	}
+	return f
+}
+
+// auditRule corrupts nothing itself — it audits claimed against the test
+// geometry and returns the first rejection rule ("" if accepted).
+func auditRule(t *testing.T, p *isa.Program, scheme sfi.Scheme, claimed *Facts) string {
+	t.Helper()
+	err := AuditFacts(p, testCfg(scheme), claimed)
+	if err == nil {
+		return ""
+	}
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("audit error is %T, want *RejectError: %v", err, err)
+	}
+	return re.First().Rule
+}
+
+// --- dominators --------------------------------------------------------
+
+// TestDominatorsDiamond pins the Cooper-Harvey-Kennedy pass on the
+// canonical diamond: neither arm dominates the join, the entry dominates
+// everything, every block dominates itself.
+func TestDominatorsDiamond(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(isa.R0, 0)
+	b.BrImm(isa.CondEQ, isa.R0, 0, "right") // 1: split
+	b.Label("left")
+	b.MovImm(isa.R1, 1) // 2
+	b.Jmp("join")       // 3
+	b.Label("right")
+	b.MovImm(isa.R1, 2) // 4
+	b.Label("join")
+	b.Halt() // 5
+	p := b.Build()
+
+	g := BuildCFG(p)
+	entry := g.BlockOf(0)
+	idom := g.Dominators(entry)
+	left, right, join := g.BlockOf(2), g.BlockOf(4), g.BlockOf(5)
+
+	if idom[join] != entry {
+		t.Errorf("idom(join) = %d, want entry %d", idom[join], entry)
+	}
+	for _, blk := range []int{left, right, join} {
+		if !Dominates(idom, entry, blk) {
+			t.Errorf("entry should dominate block %d", blk)
+		}
+		if !Dominates(idom, blk, blk) {
+			t.Errorf("block %d should dominate itself", blk)
+		}
+	}
+	if Dominates(idom, left, join) || Dominates(idom, right, join) {
+		t.Error("a diamond arm must not dominate the join")
+	}
+}
+
+// TestDominatorsUnreachable: blocks the entry cannot reach stay idom -1
+// and dominate nothing.
+func TestDominatorsUnreachable(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.Jmp("end") // 0
+	b.Label("dead")
+	b.MovImm(isa.R0, 1) // 1: unreachable
+	b.Label("end")
+	b.Halt() // 2
+	p := b.Build()
+
+	g := BuildCFG(p)
+	entry := g.BlockOf(0)
+	idom := g.Dominators(entry)
+	dead := g.BlockOf(1)
+	if idom[dead] != -1 {
+		t.Errorf("idom(dead) = %d, want -1", idom[dead])
+	}
+	if Dominates(idom, entry, dead) {
+		t.Error("entry must not dominate an unreachable block")
+	}
+}
+
+// --- CFG edge cases feeding the fact analysis --------------------------
+
+// testHeapBase mirrors testCfg's heap base. The root entry trusts no
+// register (the springboard sets them), so accepted hand-written programs
+// establish the heap-base invariant themselves; the reserved-register
+// check admits the write because the value is exactly the heap base.
+const testHeapBase = int64(0x1_0000_0000)
+
+// TestFactFallThroughDominatedCheck: a conditional branch falls through
+// into a block repeating an identical access; the fall-through edge is a
+// real CFG edge, so the first check dominates and the second gets the
+// FactDominated elision fact with the first as its witness.
+func TestFactFallThroughDominatedCheck(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(sfi.HeapBaseReg, testHeapBase)          // 0
+	b.MovImm(isa.R1, 0x100)                          // 1
+	b.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 2: check A
+	b.BrImm(isa.CondEQ, isa.R2, 0, "skip")           // 3
+	b.Load(8, isa.R3, sfi.HeapBaseReg, isa.R1, 1, 0) // 4: fall-through, same key
+	b.Label("skip")
+	b.Halt() // 5
+	p := b.Build()
+
+	f := analyzeOK(t, p, sfi.GuardPages)
+	if f.Bits[2]&FactResident == 0 {
+		t.Error("first access has an exact in-heap EA; want FactResident")
+	}
+	if f.Bits[4]&FactDominated == 0 {
+		t.Fatalf("fall-through repeat of an identical check not marked dominated (bits %#x)", f.Bits[4])
+	}
+	if f.Mem[4].DomSite != 2 {
+		t.Errorf("DomSite = %d, want 2", f.Mem[4].DomSite)
+	}
+	if r := auditRule(t, p, sfi.GuardPages, f); r != "" {
+		t.Errorf("audit rejected the genuine artifact: %s", r)
+	}
+}
+
+// TestFactBackEdgeDropsPageUniformity: in a loop the index register's
+// interval widens across the back-edge until the access spans multiple
+// pages, so the loop block must carry no page-uniform range for it — and
+// the self-incremented index kills the same-key availability, so it is
+// not dominated either. The access stays resident (the whole interval is
+// inside the committed heap): the block-level claim is dropped without
+// touching the instruction-level one.
+func TestFactBackEdgeDropsPageUniformity(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(sfi.HeapBaseReg, testHeapBase) // 0
+	b.MovImm(isa.R1, 0)                     // 1
+	b.Label("loop")
+	b.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 2
+	b.AddImm(isa.R1, isa.R1, 8)                      // 3
+	b.BrImm(isa.CondLTU, isa.R1, 8192, "loop")       // 4
+	b.Halt()                                         // 5
+	p := b.Build()
+
+	f := analyzeOK(t, p, sfi.GuardPages)
+	if f.Bits[2]&FactResident == 0 {
+		t.Error("loop access is bounded within the committed heap; want FactResident")
+	}
+	if f.Bits[2]&FactDominated != 0 {
+		t.Error("self-incremented index must kill same-key availability across the back-edge")
+	}
+	for _, blk := range f.Blocks {
+		for _, u := range blk.Uniform {
+			if u.From <= 2 && 2 < u.To {
+				t.Fatalf("loop access spans pages [%#x,%#x] yet sits in uniform range %+v",
+					f.Mem[2].EA.Lo, f.Mem[2].EA.Hi, u)
+			}
+		}
+	}
+
+	// Control: the same accesses laid out straight-line with exact EAs on
+	// one page do form a uniform run.
+	c := isa.NewBuilder(0)
+	c.MovImm(sfi.HeapBaseReg, testHeapBase)          // 0
+	c.MovImm(isa.R1, 0x100)                          // 1
+	c.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 2
+	c.Load(8, isa.R3, sfi.HeapBaseReg, isa.R1, 1, 8) // 3
+	c.Halt()                                         // 4
+	cf := analyzeOK(t, c.Build(), sfi.GuardPages)
+	found := false
+	for _, blk := range cf.Blocks {
+		for _, u := range blk.Uniform {
+			if u.From <= 2 && 3 < u.To {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("straight-line same-page accesses carry no uniform range: %+v", cf.Blocks)
+	}
+}
+
+// TestFactIndirectTargetDropsDomination: the CFG over-approximates an
+// indirect jump's successors with the whole address-taken set (every
+// symbol and every decoded code address). Even though execution only ever
+// reaches the repeated access through the first check, the spurious edge
+// from the dispatcher to the "mid" symbol makes the check non-dominating,
+// and the fact must be dropped.
+func TestFactIndirectTargetDropsDomination(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(sfi.HeapBaseReg, testHeapBase) // 0
+	b.MovImm(isa.R1, 0x100)                 // 1
+	b.MovImm(isa.R3, 4*isa.InstrBytes)      // 2: address of "work"
+	b.JmpInd(isa.R3)                        // 3: succs = {work, mid}
+	b.Label("work")
+	b.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 4: check A
+	b.Jmp("mid")                                     // 5
+	b.Label("mid")
+	b.Load(8, isa.R4, sfi.HeapBaseReg, isa.R1, 1, 0) // 6: same key as A
+	b.Halt()                                         // 7
+	p := b.Build()
+
+	f := analyzeOK(t, p, sfi.GuardPages)
+	if f.Bits[6]&FactDominated != 0 {
+		t.Fatal("indirect over-approximation adds an edge bypassing the check; the dominated fact must drop")
+	}
+
+	// Control: with a direct jump the dispatcher edge disappears and the
+	// same repeat access is dominated.
+	c := isa.NewBuilder(0)
+	c.MovImm(sfi.HeapBaseReg, testHeapBase) // 0
+	c.MovImm(isa.R1, 0x100)                 // 1
+	c.Jmp("work")                           // 2
+	c.Label("work")
+	c.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 3
+	c.Jmp("mid")                                     // 4
+	c.Label("mid")
+	c.Load(8, isa.R4, sfi.HeapBaseReg, isa.R1, 1, 0) // 5
+	c.Halt()                                         // 6
+	cf := analyzeOK(t, c.Build(), sfi.GuardPages)
+	if cf.Bits[5]&FactDominated == 0 {
+		t.Errorf("direct-jump control: repeat access not dominated (bits %#x)", cf.Bits[5])
+	}
+	if cf.Mem[5].DomSite != 3 {
+		t.Errorf("direct-jump control: DomSite = %d, want 3", cf.Mem[5].DomSite)
+	}
+}
+
+// --- audit corruption --------------------------------------------------
+
+// TestAuditFactsRejectsCorruption hand-corrupts a genuine artifact one
+// field at a time and pins the audit rule that must catch each: this is
+// the unit-level face of the mutation bench's fact operators.
+func TestAuditFactsRejectsCorruption(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.MovImm(sfi.HeapBaseReg, testHeapBase)
+	b.MovImm(isa.R1, 0x100)
+	b.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0)
+	b.BrImm(isa.CondEQ, isa.R2, 0, "skip")
+	b.Load(8, isa.R3, sfi.HeapBaseReg, isa.R1, 1, 0)
+	b.Label("skip")
+	b.Halt()
+	p := b.Build()
+	f := analyzeOK(t, p, sfi.GuardPages)
+
+	cases := []struct {
+		name    string
+		corrupt func(c *Facts)
+		rule    string
+	}{
+		{"genuine artifact accepted", func(c *Facts) {}, ""},
+		{"widened interval", func(c *Facts) { c.Mem[2].EA.Hi += sfi.GuardReservation }, "fact-window"},
+		{"forged bit", func(c *Facts) { c.Bits[5] |= FactHostcall }, "fact-claim"},
+		{"bogus dominator witness", func(c *Facts) { c.Mem[4].DomSite = 0 }, "fact-dominated"},
+		{"tampered block cost", func(c *Facts) { c.Blocks[0].Cost.ALU++ }, "fact-block"},
+		{"shape mismatch", func(c *Facts) { c.Bits = c.Bits[:len(c.Bits)-1] }, "fact-shape"},
+		{"nil artifact", nil, "fact-shape"},
+	}
+	for _, tc := range cases {
+		var claimed *Facts
+		if tc.corrupt != nil {
+			claimed = f.Clone()
+			tc.corrupt(claimed)
+		}
+		got := auditRule(t, p, sfi.GuardPages, claimed)
+		if got != tc.rule {
+			t.Errorf("%s: audit rule = %q, want %q", tc.name, got, tc.rule)
+		}
+	}
+}

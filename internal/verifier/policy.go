@@ -78,6 +78,7 @@ func (v *verification) stepMem(st *absState, idx int, in *isa.Instr) {
 	// and a successful call-push implies S >= StackBase, so the whole
 	// window sits inside [guard bottom, StackTop].
 	if ea.HasOff {
+		v.obsFrame(idx)
 		if ea.Off < -int64(v.cfg.StackGuard) || ea.Off+int64(size) > 0 {
 			v.violate(idx, "stack-frame", "frame access at entry-SP%+d (size %d) outside [-%d, 0)",
 				ea.Off, size, v.cfg.StackGuard)
@@ -103,6 +104,7 @@ func (v *verification) stepMem(st *absState, idx int, in *isa.Instr) {
 
 	// Trusted cells live in the global area; check it first.
 	if v.cfg.GlobalSize > 0 && inWin(v.cfg.GlobalBase, v.cfg.GlobalBase+v.cfg.GlobalSize) {
+		v.obsMem(idx, ea.I, false)
 		if isStore {
 			v.checkGlobalStore(st, idx, in, ea, size)
 		} else {
@@ -112,14 +114,15 @@ func (v *verification) stepMem(st *absState, idx int, in *isa.Instr) {
 	}
 
 	windowOK := false
+	heapish := false // proven linear-memory traffic (heap or extra memory)
 	if v.cfg.Scheme != sfi.HFI {
 		// Linear-memory traffic: must stay inside a reserved window.
 		if v.cfg.HeapReservation > 0 && inWin(v.cfg.HeapBase, v.cfg.HeapBase+v.cfg.HeapReservation) {
-			windowOK = true
+			windowOK, heapish = true, true
 		}
 		for _, em := range v.cfg.ExtraMems {
 			if em.Reservation > 0 && inWin(em.Base, em.Base+em.Reservation) {
-				windowOK = true
+				windowOK, heapish = true, true
 			}
 		}
 	}
@@ -139,6 +142,7 @@ func (v *verification) stepMem(st *absState, idx int, in *isa.Instr) {
 		havoc()
 		return
 	}
+	v.obsMem(idx, ea.I, heapish)
 	if !isStore {
 		if in.SignExt && size < 8 {
 			st.setReg(in.Rd, topVal())
@@ -320,8 +324,11 @@ func (v *verification) checkHostcallSite(st *absState, idx int) {
 		return
 	}
 	if num >= uint64(len(v.cfg.HostcallSigs)) {
-		return // number proven in-table; no signature detail to check
+		v.obsHostcall(idx, num, 0) // number proven in-table; no signature detail to check
+		return
 	}
+	before := len(v.violations)
+	bufEnd := uint64(0)
 	sig := v.cfg.HostcallSigs[num]
 	max := v.cfg.MaxBytes
 	heap := Interval{0, max}
@@ -347,7 +354,12 @@ func (v *verification) checkHostcallSite(st *absState, idx int) {
 		l := st.regs[isa.R1+isa.Reg(i+1)].dataOnly().I
 		if end, ok := satAdd(p.Hi, l.Hi); !ok || end > max {
 			v.violate(idx, "hostcall", "%s: buffer at argument %d does not provably end within the sandbox heap", sig.Name, i+1)
+		} else if end > bufEnd {
+			bufEnd = end
 		}
+	}
+	if len(v.violations) == before {
+		v.obsHostcall(idx, num, bufEnd)
 	}
 }
 

@@ -234,6 +234,10 @@ type verification struct {
 	// gateIdx is the instruction index of the hostcall gate, or -1 when
 	// the program has none (set by checkHostcallGate at analyze entry).
 	gateIdx int
+
+	// fc collects per-instruction observations when set (Analyze); nil
+	// under plain Verify, keeping the gate path collection-free.
+	fc *factsCollector
 }
 
 type violationKey struct {

@@ -71,6 +71,11 @@ type Compiled struct {
 	Opts   Options
 	// BinaryBytes is the code-image size (Table 1's "Bin size" column).
 	BinaryBytes uint64
+	// Facts is the verifier's proof artifact (nil under NoVerify): the
+	// per-instruction and per-block facts the interpreter's elision path
+	// consumes. It travels with the verified program through the code
+	// cache, so shared warm images carry their proofs.
+	Facts *verifier.Facts
 }
 
 // HeapBytes returns the initial linear-memory size in bytes.
@@ -159,11 +164,15 @@ func Compile(m *Module, scheme sfi.Scheme, lay Layout, opts Options) (*Compiled,
 	}
 	// Post-compile gate: prove the emitted program cannot escape the
 	// sandbox geometry it was compiled against. The compiler is not
-	// trusted; its output is checked on every compilation.
+	// trusted; its output is checked on every compilation. Analyze is
+	// Verify plus the proof artifact the interpreter's elision path
+	// consumes (facts the verification already discharged).
 	if !opts.NoVerify {
-		if err := verifier.Verify(prog, VerifyConfig(cc)); err != nil {
+		facts, err := verifier.Analyze(prog, VerifyConfig(cc))
+		if err != nil {
 			return nil, fmt.Errorf("wasm: %s/%v: %w", m.Name, scheme, err)
 		}
+		cc.Facts = facts
 	}
 	return cc, nil
 }

@@ -8,7 +8,9 @@
 # Then the host-call boundary snapshot: BenchmarkHostcallRoundTrip (host
 # wall ns, cost-modeled sim-ns, marshalled bytes — the marshalling fast
 # path must report 0 allocs/op) plus `hfibench -exp hostcall -json`, into
-# BENCH_PR6.json.
+# BENCH_PR6.json. Finally the proof-fact elision snapshot: `hfibench -exp
+# facts -json` (checks/instr with the verifier facts ignored vs trusted,
+# heap-op coverage, corpus throughput both ways) into BENCH_PR7.json.
 #
 # The script fails if the hot-loop benchmark reports any allocations; the
 # same invariant is enforced as a plain test (TestInterpHotLoopZeroAllocs)
@@ -86,3 +88,13 @@ hcexp=$(go run ./cmd/hfibench -exp hostcall -json)
     printf '}\n'
 } > BENCH_PR6.json
 echo "wrote BENCH_PR6.json"
+
+echo "== hfibench -exp facts =="
+factsexp=$(go run ./cmd/hfibench -exp facts -json)
+
+{
+    printf '{\n'
+    printf '  "facts_elision": %s\n' "$factsexp"
+    printf '}\n'
+} > BENCH_PR7.json
+echo "wrote BENCH_PR7.json"

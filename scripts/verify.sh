@@ -26,9 +26,16 @@
 # After the tests, the static-verifier gate: hfiverify proves every corpus
 # program safe under every scheme (the corpus includes the hostcall guests,
 # whose gate and marshalling proofs get an explicit labeled sweep of their
-# own), then runs the fast mutation bench, which fails on any
-# verified-then-escaped mutant or a static kill rate below 95% (full bench:
-# `go run ./cmd/hfiverify -mutate -full`).
+# own), then re-runs the corpus through the fact-producing analyzer with
+# the independent AuditFacts re-derivation (-facts), then runs the fast
+# mutation bench — instruction operators plus the fact-corruption
+# operators — which fails on any verified-then-escaped mutant or a static
+# kill rate below 95% (full bench: `go run ./cmd/hfiverify -mutate -full`).
+#
+# hfilint runs right after vet: the custom checks (negated-errno returns in
+# the hostcall handlers, the closed verifier rule vocabulary) that plain
+# vet cannot express. A dedicated uncached -race pass over the verifier and
+# mutation packages closes the loop on the analysis code itself.
 #
 # Usage: scripts/verify.sh  (or `make verify`)
 set -eu
@@ -38,6 +45,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== hfilint: repository-specific static checks"
+go run ./cmd/hfilint
 echo "== go test -race -short ./..."
 go test -race -short -timeout 15m ./...
 echo "== chaos soak (seeded, race-detected)"
@@ -48,6 +57,11 @@ echo "== hfiverify: corpus under all schemes"
 go run ./cmd/hfiverify
 echo "== hfiverify -class hostcall: gate + marshalling proofs on the boundary guests"
 go run ./cmd/hfiverify -class hostcall
-echo "== hfiverify -mutate: verifier soundness bench (fast)"
+echo "== hfiverify -facts: analyzer facts + independent audit over the corpus"
+go run ./cmd/hfiverify -facts >/dev/null
+echo "corpus facts audited"
+echo "== go test -race -count=1 (uncached): verifier + mutation"
+go test -race -short -count=1 ./internal/verifier ./internal/mutation ./internal/lint
+echo "== hfiverify -mutate: verifier soundness bench (fast, incl. fact-corruption operators)"
 go run ./cmd/hfiverify -mutate
 echo "verify: all green"
