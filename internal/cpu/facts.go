@@ -140,8 +140,8 @@ func (m *Machine) factGateSync() {
 
 // factWindowValid lazily validates one claimed window against the live
 // machine: the whole range mapped read+write, and — while HFI is enabled —
-// every page's data decision uniform and read+write. The result is cached
-// until a generation moves.
+// the data decision uniform and read+write across the entire window. The
+// result is cached until a generation moves.
 func (m *Machine) factWindowValid(w int) bool {
 	g := &m.fgate
 	switch g.winST[w] {
@@ -153,12 +153,16 @@ func (m *Machine) factWindowValid(w int) bool {
 	win := m.fcF.Windows[w]
 	ok := win.Hi > win.Lo && m.AS.CheckRange(win.Lo, win.Hi-win.Lo, kernel.ProtRead|kernel.ProtWrite)
 	if ok && m.HFI.Enabled {
-		for page := win.Lo &^ uint64(kernel.OSPageSize - 1); page < win.Hi; page += kernel.OSPageSize {
-			r, wr, uniform := m.HFI.DataPageDecision(page, kernel.OSPageSize)
-			if !uniform || !r || !wr {
-				ok = false
-				break
-			}
+		// Implicit HFI regions are contiguous intervals, so one range-level
+		// decision query covers the whole window in O(regions) — no per-page
+		// walk over multi-GB reservations. Uniformity over the full range
+		// also requires ONE region to contain the window, exactly matching
+		// CheckData's straddle-faults semantics for every access inside it
+		// (per-page uniformity would not: two adjacent regions could each
+		// uniformly cover half the window).
+		r, wr, uniform := m.HFI.DataPageDecision(win.Lo, win.Hi-win.Lo)
+		if !uniform || !r || !wr {
+			ok = false
 		}
 	}
 	if ok {

@@ -10,9 +10,12 @@ import (
 // branches (jmpi/calli) get over-approximated successor sets: every
 // address-taken instruction address (any movi immediate that decodes to
 // an in-range, aligned instruction address, plus every symbol). The
-// abstract interpreter does not consume this over-approximation — it
-// requires indirect targets to be proven exact — but the CFG makes the
-// conservative shape of such programs inspectable and testable.
+// abstract interpreter additionally requires every indirect target to be
+// a proven-exact constant INSIDE this set, so the CFG is a true
+// over-approximation of concrete control flow for every admitted
+// program — the soundness foundation of the dominator-based facts
+// (a resolved target outside the set would let execution enter a block
+// mid-way with no CFG edge witnessing it).
 type CFG struct {
 	P *isa.Program
 	// Blocks are ordered by start index; block i covers instruction

@@ -134,8 +134,7 @@ type FactsSummary struct {
 // HeapOps/Covered are the elision-coverage numerator and denominator.
 func (f *Facts) Summary() FactsSummary {
 	var s FactsSummary
-	for i, b := range f.Bits {
-		_ = i
+	for _, b := range f.Bits {
 		if b&FactResident != 0 {
 			s.Resident++
 		}
@@ -326,10 +325,6 @@ func memCheckKey(in *isa.Instr) (checkKey, bool) {
 	return checkKey{}, false
 }
 
-func (k *checkKey) usesReg(r isa.Reg) bool {
-	return r != isa.RegNone && (k.rs1 == r || k.rs2 == r)
-}
-
 // instrEffect classifies one instruction for the availability transfer:
 // the register it defines (RegNone if none) and whether it invalidates
 // every outstanding check (control leaves the function, or machine state a
@@ -363,14 +358,18 @@ func instrEffect(in *isa.Instr) (def isa.Reg, killAll bool) {
 // since the last kill. Intersection join; entry and indirect-target blocks
 // start empty via their (possibly absent) predecessors.
 type availability struct {
-	p     *isa.Program
-	g     *CFG
-	sites []int           // instruction indices of memory ops
-	siteNo map[int]int    // instruction index -> dense site number
-	keys  []checkKey      // per site
-	byKey map[checkKey][]int // site numbers sharing a key
-	in    [][]uint64      // per block, bitset over sites
-	words int
+	p      *isa.Program
+	g      *CFG
+	sites  []int              // instruction indices of memory ops
+	siteNo map[int]int        // instruction index -> dense site number
+	keys   []checkKey         // per site
+	byKey  map[checkKey][]int // site numbers sharing a key
+	in     [][]uint64         // per block, bitset over sites
+	words  int
+	// kill[r] is the bitset of sites whose check key reads register r
+	// (nil when no site does): a definition of r clears them with one
+	// word-wise AND-NOT instead of a per-site scan.
+	kill [isa.NumRegs][]uint64
 }
 
 func newAvailability(p *isa.Program, g *CFG) *availability {
@@ -384,6 +383,17 @@ func newAvailability(p *isa.Program, g *CFG) *availability {
 		}
 	}
 	a.words = (len(a.sites) + 63) / 64
+	for sn, k := range a.keys {
+		for _, r := range [2]isa.Reg{k.rs1, k.rs2} {
+			if r == isa.RegNone {
+				continue
+			}
+			if a.kill[r] == nil {
+				a.kill[r] = make([]uint64, a.words)
+			}
+			a.kill[r][sn/64] |= 1 << (sn % 64)
+		}
+	}
 	a.in = make([][]uint64, len(g.Blocks))
 	return a
 }
@@ -396,8 +406,7 @@ func (a *availability) full() []uint64 {
 	return s
 }
 
-func (a *availability) set(s []uint64, bit int)   { s[bit/64] |= 1 << (bit % 64) }
-func (a *availability) clear(s []uint64, bit int) { s[bit/64] &^= 1 << (bit % 64) }
+func (a *availability) set(s []uint64, bit int) { s[bit/64] |= 1 << (bit % 64) }
 func (a *availability) has(s []uint64, bit int) bool {
 	return s[bit/64]&(1<<(bit%64)) != 0
 }
@@ -420,9 +429,9 @@ func (a *availability) transfer(b int, s []uint64) {
 			continue
 		}
 		if def != isa.RegNone {
-			for sn, k := range a.keys {
-				if k.usesReg(def) {
-					a.clear(s, sn)
+			if km := a.kill[def]; km != nil {
+				for w := range s {
+					s[w] &^= km[w]
 				}
 			}
 		}
@@ -510,9 +519,9 @@ func (a *availability) dominatedAt(b int) map[int]int {
 			continue
 		}
 		if def != isa.RegNone {
-			for sn, k := range a.keys {
-				if k.usesReg(def) {
-					a.clear(s, sn)
+			if km := a.kill[def]; km != nil {
+				for w := range s {
+					s[w] &^= km[w]
 				}
 			}
 		}

@@ -236,6 +236,63 @@ func TestFactIndirectTargetDropsDomination(t *testing.T) {
 	}
 }
 
+// TestIndirectComputedTargetRejected: an indirect branch whose target is
+// a provable constant but NOT address-taken (no symbol or movi immediate
+// names it) must be rejected. The CFG's indirect successor edges only
+// cover the address-taken set, so admitting such a target would let
+// concrete execution enter a block mid-way with no edge witnessing it —
+// e.g. past a "dominating" check, whose FactDominated elision would then
+// silently skip the page decision for a check that never ran.
+func TestIndirectComputedTargetRejected(t *testing.T) {
+	build := func(call bool) *isa.Program {
+		b := isa.NewBuilder(0)
+		b.MovImm(sfi.HeapBaseReg, testHeapBase)  // 0
+		b.MovImm(isa.R1, 0x100)                  // 1
+		b.MovImm(isa.R3, 5*isa.InstrBytes)       // 2: address-taken: instr 5
+		b.AddImm(isa.R3, isa.R3, isa.InstrBytes) // 3: r3 = 6*IB — computed singleton
+		if call {
+			b.CallInd(isa.R3) // 4: resolves to instr 6, not address-taken
+		} else {
+			b.JmpInd(isa.R3) // 4
+		}
+		b.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 5: check A (address-taken leader)
+		b.Load(8, isa.R4, sfi.HeapBaseReg, isa.R1, 1, 0) // 6: mid-block entry past check A
+		b.Halt()                                         // 7
+		return b.Build()
+	}
+	for _, tc := range []struct {
+		name string
+		call bool
+	}{{"jmpi", false}, {"calli", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := build(tc.call)
+			if got := rejectRule(t, p, sfi.GuardPages); got != "indirect-target" {
+				t.Fatalf("rule = %q, want indirect-target", got)
+			}
+			if _, err := Analyze(p, testCfg(sfi.GuardPages)); err == nil {
+				t.Fatal("Analyze admitted a computed non-address-taken indirect target")
+			}
+		})
+	}
+
+	// Control: the same computed arithmetic landing ON an address-taken
+	// instruction (a symbol) stays admissible — the CFG edge exists, so
+	// the over-approximation holds and domination soundly drops.
+	c := isa.NewBuilder(0)
+	c.MovImm(sfi.HeapBaseReg, testHeapBase)    // 0
+	c.MovImm(isa.R1, 0x100)                    // 1
+	c.MovImm(isa.R3, 3*isa.InstrBytes)         // 2: address-taken: instr 3
+	c.AddImm(isa.R3, isa.R3, 2*isa.InstrBytes) // 3: r3 = 5*IB = "work"
+	c.JmpInd(isa.R3)                           // 4
+	c.Label("work")
+	c.Load(8, isa.R2, sfi.HeapBaseReg, isa.R1, 1, 0) // 5
+	c.Halt()                                         // 6
+	cf := analyzeOK(t, c.Build(), sfi.GuardPages)
+	if cf.Bits[5]&FactResident == 0 {
+		t.Error("control: admitted computed-to-symbol target lost the resident fact")
+	}
+}
+
 // --- audit corruption --------------------------------------------------
 
 // TestAuditFactsRejectsCorruption hand-corrupts a genuine artifact one

@@ -64,6 +64,10 @@ func (w *worklist) pop() (int, bool) {
 func (v *verification) analyze() {
 	v.checkHostcallGate()
 	v.isLeader = leaders(v.p)
+	v.addrTaken = make([]bool, len(v.p.Instrs))
+	for _, t := range IndirectTargets(v.p) {
+		v.addrTaken[t] = true
+	}
 	v.rootEntry = v.entryIndex()
 	v.fns = map[int]*fnAnalysis{}
 	root := v.getFn(v.rootEntry)
@@ -321,6 +325,10 @@ func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr,
 				v.violate(idx, "hostcall-gate", "indirect jump into the hostcall gate: the gate is only enterable by a direct call")
 				return false
 			}
+			if !v.addrTaken[t] {
+				v.violate(idx, "indirect-target", "indirect jump resolves to instruction %d, which is not address-taken (no symbol or movi immediate names it)", t)
+				return false
+			}
 			v.updateIn(f, idx, t, st, work)
 		} else {
 			v.violate(idx, "indirect-target", "indirect jump target is not a provable constant")
@@ -333,6 +341,10 @@ func (v *verification) step(f *fnAnalysis, st *absState, idx int, in *isa.Instr,
 		if t, ok := v.exactCodeTarget(st, in.Rs1); ok {
 			if v.gateIdx >= 0 && (t == v.gateIdx || t == v.gateIdx+1) {
 				v.violate(idx, "hostcall-gate", "indirect call into the hostcall gate: the gate is only enterable by a direct call")
+				return false
+			}
+			if !v.addrTaken[t] {
+				v.violate(idx, "indirect-target", "indirect call resolves to instruction %d, which is not address-taken (no symbol or movi immediate names it)", t)
 				return false
 			}
 			v.stepCall(f, st, idx, t, work)

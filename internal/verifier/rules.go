@@ -28,7 +28,7 @@ var ruleRegistry = map[string]string{
 	"hostcall":        "hostcall number or marshalling bounds not proven at a call site",
 	"syscall":         "syscall is not the admitted mprotect-over-heap shape",
 	"privileged-op":   "instruction outside the scheme's allowlist",
-	"indirect-target": "indirect branch target not a provable constant",
+	"indirect-target": "indirect branch target not a provable address-taken constant",
 
 	// Fact-audit rules (AuditFacts): a claimed Facts artifact failed the
 	// independent re-derivation. These mark tampered or stale proofs, not

@@ -235,6 +235,13 @@ type verification struct {
 	// the program has none (set by checkHostcallGate at analyze entry).
 	gateIdx int
 
+	// addrTaken marks the instruction indices in IndirectTargets(p): the
+	// only targets an indirect branch may resolve to. Restricting resolved
+	// targets to this set keeps the CFG's indirect successor edges a true
+	// over-approximation of concrete control flow, which the dominator and
+	// availability passes behind FactDominated rely on.
+	addrTaken []bool
+
 	// fc collects per-instruction observations when set (Analyze); nil
 	// under plain Verify, keeping the gate path collection-free.
 	fc *factsCollector
