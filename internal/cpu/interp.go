@@ -86,6 +86,16 @@ type Interp struct {
 	// handler may transfer control past the dominating check).
 	domSafe bool
 
+	// segment marks a SegmentRun in progress: the run is one slice of a
+	// larger logical run driven by the tiered engine. Dominated-check
+	// elision is off (segments start mid-program, past the proof root) and
+	// the StopLimit return does NOT fold cycles into the kernel clock —
+	// Clock.AdvanceCycles truncates per call, so extra fold points at
+	// segment seams would drift the ns timeline away from a monolithic
+	// run. Deferring keeps the AdvanceCycles call sequence — and therefore
+	// the observable clock — bit-identical between the engines.
+	segment bool
+
 	milliCycles uint64
 
 	// costTab holds the per-opcode dispatch charge precomputed from Cost,
@@ -103,29 +113,38 @@ func NewInterp(m *Machine) *Interp {
 	return &Interp{M: m, Cost: DefaultCostModel(), UseCaches: true, TrustFacts: true}
 }
 
-// buildCostTab precomputes the dispatch charge for every opcode from the
-// current cost model. Opcodes whose charge depends on runtime state (memory
-// ops, syscalls, HFI config) keep their composite accounting in the
-// dispatch loop; their entries hold the fixed part.
-func (ip *Interp) buildCostTab() {
-	c := &ip.Cost
-	for op := range ip.costTab {
-		ip.costTab[op] = c.ALU
+// Table expands the model into the per-opcode dispatch charge. Opcodes
+// whose charge depends on runtime state (memory ops, syscalls, HFI config)
+// keep their composite accounting in the dispatch loop; their entries hold
+// the fixed part. The tiered engine's lowering bills fused superinstructions
+// from this same table (hfilint forbids internal/tier from spelling a cost
+// by hand), so a model change cannot drift the two engines apart.
+func (c CostModel) Table() [isa.OpCount]uint64 {
+	var tab [isa.OpCount]uint64
+	for op := range tab {
+		tab[op] = c.ALU
 	}
-	ip.costTab[isa.OpMul] = c.Mul
-	ip.costTab[isa.OpDiv] = c.Div
-	ip.costTab[isa.OpRem] = c.Div
-	ip.costTab[isa.OpBr] = c.Branch
-	ip.costTab[isa.OpJmp] = c.Branch
-	ip.costTab[isa.OpJmpInd] = c.Branch
-	ip.costTab[isa.OpCall] = c.Branch + c.Store
-	ip.costTab[isa.OpCallInd] = c.Branch + c.Store
-	ip.costTab[isa.OpRet] = c.Branch + c.Load
-	ip.costTab[isa.OpFence] = c.Serialize
-	ip.costTab[isa.OpSyscall] = c.Syscall
-	ip.costTab[isa.OpHostcall] = c.Hostcall
-	ip.costTab[isa.OpXsave] = c.Serialize
-	ip.costTab[isa.OpXrstor] = c.Serialize
+	tab[isa.OpMul] = c.Mul
+	tab[isa.OpDiv] = c.Div
+	tab[isa.OpRem] = c.Div
+	tab[isa.OpBr] = c.Branch
+	tab[isa.OpJmp] = c.Branch
+	tab[isa.OpJmpInd] = c.Branch
+	tab[isa.OpCall] = c.Branch + c.Store
+	tab[isa.OpCallInd] = c.Branch + c.Store
+	tab[isa.OpRet] = c.Branch + c.Load
+	tab[isa.OpFence] = c.Serialize
+	tab[isa.OpSyscall] = c.Syscall
+	tab[isa.OpHostcall] = c.Hostcall
+	tab[isa.OpXsave] = c.Serialize
+	tab[isa.OpXrstor] = c.Serialize
+	return tab
+}
+
+// buildCostTab precomputes the dispatch charge table from the current cost
+// model.
+func (ip *Interp) buildCostTab() {
+	ip.costTab = ip.Cost.Table()
 	ip.costSrc = ip.Cost
 	ip.costTabOK = true
 }
@@ -182,7 +201,14 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 	if maxInstrs == 0 {
 		maxInstrs = ^uint64(0) // unlimited; one compare in the loop header
 	}
-	ip.domSafe = ip.TrustFacts && m.factRunEntrySafe(m.PC)
+	if ip.segment {
+		// A segment never starts a dominator-rooted run of its own;
+		// declining the elision is always architecturally sound (the full
+		// checks run instead, billed identically).
+		ip.domSafe = false
+	} else {
+		ip.domSafe = ip.TrustFacts && m.factRunEntrySafe(m.PC)
+	}
 	for n := uint64(0); n < maxInstrs; n++ {
 		pc := m.PC
 		if pc == HostReturn {
@@ -336,6 +362,16 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 					m.HFI.ChecksData++
 				}
 				m.FactElisions++
+				// Refill the DTC so page-local successors take the 1-entry
+				// cache hit instead of re-walking the fact gate. Without
+				// this the elide path starves the DTC: the gate — cheap,
+				// but dearer than a cache hit on schemes whose dynamic
+				// check is itself a single hit — became the steady-state
+				// cost of every fact-covered access (the 0.85× guardpages
+				// regression in BENCH_PR7).
+				if !ip.NoFastPath {
+					m.dtcFill(addr)
+				}
 			} else {
 				if f := m.HFI.CheckData(addr, in.Size, write); f != nil {
 					if res, ok := ip.fault(pc, addr, f, false); !ok {
@@ -574,7 +610,9 @@ func (ip *Interp) Run(maxInstrs uint64) RunResult {
 		}
 		m.PC = next
 	}
-	ip.syncClock()
+	if !ip.segment {
+		ip.syncClock()
+	}
 	return RunResult{Reason: StopLimit}
 }
 

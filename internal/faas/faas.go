@@ -15,6 +15,7 @@ import (
 	"hfi/internal/sandbox"
 	"hfi/internal/sfi"
 	"hfi/internal/stats"
+	"hfi/internal/tier"
 	"hfi/internal/wasm"
 	"hfi/internal/workloads"
 )
@@ -128,9 +129,14 @@ func ProvisionShared(tenant workloads.Tenant, cfg Config, images *sandbox.CodeCa
 	if err != nil {
 		return nil, fmt.Errorf("faas: %s/%s: %w", tenant.Name, cfg.Name, err)
 	}
+	// The tiered engine over the shared lowering when the image carries
+	// facts; it is cycle-exact with the plain interpreter (the sandbox
+	// differential corpus gate proves it), so the engine choice is purely
+	// a host-throughput decision. With no facts the engine delegates every
+	// run to the interpreter anyway.
 	ti := &TenantInstance{
 		Tenant: tenant, Cfg: cfg,
-		RT: rt, Inst: inst, Eng: cpu.NewInterp(rt.M),
+		RT: rt, Inst: inst, Eng: tier.NewEngine(cpu.NewInterp(rt.M), inst.Lowered),
 	}
 	if tenant.Mod != nil && tenant.Mod.UsesHostcalls() {
 		world := cfg.World
@@ -141,6 +147,18 @@ func ProvisionShared(tenant workloads.Tenant, cfg Config, images *sandbox.CodeCa
 		ti.Env.Bind(rt.M, inst.HeapBase, inst.C.MaxHeapBytes())
 	}
 	return ti, nil
+}
+
+// TierCountersDelta harvests the tiered engine's activity since the last
+// harvest (promotions, tiered-vs-interpreted retirement). Zero for engines
+// that are not tiered (differential tests hand-build interpreters).
+func (ti *TenantInstance) TierCountersDelta() stats.TierCounters {
+	te, ok := ti.Eng.(*tier.Engine)
+	if !ok {
+		return stats.TierCounters{}
+	}
+	p, t, i := te.TakeCounters()
+	return stats.TierCounters{PromotedBlocks: p, TieredInstrs: t, InterpInstrs: i}
 }
 
 // ArmHostcallFault schedules a chaos fault for the next request served on

@@ -382,6 +382,10 @@ type Server struct {
 	closedRefs atomic.Uint64
 	poolSize   atomic.Int64
 	poolHigh   atomic.Int64
+
+	tierPromoted atomic.Uint64
+	tierInstrs   atomic.Uint64
+	tierInterp   atomic.Uint64
 }
 
 // New starts a server with cfg.Workers goroutines waiting on the
@@ -631,11 +635,21 @@ type Counters struct {
 	PoolSize          int64  `json:"pool_size"`
 	PoolHighWater     int64  `json:"pool_high_water"`
 	BreakerTrips      uint64 `json:"breaker_trips"`
+
+	// Tiered-engine activity across all workers: blocks promoted to fused
+	// execution, the guest-instruction retirement split between the tiers,
+	// and the shared lowering cache's hit rate (read from faas.Images, the
+	// same cache every worker provisions through).
+	TierPromotedBlocks uint64 `json:"tier_promoted_blocks"`
+	TierInstrs         uint64 `json:"tier_instrs"`
+	TierInterpInstrs   uint64 `json:"tier_interp_instrs"`
+	LoweringHits       uint64 `json:"lowering_hits"`
+	LoweringMisses     uint64 `json:"lowering_misses"`
 }
 
 // Counters snapshots the robustness counters.
 func (s *Server) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Admitted:          s.admitted.Load(),
 		ColdStarts:        s.coldStarts.Load(),
 		Shed:              s.rejected.Load(),
@@ -649,7 +663,13 @@ func (s *Server) Counters() Counters {
 		PoolSize:          s.poolSize.Load(),
 		PoolHighWater:     s.poolHigh.Load(),
 		BreakerTrips:      s.sched.breakerTrips(),
+
+		TierPromotedBlocks: s.tierPromoted.Load(),
+		TierInstrs:         s.tierInstrs.Load(),
+		TierInterpInstrs:   s.tierInterp.Load(),
 	}
+	c.LoweringHits, c.LoweringMisses = faas.Images.LoweringStats()
+	return c
 }
 
 // poolGrew maintains the aggregate pool-size gauge and its high-water
@@ -768,6 +788,7 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Respo
 			body, res = ent.ti.ServeRequest(seq, fuel)
 		}
 		s.harvestHostcalls(name, ent.ti)
+		s.harvestTier(name, ent.ti)
 	}
 	switch res.Reason {
 	case cpu.StopHalt:
@@ -794,6 +815,20 @@ func (s *Server) harvestHostcalls(name string, ti *faas.TenantInstance) {
 	s.rec.RecordHostcalls(name, stats.HostcallCounters{
 		Calls: calls, BytesIn: bi, BytesOut: bo, QuotaRejects: qr,
 	})
+}
+
+// harvestTier attributes the instance's tiered-engine activity (the delta
+// since the last harvest) to the tenant's stats and the server's global
+// counters. Instances running a plain interpreter record nothing.
+func (s *Server) harvestTier(name string, ti *faas.TenantInstance) {
+	tc := ti.TierCountersDelta()
+	if tc == (stats.TierCounters{}) {
+		return
+	}
+	s.tierPromoted.Add(tc.PromotedBlocks)
+	s.tierInstrs.Add(tc.TieredInstrs)
+	s.tierInterp.Add(tc.InterpInstrs)
+	s.rec.RecordTier(name, tc)
 }
 
 // deadlineFuel clamps a request's fuel budget to the wall time left

@@ -400,6 +400,29 @@ func TestHostcallOverHTTP(t *testing.T) {
 	if sz.Serve.Hostcalls.Calls == 0 || sz.Serve.Hostcalls.BytesIn == 0 || sz.Serve.Hostcalls.BytesOut == 0 {
 		t.Fatalf("degenerate hostcall traffic: %+v", sz.Serve.Hostcalls)
 	}
+
+	// Tier counter conservation on /statsz: global == Σ per-tenant, the
+	// engines actually retired instructions, and the counters surface in
+	// host.Counters too (the lowering cache must have been exercised by
+	// provisioning).
+	var tsum stats.TierCounters
+	for _, tn := range sz.Tenants {
+		tsum.Add(tn.Tier)
+	}
+	if tsum != sz.Serve.Tier {
+		t.Fatalf("tier conservation: tenants %+v != global %+v", tsum, sz.Serve.Tier)
+	}
+	if sz.Serve.Tier.TieredInstrs+sz.Serve.Tier.InterpInstrs == 0 {
+		t.Fatalf("tiered engines retired nothing: %+v", sz.Serve.Tier)
+	}
+	if sz.Counters.TierInstrs != sz.Serve.Tier.TieredInstrs ||
+		sz.Counters.TierInterpInstrs != sz.Serve.Tier.InterpInstrs ||
+		sz.Counters.TierPromotedBlocks != sz.Serve.Tier.PromotedBlocks {
+		t.Fatalf("host counters disagree with recorder: %+v vs %+v", sz.Counters, sz.Serve.Tier)
+	}
+	if sz.Counters.LoweringHits+sz.Counters.LoweringMisses == 0 {
+		t.Fatalf("lowering cache never consulted: %+v", sz.Counters)
+	}
 }
 
 // TestOpenLoopHTTPGenerator: the HTTP open-loop generator produces a

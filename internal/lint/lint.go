@@ -19,6 +19,13 @@
 //     misspelling waiting to happen). Uniqueness is by construction: the
 //     registry is a map literal, and duplicate keys do not compile.
 //
+//   - The tiered engine bills only through the cost table. Cycle
+//     exactness between the interpreter and the superinstruction engine
+//     rests on both reading the same per-opcode CostModel.Table(); a
+//     lowering that touched an individual CostModel field (cost.ALU,
+//     cost.Branch, ...) could drift silently, so internal/tier may not
+//     name those fields at all and must call Table() at least once.
+//
 // The checker is pure go/ast + go/parser (the module has no dependencies,
 // so golang.org/x/tools analysis frameworks are off the table) and runs as
 // cmd/hfilint inside `make verify`.
@@ -104,6 +111,20 @@ func Run(root string) ([]Issue, error) {
 		if !used[r] {
 			issues = append(issues, Issue{"internal/verifier/rules.go", fmt.Sprintf("registered rule %q has no violate() call site", r)})
 		}
+	}
+
+	tr, tfset, err := parseDir(filepath.Join(root, "internal", "tier"))
+	if err != nil {
+		return nil, err
+	}
+	sawTable := false
+	for _, f := range tr {
+		found, bad := lintTierCost(tfset, f)
+		sawTable = sawTable || found
+		issues = append(issues, bad...)
+	}
+	if len(tr) > 0 && !sawTable {
+		issues = append(issues, Issue{"internal/tier", "no CostModel.Table() call found; superinstruction charges must come from the shared cost table"})
 	}
 
 	sort.Slice(issues, func(i, j int) bool { return issues[i].Pos < issues[j].Pos })
@@ -276,6 +297,46 @@ func collectRegistry(f *ast.File) map[string]bool {
 		}
 	}
 	return keys
+}
+
+// costModelFields are the per-class charge knobs of cpu.CostModel. The
+// tiered engine must never read them directly: every milli-cycle a
+// superinstruction bills has to come from CostModel.Table() (the same
+// per-opcode table the interpreter dispatches on) or from prefix sums
+// built over it, so the two engines cannot drift apart by one engine
+// hand-spelling a cost. Field names, not types: the linter is
+// syntax-only, so any selector with one of these names inside
+// internal/tier is flagged.
+var costModelFields = map[string]bool{
+	"ALU": true, "Mul": true, "Div": true, "Branch": true,
+	"Load": true, "Store": true, "MissScale": true, "Serialize": true,
+	"HfiBase": true, "HfiMove": true, "Syscall": true, "Redirect": true,
+	"Hostcall": true,
+}
+
+// lintTierCost enforces the tier package's cost-provenance contract: no
+// selector may name an individual CostModel field (costs flow only
+// through Table()), and the package as a whole must contain at least one
+// Table() call — sawTable reports whether this file has one.
+func lintTierCost(fset *token.FileSet, f *ast.File) (sawTable bool, issues []Issue) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Table" {
+			sawTable = true
+			return true
+		}
+		if costModelFields[sel.Sel.Name] {
+			issues = append(issues, Issue{
+				posOf(fset, sel.Pos()),
+				fmt.Sprintf("tier code reads CostModel field %s directly; bill through CostModel.Table() so superinstruction charges match the interpreter's", sel.Sel.Name),
+			})
+		}
+		return true
+	})
+	return sawTable, issues
 }
 
 func posOf(fset *token.FileSet, p token.Pos) string {

@@ -88,6 +88,44 @@ func f() {
 	}
 }
 
+// TestTierCostRule pins the cost-provenance check: CostModel field
+// selectors are flagged, Table() calls are seen, and unrelated selectors
+// (same-name fields on other types included — the rule is deliberately
+// name-based) pass or fail exactly as documented.
+func TestTierCostRule(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		bad      int
+		sawTable bool
+	}{
+		{"table call only", `package p
+func lower(cost cpu.CostModel) { tab := cost.Table(); _ = tab }`, 0, true},
+		{"direct field read", `package p
+func lower(cost cpu.CostModel) uint64 { return cost.ALU + cost.Branch }`, 2, false},
+		{"field read beside table", `package p
+func lower(cost cpu.CostModel) uint64 { tab := cost.Table(); return tab[0] + cost.Load }`, 1, true},
+		{"cost compare untouched", `package p
+func ok(ip *cpu.Interp, low *Lowered) bool { return ip.Cost == low.Cost }`, 0, false},
+		{"opcode names untouched", `package p
+func f(in isa.Instr) bool { return in.Op == isa.OpLoad || in.Op == isa.OpStore }`, 0, false},
+	}
+	for _, c := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "synthetic.go", c.src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sawTable, got := lintTierCost(fset, f)
+		if len(got) != c.bad {
+			t.Errorf("%s: %d issues, want %d: %v", c.name, len(got), c.bad, got)
+		}
+		if sawTable != c.sawTable {
+			t.Errorf("%s: sawTable = %v, want %v", c.name, sawTable, c.sawTable)
+		}
+	}
+}
+
 // TestRegistryExtraction pins ruleRegistry key collection.
 func TestRegistryExtraction(t *testing.T) {
 	src := `package p

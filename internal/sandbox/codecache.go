@@ -5,7 +5,9 @@ import (
 	"strings"
 	"sync"
 
+	"hfi/internal/cpu"
 	"hfi/internal/sfi"
+	"hfi/internal/tier"
 	"hfi/internal/wasm"
 )
 
@@ -33,6 +35,16 @@ type CodeCache struct {
 	mu     sync.Mutex
 	sizes  map[sizeKey]uint64
 	images map[imageKey]*wasm.Compiled
+
+	// lowerings caches the tiered engine's per-image lowering next to the
+	// image it was derived from, keyed by image identity: the lowering is
+	// a pure function of (Prog, Facts, cost model), all frozen at compile
+	// time, so one lowering per module × scheme × geometry is shared
+	// across every worker — the same argument as image sharing, and the
+	// same immutability contract (all mutable tier state lives in the
+	// per-instance Engine).
+	lowerings            map[*wasm.Compiled]*tier.Lowered
+	lowHits, lowMisses   uint64
 
 	hits, misses uint64
 }
@@ -74,8 +86,9 @@ func normalizeOpts(opts wasm.Options) wasm.Options {
 // NewCodeCache returns an empty cache.
 func NewCodeCache() *CodeCache {
 	return &CodeCache{
-		sizes:  make(map[sizeKey]uint64),
-		images: make(map[imageKey]*wasm.Compiled),
+		sizes:     make(map[sizeKey]uint64),
+		images:    make(map[imageKey]*wasm.Compiled),
+		lowerings: make(map[*wasm.Compiled]*tier.Lowered),
 	}
 }
 
@@ -121,9 +134,60 @@ func (cc *CodeCache) compile(mod *wasm.Module, scheme sfi.Scheme, lay wasm.Layou
 	return c, nil
 }
 
+// Lowering returns the tiered-engine lowering for a cached image, building
+// it on first request. The lock is held across the lowering so it is built
+// at most once per image no matter how many workers race. A nil result
+// (image carries no facts) is cached too.
+func (cc *CodeCache) Lowering(c *wasm.Compiled) *tier.Lowered {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if low, ok := cc.lowerings[c]; ok {
+		cc.lowHits++
+		return low
+	}
+	cc.lowMisses++
+	low := tier.Lower(c.Prog, c.Facts, cpu.DefaultCostModel())
+	cc.lowerings[c] = low
+	return low
+}
+
+// Evict drops every cache entry derived from mod — probe sizes, images,
+// and the lowerings keyed by those images. Lowerings must leave with their
+// image: a later re-compile produces a new *wasm.Compiled, and an orphaned
+// lowering entry would pin the old image (and its facts) forever.
+func (cc *CodeCache) Evict(mod *wasm.Module) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for k := range cc.sizes {
+		if k.mod == mod {
+			delete(cc.sizes, k)
+		}
+	}
+	for k, c := range cc.images {
+		if k.mod == mod {
+			delete(cc.images, k)
+			delete(cc.lowerings, c)
+		}
+	}
+}
+
+// Entries reports the live image- and lowering-cache entry counts.
+func (cc *CodeCache) Entries() (images, lowerings int) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.images), len(cc.lowerings)
+}
+
 // Stats reports image-cache hits and misses (probe lookups excluded).
 func (cc *CodeCache) Stats() (hits, misses uint64) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	return cc.hits, cc.misses
+}
+
+// LoweringStats reports lowering-cache hits and misses.
+func (cc *CodeCache) LoweringStats() (hits, misses uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lowHits, cc.lowMisses
 }

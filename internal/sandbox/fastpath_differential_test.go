@@ -6,6 +6,7 @@ import (
 	"hfi/internal/cpu"
 	"hfi/internal/isa"
 	"hfi/internal/sfi"
+	"hfi/internal/tier"
 	"hfi/internal/wasm"
 	"hfi/internal/workloads"
 )
@@ -39,33 +40,39 @@ func hashBytes(data []byte) uint64 {
 	return h
 }
 
-// TestDifferentialFastPathCorpus runs the full Sightglass corpus under the
-// HFI and guard-page schemes with the interpreter fast paths and the
-// verifier-fact elision crossed in all four combinations, and asserts
-// identical architectural outcomes against the fully dynamic baseline
-// (NoFastPath=true, TrustFacts=off): stop reason, result, registers,
-// retired instructions, cycle counts, simulated clock, heap image, and HFI
-// check counters. The fast paths are pure caching and the elision path is
-// a pure proof-consumer — any divergence is a bug in cache invalidation or
-// in a fact the verifier should not have emitted. The elided runs must
-// also actually elide (FactElisions > 0), so the equivalence is not
-// vacuous.
+// TestDifferentialFastPathCorpus runs the full Sightglass corpus under all
+// four isolation schemes with the interpreter fast paths and the
+// verifier-fact elision crossed in all four combinations — plus a fifth
+// variant running the tiered superinstruction engine with an aggressive
+// promotion threshold — and asserts identical architectural outcomes
+// against the fully dynamic baseline (NoFastPath=true, TrustFacts=off):
+// stop reason, result, registers, retired instructions, cycle counts,
+// simulated clock, heap image, and HFI check counters. The fast paths are
+// pure caching, the elision path is a pure proof-consumer, and the tiered
+// engine is a pure re-encoding of the same semantics — any divergence is a
+// bug in cache invalidation, in a fact the verifier should not have
+// emitted, or in a superinstruction lowering. The elided runs must also
+// actually elide (FactElisions > 0) and the tiered runs must actually
+// retire fused instructions, so the equivalence is not vacuous.
 func TestDifferentialFastPathCorpus(t *testing.T) {
 	wls := workloads.Sightglass()
 	if testing.Short() {
 		wls = wls[:4]
 	}
 	type variant struct {
-		noFast, trustFacts bool
+		noFast, trustFacts, tiered bool
 	}
 	variants := []variant{
-		{true, false}, // fully dynamic baseline, snapshot source
-		{false, false},
-		{false, true},
-		{true, true},
+		{true, false, false}, // fully dynamic baseline, snapshot source
+		{false, false, false},
+		{false, true, false},
+		{true, true, false},
+		{false, true, true}, // tiered engine over the default interpreter
 	}
+	schemes := []sfi.Scheme{sfi.GuardPages, sfi.BoundsCheck, sfi.Masking, sfi.HFI}
+	tieredRan := make(map[sfi.Scheme]uint64)
 	for _, w := range wls {
-		for _, scheme := range []sfi.Scheme{sfi.HFI, sfi.GuardPages} {
+		for _, scheme := range schemes {
 			var want runSnapshot
 			elided := uint64(0)
 			elidable := uint64(0)
@@ -78,7 +85,16 @@ func TestDifferentialFastPathCorpus(t *testing.T) {
 				ip := cpu.NewInterp(rt.M)
 				ip.NoFastPath = v.noFast
 				ip.TrustFacts = v.trustFacts
-				res, r0 := inst.Invoke(ip, 500_000_000)
+				var eng cpu.Engine = ip
+				var te *tier.Engine
+				if v.tiered {
+					te = tier.NewEngine(ip, inst.Lowered)
+					// Promote on the second execution of every block so the
+					// fused paths carry as much of the run as possible.
+					te.PromoteAfter = 1
+					eng = te
+				}
+				res, r0 := inst.Invoke(eng, 500_000_000)
 				if res.Reason != cpu.StopHalt {
 					t.Fatalf("%s/%v %+v: stop = %v", w.Name, scheme, v, res.Reason)
 				}
@@ -101,6 +117,10 @@ func TestDifferentialFastPathCorpus(t *testing.T) {
 					s := inst.C.Facts.Summary()
 					elidable = uint64(s.Resident + s.Dominated + s.HfiHeap)
 				}
+				if te != nil {
+					_, tiered, _ := te.Counters()
+					tieredRan[scheme] += tiered
+				}
 				if vi == 0 {
 					want = snap
 				} else if snap != want {
@@ -114,6 +134,13 @@ func TestDifferentialFastPathCorpus(t *testing.T) {
 				t.Errorf("%s/%v: %d elidable facts but no checks elided; the differential is vacuous",
 					w.Name, scheme, elidable)
 			}
+		}
+	}
+	// Non-vacuity for the tiered variant: under every scheme, at least part
+	// of the corpus must have retired instructions through fused blocks.
+	for _, scheme := range schemes {
+		if tieredRan[scheme] == 0 {
+			t.Errorf("%v: tiered engine retired no fused instructions across the corpus; the differential is vacuous", scheme)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"hfi/internal/isa"
 	"hfi/internal/kernel"
 	"hfi/internal/sfi"
+	"hfi/internal/tier"
 	"hfi/internal/wasm"
 )
 
@@ -79,6 +80,14 @@ type Instance struct {
 	regionCount int
 	springProg  *isa.Program
 	wrapped     bool // native-wrap mode (see Runtime.WrapNative)
+
+	// Lowered is the tiered-engine lowering of this instance's program:
+	// shared from the runtime's CodeCache when one is installed (one
+	// lowering per module × scheme × geometry), built privately otherwise,
+	// and nil when the image carries no facts. Hosts that want tiered
+	// execution construct a tier.Engine over it; Invoke works with any
+	// cpu.Engine.
+	Lowered *tier.Lowered
 
 	// CurPages mirrors the guest-side page counter.
 	CurPages int
@@ -248,6 +257,12 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		// artifact across instances.
 		m.AttachFacts(c.Prog, ef)
 	}
+	var low *tier.Lowered
+	if rt.Images != nil {
+		low = rt.Images.Lowering(c)
+	} else {
+		low = tier.Lower(c.Prog, c.Facts, cpu.DefaultCostModel())
+	}
 
 	inst := &Instance{
 		RT: rt, C: c,
@@ -257,6 +272,7 @@ func (rt *Runtime) Instantiate(mod *wasm.Module, scheme sfi.Scheme, opts wasm.Op
 		ExtraMemBases: extraBases, ExtraMemReserved: extraReserved,
 		CurPages: mod.MemPages,
 		EntryPC:  c.Prog.Entry("__start"),
+		Lowered:  low,
 	}
 
 	// Initialize runtime globals and data segments.

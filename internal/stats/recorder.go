@@ -50,6 +50,7 @@ type Recorder struct {
 	rejected uint64
 	canceled uint64
 	hc       HostcallCounters
+	tc       TierCounters
 	tenants  map[string]*tenantStats
 }
 
@@ -72,11 +73,30 @@ func (c *HostcallCounters) Add(o HostcallCounters) {
 	c.QuotaRejects += o.QuotaRejects
 }
 
+// TierCounters aggregates tiered-engine activity the serving layer
+// harvests from each instance's engine after every request: blocks
+// promoted to fused execution and the retirement split between the two
+// tiers. Same conservation invariant as HostcallCounters: the global
+// counters are the exact sum of the per-tenant ones.
+type TierCounters struct {
+	PromotedBlocks uint64 `json:"promoted_blocks"`
+	TieredInstrs   uint64 `json:"tiered_instrs"`
+	InterpInstrs   uint64 `json:"interp_instrs"`
+}
+
+// Add accumulates o into c.
+func (c *TierCounters) Add(o TierCounters) {
+	c.PromotedBlocks += o.PromotedBlocks
+	c.TieredInstrs += o.TieredInstrs
+	c.InterpInstrs += o.InterpInstrs
+}
+
 // tenantStats is one tenant's slice of the recorder: the same outcome
 // counters plus its own latency samples (for a per-tenant p99).
 type tenantStats struct {
 	ok, timeouts, faults, shed, rejected, canceled uint64
 	hc                                             HostcallCounters
+	tc                                             TierCounters
 	lats                                           []float64
 }
 
@@ -172,6 +192,30 @@ func (r *Recorder) RecordHostcalls(tenant string, hc HostcallCounters) {
 	}
 }
 
+// RecordTier attributes one request's tiered-engine activity to a tenant,
+// updating the global aggregate identically — the same conservation
+// contract as RecordHostcalls: the sum over TenantSummaries always equals
+// the Snapshot totals.
+func (r *Recorder) RecordTier(tenant string, tc TierCounters) {
+	if tc == (TierCounters{}) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tc.Add(tc)
+	if tenant != "" {
+		ts := r.tenants[tenant]
+		if ts == nil {
+			if r.tenants == nil {
+				r.tenants = make(map[string]*tenantStats)
+			}
+			ts = &tenantStats{}
+			r.tenants[tenant] = ts
+		}
+		ts.tc.Add(tc)
+	}
+}
+
 // ServeSummary is a point-in-time view of a Recorder.
 type ServeSummary struct {
 	OK       uint64
@@ -188,6 +232,10 @@ type ServeSummary struct {
 	// Hostcalls aggregates the host-call boundary traffic of every served
 	// request: calls, marshalled bytes each way, and quota rejections.
 	Hostcalls HostcallCounters
+
+	// Tier aggregates tiered-engine activity: block promotions and the
+	// tiered-vs-interpreted retirement split.
+	Tier TierCounters
 
 	MeanNs float64
 	P50Ns  float64
@@ -213,7 +261,7 @@ func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 	s := ServeSummary{
 		OK: r.ok, Timeouts: r.timeouts, Faults: r.faults,
 		Shed: r.shed, Rejected: r.rejected, Canceled: r.canceled,
-		Hostcalls: r.hc,
+		Hostcalls: r.hc, Tier: r.tc,
 	}
 	r.mu.Unlock()
 
@@ -248,6 +296,9 @@ type TenantSummary struct {
 
 	// Hostcalls is the tenant's host-call boundary traffic.
 	Hostcalls HostcallCounters `json:"hostcalls"`
+
+	// Tier is the tenant's tiered-engine activity.
+	Tier TierCounters `json:"tier"`
 }
 
 // Executed counts the tenant's requests that reached a sandbox.
@@ -266,7 +317,7 @@ func (r *Recorder) TenantSummaries() []TenantSummary {
 			Tenant: name,
 			OK:     ts.ok, Timeouts: ts.timeouts, Faults: ts.faults,
 			Shed: ts.shed, Rejected: ts.rejected, Canceled: ts.canceled,
-			Hostcalls: ts.hc,
+			Hostcalls: ts.hc, Tier: ts.tc,
 		}
 		if len(ts.lats) > 0 {
 			lats := append([]float64(nil), ts.lats...)

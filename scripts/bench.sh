@@ -12,9 +12,15 @@
 # facts -json` (checks/instr with the verifier facts ignored vs trusted,
 # heap-op coverage, corpus throughput both ways) into BENCH_PR7.json.
 #
-# The script fails if the hot-loop benchmark reports any allocations; the
-# same invariant is enforced as a plain test (TestInterpHotLoopZeroAllocs)
-# so `make verify` catches regressions without running benchmarks.
+# Then the tiered-engine snapshot: the warm Sightglass corpus under the
+# plain interpreter vs the tiered superinstruction engine plus `hfibench
+# -exp tier -json`, into BENCH_PR8.json, gated at >= 3x the BENCH_PR3
+# fast-path basis.
+#
+# The script fails if the hot-loop benchmarks report any allocations; the
+# same invariants are enforced as plain tests (TestInterpHotLoopZeroAllocs,
+# TestTierHotLoopZeroAllocs) so `make verify` catches regressions without
+# running benchmarks.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -98,3 +104,51 @@ factsexp=$(go run ./cmd/hfibench -exp facts -json)
     printf '}\n'
 } > BENCH_PR7.json
 echo "wrote BENCH_PR7.json"
+
+# Tiered-engine snapshot: the Sightglass corpus under the plain interpreter
+# vs the tiered superinstruction engine (cycle-exact, proven by the sandbox
+# differential corpus gate), gated against the BENCH_PR3 fast-path basis.
+PR3_SIGHTGLASS_FAST=33900000  # BENCH_PR3 hfibench_micro "interp instrs/sec" fast path
+
+echo "== tiered-engine corpus benchmarks (count=5) =="
+tout=$(go test -run '^$' -bench 'BenchmarkCorpus' -benchmem -benchtime 2s -count 5 ./internal/tier/)
+echo "$tout" | grep -E 'Benchmark|^ok'
+
+tier_median=$(echo "$tout" | awk '/^BenchmarkCorpusTierHFI/ {print $5}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+interp_median=$(echo "$tout" | awk '/^BenchmarkCorpusInterpHFI/ {print $5}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+tier_allocs=$(echo "$tout" | awk '/^BenchmarkCorpusTierHFI/ {print $9}' | sort -n | tail -1)
+
+if [ "$tier_allocs" != "0" ]; then
+    echo "bench.sh: FAIL: tiered hot loop reports $tier_allocs allocs/op (want 0)" >&2
+    exit 1
+fi
+
+tier_vs_pr3=$(awk "BEGIN {printf \"%.2f\", $tier_median / $PR3_SIGHTGLASS_FAST}")
+tier_vs_interp=$(awk "BEGIN {printf \"%.2f\", $tier_median / $interp_median}")
+if [ "$(awk "BEGIN {print ($tier_vs_pr3 < 3.0)}")" = "1" ]; then
+    echo "bench.sh: FAIL: tiered corpus throughput $tier_median instrs/s is ${tier_vs_pr3}x the BENCH_PR3 fast path (want >= 3x)" >&2
+    exit 1
+fi
+echo "tier corpus median: $tier_median instrs/s (${tier_vs_pr3}x BENCH_PR3 fast path, ${tier_vs_interp}x current interpreter)"
+
+echo "== hfibench -exp tier =="
+tierexp=$(go run ./cmd/hfibench -exp tier -json)
+
+{
+    printf '{\n'
+    printf '  "basis_bench_pr3": {\n'
+    printf '    "benchmark": "BENCH_PR3 hfibench_micro interp fast path on Sightglass (Memmove/HFI)",\n'
+    printf '    "interp_instrs_per_sec": %s\n' "$PR3_SIGHTGLASS_FAST"
+    printf '  },\n'
+    printf '  "tier_corpus_bench": {\n'
+    printf '    "benchmark": "BenchmarkCorpusTierHFI vs BenchmarkCorpusInterpHFI: warm Sightglass corpus under sfi.HFI (-benchtime 2s -count 5)",\n'
+    printf '    "interp_instrs_per_sec_median5": %s,\n' "$interp_median"
+    printf '    "tier_instrs_per_sec_median5": %s,\n' "$tier_median"
+    printf '    "allocs_per_op": %s,\n' "$tier_allocs"
+    printf '    "speedup_vs_bench_pr3_fast_path": %s,\n' "$tier_vs_pr3"
+    printf '    "speedup_vs_current_interp": %s\n' "$tier_vs_interp"
+    printf '  },\n'
+    printf '  "hfibench_tier": %s\n' "$tierexp"
+    printf '}\n'
+} > BENCH_PR8.json
+echo "wrote BENCH_PR8.json"
