@@ -37,9 +37,13 @@ benchfull:
 serve:
 	go run ./cmd/hfiserve -requests 200 -verify
 
-# Short seeded chaos soak under the race detector (~15s): deterministic
-# fault schedule run twice, exact outcome conservation, per-tenant
-# fairness under a hot-tenant flood, bounded pools. Part of `make verify`.
+# Seeded chaos soaks under the race detector: the serving soak
+# (deterministic fault schedule run twice, exact outcome conservation,
+# per-tenant fairness under a hot-tenant flood, bounded pools) and the
+# substrate soak (TestChaosSoakSubstrate — bit flips, stale DTC entries,
+# clock skew, lowering rot, with detect-and-recover containment proven by
+# a MemHook escape oracle and injector-predicted counts). The TestChaosSoak
+# run pattern matches both. Part of `make verify`.
 soak:
 	go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
 

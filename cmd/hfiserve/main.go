@@ -15,9 +15,13 @@
 //	hfiserve -fuel 200000              # per-request instruction budget
 //	hfiserve -verify                   # also check checksums vs single-threaded
 //	hfiserve -chaos -seed 7            # deterministic fault injection (internal/chaos)
+//	hfiserve -chaos -chaos-classes bitflip,tlbstale
+//	                                   # restrict injection to a subset of fault classes
 //	hfiserve -tenant-weights templated-html=4,xml-to-json=1
 //	                                   # per-tenant DRR weights
-//	hfiserve -chaos -json              # machine-readable report (echoes the seed)
+//	hfiserve -chaos -json              # machine-readable report (echoes the seed,
+//	                                   # the enabled classes, and the per-class
+//	                                   # fault breakdown per run and in aggregate)
 //
 // With -chaos the run exercises the robustness machinery: provisioning
 // retries, per-tenant circuit breakers, instance quarantine with verified
@@ -56,12 +60,19 @@ type runReport struct {
 // always be reproduced: the same seed yields the same load schedule and,
 // under -chaos, the same fault schedule.
 type report struct {
-	Seed   int64       `json:"seed"`
-	Mode   string      `json:"mode"`
-	Policy string      `json:"policy"`
-	Chaos  bool        `json:"chaos"`
-	Runs   []runReport `json:"runs,omitempty"`
-	Sweeps []sweepRun  `json:"sweeps,omitempty"`
+	Seed   int64  `json:"seed"`
+	Mode   string `json:"mode"`
+	Policy string `json:"policy"`
+	Chaos  bool   `json:"chaos"`
+	// ChaosClasses echoes which fault classes were enabled (all of them
+	// for a bare -chaos; the -chaos-classes subset otherwise), so a saved
+	// report records the full injection setup, not just the seed.
+	ChaosClasses []string `json:"chaos_classes,omitempty"`
+	// ChaosTotal aggregates the per-run per-class fault breakdowns across
+	// every worker count in the report.
+	ChaosTotal *chaos.Summary `json:"chaos_total,omitempty"`
+	Runs       []runReport    `json:"runs,omitempty"`
+	Sweeps     []sweepRun     `json:"sweeps,omitempty"`
 }
 
 // sweepRun is one worker count's open-loop rate sweep — the hockey-stick
@@ -85,6 +96,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "load (and chaos) schedule seed")
 		verify   = flag.Bool("verify", false, "verify checksums against a single-threaded reference run")
 		chaosOn  = flag.Bool("chaos", false, "inject deterministic faults (seeded by -seed)")
+		chaosSel = flag.String("chaos-classes", "", "comma-separated fault classes to enable with -chaos (default: all; see internal/chaos)")
 		weights  = flag.String("tenant-weights", "", "per-tenant DRR weights, e.g. templated-html=4,xml-to-json=1")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report (includes the seed)")
 		poolCap  = flag.Int("pool", 0, "warm-instance pool cap per worker (0 = unbounded)")
@@ -115,6 +127,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfiserve:", err)
 		os.Exit(2)
+	}
+
+	// Resolve the chaos class selection up front: a bare -chaos enables
+	// every class; -chaos-classes restricts injection to the named subset
+	// (detection stays armed either way — audits are always on).
+	chaosCfg := chaos.DefaultConfig(*seed)
+	chaosClasses := chaos.Classes()
+	if *chaosSel != "" {
+		if !*chaosOn {
+			fmt.Fprintln(os.Stderr, "hfiserve: -chaos-classes requires -chaos")
+			os.Exit(2)
+		}
+		keep, err := chaos.ParseClasses(*chaosSel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfiserve:", err)
+			os.Exit(2)
+		}
+		chaosCfg = chaosCfg.Restrict(keep)
+		chaosClasses = keep
 	}
 
 	mix := host.DefaultMix()
@@ -155,6 +186,12 @@ func main() {
 		Columns: []string{"workers", "req/s", "p50", "p99", "p99.9", "shed%", "timeouts", "faults", "speedup"},
 	}
 	rep := report{Seed: *seed, Mode: *mode, Policy: pol.String(), Chaos: *chaosOn}
+	if *chaosOn {
+		for _, c := range chaosClasses {
+			rep.ChaosClasses = append(rep.ChaosClasses, c.String())
+		}
+		rep.ChaosTotal = &chaos.Summary{}
+	}
 	var base float64
 	var lastTenants []stats.TenantSummary
 	for _, w := range counts {
@@ -163,7 +200,7 @@ func main() {
 			// A fresh injector per run so the per-run fault summary is
 			// attributable; decisions depend only on (seed, tenant, seq), so
 			// every run still sees the same fault schedule.
-			inj = chaos.Default(*seed)
+			inj = chaos.New(chaosCfg)
 		}
 		s := host.New(host.Config{
 			Workers: w, QueueDepth: *queue, Policy: pol,
@@ -207,6 +244,7 @@ func main() {
 		if inj != nil {
 			cs := inj.Snapshot()
 			rr.Chaos = &cs
+			rep.ChaosTotal.Add(cs)
 		}
 		rep.Runs = append(rep.Runs, rr)
 		if verifiable {
@@ -229,7 +267,17 @@ func main() {
 
 	tb.AddNote("GOMAXPROCS=%d; dispatch overhead %v wall per request", runtime.GOMAXPROCS(0), *dispatch)
 	if *chaosOn {
-		tb.AddNote("chaos injection on, seed %d (same seed ⇒ same fault schedule)", *seed)
+		names := make([]string, len(chaosClasses))
+		for i, c := range chaosClasses {
+			names[i] = c.String()
+		}
+		tb.AddNote("chaos injection on, seed %d, classes %s (same seed ⇒ same fault schedule)",
+			*seed, strings.Join(names, ","))
+		if rep.ChaosTotal != nil {
+			tb.AddNote("injected faults: %d total; substrate bitflip=%d tlbstale=%d clockskew=%d loweringrot=%d",
+				rep.ChaosTotal.Total(), rep.ChaosTotal.BitFlip, rep.ChaosTotal.TLBStale,
+				rep.ChaosTotal.ClockSkew, rep.ChaosTotal.LoweringRot)
+		}
 	}
 	if verifiable {
 		tb.AddNote("checksums verified against single-threaded reference (%#x)", ref)

@@ -36,10 +36,36 @@
 //     environment's fault modes for a request (a transient resource
 //     error, quota exhaustion, or a slow host call), exercising guests'
 //     errno handling without ever breaching the isolation boundary.
+//
+// Below the serving seams, the substrate classes inject faults into the
+// simulator layers themselves — the state the serving stack trusts without
+// looking (see DESIGN.md "Fault model and recovery" for the taxonomy):
+//
+//   - Bit flips — BitFlip strikes guest heap pages during the request's
+//     idle window; the host's sampled end-of-request heap-hash spot check
+//     (SpotCheck) either catches the corruption or the strike lands in
+//     cold reservation pages and stays benign.
+//   - Stale translations — TLBStale suppresses a page-decision-cache
+//     invalidation, leaving a cached translation tagged for a generation
+//     its source never issued; the generation cross-audit detects the
+//     impossible tag.
+//   - Clock skew — ClockSkew drifts a worker's simulated clock against
+//     the kernel's audit rail; differential drift is caught at the next
+//     segment boundary, common-mode drift is invisible and benign.
+//   - Lowering rot — LoweringRot corrupts a tiered engine's cached gate
+//     verdicts (the hoisted per-block safety decisions); the gate audit
+//     re-derives freshness from the generation tags and demotes.
+//
+// Substrate decisions are drawn exactly like the serving-seam ones —
+// pure functions of (seed, class, tenant, seq) with sub-parameters
+// (placement, bit, mode, magnitude) drawn from suffixed-tenant keys — so
+// a reference predictor can compute the exact detection schedule without
+// running the host.
 package chaos
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -58,10 +84,62 @@ const (
 	FaultSlow                   // worker slowdown
 	FaultPoison                 // post-Reset instance corruption
 	FaultHostcall               // hostcall-layer fault (error/quota/slow)
+
+	// Substrate classes: faults below the serving seams, in the state the
+	// simulator layers trust (PR 9).
+	FaultBitFlip     // bit flip in guest heap pages
+	FaultTLBStale    // suppressed page-decision-cache invalidation
+	FaultClockSkew   // worker clock drift against the kernel audit rail
+	FaultLoweringRot // corrupted tier-gate verdict cache
 	numFaults
 )
 
-var faultNames = [...]string{"provision", "reject", "trap", "fuel", "slow", "poison", "hostcall"}
+var faultNames = [...]string{
+	"provision", "reject", "trap", "fuel", "slow", "poison", "hostcall",
+	"bitflip", "tlbstale", "clockskew", "loweringrot",
+}
+
+// Classes returns every fault class in declaration order.
+func Classes() []Fault {
+	all := make([]Fault, numFaults)
+	for i := range all {
+		all[i] = Fault(i)
+	}
+	return all
+}
+
+// FaultByName resolves a class name as printed by String().
+func FaultByName(name string) (Fault, bool) {
+	for i, n := range faultNames {
+		if n == name {
+			return Fault(i), true
+		}
+	}
+	return 0, false
+}
+
+// ParseClasses parses a comma-separated list of class names (as printed by
+// String()) into fault classes. Empty elements are ignored.
+func ParseClasses(s string) ([]Fault, error) {
+	var out []Fault
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' {
+			continue
+		}
+		name := strings.TrimSpace(s[start:i])
+		start = i + 1
+		if name == "" {
+			continue
+		}
+		f, ok := FaultByName(name)
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown fault class %q (have %s)", name, strings.Join(faultNames[:], ", "))
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
 
 func (f Fault) String() string {
 	if int(f) < len(faultNames) {
@@ -110,6 +188,93 @@ type Config struct {
 	// Only the first two can change a guest's observable output; a slow
 	// call shifts simulated time alone.
 	Hostcall float64
+
+	// BitFlip is the per-request probability of a bit flip striking the
+	// instance's guest heap during the request's idle window. A flip is
+	// caught exactly when the request is spot-checked (SpotCheck below):
+	// the strike then lands in a live initial-heap page the verified
+	// reset hashes. Unchecked flips land in cold reservation pages beyond
+	// the initial heap (or self-correct as transient upsets when no such
+	// tail exists) and stay undetected-benign.
+	BitFlip float64
+
+	// SpotCheck is the detection-side sampling rate of end-of-request
+	// heap-hash spot checks (a verified reset plus a cost-modeled hash of
+	// the initial heap pages). It is not a fault class: with BitFlip = 0
+	// a spot check only re-verifies a clean instance. Zero disables spot
+	// checks entirely — injected flips are then all undetected-benign.
+	SpotCheck float64
+
+	// TLBStale is the per-request probability of a suppressed
+	// page-decision-cache invalidation: the instance's data-translation
+	// cache is left holding a generation tag its sources never issued. A
+	// live plant (valid entry) is caught by the end-of-request generation
+	// cross-audit; a dead plant (the entry was already invalid) is benign.
+	TLBStale float64
+
+	// ClockSkew is the per-request probability of skewing the instance's
+	// simulated clock. Differential skew (worker rail only) is caught by
+	// the drift audit at the next segment boundary; common-mode skew
+	// (both rails) is invisible and benign. The magnitude is drawn
+	// deterministically in (0, SkewNs].
+	ClockSkew float64
+	SkewNs    uint64 // default 40µs
+
+	// LoweringRot is the per-request probability of corrupting the
+	// instance's tiered-engine gate cache (a flipped block verdict plus
+	// forged gate generation tags). Live rot claims verdicts for
+	// generations that have not happened and is caught by the gate audit;
+	// dead rot strikes a demoted gate whose verdicts are recomputed
+	// before any fused block trusts them, and is benign. Drawn only for
+	// instances that actually carry a lowering.
+	LoweringRot float64
+}
+
+// Restrict returns a copy of cfg with the injection rate of every fault
+// class not in keep zeroed. Detection-side knobs (SpotCheck) and
+// sub-parameters are preserved.
+func (cfg Config) Restrict(keep []Fault) Config {
+	on := [numFaults]bool{}
+	for _, f := range keep {
+		if int(f) < int(numFaults) {
+			on[f] = true
+		}
+	}
+	out := cfg
+	if !on[FaultProvision] {
+		out.Provision = 0
+	}
+	if !on[FaultReject] {
+		out.Reject = 0
+	}
+	if !on[FaultTrap] {
+		out.Trap = 0
+	}
+	if !on[FaultFuel] {
+		out.Fuel = 0
+	}
+	if !on[FaultSlow] {
+		out.Slow = 0
+	}
+	if !on[FaultPoison] {
+		out.Poison = 0
+	}
+	if !on[FaultHostcall] {
+		out.Hostcall = 0
+	}
+	if !on[FaultBitFlip] {
+		out.BitFlip = 0
+	}
+	if !on[FaultTLBStale] {
+		out.TLBStale = 0
+	}
+	if !on[FaultClockSkew] {
+		out.ClockSkew = 0
+	}
+	if !on[FaultLoweringRot] {
+		out.LoweringRot = 0
+	}
+	return out
 }
 
 // Injector makes deterministic fault decisions and counts what it injected.
@@ -131,13 +296,17 @@ func New(cfg Config) *Injector {
 	if cfg.SlowFor == 0 {
 		cfg.SlowFor = 2 * time.Millisecond
 	}
+	if cfg.SkewNs == 0 {
+		cfg.SkewNs = 40_000
+	}
 	return &Injector{cfg: cfg}
 }
 
-// Default is the standard moderate-rate injector the hfiserve -chaos flag
-// and the soak tests use: every fault class active, none dominant.
-func Default(seed int64) *Injector {
-	return New(Config{
+// DefaultConfig is the standard moderate-rate chaos configuration: every
+// fault class active, none dominant. Callers that want a subset of the
+// classes compose it with Restrict (the hfiserve -chaos-classes path).
+func DefaultConfig(seed int64) Config {
+	return Config{
 		Seed:      seed,
 		Provision: 0.5, MaxProvisionFails: 2,
 		Reject: 0.02,
@@ -146,8 +315,16 @@ func Default(seed int64) *Injector {
 		Slow:   0.05, SlowFor: time.Millisecond,
 		Poison:   0.5,
 		Hostcall: 0.05,
-	})
+		BitFlip:  0.05, SpotCheck: 0.5,
+		TLBStale:  0.04,
+		ClockSkew: 0.04, SkewNs: 40_000,
+		LoweringRot: 0.04,
+	}
 }
+
+// Default is the standard moderate-rate injector the hfiserve -chaos flag
+// and the soak tests use: New over DefaultConfig.
+func Default(seed int64) *Injector { return New(DefaultConfig(seed)) }
 
 // Seed echoes the injector's seed (for reproducibility records).
 func (in *Injector) Seed() int64 {
@@ -292,20 +469,103 @@ func (in *Injector) Hostcall(tenant string, seq int) hostcall.Fault {
 	}
 }
 
+// BitFlip reports whether a bit flip strikes the instance's guest heap
+// during this request's idle window.
+func (in *Injector) BitFlip(tenant string, seq int) bool {
+	if in == nil || in.roll(FaultBitFlip, tenant, seq) >= in.cfg.BitFlip {
+		return false
+	}
+	in.counts[FaultBitFlip].Add(1)
+	return true
+}
+
+// BitFlipSpec returns the deterministic placement of an injected flip: a
+// uniform [0,1) draw the host scales to a heap offset, and a single-bit
+// mask. Pure sub-draws on suffixed keys, so the flip's landing site is as
+// interleaving-independent as the decision to flip.
+func (in *Injector) BitFlipSpec(tenant string, seq int) (place float64, mask byte) {
+	if in == nil {
+		return 0, 1
+	}
+	place = in.roll(FaultBitFlip, tenant+"/at", seq)
+	mask = 1 << uint(in.roll(FaultBitFlip, tenant+"/bit", seq)*8)
+	return place, mask
+}
+
+// SpotCheck reports whether this request draws an end-of-request heap-hash
+// spot check. Detection-side sampling, not a fault class: it is never
+// counted in the fault summary.
+func (in *Injector) SpotCheck(tenant string, seq int) bool {
+	if in == nil {
+		return false
+	}
+	return in.roll(FaultBitFlip, tenant+"/spot", seq) < in.cfg.SpotCheck
+}
+
+// TLBStale reports whether to plant a suppressed page-decision-cache
+// invalidation on this request's instance, and whether the plant is live
+// (a valid stale entry the generation cross-audit must catch) or dead (the
+// entry was already invalid — undetectable and benign).
+func (in *Injector) TLBStale(tenant string, seq int) (live, ok bool) {
+	if in == nil || in.roll(FaultTLBStale, tenant, seq) >= in.cfg.TLBStale {
+		return false, false
+	}
+	in.counts[FaultTLBStale].Add(1)
+	return in.roll(FaultTLBStale, tenant+"/mode", seq) < 0.5, true
+}
+
+// ClockSkew returns the simulated-clock skew injected after this request
+// (ok=true), its deterministic magnitude in (0, SkewNs], and whether it is
+// differential (live=true: only the worker rail drifts, so the segment-
+// boundary drift audit catches it) or common-mode (both rails drift
+// together — invisible, benign).
+func (in *Injector) ClockSkew(tenant string, seq int) (ns uint64, live, ok bool) {
+	if in == nil || in.roll(FaultClockSkew, tenant, seq) >= in.cfg.ClockSkew {
+		return 0, false, false
+	}
+	in.counts[FaultClockSkew].Add(1)
+	ns = 1 + uint64(in.roll(FaultClockSkew, tenant+"/ns", seq)*float64(in.cfg.SkewNs))
+	return ns, in.roll(FaultClockSkew, tenant+"/mode", seq) < 0.5, true
+}
+
+// LoweringRot reports whether to corrupt the instance's tier-gate cache
+// (ok=true), which cached block verdict to flip (pick, reduced modulo the
+// block count by the engine), and whether the rot is live (forged gate
+// tags claiming future generations — the gate audit must catch it) or
+// dead (rot in a demoted gate whose verdicts are recomputed before use —
+// benign). Callers must only draw this for instances that carry a
+// lowering, so the injected count equals the applied count.
+func (in *Injector) LoweringRot(tenant string, seq int) (pick uint64, live, ok bool) {
+	if in == nil || in.roll(FaultLoweringRot, tenant, seq) >= in.cfg.LoweringRot {
+		return 0, false, false
+	}
+	in.counts[FaultLoweringRot].Add(1)
+	pick = uint64(in.roll(FaultLoweringRot, tenant+"/block", seq) * (1 << 30))
+	return pick, in.roll(FaultLoweringRot, tenant+"/mode", seq) < 0.5, true
+}
+
 // Clean reports whether the request runs to normal completion under this
 // injector AND produces its fault-free output: no trap, no fuel
-// starvation, no admission rejection, and no hostcall fault that can
-// change what the guest computes (an error or quota submode; a slow call
-// only shifts time). Slowdowns, provisioning retries, and poisoning change
-// timing and pool churn but not the request's outcome. Reference checksum
-// computations use this to know which response bodies a chaos run must
-// still produce bit-identically.
+// starvation, no admission rejection, no hostcall fault that can change
+// what the guest computes (an error or quota submode; a slow call only
+// shifts time), and no substrate fault drawn for the request (a detected
+// substrate fault replaces the response with a typed fault; an undetected
+// one is excluded conservatively). Slowdowns, provisioning retries, and
+// poisoning change timing and pool churn but not the request's outcome.
+// Reference checksum computations use this to know which response bodies
+// a chaos run must still produce bit-identically.
 func (in *Injector) Clean(tenant string, seq int) bool {
 	if in == nil {
 		return true
 	}
 	if in.roll(FaultHostcall, tenant, seq) < in.cfg.Hostcall &&
 		in.roll(FaultHostcall, tenant+"/mode", seq) < 2.0/3 {
+		return false
+	}
+	if in.roll(FaultBitFlip, tenant, seq) < in.cfg.BitFlip ||
+		in.roll(FaultTLBStale, tenant, seq) < in.cfg.TLBStale ||
+		in.roll(FaultClockSkew, tenant, seq) < in.cfg.ClockSkew ||
+		in.roll(FaultLoweringRot, tenant, seq) < in.cfg.LoweringRot {
 		return false
 	}
 	return in.roll(FaultTrap, tenant, seq) >= in.cfg.Trap &&
@@ -315,18 +575,38 @@ func (in *Injector) Clean(tenant string, seq int) bool {
 
 // Summary counts injected faults by class.
 type Summary struct {
-	Provision uint64 `json:"provision"`
-	Reject    uint64 `json:"reject"`
-	Trap      uint64 `json:"trap"`
-	Fuel      uint64 `json:"fuel"`
-	Slow      uint64 `json:"slow"`
-	Poison    uint64 `json:"poison"`
-	Hostcall  uint64 `json:"hostcall"`
+	Provision   uint64 `json:"provision"`
+	Reject      uint64 `json:"reject"`
+	Trap        uint64 `json:"trap"`
+	Fuel        uint64 `json:"fuel"`
+	Slow        uint64 `json:"slow"`
+	Poison      uint64 `json:"poison"`
+	Hostcall    uint64 `json:"hostcall"`
+	BitFlip     uint64 `json:"bitflip"`
+	TLBStale    uint64 `json:"tlbstale"`
+	ClockSkew   uint64 `json:"clockskew"`
+	LoweringRot uint64 `json:"loweringrot"`
 }
 
 // Total sums all injected faults.
 func (s Summary) Total() uint64 {
-	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison + s.Hostcall
+	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison + s.Hostcall +
+		s.BitFlip + s.TLBStale + s.ClockSkew + s.LoweringRot
+}
+
+// Add accumulates o into s (for aggregating per-run snapshots).
+func (s *Summary) Add(o Summary) {
+	s.Provision += o.Provision
+	s.Reject += o.Reject
+	s.Trap += o.Trap
+	s.Fuel += o.Fuel
+	s.Slow += o.Slow
+	s.Poison += o.Poison
+	s.Hostcall += o.Hostcall
+	s.BitFlip += o.BitFlip
+	s.TLBStale += o.TLBStale
+	s.ClockSkew += o.ClockSkew
+	s.LoweringRot += o.LoweringRot
 }
 
 // Snapshot reports how many faults of each class were actually injected so
@@ -336,12 +616,16 @@ func (in *Injector) Snapshot() Summary {
 		return Summary{}
 	}
 	return Summary{
-		Provision: in.counts[FaultProvision].Load(),
-		Reject:    in.counts[FaultReject].Load(),
-		Trap:      in.counts[FaultTrap].Load(),
-		Fuel:      in.counts[FaultFuel].Load(),
-		Slow:      in.counts[FaultSlow].Load(),
-		Poison:    in.counts[FaultPoison].Load(),
-		Hostcall:  in.counts[FaultHostcall].Load(),
+		Provision:   in.counts[FaultProvision].Load(),
+		Reject:      in.counts[FaultReject].Load(),
+		Trap:        in.counts[FaultTrap].Load(),
+		Fuel:        in.counts[FaultFuel].Load(),
+		Slow:        in.counts[FaultSlow].Load(),
+		Poison:      in.counts[FaultPoison].Load(),
+		Hostcall:    in.counts[FaultHostcall].Load(),
+		BitFlip:     in.counts[FaultBitFlip].Load(),
+		TLBStale:    in.counts[FaultTLBStale].Load(),
+		ClockSkew:   in.counts[FaultClockSkew].Load(),
+		LoweringRot: in.counts[FaultLoweringRot].Load(),
 	}
 }

@@ -115,6 +115,18 @@ func TestNilInjector(t *testing.T) {
 	if in.Trap("t", 0) || in.Poison("t", 0) {
 		t.Fatal("nil injector injected")
 	}
+	if in.BitFlip("t", 0) || in.SpotCheck("t", 0) {
+		t.Fatal("nil injector flipped or spot-checked")
+	}
+	if _, ok := in.TLBStale("t", 0); ok {
+		t.Fatal("nil injector planted a stale translation")
+	}
+	if _, _, ok := in.ClockSkew("t", 0); ok {
+		t.Fatal("nil injector skewed a clock")
+	}
+	if _, _, ok := in.LoweringRot("t", 0); ok {
+		t.Fatal("nil injector rotted a lowering")
+	}
 	if _, ok := in.StarveFuel("t", 0); ok {
 		t.Fatal("nil injector starved fuel")
 	}
@@ -136,8 +148,8 @@ func TestNilInjector(t *testing.T) {
 }
 
 // TestCleanMatchesDecisions: Clean is exactly "no trap, no starvation, no
-// rejection, no output-changing hostcall fault", and rates actually fire
-// at plausible frequencies.
+// rejection, no output-changing hostcall fault, no substrate fault drawn",
+// and rates actually fire at plausible frequencies.
 func TestCleanMatchesDecisions(t *testing.T) {
 	in := Default(42)
 	var trapped, starved, rejected, hcFaults, hcSlow, clean int
@@ -147,6 +159,10 @@ func TestCleanMatchesDecisions(t *testing.T) {
 		_, fu := in.StarveFuel("tenant", seq)
 		re := in.RejectAtAdmission("tenant", seq) != nil
 		hc := in.Hostcall("tenant", seq)
+		bf := in.BitFlip("tenant", seq)
+		_, tlb := in.TLBStale("tenant", seq)
+		_, _, cs := in.ClockSkew("tenant", seq)
+		_, _, rot := in.LoweringRot("tenant", seq)
 		if tr {
 			trapped++
 		}
@@ -163,7 +179,8 @@ func TestCleanMatchesDecisions(t *testing.T) {
 			hcSlow++
 		}
 		hcDirty := hc == hostcall.FaultErr || hc == hostcall.FaultQuota
-		if in.Clean("tenant", seq) != (!tr && !fu && !re && !hcDirty) {
+		sub := bf || tlb || cs || rot
+		if in.Clean("tenant", seq) != (!tr && !fu && !re && !hcDirty && !sub) {
 			t.Fatalf("Clean inconsistent at seq %d", seq)
 		}
 		if in.Clean("tenant", seq) {
@@ -209,6 +226,120 @@ func TestConcurrentDecisions(t *testing.T) {
 			if results[g][seq] != want {
 				t.Fatalf("goroutine %d diverged at seq %d", g, seq)
 			}
+		}
+	}
+}
+
+// TestSubstrateDeterminism: substrate decisions — including mode and
+// placement sub-draws — are identical across injectors with the same seed
+// and actually fire both live and dead modes at Default rates.
+func TestSubstrateDeterminism(t *testing.T) {
+	a, b := Default(31), Default(31)
+	var flips, spots, tlbLive, tlbDead, csLive, csDead, rotLive, rotDead int
+	for seq := 0; seq < 4000; seq++ {
+		if a.BitFlip("t", seq) != b.BitFlip("t", seq) {
+			t.Fatalf("bitflip diverged at %d", seq)
+		}
+		ap, am := a.BitFlipSpec("t", seq)
+		bp, bm := b.BitFlipSpec("t", seq)
+		if ap != bp || am != bm {
+			t.Fatalf("bitflip spec diverged at %d", seq)
+		}
+		if am == 0 {
+			t.Fatalf("zero flip mask at %d", seq)
+		}
+		if a.SpotCheck("t", seq) != b.SpotCheck("t", seq) {
+			t.Fatalf("spot-check diverged at %d", seq)
+		}
+		if a.SpotCheck("t", seq) {
+			spots++
+		}
+		if a.BitFlip("t", seq) {
+			flips++
+		}
+		al, ak := a.TLBStale("t", seq)
+		bl, bk := b.TLBStale("t", seq)
+		if al != bl || ak != bk {
+			t.Fatalf("tlbstale diverged at %d", seq)
+		}
+		if ak {
+			if al {
+				tlbLive++
+			} else {
+				tlbDead++
+			}
+		}
+		an, alv, aok := a.ClockSkew("t", seq)
+		bn, blv, bok := b.ClockSkew("t", seq)
+		if an != bn || alv != blv || aok != bok {
+			t.Fatalf("clockskew diverged at %d", seq)
+		}
+		if aok {
+			if an == 0 || an > a.cfg.SkewNs+1 {
+				t.Fatalf("skew magnitude %d out of range at %d", an, seq)
+			}
+			if alv {
+				csLive++
+			} else {
+				csDead++
+			}
+		}
+		api, alr, aro := a.LoweringRot("t", seq)
+		bpi, blr, bro := b.LoweringRot("t", seq)
+		if api != bpi || alr != blr || aro != bro {
+			t.Fatalf("loweringrot diverged at %d", seq)
+		}
+		if aro {
+			if alr {
+				rotLive++
+			} else {
+				rotDead++
+			}
+		}
+	}
+	if flips == 0 || spots == 0 || tlbLive == 0 || tlbDead == 0 ||
+		csLive == 0 || csDead == 0 || rotLive == 0 || rotDead == 0 {
+		t.Fatalf("a substrate mode never fired: flips=%d spots=%d tlb=%d/%d cs=%d/%d rot=%d/%d",
+			flips, spots, tlbLive, tlbDead, csLive, csDead, rotLive, rotDead)
+	}
+	s := a.Snapshot()
+	if s.BitFlip == 0 || s.TLBStale == 0 || s.ClockSkew == 0 || s.LoweringRot == 0 {
+		t.Fatalf("snapshot lost substrate counts: %+v", s)
+	}
+}
+
+// TestParseClassesAndRestrict: class names round-trip through parsing, and
+// Restrict zeroes exactly the unlisted classes.
+func TestParseClassesAndRestrict(t *testing.T) {
+	for _, f := range Classes() {
+		got, err := ParseClasses(f.String())
+		if err != nil || len(got) != 1 || got[0] != f {
+			t.Fatalf("class %v did not round-trip: %v %v", f, got, err)
+		}
+	}
+	if _, err := ParseClasses("bitflip,nonsense"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	fs, err := ParseClasses(" bitflip , trap ")
+	if err != nil || len(fs) != 2 {
+		t.Fatalf("parse with spaces: %v %v", fs, err)
+	}
+	cfg := Default(1).cfg.Restrict(fs)
+	if cfg.BitFlip == 0 || cfg.Trap == 0 {
+		t.Fatal("Restrict zeroed a kept class")
+	}
+	if cfg.Provision != 0 || cfg.Reject != 0 || cfg.Fuel != 0 || cfg.Slow != 0 ||
+		cfg.Poison != 0 || cfg.Hostcall != 0 || cfg.TLBStale != 0 ||
+		cfg.ClockSkew != 0 || cfg.LoweringRot != 0 {
+		t.Fatalf("Restrict kept an unlisted class: %+v", cfg)
+	}
+	if cfg.SpotCheck == 0 || cfg.SkewNs == 0 {
+		t.Fatal("Restrict dropped detection-side knobs")
+	}
+	in := New(cfg.Restrict(nil))
+	for seq := 0; seq < 50; seq++ {
+		if !in.Clean("t", seq) {
+			t.Fatal("fully restricted injector still injects")
 		}
 	}
 }

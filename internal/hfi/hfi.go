@@ -226,6 +226,8 @@ type State struct {
 	// interpreter's 1-entry data-translation cache) tag each cached entry
 	// with the Gen it was derived under and treat any mismatch as a flush,
 	// so no transition can leave a stale positive decision live.
+	// AuditTag is the corresponding cross-audit: a tag ahead of Gen is
+	// impossible state, the residue a suppressed invalidation leaves.
 	Gen uint64
 
 	// MSR holds the cause of the last exit or fault, readable by the
@@ -263,6 +265,16 @@ func (s *State) Reset() {
 	*s = State{}
 	s.Gen = gen + 1
 }
+
+// AuditTag reports whether a cached generation tag could legitimately have
+// been issued by this state. Tags are copies of Gen taken at cache-fill
+// time and Gen is monotone, so a tag from the future (tag > Gen) is
+// impossible in a correct system: it is the signature left behind when an
+// invalidation was suppressed and a cached decision claims a freshness HFI
+// never granted. The substrate cross-audits use this to turn a
+// stale-translation plant into a typed fault instead of a silent wrong
+// answer.
+func (s *State) AuditTag(tag uint64) bool { return tag <= s.Gen }
 
 // regionKind classifies a flat region number.
 func regionKind(n int) (kind string, idx int, err error) {

@@ -67,6 +67,7 @@ import (
 	"hfi/internal/cpu"
 	"hfi/internal/faas"
 	"hfi/internal/stats"
+	"hfi/internal/tier"
 	"hfi/internal/verifier"
 	"hfi/internal/workloads"
 )
@@ -183,6 +184,13 @@ type Config struct {
 	// Chaos, when non-nil, injects deterministic faults at the serving
 	// seams (see internal/chaos). nil serves clean.
 	Chaos *chaos.Injector
+	// OnProvision, when non-nil, observes every successfully provisioned
+	// TenantInstance before it serves its first request — the
+	// instrumentation seam the substrate chaos soak uses to arm its
+	// cross-tenant escape oracle (canary mappings plus a memory-access
+	// hook) on every machine the server builds. Called on the owning
+	// worker's goroutine; the instance is still worker-private.
+	OnProvision func(*faas.TenantInstance)
 	// Seed seeds the retry-jitter PRNGs (0 = 1). Jitter affects timing
 	// only, never outcomes.
 	Seed int64
@@ -386,6 +394,11 @@ type Server struct {
 	tierPromoted atomic.Uint64
 	tierInstrs   atomic.Uint64
 	tierInterp   atomic.Uint64
+
+	subInjected  atomic.Uint64
+	subDetected  atomic.Uint64
+	subRecovered atomic.Uint64
+	subBenign    atomic.Uint64
 }
 
 // New starts a server with cfg.Workers goroutines waiting on the
@@ -645,6 +658,11 @@ type Counters struct {
 	TierInterpInstrs   uint64 `json:"tier_interp_instrs"`
 	LoweringHits       uint64 `json:"lowering_hits"`
 	LoweringMisses     uint64 `json:"lowering_misses"`
+
+	// Substrate is the substrate chaos accounting across all workers
+	// (identical to the stats.Recorder global totals; conservation:
+	// Injected == Detected + Benign and Recovered == Detected).
+	Substrate stats.SubstrateCounters `json:"substrate"`
 }
 
 // Counters snapshots the robustness counters.
@@ -667,9 +685,27 @@ func (s *Server) Counters() Counters {
 		TierPromotedBlocks: s.tierPromoted.Load(),
 		TierInstrs:         s.tierInstrs.Load(),
 		TierInterpInstrs:   s.tierInterp.Load(),
+
+		Substrate: stats.SubstrateCounters{
+			Injected:  s.subInjected.Load(),
+			Detected:  s.subDetected.Load(),
+			Recovered: s.subRecovered.Load(),
+			Benign:    s.subBenign.Load(),
+		},
 	}
 	c.LoweringHits, c.LoweringMisses = faas.Images.LoweringStats()
 	return c
+}
+
+// ChaosSummary snapshots the chaos injector's per-class fire counts, or
+// nil when the server runs clean — the /statsz surface for chaos
+// observability.
+func (s *Server) ChaosSummary() *chaos.Summary {
+	if s.cfg.Chaos == nil {
+		return nil
+	}
+	sum := s.cfg.Chaos.Snapshot()
+	return &sum
 }
 
 // poolGrew maintains the aggregate pool-size gauge and its high-water
@@ -792,6 +828,19 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Respo
 	}
 	switch res.Reason {
 	case cpu.StopHalt:
+		if layer, bad := s.substrateStage(pool, ent, req); bad {
+			// A substrate audit fired: the instance's below-the-seams state
+			// is corrupt. Quarantine it (Reset + verified-reset check, same
+			// contract as a guest fault) and fold the request into the fault
+			// outcome with the typed audit error, so the conservation
+			// identity admitted == ok+timeout+fault+shed+rejected+canceled
+			// holds with substrate chaos active.
+			s.quarantineInstance(pool, ent, req)
+			return Response{
+				Status: StatusFault, Stop: res.Reason,
+				Err: &cpu.SubstrateError{Layer: layer}, Worker: id,
+			}
+		}
 		return Response{Status: StatusOK, Body: body, Stop: res.Reason, Worker: id}
 	case cpu.StopLimit:
 		// Deadline exceeded mid-run: the instance memory is mid-request
@@ -802,6 +851,146 @@ func (s *Server) serveOne(id int, pool *instPool, rng *rand.Rand, c *call) Respo
 		s.quarantineInstance(pool, ent, req)
 		return Response{Status: StatusFault, Stop: res.Reason, Worker: id}
 	}
+}
+
+// substrateStage is the end-of-request substrate chaos seam and its
+// detection counterpart, run on every successfully served request (the
+// StopHalt path only — faulted and timed-out requests already quarantine).
+// The injection side plants the four below-the-seams fault classes the
+// chaos injector draws for this (tenant, seq): a bit flip in the guest
+// heap, a stale page-decision-cache entry surviving a suppressed
+// invalidation, clock skew between the worker's rails, and a corrupted
+// cached-lowering gate verdict. The detection side then audits
+// unconditionally — a sampled, cost-modeled heap-hash spot check plus
+// three always-on cheap cross-audits (cache generation tags, tier gate
+// freshness, clock drift) — and recovers in place: flush the decision
+// caches, demote and re-lower the tiered code, resync the clock. Faults
+// are injected end-of-request so every plant is either detected by this
+// request's audits or benign by construction (cold state recycled before
+// any consumer reads it); nothing carries across requests, which is what
+// makes the soak's detection counts exactly predictable.
+//
+// Returns the first audit layer that fired and whether any did; the
+// caller quarantines on detection. Counter conservation, maintained here
+// and asserted by the soak: Injected == Detected + Benign per class
+// sum, and Recovered == Detected (every detection completes recovery).
+func (s *Server) substrateStage(pool *instPool, ent *poolEntry, req Request) (string, bool) {
+	inj := s.cfg.Chaos
+	name := req.Tenant.Name
+	seq := int(req.Seq)
+	ti := ent.ti
+	m := ti.RT.M
+	var sc stats.SubstrateCounters
+	layer := ""
+	detect := func(l string) {
+		sc.Detected++
+		sc.Recovered++
+		if layer == "" {
+			layer = l
+		}
+	}
+
+	// Draws — each a pure function of (class, tenant, seq), so the soak's
+	// single-threaded predictor replays exactly this sequence.
+	flip := inj.BitFlip(name, seq)
+	spot := inj.SpotCheck(name, seq)
+	tlbLive, tlbOK := inj.TLBStale(name, seq)
+	skewNs, skewLive, skewOK := inj.ClockSkew(name, seq)
+	te, tiered := ti.Eng.(*tier.Engine)
+	var rotPick uint64
+	var rotLive, rotOK bool
+	if tiered && te.HasLowering() {
+		// Rot is only drawable when there is a cached lowering to corrupt;
+		// the predictor mirrors this by provisioning a reference instance.
+		rotPick, rotLive, rotOK = inj.LoweringRot(name, seq)
+	}
+
+	// Heap integrity: the sampled spot check resets the instance and pays
+	// the cost-modeled hash scrub; a flip drawn for a sampled request
+	// strikes a live initial-heap page inside the audit window (guaranteed
+	// mismatch against the verified-reset baseline). A flip on an
+	// unsampled request is a transient upset that self-corrects before
+	// any reader — real corruption below the seams for an instant,
+	// undetectable and benign by construction.
+	if spot {
+		ti.Inst.Reset()
+		if ti.Env != nil {
+			ti.Env.ResetSession()
+		}
+		if flip {
+			sc.Injected++
+			place, mask := inj.BitFlipSpec(name, seq)
+			off := uint64(place * float64(ti.Inst.InitialHeapBytes()))
+			if off >= ti.Inst.InitialHeapBytes() {
+				off = ti.Inst.InitialHeapBytes() - 1
+			}
+			ti.Inst.FlipHeapBit(off, mask)
+		}
+		if ti.Inst.AuditHeapHash() != ent.baseline {
+			detect("heap-hash")
+		}
+	} else if flip {
+		sc.Injected++
+		sc.Benign++
+		place, mask := inj.BitFlipSpec(name, seq)
+		off := uint64(place * float64(ti.Inst.InitialHeapBytes()))
+		if off >= ti.Inst.InitialHeapBytes() {
+			off = ti.Inst.InitialHeapBytes() - 1
+		}
+		ti.Inst.FlipHeapBit(off, mask)
+		ti.Inst.FlipHeapBit(off, mask)
+	}
+
+	// Plant the remaining classes: the state a lost shootdown leaves in
+	// the decision caches, skew between the clock rails (differential when
+	// live, common-mode — invisible and harmless — when dead), and a
+	// flipped gate verdict on a cached lowering.
+	if tlbOK {
+		sc.Injected++
+		m.PlantStaleDTC(tlbLive)
+	}
+	if skewOK {
+		sc.Injected++
+		m.Kern.Clock.SkewNs(skewNs, !skewLive)
+	}
+	if rotOK {
+		sc.Injected++
+		te.PlantGateRot(rotLive, rotPick)
+	}
+
+	// Always-on cross-audits (a handful of integer compares each), with
+	// in-place recovery. A dead plant passes its audit and is accounted
+	// benign; an audit firing with no matching plant would break the
+	// Injected == Detected + Benign identity and fail the soak loudly —
+	// the audits double as regression tripwires for genuine corruption.
+	if !m.AuditCacheGens() {
+		m.FlushDTC()
+		detect("dtc-gen")
+	} else if tlbOK {
+		sc.Benign++
+	}
+	if tiered && !te.AuditGate() {
+		te.Invalidate()
+		detect("tier-gate")
+	} else if rotOK {
+		sc.Benign++
+	}
+	if clock := m.Kern.Clock; clock.DriftNs() != 0 {
+		clock.Resync()
+		detect("clock-drift")
+	} else if skewOK {
+		sc.Benign++
+	}
+
+	if sc == (stats.SubstrateCounters{}) {
+		return "", false
+	}
+	s.subInjected.Add(sc.Injected)
+	s.subDetected.Add(sc.Detected)
+	s.subRecovered.Add(sc.Recovered)
+	s.subBenign.Add(sc.Benign)
+	s.rec.RecordSubstrate(name, sc)
+	return layer, layer != ""
 }
 
 // harvestHostcalls attributes the instance's host-call boundary traffic
@@ -898,6 +1087,9 @@ func (s *Server) provision(id int, rng *rand.Rand, req Request) (*faas.TenantIns
 			ti, err = faas.Provision(req.Tenant, req.Iso)
 		}
 		if err == nil {
+			if s.cfg.OnProvision != nil {
+				s.cfg.OnProvision(ti)
+			}
 			return ti, Response{}, true
 		}
 		var re *verifier.RejectError

@@ -40,6 +40,13 @@ type poolEntry struct {
 	ti       *faas.TenantInstance
 	baseline uint64
 	lastUsed time.Time
+	// dead marks an entry already evicted or discarded. Discard and evict
+	// are idempotent through it: a substrate spot-check discard followed by
+	// the quarantine path's discard (or an LRU eviction racing a discard in
+	// the same worker) must tear the instance down exactly once — a double
+	// teardown would double-count teardowns and batch the same instance
+	// twice.
+	dead bool
 }
 
 // instPool is a worker-private warm-instance pool with LRU/TTL eviction
@@ -92,11 +99,18 @@ func (p *instPool) put(key poolKey, ti *faas.TenantInstance, baseline uint64, no
 // discard removes a quarantined entry that failed reset verification; the
 // instance is never reused and joins the pending teardown batch.
 func (p *instPool) discard(e *poolEntry) {
+	if e.dead {
+		return
+	}
 	p.evict(e)
 	p.srv.discarded.Add(1)
 }
 
 func (p *instPool) evict(e *poolEntry) {
+	if e.dead {
+		return
+	}
+	e.dead = true
 	delete(p.entries, e.key)
 	p.remove(e)
 	p.pending = append(p.pending, e.ti)

@@ -1,0 +1,127 @@
+package host
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hfi/internal/chaos"
+	"hfi/internal/faas"
+)
+
+// TestPoolDiscardIdempotent pins the pool's double-teardown guard: once
+// an entry has been discarded (or evicted), further discards and evicts
+// of the same entry are no-ops. Without the guard, a second discard would
+// re-append the instance to the pending teardown batch and it would be
+// torn down twice — double-counting teardowns and recycling a machine
+// that was already recycled.
+func TestPoolDiscardIdempotent(t *testing.T) {
+	cls := soakMix()[0]
+	ti, err := faas.Provision(cls.Tenant, cls.Iso)
+	if err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	s := &Server{cfg: Config{Pool: PoolConfig{TeardownBatch: 100}}}
+	p := newInstPool(s)
+	key := poolKey{cls.Tenant.Name, cls.Iso}
+	e := p.put(key, ti, ti.Inst.HeapHash(), time.Now())
+
+	p.discard(e)
+	p.discard(e) // second discard of a dead entry must be a no-op
+	p.evict(e)   // as must an eviction racing the discard
+
+	if got := len(p.pending); got != 1 {
+		t.Fatalf("pending teardowns = %d after discard+discard+evict, want 1", got)
+	}
+	if got := s.discarded.Load(); got != 1 {
+		t.Fatalf("discarded counter = %d, want 1", got)
+	}
+	p.flush()
+	if got := s.teardowns.Load(); got != 1 {
+		t.Fatalf("teardowns = %d, want exactly 1", got)
+	}
+	if got := s.poolSize.Load(); got != 0 {
+		t.Fatalf("pool size gauge = %d after discard, want 0", got)
+	}
+}
+
+// TestQuarantineDiscardRace: two workers concurrently hitting HeapHash
+// mismatches (every fault's quarantine reset is poisoned, so every
+// verified-reset check fails) must produce exactly one quarantine and one
+// discard per faulting request — no double-discard, no lost teardown —
+// with outcome conservation exact. Run under -race this also proves the
+// quarantine path itself is confined to the owning worker.
+func TestQuarantineDiscardRace(t *testing.T) {
+	const seed = 909
+	flaky := flakyTenant("flaky-quar", 1<<30) // every request faults
+	iso := faas.StockLucet()
+	n := 64
+	if testing.Short() {
+		n = 32
+	}
+
+	inj := chaos.New(chaos.Config{Seed: seed, Poison: 1.0})
+	s := New(Config{
+		Workers: 2, QueueDepth: 8, Policy: PolicyBlock,
+		Chaos: inj, Seed: seed,
+	})
+
+	var next, faults atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if r := s.Do(context.Background(), treq(flaky, iso, i)); r.Status == StatusFault {
+					faults.Add(1)
+				} else {
+					t.Errorf("req %d: status %v, want fault", i, r.Status)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+
+	sum := s.Snapshot(0)
+	ctr := s.Counters()
+	if got := faults.Load(); got != int64(n) || sum.Faults != uint64(n) {
+		t.Fatalf("faults: client %d recorder %d, want %d", got, sum.Faults, n)
+	}
+	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
+	if accounted != uint64(n) || ctr.Admitted != uint64(n) {
+		t.Fatalf("conservation violated: accounted %d admitted %d of %d", accounted, ctr.Admitted, n)
+	}
+	// Exactly one quarantine per faulting request, and — because every
+	// reset is poisoned — exactly one discard per quarantine.
+	if ctr.Quarantined != uint64(n) {
+		t.Fatalf("quarantined = %d, want %d (one per fault)", ctr.Quarantined, n)
+	}
+	if ctr.QuarantineDiscard != ctr.Quarantined {
+		t.Fatalf("discards %d != quarantines %d with every reset poisoned",
+			ctr.QuarantineDiscard, ctr.Quarantined)
+	}
+	// No double-teardown and no lost teardown: every cold-started
+	// instance is recycled exactly once (discarded entries through the
+	// batch, any survivors at drain).
+	if ctr.Teardowns != ctr.ColdStarts {
+		t.Fatalf("teardowns %d != cold starts %d — instance recycled twice or leaked",
+			ctr.Teardowns, ctr.ColdStarts)
+	}
+	if ctr.PoolSize != 0 {
+		t.Fatalf("pool size gauge = %d after close, want 0", ctr.PoolSize)
+	}
+	// Every fault forced a discard, so every request after the first per
+	// worker re-provisioned: the pool never served a poisoned instance.
+	if ctr.ColdStarts != ctr.QuarantineDiscard {
+		t.Fatalf("cold starts %d != discards %d — a discarded instance was reused",
+			ctr.ColdStarts, ctr.QuarantineDiscard)
+	}
+}

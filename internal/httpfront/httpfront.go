@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hfi/internal/chaos"
 	"hfi/internal/faas"
 	"hfi/internal/host"
 	"hfi/internal/stats"
@@ -214,6 +215,11 @@ type Statsz struct {
 	Serve         stats.ServeSummary    `json:"serve"`
 	Tenants       []stats.TenantSummary `json:"tenants"`
 	Counters      host.Counters         `json:"counters"`
+	// Chaos is the injector's per-class fire counts (including the
+	// substrate classes), present only when the host serves with a chaos
+	// injector — a clean server omits the key entirely, so scrapers can
+	// tell "no chaos configured" from "chaos configured, nothing fired".
+	Chaos *chaos.Summary `json:"chaos,omitempty"`
 }
 
 func (f *Front) statsz(w http.ResponseWriter, r *http.Request) {
@@ -224,6 +230,7 @@ func (f *Front) statsz(w http.ResponseWriter, r *http.Request) {
 		Serve:         f.host.Snapshot(up),
 		Tenants:       f.host.TenantSummaries(),
 		Counters:      f.host.Counters(),
+		Chaos:         f.host.ChaosSummary(),
 	})
 }
 

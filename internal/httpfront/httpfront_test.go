@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"hfi/internal/chaos"
 	"hfi/internal/faas"
 	"hfi/internal/host"
 	"hfi/internal/hostcall"
@@ -315,6 +316,68 @@ func TestStatszConservation(t *testing.T) {
 	if len(sz.Tenants) != 3 {
 		t.Fatalf("statsz tenants = %d, want 3", len(sz.Tenants))
 	}
+}
+
+// TestStatszChaosSummary pins the /statsz chaos surface: a clean server
+// omits the chaos key entirely; a server with an injector reports the
+// per-class fire counts (including the substrate classes) and the
+// substrate counters conserve on every surface the document exposes.
+func TestStatszChaosSummary(t *testing.T) {
+	t.Run("clean_server_omits_key", func(t *testing.T) {
+		_, ts := newFront(t, host.Config{Workers: 1})
+		post(t, ts.URL+"/v1/tenants/html/invoke", "")
+		raw, err := io.ReadAll(get(t, ts.URL+"/statsz").Body)
+		if err != nil {
+			t.Fatalf("statsz read: %v", err)
+		}
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("statsz decode: %v", err)
+		}
+		if _, present := doc["chaos"]; present {
+			t.Fatalf("clean server exposes a chaos key: %s", raw)
+		}
+	})
+	t.Run("injector_reported", func(t *testing.T) {
+		// Every served request draws a spot-checked bit flip: each invoke
+		// is detected as substrate corruption and surfaces as a 502.
+		inj := chaos.New(chaos.Config{Seed: 5, BitFlip: 1.0, SpotCheck: 1.0})
+		_, ts := newFront(t, host.Config{Workers: 1, Chaos: inj})
+		const n = 4
+		for i := 0; i < n; i++ {
+			resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
+			if resp.StatusCode != 502 {
+				t.Fatalf("invoke %d: status %d, want 502 (substrate fault)", i, resp.StatusCode)
+			}
+		}
+		var sz Statsz
+		if err := json.NewDecoder(get(t, ts.URL+"/statsz").Body).Decode(&sz); err != nil {
+			t.Fatalf("statsz decode: %v", err)
+		}
+		if sz.Chaos == nil {
+			t.Fatal("chaos-injected server reports no chaos summary")
+		}
+		if sz.Chaos.BitFlip != n {
+			t.Fatalf("chaos.bitflip = %d, want %d", sz.Chaos.BitFlip, n)
+		}
+		sc := sz.Counters.Substrate
+		if sc != sz.Serve.Substrate {
+			t.Fatalf("counters substrate %+v != serve substrate %+v", sc, sz.Serve.Substrate)
+		}
+		if sc.Injected != n || sc.Detected != n || sc.Recovered != n || sc.Benign != 0 {
+			t.Fatalf("substrate counters %+v, want %d injected == detected == recovered", sc, n)
+		}
+		var tsum stats.SubstrateCounters
+		for _, tn := range sz.Tenants {
+			tsum.Add(tn.Substrate)
+		}
+		if tsum != sc {
+			t.Fatalf("tenant substrate counters %+v do not sum to global %+v", tsum, sc)
+		}
+		if sz.Serve.Faults != n {
+			t.Fatalf("faults = %d, want %d (substrate faults fold into fault)", sz.Serve.Faults, n)
+		}
+	})
 }
 
 // TestHostcallOverHTTP is the quickstart scenario end-to-end: the

@@ -84,6 +84,16 @@ type AddressSpace struct {
 // which keep mappings and protections.
 func (as *AddressSpace) Gen() uint64 { return as.gen }
 
+// AuditTag reports whether a cached mapping-generation tag could
+// legitimately have been issued by this address space. Tags are copies of
+// Gen taken at cache-fill time, so a tag from the future (tag > Gen) is
+// impossible in a correct system — it is the signature a suppressed
+// invalidation leaves when cached mapping decisions claim freshness the
+// MMU never granted. The substrate cross-audits (cpu.Machine.AuditCacheGens,
+// tier.Engine.AuditGate) use it to turn such state into a typed fault
+// instead of a silent wrong answer.
+func (as *AddressSpace) AuditTag(tag uint64) bool { return tag <= as.gen }
+
 // NewAddressSpace returns an empty address space over fresh memory. The
 // top page of the user address space is left unallocated: the execution
 // engines use it as the host-return sentinel.

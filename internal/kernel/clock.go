@@ -14,8 +14,17 @@ package kernel
 
 // Clock is the simulated time source shared by the kernel and the
 // execution engines. Time is in nanoseconds.
+//
+// The clock is dual-rail: `now` is the worker-visible time every consumer
+// reads, and `shadow` is the kernel's audit rail, advanced in lockstep by
+// every legitimate time charge. The two can only disagree if something
+// moved one rail without the other — which is exactly what the chaos
+// injector's differential clock-skew fault does — so DriftNs is a
+// zero-false-positive detector for skew between a worker's clock and the
+// kernel clock, checked at segment boundaries (end of request).
 type Clock struct {
-	now uint64
+	now    uint64
+	shadow uint64
 }
 
 // NewClock returns a clock at time zero.
@@ -25,12 +34,49 @@ func NewClock() *Clock { return &Clock{} }
 func (c *Clock) Now() uint64 { return c.now }
 
 // Advance moves simulated time forward by ns nanoseconds.
-func (c *Clock) Advance(ns uint64) { c.now += ns }
+func (c *Clock) Advance(ns uint64) {
+	c.now += ns
+	c.shadow += ns
+}
 
 // AdvanceCycles moves time forward by cycles at the given core frequency
 // in GHz (cycles/ns).
 func (c *Clock) AdvanceCycles(cycles uint64, ghz float64) {
-	c.now += uint64(float64(cycles) / ghz)
+	ns := uint64(float64(cycles) / ghz)
+	c.now += ns
+	c.shadow += ns
+}
+
+// SkewNs is the chaos seam: it drifts the worker rail by ns nanoseconds.
+// Common-mode skew (common=true) moves the audit rail too — both clocks
+// drift together, which no audit can see and no consumer can be hurt by,
+// since only deltas carry meaning. Differential skew leaves the audit rail
+// behind and must be caught by DriftNs.
+func (c *Clock) SkewNs(ns uint64, common bool) {
+	c.now += ns
+	if common {
+		c.shadow += ns
+	}
+}
+
+// DriftNs returns the absolute disagreement between the worker rail and
+// the kernel audit rail. Zero in a correct system.
+func (c *Clock) DriftNs() uint64 {
+	if c.now >= c.shadow {
+		return c.now - c.shadow
+	}
+	return c.shadow - c.now
+}
+
+// Resync restores agreement after a detected drift by stepping the lagging
+// rail forward to the leading one (the monotone direction, as an NTP step
+// would), so simulated time never runs backward for either consumer.
+func (c *Clock) Resync() {
+	if c.now > c.shadow {
+		c.shadow = c.now
+	} else {
+		c.now = c.shadow
+	}
 }
 
 // CoreGHz is the simulated core frequency, following the paper's Table 2

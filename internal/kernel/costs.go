@@ -68,6 +68,13 @@ type CostModel struct {
 	// byte in either direction so boundary-crossing data volume shows up
 	// on the simulated timeline.
 	HostcallCopyPerKiB uint64
+
+	// AuditHashPerPage is the cost of hashing one 64 KiB heap page during
+	// a substrate spot check (the sampled end-of-request verified-reset
+	// audit). ~64 KiB at a memory-bandwidth-bound ~13 GB/s scrub rate, so
+	// sampling rate — not hash speed — is the knob that keeps detection
+	// affordable.
+	AuditHashPerPage uint64
 }
 
 // DefaultCosts returns the calibrated cost model.
@@ -88,6 +95,7 @@ func DefaultCosts() CostModel {
 		FileOp:                 250,
 		HostcallBase:           25,
 		HostcallCopyPerKiB:     40,
+		AuditHashPerPage:       4_800,
 	}
 }
 

@@ -26,6 +26,15 @@
 //     cost.Branch, ...) could drift silently, so internal/tier may not
 //     name those fields at all and must call Table() at least once.
 //
+//   - Every chaos.Fault class is fully wired: it has a String() name in
+//     faultNames (operators select classes by name via -chaos-classes, so
+//     a nameless class is unreachable), its Config rate field appears in
+//     the internal/host soak mix (an uninjected class is untested-by-
+//     construction — the soak is the proof the detect-and-recover path
+//     works), and it is documented in DESIGN.md's fault-model taxonomy.
+//     The soak and docs checks read raw file contents because parseDir
+//     skips _test.go files and DESIGN.md is not Go.
+//
 // The checker is pure go/ast + go/parser (the module has no dependencies,
 // so golang.org/x/tools analysis frameworks are off the table) and runs as
 // cmd/hfilint inside `make verify`.
@@ -126,6 +135,16 @@ func Run(root string) ([]Issue, error) {
 	if len(tr) > 0 && !sawTable {
 		issues = append(issues, Issue{"internal/tier", "no CostModel.Table() call found; superinstruction charges must come from the shared cost table"})
 	}
+
+	ch, cfset, err := parseDir(filepath.Join(root, "internal", "chaos"))
+	if err != nil {
+		return nil, err
+	}
+	chIssues, err := lintChaos(root, cfset, ch)
+	if err != nil {
+		return nil, err
+	}
+	issues = append(issues, chIssues...)
 
 	sort.Slice(issues, func(i, j int) bool { return issues[i].Pos < issues[j].Pos })
 	return issues, nil
@@ -337,6 +356,153 @@ func lintTierCost(fset *token.FileSet, f *ast.File) (sawTable bool, issues []Iss
 		return true
 	})
 	return sawTable, issues
+}
+
+// lintChaos enforces the chaos fault-class wiring contract: every class
+// in the Fault enum has a String() name, is exercised by the host soak
+// mix, and appears in the DESIGN.md fault-model taxonomy. The enum and
+// faultNames are extracted from the parsed internal/chaos files; the
+// soak-mix and docs checks grep raw bytes because the soak configs live
+// in _test.go files (which parseDir skips) and DESIGN.md is prose.
+func lintChaos(root string, fset *token.FileSet, files []*ast.File) ([]Issue, error) {
+	classes, names := collectFaultEnum(fset, files)
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("lint: Fault enum not found in internal/chaos")
+	}
+
+	var issues []Issue
+	if len(names) > len(classes) {
+		issues = append(issues, Issue{"internal/chaos/chaos.go",
+			fmt.Sprintf("faultNames has %d entries for %d fault classes; dead names drift", len(names), len(classes))})
+	}
+
+	soak, err := readMatching(filepath.Join(root, "internal", "host"), "_test.go")
+	if err != nil {
+		return nil, err
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, err
+	}
+
+	for i, c := range classes {
+		pos := c.pos
+		if i >= len(names) || names[i] == "" {
+			issues = append(issues, Issue{pos,
+				fmt.Sprintf("fault class %s has no String() name in faultNames; it cannot be selected by -chaos-classes", c.name)})
+		}
+		// The Config rate field drops the Fault prefix (FaultBitFlip →
+		// BitFlip); a soak config that sets it registers the class in the
+		// mix.
+		field := strings.TrimPrefix(c.name, "Fault")
+		if !regexp.MustCompile(`\b` + field + `\s*:`).Match(soak) {
+			issues = append(issues, Issue{pos,
+				fmt.Sprintf("fault class %s is not registered in the internal/host soak mix (no %s: rate in any _test.go config)", c.name, field)})
+		}
+		if !strings.Contains(string(design), "`"+c.name+"`") {
+			issues = append(issues, Issue{pos,
+				fmt.Sprintf("fault class %s is missing from the DESIGN.md fault-model taxonomy", c.name)})
+		}
+	}
+	return issues, nil
+}
+
+type faultClass struct {
+	name string
+	pos  string
+}
+
+// collectFaultEnum extracts the Fault enum constants (in declaration
+// order, excluding the numFaults sentinel) and the faultNames literal
+// from the parsed chaos package.
+func collectFaultEnum(fset *token.FileSet, files []*ast.File) ([]faultClass, []string) {
+	var classes []faultClass
+	var names []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				if !isFaultEnum(gd) {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, nm := range vs.Names {
+						if nm.Name == "numFaults" || nm.Name == "_" {
+							continue
+						}
+						classes = append(classes, faultClass{nm.Name, posOf(fset, nm.Pos())})
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, nm := range vs.Names {
+						if nm.Name != "faultNames" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						for _, el := range cl.Elts {
+							if lit, ok := el.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+								if s, err := strconv.Unquote(lit.Value); err == nil {
+									names = append(names, s)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return classes, names
+}
+
+// isFaultEnum reports whether gd is the iota block typed Fault.
+func isFaultEnum(gd *ast.GenDecl) bool {
+	if len(gd.Specs) == 0 {
+		return false
+	}
+	vs, ok := gd.Specs[0].(*ast.ValueSpec)
+	if !ok {
+		return false
+	}
+	id, ok := vs.Type.(*ast.Ident)
+	return ok && id.Name == "Fault"
+}
+
+// readMatching concatenates the raw contents of every file in dir whose
+// name has the given suffix.
+func readMatching(dir, suffix string) ([]byte, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return out, nil
 }
 
 func posOf(fset *token.FileSet, p token.Pos) string {

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"testing"
@@ -123,6 +124,34 @@ func f(in isa.Instr) bool { return in.Op == isa.OpLoad || in.Op == isa.OpStore }
 		if sawTable != c.sawTable {
 			t.Errorf("%s: sawTable = %v, want %v", c.name, sawTable, c.sawTable)
 		}
+	}
+}
+
+// TestFaultEnumExtraction pins the chaos-rule front end: the Fault enum
+// constants are collected in declaration order without the numFaults
+// sentinel, and faultNames strings are collected positionally, so a
+// class/name count mismatch is detectable.
+func TestFaultEnumExtraction(t *testing.T) {
+	src := `package p
+type Fault uint8
+const (
+	FaultAlpha Fault = iota
+	FaultBeta
+	numFaults
+)
+const unrelated = 7
+var faultNames = [...]string{"alpha"}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, names := collectFaultEnum(fset, []*ast.File{f})
+	if len(classes) != 2 || classes[0].name != "FaultAlpha" || classes[1].name != "FaultBeta" {
+		t.Errorf("classes = %+v, want FaultAlpha, FaultBeta", classes)
+	}
+	if len(names) != 1 || names[0] != "alpha" {
+		t.Errorf("names = %v, want [alpha] — FaultBeta is nameless and must be flaggable", names)
 	}
 }
 

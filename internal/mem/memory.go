@@ -65,6 +65,16 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 	m.page(addr, true)[addr&(PageSize-1)] = b
 }
 
+// FlipBits XORs mask into the byte at addr — the chaos injector's
+// bit-flip primitive, modeling a DRAM upset striking backing storage
+// directly (below the MMU and HFI checks, which is the point: the
+// corruption is invisible to every access-legality mechanism and only a
+// content audit can find it).
+func (m *Memory) FlipBits(addr uint64, mask byte) {
+	p := m.page(addr, true)
+	p[addr&(PageSize-1)] ^= mask
+}
+
 // Read returns size bytes starting at addr as a little-endian unsigned
 // integer. size must be 1, 2, 4 or 8. Accesses contained in one page — the
 // overwhelmingly common case on the interpreter hot path — decode straight

@@ -652,6 +652,33 @@ func (inst *Instance) HeapHash() uint64 {
 	return h
 }
 
+// InitialHeapBytes returns the byte size of the initial heap pages — the
+// range HeapHash covers and the live target region for substrate bit
+// flips (a flip beyond it lands in reservation pages no verified-reset
+// audit hashes and no un-grown guest reads).
+func (inst *Instance) InitialHeapBytes() uint64 {
+	return uint64(inst.C.Module.MemPages) * wasm.PageSize
+}
+
+// AuditHeapHash is the cost-modeled HeapHash used by the host's sampled
+// end-of-request spot checks: identical hash, but the scrub pays simulated
+// time per hashed page on the instance's kernel clock, so detection
+// coverage shows up on the simulated timeline instead of being free.
+func (inst *Instance) AuditHeapHash() uint64 {
+	pages := uint64(inst.C.Module.MemPages)
+	k := inst.RT.M.Kern
+	k.Clock.Advance(k.Costs.SyscallBase + pages*k.Costs.AuditHashPerPage)
+	return inst.HeapHash()
+}
+
+// FlipHeapBit XORs a single-bit mask into the heap byte at off — the
+// substrate bit-flip seam. It writes through mem.Memory directly, below
+// the MMU and HFI checks, because the fault it models (a DRAM upset)
+// does not consult them.
+func (inst *Instance) FlipHeapBit(off uint64, mask byte) {
+	inst.RT.M.Mem().FlipBits(inst.HeapBase+off, mask)
+}
+
 // Teardown discards the instance's memory image with one madvise call over
 // its committed heap, the way stock Wasmtime recycles instance slots
 // (§5.1). Guard reservations are not touched — the per-sandbox strategy

@@ -51,6 +51,7 @@ type Recorder struct {
 	canceled uint64
 	hc       HostcallCounters
 	tc       TierCounters
+	sc       SubstrateCounters
 	tenants  map[string]*tenantStats
 }
 
@@ -91,12 +92,39 @@ func (c *TierCounters) Add(o TierCounters) {
 	c.InterpInstrs += o.InterpInstrs
 }
 
+// SubstrateCounters aggregates the substrate fault traffic the serving
+// layer observes per request: faults injected below the serving seams
+// (bit flips, stale translations, clock skew, lowering rot), how many the
+// end-of-request audits detected, how many completed recovery
+// (quarantine, cache flush, gate invalidation, clock resync), and how
+// many were undetected but benign by construction (strikes in cold state
+// no consumer reads before it is recycled). Two conservation invariants,
+// asserted globally and per tenant:
+//
+//	Injected == Detected + Benign   (every injection is accounted)
+//	Recovered == Detected           (every detection completes recovery)
+type SubstrateCounters struct {
+	Injected  uint64 `json:"injected"`
+	Detected  uint64 `json:"detected"`
+	Recovered uint64 `json:"recovered"`
+	Benign    uint64 `json:"undetected_benign"`
+}
+
+// Add accumulates o into c.
+func (c *SubstrateCounters) Add(o SubstrateCounters) {
+	c.Injected += o.Injected
+	c.Detected += o.Detected
+	c.Recovered += o.Recovered
+	c.Benign += o.Benign
+}
+
 // tenantStats is one tenant's slice of the recorder: the same outcome
 // counters plus its own latency samples (for a per-tenant p99).
 type tenantStats struct {
 	ok, timeouts, faults, shed, rejected, canceled uint64
 	hc                                             HostcallCounters
 	tc                                             TierCounters
+	sc                                             SubstrateCounters
 	lats                                           []float64
 }
 
@@ -216,6 +244,30 @@ func (r *Recorder) RecordTier(tenant string, tc TierCounters) {
 	}
 }
 
+// RecordSubstrate attributes one request's substrate fault accounting to a
+// tenant, updating the global aggregate identically — the same conservation
+// contract as RecordHostcalls: the sum over TenantSummaries always equals
+// the Snapshot totals.
+func (r *Recorder) RecordSubstrate(tenant string, sc SubstrateCounters) {
+	if sc == (SubstrateCounters{}) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sc.Add(sc)
+	if tenant != "" {
+		ts := r.tenants[tenant]
+		if ts == nil {
+			if r.tenants == nil {
+				r.tenants = make(map[string]*tenantStats)
+			}
+			ts = &tenantStats{}
+			r.tenants[tenant] = ts
+		}
+		ts.sc.Add(sc)
+	}
+}
+
 // ServeSummary is a point-in-time view of a Recorder.
 type ServeSummary struct {
 	OK       uint64
@@ -236,6 +288,10 @@ type ServeSummary struct {
 	// Tier aggregates tiered-engine activity: block promotions and the
 	// tiered-vs-interpreted retirement split.
 	Tier TierCounters
+
+	// Substrate aggregates substrate chaos accounting: faults injected
+	// below the serving seams and their detection/recovery disposition.
+	Substrate SubstrateCounters
 
 	MeanNs float64
 	P50Ns  float64
@@ -261,7 +317,7 @@ func (r *Recorder) Snapshot(elapsedNs float64) ServeSummary {
 	s := ServeSummary{
 		OK: r.ok, Timeouts: r.timeouts, Faults: r.faults,
 		Shed: r.shed, Rejected: r.rejected, Canceled: r.canceled,
-		Hostcalls: r.hc, Tier: r.tc,
+		Hostcalls: r.hc, Tier: r.tc, Substrate: r.sc,
 	}
 	r.mu.Unlock()
 
@@ -299,6 +355,9 @@ type TenantSummary struct {
 
 	// Tier is the tenant's tiered-engine activity.
 	Tier TierCounters `json:"tier"`
+
+	// Substrate is the tenant's substrate fault accounting.
+	Substrate SubstrateCounters `json:"substrate"`
 }
 
 // Executed counts the tenant's requests that reached a sandbox.
@@ -317,7 +376,7 @@ func (r *Recorder) TenantSummaries() []TenantSummary {
 			Tenant: name,
 			OK:     ts.ok, Timeouts: ts.timeouts, Faults: ts.faults,
 			Shed: ts.shed, Rejected: ts.rejected, Canceled: ts.canceled,
-			Hostcalls: ts.hc, Tier: ts.tc,
+			Hostcalls: ts.hc, Tier: ts.tc, Substrate: ts.sc,
 		}
 		if len(ts.lats) > 0 {
 			lats := append([]float64(nil), ts.lats...)

@@ -483,3 +483,71 @@ func (e *Engine) TakeCounters() (promotions, tieredInstrs, interpInstrs uint64) 
 // Lowering returns the shared lowering artifact (nil when facts were
 // absent).
 func (e *Engine) Lowering() *Lowered { return e.low }
+
+// HasLowering reports whether the engine carries a lowering at all — the
+// precondition for the LoweringRot chaos seam (there is no gate cache to
+// rot otherwise).
+func (e *Engine) HasLowering() bool { return e.low != nil }
+
+// rotGenSkew mirrors cpu's stale-generation distance: forged gate tags sit
+// far enough ahead that they can never match a live generation (the rotted
+// verdicts are never consumed — any fused entry re-syncs the gate first),
+// while staying detectable forever.
+const rotGenSkew = 1 << 32
+
+// PlantGateRot is the chaos seam for FaultLoweringRot: it corrupts the
+// engine's cached gate — the hoisted per-block safety verdicts the fused
+// runner trusts between generation changes. The pick'th cached block
+// verdict is flipped; live rot additionally forges the gate's generation
+// tags ahead of both sources, claiming verdicts for generations that have
+// not happened (AuditGate must catch the impossible tags). Dead rot
+// demotes the gate instead (gateOK=false), so the flipped verdict is
+// recomputed by gateSync before any fused block could trust it — rot in
+// dead state, undetectable and benign by construction. The shared
+// immutable Lowered artifact is never touched: rot is per-engine state,
+// with no cross-instance blast radius.
+func (e *Engine) PlantGateRot(live bool, pick uint64) {
+	if e.low == nil || len(e.blockOK) == 0 {
+		return
+	}
+	bi := int(pick % uint64(len(e.blockOK)))
+	e.blockOK[bi] = !e.blockOK[bi]
+	if live {
+		e.gateOK = true
+		e.gateHfiGen = e.m.HFI.Gen + rotGenSkew
+		e.gateMapGen = e.m.AS.Gen() + rotGenSkew
+	} else {
+		e.gateOK = false
+	}
+}
+
+// AuditGate is the generation cross-audit over the tier gate: a live gate
+// whose tags are not auditable against their sources (tag ahead of the
+// current generation) is impossible state — the residue of rotted
+// verdicts claiming future freshness. Dead gates (gateOK=false) hold no
+// trusted verdicts and pass vacuously; gateSync recomputes them before
+// the fused runner consumes anything. Engines without a lowering have no
+// gate and pass vacuously too.
+func (e *Engine) AuditGate() bool {
+	if e.low == nil || !e.gateOK {
+		return true
+	}
+	return e.m.HFI.AuditTag(e.gateHfiGen) && e.m.AS.AuditTag(e.gateMapGen)
+}
+
+// Invalidate is the recovery path for detected gate rot: demote every
+// block (promotion is re-earned from a clean slate) and clear all cached
+// verdicts, forcing the next fused entry through a full gateSync
+// re-derivation — the "demote + re-lower the affected blocks" contract.
+// The shared Lowered artifact is immutable and needs no rebuilding; what
+// is re-derived is every per-engine conclusion drawn from it.
+func (e *Engine) Invalidate() {
+	e.demote()
+	for i := range e.winOK {
+		e.winOK[i] = false
+	}
+	for i := range e.blockOK {
+		e.blockOK[i] = false
+	}
+	e.gateHfiGen, e.gateMapGen = 0, 0
+}

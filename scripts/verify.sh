@@ -49,7 +49,7 @@ echo "== hfilint: repository-specific static checks"
 go run ./cmd/hfilint
 echo "== go test -race -short ./..."
 go test -race -short -timeout 15m ./...
-echo "== chaos soak (seeded, race-detected)"
+echo "== chaos soaks: serving + substrate (seeded, race-detected)"
 go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
 echo "== loadtest: open-loop p99 gate vs baseline (fast)"
 sh scripts/loadtest.sh >/dev/null
