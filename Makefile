@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test race vet verify verifier bench benchfull serve soak chaos loadtest httpd
+.PHONY: build test race vet verify verifier bench benchfull serve soak chaos loadtest httpd router
 
 build:
 	go build ./...
@@ -43,19 +43,29 @@ serve:
 # substrate soak (TestChaosSoakSubstrate — bit flips, stale DTC entries,
 # clock skew, lowering rot, with detect-and-recover containment proven by
 # a MemHook escape oracle and injector-predicted counts). The TestChaosSoak
-# run pattern matches both. Part of `make verify`.
+# run pattern matches both. The cluster soak extends the taxonomy to the
+# fleet seams: a deterministic mid-sweep shard SIGKILL plus seeded
+# router↔shard partitions, with exact conservation across the survivors.
+# Part of `make verify`.
 soak:
 	go test -race -short -count=1 -run 'TestChaosSoak' ./internal/host
+	go test -race -count=1 -run 'TestClusterChaosSoak' ./internal/cluster
 
 # Chaos-injected serving demo with the per-tenant outcome breakdown.
 chaos:
 	go run ./cmd/hfiserve -requests 200 -chaos -seed 7 -dispatch 500us
 
-# Short deterministic open-loop sweep gated on p99 vs the checked-in
-# baseline (scripts/loadtest_baseline.json). Part of `make verify`.
+# Short deterministic open-loop sweeps gated on p99 vs the checked-in
+# baselines: single-host (scripts/loadtest_baseline.json) then the
+# cluster sweep over 3 real shard subprocesses
+# (scripts/cluster_baseline.json). Part of `make verify`.
 loadtest:
 	sh scripts/loadtest.sh
 
 # HTTP front-end demo: serve the default tenant registry on :8080.
 httpd:
 	go run ./cmd/hfihttpd -addr :8080 -queue 16
+
+# Cluster demo: consistent-hash router over 4 shard subprocesses on :8080.
+router:
+	go run ./cmd/hfirouter -addr :8080 -shards 4

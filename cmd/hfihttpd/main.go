@@ -45,16 +45,18 @@ import (
 	"syscall"
 	"time"
 
-	"hfi/internal/faas"
+	"hfi/internal/cluster"
 	"hfi/internal/host"
-	"hfi/internal/hostcall"
 	"hfi/internal/httpfront"
-	"hfi/internal/sfi"
 	"hfi/internal/stats"
-	"hfi/internal/workloads"
 )
 
 func main() {
+	// Shard role: when a router spawned this process, serve as its
+	// backend (the spec rides the environment) instead of parsing flags.
+	if cluster.IsShardProc() {
+		os.Exit(cluster.ShardMain())
+	}
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -96,24 +98,10 @@ func main() {
 	os.Exit(serve(cfg, *addr, *drainWait))
 }
 
-// registry builds the routable tenant set: the standard DefaultMix
-// classes (each keeping its isolation configuration, so /v1/tenants/...
-// names exercise the same (tenant, config) pool keying as the
-// benchmarks) plus the hostcall guests — kv-session, stream-xform,
-// fan-in-agg, hostcall-micro — under HFI with one shared seeded world,
-// so KV state written by one tenant is visible to the others subject to
-// per-tenant quotas.
-func registry() map[string]httpfront.Tenant {
-	reg := make(map[string]httpfront.Tenant)
-	for _, c := range host.DefaultMix() {
-		reg[c.Tenant.Name] = httpfront.Tenant{Workload: c.Tenant, Iso: c.Iso}
-	}
-	iso := faas.Config{Name: "HFI", Scheme: sfi.HFI, World: hostcall.NewWorld(1)}
-	for _, te := range workloads.HostcallTenants() {
-		reg[te.Name] = httpfront.Tenant{Workload: te, Iso: iso}
-	}
-	return reg
-}
+// registry is the shared default tenant set (see
+// httpfront.DefaultRegistry): the DefaultMix classes plus the hostcall
+// guests under one seeded world, and the "faulty" trap tenant.
+func registry() map[string]httpfront.Tenant { return httpfront.DefaultRegistry(1) }
 
 // serve runs the front until SIGINT/SIGTERM, then drains: healthz → 503,
 // wait for load balancers to notice, close the host (queued work finishes
@@ -180,13 +168,8 @@ func runSelfdrive(cfg host.Config, rateList string, perRate int, seed int64, jso
 	sort.Float64s(rates)
 
 	reg := registry()
-	names := make([]string, 0, len(reg))
-	for name := range reg {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := httpfront.RegistryNames(reg)
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
 	rep := selfdriveReport{Seed: seed, Mode: "selfdrive", Policy: cfg.Policy.String()}
 	for _, rate := range rates {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -199,7 +182,9 @@ func runSelfdrive(cfg host.Config, rateList string, perRate int, seed int64, jso
 		hs := &http.Server{Handler: front.Handler()}
 		go hs.Serve(ln)
 
-		pt, err := httpfront.RunOpenLoopHTTP(client, "http://"+ln.Addr().String(), names, rate, perRate, seed)
+		client := httpfront.NewClient("http://" + ln.Addr().String())
+		pt, err := httpfront.RunOpenLoopHTTP(client, names, rate, perRate, seed)
+		client.CloseIdle()
 
 		front.Host().Close()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

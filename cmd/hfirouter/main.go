@@ -1,0 +1,189 @@
+// Command hfirouter is the cluster front door: it spawns N real hfihttpd
+// shard backends as subprocesses over loopback HTTP and routes
+// /v1/tenants/{tenant}/invoke across them by bounded-load consistent
+// hashing — warm-image-aware (a tenant sticks to the shard already holding
+// its verified image), health-gated via each shard's /healthz, with
+// graceful drain migration and hedged retries against degraded shards
+// (breaker state read from the typed StatszV1 payload).
+//
+// Usage:
+//
+//	hfirouter -shards 4                    # spawn 4 shards, serve on :8080
+//	hfirouter -shards 4 -shard-bin ./hfihttpd   # spawn a real hfihttpd binary
+//	hfirouter -selfdrive -shards 3         # cluster open-loop sweep, then exit
+//	hfirouter -selfdrive -json -check scripts/cluster_baseline.json
+//
+// Routes (the same wire surface as a shard, plus shard admin):
+//
+//	POST /v1/tenants/{tenant}/invoke       # proxied to the tenant's shard
+//	GET  /healthz                          # 200, or 503 once draining
+//	GET  /statsz                           # StatszV1, role=router (+ cluster section)
+//	POST /drainz                           # flip the router into draining
+//	POST /admin/shards/{shard}/drain       # drain one shard, migrating its tenants
+//
+// With no -shard-bin the router re-execs its own executable as the shard
+// processes (the HFI_SHARD_CONFIG environment hook), so `hfirouter
+// -shards 4` is fully self-contained.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hfi/internal/cluster"
+	"hfi/internal/httpfront"
+	"hfi/internal/stats"
+)
+
+func main() {
+	// Shard role: when this binary was re-exec'd as its own backend,
+	// serve as that shard instead of parsing flags.
+	if cluster.IsShardProc() {
+		os.Exit(cluster.ShardMain())
+	}
+	var (
+		addr      = flag.String("addr", ":8080", "router listen address")
+		shards    = flag.Int("shards", 3, "shard subprocesses to spawn")
+		shardBin  = flag.String("shard-bin", "", "shard executable (default: re-exec this binary)")
+		workers   = flag.Int("workers", 2, "worker goroutines per shard")
+		queue     = flag.Int("queue", 16, "admission queue depth per shard")
+		policy    = flag.String("policy", "shed", "shard backpressure policy: block | shed")
+		dispatch  = flag.Duration("dispatch", 0, "per-request dispatch overhead on each shard")
+		window    = flag.Int("breaker-window", 0, "per-tenant breaker window on each shard (0 = off)")
+		seed      = flag.Int64("seed", 1, "base seed (shard i gets seed+i)")
+		drainWait = flag.Duration("drain-wait", 500*time.Millisecond, "pause after flipping /healthz before draining shards")
+		selfdrive = flag.Bool("selfdrive", false, "run the cluster open-loop sweep and exit")
+		rates     = flag.String("rates", "400,1200,2400", "offered rates for -selfdrive, req/s")
+		requests  = flag.Int("requests", 200, "requests per rate in -selfdrive")
+		jsonOut   = flag.Bool("json", false, "emit the -selfdrive result as JSON")
+		check     = flag.String("check", "", "baseline JSON to gate the -selfdrive sweep against")
+		tol       = flag.Float64("tol", 3.0, "p99 tolerance multiplier for -check")
+	)
+	flag.Parse()
+
+	opts := cluster.LaunchOpts{
+		Bin: *shardBin,
+		N:   *shards,
+		Shard: cluster.ShardSpec{
+			Workers: *workers, QueueDepth: *queue, Policy: *policy,
+			DispatchWallUs: dispatch.Microseconds(),
+			BreakerWindow:  *window,
+			Seed:           *seed, WorldSeed: 1,
+		},
+	}
+
+	if *selfdrive {
+		os.Exit(runSelfdrive(opts, *rates, *requests, *seed, *jsonOut, *check, *tol))
+	}
+	os.Exit(serve(opts, *addr, *drainWait))
+}
+
+func serve(opts cluster.LaunchOpts, addr string, drainWait time.Duration) int {
+	cl, err := cluster.Launch(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfirouter:", err)
+		return 1
+	}
+	hs := &http.Server{Addr: addr, Handler: cl.Router.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hfirouter: serving on %s over %d shards\n", addr, opts.N)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hfirouter:", err)
+		cl.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "hfirouter: draining (healthz → 503)")
+	cl.Router.BeginDrain()
+	time.Sleep(drainWait)
+	for _, p := range cl.Procs {
+		dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := cl.Router.Drain(dctx, p.Spec.Name); err != nil {
+			fmt.Fprintf(os.Stderr, "hfirouter: drain %s: %v\n", p.Spec.Name, err)
+		}
+		cancel()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx)
+	cl.Close()
+	fmt.Fprintln(os.Stderr, "hfirouter: drained")
+	return 0
+}
+
+func runSelfdrive(opts cluster.LaunchOpts, rateList string, perRate int, seed int64, jsonOut bool, check string, tol float64) int {
+	var rates []float64
+	for _, f := range strings.Split(rateList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "hfirouter: bad rate %q\n", f)
+			return 2
+		}
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+
+	names := httpfront.RegistryNames(httpfront.DefaultRegistry(1))
+	rep, err := cluster.RunSweep(opts, names, rates, perRate, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfirouter:", err)
+		return 1
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hfirouter:", err)
+			return 1
+		}
+	} else {
+		tb := &stats.Table{
+			Title:   fmt.Sprintf("cluster open-loop sweep, %d shards (%d requests/rate)", rep.Shards, perRate),
+			Columns: []string{"rate req/s", "achieved", "ok", "shed%", "hit%", "p50", "p99", "p99.9"},
+		}
+		for _, pt := range rep.Points {
+			tb.AddRow(
+				fmt.Sprintf("%.0f", pt.RateRPS),
+				fmt.Sprintf("%.0f", pt.AchievedRPS),
+				strconv.FormatUint(pt.OK, 10),
+				fmt.Sprintf("%.1f", pt.ShedRate*100),
+				fmt.Sprintf("%.1f", pt.RoutingHitRate*100),
+				stats.Ns(pt.P50Ns), stats.Ns(pt.P99Ns), stats.Ns(pt.P999Ns),
+			)
+		}
+		tb.AddNote("real subprocess shards over loopback: fleet-wide conservation checked per point")
+		fmt.Println(tb)
+	}
+
+	if check != "" {
+		if err := cluster.CheckBaseline(rep, check, tol); err != nil {
+			fmt.Fprintln(os.Stderr, "hfirouter:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "hfirouter: sweep within %.1fx of baseline %s\n", tol, check)
+	}
+	return 0
+}

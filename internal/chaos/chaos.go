@@ -91,12 +91,18 @@ const (
 	FaultTLBStale    // suppressed page-decision-cache invalidation
 	FaultClockSkew   // worker clock drift against the kernel audit rail
 	FaultLoweringRot // corrupted tier-gate verdict cache
+
+	// Cluster classes: faults between the router tier and its shards
+	// (queried by internal/cluster, inert at the single-host tier).
+	FaultShardKill // SIGKILL a shard subprocess mid-load
+	FaultPartition // sever the router↔shard link for a window of attempts
 	numFaults
 )
 
 var faultNames = [...]string{
 	"provision", "reject", "trap", "fuel", "slow", "poison", "hostcall",
 	"bitflip", "tlbstale", "clockskew", "loweringrot",
+	"shardkill", "partition",
 }
 
 // Classes returns every fault class in declaration order.
@@ -228,6 +234,20 @@ type Config struct {
 	// before any fused block trusts them, and is benign. Drawn only for
 	// instances that actually carry a lowering.
 	LoweringRot float64
+
+	// ShardKill is the per-(shard, tick) probability that the cluster
+	// soak driver SIGKILLs the shard subprocess at that tick. The router
+	// must absorb the loss: eject the member, migrate its placements, and
+	// re-route in-flight failures — conservation is judged fleet-wide.
+	ShardKill float64
+
+	// Partition is the per-(shard, window) probability that the
+	// router↔shard link is severed for PartitionTicks consecutive
+	// attempts. Severing happens in the router's transport *before* a
+	// connection is dialed, so a partitioned attempt never reaches shard
+	// admission — which keeps the delivered==admitted ledger exact.
+	Partition      float64
+	PartitionTicks int // attempts per partition decision window, default 4
 }
 
 // Restrict returns a copy of cfg with the injection rate of every fault
@@ -274,6 +294,12 @@ func (cfg Config) Restrict(keep []Fault) Config {
 	if !on[FaultLoweringRot] {
 		out.LoweringRot = 0
 	}
+	if !on[FaultShardKill] {
+		out.ShardKill = 0
+	}
+	if !on[FaultPartition] {
+		out.Partition = 0
+	}
 	return out
 }
 
@@ -298,6 +324,9 @@ func New(cfg Config) *Injector {
 	}
 	if cfg.SkewNs == 0 {
 		cfg.SkewNs = 40_000
+	}
+	if cfg.PartitionTicks <= 0 {
+		cfg.PartitionTicks = 4
 	}
 	return &Injector{cfg: cfg}
 }
@@ -573,6 +602,35 @@ func (in *Injector) Clean(tenant string, seq int) bool {
 		in.roll(FaultReject, tenant, seq) >= in.cfg.Reject
 }
 
+// ShardKill reports whether the cluster soak driver kills shard at tick —
+// one pure draw per (shard, tick), same FNV scheme as every other class,
+// so two same-seed runs kill the same shards at the same points.
+func (in *Injector) ShardKill(shard string, tick int) bool {
+	if in == nil || in.roll(FaultShardKill, shard, tick) >= in.cfg.ShardKill {
+		return false
+	}
+	in.counts[FaultShardKill].Add(1)
+	return true
+}
+
+// Partition reports whether the router↔shard link is severed for the
+// attempt numbered tick. Decisions are blocked into windows of
+// PartitionTicks consecutive attempts sharing one draw, so a partition
+// presents as a burst of transport failures (a network event), not
+// independent single-packet drops. Counted per severed attempt, which
+// makes the summary directly comparable to the router's transport-error
+// ledger.
+func (in *Injector) Partition(shard string, tick int) bool {
+	if in == nil || in.cfg.Partition <= 0 {
+		return false
+	}
+	if in.roll(FaultPartition, shard, tick/in.cfg.PartitionTicks) >= in.cfg.Partition {
+		return false
+	}
+	in.counts[FaultPartition].Add(1)
+	return true
+}
+
 // Summary counts injected faults by class.
 type Summary struct {
 	Provision   uint64 `json:"provision"`
@@ -586,12 +644,15 @@ type Summary struct {
 	TLBStale    uint64 `json:"tlbstale"`
 	ClockSkew   uint64 `json:"clockskew"`
 	LoweringRot uint64 `json:"loweringrot"`
+	ShardKill   uint64 `json:"shardkill"`
+	Partition   uint64 `json:"partition"`
 }
 
 // Total sums all injected faults.
 func (s Summary) Total() uint64 {
 	return s.Provision + s.Reject + s.Trap + s.Fuel + s.Slow + s.Poison + s.Hostcall +
-		s.BitFlip + s.TLBStale + s.ClockSkew + s.LoweringRot
+		s.BitFlip + s.TLBStale + s.ClockSkew + s.LoweringRot +
+		s.ShardKill + s.Partition
 }
 
 // Add accumulates o into s (for aggregating per-run snapshots).
@@ -607,6 +668,8 @@ func (s *Summary) Add(o Summary) {
 	s.TLBStale += o.TLBStale
 	s.ClockSkew += o.ClockSkew
 	s.LoweringRot += o.LoweringRot
+	s.ShardKill += o.ShardKill
+	s.Partition += o.Partition
 }
 
 // Snapshot reports how many faults of each class were actually injected so
@@ -627,5 +690,7 @@ func (in *Injector) Snapshot() Summary {
 		TLBStale:    in.counts[FaultTLBStale].Load(),
 		ClockSkew:   in.counts[FaultClockSkew].Load(),
 		LoweringRot: in.counts[FaultLoweringRot].Load(),
+		ShardKill:   in.counts[FaultShardKill].Load(),
+		Partition:   in.counts[FaultPartition].Load(),
 	}
 }

@@ -1,0 +1,18 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain hooks the shard role: Launch with no Bin re-execs this test
+// binary (os.Executable), and the re-exec must serve as a real shard
+// subprocess — HFI_SHARD_CONFIG in the environment, ShardMain instead of
+// the test list. This is the same check cmd/hfihttpd and cmd/hfirouter
+// run first thing in main().
+func TestMain(m *testing.M) {
+	if IsShardProc() {
+		os.Exit(ShardMain())
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,112 @@
+// Package cluster is the fleet tier over internal/httpfront: a
+// consistent-hash router (bounded-load variant, warm-image-aware) that
+// places tenants across N real hfihttpd shard subprocesses over loopback
+// HTTP, gates membership on /healthz, migrates placements off draining or
+// dead shards, and hedges requests against shards whose breaker state
+// says they are degraded — all over the versioned typed wire API
+// (httpfront.StatszV1 / ErrorEnvelope), never stringly-typed scraping.
+//
+// The paper's §6.3 argument makes per-process sandboxing cheap; this
+// package is the layer that turns many such processes into one service.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. It is not
+// goroutine-safe; the Router guards it with its own mutex. The ring only
+// answers "which shards, in preference order, for this key" — bounded
+// loads and health are the Router's placement policy, layered on top.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint
+	members map[string]bool
+}
+
+// NewRing builds an empty ring with vnodes virtual nodes per shard
+// (0 ⇒ 64, enough that removing one of a handful of shards moves ≤ ~1/n
+// of the keyspace).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// Members returns the current member count.
+func (r *Ring) Members() int { return len(r.members) }
+
+// Has reports membership.
+func (r *Ring) Has(shard string) bool { return r.members[shard] }
+
+// Add inserts shard's virtual nodes. Idempotent.
+func (r *Ring) Add(shard string) {
+	if r.members[shard] {
+		return
+	}
+	r.members[shard] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: fnv64(fmt.Sprintf("%s#%d", shard, v)), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes shard's virtual nodes. Idempotent.
+func (r *Ring) Remove(shard string) {
+	if !r.members[shard] {
+		return
+	}
+	delete(r.members, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Candidates walks the ring clockwise from key's hash and returns every
+// member exactly once, in encounter order — the tenant's stable shard
+// preference list. Successive entries are the successors a drained or
+// degraded primary hands its tenants (or hedged duplicates) to.
+func (r *Ring) Candidates(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// fnv64 is FNV-1a over s — the same deterministic hash family the chaos
+// injector draws from, used here for vnode and key positions.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

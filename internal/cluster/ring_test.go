@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingCandidates: every key sees every member exactly once, in a
+// stable order.
+func TestRingCandidates(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		cands := r.Candidates(key)
+		if len(cands) != 3 {
+			t.Fatalf("key %s: %d candidates, want 3", key, len(cands))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %s: duplicate candidate %s", key, c)
+			}
+			seen[c] = true
+		}
+		again := r.Candidates(key)
+		for j := range cands {
+			if cands[j] != again[j] {
+				t.Fatalf("key %s: candidate order unstable", key)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: with 64 vnodes each of 3 shards owns a
+// non-degenerate share of the keyspace.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	const keys = 900
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Candidates(fmt.Sprintf("tenant-%d", i))[0]]++
+	}
+	for shard, n := range counts {
+		if n < keys/10 {
+			t.Errorf("shard %s owns %d/%d keys — degenerate distribution", shard, n, keys)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d shards own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingRemovalStability is the consistent-hashing property the warm
+// placement tier depends on: removing one member only moves the keys that
+// member owned — every other key keeps its primary, and an orphaned key
+// lands exactly on its old second choice.
+func TestRingRemovalStability(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	const keys = 400
+	before := make([][]string, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.Candidates(fmt.Sprintf("tenant-%d", i))
+	}
+	r.Remove("shard-1")
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := r.Candidates(fmt.Sprintf("tenant-%d", i))
+		if len(after) != 3 {
+			t.Fatalf("key %d: %d candidates after removal, want 3", i, len(after))
+		}
+		if before[i][0] == "shard-1" {
+			moved++
+			if after[0] != before[i][1] {
+				t.Errorf("key %d: orphan went to %s, want old successor %s", i, after[0], before[i][1])
+			}
+		} else if after[0] != before[i][0] {
+			t.Errorf("key %d: primary moved %s → %s though its shard survived", i, before[i][0], after[0])
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("removal moved %d/%d keys, want ≈1/4", moved, keys)
+	}
+	// Idempotent mutations.
+	r.Remove("shard-1")
+	r.Add("shard-2")
+	if r.Members() != 3 {
+		t.Fatalf("members = %d after idempotent ops, want 3", r.Members())
+	}
+}

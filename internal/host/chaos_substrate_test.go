@@ -141,9 +141,9 @@ func runSubstrateSoakOnce(t *testing.T, seed int64, reqs []Request) substrateRun
 	oracle := &escapeOracle{}
 	s := New(Config{
 		Workers: 4, QueueDepth: 8, Policy: PolicyBlock,
-		Retry:       RetryConfig{Max: 2, Base: 50 * time.Microsecond, Cap: time.Millisecond},
-		Pool:        PoolConfig{Cap: 3, TeardownBatch: 4},
-		Chaos:       inj, Seed: seed,
+		Retry: RetryConfig{Max: 2, Base: 50 * time.Microsecond, Cap: time.Millisecond},
+		Pool:  PoolConfig{Cap: 3, TeardownBatch: 4},
+		Chaos: inj, Seed: seed,
 		OnProvision: oracle.arm,
 		Tenants:     map[string]TenantPolicy{reqs[0].Tenant.Name: {Weight: 2}},
 	})

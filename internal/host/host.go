@@ -616,6 +616,22 @@ func (s *Server) TenantSummaries() []stats.TenantSummary {
 	return s.rec.TenantSummaries()
 }
 
+// BreakerStatus is one tenant's circuit-breaker state as surfaced on the
+// wire (/statsz): the state machine position plus lifetime trips. Tenants
+// whose breaker is disabled (BreakerConfig.Window == 0) are omitted.
+type BreakerStatus struct {
+	Tenant string `json:"tenant"`
+	State  string `json:"state"` // "closed" | "open" | "half-open"
+	Trips  uint64 `json:"trips"`
+}
+
+// BreakerStates snapshots every tenant breaker, sorted by tenant name —
+// the signal a routing tier uses to decide a shard is degraded and hedge
+// requests elsewhere.
+func (s *Server) BreakerStates() []BreakerStatus {
+	return s.sched.breakerStates()
+}
+
 // ColdStarts counts instance provisionings (pool misses) so far.
 func (s *Server) ColdStarts() uint64 { return s.coldStarts.Load() }
 

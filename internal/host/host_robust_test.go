@@ -81,7 +81,7 @@ func TestCloseUnderLoad(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				results <- s.Do(context.Background(), treq(tenant, iso, c*per + i))
+				results <- s.Do(context.Background(), treq(tenant, iso, c*per+i))
 			}
 		}(c)
 	}
@@ -144,7 +144,7 @@ func TestShedAccountingConservation(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				switch r := s.Do(context.Background(), treq(tenant, iso, c*per + i)); r.Status {
+				switch r := s.Do(context.Background(), treq(tenant, iso, c*per+i)); r.Status {
 				case StatusOK:
 					ok.Add(1)
 				case StatusShed:

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -254,6 +255,22 @@ func (sc *scheduler) breakerTrips() uint64 {
 		n += tq.br.tripCount()
 	}
 	return n
+}
+
+// breakerStates snapshots every enabled tenant breaker under the
+// scheduler mutex, sorted by tenant name.
+func (sc *scheduler) breakerStates() []BreakerStatus {
+	sc.mu.Lock()
+	var out []BreakerStatus
+	for _, tq := range sc.tenants {
+		if tq.br == nil {
+			continue
+		}
+		out = append(out, BreakerStatus{Tenant: tq.name, State: tq.br.state.String(), Trips: tq.br.trips})
+	}
+	sc.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // tenantServed reports how many of the tenant's requests have been

@@ -12,7 +12,11 @@
 //	POST /v1/tenants/{tenant}/invoke  run one request (body = guest input;
 //	                                  empty body = tenant's synthetic stream)
 //	GET  /healthz                     readiness; 503 once draining
-//	GET  /statsz                      stats.ServeSummary + per-tenant + counters
+//	GET  /statsz                      StatszV1 (versioned typed stats document)
+//	POST /drainz                      flip into draining (router-driven drain)
+//
+// Every non-2xx invoke response carries an ErrorEnvelope JSON body and
+// every invoke response echoes RequestIDHeader (see wire.go).
 package httpfront
 
 import (
@@ -25,7 +29,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"hfi/internal/chaos"
 	"hfi/internal/faas"
 	"hfi/internal/host"
 	"hfi/internal/stats"
@@ -55,6 +58,11 @@ type Front struct {
 
 	// MaxBody bounds an invoke request body (bytes). Defaults to 1 MiB.
 	MaxBody int64
+
+	// Shard names this front in its StatszV1 and error envelopes — set by
+	// the cluster tier so a relayed envelope says which backend produced
+	// the verdict. Empty for a standalone server.
+	Shard string
 }
 
 // New builds a front over srv routing the registered tenants.
@@ -79,6 +87,7 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tenants/{tenant}/invoke", f.invoke)
 	mux.HandleFunc("GET /healthz", f.healthz)
 	mux.HandleFunc("GET /statsz", f.statsz)
+	mux.HandleFunc("POST /drainz", f.drainz)
 	return mux
 }
 
@@ -134,36 +143,38 @@ func OutcomeForCode(code int) (stats.Outcome, bool) {
 	}
 }
 
-// errorBody is the JSON envelope of every non-200 invoke response.
-type errorBody struct {
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
-}
-
 func (f *Front) invoke(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("tenant")
+	reqID := r.Header.Get(RequestIDHeader)
 	te, ok := f.reg[name]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Status: "unknown_tenant",
-			Error: fmt.Sprintf("no tenant %q registered", name)})
+		f.writeEnvelope(w, http.StatusNotFound, ErrorEnvelope{Outcome: "unknown_tenant",
+			RequestID: reqID, Error: fmt.Sprintf("no tenant %q registered", name)})
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, f.MaxBody+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Status: "bad_request", Error: err.Error()})
+		f.writeEnvelope(w, http.StatusBadRequest, ErrorEnvelope{Outcome: "bad_request",
+			RequestID: reqID, Error: err.Error()})
 		return
 	}
 	if int64(len(body)) > f.MaxBody {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Status: "body_too_large",
-			Error: fmt.Sprintf("body exceeds %d bytes", f.MaxBody)})
+		f.writeEnvelope(w, http.StatusRequestEntityTooLarge, ErrorEnvelope{Outcome: "body_too_large",
+			RequestID: reqID, Error: fmt.Sprintf("body exceeds %d bytes", f.MaxBody)})
 		return
+	}
+	seq := f.nextSeq(name)
+	if reqID == "" {
+		// Synthesize the deterministic identity the host already keys
+		// chaos and response hashing on, so the echo is never empty.
+		reqID = fmt.Sprintf("%s-%d", name, seq)
 	}
 	opts := []host.RequestOpt{host.WithWorkload(te.Workload), host.WithIso(te.Iso)}
 	if len(body) > 0 {
 		opts = append(opts, host.WithBody(body))
 	}
-	resp := f.host.Do(r.Context(), host.NewRequest(name, f.nextSeq(name), opts...))
-	f.writeResponse(w, resp)
+	resp := f.host.Do(r.Context(), host.NewRequest(name, seq, opts...))
+	f.writeResponse(w, resp, reqID)
 }
 
 // nextSeq hands out the tenant's next request sequence number — the
@@ -174,29 +185,40 @@ func (f *Front) nextSeq(name string) uint64 {
 	return v.(*atomic.Uint64).Add(1) - 1
 }
 
-func (f *Front) writeResponse(w http.ResponseWriter, resp host.Response) {
+func (f *Front) writeResponse(w http.ResponseWriter, resp host.Response, reqID string) {
 	code := StatusCode(resp.Status)
 	if code == http.StatusOK {
+		w.Header().Set(RequestIDHeader, reqID)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.WriteHeader(http.StatusOK)
 		w.Write(resp.Body)
 		return
 	}
-	switch code {
-	case http.StatusTooManyRequests:
-		// Backpressure is transient by construction — a breaker half-opens,
-		// a queue drains — so tell well-behaved clients when to come back.
-		w.Header().Set("Retry-After", "1")
-	case http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", "5")
-	}
-	eb := errorBody{Status: resp.Status.String()}
+	eb := ErrorEnvelope{Outcome: statusOutcome(resp.Status), RequestID: reqID, Shard: f.Shard}
 	if resp.Err != nil {
 		eb.Error = resp.Err.Error()
 		if errors.Is(resp.Err, host.ErrBreakerOpen) {
-			eb.Status = "breaker_open"
+			eb.Cause = "breaker_open"
 		}
 	}
+	f.writeEnvelope(w, code, eb)
+}
+
+// writeEnvelope serializes one ErrorEnvelope, stamping the documented
+// retry hint both as the legacy Retry-After header (seconds, for generic
+// clients) and as retry_after_ms in the body (for typed ones), and echoing
+// the request id as a header so hedging dedup works without parsing JSON.
+func (f *Front) writeEnvelope(w http.ResponseWriter, code int, eb ErrorEnvelope) {
+	if eb.Shard == "" {
+		eb.Shard = f.Shard
+	}
+	eb.RetryAfterMS = RetryAfterMS(code)
+	if eb.RetryAfterMS > 0 {
+		// Backpressure is transient by construction — a breaker half-opens,
+		// a queue drains — so tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", eb.RetryAfterMS/1000))
+	}
+	w.Header().Set(RequestIDHeader, eb.RequestID)
 	writeJSON(w, code, eb)
 }
 
@@ -208,30 +230,36 @@ func (f *Front) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// Statsz is the /statsz document.
-type Statsz struct {
-	UptimeSeconds float64               `json:"uptime_seconds"`
-	Draining      bool                  `json:"draining"`
-	Serve         stats.ServeSummary    `json:"serve"`
-	Tenants       []stats.TenantSummary `json:"tenants"`
-	Counters      host.Counters         `json:"counters"`
-	// Chaos is the injector's per-class fire counts (including the
-	// substrate classes), present only when the host serves with a chaos
-	// injector — a clean server omits the key entirely, so scrapers can
-	// tell "no chaos configured" from "chaos configured, nothing fired".
-	Chaos *chaos.Summary `json:"chaos,omitempty"`
+// StatszDoc builds the shard-role StatszV1 this front serves on /statsz.
+func (f *Front) StatszDoc() StatszV1 {
+	up := time.Since(f.started)
+	serve := f.host.Snapshot(up)
+	counters := f.host.Counters()
+	return StatszV1{
+		SchemaVersion: StatszSchemaVersion,
+		Role:          RoleShard,
+		Shard:         f.Shard,
+		UptimeSeconds: up.Seconds(),
+		Draining:      f.draining.Load(),
+		Serve:         &serve,
+		Tenants:       f.host.TenantSummaries(),
+		Counters:      &counters,
+		Breakers:      breakersV1(f.host.BreakerStates()),
+		Chaos:         f.host.ChaosSummary(),
+	}
 }
 
 func (f *Front) statsz(w http.ResponseWriter, r *http.Request) {
-	up := time.Since(f.started)
-	writeJSON(w, http.StatusOK, Statsz{
-		UptimeSeconds: up.Seconds(),
-		Draining:      f.draining.Load(),
-		Serve:         f.host.Snapshot(up),
-		Tenants:       f.host.TenantSummaries(),
-		Counters:      f.host.Counters(),
-		Chaos:         f.host.ChaosSummary(),
-	})
+	writeJSON(w, http.StatusOK, f.StatszDoc())
+}
+
+// drainz is the remote drain trigger: the router POSTs here when taking a
+// shard out of rotation, instead of signalling the process. Idempotent —
+// it only flips /healthz; queued and in-flight work still finishes with
+// real outcomes (zero dropped requests is the drain contract).
+func (f *Front) drainz(w http.ResponseWriter, r *http.Request) {
+	f.BeginDrain()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -22,23 +22,6 @@ import (
 	"hfi/internal/workloads"
 )
 
-// trapOnBody builds a tenant whose guest traps whenever the request body
-// is non-empty and halts otherwise — a deterministic fault source with no
-// chaos injector.
-func trapOnBody(name string) workloads.Tenant {
-	m := wasm.NewModule(name, 1, 16)
-	f := m.Func("run", 1)
-	n := f.Param(0)
-	f.BrImm(isa.CondEQ, n, 0, "ok")
-	f.Trap()
-	f.Label("ok")
-	f.Ret(n)
-	return workloads.Tenant{
-		Name: name, Mod: m,
-		MakeRequest: func(i int) []byte { return nil },
-	}
-}
-
 // unverifiable builds a tenant whose program compiles but fails static
 // verification (memory.grow limit past the guard reservation), so every
 // invoke resolves StatusRejected.
@@ -58,35 +41,38 @@ func unverifiable(name string) workloads.Tenant {
 }
 
 // newFront builds a front over a fresh server with the standard test
-// registry: a healthy tenant, a body-trapping tenant, and an unverifiable
-// tenant, all under stock isolation.
-func newFront(t *testing.T, cfg host.Config) (*Front, *httptest.Server) {
+// registry — a healthy tenant, a body-trapping tenant, and an unverifiable
+// tenant, all under stock isolation — and a typed wire client over it.
+func newFront(t *testing.T, cfg host.Config) (*Front, *Client) {
 	t.Helper()
 	light := workloads.FaaSTenantsLight()
 	iso := faas.StockLucet()
 	reg := map[string]Tenant{
 		"html":    {Workload: light[3], Iso: iso},
 		"xml":     {Workload: light[0], Iso: iso},
-		"trap":    {Workload: trapOnBody("trap"), Iso: iso},
+		"trap":    {Workload: workloads.TrapTenant("trap"), Iso: iso},
 		"unverif": {Workload: unverifiable("unverif"), Iso: iso},
 	}
 	f := New(host.New(cfg), reg)
 	ts := httptest.NewServer(f.Handler())
-	t.Cleanup(func() { ts.Close(); f.Host().Close() })
-	return f, ts
+	c := NewClient(ts.URL)
+	t.Cleanup(func() { c.CloseIdle(); ts.Close(); f.Host().Close() })
+	return f, c
 }
 
-func post(t *testing.T, url, body string) *http.Response {
+// invoke runs one request through the typed client, failing the test on
+// transport errors (any HTTP status is a valid InvokeResult).
+func invoke(t *testing.T, c *Client, tenant, body string) InvokeResult {
 	t.Helper()
-	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(body))
+	res, err := c.Invoke(context.Background(), tenant, []byte(body), "")
 	if err != nil {
-		t.Fatalf("POST %s: %v", url, err)
+		t.Fatalf("invoke %s: %v", tenant, err)
 	}
-	t.Cleanup(func() { resp.Body.Close() })
-	return resp
+	return res
 }
 
-// TestStatusCodeTable pins the full documented host.Status → HTTP map.
+// TestStatusCodeTable pins the full documented host.Status → HTTP map in
+// both directions, and the envelope outcome each status serializes as.
 func TestStatusCodeTable(t *testing.T) {
 	want := map[host.Status]int{
 		host.StatusOK:       200,
@@ -96,6 +82,10 @@ func TestStatusCodeTable(t *testing.T) {
 		host.StatusFault:    502,
 		host.StatusClosed:   503,
 		host.StatusCanceled: 499,
+	}
+	vocab := make(map[string]bool)
+	for _, o := range EnvelopeOutcomes {
+		vocab[o] = true
 	}
 	for st, code := range want {
 		if got := StatusCode(st); got != code {
@@ -111,118 +101,170 @@ func TestStatusCodeTable(t *testing.T) {
 				t.Errorf("OutcomeForCode(503) = %v, want shed class", o)
 			}
 		}
+		// Every error status must serialize to a closed-vocabulary outcome.
+		if st != host.StatusOK {
+			if eo := statusOutcome(st); !vocab[eo] {
+				t.Errorf("statusOutcome(%v) = %q, not in EnvelopeOutcomes", st, eo)
+			}
+		}
 	}
 	if _, ok := OutcomeForCode(404); ok {
 		t.Error("OutcomeForCode(404) should be unmapped")
 	}
+	// Reverse direction: the pinned retry hints follow the header contract.
+	if RetryAfterMS(429) != 1000 || RetryAfterMS(503) != 5000 || RetryAfterMS(502) != 0 {
+		t.Errorf("RetryAfterMS table drifted: 429→%d 503→%d 502→%d",
+			RetryAfterMS(429), RetryAfterMS(503), RetryAfterMS(502))
+	}
 }
 
-// TestInvokeEndToEnd drives every documented status over real HTTP.
+// TestInvokeEndToEnd drives every documented status over real HTTP and
+// asserts the typed error envelope on every non-2xx path.
 func TestInvokeEndToEnd(t *testing.T) {
 	t.Run("ok", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1})
-		resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
-		if resp.StatusCode != 200 {
-			t.Fatalf("status %d, want 200", resp.StatusCode)
+		_, c := newFront(t, host.Config{Workers: 1})
+		res := invoke(t, c, "html", "")
+		if res.Code != 200 {
+			t.Fatalf("status %d, want 200", res.Code)
+		}
+		if res.RequestID == "" {
+			t.Fatal("200 without a synthesized request id")
+		}
+	})
+	t.Run("request_id_echoed", func(t *testing.T) {
+		_, c := newFront(t, host.Config{Workers: 1})
+		res, err := c.Invoke(context.Background(), "html", nil, "req-test-7")
+		if err != nil || res.Code != 200 {
+			t.Fatalf("invoke: code %d err %v", res.Code, err)
+		}
+		if res.RequestID != "req-test-7" {
+			t.Fatalf("request id %q, want echo of req-test-7", res.RequestID)
 		}
 	})
 	t.Run("fault_502", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1})
-		resp := post(t, ts.URL+"/v1/tenants/trap/invoke", "boom")
-		if resp.StatusCode != 502 {
-			t.Fatalf("status %d, want 502", resp.StatusCode)
+		_, c := newFront(t, host.Config{Workers: 1})
+		res, err := c.Invoke(context.Background(), "trap", []byte("boom"), "req-fault-1")
+		if err != nil {
+			t.Fatal(err)
 		}
-		var eb struct{ Status string }
-		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Status != "fault" {
-			t.Fatalf("error body status %q (err %v), want fault", eb.Status, err)
+		if res.Code != 502 {
+			t.Fatalf("status %d, want 502", res.Code)
+		}
+		if res.Envelope == nil {
+			t.Fatalf("502 without an envelope: %s", res.Body)
+		}
+		if res.Envelope.Outcome != "fault" {
+			t.Fatalf("envelope outcome %q, want fault", res.Envelope.Outcome)
+		}
+		if res.Envelope.RequestID != "req-fault-1" {
+			t.Fatalf("envelope request_id %q, want req-fault-1", res.Envelope.RequestID)
 		}
 	})
 	t.Run("rejected_422", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1})
-		resp := post(t, ts.URL+"/v1/tenants/unverif/invoke", "")
-		if resp.StatusCode != 422 {
-			t.Fatalf("status %d, want 422", resp.StatusCode)
+		_, c := newFront(t, host.Config{Workers: 1})
+		res := invoke(t, c, "unverif", "")
+		if res.Code != 422 {
+			t.Fatalf("status %d, want 422", res.Code)
+		}
+		if res.Envelope == nil || res.Envelope.Outcome != "rejected" {
+			t.Fatalf("envelope %+v, want outcome rejected", res.Envelope)
 		}
 	})
 	t.Run("timeout_504", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1, Fuel: 100})
-		resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
-		if resp.StatusCode != 504 {
-			t.Fatalf("status %d, want 504", resp.StatusCode)
+		_, c := newFront(t, host.Config{Workers: 1, Fuel: 100})
+		res := invoke(t, c, "html", "")
+		if res.Code != 504 {
+			t.Fatalf("status %d, want 504", res.Code)
+		}
+		if res.Envelope == nil || res.Envelope.Outcome != "timeout" {
+			t.Fatalf("envelope %+v, want outcome timeout", res.Envelope)
 		}
 	})
 	t.Run("unknown_tenant_404", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1})
-		resp := post(t, ts.URL+"/v1/tenants/nope/invoke", "")
-		if resp.StatusCode != 404 {
-			t.Fatalf("status %d, want 404", resp.StatusCode)
+		_, c := newFront(t, host.Config{Workers: 1})
+		res := invoke(t, c, "nope", "")
+		if res.Code != 404 {
+			t.Fatalf("status %d, want 404", res.Code)
+		}
+		if res.Envelope == nil || res.Envelope.Outcome != "unknown_tenant" {
+			t.Fatalf("envelope %+v, want outcome unknown_tenant", res.Envelope)
 		}
 	})
 }
 
 // TestOverloadShed429 saturates a depth-1 shed queue behind one slowed
-// worker and asserts a real 429 with Retry-After comes back.
+// worker and asserts a real 429 with the Retry-After header and the
+// matching envelope retry_after_ms hint.
 func TestOverloadShed429(t *testing.T) {
-	_, ts := newFront(t, host.Config{
+	_, c := newFront(t, host.Config{
 		Workers: 1, QueueDepth: 1, Policy: host.PolicyShed,
 		DispatchWall: 50 * time.Millisecond,
 	})
 	// First request occupies the worker (50ms dispatch wall), second fills
 	// the depth-1 queue, third must shed.
-	c1 := make(chan int, 1)
-	go func() { c1 <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	bg := func() chan int {
+		ch := make(chan int, 1)
+		go func() {
+			res, err := c.Invoke(context.Background(), "html", nil, "")
+			if err != nil {
+				ch <- 0
+				return
+			}
+			ch <- res.Code
+		}()
+		return ch
+	}
+	c1 := bg()
 	time.Sleep(10 * time.Millisecond)
-	c2 := make(chan int, 1)
-	go func() { c2 <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	c2 := bg()
 	time.Sleep(10 * time.Millisecond)
 
-	resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
-	if resp.StatusCode != 429 {
-		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	res := invoke(t, c, "html", "")
+	if res.Code != 429 {
+		t.Fatalf("overload status %d, want 429", res.Code)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
+	if res.RetryAfter == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	if res.Envelope == nil || res.Envelope.Outcome != "shed" || res.Envelope.RetryAfterMS != 1000 {
+		t.Fatalf("envelope %+v, want outcome shed retry_after_ms 1000", res.Envelope)
 	}
 	if s1, s2 := <-c1, <-c2; s1 != 200 || s2 != 200 {
 		t.Fatalf("background requests %d/%d, want 200/200", s1, s2)
 	}
 }
 
-// TestDrainSemantics: BeginDrain flips /healthz to 503; after host.Close,
+// TestDrainSemantics: POST /drainz flips /healthz to 503; after host.Close,
 // invokes map StatusClosed → 503 with Retry-After.
 func TestDrainSemantics(t *testing.T) {
-	f, ts := newFront(t, host.Config{Workers: 1})
+	f, c := newFront(t, host.Config{Workers: 1})
+	ctx := context.Background()
 
-	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != 200 {
-		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	if up, err := c.Healthz(ctx); err != nil || !up {
+		t.Fatalf("healthz before drain: up=%v err=%v", up, err)
 	}
-	f.BeginDrain()
-	if resp := get(t, ts.URL+"/healthz"); resp.StatusCode != 503 {
-		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drainz: %v", err)
+	}
+	if up, err := c.Healthz(ctx); err != nil || up {
+		t.Fatalf("healthz during drain: up=%v err=%v, want draining 503", up, err)
 	}
 	// Draining alone must not refuse work — the LB drains us, clients with
 	// in-flight connections finish.
-	if resp := post(t, ts.URL+"/v1/tenants/html/invoke", ""); resp.StatusCode != 200 {
-		t.Fatalf("invoke during drain: %d, want 200", resp.StatusCode)
+	if res := invoke(t, c, "html", ""); res.Code != 200 {
+		t.Fatalf("invoke during drain: %d, want 200", res.Code)
 	}
 	f.Host().Close()
-	resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
-	if resp.StatusCode != 503 {
-		t.Fatalf("invoke after close: %d, want 503", resp.StatusCode)
+	res := invoke(t, c, "html", "")
+	if res.Code != 503 {
+		t.Fatalf("invoke after close: %d, want 503", res.Code)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if res.RetryAfter == "" {
 		t.Fatal("503 without Retry-After")
 	}
-}
-
-func get(t *testing.T, url string) *http.Response {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
+	if res.Envelope == nil || res.Envelope.Outcome != "closed" {
+		t.Fatalf("envelope %+v, want outcome closed", res.Envelope)
 	}
-	t.Cleanup(func() { resp.Body.Close() })
-	return resp
 }
 
 // TestClientDisconnectCancelsQueued is the end-to-end no-worker-occupancy
@@ -232,22 +274,25 @@ func get(t *testing.T, url string) *http.Response {
 // requests for the victim tenant, and exactly one cold start — the
 // blocker's. The worker never touched the victim.
 func TestClientDisconnectCancelsQueued(t *testing.T) {
-	f, ts := newFront(t, host.Config{
+	f, c := newFront(t, host.Config{
 		Workers: 1, QueueDepth: 4, DispatchWall: 60 * time.Millisecond,
 	})
 
 	blocker := make(chan int, 1)
-	go func() { blocker <- post(t, ts.URL+"/v1/tenants/html/invoke", "").StatusCode }()
+	go func() {
+		res, err := c.Invoke(context.Background(), "html", nil, "")
+		if err != nil {
+			blocker <- 0
+			return
+		}
+		blocker <- res.Code
+	}()
 	time.Sleep(15 * time.Millisecond) // worker is inside the blocker's dispatch wall
 
 	ctx, cancel := context.WithCancel(context.Background())
-	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/tenants/xml/invoke", nil)
 	errc := make(chan error, 1)
 	go func() {
-		resp, err := http.DefaultClient.Do(req)
-		if err == nil {
-			resp.Body.Close()
-		}
+		_, err := c.Invoke(ctx, "xml", nil, "")
 		errc <- err
 	}()
 	time.Sleep(15 * time.Millisecond) // victim is queued behind the blocker
@@ -264,15 +309,15 @@ func TestClientDisconnectCancelsQueued(t *testing.T) {
 	// is already accounted by the time both requests resolved.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		c := f.Host().Counters()
-		if c.Canceled == 1 {
-			if c.ColdStarts != 1 {
-				t.Fatalf("cold starts = %d, want 1 (victim must never occupy a worker)", c.ColdStarts)
+		cn := f.Host().Counters()
+		if cn.Canceled == 1 {
+			if cn.ColdStarts != 1 {
+				t.Fatalf("cold starts = %d, want 1 (victim must never occupy a worker)", cn.ColdStarts)
 			}
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("canceled = %d after 2s, want 1 (%+v)", c.Canceled, c)
+			t.Fatalf("canceled = %d after 2s, want 1 (%+v)", cn.Canceled, cn)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -285,25 +330,27 @@ func TestClientDisconnectCancelsQueued(t *testing.T) {
 	}
 }
 
-// TestStatszConservation: /statsz serves valid JSON whose global ledger
-// conserves exactly across a burst of mixed-outcome traffic.
+// TestStatszConservation: /statsz serves a valid StatszV1 whose global
+// ledger conserves exactly across a burst of mixed-outcome traffic.
 func TestStatszConservation(t *testing.T) {
-	_, ts := newFront(t, host.Config{Workers: 2})
+	_, c := newFront(t, host.Config{Workers: 2})
 	for i := 0; i < 10; i++ {
-		post(t, ts.URL+"/v1/tenants/html/invoke", "")
+		invoke(t, c, "html", "")
 	}
 	for i := 0; i < 3; i++ {
-		post(t, ts.URL+"/v1/tenants/trap/invoke", "boom")
+		invoke(t, c, "trap", "boom")
 	}
-	post(t, ts.URL+"/v1/tenants/unverif/invoke", "")
+	invoke(t, c, "unverif", "")
 
-	resp := get(t, ts.URL+"/statsz")
-	if resp.StatusCode != 200 {
-		t.Fatalf("statsz status %d", resp.StatusCode)
+	sz, err := c.Statsz(context.Background())
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
 	}
-	var sz Statsz
-	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
-		t.Fatalf("statsz decode: %v", err)
+	if sz.Role != RoleShard {
+		t.Fatalf("statsz role %q, want %q", sz.Role, RoleShard)
+	}
+	if sz.Serve == nil || sz.Counters == nil {
+		t.Fatalf("shard statsz missing serve/counters: %+v", sz)
 	}
 	sum := sz.Serve
 	accounted := sum.OK + sum.Timeouts + sum.Faults + sum.Shed + sum.Rejected + sum.Canceled
@@ -324,9 +371,14 @@ func TestStatszConservation(t *testing.T) {
 // substrate counters conserve on every surface the document exposes.
 func TestStatszChaosSummary(t *testing.T) {
 	t.Run("clean_server_omits_key", func(t *testing.T) {
-		_, ts := newFront(t, host.Config{Workers: 1})
-		post(t, ts.URL+"/v1/tenants/html/invoke", "")
-		raw, err := io.ReadAll(get(t, ts.URL+"/statsz").Body)
+		_, c := newFront(t, host.Config{Workers: 1})
+		invoke(t, c, "html", "")
+		resp, err := http.Get(c.Base() + "/statsz")
+		if err != nil {
+			t.Fatalf("statsz fetch: %v", err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
 		if err != nil {
 			t.Fatalf("statsz read: %v", err)
 		}
@@ -342,17 +394,17 @@ func TestStatszChaosSummary(t *testing.T) {
 		// Every served request draws a spot-checked bit flip: each invoke
 		// is detected as substrate corruption and surfaces as a 502.
 		inj := chaos.New(chaos.Config{Seed: 5, BitFlip: 1.0, SpotCheck: 1.0})
-		_, ts := newFront(t, host.Config{Workers: 1, Chaos: inj})
+		_, c := newFront(t, host.Config{Workers: 1, Chaos: inj})
 		const n = 4
 		for i := 0; i < n; i++ {
-			resp := post(t, ts.URL+"/v1/tenants/html/invoke", "")
-			if resp.StatusCode != 502 {
-				t.Fatalf("invoke %d: status %d, want 502 (substrate fault)", i, resp.StatusCode)
+			res := invoke(t, c, "html", "")
+			if res.Code != 502 {
+				t.Fatalf("invoke %d: status %d, want 502 (substrate fault)", i, res.Code)
 			}
 		}
-		var sz Statsz
-		if err := json.NewDecoder(get(t, ts.URL+"/statsz").Body).Decode(&sz); err != nil {
-			t.Fatalf("statsz decode: %v", err)
+		sz, err := c.Statsz(context.Background())
+		if err != nil {
+			t.Fatalf("statsz: %v", err)
 		}
 		if sz.Chaos == nil {
 			t.Fatal("chaos-injected server reports no chaos summary")
@@ -402,25 +454,25 @@ func TestHostcallOverHTTP(t *testing.T) {
 	}
 	f := New(host.New(host.Config{Workers: 1}), reg)
 	ts := httptest.NewServer(f.Handler())
-	t.Cleanup(func() { ts.Close(); f.Host().Close() })
+	c := NewClient(ts.URL)
+	t.Cleanup(func() { c.CloseIdle(); ts.Close(); f.Host().Close() })
 
 	// Multi-invoke stateful session: the counter accumulates across HTTP
 	// requests because the state lives in the shared world's KV store.
 	counter := func(body string) uint64 {
-		resp := post(t, ts.URL+"/v1/tenants/kv/invoke", body)
-		if resp.StatusCode != 200 {
-			t.Fatalf("kv invoke status %d", resp.StatusCode)
+		res := invoke(t, c, "kv", body)
+		if res.Code != 200 {
+			t.Fatalf("kv invoke status %d", res.Code)
 		}
-		b, err := io.ReadAll(resp.Body)
-		if err != nil || len(b) != 8 {
-			t.Fatalf("kv response %d bytes (err %v), want 8", len(b), err)
+		if len(res.Body) != 8 {
+			t.Fatalf("kv response %d bytes, want 8", len(res.Body))
 		}
-		return binary.LittleEndian.Uint64(b)
+		return binary.LittleEndian.Uint64(res.Body)
 	}
 	var want uint64
 	for _, body := range []string{"abc", "d", "hello world"} {
-		for _, c := range []byte(body) {
-			want += uint64(c)
+		for _, ch := range []byte(body) {
+			want += uint64(ch)
 		}
 		if got := counter(body); got != want {
 			t.Fatalf("session counter after %q = %d, want %d", body, got, want)
@@ -430,25 +482,24 @@ func TestHostcallOverHTTP(t *testing.T) {
 	// Streaming body: request flows to the guest via fd 0, the response is
 	// whatever reached fd 1 — here the XOR transform of the body.
 	payload := strings.Repeat("streaming over hfihttpd! ", 30) // > one 512 B chunk
-	resp := post(t, ts.URL+"/v1/tenants/stream/invoke", payload)
-	if resp.StatusCode != 200 {
-		t.Fatalf("stream invoke status %d", resp.StatusCode)
+	res := invoke(t, c, "stream", payload)
+	if res.Code != 200 {
+		t.Fatalf("stream invoke status %d", res.Code)
 	}
-	got, err := io.ReadAll(resp.Body)
-	if err != nil || len(got) != len(payload) {
-		t.Fatalf("streamed %d of %d bytes (err %v)", len(got), len(payload), err)
+	if len(res.Body) != len(payload) {
+		t.Fatalf("streamed %d of %d bytes", len(res.Body), len(payload))
 	}
-	for i := range got {
-		if got[i] != payload[i]^0x5a {
-			t.Fatalf("stream byte %d = %#x, want %#x", i, got[i], payload[i]^0x5a)
+	for i := range res.Body {
+		if res.Body[i] != payload[i]^0x5a {
+			t.Fatalf("stream byte %d = %#x, want %#x", i, res.Body[i], payload[i]^0x5a)
 		}
 	}
 
 	// Hostcall counter conservation on /statsz: global == Σ per-tenant,
 	// and both tenants actually crossed the boundary.
-	var sz Statsz
-	if err := json.NewDecoder(get(t, ts.URL+"/statsz").Body).Decode(&sz); err != nil {
-		t.Fatalf("statsz decode: %v", err)
+	sz, err := c.Statsz(context.Background())
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
 	}
 	var sum stats.HostcallCounters
 	for _, tn := range sz.Tenants {
@@ -489,10 +540,10 @@ func TestHostcallOverHTTP(t *testing.T) {
 }
 
 // TestOpenLoopHTTPGenerator: the HTTP open-loop generator produces a
-// conserving sweep point against a live front.
+// conserving sweep point against a live front through the typed client.
 func TestOpenLoopHTTPGenerator(t *testing.T) {
-	_, ts := newFront(t, host.Config{Workers: 2, QueueDepth: 4, Policy: host.PolicyShed})
-	pt, err := RunOpenLoopHTTP(http.DefaultClient, ts.URL, []string{"html", "xml"}, 500, 50, 42)
+	_, c := newFront(t, host.Config{Workers: 2, QueueDepth: 4, Policy: host.PolicyShed})
+	pt, err := RunOpenLoopHTTP(c, []string{"html", "xml"}, 500, 50, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

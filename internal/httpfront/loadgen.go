@@ -1,10 +1,9 @@
 package httpfront
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -20,7 +19,10 @@ import (
 // classes via OutcomeForCode, and latency percentiles cover executed
 // requests (ok/timeout/fault) to match the server-side recorder's view.
 // Transport errors (connection refused, ...) are returned, not counted.
-func RunOpenLoopHTTP(client *http.Client, base string, names []string, rate float64, total int, seed int64) (host.SweepPoint, error) {
+//
+// The client may point at a shard or at a router — the wire contract is
+// identical, which is exactly the point of the typed client.
+func RunOpenLoopHTTP(client *Client, names []string, rate float64, total int, seed int64) (host.SweepPoint, error) {
 	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
 	due := make([]time.Duration, total)
 	var t float64
@@ -36,6 +38,7 @@ func RunOpenLoopHTTP(client *http.Client, base string, names []string, rate floa
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	ctx := context.Background()
 	t0 := time.Now()
 	for i := 0; i < total; i++ {
 		if d := time.Until(t0.Add(due[i])); d > 0 {
@@ -44,9 +47,9 @@ func RunOpenLoopHTTP(client *http.Client, base string, names []string, rate floa
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			url := fmt.Sprintf("%s/v1/tenants/%s/invoke", base, names[i%len(names)])
+			name := names[i%len(names)]
 			start := time.Now()
-			resp, err := client.Post(url, "application/octet-stream", nil)
+			res, err := client.Invoke(ctx, name, nil, "")
 			lat := float64(time.Since(start).Nanoseconds())
 			mu.Lock()
 			defer mu.Unlock()
@@ -56,12 +59,10 @@ func RunOpenLoopHTTP(client *http.Client, base string, names []string, rate floa
 				}
 				return
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			o, ok := OutcomeForCode(resp.StatusCode)
+			o, ok := res.Outcome()
 			if !ok {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("unexpected HTTP %d from %s", resp.StatusCode, url)
+					firstErr = fmt.Errorf("unexpected HTTP %d invoking %s", res.Code, name)
 				}
 				return
 			}

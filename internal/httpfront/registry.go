@@ -1,0 +1,49 @@
+package httpfront
+
+import (
+	"sort"
+
+	"hfi/internal/faas"
+	"hfi/internal/host"
+	"hfi/internal/hostcall"
+	"hfi/internal/sfi"
+	"hfi/internal/workloads"
+)
+
+// DefaultRegistry builds the routable tenant set every serving tier
+// (hfihttpd standalone, a cluster shard) exposes: the standard DefaultMix
+// classes (each keeping its isolation configuration, so /v1/tenants/...
+// names exercise the same (tenant, config) pool keying as the benchmarks)
+// plus the hostcall guests — kv-session, stream-xform, fan-in-agg,
+// hostcall-micro — under HFI with one shared world seeded by worldSeed,
+// so KV state written by one tenant is visible to the others subject to
+// per-tenant quotas. The "faulty" tenant traps on any non-empty body — the
+// deterministic breaker-trip lever cluster hedging tests lean on.
+func DefaultRegistry(worldSeed int64) map[string]Tenant {
+	reg := make(map[string]Tenant)
+	for _, c := range host.DefaultMix() {
+		reg[c.Tenant.Name] = Tenant{Workload: c.Tenant, Iso: c.Iso}
+	}
+	iso := faas.Config{Name: "HFI", Scheme: sfi.HFI, World: hostcall.NewWorld(uint64(worldSeed))}
+	for _, te := range workloads.HostcallTenants() {
+		reg[te.Name] = Tenant{Workload: te, Iso: iso}
+	}
+	reg["faulty"] = Tenant{Workload: workloads.TrapTenant("faulty"), Iso: faas.StockLucet()}
+	return reg
+}
+
+// RegistryNames returns reg's tenant names sorted — the stable round-robin
+// order load generators draw from. The "faulty" trap tenant is excluded:
+// sweeps and baselines measure the healthy serving path, and faults there
+// are driven explicitly by tests.
+func RegistryNames(reg map[string]Tenant) []string {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		if name == "faulty" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

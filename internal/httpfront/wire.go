@@ -1,0 +1,192 @@
+// wire.go — the versioned typed wire API shared by every HFI HTTP tier.
+//
+// Two documents cross process boundaries: StatszV1 (the /statsz payload a
+// shard or router serves and a router scrapes) and ErrorEnvelope (the JSON
+// body of every non-2xx invoke response). Both are versioned by
+// StatszSchemaVersion / the envelope's closed outcome vocabulary, and their
+// JSON keys are pinned by tests in wire_test.go: a renamed key is a wire
+// break, and the router unmarshalling a shard's stats must never fall back
+// to stringly-typed map lookups.
+package httpfront
+
+import (
+	"hfi/internal/chaos"
+	"hfi/internal/host"
+	"hfi/internal/stats"
+)
+
+// StatszSchemaVersion is the schema_version value of the current StatszV1
+// layout. Bump it (and add a new pin test) on any incompatible change.
+const StatszSchemaVersion = 1
+
+// RequestIDHeader carries the request identity end-to-end: a client (or
+// the router, on the client's behalf) sets it, every tier echoes it back
+// on the response, and the router reuses the same id on hedged duplicates
+// so a downstream log can collapse them to one logical request.
+const RequestIDHeader = "X-HFI-Request-Id"
+
+// Role values for StatszV1.Role.
+const (
+	RoleShard  = "shard"
+	RoleRouter = "router"
+)
+
+// BreakerV1 is one tenant's circuit-breaker position as serialized in
+// StatszV1 — the degradation signal hedged retries key on.
+type BreakerV1 struct {
+	Tenant string `json:"tenant"`
+	State  string `json:"state"` // "closed" | "open" | "half-open"
+	Trips  uint64 `json:"trips"`
+}
+
+// StatszV1 is the versioned /statsz document. A shard fills Serve /
+// Tenants / Counters / Breakers from its host.Server; a router leaves
+// those nil and fills Cluster instead. Shared fields (schema_version,
+// role, uptime, draining) mean one scraper loop handles both tiers.
+type StatszV1 struct {
+	SchemaVersion int     `json:"schema_version"`
+	Role          string  `json:"role"` // RoleShard | RoleRouter
+	Shard         string  `json:"shard,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Serve    *stats.ServeSummary   `json:"serve,omitempty"`
+	Tenants  []stats.TenantSummary `json:"tenants,omitempty"`
+	Counters *host.Counters        `json:"counters,omitempty"`
+	Breakers []BreakerV1           `json:"breakers,omitempty"`
+
+	// Chaos is the injector's per-class fire counts (including the
+	// substrate classes), present only when the host serves with a chaos
+	// injector — a clean server omits the key entirely, so scrapers can
+	// tell "no chaos configured" from "chaos configured, nothing fired".
+	Chaos *chaos.Summary `json:"chaos,omitempty"`
+
+	// Cluster is the router-tier section: per-shard membership and the
+	// routing/hedging/migration ledger. Shards omit it.
+	Cluster *ClusterStatszV1 `json:"cluster,omitempty"`
+}
+
+// ClusterStatszV1 is the router's view of the fleet.
+type ClusterStatszV1 struct {
+	Shards []ShardInfoV1 `json:"shards"`
+
+	// Warm-image routing effectiveness: a hit routes a request to the
+	// shard already holding the tenant's placement (and therefore its
+	// warm verified image); a miss places the tenant fresh.
+	RoutingHits    uint64  `json:"routing_hits"`
+	RoutingMisses  uint64  `json:"routing_misses"`
+	RoutingHitRate float64 `json:"routing_hit_rate"`
+
+	Hedges          uint64 `json:"hedges"`           // duplicate attempts fired at successors
+	HedgeWins       uint64 `json:"hedge_wins"`       // hedged duplicate answered first
+	Retries         uint64 `json:"retries"`          // re-routes after a transport failure
+	TransportErrors uint64 `json:"transport_errors"` // attempts that died before an HTTP status
+	Migrations      uint64 `json:"migrations"`       // tenant placements moved off a shard
+	Unroutable      uint64 `json:"unroutable"`       // requests with no eligible shard left
+	Proxied         uint64 `json:"proxied"`          // requests that received a shard response
+}
+
+// ShardInfoV1 is one member's row in the router's /statsz: identity,
+// gating state, and the router-side delivery ledger for the conservation
+// cross-check (delivered here == admitted there, for live shards).
+type ShardInfoV1 struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	// Degraded mirrors the shard's breaker section: any breaker not
+	// "closed" marks the shard degraded and makes requests routed to it
+	// hedge against the tenant's successor shard.
+	Degraded   bool  `json:"degraded"`
+	Placements int   `json:"placements"`
+	Inflight   int64 `json:"inflight"`
+
+	Attempts        uint64 `json:"attempts"`
+	Delivered       uint64 `json:"delivered"`
+	TransportErrors uint64 `json:"transport_errors"`
+	// Admitted is the shard's own host.Counters.Admitted as of the last
+	// stats scrape (0 until the first scrape lands).
+	Admitted uint64 `json:"admitted"`
+}
+
+// ErrorEnvelope is the JSON body of every non-2xx invoke response, on
+// every tier: the outcome class (closed vocabulary, see EnvelopeOutcomes),
+// a machine-readable retry hint, the echoed request id, and the shard that
+// produced the verdict. The router relays shard envelopes verbatim — a
+// client cannot tell (except by the shard field) whether it hit a shard
+// directly or through the router.
+type ErrorEnvelope struct {
+	Outcome      string `json:"outcome"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	RequestID    string `json:"request_id,omitempty"`
+	Shard        string `json:"shard,omitempty"`
+	// Cause refines the outcome without widening the vocabulary: e.g. a
+	// shed whose proximate cause was an open breaker carries
+	// cause=breaker_open so dashboards can split backpressure sources.
+	Cause string `json:"cause,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// EnvelopeOutcomes is the closed vocabulary of ErrorEnvelope.Outcome:
+// every non-OK host.Status name (hfilint proves the correspondence with
+// stats.Outcome and statusOutcome below) plus the transport-level verdicts
+// a front can reach without consulting the host. Nothing else may appear
+// on the wire.
+var EnvelopeOutcomes = [...]string{
+	// host.Status-derived (statusOutcome):
+	"timeout", "shed", "fault", "rejected", "closed", "canceled",
+	// front-level verdicts:
+	"unknown_tenant", "bad_request", "body_too_large",
+	// router-level verdict: no healthy non-draining shard remained.
+	"unroutable",
+}
+
+// statusOutcome maps a non-OK host.Status to its envelope outcome string.
+// The literals are deliberate (not Status.String()) so hfilint can prove
+// the table covers the closed enum and stays in sync with stats.Outcome's
+// names — "closed" is the one status with no stats.Outcome counterpart
+// (a drained server refuses before outcome accounting begins).
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "timeout"
+	case host.StatusShed:
+		return "shed"
+	case host.StatusFault:
+		return "fault"
+	case host.StatusRejected:
+		return "rejected"
+	case host.StatusClosed:
+		return "closed"
+	case host.StatusCanceled:
+		return "canceled"
+	default:
+		return "fault"
+	}
+}
+
+// breakersV1 converts the host snapshot into wire rows.
+func breakersV1(in []host.BreakerStatus) []BreakerV1 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]BreakerV1, len(in))
+	for i, b := range in {
+		out[i] = BreakerV1{Tenant: b.Tenant, State: b.State, Trips: b.Trips}
+	}
+	return out
+}
+
+// RetryAfterMS is the documented retry hint per status code: sheds are
+// transient by construction (a breaker half-opens, a queue drains), drains
+// are not worth hammering. Matches the Retry-After header each front sets.
+func RetryAfterMS(code int) int64 {
+	switch code {
+	case 429:
+		return 1000
+	case 503:
+		return 5000
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,178 @@
+package httpfront
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hfi/internal/host"
+	"hfi/internal/stats"
+)
+
+// TestStatszV1PinnedKeys pins the wire layout of StatszV1: a renamed or
+// dropped JSON key is a schema break and must bump StatszSchemaVersion.
+// The test serializes a fully-populated document and asserts every key it
+// promises is present under its exact name.
+func TestStatszV1PinnedKeys(t *testing.T) {
+	doc := StatszV1{
+		SchemaVersion: StatszSchemaVersion,
+		Role:          RoleRouter,
+		Shard:         "shard-0",
+		UptimeSeconds: 1.5,
+		Draining:      true,
+		Serve:         &stats.ServeSummary{},
+		Tenants:       []stats.TenantSummary{{Tenant: "html"}},
+		Counters:      &host.Counters{},
+		Breakers:      []BreakerV1{{Tenant: "html", State: "open", Trips: 1}},
+		Cluster: &ClusterStatszV1{
+			Shards: []ShardInfoV1{{Name: "shard-0", Addr: "127.0.0.1:1", Healthy: true}},
+		},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema_version", "role", "shard", "uptime_seconds", "draining",
+		"serve", "tenants", "counters", "breakers", "cluster",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("StatszV1 missing pinned key %q: %s", key, raw)
+		}
+	}
+
+	var cl map[string]json.RawMessage
+	if err := json.Unmarshal(m["cluster"], &cl); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"shards", "routing_hits", "routing_misses", "routing_hit_rate",
+		"hedges", "hedge_wins", "retries", "transport_errors",
+		"migrations", "unroutable", "proxied",
+	} {
+		if _, ok := cl[key]; !ok {
+			t.Errorf("ClusterStatszV1 missing pinned key %q: %s", key, m["cluster"])
+		}
+	}
+
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(cl["shards"], &shards); err != nil || len(shards) != 1 {
+		t.Fatalf("cluster shards decode: %v", err)
+	}
+	for _, key := range []string{
+		"name", "addr", "healthy", "draining", "degraded", "placements",
+		"inflight", "attempts", "delivered", "transport_errors", "admitted",
+	} {
+		if _, ok := shards[0][key]; !ok {
+			t.Errorf("ShardInfoV1 missing pinned key %q: %s", key, cl["shards"])
+		}
+	}
+
+	var br []map[string]json.RawMessage
+	if err := json.Unmarshal(m["breakers"], &br); err != nil || len(br) != 1 {
+		t.Fatalf("breakers decode: %v", err)
+	}
+	for _, key := range []string{"tenant", "state", "trips"} {
+		if _, ok := br[0][key]; !ok {
+			t.Errorf("BreakerV1 missing pinned key %q", key)
+		}
+	}
+}
+
+// TestServeSummaryPinnedKeys pins the snake_case keys of the embedded
+// serve section — the fields the router's scraper and the baseline gates
+// read by name.
+func TestServeSummaryPinnedKeys(t *testing.T) {
+	raw, err := json.Marshal(stats.ServeSummary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"ok", "timeouts", "faults", "shed", "rejected", "canceled",
+		"mean_ns", "p50_ns", "p99_ns", "p999_ns", "max_ns",
+		"throughput_rps", "shed_rate",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("ServeSummary missing pinned key %q: %s", key, raw)
+		}
+	}
+}
+
+// TestErrorEnvelopePinnedShape pins the envelope wire shape: the required
+// outcome key, the optional keys under their exact names, and omitempty on
+// everything a minimal envelope leaves out.
+func TestErrorEnvelopePinnedShape(t *testing.T) {
+	full := ErrorEnvelope{
+		Outcome: "shed", RetryAfterMS: 1000, RequestID: "r-1",
+		Shard: "shard-0", Cause: "breaker_open", Error: "queue full",
+	}
+	raw, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"outcome", "retry_after_ms", "request_id", "shard", "cause", "error",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("ErrorEnvelope missing pinned key %q: %s", key, raw)
+		}
+	}
+
+	min, err := json.Marshal(ErrorEnvelope{Outcome: "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(min) != `{"outcome":"fault"}` {
+		t.Errorf("minimal envelope = %s, want only the outcome key", min)
+	}
+}
+
+// TestEnvelopeVocabularyClosed: statusOutcome lands inside EnvelopeOutcomes
+// for every status (including the default arm), the vocabulary holds no
+// duplicates, and each host-derived entry matches a stats.Outcome name —
+// except "closed", the documented pre-accounting refusal.
+func TestEnvelopeVocabularyClosed(t *testing.T) {
+	vocab := make(map[string]bool)
+	for _, o := range EnvelopeOutcomes {
+		if vocab[o] {
+			t.Errorf("duplicate envelope outcome %q", o)
+		}
+		vocab[o] = true
+	}
+	statuses := []host.Status{
+		host.StatusOK, host.StatusTimeout, host.StatusShed, host.StatusFault,
+		host.StatusRejected, host.StatusClosed, host.StatusCanceled,
+		host.Status(250), // unknown status folds into the default arm
+	}
+	for _, st := range statuses {
+		if o := statusOutcome(st); !vocab[o] {
+			t.Errorf("statusOutcome(%d) = %q escapes the closed vocabulary", st, o)
+		}
+	}
+
+	// The host-derived half of the vocabulary must track stats.Outcome's
+	// serialized names so fleet dashboards join on one string set.
+	statsNames := make(map[string]bool)
+	for o := stats.OutcomeOK; o <= stats.OutcomeCanceled; o++ {
+		statsNames[o.String()] = true
+	}
+	for _, o := range []string{"timeout", "shed", "fault", "rejected", "canceled"} {
+		if !statsNames[o] {
+			t.Errorf("envelope outcome %q has no stats.Outcome counterpart", o)
+		}
+	}
+	if statsNames["closed"] {
+		t.Error(`"closed" grew a stats.Outcome — drop the envelope special case`)
+	}
+}

@@ -29,11 +29,20 @@
 //   - Every chaos.Fault class is fully wired: it has a String() name in
 //     faultNames (operators select classes by name via -chaos-classes, so
 //     a nameless class is unreachable), its Config rate field appears in
-//     the internal/host soak mix (an uninjected class is untested-by-
-//     construction — the soak is the proof the detect-and-recover path
-//     works), and it is documented in DESIGN.md's fault-model taxonomy.
-//     The soak and docs checks read raw file contents because parseDir
-//     skips _test.go files and DESIGN.md is not Go.
+//     a soak mix — internal/host for the serving and substrate classes,
+//     internal/cluster for the fleet classes (an uninjected class is
+//     untested-by-construction — the soak is the proof the
+//     detect-and-recover path works), and it is documented in DESIGN.md's
+//     fault-model taxonomy. The soak and docs checks read raw file
+//     contents because parseDir skips _test.go files and DESIGN.md is not
+//     Go.
+//
+//   - The wire API's outcome vocabulary is closed (see wire.go):
+//     statusOutcome covers every non-OK host.Status with the status's own
+//     lowercased name as a string literal, every envelope outcome minted
+//     anywhere in the serving tiers comes from EnvelopeOutcomes, and the
+//     host-derived entries stay joined to stats.Outcome's serialized
+//     names.
 //
 // The checker is pure go/ast + go/parser (the module has no dependencies,
 // so golang.org/x/tools analysis frameworks are off the table) and runs as
@@ -145,6 +154,27 @@ func Run(root string) ([]Issue, error) {
 		return nil, err
 	}
 	issues = append(issues, chIssues...)
+
+	hostFiles, _, err := parseDir(filepath.Join(root, "internal", "host"))
+	if err != nil {
+		return nil, err
+	}
+	frontFiles, frontFset, err := parseDir(filepath.Join(root, "internal", "httpfront"))
+	if err != nil {
+		return nil, err
+	}
+	clusterFiles, clusterFset, err := parseDir(filepath.Join(root, "internal", "cluster"))
+	if err != nil {
+		return nil, err
+	}
+	statsFiles, _, err := parseDir(filepath.Join(root, "internal", "stats"))
+	if err != nil {
+		return nil, err
+	}
+	issues = append(issues, lintWire(root, hostFiles,
+		filesWithFset{frontFiles, frontFset},
+		filesWithFset{clusterFiles, clusterFset},
+		statsFiles)...)
 
 	sort.Slice(issues, func(i, j int) bool { return issues[i].Pos < issues[j].Pos })
 	return issues, nil
@@ -376,10 +406,18 @@ func lintChaos(root string, fset *token.FileSet, files []*ast.File) ([]Issue, er
 			fmt.Sprintf("faultNames has %d entries for %d fault classes; dead names drift", len(names), len(classes))})
 	}
 
+	// The soak corpus spans both chaos tiers: internal/host exercises the
+	// serving and substrate classes, internal/cluster the fleet classes
+	// (shardkill, partition).
 	soak, err := readMatching(filepath.Join(root, "internal", "host"), "_test.go")
 	if err != nil {
 		return nil, err
 	}
+	clusterSoak, err := readMatching(filepath.Join(root, "internal", "cluster"), "_test.go")
+	if err != nil {
+		return nil, err
+	}
+	soak = append(soak, clusterSoak...)
 	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// lintWire enforces the versioned wire API's closed-vocabulary contract
+// (internal/httpfront/wire.go):
+//
+//   - statusOutcome covers every non-OK host.Status with a case returning
+//     a string literal (literals, not Status.String(), so this check can
+//     see the table), and the literal is exactly the lowercased status
+//     name — which keeps the envelope vocabulary joined to stats.Outcome's
+//     serialized names. "closed" is the one permitted exception: a drained
+//     server refuses before outcome accounting begins, so it has no
+//     stats.Outcome counterpart and must never grow one.
+//   - Every statusOutcome return lands inside EnvelopeOutcomes, and the
+//     vocabulary itself holds no duplicates.
+//   - Every ErrorEnvelope{Outcome: ...} composite literal in the serving
+//     tiers (internal/httpfront, internal/cluster) uses a string literal
+//     from EnvelopeOutcomes — nothing outside the closed set reaches the
+//     wire, and nothing unverifiable (a variable) does either.
+func lintWire(root string, hostFiles []*ast.File, front filesWithFset, cluster filesWithFset, statsFiles []*ast.File) []Issue {
+	var issues []Issue
+
+	statuses := collectEnumNames(hostFiles, "Status")
+	if len(statuses) == 0 {
+		return []Issue{{"internal/host/host.go", "Status enum not found; the wire lint cannot prove outcome coverage"}}
+	}
+	outcomeNames := collectStringArray(statsFiles, "outcomeNames")
+	if len(outcomeNames) == 0 {
+		return []Issue{{"internal/stats/recorder.go", "outcomeNames not found; the wire lint cannot join the envelope vocabulary"}}
+	}
+	statsSet := map[string]bool{}
+	for _, n := range outcomeNames {
+		statsSet[n] = true
+	}
+
+	vocab := collectStringArray(front.files, "EnvelopeOutcomes")
+	if len(vocab) == 0 {
+		return []Issue{{"internal/httpfront/wire.go", "EnvelopeOutcomes not found; the envelope vocabulary is unprovable"}}
+	}
+	vocabSet := map[string]bool{}
+	for _, o := range vocab {
+		if vocabSet[o] {
+			issues = append(issues, Issue{"internal/httpfront/wire.go",
+				fmt.Sprintf("EnvelopeOutcomes lists %q twice", o)})
+		}
+		vocabSet[o] = true
+	}
+
+	covered, soIssues := lintStatusOutcome(front, statuses, vocabSet, statsSet)
+	issues = append(issues, soIssues...)
+	for _, st := range statuses {
+		if st == "StatusOK" {
+			continue
+		}
+		if !covered[st] {
+			issues = append(issues, Issue{"internal/httpfront/wire.go",
+				fmt.Sprintf("statusOutcome has no case for host.%s; every non-OK status needs an envelope outcome", st)})
+		}
+	}
+
+	for _, pkg := range []filesWithFset{front, cluster} {
+		issues = append(issues, lintEnvelopeLiterals(pkg, vocabSet)...)
+	}
+	return issues
+}
+
+// filesWithFset pairs a parsed package with its position table.
+type filesWithFset struct {
+	files []*ast.File
+	fset  *token.FileSet
+}
+
+// lintStatusOutcome walks the statusOutcome switch: every case on a
+// host.StatusX selector must return a string literal equal to the
+// lowercased status name, present in EnvelopeOutcomes, and — except for
+// "closed" — present in stats' outcomeNames.
+func lintStatusOutcome(front filesWithFset, statuses []string, vocab, statsSet map[string]bool) (map[string]bool, []Issue) {
+	covered := map[string]bool{}
+	var issues []Issue
+	fn := findFunc(front.files, "statusOutcome")
+	if fn == nil {
+		return covered, []Issue{{"internal/httpfront/wire.go", "statusOutcome not found; the status→envelope table is unprovable"}}
+	}
+	checkLiteral(front.fset, fn, func(caseName, lit, pos string) {
+		if caseName != "" {
+			covered[caseName] = true
+			want := strings.ToLower(strings.TrimPrefix(caseName, "Status"))
+			if lit != want {
+				issues = append(issues, Issue{pos,
+					fmt.Sprintf("statusOutcome maps host.%s to %q; the envelope outcome must be the status name %q", caseName, lit, want)})
+			}
+		}
+		if !vocab[lit] {
+			issues = append(issues, Issue{pos,
+				fmt.Sprintf("statusOutcome returns %q, which is not in EnvelopeOutcomes", lit)})
+		}
+		if lit != "closed" && !statsSet[lit] {
+			issues = append(issues, Issue{pos,
+				fmt.Sprintf("envelope outcome %q has no stats.Outcome counterpart (only \"closed\" may)", lit)})
+		}
+	}, func(pos string) {
+		issues = append(issues, Issue{pos,
+			"statusOutcome returns a non-literal; the closed-vocabulary check needs string literals"})
+	})
+	if statsSet["closed"] {
+		issues = append(issues, Issue{"internal/stats/recorder.go",
+			`outcomeNames now contains "closed"; drop the envelope special case in statusOutcome`})
+	}
+	return covered, issues
+}
+
+// checkLiteral visits each case clause of the (single) switch inside fn,
+// calling onLit(caseStatusName, literal, pos) for literal string returns
+// (caseStatusName "" for the default arm) and onBad for anything else.
+func checkLiteral(fset *token.FileSet, fn *ast.FuncDecl, onLit func(string, string, string), onBad func(string)) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			var names []string
+			for _, e := range cc.List {
+				if sel, ok := e.(*ast.SelectorExpr); ok {
+					names = append(names, sel.Sel.Name)
+				}
+			}
+			if cc.List == nil {
+				names = []string{""} // default arm
+			}
+			for _, body := range cc.Body {
+				ret, ok := body.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					continue
+				}
+				pos := posOf(fset, ret.Pos())
+				lit, ok := ret.Results[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					onBad(pos)
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					onBad(pos)
+					continue
+				}
+				for _, name := range names {
+					onLit(name, s, pos)
+				}
+			}
+		}
+		return false
+	})
+}
+
+// lintEnvelopeLiterals flags every ErrorEnvelope composite literal whose
+// Outcome is not a string literal inside the closed vocabulary.
+func lintEnvelopeLiterals(pkg filesWithFset, vocab map[string]bool) []Issue {
+	var issues []Issue
+	for _, f := range pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isTypeNamed(cl.Type, "ErrorEnvelope") {
+				return true
+			}
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				k, ok := kv.Key.(*ast.Ident)
+				if !ok || k.Name != "Outcome" {
+					continue
+				}
+				pos := posOf(pkg.fset, kv.Value.Pos())
+				lit, ok := kv.Value.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					// Envelope construction from parts (the client's decode
+					// path) is fine; only literal outcomes are minted here.
+					if _, isIdent := kv.Value.(*ast.Ident); isIdent {
+						continue
+					}
+					if _, isCall := kv.Value.(*ast.CallExpr); isCall {
+						continue
+					}
+					issues = append(issues, Issue{pos, "ErrorEnvelope.Outcome is not a string literal, identifier, or call; the vocabulary check cannot see it"})
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !vocab[s] {
+					issues = append(issues, Issue{pos,
+						fmt.Sprintf("ErrorEnvelope.Outcome %s is outside the closed EnvelopeOutcomes vocabulary", lit.Value)})
+				}
+			}
+			return true
+		})
+	}
+	return issues
+}
+
+// isTypeNamed matches both `ErrorEnvelope{...}` and
+// `httpfront.ErrorEnvelope{...}` composite literal types.
+func isTypeNamed(t ast.Expr, name string) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name == name
+	case *ast.SelectorExpr:
+		return t.Sel.Name == name
+	}
+	return false
+}
+
+// findFunc returns the top-level function declaration named name.
+func findFunc(files []*ast.File, name string) *ast.FuncDecl {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// collectEnumNames extracts the constant names of the iota enum typed
+// typeName (declaration order, skipping sentinels and blanks).
+func collectEnumNames(files []*ast.File, typeName string) []string {
+	var out []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST || len(gd.Specs) == 0 {
+				continue
+			}
+			vs, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != typeName {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nm := range vs.Names {
+					if nm.Name == "_" || strings.HasPrefix(nm.Name, "num") {
+						continue
+					}
+					out = append(out, nm.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectStringArray extracts the string elements of the array/slice
+// literal bound to varName.
+func collectStringArray(files []*ast.File, varName string) []string {
+	var out []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, nm := range vs.Names {
+					if nm.Name != varName || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, el := range cl.Elts {
+						if lit, ok := el.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								out = append(out, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) filesWithFset {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filesWithFset{[]*ast.File{f}, fset}
+}
+
+const wireHostSrc = `package host
+type Status uint8
+const (
+	StatusOK Status = iota
+	StatusTimeout
+	StatusShed
+)`
+
+const wireStatsSrc = `package stats
+var outcomeNames = [...]string{"ok", "timeout", "shed"}`
+
+// TestWireRuleClean: a minimal but fully-consistent wire surface passes.
+func TestWireRuleClean(t *testing.T) {
+	front := parseOne(t, `package httpfront
+var EnvelopeOutcomes = [...]string{"timeout", "shed", "closed", "unroutable"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "timeout"
+	case host.StatusShed:
+		return "shed"
+	default:
+		return "shed"
+	}
+}
+func f() { _ = ErrorEnvelope{Outcome: "unroutable"} }`)
+	cluster := parseOne(t, `package cluster
+func g() { _ = httpfront.ErrorEnvelope{Outcome: "timeout"} }
+func h(o string) { _ = httpfront.ErrorEnvelope{Outcome: o} }       // ident: decode path, fine
+func i() { _ = httpfront.ErrorEnvelope{Outcome: statusOutcome(1)} } // call: table path, fine`)
+	issues := lintWire("", parseOne(t, wireHostSrc).files, front, cluster, parseOne(t, wireStatsSrc).files)
+	if len(issues) != 0 {
+		t.Fatalf("clean wire surface flagged: %v", issues)
+	}
+}
+
+// TestWireRuleFindings pins each failure mode the rule exists for.
+func TestWireRuleFindings(t *testing.T) {
+	cases := []struct {
+		name    string
+		front   string
+		cluster string
+		want    string
+	}{
+		{
+			"uncovered status",
+			`package httpfront
+var EnvelopeOutcomes = [...]string{"timeout", "shed"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "timeout"
+	default:
+		return "timeout"
+	}
+}`,
+			`package cluster`,
+			"no case for host.StatusShed",
+		},
+		{
+			"literal drifts from status name",
+			`package httpfront
+var EnvelopeOutcomes = [...]string{"late", "shed", "timeout"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "late"
+	case host.StatusShed:
+		return "shed"
+	default:
+		return "shed"
+	}
+}`,
+			`package cluster`,
+			`must be the status name "timeout"`,
+		},
+		{
+			"non-literal return defeats the check",
+			`package httpfront
+var EnvelopeOutcomes = [...]string{"timeout", "shed"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return st.String()
+	case host.StatusShed:
+		return "shed"
+	default:
+		return "shed"
+	}
+}`,
+			`package cluster`,
+			"non-literal",
+		},
+		{
+			"envelope outcome outside the vocabulary",
+			`package httpfront
+var EnvelopeOutcomes = [...]string{"timeout", "shed"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "timeout"
+	case host.StatusShed:
+		return "shed"
+	default:
+		return "shed"
+	}
+}`,
+			`package cluster
+func g() { _ = httpfront.ErrorEnvelope{Outcome: "weird"} }`,
+			"outside the closed EnvelopeOutcomes vocabulary",
+		},
+		{
+			"duplicate vocabulary entry",
+			`package httpfront
+var EnvelopeOutcomes = [...]string{"timeout", "shed", "shed"}
+func statusOutcome(st host.Status) string {
+	switch st {
+	case host.StatusTimeout:
+		return "timeout"
+	case host.StatusShed:
+		return "shed"
+	default:
+		return "shed"
+	}
+}`,
+			`package cluster`,
+			`lists "shed" twice`,
+		},
+	}
+	for _, c := range cases {
+		issues := lintWire("", parseOne(t, wireHostSrc).files,
+			parseOne(t, c.front), parseOne(t, c.cluster), parseOne(t, wireStatsSrc).files)
+		found := false
+		for _, i := range issues {
+			if strings.Contains(i.Msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no issue containing %q in %v", c.name, c.want, issues)
+		}
+	}
+}

@@ -10,10 +10,10 @@ type Outcome uint8
 
 // Request outcomes.
 const (
-	OutcomeOK       Outcome = iota // served, guest halted normally
-	OutcomeTimeout                 // fuel budget exhausted (StopLimit)
-	OutcomeFault                   // guest faulted or stopped abnormally
-	OutcomeShed                    // rejected at admission (backpressure)
+	OutcomeOK      Outcome = iota // served, guest halted normally
+	OutcomeTimeout                // fuel budget exhausted (StopLimit)
+	OutcomeFault                  // guest faulted or stopped abnormally
+	OutcomeShed                   // rejected at admission (backpressure)
 	// OutcomeRejected: the tenant's program failed static verification at
 	// provisioning. Distinct from shed — a shed request would have been
 	// safe to run but lost the capacity race; a rejected one was refused
@@ -270,40 +270,40 @@ func (r *Recorder) RecordSubstrate(tenant string, sc SubstrateCounters) {
 
 // ServeSummary is a point-in-time view of a Recorder.
 type ServeSummary struct {
-	OK       uint64
-	Timeouts uint64
-	Faults   uint64
-	Shed     uint64
+	OK       uint64 `json:"ok"`
+	Timeouts uint64 `json:"timeouts"`
+	Faults   uint64 `json:"faults"`
+	Shed     uint64 `json:"shed"`
 	// Rejected counts requests refused because the tenant program failed
 	// static verification (never executed, no latency sample).
-	Rejected uint64
+	Rejected uint64 `json:"rejected"`
 	// Canceled counts requests abandoned by their caller while queued
 	// (never executed, no latency sample).
-	Canceled uint64
+	Canceled uint64 `json:"canceled"`
 
 	// Hostcalls aggregates the host-call boundary traffic of every served
 	// request: calls, marshalled bytes each way, and quota rejections.
-	Hostcalls HostcallCounters
+	Hostcalls HostcallCounters `json:"hostcalls"`
 
 	// Tier aggregates tiered-engine activity: block promotions and the
 	// tiered-vs-interpreted retirement split.
-	Tier TierCounters
+	Tier TierCounters `json:"tier"`
 
 	// Substrate aggregates substrate chaos accounting: faults injected
 	// below the serving seams and their detection/recovery disposition.
-	Substrate SubstrateCounters
+	Substrate SubstrateCounters `json:"substrate"`
 
-	MeanNs float64
-	P50Ns  float64
-	P99Ns  float64
-	P999Ns float64
-	MaxNs  float64
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MaxNs  float64 `json:"max_ns"`
 
 	// ThroughputRPS is executed requests per wall second over the elapsed
 	// window handed to Snapshot (0 if elapsedNs <= 0).
-	ThroughputRPS float64
+	ThroughputRPS float64 `json:"throughput_rps"`
 	// ShedRate is shed / (executed + shed) — the 429 rate.
-	ShedRate float64
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // Executed counts requests that reached a sandbox (everything but sheds).

@@ -52,6 +52,25 @@ func FaaSTenantsLight() []Tenant {
 	}
 }
 
+// TrapTenant builds a tenant whose guest traps whenever the request body
+// is non-empty and halts cleanly otherwise — a deterministic fault source
+// that needs no chaos injector. Serving layers use it to trip a tenant's
+// circuit breaker on demand (POST a body → fault) while its empty-body
+// synthetic stream stays healthy.
+func TrapTenant(name string) Tenant {
+	m := wasm.NewModule(name, 1, 16)
+	f := m.Func("run", 1)
+	n := f.Param(0)
+	f.BrImm(isa.CondEQ, n, 0, "ok")
+	f.Trap()
+	f.Label("ok")
+	f.Ret(n)
+	return Tenant{
+		Name: name, Mod: m,
+		MakeRequest: func(i int) []byte { return nil },
+	}
+}
+
 func xmlRequest(i int) []byte { return xmlRequestN(40)(i) }
 
 // xmlRequestN builds XML requests with `items` elements each.

@@ -1,32 +1,48 @@
 #!/bin/sh
 # loadtest.sh — short deterministic open-loop load gate (`make loadtest`).
 #
-# Runs the in-process open-loop sweep (hfiserve -mode sweep: seeded Poisson
-# arrivals, built-in generator, no external tools) at three offered rates —
-# comfortably below, around, and far past one/two-worker capacity — and
-# fails if any point's p99 exceeds the checked-in baseline by more than the
-# tolerance, if the outcome ledger does not conserve exactly, or if any
-# rate serves zero successes.
+# Two sweeps, both built-in generators (seeded Poisson arrivals, no
+# external tools), both gated on p99 vs a checked-in baseline:
 #
-# The tolerance is a multiplier (default 4x), not a percentage: wall-clock
-# latency on shared CI hardware is noisy, and a real regression — an
-# accidental lock across dispatch, a lost fast path — shows up as a
-# multiple. PolicyShed keeps p99 bounded at the overloaded point, so the
-# gate stays meaningful past the knee.
+#   1. Single-host: hfiserve -mode sweep at three offered rates —
+#      comfortably below, around, and far past one/two-worker capacity.
+#   2. Cluster: hfirouter -selfdrive drives the same open-loop sweep
+#      through the consistent-hash router over 3 real shard subprocesses,
+#      one fresh cluster per rate point, with exact fleet-wide outcome
+#      conservation (Σ shard delivered == router admitted) checked at
+#      every point.
 #
-# Regenerate the baseline after an intentional perf change (the trailing
-# flags override the defaults; -check "" disables the gate for the
-# recording run):
+# Either gate fails if any point's p99 exceeds its baseline by more than
+# the tolerance, if the outcome ledger does not conserve exactly, or if
+# any rate serves zero successes.
+#
+# The tolerance is a multiplier (default 4x single-host, 3x cluster), not
+# a percentage: wall-clock latency on shared CI hardware is noisy, and a
+# real regression — an accidental lock across dispatch, a lost fast
+# path — shows up as a multiple. PolicyShed keeps p99 bounded at the
+# overloaded point, so the gate stays meaningful past the knee.
+#
+# Regenerate the baselines after an intentional perf change (-check ""
+# disables the gate for the recording run):
 #   scripts/loadtest.sh -check "" -json > scripts/loadtest_baseline.json
+#   go run ./cmd/hfirouter -selfdrive -shards 3 -rates 300,900 \
+#       -requests 120 -seed 1 -json -check "" > scripts/cluster_baseline.json
 #
-# Usage: scripts/loadtest.sh [extra hfiserve flags]
+# Usage: scripts/loadtest.sh [extra hfiserve flags for the single-host leg]
 set -eu
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/hfiserve -mode sweep \
+go run ./cmd/hfiserve -mode sweep \
 	-workers 2 \
 	-rates 300,900,2500 \
 	-requests 120 \
 	-policy shed -queue 16 -dispatch 300us -seed 1 \
 	-check scripts/loadtest_baseline.json \
 	"$@"
+
+exec go run ./cmd/hfirouter -selfdrive \
+	-shards 3 \
+	-rates 300,900 \
+	-requests 120 \
+	-seed 1 \
+	-check scripts/cluster_baseline.json

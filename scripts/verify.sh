@@ -18,10 +18,14 @@
 # (admitted == ok+timeout+fault+shed+rejected), per-tenant progress under
 # a hot-tenant flood, bounded warm pools (`make soak` runs just this).
 #
-# Then the fast load gate: a short deterministic open-loop sweep
-# (hfiserve -mode sweep, built-in Poisson generator) whose p99 must stay
-# within tolerance of the checked-in baseline at every (workers, rate)
-# point, with exact outcome conservation (`make loadtest` runs just this).
+# Then the fast load gate: two short deterministic open-loop sweeps
+# (built-in Poisson generator) whose p99 must stay within tolerance of a
+# checked-in baseline at every point, with exact outcome conservation —
+# single-host (hfiserve -mode sweep) and the cluster tier (hfirouter
+# -selfdrive: 3 real shard subprocesses behind the consistent-hash
+# router, fleet-wide conservation per point). `make loadtest` runs just
+# this; the race pass above already covers the cluster chaos soak
+# (shard SIGKILL + router↔shard partitions) via ./internal/cluster.
 #
 # After the tests, the static-verifier gate: hfiverify proves every corpus
 # program safe under every scheme (the corpus includes the hostcall guests,
